@@ -1,0 +1,92 @@
+//! Table 3 as a Criterion benchmark: index construction cost for the
+//! three index families, plus the threshold-sweep ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use free_corpus::synth::{Generator, SynthConfig};
+use free_corpus::MemCorpus;
+use free_engine::{Engine, EngineConfig, IndexKind};
+use std::hint::black_box;
+
+fn corpus(docs: usize) -> MemCorpus {
+    let (corpus, _) = Generator::new(SynthConfig {
+        num_docs: docs,
+        ..SynthConfig::default()
+    })
+    .build_mem();
+    corpus
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let corpus = corpus(150);
+    let mut group = c.benchmark_group("table3_construction");
+    group.sample_size(10);
+    for kind in [IndexKind::Multigram, IndexKind::Presuf, IndexKind::Complete] {
+        let config = EngineConfig {
+            index_kind: kind,
+            // Keep the complete index affordable inside a benchmark loop.
+            max_gram_len: if kind == IndexKind::Complete { 4 } else { 10 },
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let engine = Engine::build_in_memory(corpus.clone(), config.clone()).unwrap();
+                    black_box(engine.build_stats().index_stats.num_keys)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let corpus = corpus(150);
+    let mut group = c.benchmark_group("threshold_sweep");
+    group.sample_size(10);
+    for threshold in [0.02f64, 0.1, 0.5] {
+        let config = EngineConfig {
+            usefulness_threshold: threshold,
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let engine = Engine::build_in_memory(corpus.clone(), config.clone()).unwrap();
+                    black_box(engine.build_stats().index_stats.num_postings)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lengths_per_pass(c: &mut Criterion) {
+    let corpus = corpus(150);
+    let mut group = c.benchmark_group("lengths_per_pass");
+    group.sample_size(10);
+    for lpp in [1usize, 2, 5] {
+        let config = EngineConfig {
+            lengths_per_pass: lpp,
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(lpp), &config, |b, config| {
+            b.iter(|| {
+                let engine = Engine::build_in_memory(corpus.clone(), config.clone()).unwrap();
+                black_box(engine.build_stats().select_passes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_threshold_sweep,
+    bench_lengths_per_pass
+);
+criterion_main!(benches);

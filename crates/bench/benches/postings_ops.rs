@@ -1,0 +1,86 @@
+//! Microbenchmark: postings intersection strategies (the ablation DESIGN.md
+//! calls out) — linear merge vs galloping at several size ratios, plus
+//! union and full decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use free_index::{ops, BlockedPostings, Postings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sorted_ids(rng: &mut StdRng, n: usize, universe: u32) -> Vec<u32> {
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert(rng.gen_range(0..universe));
+    }
+    set.into_iter().collect()
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    let mut rng = StdRng::seed_from_u64(7);
+    let long = sorted_ids(&mut rng, 100_000, 1_000_000);
+    for short_len in [100usize, 1_000, 10_000, 100_000] {
+        let short = sorted_ids(&mut rng, short_len, 1_000_000);
+        let ratio = long.len() / short_len;
+        group.bench_with_input(
+            BenchmarkId::new("merge", format!("1:{ratio}")),
+            &short,
+            |b, short| b.iter(|| black_box(ops::intersect_merge(short, &long))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("galloping", format!("1:{ratio}")),
+            &short,
+            |b, short| b.iter(|| black_box(ops::intersect_galloping(short, &long))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("auto", format!("1:{ratio}")),
+            &short,
+            |b, short| b.iter(|| black_box(ops::intersect(short, &long))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_union_and_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = sorted_ids(&mut rng, 50_000, 500_000);
+    let b_ids = sorted_ids(&mut rng, 50_000, 500_000);
+    c.bench_function("union/50k+50k", |b| {
+        b.iter(|| black_box(ops::union(&a, &b_ids)))
+    });
+
+    let postings = Postings::from_sorted(&a);
+    c.bench_function("postings_decode/50k", |b| {
+        b.iter(|| black_box(postings.decode().unwrap()))
+    });
+}
+
+fn bench_skip_pointers(c: &mut Criterion) {
+    // A rare probe list against a long common list: decode-everything
+    // (plain postings + galloping) vs skip-pointer blocks.
+    let mut rng = StdRng::seed_from_u64(9);
+    let long = sorted_ids(&mut rng, 200_000, 2_000_000);
+    let probes = sorted_ids(&mut rng, 20, 2_000_000);
+    let plain = Postings::from_sorted(&long);
+    let blocked = BlockedPostings::from_sorted(&long);
+    let mut group = c.benchmark_group("skip_pointers");
+    group.bench_function("decode_then_gallop", |b| {
+        b.iter(|| {
+            let decoded = plain.decode().unwrap();
+            black_box(ops::intersect_galloping(&probes, &decoded))
+        })
+    });
+    group.bench_function("blocked_skip", |b| {
+        b.iter(|| black_box(blocked.intersect_sorted(&probes).unwrap().0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersect,
+    bench_union_and_decode,
+    bench_skip_pointers
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Figures 9 and 11 as Criterion benchmarks: per-query total execution
+//! time and first-10 response time, Scan vs Multigram vs Complete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use free_bench::queries::benchmark_queries;
+use free_corpus::synth::{Generator, SynthConfig};
+use free_corpus::MemCorpus;
+use free_engine::{baseline, Engine, EngineConfig, IndexKind};
+use free_index::MemIndex;
+use std::hint::black_box;
+
+struct Setup {
+    corpus: MemCorpus,
+    multigram: Engine<MemCorpus, MemIndex>,
+    complete: Engine<MemCorpus, MemIndex>,
+}
+
+fn setup() -> Setup {
+    let (corpus, _) = Generator::new(SynthConfig {
+        num_docs: 400,
+        ..SynthConfig::default()
+    })
+    .build_mem();
+    let multigram = Engine::build_in_memory(corpus.clone(), EngineConfig::default()).unwrap();
+    let complete = Engine::build_in_memory(
+        corpus.clone(),
+        EngineConfig {
+            index_kind: IndexKind::Complete,
+            max_gram_len: 6,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    Setup {
+        corpus,
+        multigram,
+        complete,
+    }
+}
+
+fn bench_total_time(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("fig9_total_time");
+    group.sample_size(10);
+    for q in benchmark_queries() {
+        group.bench_with_input(BenchmarkId::new("scan", q.name), &q, |b, q| {
+            b.iter(|| {
+                let (ms, _) = baseline::scan_all_matches(&s.corpus, q.pattern).unwrap();
+                black_box(ms.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("multigram", q.name), &q, |b, q| {
+            b.iter(|| {
+                let mut r = s.multigram.query(q.pattern).unwrap();
+                black_box(r.count_matches().unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("complete", q.name), &q, |b, q| {
+            b.iter(|| {
+                let mut r = s.complete.query(q.pattern).unwrap();
+                black_box(r.count_matches().unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_first_10(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("fig11_first10");
+    group.sample_size(10);
+    for q in benchmark_queries() {
+        group.bench_with_input(BenchmarkId::new("scan", q.name), &q, |b, q| {
+            b.iter(|| {
+                let (hits, _) = baseline::scan_first_k(&s.corpus, q.pattern, 10).unwrap();
+                black_box(hits.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("multigram", q.name), &q, |b, q| {
+            b.iter(|| {
+                let mut r = s.multigram.query(q.pattern).unwrap();
+                black_box(r.first_k_matches(10).unwrap().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_anchoring(c: &mut Criterion) {
+    // Ablation: the anchoring literal prefilter on vs off, on the
+    // confirm-heavy `script` query (many candidates, cheap literals).
+    let (corpus, _) = Generator::new(SynthConfig {
+        num_docs: 400,
+        ..SynthConfig::default()
+    })
+    .build_mem();
+    let on = Engine::build_in_memory(corpus.clone(), EngineConfig::default()).unwrap();
+    let off = Engine::build_in_memory(
+        corpus,
+        EngineConfig {
+            use_anchoring: false,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("anchoring");
+    group.sample_size(10);
+    for q in benchmark_queries() {
+        if q.name != "script" && q.name != "mp3" {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("on", q.name), &q, |b, q| {
+            b.iter(|| {
+                let mut r = on.query(q.pattern).unwrap();
+                black_box(r.count_matches().unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("off", q.name), &q, |b, q| {
+            b.iter(|| {
+                let mut r = off.query(q.pattern).unwrap();
+                black_box(r.count_matches().unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_time, bench_first_10, bench_anchoring);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmark: the regex substrate's three tiers on realistic page
+//! text — lazy DFA (containment), dense DFA, and Pike VM (spans) — plus
+//! the Aho-Corasick gram matcher used during index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use free_corpus::synth::{Generator, SynthConfig};
+use free_corpus::Corpus;
+use free_engine::grams::GramMatcher;
+use free_regex::dense::DenseDfa;
+use free_regex::dfa::LazyDfa;
+use free_regex::nfa::Nfa;
+use free_regex::pike::PikeVm;
+use std::hint::black_box;
+
+fn haystack() -> Vec<u8> {
+    // ~1 MB of synthetic page text.
+    let (corpus, _) = Generator::new(SynthConfig::tiny(400, 99)).build_mem();
+    let mut out = Vec::new();
+    corpus
+        .scan(&mut |_, bytes| {
+            out.extend_from_slice(bytes);
+            out.len() < 1 << 20
+        })
+        .unwrap();
+    out
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let hay = haystack();
+    let patterns = [
+        ("literal", "motorola"),
+        ("alternation", "(xpc|mpc)[0-9]+"),
+        ("dotstar", "<script>.*</script>"),
+        ("classes", r"[a-z]+@[a-z.]+\.edu"),
+    ];
+    let mut group = c.benchmark_group("regex_is_match");
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    for (label, pattern) in patterns {
+        let nfa = Nfa::compile(&free_regex::parse(pattern).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::new("lazy_dfa", label), &hay, |b, hay| {
+            let mut dfa = LazyDfa::new(&nfa);
+            b.iter(|| black_box(dfa.is_match(&nfa, hay)));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_dfa", label), &hay, |b, hay| {
+            let dfa = DenseDfa::build(&nfa).unwrap();
+            b.iter(|| black_box(dfa.is_match(hay)));
+        });
+        group.bench_with_input(BenchmarkId::new("pike_vm", label), &hay, |b, hay| {
+            let mut vm = PikeVm::new(&nfa);
+            b.iter(|| black_box(vm.is_match(&nfa, hay)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_matcher(c: &mut Criterion) {
+    let hay = haystack();
+    let mut group = c.benchmark_group("gram_matcher");
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    for num_patterns in [10usize, 100, 1000] {
+        // Synthetic gram keys of mixed lengths.
+        let patterns: Vec<Vec<u8>> = (0..num_patterns)
+            .map(|i| format!("g{i:03}x{}", "q".repeat(i % 7)).into_bytes())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_patterns),
+            &patterns,
+            |b, patterns| {
+                let mut m = GramMatcher::new(patterns);
+                let mut stamp = 0u64;
+                b.iter(|| {
+                    stamp += 1;
+                    let mut n = 0u32;
+                    m.match_distinct(&hay, stamp, &mut |_| n += 1);
+                    black_box(n)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_gram_matcher);
+criterion_main!(benches);

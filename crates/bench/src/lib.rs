@@ -1,0 +1,20 @@
+//! Benchmark harness for the FREE reproduction.
+//!
+//! [`queries`] holds the ten benchmark regular expressions from Figure 8
+//! of the paper; [`harness`] builds corpora and the three index families
+//! and measures every quantity behind Table 3 and Figures 9-12;
+//! [`report`] renders those measurements as aligned text tables and CSV.
+//!
+//! The `experiments` binary drives it all:
+//!
+//! ```text
+//! cargo run -p free-bench --release --bin experiments -- all
+//! cargo run -p free-bench --release --bin experiments -- fig9 --docs 5000
+//! ```
+
+pub mod harness;
+pub mod queries;
+pub mod report;
+
+pub use harness::{Experiment, ExperimentConfig};
+pub use queries::{benchmark_queries, BenchQuery};

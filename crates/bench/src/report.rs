@@ -1,0 +1,289 @@
+//! Rendering experiment results as the paper's tables and figures.
+//!
+//! Figures 9-12 are bar/scatter charts in the paper; a terminal harness
+//! renders them as aligned tables (one row per query) with the same
+//! series, plus CSV output for external plotting.
+
+use crate::harness::{BuildRow, QueryRow};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}us", s * 1e6)
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    let mut s = n.to_string();
+    let mut i = s.len() as isize - 3;
+    while i > 0 {
+        s.insert(i as usize, ',');
+        i -= 3;
+    }
+    s
+}
+
+/// Table 3: "The size of various gram indexes".
+pub fn render_table3(rows: &[BuildRow], num_docs: usize, corpus_bytes: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3 — index construction ({num_docs} data units, {} corpus bytes)",
+        fmt_count(corpus_bytes)
+    );
+    let _ = writeln!(
+        out,
+        "{:<22}{:>14}{:>9}{:>16}{:>18}{:>14}",
+        "", "Construction", "Scans", "Gram keys", "Postings", "Index bytes"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22}{:>14}{:>9}{:>16}{:>18}{:>14}",
+            r.name,
+            fmt_dur(r.construction_time),
+            r.select_passes + 1, // +1 for the postings-generation scan
+            fmt_count(r.num_keys),
+            fmt_count(r.num_postings),
+            fmt_count(r.index_bytes),
+        );
+    }
+    out
+}
+
+/// Figure 9: total execution time per query (Scan / Multigram / Complete).
+pub fn render_fig9(rows: &[QueryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — total execution time");
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>12}{:>12}{:>10}{:>12}",
+        "query", "Scan", "Multigram", "Complete", "speedup", "candidates"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12}{:>12}{:>12}{:>9.1}x{:>12}",
+            r.name,
+            fmt_dur(r.scan_time),
+            fmt_dur(r.multigram_time),
+            fmt_dur(r.complete_time),
+            r.improvement(),
+            if r.multigram_used_scan {
+                "all (scan)".to_string()
+            } else {
+                r.multigram_candidates.to_string()
+            },
+        );
+    }
+    let avg: f64 = rows.iter().map(QueryRow::improvement).sum::<f64>() / rows.len().max(1) as f64;
+    let _ = writeln!(out, "average multigram speedup over scan: {avg:.1}x");
+    out
+}
+
+/// Figure 10: result size vs improvement factor (scatter data).
+pub fn render_fig10(rows: &[QueryRow]) -> String {
+    let mut sorted: Vec<&QueryRow> = rows.iter().collect();
+    sorted.sort_by_key(|r| r.result_size);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10 — result size versus improvement");
+    let _ = writeln!(
+        out,
+        "{:<10}{:>14}{:>15}{:>14}",
+        "query", "result size", "matching docs", "improvement"
+    );
+    for r in sorted {
+        let _ = writeln!(
+            out,
+            "{:<10}{:>14}{:>15}{:>13.1}x",
+            r.name,
+            r.result_size,
+            r.matching_docs,
+            r.improvement()
+        );
+    }
+    out
+}
+
+/// Figure 11: response time for the first 10 results.
+pub fn render_fig11(rows: &[QueryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 11 — response time for first 10 results");
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>12}{:>12}",
+        "query", "Scan", "Multigram", "Complete"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12}{:>12}{:>12}",
+            r.name,
+            fmt_dur(r.scan_first10),
+            fmt_dur(r.multigram_first10),
+            fmt_dur(r.complete_first10),
+        );
+    }
+    out
+}
+
+/// Figure 12: plain multigram vs presuf-shell ("Suffix") execution time.
+pub fn render_fig12(rows: &[QueryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 12 — effect of the shortest suffix rule");
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>12}{:>12}",
+        "query", "Plain", "Suffix", "ratio"
+    );
+    for r in rows {
+        let ratio = r.presuf_time.as_secs_f64() / r.multigram_time.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12}{:>12}{:>11.2}x",
+            r.name,
+            fmt_dur(r.multigram_time),
+            fmt_dur(r.presuf_time),
+            ratio,
+        );
+    }
+    out
+}
+
+/// CSV export of the full per-query measurement set.
+pub fn query_rows_csv(rows: &[QueryRow]) -> String {
+    let mut out = String::from(
+        "query,scan_s,multigram_s,complete_s,suffix_s,scan_first10_s,multigram_first10_s,\
+         complete_first10_s,result_size,matching_docs,candidates,used_scan\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+            r.name,
+            r.scan_time.as_secs_f64(),
+            r.multigram_time.as_secs_f64(),
+            r.complete_time.as_secs_f64(),
+            r.presuf_time.as_secs_f64(),
+            r.scan_first10.as_secs_f64(),
+            r.multigram_first10.as_secs_f64(),
+            r.complete_first10.as_secs_f64(),
+            r.result_size,
+            r.matching_docs,
+            r.multigram_candidates,
+            r.multigram_used_scan,
+        );
+    }
+    out
+}
+
+/// CSV export of Table 3.
+pub fn table3_csv(rows: &[BuildRow]) -> String {
+    let mut out = String::from("index,construction_s,scans,gram_keys,postings,index_bytes\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{},{},{},{}",
+            r.name,
+            r.construction_time.as_secs_f64(),
+            r.select_passes + 1,
+            r.num_keys,
+            r.num_postings,
+            r.index_bytes,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query_row() -> QueryRow {
+        QueryRow {
+            name: "powerpc",
+            pattern: "motorola",
+            scan_time: Duration::from_millis(300),
+            multigram_time: Duration::from_millis(1),
+            complete_time: Duration::from_micros(800),
+            presuf_time: Duration::from_millis(2),
+            scan_first10: Duration::from_millis(250),
+            multigram_first10: Duration::from_micros(500),
+            complete_first10: Duration::from_micros(400),
+            result_size: 4,
+            matching_docs: 3,
+            multigram_candidates: 5,
+            multigram_used_scan: false,
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_dur(Duration::from_millis(15)), "15.00ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7us");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(1234567890), "1,234,567,890");
+    }
+
+    #[test]
+    fn improvement_ratio() {
+        let r = sample_query_row();
+        assert!((r.improvement() - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn renders_contain_queries() {
+        let rows = vec![sample_query_row()];
+        for rendered in [
+            render_fig9(&rows),
+            render_fig10(&rows),
+            render_fig11(&rows),
+            render_fig12(&rows),
+        ] {
+            assert!(rendered.contains("powerpc"), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rows = vec![sample_query_row()];
+        let csv = query_rows_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and data column counts must match"
+        );
+    }
+
+    #[test]
+    fn table3_render() {
+        let rows = vec![BuildRow {
+            name: "Multigram",
+            construction_time: Duration::from_secs(3),
+            select_passes: 5,
+            num_keys: 988_627,
+            num_postings: 1_744_677_072,
+            index_bytes: 2_000_000,
+        }];
+        let shown = render_table3(&rows, 700_000, 4_500_000_000);
+        assert!(shown.contains("Multigram"));
+        assert!(shown.contains("988,627"));
+        assert!(shown.contains("1,744,677,072"));
+        let csv = table3_csv(&rows);
+        assert!(csv.contains("Multigram,3.000000,6,988627"));
+    }
+}

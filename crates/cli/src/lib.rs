@@ -1,0 +1,400 @@
+//! `freegrep` — grep with a prebuilt multigram index.
+//!
+//! The library half of the CLI: index manifests, the index/search/explain
+//! operations, and output formatting. `main.rs` is a thin argument parser
+//! over these functions so everything here is unit-testable.
+//!
+//! An index lives in a directory:
+//!
+//! ```text
+//! <index-dir>/manifest.txt   key=value lines: root, file list, config
+//! <index-dir>/idx.free       the multigram index (free-index format)
+//! ```
+//!
+//! The manifest pins the exact file list the index was built over, so
+//! searches stay consistent even if the tree gains or loses files (stale
+//! content still requires re-indexing, as with any indexed search tool).
+
+use free_corpus::{Corpus, FsCorpus};
+use free_engine::{Engine, EngineConfig};
+use free_index::IndexReader;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong in the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Underlying engine/corpus/index failure.
+    Engine(free_engine::Error),
+    /// Manifest missing or malformed.
+    Manifest(String),
+    /// I/O around the index directory.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Manifest(m) => write!(f, "manifest error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<free_engine::Error> for CliError {
+    fn from(e: free_engine::Error) -> Self {
+        CliError::Engine(e)
+    }
+}
+impl From<free_corpus::Error> for CliError {
+    fn from(e: free_corpus::Error) -> Self {
+        CliError::Engine(e.into())
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Options for `freegrep index`.
+#[derive(Clone, Debug)]
+pub struct IndexOptions {
+    /// Directory tree to index.
+    pub root: PathBuf,
+    /// Where to store the index (default: `<root>/.freegrep`).
+    pub index_dir: PathBuf,
+    /// File extensions to include (empty = all files).
+    pub extensions: Vec<String>,
+    /// Directory names to skip.
+    pub skip_dirs: Vec<String>,
+    /// Usefulness threshold `c`.
+    pub threshold: f64,
+}
+
+impl IndexOptions {
+    /// Defaults for a root directory.
+    pub fn new(root: impl Into<PathBuf>) -> IndexOptions {
+        let root = root.into();
+        IndexOptions {
+            index_dir: root.join(".freegrep"),
+            root,
+            extensions: Vec::new(),
+            skip_dirs: vec![
+                ".git".into(),
+                ".freegrep".into(),
+                "target".into(),
+                "node_modules".into(),
+            ],
+            threshold: 0.1,
+        }
+    }
+}
+
+const MANIFEST_FILE: &str = "manifest.txt";
+const INDEX_FILE: &str = "idx.free";
+
+/// Builds (or rebuilds) an index, returning a human-readable summary.
+pub fn build_index(options: &IndexOptions) -> Result<String> {
+    let exts: Vec<&str> = options.extensions.iter().map(String::as_str).collect();
+    let skips: Vec<&str> = options.skip_dirs.iter().map(String::as_str).collect();
+    let corpus = FsCorpus::open(&options.root, &exts, &skips)?;
+    if corpus.is_empty() {
+        return Err(CliError::Manifest(format!(
+            "no files to index under {}",
+            options.root.display()
+        )));
+    }
+    let files = corpus.paths().to_vec();
+    let num_files = files.len();
+    let total_bytes = corpus.total_bytes();
+
+    std::fs::create_dir_all(&options.index_dir)?;
+    let config = EngineConfig {
+        usefulness_threshold: options.threshold,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::build_on_disk(corpus, config, options.index_dir.join(INDEX_FILE))?;
+    let stats = engine.build_stats();
+
+    // Manifest: everything needed to reopen consistently.
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "version=1");
+    let _ = writeln!(manifest, "root={}", options.root.display());
+    let _ = writeln!(manifest, "threshold={}", options.threshold);
+    for f in &files {
+        let _ = writeln!(manifest, "file={}", f.display());
+    }
+    std::fs::write(options.index_dir.join(MANIFEST_FILE), manifest)?;
+
+    Ok(format!(
+        "indexed {num_files} files ({total_bytes} bytes) in {:.2?}: {} gram keys, {} postings → {}",
+        stats.total_time(),
+        stats.index_stats.num_keys,
+        stats.index_stats.num_postings,
+        options.index_dir.join(INDEX_FILE).display(),
+    ))
+}
+
+/// An opened index ready to answer searches.
+pub struct SearchIndex {
+    engine: Engine<FsCorpus, IndexReader>,
+}
+
+impl SearchIndex {
+    /// Opens the index stored in `index_dir`.
+    pub fn open(index_dir: &Path) -> Result<SearchIndex> {
+        let manifest_path = index_dir.join(MANIFEST_FILE);
+        let manifest = std::fs::read_to_string(&manifest_path).map_err(|e| {
+            CliError::Manifest(format!("cannot read {}: {e}", manifest_path.display()))
+        })?;
+        let mut root: Option<PathBuf> = None;
+        let mut threshold = 0.1f64;
+        let mut files: Vec<PathBuf> = Vec::new();
+        for (lineno, line) in manifest.lines().enumerate() {
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(CliError::Manifest(format!(
+                    "line {} is not key=value: {line:?}",
+                    lineno + 1
+                )));
+            };
+            match key {
+                "version" if value != "1" => {
+                    return Err(CliError::Manifest(format!(
+                        "unsupported manifest version {value}"
+                    )));
+                }
+                "root" => root = Some(PathBuf::from(value)),
+                "threshold" => {
+                    threshold = value
+                        .parse()
+                        .map_err(|_| CliError::Manifest(format!("bad threshold {value:?}")))?;
+                }
+                "file" => files.push(PathBuf::from(value)),
+                _ => {} // forward compatible
+            }
+        }
+        let root = root.ok_or_else(|| CliError::Manifest("manifest missing root=".into()))?;
+        let corpus = FsCorpus::from_paths(&root, files)?;
+        let config = EngineConfig {
+            usefulness_threshold: threshold,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::open(corpus, config, index_dir.join(INDEX_FILE))?;
+        Ok(SearchIndex { engine })
+    }
+
+    /// Runs a search, returning formatted `path:line:text` output plus a
+    /// summary line. `limit` caps the printed matches (0 = unlimited).
+    pub fn search(&self, pattern: &str, limit: usize, files_only: bool) -> Result<String> {
+        let mut result = self.engine.query(pattern)?;
+        let mut out = String::new();
+        let matches = if limit > 0 {
+            // First-k streaming keeps latency proportional to the output.
+            let hits = result.first_k_matches(limit)?;
+            let mut grouped: Vec<(u32, Vec<free_regex::Span>)> = Vec::new();
+            for (doc, span) in hits {
+                match grouped.last_mut() {
+                    Some((d, spans)) if *d == doc => spans.push(span),
+                    _ => grouped.push((doc, vec![span])),
+                }
+            }
+            grouped
+        } else {
+            result
+                .all_matches()?
+                .into_iter()
+                .map(|dm| (dm.doc, dm.spans))
+                .collect()
+        };
+        let mut total = 0usize;
+        for (doc, spans) in &matches {
+            let path = self
+                .engine
+                .corpus()
+                .path(*doc)
+                .expect("doc id from this corpus")
+                .display()
+                .to_string();
+            if files_only {
+                let _ = writeln!(out, "{path}");
+                total += spans.len();
+                continue;
+            }
+            let bytes = self.engine.corpus().get(*doc)?;
+            for span in spans {
+                total += 1;
+                let line_no = bytes[..span.start].iter().filter(|&&b| b == b'\n').count() + 1;
+                let line_start = bytes[..span.start]
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |p| p + 1);
+                let line_end = bytes[span.start..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| span.start + p);
+                let text = String::from_utf8_lossy(&bytes[line_start..line_end]);
+                let _ = writeln!(out, "{path}:{line_no}:{}", text.trim_end());
+            }
+        }
+        let stats = result.stats();
+        let _ = writeln!(
+            out,
+            "# {total} match(es) in {} file(s); examined {} of {} files{}",
+            matches.len(),
+            stats.docs_examined,
+            self.engine.num_docs(),
+            if result.used_scan() {
+                " (no usable grams: full scan)"
+            } else {
+                ""
+            },
+        );
+        Ok(out)
+    }
+
+    /// Explains the access plan for a pattern.
+    pub fn explain(&self, pattern: &str) -> Result<String> {
+        Ok(self.engine.explain(pattern)?)
+    }
+
+    /// Index statistics summary.
+    pub fn stats(&self) -> String {
+        let s = self.engine.build_stats();
+        format!(
+            "{} files indexed; {} gram keys, {} postings ({} bytes)",
+            self.engine.num_docs(),
+            s.index_stats.num_keys,
+            s.index_stats.num_postings,
+            s.index_stats.total_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("freegrep-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/alpha.rs"),
+            b"fn alpha() {\n    needle_one();\n}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("src/beta.rs"),
+            b"fn beta() {\n    // no needles here\n    needle_two();\n}\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), b"needle_one in notes\n").unwrap();
+        dir
+    }
+
+    #[test]
+    fn index_and_search_roundtrip() {
+        let dir = setup("roundtrip");
+        let options = IndexOptions {
+            threshold: 0.9, // tiny corpus: keep most grams useful
+            ..IndexOptions::new(&dir)
+        };
+        let summary = build_index(&options).unwrap();
+        assert!(summary.contains("indexed 3 files"), "{summary}");
+
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let out = idx.search(r"needle_\a+\(", 0, false).unwrap();
+        assert!(out.contains("alpha.rs:2:"), "{out}");
+        assert!(out.contains("beta.rs:3:"), "{out}");
+        assert!(!out.contains("notes.txt"), "{out}");
+        assert!(out.contains("2 match(es)"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn extension_filter() {
+        let dir = setup("ext");
+        let options = IndexOptions {
+            extensions: vec!["txt".into()],
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let out = idx.search("needle_one", 0, true).unwrap();
+        assert!(out.contains("notes.txt"), "{out}");
+        assert!(!out.contains("alpha.rs"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn limit_streams_first_k() {
+        let dir = setup("limit");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let out = idx.search("needle", 1, false).unwrap();
+        assert!(out.contains("1 match(es)"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_and_stats() {
+        let dir = setup("explain");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let plan = idx.explain("needle_one").unwrap();
+        assert!(plan.contains("physical:"), "{plan}");
+        let stats = idx.stats();
+        assert!(stats.contains("3 files indexed"), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_clear_error() {
+        let dir = setup("missing");
+        let err = match SearchIndex::open(&dir.join("nope")) {
+            Err(e) => e,
+            Ok(_) => panic!("open should fail"),
+        };
+        assert!(err.to_string().contains("manifest"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = setup("corrupt");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        std::fs::write(options.index_dir.join("manifest.txt"), "not key value\n").unwrap();
+        assert!(SearchIndex::open(&options.index_dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_root_errors() {
+        let dir = std::env::temp_dir().join(format!("freegrep-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = IndexOptions::new(&dir);
+        assert!(build_index(&options).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! `freegrep` — grep with a prebuilt multigram index.
+//!
+//! ```text
+//! freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>
+//! freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>
+//! freegrep explain [--index DIR] <PATTERN>
+//! freegrep stats  [--index DIR]
+//! ```
+//!
+//! The index directory defaults to `./.freegrep`.
+
+use freegrep::{build_index, IndexOptions, SearchIndex};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            0
+        }
+        Err(e) => {
+            eprintln!("freegrep: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage().into());
+    };
+    match command.as_str() {
+        "index" => {
+            let mut out_dir: Option<PathBuf> = None;
+            let mut extensions: Vec<String> = Vec::new();
+            let mut threshold = 0.1f64;
+            let mut root: Option<PathBuf> = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--out" => {
+                        i += 1;
+                        out_dir = Some(value(rest, i, "--out")?.into());
+                    }
+                    "--ext" => {
+                        i += 1;
+                        extensions = value(rest, i, "--ext")?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--c" => {
+                        i += 1;
+                        threshold = value(rest, i, "--c")?.parse()?;
+                    }
+                    arg if !arg.starts_with('-') => root = Some(arg.into()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            let root = root.ok_or_else(usage)?;
+            let mut options = IndexOptions::new(root);
+            options.extensions = extensions;
+            options.threshold = threshold;
+            if let Some(dir) = out_dir {
+                options.index_dir = dir;
+            }
+            Ok(format!("{}\n", build_index(&options)?))
+        }
+        "search" | "explain" | "stats" => {
+            let mut index_dir = PathBuf::from(".freegrep");
+            let mut limit = 0usize;
+            let mut files_only = false;
+            let mut pattern: Option<String> = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--index" => {
+                        i += 1;
+                        index_dir = value(rest, i, "--index")?.into();
+                    }
+                    "--limit" => {
+                        i += 1;
+                        limit = value(rest, i, "--limit")?.parse()?;
+                    }
+                    "--files-only" => files_only = true,
+                    arg if !arg.starts_with('-') => pattern = Some(arg.to_string()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            let index = SearchIndex::open(&index_dir)?;
+            match command.as_str() {
+                "search" => {
+                    let pattern = pattern.ok_or("search needs a PATTERN")?;
+                    Ok(index.search(&pattern, limit, files_only)?)
+                }
+                "explain" => {
+                    let pattern = pattern.ok_or("explain needs a PATTERN")?;
+                    Ok(format!("{}\n", index.explain(&pattern)?))
+                }
+                _ => Ok(format!("{}\n", index.stats())),
+            }
+        }
+        "--help" | "-h" | "help" => Ok(format!("{}\n", usage())),
+        other => Err(format!("unknown command {other}\n{}", usage()).into()),
+    }
+}
+
+fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn usage() -> String {
+    "usage:\n  freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>\n  \
+     freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>\n  \
+     freegrep explain [--index DIR] <PATTERN>\n  freegrep stats  [--index DIR]"
+        .to_string()
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests driving the compiled `freegrep` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn freegrep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_freegrep"))
+}
+
+fn setup(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("freegrep-bin-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(
+        dir.join("src/main.rs"),
+        b"fn main() {\n    let magic_token = 42;\n    println!(\"{magic_token}\");\n}\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("src/lib.rs"), b"pub fn quiet() {}\n").unwrap();
+    dir
+}
+
+#[test]
+fn index_then_search() {
+    let dir = setup("search");
+    let index_dir = dir.join("idx");
+    let out = freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("indexed 2 files"));
+
+    let out = freegrep()
+        .args(["search", "--index"])
+        .arg(&index_dir)
+        .arg(r"magic_\a+ = \d+")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("main.rs:2:"), "{stdout}");
+    assert!(stdout.contains("1 match(es)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_and_stats() {
+    let dir = setup("explain");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    let out = freegrep()
+        .args(["explain", "--index"])
+        .arg(&index_dir)
+        .arg("magic_token")
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("physical:"));
+    let out = freegrep()
+        .args(["stats", "--index"])
+        .arg(&index_dir)
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("files indexed"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_pattern_fails_cleanly() {
+    let dir = setup("badpat");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    let out = freegrep()
+        .args(["search", "--index"])
+        .arg(&index_dir)
+        .arg("(unclosed")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("freegrep:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_index_is_an_error() {
+    let out = freegrep()
+        .args(["search", "--index", "/nonexistent/fg", "pattern"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = freegrep().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

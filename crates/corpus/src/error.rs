@@ -1,0 +1,82 @@
+//! Error type for corpus storage.
+
+use core::fmt;
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// An error reading from or writing to a corpus store.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error, annotated with the operation that failed.
+    Io {
+        /// What the store was doing (e.g. "read data unit 42").
+        context: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A document id past the end of the corpus.
+    DocOutOfRange {
+        /// The requested id.
+        id: crate::DocId,
+        /// Number of documents actually stored.
+        len: usize,
+    },
+    /// The on-disk files are malformed (bad magic, truncated offsets, …).
+    Corrupt(String),
+}
+
+impl Error {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Error {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "corpus I/O error ({context}): {source}"),
+            Error::DocOutOfRange { id, len } => {
+                write!(f, "data unit {id} out of range (corpus has {len})")
+            }
+            Error::Corrupt(msg) => write!(f, "corrupt corpus store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::io("write data", std::io::Error::other("disk full"));
+        assert!(e.to_string().contains("write data"));
+        assert!(e.to_string().contains("disk full"));
+        let e = Error::DocOutOfRange { id: 9, len: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+        let e = Error::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e = Error::io("x", std::io::Error::other("inner"));
+        assert!(e.source().is_some());
+        assert!(Error::Corrupt("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Corpus statistics.
+
+use crate::Corpus;
+
+/// Summary statistics over a corpus, gathered in one sequential scan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Number of data units (the paper's `N`).
+    pub num_docs: usize,
+    /// Total bytes (the paper's `|D|`).
+    pub total_bytes: u64,
+    /// Smallest data unit in bytes.
+    pub min_doc_bytes: u64,
+    /// Largest data unit in bytes.
+    pub max_doc_bytes: u64,
+    /// Mean data-unit size in bytes.
+    pub mean_doc_bytes: f64,
+}
+
+impl CorpusStats {
+    /// Gathers statistics with a full scan.
+    pub fn gather<C: Corpus>(corpus: &C) -> CorpusStats {
+        let mut stats = CorpusStats {
+            num_docs: 0,
+            total_bytes: 0,
+            min_doc_bytes: u64::MAX,
+            max_doc_bytes: 0,
+            mean_doc_bytes: 0.0,
+        };
+        let _ = corpus.scan(&mut |_, bytes| {
+            let len = bytes.len() as u64;
+            stats.num_docs += 1;
+            stats.total_bytes += len;
+            stats.min_doc_bytes = stats.min_doc_bytes.min(len);
+            stats.max_doc_bytes = stats.max_doc_bytes.max(len);
+            true
+        });
+        if stats.num_docs == 0 {
+            stats.min_doc_bytes = 0;
+        } else {
+            stats.mean_doc_bytes = stats.total_bytes as f64 / stats.num_docs as f64;
+        }
+        stats
+    }
+}
+
+impl core::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} data units, {} bytes total (min {} / mean {:.0} / max {} per unit)",
+            self.num_docs,
+            self.total_bytes,
+            self.min_doc_bytes,
+            self.mean_doc_bytes,
+            self.max_doc_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemCorpus;
+
+    #[test]
+    fn gather_basic() {
+        let c = MemCorpus::from_docs(vec![b"ab".to_vec(), b"abcd".to_vec(), b"abcdef".to_vec()]);
+        let s = CorpusStats::gather(&c);
+        assert_eq!(s.num_docs, 3);
+        assert_eq!(s.total_bytes, 12);
+        assert_eq!(s.min_doc_bytes, 2);
+        assert_eq!(s.max_doc_bytes, 6);
+        assert!((s.mean_doc_bytes - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_empty() {
+        let c = MemCorpus::new();
+        let s = CorpusStats::gather(&c);
+        assert_eq!(s.num_docs, 0);
+        assert_eq!(s.min_doc_bytes, 0);
+        assert_eq!(s.mean_doc_bytes, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let c = MemCorpus::from_docs(vec![b"xyz".to_vec()]);
+        let shown = CorpusStats::gather(&c).to_string();
+        assert!(shown.contains("1 data units"));
+        assert!(shown.contains("3 bytes"));
+    }
+}

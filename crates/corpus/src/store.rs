@@ -1,0 +1,336 @@
+//! On-disk data-unit storage.
+//!
+//! Layout (two files inside a directory):
+//!
+//! ```text
+//! <dir>/corpus.dat   raw data-unit bytes, concatenated in id order
+//! <dir>/corpus.idx   header + one u64 little-endian *end* offset per unit
+//! ```
+//!
+//! The index header is a 8-byte magic plus a u32 version. Offsets are
+//! cumulative ends, so data unit `i` occupies
+//! `dat[offset[i-1]..offset[i]]` (with `offset[-1] = 0`). The full offset
+//! table is loaded into memory on open — 8 bytes per data unit, which for
+//! the paper's 700 k pages is under 6 MB.
+
+use crate::{Corpus, DocId, Error, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"FREECORP";
+const VERSION: u32 = 1;
+const DATA_FILE: &str = "corpus.dat";
+const INDEX_FILE: &str = "corpus.idx";
+
+/// Streaming writer that appends data units to an on-disk corpus.
+pub struct CorpusWriter {
+    data: BufWriter<File>,
+    ends: Vec<u64>,
+    written: u64,
+    dir: PathBuf,
+}
+
+impl CorpusWriter {
+    /// Creates (or truncates) a corpus store in `dir`.
+    pub fn create(dir: impl AsRef<Path>) -> Result<CorpusWriter> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("create dir {}", dir.display()), e))?;
+        let data_path = dir.join(DATA_FILE);
+        let data = File::create(&data_path)
+            .map_err(|e| Error::io(format!("create {}", data_path.display()), e))?;
+        Ok(CorpusWriter {
+            data: BufWriter::new(data),
+            ends: Vec::new(),
+            written: 0,
+            dir,
+        })
+    }
+
+    /// Appends one data unit, returning its id.
+    pub fn append(&mut self, doc: &[u8]) -> Result<DocId> {
+        let id = self.ends.len() as DocId;
+        self.data
+            .write_all(doc)
+            .map_err(|e| Error::io(format!("write data unit {id}"), e))?;
+        self.written += doc.len() as u64;
+        self.ends.push(self.written);
+        Ok(id)
+    }
+
+    /// Number of data units appended so far.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Flushes everything and writes the offset table. Returns the opened
+    /// read-side corpus.
+    pub fn finish(mut self) -> Result<DiskCorpus> {
+        self.data
+            .flush()
+            .map_err(|e| Error::io("flush data file", e))?;
+        let idx_path = self.dir.join(INDEX_FILE);
+        let idx = File::create(&idx_path)
+            .map_err(|e| Error::io(format!("create {}", idx_path.display()), e))?;
+        let mut w = BufWriter::new(idx);
+        w.write_all(MAGIC)
+            .map_err(|e| Error::io("write magic", e))?;
+        w.write_all(&VERSION.to_le_bytes())
+            .map_err(|e| Error::io("write version", e))?;
+        w.write_all(&(self.ends.len() as u64).to_le_bytes())
+            .map_err(|e| Error::io("write count", e))?;
+        for &end in &self.ends {
+            w.write_all(&end.to_le_bytes())
+                .map_err(|e| Error::io("write offset", e))?;
+        }
+        w.flush().map_err(|e| Error::io("flush index file", e))?;
+        DiskCorpus::open(&self.dir)
+    }
+}
+
+/// A read-only on-disk corpus.
+pub struct DiskCorpus {
+    data_path: PathBuf,
+    /// Cumulative end offsets; `ends[i]` is one past the last byte of doc i.
+    ends: Vec<u64>,
+}
+
+impl DiskCorpus {
+    /// Opens an existing corpus store in `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DiskCorpus> {
+        let dir = dir.as_ref();
+        let idx_path = dir.join(INDEX_FILE);
+        let idx = File::open(&idx_path)
+            .map_err(|e| Error::io(format!("open {}", idx_path.display()), e))?;
+        let mut r = BufReader::new(idx);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|e| Error::io("read magic", e))?;
+        if &magic != MAGIC {
+            return Err(Error::Corrupt(format!(
+                "bad magic in {}: {magic:?}",
+                idx_path.display()
+            )));
+        }
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)
+            .map_err(|e| Error::io("read version", e))?;
+        let version = u32::from_le_bytes(buf4);
+        if version != VERSION {
+            return Err(Error::Corrupt(format!(
+                "unsupported corpus version {version}"
+            )));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)
+            .map_err(|e| Error::io("read count", e))?;
+        let count = u64::from_le_bytes(buf8) as usize;
+        let mut ends = Vec::with_capacity(count);
+        let mut prev = 0u64;
+        for i in 0..count {
+            r.read_exact(&mut buf8)
+                .map_err(|e| Error::io(format!("read offset {i}"), e))?;
+            let end = u64::from_le_bytes(buf8);
+            if end < prev {
+                return Err(Error::Corrupt(format!(
+                    "offsets not monotone at {i}: {end} < {prev}"
+                )));
+            }
+            ends.push(end);
+            prev = end;
+        }
+        let data_path = dir.join(DATA_FILE);
+        let data_len = std::fs::metadata(&data_path)
+            .map_err(|e| Error::io(format!("stat {}", data_path.display()), e))?
+            .len();
+        if ends.last().copied().unwrap_or(0) > data_len {
+            return Err(Error::Corrupt(format!(
+                "offset table points past end of data file ({} > {data_len})",
+                ends.last().unwrap()
+            )));
+        }
+        Ok(DiskCorpus { data_path, ends })
+    }
+
+    fn bounds(&self, id: DocId) -> Result<(u64, u64)> {
+        let i = id as usize;
+        if i >= self.ends.len() {
+            return Err(Error::DocOutOfRange {
+                id,
+                len: self.ends.len(),
+            });
+        }
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        Ok((start, self.ends[i]))
+    }
+}
+
+impl Corpus for DiskCorpus {
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.ends.last().copied().unwrap_or(0)
+    }
+
+    fn get(&self, id: DocId) -> Result<Vec<u8>> {
+        let (start, end) = self.bounds(id)?;
+        let mut f = File::open(&self.data_path)
+            .map_err(|e| Error::io(format!("open {}", self.data_path.display()), e))?;
+        f.seek(SeekFrom::Start(start))
+            .map_err(|e| Error::io(format!("seek to data unit {id}"), e))?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.read_exact(&mut buf)
+            .map_err(|e| Error::io(format!("read data unit {id}"), e))?;
+        Ok(buf)
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(DocId, &[u8]) -> bool) -> Result<()> {
+        let file = File::open(&self.data_path)
+            .map_err(|e| Error::io(format!("open {}", self.data_path.display()), e))?;
+        let mut r = BufReader::with_capacity(1 << 20, file);
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for (i, &end) in self.ends.iter().enumerate() {
+            let len = (end - prev) as usize;
+            buf.resize(len, 0);
+            r.read_exact(&mut buf)
+                .map_err(|e| Error::io(format!("scan data unit {i}"), e))?;
+            prev = end;
+            if !f(i as DocId, &buf) {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("free-corpus-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        let docs: Vec<Vec<u8>> = vec![
+            b"first page".to_vec(),
+            Vec::new(),
+            b"third page with more bytes".to_vec(),
+        ];
+        for d in &docs {
+            w.append(d).unwrap();
+        }
+        assert_eq!(w.len(), 3);
+        let c = w.finish().unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_bytes(), 36);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(&c.get(i as DocId).unwrap(), d);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen() {
+        let dir = tmpdir("reopen");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"persisted").unwrap();
+        drop(w.finish().unwrap());
+        let c = DiskCorpus::open(&dir).unwrap();
+        assert_eq!(c.get(0).unwrap(), b"persisted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_matches_get() {
+        let dir = tmpdir("scan");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        for i in 0..50u32 {
+            w.append(format!("document number {i} {}", "x".repeat(i as usize)).as_bytes())
+                .unwrap();
+        }
+        let c = w.finish().unwrap();
+        let mut count = 0;
+        c.scan(&mut |id, bytes| {
+            assert_eq!(bytes, c.get(id).unwrap());
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let dir = tmpdir("early");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        for _ in 0..10 {
+            w.append(b"doc").unwrap();
+        }
+        let c = w.finish().unwrap();
+        let mut n = 0;
+        c.scan(&mut |_, _| {
+            n += 1;
+            n < 4
+        })
+        .unwrap();
+        assert_eq!(n, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range() {
+        let dir = tmpdir("oor");
+        let w = CorpusWriter::create(&dir).unwrap();
+        let c = w.finish().unwrap();
+        assert!(matches!(c.get(0), Err(Error::DocOutOfRange { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tmpdir("corrupt");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"data").unwrap();
+        drop(w.finish().unwrap());
+        std::fs::write(dir.join(INDEX_FILE), b"NOTMAGIC????????").unwrap();
+        assert!(matches!(DiskCorpus::open(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let dir = tmpdir("trunc");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"some bytes here").unwrap();
+        drop(w.finish().unwrap());
+        // Chop the data file shorter than the offsets claim.
+        std::fs::write(dir.join(DATA_FILE), b"x").unwrap();
+        assert!(matches!(DiskCorpus::open(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        assert!(matches!(
+            DiskCorpus::open("/nonexistent/path/xyz"),
+            Err(Error::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,353 @@
+//! Deterministic synthetic web corpus.
+//!
+//! Substitutes for the paper's 700 k-page 1999 web crawl (see DESIGN.md).
+//! Pages are HTML-like, with body text drawn Zipf-distributed from a
+//! synthetic vocabulary, and rare "features" (MP3 anchors, ZIP codes,
+//! Stanford e-mail addresses, …) injected with configurable per-page
+//! probabilities chosen so the paper's ten benchmark queries cover the
+//! same selectivity spectrum as the original evaluation: from
+//! `powerpc`-style needles (best case ≈300× speed-up in the paper) to
+//! `zip`/`phone`/`html`-style queries with no useful grams at all (index
+//! degenerates to a scan).
+//!
+//! Generation is deterministic given [`SynthConfig::seed`] and
+//! parallel-friendly: each page's RNG is seeded independently from
+//! `(seed, doc_id)`.
+
+mod page;
+mod vocab;
+
+pub use page::PageFeatures;
+pub use vocab::Vocabulary;
+
+use crate::{CorpusWriter, DiskCorpus, MemCorpus, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the synthetic corpus generator.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Number of pages to generate.
+    pub num_docs: usize,
+    /// Master seed; every page derives its own RNG from this.
+    pub seed: u64,
+    /// Vocabulary size (distinct background words).
+    pub vocab_size: usize,
+    /// Paragraphs per page (inclusive range).
+    pub min_paragraphs: usize,
+    /// See [`SynthConfig::min_paragraphs`].
+    pub max_paragraphs: usize,
+    /// Words per paragraph (inclusive range).
+    pub min_words_per_paragraph: usize,
+    /// See [`SynthConfig::min_words_per_paragraph`].
+    pub max_words_per_paragraph: usize,
+    /// Probability a paragraph carries an ordinary anchor (drives
+    /// `sel(<a href=) ≈ 1`, the paper's canonical useless gram).
+    pub p_plain_anchor: f64,
+    /// Probability a page links to an `.mp3` file (query `mp3`).
+    pub p_mp3_link: f64,
+    /// Probability a page has a `<script>` block (query `script`).
+    pub p_script_block: f64,
+    /// Probability a page contains invalid HTML (query `html`).
+    pub p_invalid_html: f64,
+    /// Probability a page shows a ZIP code (query `zip`).
+    pub p_zip_code: f64,
+    /// Probability a page shows a phone number (query `phone`).
+    pub p_phone_number: f64,
+    /// Probability a page mentions "william … clinton" (query `clinton`).
+    pub p_clinton: f64,
+    /// Probability a page mentions a Motorola PowerPC part (query
+    /// `powerpc`; the paper's best case).
+    pub p_powerpc: f64,
+    /// Probability a page links a paper near the word "sigmod" (query
+    /// `sigmod`).
+    pub p_sigmod: f64,
+    /// Probability a page shows a `stanford.edu` address (query
+    /// `stanford`).
+    pub p_stanford_email: f64,
+    /// Probability a page links an eBay auction item (query `ebay`).
+    pub p_ebay_item: f64,
+    /// Probability of a decoy `.ps`/`.pdf` link with no "sigmod" nearby.
+    pub p_decoy_doc_link: f64,
+    /// Probability of a generic (non-Stanford) e-mail address.
+    pub p_generic_email: f64,
+    /// Per-paragraph probability of a background number (keeps digit
+    /// grams useless, as on the real web).
+    pub p_background_number: f64,
+    /// Per-paragraph probability of a parenthetical aside.
+    pub p_background_parens: f64,
+    /// Per-paragraph probability of a hyphenated word pair.
+    pub p_background_hyphen: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            num_docs: 10_000,
+            seed: 0xF1EE_2002,
+            vocab_size: 4_000,
+            min_paragraphs: 2,
+            max_paragraphs: 6,
+            min_words_per_paragraph: 20,
+            max_words_per_paragraph: 120,
+            p_plain_anchor: 0.9,
+            p_mp3_link: 0.005,
+            p_script_block: 0.08,
+            p_invalid_html: 0.03,
+            p_zip_code: 0.05,
+            p_phone_number: 0.04,
+            p_clinton: 0.002,
+            p_powerpc: 0.0008,
+            p_sigmod: 0.0015,
+            p_stanford_email: 0.01,
+            p_ebay_item: 0.003,
+            p_decoy_doc_link: 0.01,
+            p_generic_email: 0.05,
+            p_background_number: 0.5,
+            p_background_parens: 0.4,
+            p_background_hyphen: 0.5,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small configuration for unit tests (fast to generate and index).
+    pub fn tiny(num_docs: usize, seed: u64) -> SynthConfig {
+        SynthConfig {
+            num_docs,
+            seed,
+            vocab_size: 300,
+            min_paragraphs: 1,
+            max_paragraphs: 3,
+            min_words_per_paragraph: 5,
+            max_words_per_paragraph: 30,
+            // Boost feature rates so small corpora still contain matches.
+            p_mp3_link: 0.05,
+            p_script_block: 0.15,
+            p_invalid_html: 0.08,
+            p_zip_code: 0.12,
+            p_phone_number: 0.10,
+            p_clinton: 0.03,
+            p_powerpc: 0.02,
+            p_sigmod: 0.03,
+            p_stanford_email: 0.05,
+            p_ebay_item: 0.04,
+            ..SynthConfig::default()
+        }
+    }
+}
+
+/// A generator for synthetic pages. Pages can be pulled one at a time
+/// ([`Generator::page`]) or materialized in bulk.
+#[derive(Clone, Debug)]
+pub struct Generator {
+    config: SynthConfig,
+    vocab: Vocabulary,
+}
+
+impl Generator {
+    /// Creates a generator (builds the vocabulary once).
+    pub fn new(config: SynthConfig) -> Generator {
+        let vocab = Vocabulary::new(config.vocab_size, config.seed);
+        Generator { config, vocab }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Generates page `doc_id` into `out` (cleared first); deterministic in
+    /// `(seed, doc_id)`.
+    pub fn page(&self, doc_id: u32, out: &mut Vec<u8>) -> PageFeatures {
+        out.clear();
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(doc_id),
+        );
+        page::generate_page(&self.config, &self.vocab, &mut rng, out)
+    }
+
+    /// Generates the whole corpus in memory, returning per-page features.
+    pub fn build_mem(&self) -> (MemCorpus, Vec<PageFeatures>) {
+        let mut corpus = MemCorpus::new();
+        let mut features = Vec::with_capacity(self.config.num_docs);
+        let mut buf = Vec::new();
+        for id in 0..self.config.num_docs as u32 {
+            features.push(self.page(id, &mut buf));
+            corpus.push(buf.clone());
+        }
+        (corpus, features)
+    }
+
+    /// Streams the whole corpus to disk, returning the opened corpus and
+    /// per-page features.
+    pub fn build_disk(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<(DiskCorpus, Vec<PageFeatures>)> {
+        let mut writer = CorpusWriter::create(dir)?;
+        let mut features = Vec::with_capacity(self.config.num_docs);
+        let mut buf = Vec::new();
+        for id in 0..self.config.num_docs as u32 {
+            features.push(self.page(id, &mut buf));
+            writer.append(&buf)?;
+        }
+        Ok((writer.finish()?, features))
+    }
+}
+
+/// Ground-truth counts of injected features, useful for checking query
+/// selectivities against generated corpora.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeatureCounts {
+    /// Pages with an MP3 anchor.
+    pub mp3_link: usize,
+    /// Pages with a script block.
+    pub script_block: usize,
+    /// Pages with invalid HTML.
+    pub invalid_html: usize,
+    /// Pages with a ZIP code.
+    pub zip_code: usize,
+    /// Pages with a phone number.
+    pub phone_number: usize,
+    /// Pages with a Clinton mention.
+    pub clinton: usize,
+    /// Pages with a PowerPC part number.
+    pub powerpc: usize,
+    /// Pages with a SIGMOD paper link.
+    pub sigmod: usize,
+    /// Pages with a Stanford e-mail address.
+    pub stanford_email: usize,
+    /// Pages with an eBay item link.
+    pub ebay_item: usize,
+}
+
+impl FeatureCounts {
+    /// Tallies a list of per-page features.
+    pub fn tally(features: &[PageFeatures]) -> FeatureCounts {
+        let mut c = FeatureCounts::default();
+        for f in features {
+            c.mp3_link += usize::from(f.mp3_link);
+            c.script_block += usize::from(f.script_block);
+            c.invalid_html += usize::from(f.invalid_html);
+            c.zip_code += usize::from(f.zip_code);
+            c.phone_number += usize::from(f.phone_number);
+            c.clinton += usize::from(f.clinton);
+            c.powerpc += usize::from(f.powerpc);
+            c.sigmod += usize::from(f.sigmod);
+            c.stanford_email += usize::from(f.stanford_email);
+            c.ebay_item += usize::from(f.ebay_item);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Corpus;
+
+    #[test]
+    fn deterministic_generation() {
+        let g1 = Generator::new(SynthConfig::tiny(20, 42));
+        let g2 = Generator::new(SynthConfig::tiny(20, 42));
+        let (c1, f1) = g1.build_mem();
+        let (c2, f2) = g2.build_mem();
+        assert_eq!(f1, f2);
+        for i in 0..20 {
+            assert_eq!(c1.get(i).unwrap(), c2.get(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (c1, _) = Generator::new(SynthConfig::tiny(5, 1)).build_mem();
+        let (c2, _) = Generator::new(SynthConfig::tiny(5, 2)).build_mem();
+        assert!((0..5).any(|i| c1.get(i).unwrap() != c2.get(i).unwrap()));
+    }
+
+    #[test]
+    fn pages_are_html_shaped() {
+        let g = Generator::new(SynthConfig::tiny(10, 7));
+        let mut buf = Vec::new();
+        for id in 0..10 {
+            g.page(id, &mut buf);
+            let s = String::from_utf8_lossy(&buf);
+            assert!(s.starts_with("<html>"), "{s}");
+            assert!(s.contains("</body></html>"), "{s}");
+            assert!(s.contains("<p>"), "{s}");
+        }
+    }
+
+    #[test]
+    fn features_present_in_bytes() {
+        // When a feature flag is set, the raw substring evidence must be in
+        // the page.
+        let g = Generator::new(SynthConfig::tiny(300, 11));
+        let (corpus, features) = g.build_mem();
+        let counts = FeatureCounts::tally(&features);
+        assert!(counts.mp3_link > 0, "tiny corpus should contain mp3 pages");
+        assert!(counts.clinton > 0);
+        assert!(counts.powerpc > 0);
+        for (i, f) in features.iter().enumerate() {
+            let page = corpus.get(i as u32).unwrap();
+            let s = String::from_utf8_lossy(&page);
+            if f.mp3_link {
+                assert!(s.contains(".mp3"), "doc {i}: {s}");
+            }
+            if f.script_block {
+                assert!(s.contains("<script>") && s.contains("</script>"), "doc {i}");
+            }
+            if f.clinton {
+                assert!(s.contains("william") && s.contains("clinton"), "doc {i}");
+            }
+            if f.powerpc {
+                assert!(s.contains("motorola"), "doc {i}");
+            }
+            if f.stanford_email {
+                assert!(s.contains("stanford.edu"), "doc {i}");
+            }
+            if f.ebay_item {
+                assert!(s.contains("ebay.com"), "doc {i}");
+            }
+            if f.sigmod {
+                assert!(s.contains("sigmod"), "doc {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_rates_close_to_config() {
+        let cfg = SynthConfig {
+            num_docs: 4000,
+            ..SynthConfig::default()
+        };
+        let g = Generator::new(cfg.clone());
+        let mut buf = Vec::new();
+        let mut features = Vec::new();
+        for id in 0..cfg.num_docs as u32 {
+            features.push(g.page(id, &mut buf));
+        }
+        let counts = FeatureCounts::tally(&features);
+        let rate = |n: usize| n as f64 / cfg.num_docs as f64;
+        // 3σ-ish sanity bands.
+        assert!((rate(counts.zip_code) - cfg.p_zip_code).abs() < 0.02);
+        assert!((rate(counts.script_block) - cfg.p_script_block).abs() < 0.02);
+        assert!(rate(counts.powerpc) < 0.01);
+    }
+
+    #[test]
+    fn disk_and_mem_builds_agree() {
+        let dir = std::env::temp_dir().join(format!("free-synth-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = Generator::new(SynthConfig::tiny(25, 3));
+        let (mem, f_mem) = g.build_mem();
+        let (disk, f_disk) = g.build_disk(&dir).unwrap();
+        assert_eq!(f_mem, f_disk);
+        assert_eq!(mem.len(), disk.len());
+        for i in 0..25u32 {
+            assert_eq!(mem.get(i).unwrap(), disk.get(i).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,298 @@
+//! Generation of one synthetic HTML-like page.
+
+use super::vocab::Vocabulary;
+use super::SynthConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which special features were injected into a page. Returned to callers
+/// so tests (and ground-truth tooling) can verify query selectivities
+/// without re-running a regex engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageFeatures {
+    /// Page contains an `<a href="....mp3">` anchor.
+    pub mp3_link: bool,
+    /// Page contains a `<script>...</script>` block.
+    pub script_block: bool,
+    /// Page contains a malformed tag (`<` inside an open tag).
+    pub invalid_html: bool,
+    /// Page contains a 5-digit ZIP code (possibly ZIP+4).
+    pub zip_code: bool,
+    /// Page contains a US phone number.
+    pub phone_number: bool,
+    /// Page contains "william `<word>` clinton".
+    pub clinton: bool,
+    /// Page contains "motorola ... mpc/xpc`<digits>`".
+    pub powerpc: bool,
+    /// Page contains a `.ps`/`.pdf` link followed closely by "sigmod".
+    pub sigmod: bool,
+    /// Page contains a `user@...stanford.edu` address.
+    pub stanford_email: bool,
+    /// Page contains an eBay auction item URL.
+    pub ebay_item: bool,
+}
+
+/// Emits one page into `out`, returning the injected features.
+pub fn generate_page(
+    cfg: &SynthConfig,
+    vocab: &Vocabulary,
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+) -> PageFeatures {
+    let f = PageFeatures {
+        mp3_link: rng.gen_bool(cfg.p_mp3_link),
+        script_block: rng.gen_bool(cfg.p_script_block),
+        invalid_html: rng.gen_bool(cfg.p_invalid_html),
+        zip_code: rng.gen_bool(cfg.p_zip_code),
+        phone_number: rng.gen_bool(cfg.p_phone_number),
+        clinton: rng.gen_bool(cfg.p_clinton),
+        powerpc: rng.gen_bool(cfg.p_powerpc),
+        sigmod: rng.gen_bool(cfg.p_sigmod),
+        stanford_email: rng.gen_bool(cfg.p_stanford_email),
+        ebay_item: rng.gen_bool(cfg.p_ebay_item),
+    };
+
+    let w = |rng: &mut StdRng, out: &mut Vec<u8>, vocab: &Vocabulary| {
+        out.extend_from_slice(vocab.sample(rng).as_bytes());
+    };
+
+    out.extend_from_slice(b"<html><head><title>");
+    for i in 0..rng.gen_range(2..5) {
+        if i > 0 {
+            out.push(b' ');
+        }
+        w(rng, out, vocab);
+    }
+    out.extend_from_slice(b"</title></head>\n<body>\n");
+
+    if f.script_block {
+        out.extend_from_slice(b"<script>var ");
+        w(rng, out, vocab);
+        out.extend_from_slice(b" = \"");
+        w(rng, out, vocab);
+        out.extend_from_slice(b"\";</script>\n");
+    }
+
+    // Paragraphs of Zipfian words with interleaved markup and features.
+    let paragraphs = rng.gen_range(cfg.min_paragraphs..=cfg.max_paragraphs);
+    // Choose which paragraph hosts each injected feature.
+    let pick = |rng: &mut StdRng| rng.gen_range(0..paragraphs);
+    let mp3_at = pick(rng);
+    let zip_at = pick(rng);
+    let phone_at = pick(rng);
+    let clinton_at = pick(rng);
+    let powerpc_at = pick(rng);
+    let sigmod_at = pick(rng);
+    let stanford_at = pick(rng);
+    let ebay_at = pick(rng);
+    let invalid_at = pick(rng);
+
+    for p in 0..paragraphs {
+        out.extend_from_slice(b"<p>");
+        let words = rng.gen_range(cfg.min_words_per_paragraph..=cfg.max_words_per_paragraph);
+        for i in 0..words {
+            if i > 0 {
+                out.push(b' ');
+            }
+            w(rng, out, vocab);
+        }
+        // Every page gets ordinary anchors, making `<a href=` nearly
+        // universal — the paper's canonical useless gram (Example 2.1).
+        if rng.gen_bool(cfg.p_plain_anchor) {
+            emit_plain_anchor(vocab, rng, out);
+        }
+        if f.mp3_link && p == mp3_at {
+            emit_mp3_anchor(vocab, rng, out);
+        }
+        if f.zip_code && p == zip_at {
+            emit_zip(rng, out);
+        }
+        if f.phone_number && p == phone_at {
+            emit_phone(rng, out);
+        }
+        if f.clinton && p == clinton_at {
+            out.extend_from_slice(b" president william ");
+            w(rng, out, vocab);
+            out.extend_from_slice(b" clinton ");
+        }
+        if f.powerpc && p == powerpc_at {
+            emit_powerpc(vocab, rng, out);
+        }
+        if f.sigmod && p == sigmod_at {
+            emit_sigmod(vocab, rng, out);
+        }
+        if f.stanford_email && p == stanford_at {
+            emit_stanford_email(vocab, rng, out);
+        }
+        if f.ebay_item && p == ebay_at {
+            emit_ebay(rng, out);
+        }
+        if f.invalid_html && p == invalid_at {
+            // An open tag interrupted by another `<`.
+            out.extend_from_slice(b"<img src=broken <b>oops</b>");
+        }
+        // Background numerals and punctuation keep digits, parentheses
+        // and hyphens ubiquitous, so digit/punct grams stay useless and
+        // the paper's zip/phone/html queries fall back to scans.
+        if rng.gen_bool(cfg.p_background_number) {
+            out.extend_from_slice(b" item ");
+            for _ in 0..rng.gen_range(2..6) {
+                out.push(b'0' + rng.gen_range(0..10));
+            }
+            out.push(b' ');
+        }
+        if rng.gen_bool(cfg.p_background_parens) {
+            out.extend_from_slice(b" (");
+            out.extend_from_slice(vocab.sample(rng).as_bytes());
+            out.extend_from_slice(b") ");
+        }
+        if rng.gen_bool(cfg.p_background_hyphen) {
+            out.push(b' ');
+            out.extend_from_slice(vocab.sample(rng).as_bytes());
+            out.push(b'-');
+            out.extend_from_slice(vocab.sample(rng).as_bytes());
+            out.push(b' ');
+        }
+        // Decoy document links (.ps/.pdf with no "sigmod" nearby).
+        if rng.gen_bool(cfg.p_decoy_doc_link) {
+            emit_doc_anchor(vocab, rng, out, false);
+        }
+        // Generic e-mail addresses at non-stanford hosts.
+        if rng.gen_bool(cfg.p_generic_email) {
+            out.push(b' ');
+            out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+            out.push(b'@');
+            out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+            out.extend_from_slice(b".com ");
+        }
+        out.extend_from_slice(b"</p>\n");
+    }
+
+    out.extend_from_slice(b"</body></html>\n");
+    f
+}
+
+fn emit_plain_anchor(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>) {
+    let exts = ["html", "htm", "php", "asp", "cgi"];
+    out.extend_from_slice(b"<a href=\"http://www.");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.extend_from_slice(b".com/");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.push(b'.');
+    out.extend_from_slice(exts[rng.gen_range(0..exts.len())].as_bytes());
+    out.extend_from_slice(b"\">");
+    out.extend_from_slice(vocab.sample(rng).as_bytes());
+    out.extend_from_slice(b"</a> ");
+}
+
+fn emit_mp3_anchor(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>) {
+    let quote: &[u8] = match rng.gen_range(0..3) {
+        0 => b"\"",
+        1 => b"'",
+        _ => b"",
+    };
+    out.extend_from_slice(b"<a href=");
+    out.extend_from_slice(quote);
+    out.extend_from_slice(b"http://media.");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.extend_from_slice(b".com/songs/");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.extend_from_slice(b".mp3");
+    out.extend_from_slice(quote);
+    out.extend_from_slice(b">listen</a> ");
+}
+
+fn emit_doc_anchor(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>, sigmod: bool) {
+    let ext: &[u8] = if rng.gen_bool(0.5) { b".ps" } else { b".pdf" };
+    out.extend_from_slice(b"<a href=\"http://db.");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.extend_from_slice(b".edu/papers/");
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.extend_from_slice(ext);
+    out.extend_from_slice(b"\">paper</a> ");
+    if sigmod {
+        out.extend_from_slice(b"appeared in sigmod ");
+    }
+}
+
+fn emit_sigmod(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>) {
+    emit_doc_anchor(vocab, rng, out, true);
+}
+
+fn emit_zip(rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.push(b' ');
+    for _ in 0..5 {
+        out.push(b'0' + rng.gen_range(0..10));
+    }
+    if rng.gen_bool(0.3) {
+        out.push(b'-');
+        for _ in 0..4 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+    }
+    out.push(b' ');
+}
+
+fn emit_phone(rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.push(b' ');
+    if rng.gen_bool(0.5) {
+        out.push(b'(');
+        for _ in 0..3 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+        out.extend_from_slice(b") ");
+        for _ in 0..3 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+        out.push(b'-');
+        for _ in 0..4 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+    } else {
+        for _ in 0..3 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+        out.push(b'-');
+        for _ in 0..3 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+        out.push(b'-');
+        for _ in 0..4 {
+            out.push(b'0' + rng.gen_range(0..10));
+        }
+    }
+    out.push(b' ');
+}
+
+fn emit_powerpc(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.extend_from_slice(b" motorola ");
+    out.extend_from_slice(vocab.sample(rng).as_bytes());
+    out.extend_from_slice(b" powerpc ");
+    out.extend_from_slice(if rng.gen_bool(0.5) { b"mpc" } else { b"xpc" });
+    let digits = rng.gen_range(3..5);
+    for _ in 0..digits {
+        out.push(b'0' + rng.gen_range(0..10));
+    }
+    if rng.gen_bool(0.4) {
+        out.push(b'e');
+    }
+    out.push(b' ');
+}
+
+fn emit_stanford_email(vocab: &Vocabulary, rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.push(b' ');
+    out.extend_from_slice(vocab.sample_uniform(rng).as_bytes());
+    out.push(b'@');
+    if rng.gen_bool(0.5) {
+        out.extend_from_slice(b"cs.");
+    }
+    out.extend_from_slice(b"stanford.edu ");
+}
+
+fn emit_ebay(rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"<a href=\"http://cgi.ebay.com/aw-cgi/ebayisapi.dll?viewitem&item=");
+    for _ in 0..rng.gen_range(8..11) {
+        out.push(b'0' + rng.gen_range(0..10));
+    }
+    out.extend_from_slice(b"\">auction</a> ");
+}

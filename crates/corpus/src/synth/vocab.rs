@@ -1,0 +1,150 @@
+//! A deterministic synthetic vocabulary with Zipfian sampling.
+//!
+//! Web-page text is approximated by words drawn from a fixed vocabulary
+//! under a Zipf distribution (frequency ∝ 1/rank), which is the standard
+//! model for natural-language word frequencies. Words are built from
+//! consonant-vowel syllables, so the *character n-gram* statistics also
+//! resemble text: short grams are ubiquitous (useless, in the paper's
+//! sense) while longer grams quickly become rare (useful) — exactly the
+//! regime the multigram miner is designed for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed word list plus a precomputed Zipf cumulative distribution.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative Zipf weights, normalized to end at 1.0.
+    cumulative: Vec<f64>,
+}
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnprstvwz";
+const VOWELS: &[u8] = b"aeiou";
+
+impl Vocabulary {
+    /// Builds a vocabulary of `size` distinct words, deterministically from
+    /// `seed`.
+    pub fn new(size: usize, seed: u64) -> Vocabulary {
+        assert!(size > 0, "vocabulary must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_u64);
+        let mut words = Vec::with_capacity(size);
+        let mut used = std::collections::HashSet::new();
+        while words.len() < size {
+            let syllables = rng.gen_range(1..=4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+                w.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+                // Occasionally a coda consonant, for gram diversity.
+                if rng.gen_bool(0.25) {
+                    w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+                }
+            }
+            if used.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        // Zipf CDF: weight of rank r (1-based) is 1/r.
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for r in 1..=size {
+            acc += 1.0 / r as f64;
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Vocabulary { words, cumulative }
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at a given rank (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Samples a word under the Zipf distribution.
+    pub fn sample<'v, R: Rng>(&'v self, rng: &mut R) -> &'v str {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.words.len() - 1);
+        &self.words[idx]
+    }
+
+    /// Samples a word uniformly (used for URL path segments, where the
+    /// Zipf head would create misleadingly common grams).
+    pub fn sample_uniform<'v, R: Rng>(&'v self, rng: &mut R) -> &'v str {
+        let idx = rng.gen_range(0..self.words.len());
+        &self.words[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Vocabulary::new(100, 7);
+        let b = Vocabulary::new(100, 7);
+        for i in 0..100 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+        let c = Vocabulary::new(100, 8);
+        assert!((0..100).any(|i| a.word(i) != c.word(i)));
+    }
+
+    #[test]
+    fn words_are_distinct_and_lowercase() {
+        let v = Vocabulary::new(500, 1);
+        let set: std::collections::HashSet<&str> = (0..500).map(|i| v.word(i)).collect();
+        assert_eq!(set.len(), 500);
+        for w in set {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let v = Vocabulary::new(1000, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            let w = v.sample(&mut rng);
+            let rank = (0..1000).find(|&i| v.word(i) == w).unwrap();
+            counts[rank] += 1;
+        }
+        // Rank 0 should be roughly 1/H(1000) ≈ 13% of samples; allow slack.
+        assert!(counts[0] > 8_000, "head count {}", counts[0]);
+        // The tail half should be collectively rare.
+        let tail: usize = counts[500..].iter().sum();
+        assert!(tail < 15_000, "tail count {tail}");
+        // Monotone-ish: head strictly more frequent than a deep tail rank.
+        assert!(counts[0] > counts[900] * 10);
+    }
+
+    #[test]
+    fn uniform_sampling_covers_tail() {
+        let v = Vocabulary::new(50, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(v.sample_uniform(&mut rng).to_string());
+        }
+        assert!(seen.len() > 45, "only {} of 50 words seen", seen.len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Engine configuration.
+
+use crate::{Error, Result};
+
+/// Which index family to build — the three columns of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Complete k-gram indexes for `k = 2..=max_gram_len` — the paper's
+    /// "optimal but prohibitively large" baseline.
+    Complete,
+    /// Minimal useful multigrams (Algorithm 3.1).
+    Multigram,
+    /// Multigrams further pruned to a presuf shell (§3.2, the shortest
+    /// common suffix rule). Called "Suffix" in Table 3.
+    Presuf,
+}
+
+impl IndexKind {
+    /// The label used in the paper's tables and figures.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            IndexKind::Complete => "Complete",
+            IndexKind::Multigram => "Multigram",
+            IndexKind::Presuf => "Suffix",
+        }
+    }
+}
+
+/// Tunables for index construction and query execution.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which index family to build.
+    pub index_kind: IndexKind,
+    /// The usefulness threshold `c` (Definition 3.4): a gram is useful if
+    /// `sel(x) <= c`. The paper's experiments fix `c = 0.1` and suggest
+    /// tying it to the random/sequential I/O cost ratio.
+    pub usefulness_threshold: f64,
+    /// Maximum gram length indexed; the paper cuts off at 10.
+    pub max_gram_len: usize,
+    /// How many gram lengths to evaluate per corpus scan. The paper notes
+    /// the gram keys can be identified "in less than 10 scans because we
+    /// identified useful grams of multiple lengths in one scan"; with the
+    /// default of 2 this needs ⌈10/2⌉ = 5 scans, matching §5.2.
+    pub lengths_per_pass: usize,
+    /// During planning, a character class with at most this many members
+    /// is rewritten as an OR of its members (paper §4.2 rewrites `[0-9]`
+    /// to `0|1|…|9`); larger classes become NULL. Keeping this modest
+    /// avoids plans that OR hundreds of useless single-byte grams.
+    pub class_expand_limit: usize,
+    /// Memory budget (encoded-postings bytes) for the external index
+    /// builder before it spills a run to disk.
+    pub build_memory_budget: usize,
+    /// Conjunction members whose estimated selectivity exceeds this are
+    /// pruned when a more selective member exists (the paper's Example
+    /// 2.1: skip looking up `<a href=` — its huge postings list costs
+    /// more than it filters). Only bites on indexes storing common grams
+    /// (the Complete baseline). `1.0` disables pruning.
+    pub prune_selectivity: f64,
+    /// Anchoring (the extension sketched in §1 of the paper): before
+    /// running the automaton over a candidate data unit, verify with a
+    /// Boyer-Moore-Horspool search that every literal the match requires
+    /// actually occurs. Rejects index false positives (e.g. a data unit
+    /// containing `.mp` and `mp3` but not `.mp3`) at sublinear cost.
+    pub use_anchoring: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            index_kind: IndexKind::Multigram,
+            usefulness_threshold: 0.1,
+            max_gram_len: 10,
+            lengths_per_pass: 2,
+            class_expand_limit: 16,
+            build_memory_budget: free_index::builder::DEFAULT_MEMORY_BUDGET,
+            prune_selectivity: 0.5,
+            use_anchoring: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration building the given index kind with defaults.
+    pub fn with_kind(kind: IndexKind) -> EngineConfig {
+        EngineConfig {
+            index_kind: kind,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Validates invariants, returning a [`Error::Config`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.usefulness_threshold) {
+            return Err(Error::Config(format!(
+                "usefulness threshold must be in [0,1], got {}",
+                self.usefulness_threshold
+            )));
+        }
+        if self.max_gram_len == 0 {
+            return Err(Error::Config("max_gram_len must be at least 1".into()));
+        }
+        if self.lengths_per_pass == 0 {
+            return Err(Error::Config("lengths_per_pass must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.prune_selectivity) {
+            return Err(Error::Config(format!(
+                "prune selectivity must be in [0,1], got {}",
+                self.prune_selectivity
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.usefulness_threshold, 0.1);
+        assert_eq!(c.max_gram_len, 10);
+        assert_eq!(c.index_kind, IndexKind::Multigram);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(IndexKind::Complete.paper_name(), "Complete");
+        assert_eq!(IndexKind::Multigram.paper_name(), "Multigram");
+        assert_eq!(IndexKind::Presuf.paper_name(), "Suffix");
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = [
+            EngineConfig {
+                usefulness_threshold: 1.5,
+                ..Default::default()
+            },
+            EngineConfig {
+                usefulness_threshold: -0.1,
+                ..Default::default()
+            },
+            EngineConfig {
+                max_gram_len: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                lengths_per_pass: 0,
+                ..Default::default()
+            },
+        ];
+        for config in bad {
+            assert!(config.validate().is_err(), "{config:?}");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The engine façade: index construction plus the query entry point.
+
+use crate::config::{EngineConfig, IndexKind};
+use crate::exec::{eval_plan, results::QueryResult};
+use crate::grams::GramMatcher;
+use crate::metrics::{BuildStats, QueryStats};
+use crate::plan::physical::PlanOptions;
+use crate::plan::{LogicalPlan, PhysicalPlan};
+use crate::select::{enumerate_complete, mine_multigrams, presuf_shell, SelectedGram};
+use crate::Result;
+use free_corpus::Corpus;
+use free_index::{IndexBuilder, IndexRead, IndexReader, MemIndex};
+use free_regex::{Finder, Regex};
+use std::path::Path;
+use std::time::Instant;
+
+/// A FREE engine: a corpus, a gram index over it, and the runtime
+/// machinery to answer regex queries (Figure 1's "runtime matching
+/// engine", with the index construction engine folded into the `build_*`
+/// constructors).
+pub struct Engine<C: Corpus, I: IndexRead> {
+    corpus: C,
+    index: I,
+    config: EngineConfig,
+    build_stats: BuildStats,
+}
+
+/// The all-in-memory engine used by tests and small corpora.
+pub type InMemoryEngine = Engine<free_corpus::MemCorpus, MemIndex>;
+
+/// Builds Boyer-Moore finders for the plan's required grams (anchoring).
+/// Grams of length 1 never reject realistic candidates and grams contained
+/// in a longer required gram are subsumed by it, so both are dropped.
+fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
+    let grams = logical.required_grams();
+    grams
+        .iter()
+        .filter(|g| g.len() >= 2)
+        .filter(|g| {
+            !grams
+                .iter()
+                .any(|other| other.len() > g.len() && other.windows(g.len()).any(|w| w == **g))
+        })
+        .map(|g| Finder::new(g))
+        .collect()
+}
+
+/// Selects gram keys per the configured index kind. Returns the keys and
+/// the number of corpus scans used.
+fn select_keys<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<(Vec<SelectedGram>, usize)> {
+    config.validate()?;
+    match config.index_kind {
+        IndexKind::Complete => {
+            let grams =
+                enumerate_complete(corpus, 2.min(config.max_gram_len), config.max_gram_len)?;
+            Ok((grams, 1))
+        }
+        IndexKind::Multigram => {
+            let sel = mine_multigrams(corpus, config)?;
+            Ok((sel.grams, sel.stats.passes))
+        }
+        IndexKind::Presuf => {
+            let sel = mine_multigrams(corpus, config)?;
+            let passes = sel.stats.passes;
+            Ok((presuf_shell(&sel.grams), passes))
+        }
+    }
+}
+
+/// Generates postings for the selected keys in one corpus scan, feeding
+/// them to `sink` in document order.
+fn generate_postings<C: Corpus>(
+    corpus: &C,
+    keys: &[SelectedGram],
+    sink: &mut dyn FnMut(&[u8], free_corpus::DocId) -> Result<()>,
+) -> Result<()> {
+    let patterns: Vec<&[u8]> = keys.iter().map(|g| &*g.gram).collect();
+    let mut matcher = GramMatcher::new(&patterns);
+    let mut pending: Result<()> = Ok(());
+    corpus.scan(&mut |doc, bytes| {
+        let mut ok = true;
+        matcher.match_distinct(bytes, u64::from(doc), &mut |pi| {
+            if pending.is_ok() {
+                if let Err(e) = sink(patterns[pi as usize], doc) {
+                    pending = Err(e);
+                    ok = false;
+                }
+            }
+        });
+        ok
+    })?;
+    pending
+}
+
+impl<C: Corpus> Engine<C, MemIndex> {
+    /// Builds an engine whose index lives in memory.
+    pub fn build_in_memory(corpus: C, config: EngineConfig) -> Result<Self> {
+        let select_start = Instant::now();
+        let (keys, passes) = select_keys(&corpus, &config)?;
+        let select_time = select_start.elapsed();
+
+        let construct_start = Instant::now();
+        let mut index = MemIndex::new();
+        generate_postings(&corpus, &keys, &mut |key, doc| {
+            index.add(key, doc);
+            Ok(())
+        })?;
+        let construct_time = construct_start.elapsed();
+
+        let build_stats = BuildStats {
+            select_time,
+            select_passes: passes,
+            construct_time,
+            num_keys: keys.len(),
+            index_stats: index.stats(),
+        };
+        Ok(Engine {
+            corpus,
+            index,
+            config,
+            build_stats,
+        })
+    }
+}
+
+impl<C: Corpus> Engine<C, IndexReader> {
+    /// Builds an engine whose index is constructed on disk at
+    /// `index_path` (using the external run-merge builder).
+    pub fn build_on_disk(
+        corpus: C,
+        config: EngineConfig,
+        index_path: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let select_start = Instant::now();
+        let (keys, passes) = select_keys(&corpus, &config)?;
+        let select_time = select_start.elapsed();
+
+        let construct_start = Instant::now();
+        let mut builder =
+            IndexBuilder::with_memory_budget(index_path.as_ref(), config.build_memory_budget);
+        generate_postings(&corpus, &keys, &mut |key, doc| {
+            builder.add(key, doc).map_err(Into::into)
+        })?;
+        let index = builder.finish()?;
+        let construct_time = construct_start.elapsed();
+
+        let build_stats = BuildStats {
+            select_time,
+            select_passes: passes,
+            construct_time,
+            num_keys: keys.len(),
+            index_stats: index.stats(),
+        };
+        Ok(Engine {
+            corpus,
+            index,
+            config,
+            build_stats,
+        })
+    }
+
+    /// Opens an engine over a previously built on-disk index.
+    pub fn open(corpus: C, config: EngineConfig, index_path: impl AsRef<Path>) -> Result<Self> {
+        let index = IndexReader::open(index_path)?;
+        let build_stats = BuildStats {
+            num_keys: index.num_keys(),
+            index_stats: index.stats(),
+            ..BuildStats::default()
+        };
+        Ok(Engine {
+            corpus,
+            index,
+            config,
+            build_stats,
+        })
+    }
+}
+
+impl<C: Corpus, I: IndexRead> Engine<C, I> {
+    /// The corpus being queried.
+    pub fn corpus(&self) -> &C {
+        &self.corpus
+    }
+
+    /// The gram index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Build-time statistics (Table 3's quantities).
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// Number of data units in the corpus.
+    pub fn num_docs(&self) -> usize {
+        self.corpus.len()
+    }
+
+    fn plan_options(&self) -> PlanOptions {
+        PlanOptions {
+            num_docs: self.corpus.len(),
+            prune_selectivity: self.config.prune_selectivity,
+        }
+    }
+
+    /// Compiles a query: parse, plan, and evaluate the index portion.
+    /// The returned [`QueryResult`] confirms matches lazily.
+    pub fn query(&self, pattern: &str) -> Result<QueryResult<'_, C, I>> {
+        let plan_start = Instant::now();
+        let regex = Regex::new(pattern)?;
+        let logical = LogicalPlan::from_ast(regex.ast(), self.config.class_expand_limit);
+        let physical = PhysicalPlan::from_logical_with(&logical, &self.index, self.plan_options());
+        let prefilter = if self.config.use_anchoring {
+            build_prefilter(&logical)
+        } else {
+            Vec::new()
+        };
+        let mut stats = QueryStats {
+            plan_time: plan_start.elapsed(),
+            used_scan: physical.is_scan(),
+            ..QueryStats::default()
+        };
+        let candidates = eval_plan(&physical, &self.index, &mut stats)?;
+        stats.candidates = candidates.len(self.corpus.len());
+        Ok(QueryResult::new(
+            self, regex, logical, physical, candidates, prefilter, stats,
+        ))
+    }
+
+    /// Human-readable plan description for a query (does not execute it).
+    pub fn explain(&self, pattern: &str) -> Result<String> {
+        let regex = Regex::new(pattern)?;
+        let logical = LogicalPlan::from_ast(regex.ast(), self.config.class_expand_limit);
+        let physical = PhysicalPlan::from_logical_with(&logical, &self.index, self.plan_options());
+        Ok(format!(
+            "pattern:  {pattern}\nlogical:  {logical:?}\nphysical: {physical:?}\nestimate: {} candidate(s)",
+            match physical.estimate() {
+                usize::MAX => "all".to_string(),
+                n => n.to_string(),
+            }
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use free_corpus::synth::{Generator, SynthConfig};
+    use free_corpus::MemCorpus;
+
+    fn tiny_corpus() -> MemCorpus {
+        let (corpus, _) = Generator::new(SynthConfig::tiny(120, 9)).build_mem();
+        corpus
+    }
+
+    #[test]
+    fn build_in_memory_and_query() {
+        let corpus = MemCorpus::from_docs(vec![
+            b"alpha beta".to_vec(),
+            b"gamma delta".to_vec(),
+            b"alpha gamma".to_vec(),
+        ]);
+        let engine = Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                usefulness_threshold: 0.7,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut r = engine.query("alpha").unwrap();
+        assert_eq!(r.matching_docs().unwrap(), vec![0, 2]);
+        assert!(!r.used_scan());
+    }
+
+    #[test]
+    fn index_and_scan_agree_on_synthetic_corpus() {
+        let corpus = tiny_corpus();
+        let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
+        for pattern in [
+            r"\.mp3",
+            "clinton",
+            "motorola",
+            "<script>",
+            "stanford",
+            r"\d\d\d\d\d",
+            "nosuchstringanywhere",
+        ] {
+            let (want, _) = baseline::scan_matching_docs(engine.corpus(), pattern).unwrap();
+            let mut r = engine.query(pattern).unwrap();
+            let got = r.matching_docs().unwrap();
+            assert_eq!(got, want, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn presuf_and_complete_agree_with_multigram() {
+        let corpus = tiny_corpus();
+        let multigram = Engine::build_in_memory(
+            corpus.clone(),
+            EngineConfig::with_kind(IndexKind::Multigram),
+        )
+        .unwrap();
+        let presuf =
+            Engine::build_in_memory(corpus.clone(), EngineConfig::with_kind(IndexKind::Presuf))
+                .unwrap();
+        let complete_cfg = EngineConfig {
+            max_gram_len: 6, // keep the complete index small in tests
+            ..EngineConfig::with_kind(IndexKind::Complete)
+        };
+        let complete = Engine::build_in_memory(corpus, complete_cfg).unwrap();
+        for pattern in [
+            r"william\s+[a-z]+\s+clinton",
+            r"\.mp3",
+            "<script>.*</script>",
+        ] {
+            let mut a = multigram.query(pattern).unwrap();
+            let mut b = presuf.query(pattern).unwrap();
+            let mut c = complete.query(pattern).unwrap();
+            let want = a.matching_docs().unwrap();
+            assert_eq!(b.matching_docs().unwrap(), want, "{pattern} presuf");
+            assert_eq!(c.matching_docs().unwrap(), want, "{pattern} complete");
+        }
+    }
+
+    #[test]
+    fn presuf_index_is_smaller() {
+        let corpus = tiny_corpus();
+        let multigram = Engine::build_in_memory(
+            corpus.clone(),
+            EngineConfig::with_kind(IndexKind::Multigram),
+        )
+        .unwrap();
+        let presuf =
+            Engine::build_in_memory(corpus, EngineConfig::with_kind(IndexKind::Presuf)).unwrap();
+        let m = multigram.build_stats();
+        let p = presuf.build_stats();
+        assert!(p.num_keys <= m.num_keys);
+        assert!(p.index_stats.num_postings <= m.index_stats.num_postings);
+    }
+
+    #[test]
+    fn complete_index_is_larger() {
+        let corpus = tiny_corpus();
+        let cfg = EngineConfig {
+            max_gram_len: 5,
+            ..EngineConfig::with_kind(IndexKind::Complete)
+        };
+        let complete = Engine::build_in_memory(corpus.clone(), cfg).unwrap();
+        let multigram = Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                max_gram_len: 5,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // The tiny test corpus has boosted feature rates and a small
+        // vocabulary, so the gap is far smaller than Table 3's 100x; the
+        // full experiment harness reproduces the paper-scale ratio.
+        assert!(
+            complete.build_stats().num_keys > multigram.build_stats().num_keys * 2,
+            "complete {} vs multigram {}",
+            complete.build_stats().num_keys,
+            multigram.build_stats().num_keys
+        );
+    }
+
+    #[test]
+    fn on_disk_engine_agrees_with_memory() {
+        let dir = std::env::temp_dir().join(format!("free-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = tiny_corpus();
+        let mem = Engine::build_in_memory(corpus.clone(), EngineConfig::default()).unwrap();
+        let disk = Engine::build_on_disk(
+            corpus.clone(),
+            EngineConfig::default(),
+            dir.join("idx.free"),
+        )
+        .unwrap();
+        assert_eq!(
+            mem.build_stats().index_stats.num_keys,
+            disk.build_stats().index_stats.num_keys
+        );
+        assert_eq!(
+            mem.build_stats().index_stats.num_postings,
+            disk.build_stats().index_stats.num_postings
+        );
+        for pattern in ["clinton", r"\.mp3", "ebay"] {
+            let mut a = mem.query(pattern).unwrap();
+            let mut b = disk.query(pattern).unwrap();
+            assert_eq!(
+                a.matching_docs().unwrap(),
+                b.matching_docs().unwrap(),
+                "{pattern}"
+            );
+        }
+        // Reopen from disk.
+        let reopened = Engine::open(corpus, EngineConfig::default(), dir.join("idx.free")).unwrap();
+        let mut r = reopened.query("clinton").unwrap();
+        let mut a = mem.query("clinton").unwrap();
+        assert_eq!(r.matching_docs().unwrap(), a.matching_docs().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_output() {
+        let corpus = tiny_corpus();
+        let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
+        let out = engine.explain("(Bill|William).*Clinton").unwrap();
+        assert!(out.contains("logical:"), "{out}");
+        assert!(out.contains("physical:"), "{out}");
+        let out = engine.explain(r"\d\d\d\d\d").unwrap();
+        assert!(out.contains("SCAN"), "{out}");
+    }
+
+    #[test]
+    fn anchoring_rejects_index_false_positives() {
+        // A doc containing ".mp" and "mp3" separately satisfies the
+        // substring-cover plan for the gram ".mp3" but not the literal;
+        // the anchoring prefilter must reject it without a DFA pass.
+        let corpus = MemCorpus::from_docs(vec![
+            b"rare.mp here and xmp3 there plus qqfiller".to_vec(),
+            b"a real song.mp3qq link".to_vec(),
+            b"background noise qq".to_vec(),
+        ]);
+        let engine = Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                usefulness_threshold: 0.7,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut r = engine.query(r"\.mp3qq").unwrap();
+        let docs = r.matching_docs().unwrap();
+        assert_eq!(docs, vec![1]);
+        let with_anchor = r.stats().docs_prefiltered;
+        // Same query with anchoring disabled: same answer, no prefilter.
+        let engine2 = Engine::build_in_memory(
+            engine.corpus().clone(),
+            EngineConfig {
+                usefulness_threshold: 0.7,
+                use_anchoring: false,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut r2 = engine2.query(r"\.mp3qq").unwrap();
+        assert_eq!(r2.matching_docs().unwrap(), vec![1]);
+        assert_eq!(r2.stats().docs_prefiltered, 0);
+        // The anchored run may or may not have had a false positive to
+        // reject depending on the candidate set; it must never exceed the
+        // examined count.
+        assert!(with_anchor <= r.stats().docs_examined);
+    }
+
+    #[test]
+    fn invalid_pattern_errors() {
+        let corpus = MemCorpus::from_docs(vec![b"x".to_vec()]);
+        let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
+        assert!(engine.query("(").is_err());
+    }
+
+    #[test]
+    fn selective_queries_avoid_most_of_the_corpus() {
+        let corpus = tiny_corpus();
+        let n = corpus.len();
+        let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
+        let mut r = engine.query("motorola.*(xpc|mpc)[0-9]+").unwrap();
+        let _ = r.matching_docs().unwrap();
+        assert!(!r.used_scan(), "selective query should use the index");
+        assert!(
+            r.stats().docs_examined < n / 2,
+            "examined {} of {}",
+            r.stats().docs_examined,
+            n
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Query results: lazily-confirmed matches with cost accounting.
+
+use super::{confirm, Candidates};
+use crate::engine::Engine;
+use crate::metrics::QueryStats;
+use crate::plan::{LogicalPlan, PhysicalPlan};
+use crate::Result;
+use free_corpus::{Corpus, DocId};
+use free_index::IndexRead;
+use free_regex::{Finder, Regex, Span};
+
+/// All matches within one data unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocMatches {
+    /// The data unit.
+    pub doc: DocId,
+    /// Match spans within the unit, in order.
+    pub spans: Vec<Span>,
+}
+
+/// The result of compiling and index-evaluating a query.
+///
+/// Plan generation and postings retrieval happen eagerly in
+/// [`Engine::query`](crate::Engine::query); the expensive confirmation
+/// step (reading candidate data units, running the full matcher) is
+/// deferred to the accessor methods so first-k queries can stop early —
+/// the behaviour behind the paper's Figure 11 response-time experiment.
+pub struct QueryResult<'e, C: Corpus, I: IndexRead> {
+    engine: &'e Engine<C, I>,
+    regex: Regex,
+    logical: LogicalPlan,
+    physical: PhysicalPlan,
+    candidates: Candidates,
+    prefilter: Vec<Finder>,
+    stats: QueryStats,
+}
+
+impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
+    pub(crate) fn new(
+        engine: &'e Engine<C, I>,
+        regex: Regex,
+        logical: LogicalPlan,
+        physical: PhysicalPlan,
+        candidates: Candidates,
+        prefilter: Vec<Finder>,
+        stats: QueryStats,
+    ) -> Self {
+        QueryResult {
+            engine,
+            regex,
+            logical,
+            physical,
+            candidates,
+            prefilter,
+            stats,
+        }
+    }
+
+    /// The logical access plan (Algorithm 4.1 output).
+    pub fn logical_plan(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// The physical access plan (§4.3 output).
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Cost counters accumulated so far. Confirmation costs appear after
+    /// one of the match accessors has run.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Number of candidate data units the index narrowed the query to.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len(self.engine.num_docs())
+    }
+
+    /// Whether the query fell back to a full scan.
+    pub fn used_scan(&self) -> bool {
+        self.stats.used_scan
+    }
+
+    /// Data units containing at least one match (the paper's `M(r)`),
+    /// confirmed against the raw corpus.
+    pub fn matching_docs(&mut self) -> Result<Vec<DocId>> {
+        let mut out = Vec::new();
+        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
+        confirm(
+            corpus,
+            regex,
+            candidates,
+            false,
+            &self.prefilter,
+            &mut self.stats,
+            &mut |doc, _| {
+                out.push(doc);
+                true
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Every match span in every matching data unit.
+    pub fn all_matches(&mut self) -> Result<Vec<DocMatches>> {
+        let mut out = Vec::new();
+        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
+        confirm(
+            corpus,
+            regex,
+            candidates,
+            true,
+            &self.prefilter,
+            &mut self.stats,
+            &mut |doc, spans| {
+                out.push(DocMatches { doc, spans });
+                true
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Total number of matching strings (the paper's "result size").
+    pub fn count_matches(&mut self) -> Result<usize> {
+        Ok(self.all_matches()?.iter().map(|d| d.spans.len()).sum())
+    }
+
+    /// The first `k` matching strings in document order, stopping the
+    /// confirmation as soon as they are found (Figure 11's measurement).
+    pub fn first_k_matches(&mut self, k: usize) -> Result<Vec<(DocId, Span)>> {
+        let mut out: Vec<(DocId, Span)> = Vec::with_capacity(k);
+        if k == 0 {
+            return Ok(out);
+        }
+        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
+        confirm(
+            corpus,
+            regex,
+            candidates,
+            true,
+            &self.prefilter,
+            &mut self.stats,
+            &mut |doc, spans| {
+                for s in spans {
+                    if out.len() >= k {
+                        break;
+                    }
+                    out.push((doc, s));
+                }
+                out.len() < k
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Consumes the result, returning the accumulated statistics.
+    pub fn into_stats(self) -> QueryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Engine, EngineConfig};
+    use free_corpus::MemCorpus;
+
+    fn engine() -> crate::InMemoryEngine {
+        let corpus = MemCorpus::from_docs(vec![
+            b"the needle is here".to_vec(),
+            b"plain hay".to_vec(),
+            b"needle needle".to_vec(),
+            b"more hay".to_vec(),
+        ]);
+        Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                usefulness_threshold: 0.6,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matching_docs_and_counts() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        assert_eq!(r.matching_docs().unwrap(), vec![0, 2]);
+        let mut r = e.query("needle").unwrap();
+        assert_eq!(r.count_matches().unwrap(), 3);
+    }
+
+    #[test]
+    fn all_matches_spans() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        let ms = r.all_matches().unwrap();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].doc, 0);
+        assert_eq!(ms[0].spans.len(), 1);
+        assert_eq!(ms[1].spans.len(), 2);
+    }
+
+    #[test]
+    fn first_k_stops_early() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        let first = r.first_k_matches(1).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0, 0);
+        // Only the first candidate should have been examined.
+        assert_eq!(r.stats().docs_examined, 1);
+    }
+
+    #[test]
+    fn first_k_more_than_available() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        let all = r.first_k_matches(100).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn first_zero() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        assert!(r.first_k_matches(0).unwrap().is_empty());
+        assert_eq!(r.stats().docs_examined, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        assert_eq!(r.stats().docs_examined, 0);
+        let _ = r.matching_docs().unwrap();
+        assert!(r.stats().docs_examined > 0);
+        let stats = r.into_stats();
+        assert_eq!(stats.matching_docs, 2);
+    }
+}

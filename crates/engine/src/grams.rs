@@ -1,0 +1,275 @@
+//! Multi-pattern gram matching: a from-scratch Aho-Corasick automaton.
+//!
+//! The final index-construction scan must, for every data unit, find which
+//! of the selected gram keys occur in it (to emit postings). Probing a hash
+//! set at every position × every length is `O(len · max_gram_len)` hash
+//! work; an Aho-Corasick automaton does it in `O(len)` byte transitions,
+//! the same trick production string engines use. Matches are reported once
+//! per `(pattern, document)` via a stamp vector, because the paper's
+//! postings record *data units containing* a gram, not occurrences.
+
+use rustc_hash::FxHashMap;
+
+/// A set of byte patterns compiled into an Aho-Corasick automaton.
+#[derive(Clone, Debug)]
+pub struct GramMatcher {
+    /// goto function: per-state sparse byte transitions.
+    goto: Vec<FxHashMap<u8, u32>>,
+    /// failure links.
+    fail: Vec<u32>,
+    /// pattern indices ending at each state.
+    output: Vec<Vec<u32>>,
+    /// number of patterns.
+    num_patterns: usize,
+    /// per-pattern "seen in current doc" stamps.
+    stamps: Vec<u64>,
+}
+
+impl GramMatcher {
+    /// Builds the automaton from `patterns`. Empty patterns are rejected
+    /// by debug assertion (grams are never empty).
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> GramMatcher {
+        // Trie construction.
+        let mut goto: Vec<FxHashMap<u8, u32>> = vec![FxHashMap::default()];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            debug_assert!(!pat.is_empty(), "gram patterns must be non-empty");
+            let mut state = 0u32;
+            for &b in pat {
+                state = match goto[state as usize].get(&b) {
+                    Some(&next) => next,
+                    None => {
+                        let next = goto.len() as u32;
+                        goto.push(FxHashMap::default());
+                        output.push(Vec::new());
+                        goto[state as usize].insert(b, next);
+                        next
+                    }
+                };
+            }
+            output[state as usize].push(pi as u32);
+        }
+        // Failure links by BFS (standard construction); output sets are
+        // merged down fail links so each state directly lists all patterns
+        // ending there.
+        let mut fail = vec![0u32; goto.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for (_, &s) in goto[0].iter() {
+            fail[s as usize] = 0;
+            queue.push_back(s);
+        }
+        while let Some(s) = queue.pop_front() {
+            // Inherit outputs when a state is *popped*: its fail target is
+            // strictly shallower, so BFS order guarantees it is final.
+            let inherited = output[fail[s as usize] as usize].clone();
+            output[s as usize].extend(inherited);
+            let transitions: Vec<(u8, u32)> =
+                goto[s as usize].iter().map(|(&b, &t)| (b, t)).collect();
+            for (b, t) in transitions {
+                queue.push_back(t);
+                // Follow fail links of s until a state with a b-transition.
+                let mut f = fail[s as usize];
+                loop {
+                    if let Some(&next) = goto[f as usize].get(&b) {
+                        if next != t {
+                            fail[t as usize] = next;
+                        }
+                        break;
+                    }
+                    if f == 0 {
+                        fail[t as usize] = 0;
+                        break;
+                    }
+                    f = fail[f as usize];
+                }
+            }
+        }
+        GramMatcher {
+            goto,
+            fail,
+            output,
+            num_patterns: patterns.len(),
+            stamps: vec![u64::MAX; patterns.len()],
+        }
+    }
+
+    /// Number of patterns in the automaton.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of automaton states (for diagnostics).
+    pub fn num_states(&self) -> usize {
+        self.goto.len()
+    }
+
+    #[inline]
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(&next) = self.goto[state as usize].get(&b) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.fail[state as usize];
+        }
+    }
+
+    /// Scans `haystack` and invokes `on_match(pattern_index)` once for
+    /// each *distinct* pattern found. `doc_stamp` must be unique per call
+    /// scope (e.g. the document id) — it powers occurrence deduplication
+    /// without clearing state between documents.
+    pub fn match_distinct(
+        &mut self,
+        haystack: &[u8],
+        doc_stamp: u64,
+        on_match: &mut dyn FnMut(u32),
+    ) {
+        debug_assert_ne!(
+            doc_stamp,
+            u64::MAX,
+            "u64::MAX is the unstamped sentinel and would suppress matches"
+        );
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.step(state, b);
+            for &pi in &self.output[state as usize] {
+                if self.stamps[pi as usize] != doc_stamp {
+                    self.stamps[pi as usize] = doc_stamp;
+                    on_match(pi);
+                }
+            }
+        }
+    }
+
+    /// Convenience: the distinct pattern indices in `haystack`, sorted.
+    pub fn distinct_patterns(&mut self, haystack: &[u8], doc_stamp: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.match_distinct(haystack, doc_stamp, &mut |pi| out.push(pi));
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(patterns: &[&str], haystack: &str) -> Vec<String> {
+        let mut m = GramMatcher::new(patterns);
+        m.distinct_patterns(haystack.as_bytes(), 1)
+            .into_iter()
+            .map(|pi| patterns[pi as usize].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn single_pattern() {
+        assert_eq!(find(&["abc"], "xxabcxx"), vec!["abc"]);
+        assert!(find(&["abc"], "xxabxcx").is_empty());
+    }
+
+    #[test]
+    fn multiple_patterns_distinct() {
+        let got = find(&["he", "she", "his", "hers"], "ushers");
+        assert_eq!(got, vec!["he", "she", "hers"]);
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let got = find(&["a", "ab", "abc", "bc"], "abc");
+        assert_eq!(got, vec!["a", "ab", "abc", "bc"]);
+    }
+
+    #[test]
+    fn repeated_occurrences_reported_once() {
+        let mut m = GramMatcher::new(&["ab"]);
+        let mut count = 0;
+        m.match_distinct(b"ababab", 7, &mut |_| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn stamps_isolate_documents() {
+        let mut m = GramMatcher::new(&["xy"]);
+        assert_eq!(m.distinct_patterns(b"xy", 1).len(), 1);
+        // Same stamp: suppressed (simulates same doc scanned twice).
+        assert_eq!(m.distinct_patterns(b"xy", 1).len(), 0);
+        // New stamp: reported again.
+        assert_eq!(m.distinct_patterns(b"xy", 2).len(), 1);
+    }
+
+    #[test]
+    fn empty_haystack_and_no_patterns() {
+        let mut m = GramMatcher::new::<&[u8]>(&[]);
+        assert_eq!(m.num_patterns(), 0);
+        m.match_distinct(b"anything", 1, &mut |_| panic!("no patterns"));
+        let mut m = GramMatcher::new(&["x"]);
+        m.match_distinct(b"", 1, &mut |_| panic!("empty haystack"));
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let patterns: Vec<Vec<u8>> = vec![vec![0u8, 255], vec![255, 0]];
+        let mut m = GramMatcher::new(&patterns);
+        let hits = m.distinct_patterns(&[1u8, 0, 255, 0, 2], 1);
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn agrees_with_naive_search() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for round in 0..50 {
+            let num_pats = rng.gen_range(1..8);
+            let patterns: Vec<Vec<u8>> = (0..num_pats)
+                .map(|_| {
+                    (0..rng.gen_range(1..5))
+                        .map(|_| b"ab"[rng.gen_range(0..2)])
+                        .collect()
+                })
+                .collect();
+            let haystack: Vec<u8> = (0..rng.gen_range(0..40))
+                .map(|_| b"ab"[rng.gen_range(0..2)])
+                .collect();
+            let mut m = GramMatcher::new(&patterns);
+            let got = m.distinct_patterns(&haystack, round);
+            let want: Vec<u32> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| haystack.windows(p.len()).any(|w| w == &p[..]))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "patterns {patterns:?} haystack {haystack:?}");
+        }
+    }
+
+    #[test]
+    fn long_haystack_and_many_patterns() {
+        // Cross-check against contains() on a larger haystack.
+        let patterns: Vec<String> = (0..60).map(|i| format!("tok{i:02}")).collect();
+        let mut hay = String::new();
+        for i in (0..60).step_by(3) {
+            hay.push_str(&format!("padding tok{i:02} more padding "));
+        }
+        let mut m = GramMatcher::new(&patterns);
+        let got = m.distinct_patterns(hay.as_bytes(), 1);
+        let want: Vec<u32> = patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| hay.contains(p.as_str()))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_patterns_each_reported() {
+        // Two identical patterns: both indices fire.
+        let got = find(&["aa", "aa"], "aa");
+        assert_eq!(got.len(), 2);
+    }
+}

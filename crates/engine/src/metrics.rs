@@ -1,0 +1,143 @@
+//! Query- and build-time metrics.
+//!
+//! The paper's figures report wall-clock seconds on a 450 MHz Pentium III;
+//! our reproduction reports both wall-clock *and* logical cost counters
+//! (data units examined, bytes scanned, postings decoded) so the shape of
+//! the results can be compared independent of hardware.
+
+use std::time::Duration;
+
+/// Cost accounting for one query execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Time spent parsing the regex and generating the plan.
+    pub plan_time: Duration,
+    /// Time spent fetching and combining postings lists.
+    pub index_time: Duration,
+    /// Time spent reading candidate data units and confirming matches.
+    pub confirm_time: Duration,
+    /// Whether the plan degenerated to a full corpus scan (the paper's
+    /// `zip`/`phone`/`html` cases).
+    pub used_scan: bool,
+    /// Number of index keys whose postings were fetched.
+    pub keys_fetched: usize,
+    /// Total postings decoded across those keys.
+    pub postings_decoded: u64,
+    /// Candidate data units selected by the index (equals the corpus size
+    /// when `used_scan`).
+    pub candidates: usize,
+    /// Data units actually read and examined by the matcher.
+    pub docs_examined: usize,
+    /// Data units rejected by the anchoring literal prefilter, without
+    /// running the automaton.
+    pub docs_prefiltered: usize,
+    /// Bytes of document data examined.
+    pub bytes_examined: u64,
+    /// Data units containing at least one match (the paper's `M(r)`).
+    pub matching_docs: usize,
+    /// Total matching strings found (the paper's "result size").
+    pub match_count: usize,
+}
+
+impl QueryStats {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.plan_time + self.index_time + self.confirm_time
+    }
+
+    /// Fraction of the corpus that had to be examined (lower is better;
+    /// 1.0 for scans).
+    pub fn examine_fraction(&self, corpus_docs: usize) -> f64 {
+        if corpus_docs == 0 {
+            0.0
+        } else {
+            self.docs_examined as f64 / corpus_docs as f64
+        }
+    }
+}
+
+impl core::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "plan {:?} + index {:?} + confirm {:?}; {} keys, {} postings, \
+             {} candidates, {} docs examined ({} bytes, {} prefiltered), \
+             {} matching docs, {} matches{}",
+            self.plan_time,
+            self.index_time,
+            self.confirm_time,
+            self.keys_fetched,
+            self.postings_decoded,
+            self.candidates,
+            self.docs_examined,
+            self.bytes_examined,
+            self.docs_prefiltered,
+            self.matching_docs,
+            self.match_count,
+            if self.used_scan {
+                " [scan fallback]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Cost accounting for an index build.
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// Time spent mining/selecting gram keys.
+    pub select_time: Duration,
+    /// Corpus scans used by selection.
+    pub select_passes: usize,
+    /// Time spent generating postings and constructing the index.
+    pub construct_time: Duration,
+    /// Number of gram keys selected.
+    pub num_keys: usize,
+    /// Final index statistics.
+    pub index_stats: free_index::IndexStats,
+}
+
+impl BuildStats {
+    /// Total build time.
+    pub fn total_time(&self) -> Duration {
+        self.select_time + self.construct_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = QueryStats {
+            plan_time: Duration::from_millis(1),
+            index_time: Duration::from_millis(2),
+            confirm_time: Duration::from_millis(3),
+            docs_examined: 25,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+        assert!((s.examine_fraction(100) - 0.25).abs() < 1e-12);
+        assert_eq!(s.examine_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_scan_fallback() {
+        let mut s = QueryStats::default();
+        assert!(!s.to_string().contains("scan fallback"));
+        s.used_scan = true;
+        assert!(s.to_string().contains("scan fallback"));
+    }
+
+    #[test]
+    fn build_stats_total() {
+        let b = BuildStats {
+            select_time: Duration::from_secs(1),
+            construct_time: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(b.total_time(), Duration::from_secs(3));
+    }
+}

@@ -1,0 +1,430 @@
+//! The logical index access plan (Algorithm 4.1, Figure 5).
+//!
+//! A regex is reduced to a boolean combination of *required grams*: a tree
+//! of AND/OR nodes over literal byte strings, where NULL marks subtrees
+//! that cannot constrain the candidate set (anything adorned with `*`, any
+//! large character class, the empty expression). The paper's Table 2 rules
+//! then eliminate NULLs: `x AND NULL = x`, `x OR NULL = NULL`.
+//!
+//! Small character classes are rewritten as alternations first (the paper
+//! rewrites `[0-9]` to `0|1|…|9` in Step \[1\]); classes above
+//! [`class_expand_limit`](crate::EngineConfig::class_expand_limit) members
+//! go straight to NULL, since ORing many one-byte grams never filters
+//! anything in practice.
+//!
+//! Adjacent exact literals in a concatenation merge into longer grams —
+//! `Clint` + `on` must appear *contiguously* in any match, so the plan can
+//! demand the single, more selective gram `Clinton`. Merging is only
+//! sound across subexpressions that match exactly one string, which the
+//! builder tracks explicitly.
+
+use free_regex::Ast;
+use std::fmt;
+
+/// A logical index access plan.
+#[derive(Clone, PartialEq, Eq)]
+pub enum LogicalPlan {
+    /// A gram that must occur in every matching data unit.
+    Gram(Vec<u8>),
+    /// All children must be satisfied.
+    And(Vec<LogicalPlan>),
+    /// At least one child must be satisfied.
+    Or(Vec<LogicalPlan>),
+    /// No constraint: every data unit satisfies this node (logical TRUE).
+    Null,
+}
+
+impl LogicalPlan {
+    /// Builds the logical plan for a parsed regex.
+    pub fn from_ast(ast: &Ast, class_expand_limit: usize) -> LogicalPlan {
+        build(ast, class_expand_limit).plan
+    }
+
+    /// Smart AND constructor applying Table 2 (`x AND NULL = x`), flattening
+    /// and deduplication.
+    pub fn and(children: Vec<LogicalPlan>) -> LogicalPlan {
+        let mut out = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                LogicalPlan::Null => {}
+                LogicalPlan::And(inner) => out.extend(inner),
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => LogicalPlan::Null,
+            1 => out.pop().expect("len checked"),
+            _ => LogicalPlan::And(out),
+        }
+    }
+
+    /// Smart OR constructor applying Table 2 (`x OR NULL = NULL`),
+    /// flattening and deduplication.
+    pub fn or(children: Vec<LogicalPlan>) -> LogicalPlan {
+        let mut out = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                LogicalPlan::Null => return LogicalPlan::Null,
+                LogicalPlan::Or(inner) => out.extend(inner),
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => LogicalPlan::Null,
+            1 => out.pop().expect("len checked"),
+            _ => LogicalPlan::Or(out),
+        }
+    }
+
+    /// Whether the plan is the unconstrained NULL (forcing a full scan).
+    pub fn is_null(&self) -> bool {
+        matches!(self, LogicalPlan::Null)
+    }
+
+    /// The grams that every matching data unit must contain: the root
+    /// gram, or the direct gram children of a root AND. Grams under an OR
+    /// are not individually required. Used by the anchoring prefilter.
+    pub fn required_grams(&self) -> Vec<&[u8]> {
+        match self {
+            LogicalPlan::Gram(g) => vec![g],
+            LogicalPlan::And(cs) => cs
+                .iter()
+                .filter_map(|c| match c {
+                    LogicalPlan::Gram(g) => Some(g.as_slice()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All grams mentioned by the plan (for diagnostics).
+    pub fn grams(&self) -> Vec<&[u8]> {
+        let mut out = Vec::new();
+        self.collect_grams(&mut out);
+        out
+    }
+
+    fn collect_grams<'a>(&'a self, out: &mut Vec<&'a [u8]>) {
+        match self {
+            LogicalPlan::Gram(g) => out.push(g),
+            LogicalPlan::And(cs) | LogicalPlan::Or(cs) => {
+                for c in cs {
+                    c.collect_grams(out);
+                }
+            }
+            LogicalPlan::Null => {}
+        }
+    }
+}
+
+impl fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicalPlan::Gram(g) => write!(f, "{:?}", String::from_utf8_lossy(g)),
+            LogicalPlan::And(cs) => {
+                write!(f, "AND(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                write!(f, ")")
+            }
+            LogicalPlan::Or(cs) => {
+                write!(f, "OR(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                write!(f, ")")
+            }
+            LogicalPlan::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Intermediate build result: the plan plus, when the subexpression
+/// matches exactly one string, that string (enabling literal merging
+/// across concatenation).
+struct Built {
+    plan: LogicalPlan,
+    exact: Option<Vec<u8>>,
+}
+
+fn gram_or_null(bytes: Vec<u8>) -> LogicalPlan {
+    if bytes.is_empty() {
+        LogicalPlan::Null
+    } else {
+        LogicalPlan::Gram(bytes)
+    }
+}
+
+fn build(ast: &Ast, limit: usize) -> Built {
+    match ast {
+        Ast::Empty => Built {
+            plan: LogicalPlan::Null,
+            exact: Some(Vec::new()),
+        },
+        Ast::Class(c) => {
+            if let Some(b) = c.as_singleton() {
+                Built {
+                    plan: LogicalPlan::Gram(vec![b]),
+                    exact: Some(vec![b]),
+                }
+            } else if c.len() <= limit {
+                Built {
+                    plan: LogicalPlan::or(c.iter().map(|b| LogicalPlan::Gram(vec![b])).collect()),
+                    exact: None,
+                }
+            } else {
+                Built {
+                    plan: LogicalPlan::Null,
+                    exact: None,
+                }
+            }
+        }
+        Ast::Concat(nodes) => {
+            let mut terms: Vec<LogicalPlan> = Vec::new();
+            let mut pending: Vec<u8> = Vec::new();
+            let mut all_exact: Option<Vec<u8>> = Some(Vec::new());
+            for node in nodes {
+                let b = build(node, limit);
+                match (&b.exact, &mut all_exact) {
+                    (Some(e), Some(acc)) => acc.extend_from_slice(e),
+                    _ => all_exact = None,
+                }
+                match b.exact {
+                    Some(e) => pending.extend_from_slice(&e),
+                    None => {
+                        if !pending.is_empty() {
+                            terms.push(gram_or_null(std::mem::take(&mut pending)));
+                        }
+                        terms.push(b.plan);
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                terms.push(gram_or_null(pending));
+            }
+            Built {
+                plan: LogicalPlan::and(terms),
+                exact: all_exact,
+            }
+        }
+        Ast::Alternate(nodes) => {
+            let children: Vec<LogicalPlan> = nodes.iter().map(|n| build(n, limit).plan).collect();
+            Built {
+                plan: LogicalPlan::or(children),
+                exact: None,
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            if *min == 0 {
+                // Zero repetitions allowed ⇒ the body may be absent
+                // entirely (Step [3]: replace * with NULL).
+                return Built {
+                    plan: LogicalPlan::Null,
+                    exact: if *max == Some(0) {
+                        Some(Vec::new())
+                    } else {
+                        None
+                    },
+                };
+            }
+            let inner = build(node, limit);
+            match (&inner.exact, max) {
+                // Exactly-counted literal: x{3} of "ab" is the literal
+                // "ababab", still exact and mergeable.
+                (Some(e), Some(m)) if *m == *min => {
+                    let lit = e.repeat(*min as usize);
+                    Built {
+                        plan: gram_or_null(lit.clone()),
+                        exact: Some(lit),
+                    }
+                }
+                // At least `min` copies: the literal repeated `min` times
+                // must occur, but the match may be longer — not exact.
+                (Some(e), _) => {
+                    let lit = e.repeat(*min as usize);
+                    Built {
+                        plan: gram_or_null(lit),
+                        exact: None,
+                    }
+                }
+                // Non-literal body occurring at least once: its own plan
+                // is required (the paper's C+ = CC* keeps the first C).
+                (None, _) => Built {
+                    plan: inner.plan,
+                    exact: None,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_regex::parse;
+
+    fn plan(pattern: &str) -> LogicalPlan {
+        LogicalPlan::from_ast(&parse(pattern).unwrap(), 16)
+    }
+
+    fn show(pattern: &str) -> String {
+        format!("{:?}", plan(pattern))
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Example 4.1 / Figure 6(c): (Bill|William).*Clinton
+        assert_eq!(
+            show("(Bill|William).*Clinton"),
+            r#"AND(OR("Bill", "William"), "Clinton")"#
+        );
+    }
+
+    #[test]
+    fn literal_merging_across_concat() {
+        assert_eq!(show("Clinton"), r#""Clinton""#);
+        assert_eq!(show("Cli(nt)on"), r#""Clinton""#);
+        assert_eq!(show("ab{2}c"), r#""abbc""#);
+    }
+
+    #[test]
+    fn star_becomes_null() {
+        assert_eq!(show("a*"), "NULL");
+        assert_eq!(show(".*"), "NULL");
+        assert_eq!(show("(abc)*"), "NULL");
+    }
+
+    #[test]
+    fn plus_keeps_one_copy() {
+        // C+ = CC*: one copy required.
+        assert_eq!(show("a+"), r#""a""#);
+        assert_eq!(show("(abc)+"), r#""abc""#);
+        // The first copy of (ab)+ is adjacent to x, but repeats are not
+        // exact strings, so the planner conservatively keeps the pieces
+        // separate (still sound: every match contains all three grams).
+        assert_eq!(show("x(ab)+y"), r#"AND("x", "ab", "y")"#);
+    }
+
+    #[test]
+    fn counted_repeats() {
+        assert_eq!(show("a{3}"), r#""aaa""#);
+        assert_eq!(show("a{2,5}"), r#""aa""#);
+        assert_eq!(show("a{0,5}"), "NULL");
+        // Exact counts merge with neighbours; open counts do not.
+        assert_eq!(show("xa{2}y"), r#""xaay""#);
+        assert_eq!(show("xa{2,3}y"), r#"AND("x", "aa", "y")"#);
+    }
+
+    #[test]
+    fn optional_splits_literals() {
+        // The `?` region cannot constrain, and breaks literal adjacency.
+        assert_eq!(show("abc?d"), r#"AND("ab", "d")"#);
+        assert_eq!(show("ab(c|d)?ef"), r#"AND("ab", "ef")"#);
+    }
+
+    #[test]
+    fn small_class_expands_large_class_nullifies() {
+        assert_eq!(show("[ab]"), r#"OR("a", "b")"#);
+        assert_eq!(show("x[ab]"), r#"AND("x", OR("a", "b"))"#);
+        // [^>] has 255 members > limit → NULL.
+        assert_eq!(show("<[^>]*<"), r#""<""#);
+        // \d has 10 members ≤ 16 → OR of digits.
+        let p = show(r"\d");
+        assert!(p.starts_with("OR("), "{p}");
+    }
+
+    #[test]
+    fn or_with_null_branch_is_null() {
+        // One branch unconstrained ⇒ the whole OR cannot filter.
+        assert_eq!(show("abc|.*"), "NULL");
+        assert_eq!(show("abc|d*"), "NULL");
+    }
+
+    #[test]
+    fn empty_pattern_is_null() {
+        assert_eq!(show(""), "NULL");
+    }
+
+    #[test]
+    fn nested_structure() {
+        assert_eq!(
+            show("(ab|cd)(ef|gh)"),
+            r#"AND(OR("ab", "cd"), OR("ef", "gh"))"#
+        );
+    }
+
+    #[test]
+    fn alternation_of_same_literal_dedups() {
+        assert_eq!(show("abc|abc"), r#""abc""#);
+    }
+
+    #[test]
+    fn mp3_query_shape() {
+        // Example 2.1: the usable grams are `<a href=`, `.mp3`, `>`.
+        let p = plan(r#"<a href=("|')?.*\.mp3("|')?>"#);
+        let grams: Vec<String> = p
+            .grams()
+            .iter()
+            .map(|g| String::from_utf8_lossy(g).into_owned())
+            .collect();
+        assert_eq!(grams, vec!["<a href=", ".mp3", ">"]);
+    }
+
+    #[test]
+    fn pathological_example_3_5() {
+        // bb.*cc.*dd.+zz — all grams survive at the logical level; their
+        // uselessness is a physical-plan concern.
+        assert_eq!(show("bb.*cc.*dd.+zz"), r#"AND("bb", "cc", "dd", "zz")"#);
+    }
+
+    #[test]
+    fn grams_listing() {
+        let p = plan("(Bill|William).*Clinton");
+        let gs: Vec<&[u8]> = p.grams();
+        assert_eq!(gs.len(), 3);
+    }
+
+    #[test]
+    fn exact_repeat_of_group_merges() {
+        assert_eq!(show("(ab){3}"), r#""ababab""#);
+        assert_eq!(show("x(ab){2}y"), r#""xababy""#);
+    }
+
+    #[test]
+    fn and_dedup_and_flatten() {
+        let p = LogicalPlan::and(vec![
+            LogicalPlan::Gram(b"x".to_vec()),
+            LogicalPlan::and(vec![LogicalPlan::Gram(b"y".to_vec()), LogicalPlan::Null]),
+            LogicalPlan::Gram(b"x".to_vec()),
+        ]);
+        assert_eq!(format!("{p:?}"), r#"AND("x", "y")"#);
+    }
+
+    #[test]
+    fn or_flatten() {
+        let p = LogicalPlan::or(vec![
+            LogicalPlan::Gram(b"x".to_vec()),
+            LogicalPlan::or(vec![
+                LogicalPlan::Gram(b"y".to_vec()),
+                LogicalPlan::Gram(b"z".to_vec()),
+            ]),
+        ]);
+        assert_eq!(format!("{p:?}"), r#"OR("x", "y", "z")"#);
+    }
+}

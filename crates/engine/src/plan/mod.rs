@@ -1,0 +1,14 @@
+//! Query compilation: regex → logical access plan → physical access plan.
+//!
+//! Mirrors §4 of the paper. The [`logical`] stage extracts the boolean
+//! structure of required grams from the parse tree (Algorithm 4.1 with the
+//! Table 2 NULL-elimination rules); the [`physical`] stage resolves each
+//! gram against the actual index directory (exact key, substring cover
+//! for presuf-pruned keys, or NULL for useless grams) and orders
+//! conjunctions by selectivity.
+
+pub mod logical;
+pub mod physical;
+
+pub use logical::LogicalPlan;
+pub use physical::PhysicalPlan;

@@ -1,0 +1,353 @@
+//! Algorithm 3.1: a-priori mining of the minimal useful grams.
+//!
+//! A gram `x` is *c-useful* if `sel(x) = M(x)/N <= c` (Definition 3.4).
+//! The algorithm grows grams breadth-first: a gram of length `k` is a
+//! candidate only if its `(k-1)`-prefix turned out *useless* — useful
+//! prefixes are already minimal useful grams, and any extension of a
+//! useful gram is useful but not minimal (Theorem 3.9 guarantees the
+//! output is exactly the minimal useful grams, which also makes it prefix
+//! free, which in turn bounds total postings by `|D|`, Observation 3.8).
+//!
+//! Following §3.1's optimization ("we may find useless grams for both
+//! k = 1 and 2 … in one pass"), each corpus scan counts
+//! [`lengths_per_pass`](crate::EngineConfig::lengths_per_pass) consecutive
+//! gram lengths: grams of the longer lengths are counted optimistically
+//! (their immediate prefix's usefulness is unknown until the pass ends)
+//! and filtered level-by-level afterwards.
+
+use super::SelectedGram;
+use crate::{EngineConfig, Result};
+use free_corpus::Corpus;
+use rustc_hash::FxHashMap;
+
+/// Statistics from a mining run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Number of full corpus scans performed.
+    pub passes: usize,
+    /// Total candidate grams whose counts were tracked.
+    pub candidates_counted: u64,
+    /// Candidates discarded because their prefix turned out useful
+    /// (optimistic counting overshoot).
+    pub candidates_skipped: u64,
+}
+
+/// The result of mining: the minimal useful grams plus statistics.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Minimal useful grams, sorted lexicographically.
+    pub grams: Vec<SelectedGram>,
+    /// Number of data units scanned (the paper's `N`).
+    pub num_docs: usize,
+    /// Mining statistics.
+    pub stats: MiningStats,
+}
+
+impl Selection {
+    /// The raw gram keys, sorted.
+    pub fn keys(&self) -> Vec<Box<[u8]>> {
+        self.grams.iter().map(|g| g.gram.clone()).collect()
+    }
+}
+
+/// Per-gram counting cell: document frequency plus the last document that
+/// touched it (so each document is counted once — `M(x)` counts data
+/// units, not occurrences).
+#[derive(Clone, Copy)]
+struct Cell {
+    count: u32,
+    last_doc: u32,
+}
+
+/// Runs Algorithm 3.1 over `corpus`.
+pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<Selection> {
+    config.validate()?;
+    let n = corpus.len();
+    // ceil(c * N): a gram is useful iff count <= threshold.
+    let threshold = (config.usefulness_threshold * n as f64).floor() as u32;
+
+    let mut useful: Vec<SelectedGram> = Vec::new();
+    let mut stats = MiningStats::default();
+    // The grams confirmed useless at length `k-1`, to be extended.
+    // Level 0 is the empty gram, represented implicitly.
+    let mut expand: FxHashMap<Box<[u8]>, ()> = FxHashMap::default();
+    let mut k = 1usize;
+    let mut first_pass = true;
+
+    while k <= config.max_gram_len && (first_pass || !expand.is_empty()) {
+        let k_end = (k + config.lengths_per_pass - 1).min(config.max_gram_len);
+        let mut counts: FxHashMap<Box<[u8]>, Cell> = FxHashMap::default();
+
+        // One corpus scan: count every gram of length k..=k_end whose
+        // (k-1)-prefix is in `expand`.
+        corpus.scan(&mut |doc, bytes| {
+            for i in 0..bytes.len() {
+                if !first_pass {
+                    let pfx_end = i + k - 1;
+                    if pfx_end > bytes.len() {
+                        break;
+                    }
+                    if !expand.contains_key(&bytes[i..pfx_end]) {
+                        continue;
+                    }
+                }
+                for m in k..=k_end {
+                    let end = i + m;
+                    if end > bytes.len() {
+                        break;
+                    }
+                    let gram = &bytes[i..end];
+                    match counts.get_mut(gram) {
+                        Some(cell) => {
+                            if cell.last_doc != doc {
+                                cell.last_doc = doc;
+                                cell.count += 1;
+                            }
+                        }
+                        None => {
+                            counts.insert(
+                                gram.into(),
+                                Cell {
+                                    count: 1,
+                                    last_doc: doc,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            true
+        })?;
+        stats.passes += 1;
+        stats.candidates_counted += counts.len() as u64;
+
+        // Resolve levels in order: a length-m gram is a real candidate only
+        // if its (m-1)-prefix is useless *at this point*.
+        let mut by_len: Vec<Vec<(Box<[u8]>, u32)>> = vec![Vec::new(); k_end - k + 1];
+        for (gram, cell) in counts {
+            by_len[gram.len() - k].push((gram, cell.count));
+        }
+        let mut prev_useless: FxHashMap<Box<[u8]>, ()> = expand;
+        for (level, grams) in by_len.into_iter().enumerate() {
+            let m = k + level;
+            let mut next_useless: FxHashMap<Box<[u8]>, ()> = FxHashMap::default();
+            for (gram, count) in grams {
+                // Candidate iff the immediate prefix is useless. For the
+                // first level of the pass this holds by construction.
+                if m > k || !first_pass {
+                    let prefix = &gram[..m - 1];
+                    let prefix_ok = if m == k {
+                        true // enforced during the scan
+                    } else {
+                        prev_useless.contains_key(prefix)
+                    };
+                    if !prefix_ok {
+                        stats.candidates_skipped += 1;
+                        continue;
+                    }
+                }
+                if count <= threshold {
+                    useful.push(SelectedGram {
+                        gram,
+                        doc_count: count,
+                    });
+                } else {
+                    next_useless.insert(gram, ());
+                }
+            }
+            prev_useless = next_useless;
+        }
+        expand = prev_useless;
+        k = k_end + 1;
+        first_pass = false;
+    }
+
+    useful.sort_by(|a, b| a.gram.cmp(&b.gram));
+    Ok(Selection {
+        grams: useful,
+        num_docs: n,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use free_corpus::MemCorpus;
+
+    fn mine(docs: &[&str], c: f64, max_len: usize) -> Selection {
+        let corpus = MemCorpus::from_docs(docs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        let config = EngineConfig {
+            usefulness_threshold: c,
+            max_gram_len: max_len,
+            ..EngineConfig::default()
+        };
+        mine_multigrams(&corpus, &config).unwrap()
+    }
+
+    fn keys(sel: &Selection) -> Vec<String> {
+        sel.grams
+            .iter()
+            .map(|g| String::from_utf8_lossy(&g.gram).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn rare_one_grams_selected_directly() {
+        // 'z' appears in 1 of 10 docs → useful at c=0.1 and minimal.
+        let mut docs = vec!["aaaa"; 9];
+        docs.push("aazb");
+        let sel = mine(&docs, 0.1, 4);
+        assert!(keys(&sel).contains(&"z".to_string()));
+        // 'a' is in every doc → useless; but no doc-count limit reached at
+        // longer lengths since "aa" etc. all ubiquitous except in doc 10.
+        assert!(!keys(&sel).contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn minimality_no_gram_is_prefix_of_another() {
+        let docs: Vec<String> = (0..50)
+            .map(|i| format!("common prefix {} tail{}", "x".repeat(i % 5), i))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let sel = mine(&refs, 0.2, 8);
+        let ks = keys(&sel);
+        for a in &ks {
+            for b in &ks {
+                if a != b {
+                    assert!(!b.starts_with(a.as_str()), "{a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_selected_gram_is_useful_and_prefixes_useless() {
+        let docs: Vec<String> = (0..40)
+            .map(|i| format!("doc{} shared words appear everywhere {}", i, i % 4))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let c = 0.15;
+        let sel = mine(&refs, c, 6);
+        let n = sel.num_docs;
+        let count_docs = |g: &str| refs.iter().filter(|d| d.contains(g)).count();
+        for g in &sel.grams {
+            let s = String::from_utf8_lossy(&g.gram).into_owned();
+            let actual = count_docs(&s);
+            assert_eq!(actual as u32, g.doc_count, "doc count for {s}");
+            assert!((actual as f64) / (n as f64) <= c, "{s} should be useful");
+            // Every proper prefix must be useless (minimality).
+            for cut in 1..s.len() {
+                let p = &s[..cut];
+                assert!(
+                    (count_docs(p) as f64) / (n as f64) > c,
+                    "prefix {p} of {s} should be useless"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_9_completeness() {
+        // Every useful gram has a prefix in the selection (or is itself
+        // selected), up to max_gram_len.
+        let docs: Vec<String> = (0..30)
+            .map(|i| format!("alpha beta gamma {}", if i < 3 { "needle" } else { "hay" }))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let sel = mine(&refs, 0.2, 8);
+        let ks = keys(&sel);
+        // "needle" is in 3/30 docs → useful; some prefix of it must be
+        // indexed.
+        assert!(
+            (1..="needle".len()).any(|cut| ks.contains(&"needle"[..cut].to_string())),
+            "no prefix of 'needle' indexed: {ks:?}"
+        );
+    }
+
+    #[test]
+    fn max_len_cutoff_respected() {
+        let docs = vec!["abcdefghijklmnop"; 3];
+        let sel = mine(&docs, 0.9, 4);
+        for g in &sel.grams {
+            assert!(g.gram.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn threshold_zero_selects_nothing() {
+        // c=0 means useful ⇔ sel(x) = 0, impossible for occurring grams.
+        let sel = mine(&["abc", "abd"], 0.0, 4);
+        assert!(sel.grams.is_empty());
+    }
+
+    #[test]
+    fn threshold_one_selects_all_one_grams() {
+        // c=1: every gram is useful, so all 1-grams are minimal useful.
+        let sel = mine(&["ab", "bc"], 1.0, 4);
+        let ks = keys(&sel);
+        assert_eq!(ks, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = MemCorpus::new();
+        let sel = mine_multigrams(&corpus, &EngineConfig::default()).unwrap();
+        assert!(sel.grams.is_empty());
+        assert_eq!(sel.num_docs, 0);
+    }
+
+    #[test]
+    fn lengths_per_pass_does_not_change_result() {
+        let docs: Vec<String> = (0..25)
+            .map(|i| format!("the quick brown fox {} jumps over {}", i, i * 7))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        let mut results = Vec::new();
+        for lpp in [1, 2, 3, 10] {
+            let config = EngineConfig {
+                usefulness_threshold: 0.2,
+                max_gram_len: 6,
+                lengths_per_pass: lpp,
+                ..EngineConfig::default()
+            };
+            let sel = mine_multigrams(&corpus, &config).unwrap();
+            results.push((lpp, sel));
+        }
+        let base = keys(&results[0].1);
+        for (lpp, sel) in &results[1..] {
+            assert_eq!(keys(sel), base, "lengths_per_pass={lpp}");
+        }
+        // More lengths per pass ⇒ fewer scans.
+        assert!(results[3].1.stats.passes < results[0].1.stats.passes);
+    }
+
+    #[test]
+    fn pass_count_matches_paper_shape() {
+        // With max_gram_len=10 and lengths_per_pass=2 the gram
+        // identification takes ≤5 scans (§5.2: "this gram-key
+        // identification could be done in less than 10 scans").
+        let docs: Vec<String> = (0..20).map(|i| format!("abcdefghij{i}")).collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        let config = EngineConfig {
+            usefulness_threshold: 0.1,
+            max_gram_len: 10,
+            lengths_per_pass: 2,
+            ..EngineConfig::default()
+        };
+        let sel = mine_multigrams(&corpus, &config).unwrap();
+        assert!(sel.stats.passes <= 5, "{} passes", sel.stats.passes);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let sel = mine(&["zebra", "apple", "mango"], 0.4, 5);
+        let ks = keys(&sel);
+        let mut sorted = ks.clone();
+        sorted.sort();
+        assert_eq!(ks, sorted);
+    }
+}

@@ -1,0 +1,126 @@
+//! The "Complete" baseline of Table 3: one n-gram index for every
+//! `n = 2..=max_gram_len`, i.e. an index entry for *every* distinct k-gram
+//! occurring in the corpus.
+//!
+//! The paper builds this as the gold standard — any substring of a query
+//! (up to the cutoff) can be looked up — and shows it is an order of
+//! magnitude larger than the multigram index while only ~32 % faster.
+
+use super::SelectedGram;
+use crate::Result;
+use free_corpus::Corpus;
+use rustc_hash::FxHashMap;
+
+/// Enumerates every distinct k-gram for `k = min_len..=max_len` with its
+/// document frequency, sorted lexicographically.
+///
+/// The paper's complete index spans `k = 2..=10`; pass `min_len = 2`.
+pub fn enumerate_complete<C: Corpus>(
+    corpus: &C,
+    min_len: usize,
+    max_len: usize,
+) -> Result<Vec<SelectedGram>> {
+    assert!(min_len >= 1 && min_len <= max_len);
+    struct Cell {
+        count: u32,
+        last_doc: u32,
+    }
+    let mut counts: FxHashMap<Box<[u8]>, Cell> = FxHashMap::default();
+    corpus.scan(&mut |doc, bytes| {
+        for i in 0..bytes.len() {
+            for m in min_len..=max_len {
+                let end = i + m;
+                if end > bytes.len() {
+                    break;
+                }
+                let gram = &bytes[i..end];
+                match counts.get_mut(gram) {
+                    Some(cell) => {
+                        if cell.last_doc != doc {
+                            cell.last_doc = doc;
+                            cell.count += 1;
+                        }
+                    }
+                    None => {
+                        counts.insert(
+                            gram.into(),
+                            Cell {
+                                count: 1,
+                                last_doc: doc,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        true
+    })?;
+    let mut out: Vec<SelectedGram> = counts
+        .into_iter()
+        .map(|(gram, cell)| SelectedGram {
+            gram,
+            doc_count: cell.count,
+        })
+        .collect();
+    out.sort_by(|a, b| a.gram.cmp(&b.gram));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_corpus::MemCorpus;
+
+    #[test]
+    fn enumerates_all_grams() {
+        let corpus = MemCorpus::from_docs(vec![b"abab".to_vec(), b"ba".to_vec()]);
+        let grams = enumerate_complete(&corpus, 2, 3).unwrap();
+        let keys: Vec<String> = grams
+            .iter()
+            .map(|g| String::from_utf8_lossy(&g.gram).into_owned())
+            .collect();
+        assert_eq!(keys, vec!["ab", "aba", "ba", "bab"]);
+        // "ab" occurs in doc 0 only; "ba" in both.
+        let find = |k: &str| {
+            grams
+                .iter()
+                .find(|g| &*g.gram == k.as_bytes())
+                .unwrap()
+                .doc_count
+        };
+        assert_eq!(find("ab"), 1);
+        assert_eq!(find("ba"), 2);
+        assert_eq!(find("aba"), 1);
+    }
+
+    #[test]
+    fn doc_frequency_not_occurrence_count() {
+        let corpus = MemCorpus::from_docs(vec![b"xxxxxx".to_vec()]);
+        let grams = enumerate_complete(&corpus, 2, 2).unwrap();
+        assert_eq!(grams.len(), 1);
+        assert_eq!(grams[0].doc_count, 1); // five occurrences, one doc
+    }
+
+    #[test]
+    fn respects_length_bounds() {
+        let corpus = MemCorpus::from_docs(vec![b"abcdef".to_vec()]);
+        let grams = enumerate_complete(&corpus, 3, 4).unwrap();
+        assert!(grams.iter().all(|g| (3..=4).contains(&g.gram.len())));
+        // 4 trigrams + 3 tetragrams.
+        assert_eq!(grams.len(), 7);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = MemCorpus::new();
+        assert!(enumerate_complete(&corpus, 2, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn short_docs_skipped_gracefully() {
+        let corpus = MemCorpus::from_docs(vec![b"a".to_vec(), b"ab".to_vec()]);
+        let grams = enumerate_complete(&corpus, 2, 5).unwrap();
+        assert_eq!(grams.len(), 1);
+        assert_eq!(&*grams[0].gram, b"ab");
+    }
+}

@@ -1,0 +1,53 @@
+//! Index key selection: which grams deserve index entries.
+//!
+//! Three strategies, matching the three indexes of Table 3:
+//!
+//! * [`apriori`] — Algorithm 3.1: mine the *minimal useful* grams with an
+//!   a-priori style multi-pass scan (the paper's "Multigram" index).
+//! * [`presuf`] — §3.2: prune a prefix-free gram set to its presuf shell
+//!   via the shortest-common-suffix rule (the paper's "Suffix" index).
+//! * [`complete`] — every k-gram present in the corpus for
+//!   `k = 2..=max_gram_len` (the paper's "Complete" baseline).
+
+pub mod apriori;
+pub mod complete;
+pub mod presuf;
+
+pub use apriori::{mine_multigrams, MiningStats, Selection};
+pub use complete::enumerate_complete;
+pub use presuf::presuf_shell;
+
+/// A selected gram key with its document frequency (`M(x)` in the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectedGram {
+    /// The gram bytes.
+    pub gram: Box<[u8]>,
+    /// Number of data units containing the gram.
+    pub doc_count: u32,
+}
+
+impl SelectedGram {
+    /// Selectivity given corpus size `n` (Definition 3.1).
+    pub fn selectivity(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            f64::from(self.doc_count) / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity() {
+        let g = SelectedGram {
+            gram: b"abc"[..].into(),
+            doc_count: 25,
+        };
+        assert!((g.selectivity(100) - 0.25).abs() < 1e-12);
+        assert_eq!(g.selectivity(0), 0.0);
+    }
+}

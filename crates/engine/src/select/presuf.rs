@@ -1,0 +1,164 @@
+//! §3.2: the presuf shell (shortest common suffix rule).
+//!
+//! Any gram obtained by *prepending* characters to a useful gram is also
+//! useful, so a multigram selection often contains many keys that share a
+//! discriminating suffix (the paper's example: `<a href="k`, `a href="k`,
+//! …, `="k` — only the last carries the selectivity). The presuf shell
+//! keeps, for every key, only its shortest suffix that is itself a key,
+//! producing a set that is both prefix-free and suffix-free
+//! (Definition 3.12) while still containing a substring of every useful
+//! gram (Observation 3.14).
+//!
+//! Implementation is Observation 3.13's recipe: reverse all keys, sort
+//! lexicographically, and sweep — a reversed key is dropped when the most
+//! recently kept reversed key is its prefix (i.e. a suffix in the
+//! original orientation). `O(|X| log |X|)`.
+
+use super::SelectedGram;
+
+/// Computes the presuf shell of a prefix-free gram set.
+///
+/// The input must be prefix free (which [`super::mine_multigrams`] output
+/// is, by Theorem 3.9(3)); the result is then the unique presuf shell.
+pub fn presuf_shell(grams: &[SelectedGram]) -> Vec<SelectedGram> {
+    // Reverse and sort.
+    let mut reversed: Vec<(Vec<u8>, &SelectedGram)> = grams
+        .iter()
+        .map(|g| {
+            let mut r = g.gram.to_vec();
+            r.reverse();
+            (r, g)
+        })
+        .collect();
+    reversed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut kept: Vec<SelectedGram> = Vec::new();
+    let mut last_kept: Option<Vec<u8>> = None;
+    for (rev, g) in reversed {
+        let is_covered = match &last_kept {
+            Some(prev) => rev.starts_with(prev),
+            None => false,
+        };
+        if !is_covered {
+            last_kept = Some(rev);
+            kept.push(g.clone());
+        }
+    }
+    kept.sort_by(|a, b| a.gram.cmp(&b.gram));
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grams(keys: &[&str]) -> Vec<SelectedGram> {
+        keys.iter()
+            .map(|k| SelectedGram {
+                gram: k.as_bytes().into(),
+                doc_count: 1,
+            })
+            .collect()
+    }
+
+    fn keys(sel: &[SelectedGram]) -> Vec<String> {
+        sel.iter()
+            .map(|g| String::from_utf8_lossy(&g.gram).into_owned())
+            .collect()
+    }
+
+    fn is_suffix_free(sel: &[SelectedGram]) -> bool {
+        for a in sel {
+            for b in sel {
+                if a.gram != b.gram && b.gram.ends_with(&a.gram) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn paper_example_3_10() {
+        // All the keys share the discriminating suffix `="k`; only it
+        // survives.
+        let input = grams(&["<a href=\"k", "a href=\"k", " href=\"k", "href=\"k", "=\"k"]);
+        let shell = presuf_shell(&input);
+        assert_eq!(keys(&shell), vec!["=\"k"]);
+    }
+
+    #[test]
+    fn unrelated_keys_survive() {
+        let input = grams(&["abc", "xyz", "mno"]);
+        let shell = presuf_shell(&input);
+        assert_eq!(shell.len(), 3);
+    }
+
+    #[test]
+    fn shell_is_suffix_free() {
+        let input = grams(&["ton", "aton", "baton", "on", "ba", "tuba"]);
+        let shell = presuf_shell(&input);
+        assert!(is_suffix_free(&shell), "{:?}", keys(&shell));
+        // "on" covers ton/aton/baton; "ba" and "tuba" both end... "ba" is a
+        // suffix of "tuba", so only "ba" survives of those two.
+        assert_eq!(keys(&shell), vec!["ba", "on"]);
+    }
+
+    #[test]
+    fn every_input_has_a_suffix_in_shell() {
+        // Definition 3.12 condition 1.
+        let input = grams(&["clinton", "linton", "inton", "nton", "gore", "ore", "potus"]);
+        let shell = presuf_shell(&input);
+        for g in &input {
+            assert!(
+                shell.iter().any(|s| g.gram.ends_with(&s.gram)),
+                "{:?} uncovered by {:?}",
+                String::from_utf8_lossy(&g.gram),
+                keys(&shell)
+            );
+        }
+        assert!(is_suffix_free(&shell));
+    }
+
+    #[test]
+    fn shell_is_subset_of_input() {
+        // Definition 3.12 condition 3.
+        let input = grams(&["needle", "dle", "xyzzy", "zy"]);
+        let shell = presuf_shell(&input);
+        for s in &shell {
+            assert!(input.iter().any(|g| g.gram == s.gram));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(presuf_shell(&[]).is_empty());
+        let one = grams(&["solo"]);
+        assert_eq!(presuf_shell(&one).len(), 1);
+    }
+
+    #[test]
+    fn identical_suffix_chains_keep_shortest() {
+        let input = grams(&["a", "ba", "cba", "dcba"]);
+        let shell = presuf_shell(&input);
+        assert_eq!(keys(&shell), vec!["a"]);
+    }
+
+    #[test]
+    fn output_sorted_lexicographically() {
+        let input = grams(&["zz", "aa", "mm"]);
+        let shell = presuf_shell(&input);
+        assert_eq!(keys(&shell), vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn doc_counts_preserved() {
+        let mut input = grams(&["rare", "are"]);
+        input[0].doc_count = 5;
+        input[1].doc_count = 17;
+        let shell = presuf_shell(&input);
+        assert_eq!(shell.len(), 1);
+        assert_eq!(&*shell[0].gram, b"are");
+        assert_eq!(shell[0].doc_count, 17);
+    }
+}

@@ -1,0 +1,340 @@
+//! External-memory index construction.
+//!
+//! The paper builds its indexes in a final corpus scan that "1) generates
+//! postings lists 2) *sorts* the gram keys and postings lists and 3)
+//! actually constructs the index" (§5.2). For corpora whose postings don't
+//! fit in memory, this module implements that recipe as a classic run
+//! merge: postings accumulate in a [`MemIndex`]; when the memory budget is
+//! exceeded the batch is sorted and spilled to a run file; at the end all
+//! runs are merged key-by-key into the final [`IndexWriter`].
+//!
+//! Because the corpus is scanned in document-id order, every run covers a
+//! disjoint, increasing range of doc ids; merging a key's postings across
+//! runs is therefore pure concatenation (re-encoded to restore the delta
+//! base), never an interleave.
+
+use crate::format::{IndexReader, IndexWriter};
+use crate::memindex::MemIndex;
+use crate::postings::{Postings, PostingsBuilder};
+use crate::{varint, DocId, Error, IndexRead as _, Key, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Default memory budget for buffered postings before spilling (bytes of
+/// encoded postings, i.e. roughly final-index bytes).
+pub const DEFAULT_MEMORY_BUDGET: usize = 256 << 20;
+
+/// Builds an on-disk index from a stream of `(key, doc)` pairs, spilling
+/// sorted runs when the memory budget is exceeded.
+pub struct IndexBuilder {
+    output: PathBuf,
+    memory_budget: usize,
+    current: MemIndex,
+    runs: Vec<PathBuf>,
+    last_doc: Option<DocId>,
+}
+
+impl IndexBuilder {
+    /// Creates a builder that will write the final index to `output`.
+    pub fn new(output: impl AsRef<Path>) -> IndexBuilder {
+        IndexBuilder::with_memory_budget(output, DEFAULT_MEMORY_BUDGET)
+    }
+
+    /// Creates a builder with an explicit spill threshold (useful in tests
+    /// to force the external path).
+    pub fn with_memory_budget(output: impl AsRef<Path>, memory_budget: usize) -> IndexBuilder {
+        IndexBuilder {
+            output: output.as_ref().to_path_buf(),
+            memory_budget: memory_budget.max(1),
+            current: MemIndex::new(),
+            runs: Vec::new(),
+            last_doc: None,
+        }
+    }
+
+    /// Adds one posting. Documents must be fed in non-decreasing id order.
+    pub fn add(&mut self, key: &[u8], doc: DocId) -> Result<()> {
+        if let Some(last) = self.last_doc {
+            if doc < last {
+                return Err(Error::Corrupt(format!(
+                    "documents out of order: {doc} after {last}"
+                )));
+            }
+            // Spill only at document boundaries so a document's postings
+            // never straddle two runs for the same key with equal ids.
+            if doc != last && self.current.encoded_bytes() as usize >= self.memory_budget {
+                self.spill()?;
+            }
+        }
+        self.last_doc = Some(doc);
+        self.current.add(key, doc);
+        Ok(())
+    }
+
+    /// Number of run files spilled so far.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn run_path(&self, i: usize) -> PathBuf {
+        self.output.with_extension(format!("run{i}.tmp"))
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        let run = std::mem::take(&mut self.current);
+        if run.num_keys() == 0 {
+            return Ok(());
+        }
+        let path = self.run_path(self.runs.len());
+        let f = File::create(&path)
+            .map_err(|e| Error::io(format!("create run {}", path.display()), e))?;
+        let mut w = BufWriter::new(f);
+        for (key, postings) in run.into_sorted() {
+            let mut rec = Vec::with_capacity(key.len() + postings.encoded().len() + 12);
+            varint::encode(key.len() as u64, &mut rec);
+            rec.extend_from_slice(&key);
+            varint::encode(postings.len() as u64, &mut rec);
+            varint::encode(postings.encoded().len() as u64, &mut rec);
+            rec.extend_from_slice(postings.encoded());
+            w.write_all(&rec)
+                .map_err(|e| Error::io("write run record", e))?;
+        }
+        w.flush().map_err(|e| Error::io("flush run", e))?;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Merges all runs (plus the in-memory remainder) into the final index
+    /// and opens it.
+    pub fn finish(mut self) -> Result<IndexReader> {
+        self.spill()?;
+        let mut writer = IndexWriter::create(&self.output)?;
+        {
+            let mut readers = Vec::with_capacity(self.runs.len());
+            for path in &self.runs {
+                readers.push(RunReader::open(path)?);
+            }
+            merge_runs(&mut readers, &mut writer)?;
+        }
+        for path in &self.runs {
+            std::fs::remove_file(path)
+                .map_err(|e| Error::io(format!("remove run {}", path.display()), e))?;
+        }
+        writer.finish()
+    }
+}
+
+/// Streaming reader over one sorted run file.
+struct RunReader {
+    reader: BufReader<File>,
+    /// Look-ahead record.
+    pending: Option<(Key, Postings)>,
+}
+
+impl RunReader {
+    fn open(path: &Path) -> Result<RunReader> {
+        let f =
+            File::open(path).map_err(|e| Error::io(format!("open run {}", path.display()), e))?;
+        let mut r = RunReader {
+            reader: BufReader::new(f),
+            pending: None,
+        };
+        r.advance()?;
+        Ok(r)
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        self.pending = read_record(&mut self.reader)?;
+        Ok(())
+    }
+
+    fn peek_key(&self) -> Option<&Key> {
+        self.pending.as_ref().map(|(k, _)| k)
+    }
+
+    fn take(&mut self) -> Result<Option<(Key, Postings)>> {
+        let rec = self.pending.take();
+        if rec.is_some() {
+            self.advance()?;
+        }
+        Ok(rec)
+    }
+}
+
+fn read_record(r: &mut BufReader<File>) -> Result<Option<(Key, Postings)>> {
+    // Records start with a varint key length; EOF here means "run done".
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(Error::io("read run record", e)),
+    }
+    let key_len = read_varint_continuing(r, first[0])?;
+    let mut key = vec![0u8; key_len as usize];
+    r.read_exact(&mut key)
+        .map_err(|e| Error::io("read run key", e))?;
+    let count = read_varint(r)?;
+    let enc_len = read_varint(r)?;
+    let mut enc = vec![0u8; enc_len as usize];
+    r.read_exact(&mut enc)
+        .map_err(|e| Error::io("read run postings", e))?;
+    Ok(Some((
+        key.into(),
+        Postings::from_encoded(bytes::Bytes::from(enc), count as u32),
+    )))
+}
+
+fn read_varint(r: &mut BufReader<File>) -> Result<u64> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)
+        .map_err(|e| Error::io("read varint", e))?;
+    read_varint_continuing(r, b[0])
+}
+
+/// Finishes a varint whose first byte was already consumed.
+fn read_varint_continuing(r: &mut BufReader<File>, first: u8) -> Result<u64> {
+    let mut value = u64::from(first & 0x7f);
+    let mut shift = 7u32;
+    let mut byte = first;
+    while byte & 0x80 != 0 {
+        if shift >= 64 {
+            return Err(Error::Corrupt("run varint too long".into()));
+        }
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)
+            .map_err(|e| Error::io("read varint", e))?;
+        byte = b[0];
+        value |= u64::from(byte & 0x7f) << shift;
+        shift += 7;
+    }
+    Ok(value)
+}
+
+/// Merges sorted runs into the writer. Runs cover disjoint ascending doc
+/// ranges in run-file order, so equal keys concatenate.
+fn merge_runs(readers: &mut [RunReader], writer: &mut IndexWriter) -> Result<()> {
+    loop {
+        // Smallest key among all pending records.
+        let min_key: Option<Key> = readers.iter().filter_map(|r| r.peek_key()).min().cloned();
+        let Some(key) = min_key else { break };
+        let mut merged = PostingsBuilder::new();
+        // Runs were spilled in doc order, so visiting readers in index
+        // order keeps doc ids non-decreasing.
+        for r in readers.iter_mut() {
+            if r.peek_key() == Some(&key) {
+                let (_, postings) = r.take()?.expect("peeked record exists");
+                for doc in postings.iter() {
+                    merged.push(doc?);
+                }
+            }
+        }
+        writer.add(&key, &merged.finish())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexRead;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("free-builder-{name}-{}.idx", std::process::id()))
+    }
+
+    #[test]
+    fn in_memory_path() {
+        let path = tmpfile("mem");
+        let mut b = IndexBuilder::new(&path);
+        b.add(b"bb", 0).unwrap();
+        b.add(b"aa", 0).unwrap();
+        b.add(b"aa", 1).unwrap();
+        b.add(b"cc", 2).unwrap();
+        assert_eq!(b.num_runs(), 0);
+        let r = b.finish().unwrap();
+        assert_eq!(r.num_keys(), 3);
+        assert_eq!(r.postings(b"aa").unwrap().unwrap(), vec![0, 1]);
+        assert_eq!(r.postings(b"bb").unwrap().unwrap(), vec![0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spilling_path_matches_memory_path() {
+        let path1 = tmpfile("spill1");
+        let path2 = tmpfile("spill2");
+        // Generate a deterministic stream of (key, doc) pairs.
+        let mut pairs = Vec::new();
+        for doc in 0..200u32 {
+            for k in 0..((doc % 7) + 1) {
+                pairs.push((format!("key{:02}", (doc + k * 13) % 25), doc));
+            }
+        }
+        let mut small = IndexBuilder::with_memory_budget(&path1, 64); // force spills
+        let mut big = IndexBuilder::new(&path2);
+        for (k, d) in &pairs {
+            small.add(k.as_bytes(), *d).unwrap();
+            big.add(k.as_bytes(), *d).unwrap();
+        }
+        assert!(small.num_runs() > 1, "expected multiple runs");
+        let rs = small.finish().unwrap();
+        let rb = big.finish().unwrap();
+        assert_eq!(rs.num_keys(), rb.num_keys());
+        let mut keys = Vec::new();
+        rb.for_each_key(&mut |k| keys.push(k.to_vec()));
+        for k in keys {
+            assert_eq!(
+                rs.postings(&k).unwrap(),
+                rb.postings(&k).unwrap(),
+                "key {}",
+                String::from_utf8_lossy(&k)
+            );
+        }
+        std::fs::remove_file(&path1).unwrap();
+        std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_order_docs() {
+        let path = tmpfile("order");
+        let mut b = IndexBuilder::new(&path);
+        b.add(b"k", 5).unwrap();
+        assert!(b.add(b"k", 4).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_postings_coalesce_across_adds() {
+        let path = tmpfile("dup");
+        let mut b = IndexBuilder::new(&path);
+        b.add(b"k", 3).unwrap();
+        b.add(b"k", 3).unwrap();
+        b.add(b"k", 3).unwrap();
+        let r = b.finish().unwrap();
+        assert_eq!(r.postings(b"k").unwrap().unwrap(), vec![3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_builder() {
+        let path = tmpfile("emptyb");
+        let r = IndexBuilder::new(&path).finish().unwrap();
+        assert_eq!(r.num_keys(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_files_cleaned_up() {
+        let path = tmpfile("cleanup");
+        let mut b = IndexBuilder::with_memory_budget(&path, 8);
+        for doc in 0..50u32 {
+            b.add(format!("key{doc}").as_bytes(), doc).unwrap();
+        }
+        assert!(b.num_runs() > 0);
+        let run0 = b.run_path(0);
+        assert!(run0.exists());
+        let _r = b.finish().unwrap();
+        assert!(!run0.exists(), "run file should be deleted");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for index storage.
+
+use core::fmt;
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// An error reading from or writing to an index.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error, annotated with the operation.
+    Io {
+        /// What the index was doing.
+        context: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// Malformed on-disk data (bad magic, truncated varint, …).
+    Corrupt(String),
+}
+
+impl Error {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Error {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "index I/O error ({context}): {source}"),
+            Error::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            Error::Corrupt(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::io("read postings", std::io::Error::other("boom"));
+        assert!(e.to_string().contains("read postings"));
+        let e = Error::Corrupt("truncated varint".into());
+        assert!(e.to_string().contains("truncated varint"));
+    }
+}

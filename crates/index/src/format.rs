@@ -1,0 +1,439 @@
+//! The immutable on-disk index format.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic "FREEIDX1" | version u32 | num_keys u64 | dir_bytes u64 |
+//! +--------------------------------------------------------------+
+//! | directory: for each key, in lexicographic order:             |
+//! |   key_len varint | key bytes | doc_count varint              |
+//! |   postings_len varint   (offsets are implicit prefix sums)   |
+//! +--------------------------------------------------------------+
+//! | postings section: concatenated encoded postings lists        |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! The whole directory is loaded into memory on open. The paper's design
+//! leans on exactly this property: the multigram directory is tiny (<1 %
+//! of a complete n-gram index's keys), so key lookups never touch disk and
+//! I/O is spent only on the postings actually needed by a query.
+
+use crate::postings::Postings;
+use crate::stats::IndexStats;
+use crate::{varint, DocId, Error, IndexRead, Key, Result};
+use bytes::Bytes;
+use rustc_hash::FxHashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"FREEIDX1";
+const VERSION: u32 = 1;
+
+/// Streaming writer for the on-disk format. Keys must be appended in
+/// strictly increasing lexicographic order.
+pub struct IndexWriter {
+    path: PathBuf,
+    directory: Vec<u8>,
+    postings: Vec<u8>,
+    num_keys: u64,
+    num_postings: u64,
+    key_bytes: u64,
+    last_key: Option<Key>,
+    /// Spill the postings section to a temp file when it outgrows memory.
+    spill: Option<BufWriter<File>>,
+    spilled_bytes: u64,
+}
+
+/// Postings accumulate in memory up to this size before spilling to a
+/// side file (1 GiB of postings would otherwise double peak memory).
+const SPILL_THRESHOLD: usize = 64 << 20;
+
+impl IndexWriter {
+    /// Creates a writer targeting `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<IndexWriter> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| Error::io(format!("create dir {}", parent.display()), e))?;
+            }
+        }
+        Ok(IndexWriter {
+            path,
+            directory: Vec::new(),
+            postings: Vec::new(),
+            num_keys: 0,
+            num_postings: 0,
+            key_bytes: 0,
+            last_key: None,
+            spill: None,
+            spilled_bytes: 0,
+        })
+    }
+
+    fn spill_path(&self) -> PathBuf {
+        self.path.with_extension("postings.tmp")
+    }
+
+    /// Appends one key with its postings. Keys must arrive in strictly
+    /// increasing order.
+    pub fn add(&mut self, key: &[u8], postings: &Postings) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= &last[..] {
+                return Err(Error::Corrupt(format!(
+                    "keys out of order: {:?} after {:?}",
+                    String::from_utf8_lossy(key),
+                    String::from_utf8_lossy(last)
+                )));
+            }
+        }
+        self.last_key = Some(key.into());
+        varint::encode(key.len() as u64, &mut self.directory);
+        self.directory.extend_from_slice(key);
+        varint::encode(postings.len() as u64, &mut self.directory);
+        varint::encode(postings.encoded().len() as u64, &mut self.directory);
+        self.postings.extend_from_slice(postings.encoded());
+        self.num_keys += 1;
+        self.num_postings += postings.len() as u64;
+        self.key_bytes += key.len() as u64;
+        if self.postings.len() >= SPILL_THRESHOLD {
+            self.flush_spill()?;
+        }
+        Ok(())
+    }
+
+    fn flush_spill(&mut self) -> Result<()> {
+        if self.spill.is_none() {
+            let f = File::create(self.spill_path())
+                .map_err(|e| Error::io("create postings spill file", e))?;
+            self.spill = Some(BufWriter::new(f));
+        }
+        let w = self.spill.as_mut().expect("just created");
+        w.write_all(&self.postings)
+            .map_err(|e| Error::io("spill postings", e))?;
+        self.spilled_bytes += self.postings.len() as u64;
+        self.postings.clear();
+        Ok(())
+    }
+
+    /// Finalizes the file and opens it for reading.
+    pub fn finish(mut self) -> Result<IndexReader> {
+        let f = File::create(&self.path)
+            .map_err(|e| Error::io(format!("create {}", self.path.display()), e))?;
+        let mut w = BufWriter::new(f);
+        w.write_all(MAGIC)
+            .map_err(|e| Error::io("write magic", e))?;
+        w.write_all(&VERSION.to_le_bytes())
+            .map_err(|e| Error::io("write version", e))?;
+        w.write_all(&self.num_keys.to_le_bytes())
+            .map_err(|e| Error::io("write key count", e))?;
+        w.write_all(&(self.directory.len() as u64).to_le_bytes())
+            .map_err(|e| Error::io("write directory size", e))?;
+        w.write_all(&self.directory)
+            .map_err(|e| Error::io("write directory", e))?;
+        if self.spill.is_some() {
+            self.flush_spill()?;
+            let mut spill = self.spill.take().expect("spill exists");
+            spill.flush().map_err(|e| Error::io("flush spill", e))?;
+            drop(spill);
+            let mut src =
+                File::open(self.spill_path()).map_err(|e| Error::io("reopen spill", e))?;
+            std::io::copy(&mut src, &mut w).map_err(|e| Error::io("copy spill", e))?;
+            std::fs::remove_file(self.spill_path()).map_err(|e| Error::io("remove spill", e))?;
+        } else {
+            w.write_all(&self.postings)
+                .map_err(|e| Error::io("write postings", e))?;
+        }
+        w.flush().map_err(|e| Error::io("flush index", e))?;
+        IndexReader::open(&self.path)
+    }
+}
+
+/// One directory entry.
+#[derive(Clone, Copy, Debug)]
+struct DirEntry {
+    doc_count: u32,
+    offset: u64,
+    len: u32,
+}
+
+/// A read-only on-disk index. The directory lives in memory; postings are
+/// read on demand with positioned reads (thread-safe, no seek state).
+pub struct IndexReader {
+    file: File,
+    postings_start: u64,
+    entries: FxHashMap<Key, DirEntry>,
+    sorted_keys: Vec<Key>,
+    num_postings: u64,
+    key_bytes: u64,
+    postings_bytes: u64,
+}
+
+impl IndexReader {
+    /// Opens an index file, loading its directory.
+    pub fn open(path: impl AsRef<Path>) -> Result<IndexReader> {
+        let path = path.as_ref();
+        let mut file =
+            File::open(path).map_err(|e| Error::io(format!("open {}", path.display()), e))?;
+        let mut header = [0u8; 8 + 4 + 8 + 8];
+        file.read_exact(&mut header)
+            .map_err(|e| Error::io("read header", e))?;
+        if &header[..8] != MAGIC {
+            return Err(Error::Corrupt(format!("bad magic in {}", path.display())));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed size"));
+        if version != VERSION {
+            return Err(Error::Corrupt(format!(
+                "unsupported index version {version}"
+            )));
+        }
+        let num_keys = u64::from_le_bytes(header[12..20].try_into().expect("fixed size"));
+        let dir_bytes = u64::from_le_bytes(header[20..28].try_into().expect("fixed size"));
+        let mut dir = vec![0u8; dir_bytes as usize];
+        file.read_exact(&mut dir)
+            .map_err(|e| Error::io("read directory", e))?;
+        let postings_start = header.len() as u64 + dir_bytes;
+
+        let mut entries =
+            FxHashMap::with_capacity_and_hasher(num_keys as usize, Default::default());
+        let mut sorted_keys = Vec::with_capacity(num_keys as usize);
+        let mut cursor = &dir[..];
+        let mut offset = 0u64;
+        let mut num_postings = 0u64;
+        let mut key_bytes = 0u64;
+        for i in 0..num_keys {
+            let (key_len, used) = varint::decode(cursor)?;
+            cursor = &cursor[used..];
+            if cursor.len() < key_len as usize {
+                return Err(Error::Corrupt(format!("truncated key {i}")));
+            }
+            let key: Key = cursor[..key_len as usize].into();
+            cursor = &cursor[key_len as usize..];
+            let (doc_count, used) = varint::decode(cursor)?;
+            cursor = &cursor[used..];
+            let (plen, used) = varint::decode(cursor)?;
+            cursor = &cursor[used..];
+            entries.insert(
+                key.clone(),
+                DirEntry {
+                    doc_count: doc_count as u32,
+                    offset,
+                    len: plen as u32,
+                },
+            );
+            sorted_keys.push(key);
+            offset += plen;
+            num_postings += doc_count;
+            key_bytes += key_len;
+        }
+        if !cursor.is_empty() {
+            return Err(Error::Corrupt("trailing bytes in directory".into()));
+        }
+        let file_len = file
+            .metadata()
+            .map_err(|e| Error::io("stat index", e))?
+            .len();
+        if postings_start + offset > file_len {
+            return Err(Error::Corrupt(format!(
+                "postings section truncated: need {} bytes, file has {}",
+                postings_start + offset,
+                file_len
+            )));
+        }
+        Ok(IndexReader {
+            file,
+            postings_start,
+            entries,
+            sorted_keys,
+            num_postings,
+            key_bytes,
+            postings_bytes: offset,
+        })
+    }
+
+    /// Reads one key's encoded postings from disk.
+    fn read_postings(&self, e: DirEntry) -> Result<Postings> {
+        let mut buf = vec![0u8; e.len as usize];
+        self.file
+            .read_exact_at(&mut buf, self.postings_start + e.offset)
+            .map_err(|err| Error::io("read postings", err))?;
+        Ok(Postings::from_encoded(Bytes::from(buf), e.doc_count))
+    }
+
+    /// The sorted key list (borrowed).
+    pub fn keys(&self) -> &[Key] {
+        &self.sorted_keys
+    }
+}
+
+impl IndexRead for IndexReader {
+    fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains_key(&self, key: &[u8]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn doc_count(&self, key: &[u8]) -> Option<usize> {
+        self.entries.get(key).map(|e| e.doc_count as usize)
+    }
+
+    fn postings(&self, key: &[u8]) -> Result<Option<Vec<DocId>>> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(&e) => Ok(Some(self.read_postings(e)?.decode()?)),
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        for k in &self.sorted_keys {
+            f(k);
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            num_keys: self.entries.len() as u64,
+            num_postings: self.num_postings,
+            key_bytes: self.key_bytes,
+            postings_bytes: self.postings_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("free-index-{name}-{}.idx", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmpfile("roundtrip");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"alpha", &Postings::from_sorted(&[1, 5, 9])).unwrap();
+        w.add(b"beta", &Postings::from_sorted(&[2])).unwrap();
+        w.add(b"gamma", &Postings::from_sorted(&[0, 1, 2, 3]))
+            .unwrap();
+        let r = w.finish().unwrap();
+        assert_eq!(r.num_keys(), 3);
+        assert_eq!(r.postings(b"alpha").unwrap().unwrap(), vec![1, 5, 9]);
+        assert_eq!(r.postings(b"beta").unwrap().unwrap(), vec![2]);
+        assert_eq!(r.postings(b"gamma").unwrap().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(r.postings(b"delta").unwrap(), None);
+        assert_eq!(r.doc_count(b"gamma"), Some(4));
+        let s = r.stats();
+        assert_eq!(s.num_keys, 3);
+        assert_eq!(s.num_postings, 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_from_disk() {
+        let path = tmpfile("reopen");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"key", &Postings::from_sorted(&[7, 8])).unwrap();
+        drop(w.finish().unwrap());
+        let r = IndexReader::open(&path).unwrap();
+        assert_eq!(r.postings(b"key").unwrap().unwrap(), vec![7, 8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_order_keys() {
+        let path = tmpfile("order");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"bb", &Postings::from_sorted(&[1])).unwrap();
+        assert!(w.add(b"aa", &Postings::from_sorted(&[2])).is_err());
+        assert!(w.add(b"bb", &Postings::from_sorted(&[2])).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_index() {
+        let path = tmpfile("empty");
+        let w = IndexWriter::create(&path).unwrap();
+        let r = w.finish().unwrap();
+        assert_eq!(r.num_keys(), 0);
+        assert_eq!(r.postings(b"x").unwrap(), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn keys_enumerate_sorted() {
+        let path = tmpfile("sorted");
+        let mut w = IndexWriter::create(&path).unwrap();
+        for k in [&b"a"[..], b"ab", b"b"] {
+            w.add(k, &Postings::from_sorted(&[0])).unwrap();
+        }
+        let r = w.finish().unwrap();
+        let mut seen = Vec::new();
+        r.for_each_key(&mut |k| seen.push(k.to_vec()));
+        assert_eq!(seen, vec![b"a".to_vec(), b"ab".to_vec(), b"b".to_vec()]);
+        assert_eq!(r.keys().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"WRONGMAGICxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_truncated_postings() {
+        let path = tmpfile("trunc");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"kk", &Postings::from_sorted(&[1, 2, 3, 4, 5, 6, 7, 8]))
+            .unwrap();
+        drop(w.finish().unwrap());
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_keys() {
+        let path = tmpfile("binkeys");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(&[0u8, 1, 2], &Postings::from_sorted(&[3])).unwrap();
+        w.add(&[0u8, 1, 255], &Postings::from_sorted(&[4])).unwrap();
+        let r = w.finish().unwrap();
+        assert_eq!(r.postings(&[0u8, 1, 255]).unwrap().unwrap(), vec![4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_reads() {
+        let path = tmpfile("concurrent");
+        let mut w = IndexWriter::create(&path).unwrap();
+        for i in 0..100u32 {
+            let key = format!("key{i:03}");
+            w.add(key.as_bytes(), &Postings::from_sorted(&[i, i + 1000]))
+                .unwrap();
+        }
+        let r = std::sync::Arc::new(w.finish().unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in (t..100).step_by(4) {
+                    let key = format!("key{i:03}");
+                    let p = r.postings(key.as_bytes()).unwrap().unwrap();
+                    assert_eq!(p, vec![i as u32, i as u32 + 1000]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

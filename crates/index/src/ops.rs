@@ -1,0 +1,247 @@
+//! Set operations over sorted document-id lists.
+//!
+//! The physical plan's AND/OR nodes evaluate to intersections and unions
+//! of postings. Intersections use galloping (exponential) search when the
+//! list sizes are lopsided — the common case, since the planner
+//! intersects the rarest gram first.
+
+use crate::DocId;
+
+/// Intersects two sorted lists.
+///
+/// Chooses between a linear merge and galloping automatically: when one
+/// list is much shorter, binary-searching the longer list beats merging.
+pub fn intersect(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return Vec::new();
+    }
+    // Galloping pays off when the size ratio is large; 16 is a common
+    // threshold (cost: len(short) * log(len(long)) vs len(short)+len(long)).
+    if long.len() / short.len().max(1) >= 16 {
+        intersect_galloping(short, long)
+    } else {
+        intersect_merge(short, long)
+    }
+}
+
+/// Plain two-pointer merge intersection.
+pub fn intersect_merge(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Galloping intersection: for each element of `short`, exponentially
+/// probe forward in `long`.
+pub fn intersect_galloping(short: &[DocId], long: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0usize;
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        // Exponential probe for an upper bound on x's position.
+        let mut bound = 1usize;
+        while base + bound < long.len() && long[base + bound] < x {
+            bound *= 2;
+        }
+        let end = (base + bound + 1).min(long.len());
+        // First index in [base, end) whose value is >= x.
+        let idx = base + long[base..end].partition_point(|&v| v < x);
+        if idx < long.len() && long[idx] == x {
+            out.push(x);
+            base = idx + 1;
+        } else {
+            base = idx;
+        }
+    }
+    out
+}
+
+/// Intersects many lists, smallest first (so intermediate results shrink
+/// as fast as possible). An empty input slice yields an empty list.
+pub fn intersect_many(lists: &[&[DocId]]) -> Vec<DocId> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        _ => {
+            let mut order: Vec<&[DocId]> = lists.to_vec();
+            order.sort_by_key(|l| l.len());
+            let mut acc = intersect(order[0], order[1]);
+            for l in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = intersect(&acc, l);
+            }
+            acc
+        }
+    }
+}
+
+/// Unions two sorted lists (deduplicating).
+pub fn union(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Unions many sorted lists with a k-way heap merge.
+pub fn union_many(lists: &[&[DocId]]) -> Vec<DocId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        2 => union(lists[0], lists[1]),
+        _ => {
+            let mut heap: BinaryHeap<Reverse<(DocId, usize, usize)>> = BinaryHeap::new();
+            for (li, l) in lists.iter().enumerate() {
+                if let Some(&first) = l.first() {
+                    heap.push(Reverse((first, li, 0)));
+                }
+            }
+            let mut out = Vec::new();
+            while let Some(Reverse((v, li, pos))) = heap.pop() {
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+                let next = pos + 1;
+                if let Some(&nv) = lists[li].get(next) {
+                    heap.push(Reverse((nv, li, next)));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<DocId>::new());
+        assert_eq!(intersect(&[1, 2], &[]), Vec::<DocId>::new());
+        assert_eq!(intersect(&[7], &[7]), vec![7]);
+        assert_eq!(intersect(&[1, 2, 3], &[4, 5, 6]), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn merge_and_gallop_agree() {
+        let short: Vec<DocId> = vec![5, 100, 101, 5000, 99_999];
+        let long: Vec<DocId> = (0..100_000).step_by(5).collect();
+        assert_eq!(
+            intersect_merge(&short, &long),
+            intersect_galloping(&short, &long)
+        );
+        // Dispatcher picks galloping here (ratio 4000:1), same result.
+        assert_eq!(intersect(&short, &long), intersect_merge(&short, &long));
+    }
+
+    #[test]
+    fn galloping_handles_all_positions() {
+        // Element before, inside, between, and after the long list.
+        let long: Vec<DocId> = vec![10, 20, 30, 40];
+        assert_eq!(intersect_galloping(&[5], &long), Vec::<DocId>::new());
+        assert_eq!(intersect_galloping(&[10], &long), vec![10]);
+        assert_eq!(intersect_galloping(&[25], &long), Vec::<DocId>::new());
+        assert_eq!(intersect_galloping(&[40], &long), vec![40]);
+        assert_eq!(intersect_galloping(&[45], &long), Vec::<DocId>::new());
+        assert_eq!(intersect_galloping(&[10, 30, 40], &long), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn intersect_many_orders_by_size() {
+        let a: Vec<DocId> = (0..100).collect();
+        let b: Vec<DocId> = (0..100).step_by(2).collect();
+        let c: Vec<DocId> = vec![4, 8, 50, 51];
+        assert_eq!(intersect_many(&[&a, &b, &c]), vec![4, 8, 50]);
+        assert_eq!(intersect_many(&[]), Vec::<DocId>::new());
+        assert_eq!(intersect_many(&[&c]), c);
+    }
+
+    #[test]
+    fn union_basics() {
+        assert_eq!(union(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(union(&[], &[]), Vec::<DocId>::new());
+        assert_eq!(union(&[5], &[]), vec![5]);
+    }
+
+    #[test]
+    fn union_many_dedups() {
+        let lists: Vec<Vec<DocId>> = vec![vec![1, 4, 9], vec![2, 4, 8], vec![4, 9, 10]];
+        let refs: Vec<&[DocId]> = lists.iter().map(|l| l.as_slice()).collect();
+        assert_eq!(union_many(&refs), vec![1, 2, 4, 8, 9, 10]);
+        assert_eq!(union_many(&[]), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn randomized_against_hashset() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let mut a: Vec<DocId> = (0..rng.gen_range(0..80))
+                .map(|_| rng.gen_range(0..200))
+                .collect();
+            let mut b: Vec<DocId> = (0..rng.gen_range(0..2000))
+                .map(|_| rng.gen_range(0..4000))
+                .collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let sa: std::collections::HashSet<_> = a.iter().copied().collect();
+            let sb: std::collections::HashSet<_> = b.iter().copied().collect();
+            let mut want_i: Vec<DocId> = sa.intersection(&sb).copied().collect();
+            want_i.sort_unstable();
+            let mut want_u: Vec<DocId> = sa.union(&sb).copied().collect();
+            want_u.sort_unstable();
+            assert_eq!(intersect(&a, &b), want_i);
+            assert_eq!(intersect_merge(&a, &b), want_i);
+            assert_eq!(
+                if a.len() <= b.len() {
+                    intersect_galloping(&a, &b)
+                } else {
+                    intersect_galloping(&b, &a)
+                },
+                want_i
+            );
+            assert_eq!(union(&a, &b), want_u);
+        }
+    }
+}

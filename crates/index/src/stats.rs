@@ -1,0 +1,67 @@
+//! Index size statistics — the quantities reported in Table 3 of the
+//! paper (number of gram keys, number of postings, byte sizes).
+
+/// Size statistics for an index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of distinct gram keys (Table 3, row 3).
+    pub num_keys: u64,
+    /// Total number of postings across all keys (Table 3, row 4).
+    pub num_postings: u64,
+    /// Bytes of key material in the directory.
+    pub key_bytes: u64,
+    /// Bytes of encoded postings.
+    pub postings_bytes: u64,
+}
+
+impl IndexStats {
+    /// Total on-disk payload (directory keys + postings).
+    pub fn total_bytes(&self) -> u64 {
+        self.key_bytes + self.postings_bytes
+    }
+
+    /// Mean postings per key; the paper notes this exceeds 100 for every
+    /// index it builds, i.e. size is dominated by postings not keys.
+    pub fn postings_per_key(&self) -> f64 {
+        if self.num_keys == 0 {
+            0.0
+        } else {
+            self.num_postings as f64 / self.num_keys as f64
+        }
+    }
+}
+
+impl core::fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} keys, {} postings ({} key bytes + {} postings bytes)",
+            self.num_keys, self.num_postings, self.key_bytes, self.postings_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = IndexStats {
+            num_keys: 4,
+            num_postings: 500,
+            key_bytes: 20,
+            postings_bytes: 600,
+        };
+        assert_eq!(s.total_bytes(), 620);
+        assert!((s.postings_per_key() - 125.0).abs() < 1e-9);
+        assert!(s.to_string().contains("4 keys"));
+    }
+
+    #[test]
+    fn empty_index() {
+        let s = IndexStats::default();
+        assert_eq!(s.postings_per_key(), 0.0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+}

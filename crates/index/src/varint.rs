@@ -1,0 +1,143 @@
+//! LEB128 variable-length unsigned integers.
+//!
+//! Postings lists store document-id *deltas*, which are small for frequent
+//! grams, so variable-length coding is the difference between ~4 bytes and
+//! ~1 byte per posting. The format is standard little-endian base-128:
+//! seven payload bits per byte, high bit set on all but the last byte.
+
+use crate::{Error, Result};
+
+/// Maximum encoded length of a `u64` (⌈64/7⌉ bytes).
+pub const MAX_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out`, returning the number
+/// of bytes written.
+#[inline]
+pub fn encode(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from the front of `buf`, returning `(value,
+/// bytes_consumed)`.
+#[inline]
+pub fn decode(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_LEN {
+            return Err(Error::Corrupt("varint longer than 10 bytes".into()));
+        }
+        let payload = u64::from(byte & 0x7f);
+        value = value
+            .checked_add(
+                payload
+                    .checked_shl(shift)
+                    .filter(|&v| v >> shift == payload)
+                    .ok_or_else(|| Error::Corrupt("varint overflows u64".into()))?,
+            )
+            .ok_or_else(|| Error::Corrupt("varint overflows u64".into()))?;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::Corrupt("truncated varint".into()))
+}
+
+/// The encoded length of `value` without encoding it.
+#[inline]
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        let n = encode(v, &mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, encoded_len(v), "encoded_len mismatch for {v}");
+        let (got, used) = decode(&buf).unwrap();
+        assert_eq!(got, v);
+        assert_eq!(used, n);
+    }
+
+    #[test]
+    fn small_values_one_byte() {
+        for v in 0..128 {
+            let mut buf = Vec::new();
+            assert_eq!(encode(v, &mut buf), 1);
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+        assert_eq!(encoded_len(u64::MAX), MAX_LEN);
+    }
+
+    #[test]
+    fn decode_consumes_prefix_only() {
+        let mut buf = Vec::new();
+        encode(300, &mut buf);
+        let mark = buf.len();
+        encode(7, &mut buf);
+        let (v1, used) = decode(&buf).unwrap();
+        assert_eq!(v1, 300);
+        assert_eq!(used, mark);
+        let (v2, _) = decode(&buf[used..]).unwrap();
+        assert_eq!(v2, 7);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut buf = Vec::new();
+        encode(1_000_000, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        // Eleven continuation bytes.
+        let buf = [0x80u8; 11];
+        assert!(decode(&buf).is_err());
+        // 10-byte encoding whose top byte overflows u64.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x7f);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(decode(&[]).is_err());
+    }
+}

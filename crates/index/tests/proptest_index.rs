@@ -1,0 +1,100 @@
+//! Property-based tests for the index substrate: postings round-trips, set
+//! operations against model sets, and on-disk format round-trips.
+
+use free_index::{ops, DocId, IndexBuilder, IndexRead, MemIndex, Postings};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn sorted_ids() -> impl Strategy<Value = Vec<DocId>> {
+    prop::collection::btree_set(0u32..5_000, 0..200).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn postings_roundtrip(ids in sorted_ids()) {
+        let p = Postings::from_sorted(&ids);
+        prop_assert_eq!(p.len(), ids.len());
+        prop_assert_eq!(p.decode().unwrap(), ids.clone());
+        let via_iter: Vec<DocId> = p.iter().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(via_iter, ids);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in sorted_ids(), b in sorted_ids()) {
+        let sa: BTreeSet<DocId> = a.iter().copied().collect();
+        let sb: BTreeSet<DocId> = b.iter().copied().collect();
+        let want: Vec<DocId> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(ops::intersect(&a, &b), want.clone());
+        prop_assert_eq!(ops::intersect_merge(&a, &b), want.clone());
+        let (s, l) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+        prop_assert_eq!(ops::intersect_galloping(s, l), want);
+    }
+
+    #[test]
+    fn union_matches_model(a in sorted_ids(), b in sorted_ids()) {
+        let sa: BTreeSet<DocId> = a.iter().copied().collect();
+        let sb: BTreeSet<DocId> = b.iter().copied().collect();
+        let want: Vec<DocId> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(ops::union(&a, &b), want);
+    }
+
+    #[test]
+    fn many_way_ops_match_model(lists in prop::collection::vec(sorted_ids(), 0..5)) {
+        let refs: Vec<&[DocId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let union_want: Vec<DocId> = {
+            let mut s = BTreeSet::new();
+            for l in &lists { s.extend(l.iter().copied()); }
+            s.into_iter().collect()
+        };
+        prop_assert_eq!(ops::union_many(&refs), union_want);
+        if !lists.is_empty() {
+            let mut acc: BTreeSet<DocId> = lists[0].iter().copied().collect();
+            for l in &lists[1..] {
+                let s: BTreeSet<DocId> = l.iter().copied().collect();
+                acc = acc.intersection(&s).copied().collect();
+            }
+            let want: Vec<DocId> = acc.into_iter().collect();
+            prop_assert_eq!(ops::intersect_many(&refs), want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random (key, doc) streams: MemIndex, the plain writer path and the
+    /// forced-spill external builder must produce identical indexes.
+    #[test]
+    fn disk_format_and_builder_match_memindex(
+        stream in prop::collection::vec((0u8..6, 0u32..60), 1..300),
+        case_id in 0u64..u64::MAX,
+    ) {
+        // Doc ids must be fed in order; sort the stream by doc.
+        let mut stream: Vec<(u8, u32)> = stream;
+        stream.sort_by_key(|&(_, d)| d);
+
+        let mut mem = MemIndex::new();
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("free-pt-{}-{case_id}.idx", std::process::id()));
+        let mut builder = IndexBuilder::with_memory_budget(&p1, 16); // force spills
+        for &(k, d) in &stream {
+            let key = [b'k', k];
+            mem.add(&key, d);
+            builder.add(&key, d).unwrap();
+        }
+        let disk = builder.finish().unwrap();
+
+        prop_assert_eq!(disk.num_keys(), mem.num_keys());
+        let mut model: BTreeMap<Vec<u8>, Vec<DocId>> = BTreeMap::new();
+        for &(k, d) in &stream {
+            let e = model.entry(vec![b'k', k]).or_default();
+            if e.last() != Some(&d) { e.push(d); }
+        }
+        for (key, want) in model {
+            prop_assert_eq!(mem.postings(&key).unwrap().unwrap(), want.clone());
+            prop_assert_eq!(disk.postings(&key).unwrap().unwrap(), want.clone());
+            prop_assert_eq!(disk.doc_count(&key), Some(want.len()));
+        }
+        std::fs::remove_file(&p1).unwrap();
+    }
+}

@@ -1,0 +1,263 @@
+//! Regular-expression matching via Brzozowski derivatives (reference \[9\]
+//! of the paper).
+//!
+//! The derivative of a language `L` with respect to a byte `b` is
+//! `{ w | bw ∈ L }` — computable *syntactically* on the AST. A string
+//! matches iff repeatedly deriving by its bytes ends in a nullable
+//! expression. No automaton is ever materialized, which makes this the
+//! most self-evidently-correct engine in the crate and a valuable
+//! cross-check for the NFA/DFA/Pike tiers; with hash-consed memoization it
+//! is even practical for short inputs.
+//!
+//! Works on any AST; counted repetitions are handled natively
+//! (`d_b(x{m,n}) = d_b(x) · x{m-1,n-1}` adjusted for nullability).
+
+use crate::ast::Ast;
+use crate::class::ByteClass;
+use rustc_hash::FxHashMap;
+
+/// A derivative-based matcher with per-(expression, byte) memoization.
+#[derive(Default)]
+pub struct DerivativeMatcher {
+    memo: FxHashMap<(Ast, u8), Ast>,
+}
+
+impl DerivativeMatcher {
+    /// Creates a matcher.
+    pub fn new() -> DerivativeMatcher {
+        DerivativeMatcher::default()
+    }
+
+    /// Whether `haystack`, **in its entirety**, matches `ast` (anchored at
+    /// both ends — the natural semantics of derivatives).
+    pub fn matches_exact(&mut self, ast: &Ast, haystack: &[u8]) -> bool {
+        let mut current = ast.clone();
+        for &b in haystack {
+            current = self.derive(&current, b);
+            if is_empty_language(&current) {
+                return false;
+            }
+        }
+        current.is_nullable()
+    }
+
+    /// Whether any substring of `haystack` matches (unanchored), by
+    /// wrapping the pattern as `.* ast .*`-style containment via
+    /// derivatives of an alternation that may restart at every byte.
+    pub fn is_match(&mut self, ast: &Ast, haystack: &[u8]) -> bool {
+        // Maintain the set of "live" partial derivatives plus the original
+        // pattern (restart). Matching as soon as any is nullable.
+        if ast.is_nullable() {
+            return true;
+        }
+        let mut live: Vec<Ast> = vec![ast.clone()];
+        for &b in haystack {
+            let mut next: Vec<Ast> = Vec::with_capacity(live.len() + 1);
+            for expr in &live {
+                let d = self.derive(expr, b);
+                if d.is_nullable() {
+                    return true;
+                }
+                if !is_empty_language(&d) && !next.contains(&d) {
+                    next.push(d);
+                }
+            }
+            // Unanchored restart.
+            let d = self.derive(ast, b);
+            if d.is_nullable() {
+                return true;
+            }
+            if !is_empty_language(&d) && !next.contains(&d) {
+                next.push(d);
+            }
+            live = next;
+        }
+        false
+    }
+
+    /// The Brzozowski derivative `d_b(ast)`.
+    pub fn derive(&mut self, ast: &Ast, b: u8) -> Ast {
+        if let Some(hit) = self.memo.get(&(ast.clone(), b)) {
+            return hit.clone();
+        }
+        let out = match ast {
+            Ast::Empty => empty_language(),
+            Ast::Class(c) => {
+                if c.contains(b) {
+                    Ast::Empty
+                } else {
+                    empty_language()
+                }
+            }
+            Ast::Concat(nodes) => {
+                // d(xy) = d(x)y | [x nullable] d(y)
+                let (head, tail) = nodes.split_first().expect("concat non-empty");
+                let tail_ast = Ast::concat(tail.to_vec());
+                let mut branches = Vec::new();
+                let dh = self.derive(head, b);
+                if !is_empty_language(&dh) {
+                    branches.push(Ast::concat(vec![dh, tail_ast.clone()]));
+                }
+                if head.is_nullable() {
+                    let dt = self.derive(&tail_ast, b);
+                    if !is_empty_language(&dt) {
+                        branches.push(dt);
+                    }
+                }
+                match branches.len() {
+                    0 => empty_language(),
+                    1 => branches.pop().expect("len checked"),
+                    _ => Ast::alternate(branches),
+                }
+            }
+            Ast::Alternate(nodes) => {
+                let branches: Vec<Ast> = nodes
+                    .iter()
+                    .map(|n| self.derive(n, b))
+                    .filter(|d| !is_empty_language(d))
+                    .collect();
+                match branches.len() {
+                    0 => empty_language(),
+                    _ => Ast::alternate(branches),
+                }
+            }
+            Ast::Repeat { node, min, max } => {
+                // d(x{m,n}) = d(x) · x{max(m-1,0), n-1}
+                let next_min = min.saturating_sub(1);
+                let next_max = match max {
+                    None => None,
+                    Some(0) => return self.memoize(ast, b, empty_language()),
+                    Some(m) => Some(m - 1),
+                };
+                let dx = self.derive(node, b);
+                if is_empty_language(&dx) {
+                    empty_language()
+                } else if next_max == Some(0) {
+                    dx
+                } else {
+                    Ast::concat(vec![
+                        dx,
+                        Ast::Repeat {
+                            node: node.clone(),
+                            min: next_min,
+                            max: next_max,
+                        },
+                    ])
+                }
+            }
+        };
+        self.memoize(ast, b, out)
+    }
+
+    fn memoize(&mut self, ast: &Ast, b: u8, out: Ast) -> Ast {
+        self.memo.insert((ast.clone(), b), out.clone());
+        out
+    }
+}
+
+/// The canonical empty language: a class matching no byte.
+fn empty_language() -> Ast {
+    Ast::Class(ByteClass::EMPTY)
+}
+
+/// Whether `ast` is syntactically the empty language (conservative: only
+/// detects the canonical form and simple compositions thereof).
+fn is_empty_language(ast: &Ast) -> bool {
+    match ast {
+        Ast::Class(c) => c.is_empty(),
+        Ast::Concat(ns) => ns.iter().any(is_empty_language),
+        Ast::Alternate(ns) => ns.iter().all(is_empty_language),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::parser::parse;
+
+    fn exact(pattern: &str, haystack: &[u8]) -> bool {
+        DerivativeMatcher::new().matches_exact(&parse(pattern).unwrap(), haystack)
+    }
+
+    #[test]
+    fn exact_literals() {
+        assert!(exact("abc", b"abc"));
+        assert!(!exact("abc", b"ab"));
+        assert!(!exact("abc", b"abcd"));
+        assert!(!exact("abc", b"xabc"));
+    }
+
+    #[test]
+    fn exact_with_operators() {
+        assert!(exact("a*", b""));
+        assert!(exact("a*", b"aaaa"));
+        assert!(!exact("a+", b""));
+        assert!(exact("a|b", b"b"));
+        assert!(exact("(ab)+", b"abab"));
+        assert!(!exact("(ab)+", b"aba"));
+        assert!(exact("a{2,3}", b"aa"));
+        assert!(exact("a{2,3}", b"aaa"));
+        assert!(!exact("a{2,3}", b"aaaa"));
+        assert!(exact(r"\d\d", b"42"));
+    }
+
+    #[test]
+    fn unanchored_containment() {
+        let mut m = DerivativeMatcher::new();
+        let ast = parse("needle").unwrap();
+        assert!(m.is_match(&ast, b"hay needle hay"));
+        assert!(!m.is_match(&ast, b"hay nee hay"));
+        let ast = parse("a*b").unwrap();
+        assert!(m.is_match(&ast, b"zzzb"));
+        assert!(!m.is_match(&ast, b"zzz"));
+    }
+
+    #[test]
+    fn derivative_of_class() {
+        let mut m = DerivativeMatcher::new();
+        let d = m.derive(&parse("[abc]x").unwrap(), b'b');
+        assert!(oracle::match_ends(&d, b"x", 0).contains(&1));
+        let d = m.derive(&parse("[abc]x").unwrap(), b'z');
+        assert!(is_empty_language(&d));
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_fixed_cases() {
+        let patterns = [
+            "abc",
+            "a*b+c?",
+            "(ab|ba)*",
+            "a{1,3}b{2}",
+            "x(y|z)w",
+            "[ab]*c",
+        ];
+        let haystacks: &[&[u8]] = &[
+            b"", b"a", b"abc", b"abbc", b"abab", b"baba", b"aab", b"abb", b"xyw", b"xzw", b"aabbc",
+            b"cab",
+        ];
+        let mut m = DerivativeMatcher::new();
+        for pat in patterns {
+            let ast = parse(pat).unwrap();
+            for hay in haystacks {
+                // Exact match ⇔ oracle can end at len starting at 0.
+                let want_exact = oracle::match_ends(&ast, hay, 0).contains(&hay.len());
+                assert_eq!(m.matches_exact(&ast, hay), want_exact, "{pat} vs {hay:?}");
+                // Containment ⇔ oracle unanchored.
+                let want_any = oracle::is_match(&ast, hay);
+                assert_eq!(m.is_match(&ast, hay), want_any, "{pat} in {hay:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_reuses_entries() {
+        let mut m = DerivativeMatcher::new();
+        let ast = parse("(ab)*").unwrap();
+        assert!(m.matches_exact(&ast, b"abababab"));
+        let size_after_first = m.memo.len();
+        assert!(m.matches_exact(&ast, b"abab"));
+        assert_eq!(m.memo.len(), size_after_first, "no new derivatives needed");
+    }
+}

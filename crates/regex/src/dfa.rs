@@ -1,0 +1,292 @@
+//! An on-the-fly (lazy) determinization of the Thompson NFA.
+//!
+//! The lazy DFA answers the only question FREE's runtime asks of most data
+//! units — "does this page contain a match at all?" — in strict `O(n)` time
+//! with one table lookup per haystack byte. DFA states are created the
+//! first time they are visited (subset construction, McNaughton–Yamada),
+//! keyed by their NFA state set; transitions are dense over the NFA's byte
+//! equivalence classes rather than all 256 bytes.
+//!
+//! Search is *unanchored*: every DFA state set implicitly includes the
+//! epsilon closure of the NFA start state, which is equivalent to prefixing
+//! the pattern with `.*?`.
+//!
+//! If a pathological pattern forces more than the configured state limit
+//! states, the cache is cleared and rebuilt; callers never observe a
+//! failure, only (rare) re-computation.
+
+use crate::nfa::{Nfa, State, StateId};
+use rustc_hash::FxHashMap;
+
+/// Identifier of a DFA state (index into the state table).
+type DfaStateId = u32;
+
+/// Sentinel: transition not yet computed.
+const UNKNOWN: DfaStateId = u32::MAX;
+
+/// Default bound on cached DFA states before the cache is reset.
+pub const DEFAULT_STATE_LIMIT: usize = 10_000;
+
+/// A lazily-built deterministic automaton for unanchored containment search.
+#[derive(Clone, Debug)]
+pub struct LazyDfa {
+    /// Transition table: `transitions[state * stride + byte_class]`.
+    transitions: Vec<DfaStateId>,
+    /// Whether each DFA state is accepting.
+    is_match: Vec<bool>,
+    /// Interned NFA state sets, for rebuilding transitions lazily.
+    sets: Vec<Box<[StateId]>>,
+    /// Map from NFA state set to DFA state id.
+    cache: FxHashMap<Box<[StateId]>, DfaStateId>,
+    /// Number of byte classes (stride of the transition table).
+    stride: usize,
+    start: DfaStateId,
+    state_limit: usize,
+    /// Number of times the cache overflowed and was reset.
+    resets: u64,
+    /// Scratch for epsilon closures.
+    seen: Vec<bool>,
+    /// One representative byte per input equivalence class.
+    reps: Vec<u8>,
+}
+
+impl LazyDfa {
+    /// Creates a lazy DFA for `nfa` with the default state limit.
+    pub fn new(nfa: &Nfa) -> LazyDfa {
+        LazyDfa::with_state_limit(nfa, DEFAULT_STATE_LIMIT)
+    }
+
+    /// Creates a lazy DFA with a custom cache limit (min 2).
+    pub fn with_state_limit(nfa: &Nfa, state_limit: usize) -> LazyDfa {
+        let mut dfa = LazyDfa {
+            transitions: Vec::new(),
+            is_match: Vec::new(),
+            sets: Vec::new(),
+            cache: FxHashMap::default(),
+            stride: nfa.num_byte_classes() as usize,
+            start: 0,
+            state_limit: state_limit.max(2),
+            resets: 0,
+            seen: vec![false; nfa.len()],
+            reps: nfa.byte_class_representatives(),
+        };
+        dfa.reset(nfa);
+        dfa
+    }
+
+    /// Number of materialized DFA states.
+    pub fn num_states(&self) -> usize {
+        self.is_match.len()
+    }
+
+    /// How many times the state cache overflowed.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    fn reset(&mut self, nfa: &Nfa) {
+        self.transitions.clear();
+        self.is_match.clear();
+        self.sets.clear();
+        self.cache.clear();
+        // State 0: the unanchored start = closure(nfa.start).
+        let mut set = Vec::new();
+        self.seen.iter_mut().for_each(|s| *s = false);
+        nfa.epsilon_closure_into(nfa.start(), &mut set, &mut self.seen);
+        set.sort_unstable();
+        self.start = self.intern(nfa, set.into_boxed_slice());
+    }
+
+    fn intern(&mut self, nfa: &Nfa, set: Box<[StateId]>) -> DfaStateId {
+        if let Some(&id) = self.cache.get(&set) {
+            return id;
+        }
+        let id = self.is_match.len() as DfaStateId;
+        let accepting = set.iter().any(|&s| matches!(nfa.state(s), State::Match));
+        self.is_match.push(accepting);
+        self.transitions
+            .extend(std::iter::repeat_n(UNKNOWN, self.stride));
+        self.sets.push(set.clone());
+        self.cache.insert(set, id);
+        id
+    }
+
+    /// Computes (and caches) the transition out of `state` on `class`.
+    ///
+    /// On cache overflow the table is flushed, but the *current* state's
+    /// NFA set is re-interned first, so in-progress partial matches are
+    /// never lost; the returned id is always valid against the new table.
+    #[inline(never)]
+    fn compute_transition(&mut self, nfa: &Nfa, state: DfaStateId, class: u16) -> DfaStateId {
+        let mut state = state;
+        if self.is_match.len() >= self.state_limit {
+            let saved = self.sets[state as usize].clone();
+            self.resets += 1;
+            self.reset(nfa);
+            state = self.intern(nfa, saved);
+        }
+        // A representative byte for this class.
+        let rep = self.reps[class as usize];
+        let current = self.sets[state as usize].clone();
+        let mut next_set = Vec::new();
+        self.seen.iter_mut().for_each(|s| *s = false);
+        // Unanchored: every state set implicitly restarts the pattern.
+        nfa.epsilon_closure_into(nfa.start(), &mut next_set, &mut self.seen);
+        for &s in current.iter() {
+            if let State::Class { class: c, next } = nfa.state(s) {
+                if nfa.class(c).contains(rep) {
+                    nfa.epsilon_closure_into(next, &mut next_set, &mut self.seen);
+                }
+            }
+        }
+        next_set.sort_unstable();
+        next_set.dedup();
+        let next_id = self.intern(nfa, next_set.into_boxed_slice());
+        self.transitions[state as usize * self.stride + class as usize] = next_id;
+        next_id
+    }
+
+    /// Returns `true` iff `haystack` contains a match, scanning from the
+    /// left and stopping at the earliest accepting state.
+    pub fn is_match(&mut self, nfa: &Nfa, haystack: &[u8]) -> bool {
+        self.shortest_match(nfa, haystack).is_some()
+    }
+
+    /// Returns the end offset of the leftmost shortest match, if any.
+    /// (The *start* offset requires the Pike VM; see [`crate::pike`].)
+    pub fn shortest_match(&mut self, nfa: &Nfa, haystack: &[u8]) -> Option<usize> {
+        let mut state = self.start;
+        if self.is_match[state as usize] {
+            return Some(0);
+        }
+        let mut pos = 0;
+        while pos < haystack.len() {
+            let class = nfa.byte_class(haystack[pos]);
+            let mut next = self.transitions[state as usize * self.stride + class as usize];
+            if next == UNKNOWN {
+                next = self.compute_transition(nfa, state, class);
+            }
+            state = next;
+            pos += 1;
+            if self.is_match[state as usize] {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::parser::parse;
+    use crate::pike::PikeVm;
+
+    fn dfa_for(pattern: &str) -> (Nfa, LazyDfa) {
+        let nfa = Nfa::compile(&parse(pattern).unwrap()).unwrap();
+        let dfa = LazyDfa::new(&nfa);
+        (nfa, dfa)
+    }
+
+    #[test]
+    fn literal_containment() {
+        let (nfa, mut dfa) = dfa_for("needle");
+        assert!(dfa.is_match(&nfa, b"hay needle hay"));
+        assert!(!dfa.is_match(&nfa, b"hay nee dle hay"));
+        assert!(dfa.is_match(&nfa, b"needle"));
+        assert!(!dfa.is_match(&nfa, b""));
+    }
+
+    #[test]
+    fn shortest_match_end_offset() {
+        let (nfa, mut dfa) = dfa_for("ab");
+        assert_eq!(dfa.shortest_match(&nfa, b"xxab"), Some(4));
+        assert_eq!(dfa.shortest_match(&nfa, b"ab"), Some(2));
+        assert_eq!(dfa.shortest_match(&nfa, b"ba"), None);
+    }
+
+    #[test]
+    fn nullable_matches_immediately() {
+        let (nfa, mut dfa) = dfa_for("a*");
+        assert_eq!(dfa.shortest_match(&nfa, b"bbb"), Some(0));
+        assert_eq!(dfa.shortest_match(&nfa, b""), Some(0));
+    }
+
+    #[test]
+    fn alternation_and_classes() {
+        let (nfa, mut dfa) = dfa_for(r"(cat|dog)\d+");
+        assert!(dfa.is_match(&nfa, b"see dog42 run"));
+        assert!(!dfa.is_match(&nfa, b"see dog run"));
+        assert!(dfa.is_match(&nfa, b"cat7"));
+    }
+
+    #[test]
+    fn agrees_with_pikevm_on_fixed_corpus() {
+        let patterns = [
+            "abc",
+            "a*b",
+            "(ab|ba)+",
+            r"\d{2,4}",
+            "x[yz]*w",
+            "a|b|c|d",
+            "(a|b)(c|d)(e|f)",
+            r"<[^>]*>",
+        ];
+        let haystacks: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"ab",
+            b"abc",
+            b"aabbaabb",
+            b"12345",
+            b"xyzyzyzw",
+            b"<tag>text</tag>",
+            b"no digits here",
+            b"dddd",
+        ];
+        for pat in patterns {
+            let nfa = Nfa::compile(&parse(pat).unwrap()).unwrap();
+            let mut dfa = LazyDfa::new(&nfa);
+            let mut vm = PikeVm::new(&nfa);
+            for hay in haystacks {
+                assert_eq!(
+                    dfa.is_match(&nfa, hay),
+                    vm.is_match(&nfa, hay),
+                    "pattern {pat} haystack {hay:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_overflow_recovers() {
+        // Pattern with many states; a tiny limit forces constant resets,
+        // results must stay correct.
+        let pat = r"(a|b|c|d|e|f){1,20}z";
+        let nfa = Nfa::compile(&parse(pat).unwrap()).unwrap();
+        let mut dfa = LazyDfa::with_state_limit(&nfa, 2);
+        assert!(dfa.is_match(&nfa, b"abcdefz"));
+        assert!(!dfa.is_match(&nfa, b"abcdef"));
+        assert!(dfa.resets() > 0);
+    }
+
+    #[test]
+    fn long_counted_repeat() {
+        // The paper's `sigmod` query uses `.{0,200}`.
+        let pat = r"a.{0,20}b";
+        let (nfa, mut dfa) = dfa_for(pat);
+        assert!(dfa.is_match(&nfa, b"a xxxxxxxxxx b"));
+        assert!(!dfa.is_match(&nfa, b"a xxxxxxxxxxxxxxxxxxxxxxxxxxxxxx b"));
+    }
+
+    #[test]
+    fn state_count_stays_bounded() {
+        let (nfa, mut dfa) = dfa_for("abc");
+        for _ in 0..100 {
+            dfa.is_match(&nfa, b"xxabcxx");
+        }
+        assert!(dfa.num_states() <= 8, "{}", dfa.num_states());
+        assert_eq!(dfa.resets(), 0);
+    }
+}

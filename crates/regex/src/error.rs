@@ -1,0 +1,181 @@
+//! Error types for regex parsing and compilation.
+
+use core::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// An error produced while parsing or compiling a regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    /// Byte offset into the pattern where the error was detected.
+    offset: usize,
+    /// The original pattern, for diagnostics.
+    pattern: String,
+}
+
+/// The specific kind of parse/compile failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The pattern ended unexpectedly (e.g. a trailing `\`).
+    UnexpectedEof,
+    /// An unmatched closing parenthesis.
+    UnmatchedCloseParen,
+    /// An unclosed group `(`.
+    UnclosedGroup,
+    /// An unclosed character class `[`.
+    UnclosedClass,
+    /// A character class with no members, e.g. `[]` or an impossible range.
+    EmptyClass,
+    /// A class range whose start exceeds its end, e.g. `[z-a]`.
+    InvalidClassRange { start: u8, end: u8 },
+    /// A repetition operator with nothing to repeat, e.g. `*` at the start.
+    DanglingRepetition,
+    /// A malformed `{m,n}` counted repetition.
+    InvalidRepetition,
+    /// A counted repetition whose bounds are inverted, e.g. `{3,1}`.
+    InvertedRepetition { min: u32, max: u32 },
+    /// A counted repetition too large to compile, e.g. `{1000000}`.
+    RepetitionTooLarge { limit: u32 },
+    /// An unknown escape sequence, e.g. `\q`.
+    UnknownEscape(char),
+    /// A malformed hex escape, e.g. `\xZZ`.
+    InvalidHexEscape,
+    /// The compiled program exceeded the configured size limit.
+    ProgramTooLarge { states: usize, limit: usize },
+}
+
+impl Error {
+    pub(crate) fn new(kind: ErrorKind, offset: usize, pattern: &str) -> Error {
+        Error {
+            kind,
+            offset,
+            pattern: pattern.to_string(),
+        }
+    }
+
+    /// The kind of error.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the pattern where the error occurred.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The pattern that failed to parse.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of pattern"),
+            ErrorKind::UnmatchedCloseParen => write!(f, "unmatched ')'"),
+            ErrorKind::UnclosedGroup => write!(f, "unclosed group"),
+            ErrorKind::UnclosedClass => write!(f, "unclosed character class"),
+            ErrorKind::EmptyClass => write!(f, "empty character class"),
+            ErrorKind::InvalidClassRange { start, end } => write!(
+                f,
+                "invalid class range {}-{}",
+                crate::class::display_byte(*start),
+                crate::class::display_byte(*end)
+            ),
+            ErrorKind::DanglingRepetition => {
+                write!(f, "repetition operator with nothing to repeat")
+            }
+            ErrorKind::InvalidRepetition => write!(f, "malformed counted repetition"),
+            ErrorKind::InvertedRepetition { min, max } => {
+                write!(f, "counted repetition has min {min} > max {max}")
+            }
+            ErrorKind::RepetitionTooLarge { limit } => {
+                write!(f, "counted repetition exceeds limit of {limit}")
+            }
+            ErrorKind::UnknownEscape(c) => write!(f, "unknown escape sequence '\\{c}'"),
+            ErrorKind::InvalidHexEscape => write!(f, "malformed hex escape"),
+            ErrorKind::ProgramTooLarge { states, limit } => {
+                write!(
+                    f,
+                    "compiled program has {states} states, exceeding limit {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regex parse error at offset {} in `{}`: {}",
+            self.offset, self.pattern, self.kind
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_pattern() {
+        let e = Error::new(ErrorKind::UnmatchedCloseParen, 3, "ab)c");
+        let s = e.to_string();
+        assert!(s.contains("offset 3"), "{s}");
+        assert!(s.contains("ab)c"), "{s}");
+        assert!(s.contains("unmatched ')'"), "{s}");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Error::new(ErrorKind::UnexpectedEof, 7, "abc\\");
+        assert_eq!(*e.kind(), ErrorKind::UnexpectedEof);
+        assert_eq!(e.offset(), 7);
+        assert_eq!(e.pattern(), "abc\\");
+    }
+
+    #[test]
+    fn kind_display_variants() {
+        let cases: Vec<(ErrorKind, &str)> = vec![
+            (ErrorKind::UnclosedGroup, "unclosed group"),
+            (ErrorKind::UnclosedClass, "unclosed character class"),
+            (ErrorKind::EmptyClass, "empty character class"),
+            (
+                ErrorKind::InvalidClassRange {
+                    start: b'z',
+                    end: b'a',
+                },
+                "invalid class range",
+            ),
+            (ErrorKind::DanglingRepetition, "nothing to repeat"),
+            (ErrorKind::InvalidRepetition, "malformed counted repetition"),
+            (
+                ErrorKind::InvertedRepetition { min: 3, max: 1 },
+                "min 3 > max 1",
+            ),
+            (
+                ErrorKind::RepetitionTooLarge { limit: 1000 },
+                "exceeds limit of 1000",
+            ),
+            (ErrorKind::UnknownEscape('q'), "'\\q'"),
+            (ErrorKind::InvalidHexEscape, "malformed hex escape"),
+            (
+                ErrorKind::ProgramTooLarge {
+                    states: 9,
+                    limit: 4,
+                },
+                "9 states",
+            ),
+        ];
+        for (kind, needle) in cases {
+            let shown = kind.to_string();
+            assert!(shown.contains(needle), "{shown} should contain {needle}");
+        }
+    }
+}

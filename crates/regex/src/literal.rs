@@ -1,0 +1,348 @@
+//! Literal extraction and fast substring search.
+//!
+//! The paper's introduction (contribution 4) references an *anchoring*
+//! technique from the extended technical report that "significantly
+//! speeds up in-memory regular expression match": instead of feeding
+//! every byte of a candidate data unit through the automaton, use the
+//! literals the match *must* contain to position (or reject) the match
+//! with a fast substring search first. This module provides the two
+//! ingredients:
+//!
+//! * [`required_literal`] — the longest byte string every match of an AST
+//!   must contain, when one exists;
+//! * [`Finder`] — Boyer–Moore–Horspool substring search (the paper cites
+//!   Boyer & Moore as reference \[7\]), sublinear on average thanks to its
+//!   bad-character skip table.
+
+use crate::ast::Ast;
+
+/// Boyer–Moore–Horspool searcher for a fixed needle.
+#[derive(Clone, Debug)]
+pub struct Finder {
+    needle: Vec<u8>,
+    /// For each byte value, how far the window may shift when the last
+    /// byte of the window is that value.
+    skip: [usize; 256],
+}
+
+impl Finder {
+    /// Builds a searcher. Empty needles are allowed and match everywhere.
+    pub fn new(needle: &[u8]) -> Finder {
+        let mut skip = [needle.len().max(1); 256];
+        if !needle.is_empty() {
+            for (i, &b) in needle[..needle.len() - 1].iter().enumerate() {
+                skip[b as usize] = needle.len() - 1 - i;
+            }
+        }
+        Finder {
+            needle: needle.to_vec(),
+            skip,
+        }
+    }
+
+    /// The needle being searched for.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// First occurrence of the needle at or after `at`.
+    pub fn find_at(&self, haystack: &[u8], at: usize) -> Option<usize> {
+        let n = self.needle.len();
+        if n == 0 {
+            return (at <= haystack.len()).then_some(at);
+        }
+        let mut pos = at;
+        while pos + n <= haystack.len() {
+            let window_last = haystack[pos + n - 1];
+            if window_last == self.needle[n - 1] && haystack[pos..pos + n] == self.needle[..] {
+                return Some(pos);
+            }
+            pos += self.skip[window_last as usize];
+        }
+        None
+    }
+
+    /// First occurrence of the needle.
+    pub fn find(&self, haystack: &[u8]) -> Option<usize> {
+        self.find_at(haystack, 0)
+    }
+
+    /// Whether the haystack contains the needle.
+    pub fn contains(&self, haystack: &[u8]) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// All (possibly overlapping) occurrence start offsets.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while let Some(p) = self.find_at(haystack, at) {
+            out.push(p);
+            at = p + 1;
+            if self.needle.is_empty() && at > haystack.len() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// The longest literal every match of `ast` must contain, if any.
+///
+/// This is the regex-level analogue of the planner's required-gram
+/// analysis: alternations and zero-minimum repeats contribute nothing,
+/// exact literals chain across concatenation.
+pub fn required_literal(ast: &Ast) -> Option<Vec<u8>> {
+    let info = analyze(ast);
+    info.best.filter(|b| !b.is_empty())
+}
+
+/// Analysis result for a subtree.
+struct Info {
+    /// Longest literal guaranteed to occur somewhere in any match.
+    best: Option<Vec<u8>>,
+    /// If the subtree matches exactly one string, that string.
+    exact: Option<Vec<u8>>,
+}
+
+fn longer(a: Option<Vec<u8>>, b: Option<Vec<u8>>) -> Option<Vec<u8>> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.len() >= y.len() { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn analyze(ast: &Ast) -> Info {
+    match ast {
+        Ast::Empty => Info {
+            best: None,
+            exact: Some(Vec::new()),
+        },
+        Ast::Class(c) => match c.as_singleton() {
+            Some(b) => Info {
+                best: Some(vec![b]),
+                exact: Some(vec![b]),
+            },
+            None => Info {
+                best: None,
+                exact: None,
+            },
+        },
+        Ast::Concat(nodes) => {
+            // Chain exact literals; the best required literal is the
+            // longest among chained runs and children's own bests.
+            let mut best: Option<Vec<u8>> = None;
+            let mut run: Vec<u8> = Vec::new();
+            let mut exact: Option<Vec<u8>> = Some(Vec::new());
+            for node in nodes {
+                let info = analyze(node);
+                match (&info.exact, &mut exact) {
+                    (Some(e), Some(acc)) => acc.extend_from_slice(e),
+                    _ => exact = None,
+                }
+                match info.exact {
+                    Some(e) => run.extend_from_slice(&e),
+                    None => {
+                        if !run.is_empty() {
+                            best = longer(best, Some(std::mem::take(&mut run)));
+                        }
+                        best = longer(best, info.best);
+                    }
+                }
+            }
+            if !run.is_empty() {
+                best = longer(best, Some(run));
+            }
+            Info { best, exact }
+        }
+        Ast::Alternate(nodes) => {
+            // A literal is required only if required by *every* branch;
+            // conservatively, use the branches' longest common required
+            // substring only when all branches share an identical best.
+            let infos: Vec<Info> = nodes.iter().map(analyze).collect();
+            let mut common: Option<Vec<u8>> = None;
+            let mut all_same = true;
+            for info in &infos {
+                match (&info.best, &common) {
+                    (Some(b), None) => common = Some(b.clone()),
+                    (Some(b), Some(c)) if b == c => {}
+                    _ => {
+                        all_same = false;
+                        break;
+                    }
+                }
+            }
+            Info {
+                best: if all_same { common } else { None },
+                exact: None,
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            if *min == 0 {
+                return Info {
+                    best: None,
+                    exact: (*max == Some(0)).then(Vec::new),
+                };
+            }
+            let inner = analyze(node);
+            match (&inner.exact, max) {
+                (Some(e), Some(m)) if m == min => {
+                    let lit = e.repeat(*min as usize);
+                    Info {
+                        best: (!lit.is_empty()).then(|| lit.clone()),
+                        exact: Some(lit),
+                    }
+                }
+                (Some(e), _) => {
+                    let lit = e.repeat(*min as usize);
+                    Info {
+                        best: (!lit.is_empty()).then_some(lit),
+                        exact: None,
+                    }
+                }
+                (None, _) => Info {
+                    best: inner.best,
+                    exact: None,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn req(pattern: &str) -> Option<String> {
+        required_literal(&parse(pattern).unwrap()).map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    #[test]
+    fn finder_basic() {
+        let f = Finder::new(b"needle");
+        assert_eq!(f.find(b"hay needle hay"), Some(4));
+        assert_eq!(f.find(b"needle"), Some(0));
+        assert_eq!(f.find(b"need"), None);
+        assert!(f.contains(b"xxneedle"));
+        assert!(!f.contains(b""));
+    }
+
+    #[test]
+    fn finder_at_offsets() {
+        let f = Finder::new(b"ab");
+        assert_eq!(f.find_at(b"abxab", 1), Some(3));
+        assert_eq!(f.find_at(b"abxab", 4), None);
+        assert_eq!(f.find_all(b"ababab"), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn finder_overlapping() {
+        let f = Finder::new(b"aa");
+        assert_eq!(f.find_all(b"aaaa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn finder_single_byte_and_empty() {
+        let f = Finder::new(b"x");
+        assert_eq!(f.find_all(b"axbxc"), vec![1, 3]);
+        let f = Finder::new(b"");
+        assert_eq!(f.find(b"ab"), Some(0));
+        assert_eq!(f.find_all(b"ab").len(), 3); // 0, 1, 2
+    }
+
+    #[test]
+    fn finder_agrees_with_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let needle: Vec<u8> = (0..rng.gen_range(1..6))
+                .map(|_| b"ab"[rng.gen_range(0..2)])
+                .collect();
+            let haystack: Vec<u8> = (0..rng.gen_range(0..50))
+                .map(|_| b"ab"[rng.gen_range(0..2)])
+                .collect();
+            let f = Finder::new(&needle);
+            let want: Vec<usize> = haystack
+                .windows(needle.len())
+                .enumerate()
+                .filter(|(_, w)| *w == &needle[..])
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(f.find_all(&haystack), want, "{needle:?} in {haystack:?}");
+            assert_eq!(f.find(&haystack), want.first().copied());
+        }
+    }
+
+    #[test]
+    fn required_literal_basics() {
+        assert_eq!(req("Clinton"), Some("Clinton".into()));
+        assert_eq!(req("Cli(nt)on"), Some("Clinton".into()));
+        assert_eq!(req(".*"), None);
+        assert_eq!(req(""), None);
+        assert_eq!(req("[ab]"), None);
+    }
+
+    #[test]
+    fn required_literal_picks_longest() {
+        assert_eq!(req("ab.*clinton.*xy"), Some("clinton".into()));
+        assert_eq!(req(r"<a href=(x|y)?.*\.mp3"), Some("<a href=".into()));
+    }
+
+    #[test]
+    fn required_literal_alternation() {
+        // Different branches: nothing is globally required.
+        assert_eq!(req("Bill|William"), None);
+        // Identical branch requirement survives.
+        assert_eq!(req("(abc|abc)"), Some("abc".into()));
+        // A literal outside the alternation still counts.
+        assert_eq!(req("(Bill|William).*Clinton"), Some("Clinton".into()));
+    }
+
+    #[test]
+    fn required_literal_repeats() {
+        assert_eq!(req("a+"), Some("a".into()));
+        assert_eq!(req("(ab){3}"), Some("ababab".into()));
+        assert_eq!(req("(ab){2,5}"), Some("abab".into()));
+        assert_eq!(req("(ab)*"), None);
+        assert_eq!(req("x(a|b)+y"), Some("x".into()));
+    }
+
+    #[test]
+    fn required_literal_is_sound() {
+        // Every string matching the pattern must contain the literal.
+        use crate::oracle;
+        let patterns = [
+            "abc",
+            "a(b|c)d",
+            "x+yz?",
+            "(ab|cd)ef",
+            r"w[il]+am",
+            "a{2,3}b",
+        ];
+        let haystacks: &[&[u8]] = &[
+            b"abc", b"abd", b"acd", b"xxyz", b"xy", b"abef", b"cdef", b"wiiiam", b"aab", b"aaab",
+            b"zzabczz",
+        ];
+        for pat in patterns {
+            let ast = parse(pat).unwrap();
+            let Some(lit) = required_literal(&ast) else {
+                continue;
+            };
+            let finder = Finder::new(&lit);
+            for hay in haystacks {
+                if let Some(span) = oracle::find_at(&ast, hay, 0) {
+                    let matched = &hay[span.range()];
+                    assert!(
+                        finder.contains(matched),
+                        "{pat}: match {:?} lacks required literal {:?}",
+                        String::from_utf8_lossy(matched),
+                        String::from_utf8_lossy(&lit)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The high-level [`Regex`] façade.
+//!
+//! A [`Regex`] owns the parsed AST and the compiled NFA (both immutable and
+//! shareable across threads). Searching requires mutable scratch state (the
+//! lazy DFA cache, Pike VM thread lists), which lives in a [`Searcher`];
+//! each thread that wants to match creates its own searcher via
+//! [`Regex::searcher`]. For convenience, `Regex` also exposes direct
+//! `is_match`/`find`/`find_iter` methods that lazily maintain a searcher in
+//! a mutex — fine for casual use, while bulk scanning (FREE's confirmation
+//! step) should hold a dedicated `Searcher` per worker.
+
+use crate::ast::Ast;
+use crate::dfa::LazyDfa;
+use crate::error::Result;
+use crate::nfa::Nfa;
+use crate::parser::{Parser, ParserConfig};
+use crate::pike::PikeVm;
+use crate::Span;
+use std::sync::{Arc, Mutex};
+
+/// Configuration for compiling a [`Regex`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegexConfig {
+    /// Parser options (case folding, repetition limits).
+    pub parser: ParserConfig,
+}
+
+/// A compiled regular expression.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pattern: String,
+    ast: Arc<Ast>,
+    nfa: Arc<Nfa>,
+    shared: Arc<Mutex<Searcher>>,
+}
+
+/// A single match: a [`Span`] within some haystack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Match {
+    span: Span,
+}
+
+impl Match {
+    /// Start offset of the match.
+    pub fn start(&self) -> usize {
+        self.span.start
+    }
+
+    /// End offset (exclusive) of the match.
+    pub fn end(&self) -> usize {
+        self.span.end
+    }
+
+    /// The span itself.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The span as a slice range.
+    pub fn range(&self) -> core::ops::Range<usize> {
+        self.span.range()
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern with default configuration.
+    pub fn new(pattern: &str) -> Result<Regex> {
+        Regex::with_config(pattern, RegexConfig::default())
+    }
+
+    /// Compiles a pattern with the given configuration.
+    pub fn with_config(pattern: &str, config: RegexConfig) -> Result<Regex> {
+        let ast = Parser::new(config.parser).parse(pattern)?;
+        let nfa = Arc::new(Nfa::compile(&ast)?);
+        let shared = Arc::new(Mutex::new(Searcher::for_nfa(&nfa)));
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            ast: Arc::new(ast),
+            nfa,
+            shared,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The parsed AST (used by FREE's index planner).
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// The compiled NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Creates a searcher with its own scratch state, for dedicated or
+    /// multi-threaded use.
+    pub fn searcher(&self) -> Searcher {
+        Searcher::for_nfa(&self.nfa)
+    }
+
+    /// Whether `haystack` contains a match.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.shared
+            .lock()
+            .expect("searcher poisoned")
+            .is_match(&self.nfa, haystack)
+    }
+
+    /// The leftmost-longest match, if any.
+    pub fn find(&self, haystack: &[u8]) -> Option<Match> {
+        self.shared
+            .lock()
+            .expect("searcher poisoned")
+            .find(&self.nfa, haystack)
+    }
+
+    /// All non-overlapping leftmost-longest matches.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.shared
+            .lock()
+            .expect("searcher poisoned")
+            .find_all(&self.nfa, haystack)
+    }
+
+    /// Number of non-overlapping matches in `haystack`.
+    pub fn count_matches(&self, haystack: &[u8]) -> usize {
+        self.find_all(haystack).len()
+    }
+}
+
+/// Mutable scratch state for searching: a lazy DFA cache plus a Pike VM.
+///
+/// The search strategy is two-tier, mirroring production engines: the lazy
+/// DFA (one table lookup per byte) decides *whether* a match exists, the
+/// Pike VM is only engaged to recover spans.
+#[derive(Clone, Debug)]
+pub struct Searcher {
+    dfa: LazyDfa,
+    vm: PikeVm,
+}
+
+impl Searcher {
+    fn for_nfa(nfa: &Nfa) -> Searcher {
+        Searcher {
+            dfa: LazyDfa::new(nfa),
+            vm: PikeVm::new(nfa),
+        }
+    }
+
+    /// Whether `haystack` contains a match of `nfa`'s pattern.
+    pub fn is_match(&mut self, nfa: &Nfa, haystack: &[u8]) -> bool {
+        self.dfa.is_match(nfa, haystack)
+    }
+
+    /// The leftmost-longest match, if any.
+    pub fn find(&mut self, nfa: &Nfa, haystack: &[u8]) -> Option<Match> {
+        // DFA pre-filter: bail out in O(n) when there is no match at all.
+        self.dfa.shortest_match(nfa, haystack)?;
+        self.vm.find_at(nfa, haystack, 0).map(|span| Match { span })
+    }
+
+    /// All non-overlapping leftmost-longest matches, in order.
+    pub fn find_all(&mut self, nfa: &Nfa, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        if self.dfa.shortest_match(nfa, haystack).is_none() {
+            return out;
+        }
+        let mut at = 0;
+        while at <= haystack.len() {
+            match self.vm.find_at(nfa, haystack, at) {
+                None => break,
+                Some(span) => {
+                    at = if span.is_empty() {
+                        span.end + 1
+                    } else {
+                        span.end
+                    };
+                    out.push(Match { span });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_api() {
+        let re = Regex::new("ab+c").unwrap();
+        assert_eq!(re.pattern(), "ab+c");
+        assert!(re.is_match(b"xxabbbcxx"));
+        assert!(!re.is_match(b"xxacxx"));
+        let m = re.find(b"xxabcxx").unwrap();
+        assert_eq!(m.range(), 2..5);
+        assert_eq!(m.start(), 2);
+        assert_eq!(m.end(), 5);
+    }
+
+    #[test]
+    fn find_all_and_count() {
+        let re = Regex::new(r"\d+").unwrap();
+        let ms = re.find_all(b"a1b22c333");
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].range(), 1..2);
+        assert_eq!(ms[1].range(), 3..5);
+        assert_eq!(ms[2].range(), 6..9);
+        assert_eq!(re.count_matches(b"a1b22c333"), 3);
+        assert_eq!(re.count_matches(b"none"), 0);
+    }
+
+    #[test]
+    fn dedicated_searcher_matches_shared_results() {
+        let re = Regex::new("(cat|dog)s?").unwrap();
+        let mut s = re.searcher();
+        let hay = b"cats and dogs";
+        assert_eq!(s.find_all(re.nfa(), hay).len(), re.find_all(hay).len());
+    }
+
+    #[test]
+    fn searchers_are_independent_across_threads() {
+        let re = Regex::new(r"\a+@\a+\.(com|edu)").unwrap();
+        let re2 = re.clone();
+        let handle = std::thread::spawn(move || {
+            let mut s = re2.searcher();
+            s.is_match(re2.nfa(), b"mail me at bob@example.com now")
+        });
+        let mut s = re.searcher();
+        assert!(s.is_match(re.nfa(), b"alice@school.edu"));
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn empty_match_iteration_terminates() {
+        let re = Regex::new("x*").unwrap();
+        let ms = re.find_all(b"ax");
+        // pos 0: empty; pos 1: "x"; pos 2: empty.
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_config() {
+        let cfg = RegexConfig {
+            parser: ParserConfig {
+                case_insensitive: true,
+                ..Default::default()
+            },
+        };
+        let re = Regex::with_config("clinton", cfg).unwrap();
+        assert!(re.is_match(b"CLINTON"));
+        assert!(re.is_match(b"Clinton"));
+        let re = Regex::new("clinton").unwrap();
+        assert!(!re.is_match(b"CLINTON"));
+    }
+
+    #[test]
+    fn matches_agree_with_oracle_on_paper_queries() {
+        let cases: &[(&str, &[u8])] = &[
+            (r#"<a href=("|')?.*\.mp3("|')?>"#, b"<a href='x.mp3'>"),
+            (r"\d\d\d\d\d(-\d\d\d\d)?", b"zip 90210-1234 inside"),
+            (r"<[^>]*<", b"<b <i>"),
+            (r"motorola.*(xpc|mpc)[0-9]+", b"motorola mpc750 chip"),
+            (r"<script>.*</script>", b"<script>var x;</script>"),
+        ];
+        for (pat, hay) in cases {
+            let re = Regex::new(pat).unwrap();
+            let ast = crate::parser::parse(pat).unwrap();
+            assert_eq!(
+                re.is_match(hay),
+                crate::oracle::is_match(&ast, hay),
+                "{pat}"
+            );
+            let got = re.find(hay).map(|m| m.span());
+            let want = crate::oracle::find_at(&ast, hay, 0);
+            assert_eq!(got, want, "{pat}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A deliberately naive backtracking matcher, used as a correctness oracle.
+//!
+//! This implementation works directly off the [`Ast`] by brute-force
+//! enumeration of derivation choices. It is exponential in the worst case
+//! and unsuitable for production, but its simplicity makes it easy to audit
+//! — which is exactly what an oracle for property-based testing of the NFA,
+//! Pike VM and DFAs should be. It is a public module so downstream crates'
+//! test suites (and the FREE engine's scan-vs-index equivalence tests) can
+//! reuse it.
+
+use crate::ast::Ast;
+use crate::Span;
+
+/// Returns all end positions (sorted, deduped) at which `ast` can match
+/// when starting at position `at` in `haystack`.
+pub fn match_ends(ast: &Ast, haystack: &[u8], at: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    ends(ast, haystack, at, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn ends(ast: &Ast, haystack: &[u8], at: usize, out: &mut Vec<usize>) {
+    match ast {
+        Ast::Empty => out.push(at),
+        Ast::Class(c) => {
+            if let Some(&b) = haystack.get(at) {
+                if c.contains(b) {
+                    out.push(at + 1);
+                }
+            }
+        }
+        Ast::Concat(nodes) => {
+            fn rec(nodes: &[Ast], haystack: &[u8], at: usize, out: &mut Vec<usize>) {
+                match nodes.split_first() {
+                    None => out.push(at),
+                    Some((head, rest)) => {
+                        let mut mids = Vec::new();
+                        ends(head, haystack, at, &mut mids);
+                        mids.sort_unstable();
+                        mids.dedup();
+                        for mid in mids {
+                            rec(rest, haystack, mid, out);
+                        }
+                    }
+                }
+            }
+            rec(nodes, haystack, at, out);
+        }
+        Ast::Alternate(nodes) => {
+            for n in nodes {
+                ends(n, haystack, at, out);
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            // Explicit search over (position, repetition-count) states.
+            // For unbounded repeats, counts at or above `min` are all
+            // equivalent, so the count saturates there; this bounds the
+            // state space and guarantees termination even for nullable
+            // bodies like `(a*)*`.
+            let saturate = max.unwrap_or(*min);
+            let mut visited = std::collections::HashSet::new();
+            let mut stack = vec![(at, 0u32)];
+            while let Some((p, k)) = stack.pop() {
+                if !visited.insert((p, k)) {
+                    continue;
+                }
+                if k >= *min {
+                    out.push(p);
+                }
+                let can_repeat = match max {
+                    Some(m) => k < *m,
+                    None => true,
+                };
+                if can_repeat {
+                    let mut next = Vec::new();
+                    ends(node, haystack, p, &mut next);
+                    next.sort_unstable();
+                    next.dedup();
+                    let k2 = (k + 1).min(saturate.max(*min));
+                    for e in next {
+                        stack.push((e, k2));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether `haystack` contains any match of `ast` (unanchored).
+pub fn is_match(ast: &Ast, haystack: &[u8]) -> bool {
+    (0..=haystack.len()).any(|at| !match_ends(ast, haystack, at).is_empty())
+}
+
+/// The leftmost-longest match of `ast` in `haystack` starting at or after
+/// `at`, if any.
+pub fn find_at(ast: &Ast, haystack: &[u8], at: usize) -> Option<Span> {
+    for start in at..=haystack.len() {
+        let ends = match_ends(ast, haystack, start);
+        if let Some(&end) = ends.last() {
+            return Some(Span::new(start, end));
+        }
+    }
+    None
+}
+
+/// All non-overlapping leftmost-longest matches, in order.
+pub fn find_all(ast: &Ast, haystack: &[u8]) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at <= haystack.len() {
+        match find_at(ast, haystack, at) {
+            None => break,
+            Some(m) => {
+                at = if m.is_empty() { m.end + 1 } else { m.end };
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ast(p: &str) -> Ast {
+        parse(p).unwrap()
+    }
+
+    #[test]
+    fn literal_ends() {
+        assert_eq!(match_ends(&ast("ab"), b"abab", 0), vec![2]);
+        assert_eq!(match_ends(&ast("ab"), b"abab", 2), vec![4]);
+        assert!(match_ends(&ast("ab"), b"abab", 1).is_empty());
+    }
+
+    #[test]
+    fn star_enumerates_all_lengths() {
+        assert_eq!(match_ends(&ast("a*"), b"aaa", 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        assert_eq!(match_ends(&ast("a+"), b"aaa", 0), vec![1, 2, 3]);
+        assert!(match_ends(&ast("a+"), b"bbb", 0).is_empty());
+    }
+
+    #[test]
+    fn counted_bounds() {
+        assert_eq!(match_ends(&ast("a{2,3}"), b"aaaa", 0), vec![2, 3]);
+    }
+
+    #[test]
+    fn nullable_body_repeat_terminates() {
+        // (a*)* must not loop forever.
+        assert_eq!(match_ends(&ast("(a*)*"), b"aa", 0), vec![0, 1, 2]);
+        // (a*){2} can match empty.
+        assert!(match_ends(&ast("(a*){2}"), b"", 0).contains(&0));
+    }
+
+    #[test]
+    fn position_reachable_at_multiple_counts() {
+        // End 2 is reachable as `aa` (1 rep, below min) and `a·a` (2 reps).
+        assert_eq!(match_ends(&ast("(a|aa){2}"), b"aa", 0), vec![2]);
+        // And with a nullable branch, ε-padding satisfies the minimum.
+        assert_eq!(match_ends(&ast("(a|b*){2}"), b"a", 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn find_leftmost_longest() {
+        assert_eq!(find_at(&ast("a|ab"), b"xab", 0), Some(Span::new(1, 3)));
+        assert_eq!(find_at(&ast("b+"), b"abbba", 0), Some(Span::new(1, 4)));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let spans = find_all(&ast("ab"), b"ababab");
+        assert_eq!(
+            spans,
+            vec![Span::new(0, 2), Span::new(2, 4), Span::new(4, 6)]
+        );
+    }
+
+    #[test]
+    fn find_all_empty_matches_advance() {
+        let spans = find_all(&ast("a*"), b"ba");
+        // Position 0: empty match; position 1: "a"; position 2: empty.
+        assert_eq!(
+            spans,
+            vec![Span::new(0, 0), Span::new(1, 2), Span::new(2, 2)]
+        );
+    }
+}

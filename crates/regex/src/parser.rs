@@ -1,0 +1,683 @@
+//! Recursive-descent parser for the FREE regex syntax.
+//!
+//! The grammar follows Table 1 of the paper plus the usual extensions:
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom        := '(' alternation ')' | '[' class ']' | '.' | escape | byte
+//! escape      := '\' (a | d | s | w | n | r | t | 0 | xHH | metachar)
+//! class       := '^'? (item ('-' item)?)+      item := escape | byte
+//! ```
+//!
+//! `\a` and `\d` are the paper's shorthands for alphabetic and numeric
+//! characters; `\s` and `\w` are conventional additions. Patterns are
+//! `&str`s (regexes are written by people) but non-ASCII characters are
+//! treated as their raw UTF-8 bytes, matching the byte-oriented engine.
+
+use crate::ast::Ast;
+use crate::class::ByteClass;
+use crate::error::{Error, ErrorKind, Result};
+
+/// Configuration for the parser.
+#[derive(Clone, Copy, Debug)]
+pub struct ParserConfig {
+    /// Fold ASCII case: `a` matches `a` or `A`. Applied to literals and
+    /// classes at parse time, so downstream stages (the index planner in
+    /// particular) see the folded classes.
+    pub case_insensitive: bool,
+    /// Upper bound on `{m,n}` repetition counts, to keep compiled NFAs
+    /// bounded. The paper's `sigmod` query uses `.{0,200}`.
+    pub max_repeat: u32,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig {
+            case_insensitive: false,
+            max_repeat: 1000,
+        }
+    }
+}
+
+/// Parses `pattern` with the default configuration.
+pub fn parse(pattern: &str) -> Result<Ast> {
+    Parser::new(ParserConfig::default()).parse(pattern)
+}
+
+/// A reusable regex parser.
+#[derive(Clone, Debug, Default)]
+pub struct Parser {
+    config: ParserConfig,
+}
+
+impl Parser {
+    /// Creates a parser with the given configuration.
+    pub fn new(config: ParserConfig) -> Parser {
+        Parser { config }
+    }
+
+    /// Parses a pattern into an [`Ast`].
+    pub fn parse(&self, pattern: &str) -> Result<Ast> {
+        let mut inner = Inner {
+            pattern,
+            bytes: pattern.as_bytes(),
+            pos: 0,
+            config: self.config,
+        };
+        let ast = inner.alternation()?;
+        if inner.pos != inner.bytes.len() {
+            // The only way alternation() stops early is on ')'.
+            return Err(inner.err(ErrorKind::UnmatchedCloseParen));
+        }
+        Ok(ast)
+    }
+}
+
+struct Inner<'p> {
+    pattern: &'p str,
+    bytes: &'p [u8],
+    pos: usize,
+    config: ParserConfig,
+}
+
+impl<'p> Inner<'p> {
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(kind, self.pos, self.pattern)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast> {
+        let mut branches = vec![self.concat()?];
+        while self.eat(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(Ast::alternate(branches))
+    }
+
+    fn concat(&mut self) -> Result<Ast> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => parts.push(self.repeat()?),
+            }
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Ast> {
+        let mut node = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    node = Ast::star(node);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    node = Ast::plus(node);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    node = Ast::optional(node);
+                }
+                Some(b'{') => {
+                    // `{` only introduces a counted repetition when it looks
+                    // like one; otherwise it is a literal (common in grep).
+                    if let Some((min, max, end)) = self.try_counted_repeat()? {
+                        self.pos = end;
+                        if let Some(m) = max {
+                            if min > m {
+                                return Err(self.err(ErrorKind::InvertedRepetition { min, max: m }));
+                            }
+                        }
+                        let limit = self.config.max_repeat;
+                        if min > limit || max.unwrap_or(0) > limit {
+                            return Err(self.err(ErrorKind::RepetitionTooLarge { limit }));
+                        }
+                        node = Ast::Repeat {
+                            node: Box::new(node),
+                            min,
+                            max,
+                        };
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    /// If the input at `pos` (pointing at `{`) is a well-formed `{m}`,
+    /// `{m,}` or `{m,n}`, returns `(min, max, position-after-`}`)`.
+    /// Returns `Ok(None)` if it does not look like a repetition at all
+    /// (treated as a literal `{`).
+    fn try_counted_repeat(&self) -> Result<Option<(u32, Option<u32>, usize)>> {
+        let mut i = self.pos + 1;
+        let start_digits = i;
+        while i < self.bytes.len() && self.bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == start_digits {
+            return Ok(None); // `{` not followed by a digit: literal brace
+        }
+        let min: u32 = self.pattern[start_digits..i]
+            .parse()
+            .map_err(|_| self.err(ErrorKind::InvalidRepetition))?;
+        match self.bytes.get(i) {
+            Some(b'}') => Ok(Some((min, Some(min), i + 1))),
+            Some(b',') => {
+                i += 1;
+                let start_max = i;
+                while i < self.bytes.len() && self.bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if self.bytes.get(i) != Some(&b'}') {
+                    return Err(self.err(ErrorKind::InvalidRepetition));
+                }
+                if start_max == i {
+                    Ok(Some((min, None, i + 1)))
+                } else {
+                    let max: u32 = self.pattern[start_max..i]
+                        .parse()
+                        .map_err(|_| self.err(ErrorKind::InvalidRepetition))?;
+                    Ok(Some((min, Some(max), i + 1)))
+                }
+            }
+            _ => Err(self.err(ErrorKind::InvalidRepetition)),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast> {
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.err(ErrorKind::UnclosedGroup));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.class()
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(Ast::Class(ByteClass::dot()))
+            }
+            Some(b'\\') => {
+                self.pos += 1;
+                let item = self.escape()?;
+                Ok(self.item_to_ast(item))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => Err(self.err(ErrorKind::DanglingRepetition)),
+            Some(b) => {
+                self.pos += 1;
+                Ok(self.literal_byte(b))
+            }
+        }
+    }
+
+    fn literal_byte(&self, b: u8) -> Ast {
+        let mut c = ByteClass::singleton(b);
+        if self.config.case_insensitive {
+            c = c.case_fold();
+        }
+        Ast::Class(c)
+    }
+
+    fn item_to_ast(&self, item: ClassItem) -> Ast {
+        match item {
+            ClassItem::Byte(b) => self.literal_byte(b),
+            ClassItem::Class(mut c) => {
+                if self.config.case_insensitive {
+                    c = c.case_fold();
+                }
+                Ast::Class(c)
+            }
+        }
+    }
+
+    /// Parses one escape sequence, with `pos` just past the backslash.
+    fn escape(&mut self) -> Result<ClassItem> {
+        let b = match self.bump() {
+            Some(b) => b,
+            None => return Err(self.err(ErrorKind::UnexpectedEof)),
+        };
+        match b {
+            b'a' => Ok(ClassItem::Class(ByteClass::alpha())),
+            b'd' => Ok(ClassItem::Class(ByteClass::digit())),
+            b's' => Ok(ClassItem::Class(ByteClass::space())),
+            b'w' => Ok(ClassItem::Class(ByteClass::word())),
+            b'A' => Ok(ClassItem::Class(ByteClass::alpha().negate())),
+            b'D' => Ok(ClassItem::Class(ByteClass::digit().negate())),
+            b'S' => Ok(ClassItem::Class(ByteClass::space().negate())),
+            b'W' => Ok(ClassItem::Class(ByteClass::word().negate())),
+            b'n' => Ok(ClassItem::Byte(b'\n')),
+            b'r' => Ok(ClassItem::Byte(b'\r')),
+            b't' => Ok(ClassItem::Byte(b'\t')),
+            b'0' => Ok(ClassItem::Byte(0)),
+            b'x' => {
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| self.err(ErrorKind::InvalidHexEscape))?;
+                let lo = self
+                    .bump()
+                    .ok_or_else(|| self.err(ErrorKind::InvalidHexEscape))?;
+                let hex = |c: u8| -> Option<u8> {
+                    match c {
+                        b'0'..=b'9' => Some(c - b'0'),
+                        b'a'..=b'f' => Some(c - b'a' + 10),
+                        b'A'..=b'F' => Some(c - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(hi), hex(lo)) {
+                    (Some(h), Some(l)) => Ok(ClassItem::Byte(h * 16 + l)),
+                    _ => Err(self.err(ErrorKind::InvalidHexEscape)),
+                }
+            }
+            // Any punctuation escapes to itself (covers metacharacters).
+            b if b.is_ascii_punctuation() || b == b' ' => Ok(ClassItem::Byte(b)),
+            b => Err(self.err(ErrorKind::UnknownEscape(b as char))),
+        }
+    }
+
+    /// Parses a character class body, with `pos` just past the `[`.
+    fn class(&mut self) -> Result<Ast> {
+        let negated = self.eat(b'^');
+        let mut class = ByteClass::new();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ErrorKind::UnclosedClass)),
+                Some(b']') if !first => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let item = self.class_item()?;
+            // A `-` after a single byte may introduce a range, unless it is
+            // the last char before `]` (then it is a literal dash).
+            if let ClassItem::Byte(start) = item {
+                if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                    self.pos += 1; // consume '-'
+                    match self.class_item()? {
+                        ClassItem::Byte(end) => {
+                            if start > end {
+                                return Err(self.err(ErrorKind::InvalidClassRange { start, end }));
+                            }
+                            class.insert_range(start, end);
+                            continue;
+                        }
+                        ClassItem::Class(_) => {
+                            // `[a-\d]` is nonsense; treat as error.
+                            return Err(self.err(ErrorKind::InvalidRepetition));
+                        }
+                    }
+                }
+                class.insert(start);
+            } else if let ClassItem::Class(c) = item {
+                class = class.union(&c);
+            }
+        }
+        if class.is_empty() {
+            return Err(self.err(ErrorKind::EmptyClass));
+        }
+        if self.config.case_insensitive {
+            // Fold before negating, so `[^a]` rejects both `a` and `A`.
+            class = class.case_fold();
+        }
+        if negated {
+            class = class.negate();
+        }
+        Ok(Ast::Class(class))
+    }
+
+    /// One item inside `[...]`: a literal byte or an escaped class.
+    fn class_item(&mut self) -> Result<ClassItem> {
+        match self.bump() {
+            None => Err(self.err(ErrorKind::UnclosedClass)),
+            Some(b'\\') => self.escape(),
+            Some(b) => Ok(ClassItem::Byte(b)),
+        }
+    }
+}
+
+enum ClassItem {
+    Byte(u8),
+    Class(ByteClass),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ast {
+        parse(s).unwrap_or_else(|e| panic!("parse failed: {e}"))
+    }
+
+    fn perr(s: &str) -> ErrorKind {
+        parse(s).expect_err("expected parse error").kind().clone()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(p("abc").as_literal(), Some(b"abc".to_vec()));
+        assert_eq!(p("").as_literal(), Some(b"".to_vec()));
+        assert_eq!(p("a").as_literal(), Some(b"a".to_vec()));
+    }
+
+    #[test]
+    fn escaped_metachars_are_literal() {
+        assert_eq!(p(r"\.mp3").as_literal(), Some(b".mp3".to_vec()));
+        assert_eq!(p(r"a\*b").as_literal(), Some(b"a*b".to_vec()));
+        assert_eq!(p(r"\\").as_literal(), Some(b"\\".to_vec()));
+        assert_eq!(p(r"\(\)\[\]\{\}\|").as_literal(), Some(b"()[]{}|".to_vec()));
+    }
+
+    #[test]
+    fn control_escapes() {
+        assert_eq!(p(r"\n").as_literal(), Some(b"\n".to_vec()));
+        assert_eq!(p(r"\t").as_literal(), Some(b"\t".to_vec()));
+        assert_eq!(p(r"\r").as_literal(), Some(b"\r".to_vec()));
+        assert_eq!(p(r"\0").as_literal(), Some(vec![0]));
+        assert_eq!(p(r"\x41").as_literal(), Some(b"A".to_vec()));
+        assert_eq!(p(r"\xff").as_literal(), Some(vec![0xff]));
+    }
+
+    #[test]
+    fn dot_is_any_byte() {
+        match p(".") {
+            Ast::Class(c) => assert_eq!(c.len(), 256),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shorthand_classes() {
+        match p(r"\d") {
+            Ast::Class(c) => assert_eq!(c, ByteClass::digit()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(r"\a") {
+            Ast::Class(c) => assert_eq!(c, ByteClass::alpha()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(r"\S") {
+            Ast::Class(c) => assert_eq!(c, ByteClass::space().negate()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(p("a*"), Ast::star(Ast::byte(b'a')),);
+        assert_eq!(p("a+"), Ast::plus(Ast::byte(b'a')));
+        assert_eq!(p("a?"), Ast::optional(Ast::byte(b'a')));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert_eq!(
+            p("a{3}"),
+            Ast::Repeat {
+                node: Box::new(Ast::byte(b'a')),
+                min: 3,
+                max: Some(3)
+            }
+        );
+        assert_eq!(
+            p("a{2,}"),
+            Ast::Repeat {
+                node: Box::new(Ast::byte(b'a')),
+                min: 2,
+                max: None
+            }
+        );
+        assert_eq!(
+            p(".{0,200}"),
+            Ast::Repeat {
+                node: Box::new(Ast::Class(ByteClass::dot())),
+                min: 0,
+                max: Some(200)
+            }
+        );
+    }
+
+    #[test]
+    fn literal_brace_when_not_a_repeat() {
+        // `{` not followed by digits is a literal, like grep.
+        assert_eq!(p("a{b").as_literal(), Some(b"a{b".to_vec()));
+        assert_eq!(p("{").as_literal(), Some(b"{".to_vec()));
+    }
+
+    #[test]
+    fn repeat_applies_to_last_atom() {
+        let ast = p("ab*");
+        match ast {
+            Ast::Concat(ns) => {
+                assert_eq!(ns[0], Ast::byte(b'a'));
+                assert_eq!(ns[1], Ast::star(Ast::byte(b'b')));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_quantifier_stacks() {
+        // (a*)? etc. — legal here, nested Repeat.
+        let ast = p("a*?");
+        match ast {
+            Ast::Repeat {
+                node,
+                min: 0,
+                max: Some(1),
+            } => {
+                assert_eq!(*node, Ast::star(Ast::byte(b'a')));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        assert_eq!(
+            format!("{:?}", p("(Bill|William).*Clinton")),
+            "(Bill|William).*Clinton"
+        );
+        let ast = p("a|b|c");
+        match ast {
+            Ast::Alternate(ns) => assert_eq!(ns.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_alternation_branches() {
+        // `a|` has an empty right branch.
+        let ast = p("a|");
+        assert!(ast.is_nullable());
+        let ast = p("(|a)b");
+        assert!(!ast.is_nullable());
+    }
+
+    #[test]
+    fn classes() {
+        match p("[abc]") {
+            Ast::Class(c) => {
+                assert_eq!(c.len(), 3);
+                assert!(c.contains(b'b'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match p("[a-z0-9]") {
+            Ast::Class(c) => assert_eq!(c.len(), 36),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p("[^>]") {
+            Ast::Class(c) => {
+                assert!(!c.contains(b'>'));
+                assert!(c.contains(b'a'));
+                assert_eq!(c.len(), 255);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_edge_cases() {
+        // Leading `]` is a literal member.
+        match p("[]a]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b']'));
+                assert!(c.contains(b'a'));
+                assert_eq!(c.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Trailing `-` is a literal.
+        match p("[a-]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'a'));
+                assert!(c.contains(b'-'));
+                assert_eq!(c.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Escapes inside classes.
+        match p(r"[\d\.]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'5'));
+                assert!(c.contains(b'.'));
+                assert_eq!(c.len(), 11);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Negated leading `]`.
+        match p("[^]]") {
+            Ast::Class(c) => {
+                assert!(!c.contains(b']'));
+                assert_eq!(c.len(), 255);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_queries_parse() {
+        // All ten benchmark-family patterns must parse.
+        let patterns = [
+            r#"<a href=("|')?.*\.mp3("|')?>"#,
+            r"\d\d\d\d\d(-\d\d\d\d)?",
+            r"<[^>]*<",
+            r"william\s+[a-z]+\s+clinton",
+            r"motorola.*(xpc|mpc)[0-9]+[0-9a-z]*",
+            r"<script>.*</script>",
+            r"\(\d\d\d\)|\d\d\d-\d\d\d-\d\d\d\d",
+            r#"<a\s+href\s*=\s*("|')?[^>]*(\.ps|\.pdf)("|')?>.{0,200}sigmod"#,
+            r"(\a|\d|-|_|\.)+((\a|\d)+\.)*stanford\.edu",
+            r"Thomas \a+ Edison",
+        ];
+        for pat in patterns {
+            parse(pat).unwrap_or_else(|e| panic!("{pat}: {e}"));
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(perr("a)"), ErrorKind::UnmatchedCloseParen);
+        assert_eq!(perr("(a"), ErrorKind::UnclosedGroup);
+        assert_eq!(perr("[a"), ErrorKind::UnclosedClass);
+        assert_eq!(perr("*a"), ErrorKind::DanglingRepetition);
+        assert_eq!(perr("a|*"), ErrorKind::DanglingRepetition);
+        assert_eq!(perr(r"a\"), ErrorKind::UnexpectedEof);
+        assert_eq!(perr(r"\q"), ErrorKind::UnknownEscape('q'));
+        assert_eq!(perr(r"\xZZ"), ErrorKind::InvalidHexEscape);
+        assert_eq!(
+            perr("[z-a]"),
+            ErrorKind::InvalidClassRange {
+                start: b'z',
+                end: b'a'
+            }
+        );
+        assert_eq!(
+            perr("a{3,1}"),
+            ErrorKind::InvertedRepetition { min: 3, max: 1 }
+        );
+        assert_eq!(perr("a{1,2"), ErrorKind::InvalidRepetition);
+        assert!(matches!(
+            perr("a{100000}"),
+            ErrorKind::RepetitionTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_literals() {
+        let parser = Parser::new(ParserConfig {
+            case_insensitive: true,
+            ..Default::default()
+        });
+        match parser.parse("a").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains(b'a'));
+                assert!(c.contains(b'A'));
+                assert_eq!(c.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-letters unaffected.
+        match parser.parse("5").unwrap() {
+            Ast::Class(c) => assert_eq!(c.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_classes() {
+        let parser = Parser::new(ParserConfig {
+            case_insensitive: true,
+            ..Default::default()
+        });
+        match parser.parse("[a-c]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains(b'B'));
+                assert_eq!(c.len(), 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ascii_bytes_pass_through() {
+        // "é" is 0xC3 0xA9 in UTF-8; treated as two literal bytes.
+        let ast = p("é");
+        assert_eq!(ast.as_literal(), Some(vec![0xc3, 0xa9]));
+    }
+}

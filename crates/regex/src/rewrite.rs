@@ -1,0 +1,225 @@
+//! Step \[1\] of Algorithm 4.1: rewriting a regex so it "only uses string
+//! characters, OR connectives (|) and star symbols (*)".
+//!
+//! The paper's examples: `[0-9]` becomes `0|1|…|9` and `C+` becomes `CC*`.
+//! The planner in `free-engine` works directly on the richer AST (it only
+//! needs the *required-gram* structure), but the explicit normal form is
+//! implemented here for fidelity to the paper, for differential testing
+//! (the normal form must match exactly the same strings), and because the
+//! normal form makes some analyses — like Brzozowski derivatives over a
+//! small node vocabulary — pleasantly simple.
+
+use crate::ast::Ast;
+
+/// Limits for normalization, preventing exponential blowup on counted
+/// repetitions and large classes.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriteLimits {
+    /// Classes with more members than this stay as classes (the paper
+    /// normalizes `.` "to the set of all characters" only conceptually).
+    pub max_class_expansion: usize,
+    /// Counted repetitions expanding to more than this many copies are
+    /// rejected with `None`.
+    pub max_repeat_expansion: u32,
+}
+
+impl Default for RewriteLimits {
+    fn default() -> Self {
+        RewriteLimits {
+            max_class_expansion: 32,
+            max_repeat_expansion: 256,
+        }
+    }
+}
+
+/// Whether an AST is already in OR/STAR normal form: only single-byte
+/// classes (at or below the expansion limit), concatenation, alternation
+/// and `*`.
+pub fn is_normal_form(ast: &Ast, limits: &RewriteLimits) -> bool {
+    match ast {
+        Ast::Empty => true,
+        Ast::Class(c) => c.len() == 1 || c.len() > limits.max_class_expansion,
+        Ast::Concat(ns) | Ast::Alternate(ns) => ns.iter().all(|n| is_normal_form(n, limits)),
+        Ast::Repeat { node, min, max } => {
+            *min == 0 && max.is_none() && is_normal_form(node, limits)
+        }
+    }
+}
+
+/// Rewrites `ast` into OR/STAR normal form. Returns `None` if a counted
+/// repetition exceeds the expansion limit.
+pub fn to_or_star(ast: &Ast, limits: &RewriteLimits) -> Option<Ast> {
+    let out = match ast {
+        Ast::Empty => Ast::Empty,
+        Ast::Class(c) => {
+            if c.len() <= 1 || c.len() > limits.max_class_expansion {
+                // Singletons are characters; oversized classes (like `.`)
+                // are kept as classes, as expanding 256 branches would
+                // bloat every downstream pass for no information gain.
+                Ast::Class(*c)
+            } else {
+                // [abc] → a|b|c
+                Ast::alternate(c.iter().map(Ast::byte).collect())
+            }
+        }
+        Ast::Concat(ns) => Ast::concat(
+            ns.iter()
+                .map(|n| to_or_star(n, limits))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Ast::Alternate(ns) => Ast::alternate(
+            ns.iter()
+                .map(|n| to_or_star(n, limits))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Ast::Repeat { node, min, max } => {
+            let inner = to_or_star(node, limits)?;
+            match (min, max) {
+                // x* is already normal.
+                (0, None) => Ast::star(inner),
+                // x+ → x x*
+                (1, None) => Ast::concat(vec![inner.clone(), Ast::star(inner)]),
+                // x? → (x|ε)
+                (0, Some(1)) => Ast::alternate(vec![inner, Ast::Empty]),
+                // x{m,} → x…x x*   (m copies)
+                (m, None) => {
+                    if *m > limits.max_repeat_expansion {
+                        return None;
+                    }
+                    let mut parts = vec![inner.clone(); *m as usize];
+                    parts.push(Ast::star(inner));
+                    Ast::concat(parts)
+                }
+                // x{m,n} → x…x (x|ε)…(x|ε)   (m mandatory, n-m optional)
+                (m, Some(n)) => {
+                    if *n > limits.max_repeat_expansion {
+                        return None;
+                    }
+                    debug_assert!(n >= m);
+                    let mut parts = vec![inner.clone(); *m as usize];
+                    let optional = Ast::alternate(vec![inner, Ast::Empty]);
+                    parts.extend(std::iter::repeat_n(optional, (*n - *m) as usize));
+                    Ast::concat(parts)
+                }
+            }
+        }
+    };
+    Some(out)
+}
+
+/// Convenience: normalize with default limits.
+pub fn normalize(ast: &Ast) -> Option<Ast> {
+    to_or_star(ast, &RewriteLimits::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ByteClass;
+    use crate::oracle;
+    use crate::parser::parse;
+
+    fn norm(pattern: &str) -> Ast {
+        normalize(&parse(pattern).unwrap()).expect("within limits")
+    }
+
+    #[test]
+    fn paper_examples() {
+        // [0-9] → 0|1|...|9
+        let n = norm("[0-9]");
+        match &n {
+            Ast::Alternate(ns) => assert_eq!(ns.len(), 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        // C+ → CC*
+        assert_eq!(format!("{:?}", norm("C+")), "CC*");
+    }
+
+    #[test]
+    fn optional_becomes_alternation_with_empty() {
+        let n = norm("a?");
+        match &n {
+            Ast::Alternate(ns) => {
+                assert_eq!(ns.len(), 2);
+                assert_eq!(ns[1], Ast::Empty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counted_repeats_expand() {
+        assert_eq!(norm("a{3}").as_literal(), Some(b"aaa".to_vec()));
+        assert_eq!(format!("{:?}", norm("a{2,}")), "aaa*");
+        // a{1,3} → a (a|ε)(a|ε)
+        let n = norm("a{1,3}");
+        assert!(is_normal_form(&n, &RewriteLimits::default()));
+    }
+
+    #[test]
+    fn output_is_normal_form() {
+        let limits = RewriteLimits::default();
+        for pat in [
+            "abc",
+            "a+b?c*",
+            "[abc]{2,4}",
+            "(ab|cd)+",
+            r"\d\d",
+            "x{0,3}",
+            "(a?b+){2}",
+        ] {
+            let n = norm(pat);
+            assert!(is_normal_form(&n, &limits), "{pat} → {n:?}");
+        }
+    }
+
+    #[test]
+    fn large_classes_stay_classes() {
+        let n = norm("[^a]");
+        assert!(matches!(n, Ast::Class(c) if c.len() == 255));
+        assert!(is_normal_form(&n, &RewriteLimits::default()));
+        let n = norm(".");
+        assert!(matches!(n, Ast::Class(c) if c == ByteClass::ANY));
+    }
+
+    #[test]
+    fn expansion_limit_respected() {
+        let limits = RewriteLimits {
+            max_repeat_expansion: 5,
+            ..Default::default()
+        };
+        assert!(to_or_star(&parse("a{6}").unwrap(), &limits).is_none());
+        assert!(to_or_star(&parse("a{2,9}").unwrap(), &limits).is_none());
+        assert!(to_or_star(&parse("a{5}").unwrap(), &limits).is_some());
+    }
+
+    #[test]
+    fn normalization_preserves_language() {
+        // Differential check against the oracle on a byte soup.
+        let patterns = [
+            "a{2,4}b",
+            "(ab|a)+",
+            "x?y?z?",
+            "[ab]{1,2}c",
+            "a+b{2}",
+            "(a|b)*abb",
+        ];
+        let haystacks: &[&[u8]] = &[
+            b"", b"a", b"ab", b"aab", b"aaab", b"aaaab", b"abc", b"xyz", b"xz", b"abab", b"bc",
+            b"aabbc", b"abb", b"babb",
+        ];
+        for pat in patterns {
+            let original = parse(pat).unwrap();
+            let normalized = normalize(&original).unwrap();
+            for hay in haystacks {
+                for at in 0..=hay.len() {
+                    assert_eq!(
+                        oracle::match_ends(&original, hay, at),
+                        oracle::match_ends(&normalized, hay, at),
+                        "{pat} at {at} in {hay:?}"
+                    );
+                }
+            }
+        }
+    }
+}

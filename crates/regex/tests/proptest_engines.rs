@@ -1,0 +1,137 @@
+//! Property-based cross-checks: the Pike VM, lazy DFA and dense DFA must
+//! all agree with the naive backtracking oracle on random patterns and
+//! haystacks over a small alphabet (small alphabets maximize the chance of
+//! overlapping matches and epsilon subtleties).
+
+use free_regex::dense::DenseDfa;
+use free_regex::dfa::LazyDfa;
+use free_regex::nfa::Nfa;
+use free_regex::oracle;
+use free_regex::pike::PikeVm;
+use free_regex::{parse, Ast};
+use proptest::prelude::*;
+
+/// Generates a random AST directly (avoids biasing toward what the string
+/// parser happens to accept) over the alphabet {a, b, c}.
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        Just(Ast::Empty),
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')].prop_map(Ast::byte),
+        Just(Ast::Class(free_regex::ByteClass::range(b'a', b'b'))),
+        Just(Ast::Class(free_regex::ByteClass::dot())),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::alternate),
+            (inner.clone(), 0u32..3, 0u32..3).prop_map(|(n, min, extra)| Ast::Repeat {
+                node: Box::new(n),
+                min,
+                max: Some(min + extra),
+            }),
+            inner.prop_map(Ast::star),
+        ]
+    })
+}
+
+fn arb_haystack() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')],
+        0..16,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn engines_agree_with_oracle(ast in arb_ast(), hay in arb_haystack()) {
+        let nfa = Nfa::compile(&ast).expect("compiles");
+        let mut vm = PikeVm::new(&nfa);
+        let mut lazy = LazyDfa::new(&nfa);
+        let dense = DenseDfa::build(&nfa).expect("dense builds");
+
+        let want = oracle::is_match(&ast, &hay);
+        prop_assert_eq!(vm.is_match(&nfa, &hay), want, "pike {:?}", ast);
+        prop_assert_eq!(lazy.is_match(&nfa, &hay), want, "lazy {:?}", ast);
+        prop_assert_eq!(dense.is_match(&hay), want, "dense {:?}", ast);
+    }
+
+    #[test]
+    fn pike_find_matches_oracle(ast in arb_ast(), hay in arb_haystack()) {
+        let nfa = Nfa::compile(&ast).expect("compiles");
+        let mut vm = PikeVm::new(&nfa);
+        let got = vm.find_at(&nfa, &hay, 0);
+        let want = oracle::find_at(&ast, &hay, 0);
+        prop_assert_eq!(got, want, "ast {:?} hay {:?}", ast, hay);
+    }
+
+    #[test]
+    fn minimized_dfa_equivalent(ast in arb_ast(), hay in arb_haystack()) {
+        let nfa = Nfa::compile(&ast).expect("compiles");
+        let dense = DenseDfa::build(&nfa).expect("dense builds");
+        let min = dense.minimize();
+        prop_assert_eq!(dense.shortest_match(&hay), min.shortest_match(&hay));
+        prop_assert!(min.num_states() <= dense.num_states());
+    }
+
+    #[test]
+    fn tiny_dfa_cache_still_correct(ast in arb_ast(), hay in arb_haystack()) {
+        let nfa = Nfa::compile(&ast).expect("compiles");
+        let mut small = LazyDfa::with_state_limit(&nfa, 2);
+        prop_assert_eq!(small.is_match(&nfa, &hay), oracle::is_match(&ast, &hay));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The string parser and Debug rendering round-trip: parse(render(ast))
+    /// accepts/rejects the same haystacks.
+    #[test]
+    fn render_parse_roundtrip(ast in arb_ast(), hay in arb_haystack()) {
+        let rendered = format!("{ast:?}");
+        // ε is Debug-only notation, not parseable syntax; skip those.
+        prop_assume!(!rendered.contains('ε'));
+        // `\xNN` renders already parse; dot renders as `.`.
+        let reparsed = parse(&rendered);
+        prop_assume!(reparsed.is_ok());
+        let reparsed = reparsed.unwrap();
+        prop_assert_eq!(
+            oracle::is_match(&ast, &hay),
+            oracle::is_match(&reparsed, &hay),
+            "rendered: {}", rendered
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Brzozowski derivatives agree with the oracle, anchored and not.
+    #[test]
+    fn derivatives_agree_with_oracle(ast in arb_ast(), hay in arb_haystack()) {
+        let mut m = free_regex::derivative::DerivativeMatcher::new();
+        let want_exact = oracle::match_ends(&ast, &hay, 0).contains(&hay.len());
+        prop_assert_eq!(m.matches_exact(&ast, &hay), want_exact, "{:?}", ast);
+        prop_assert_eq!(m.is_match(&ast, &hay), oracle::is_match(&ast, &hay), "{:?}", ast);
+    }
+
+    /// Algorithm 4.1 Step \[1\]: the OR/STAR normal form matches exactly the
+    /// same strings as the original expression.
+    #[test]
+    fn or_star_normal_form_preserves_language(ast in arb_ast(), hay in arb_haystack()) {
+        let limits = free_regex::rewrite::RewriteLimits::default();
+        let Some(normal) = free_regex::rewrite::to_or_star(&ast, &limits) else {
+            return Ok(()); // over the expansion limit: rejection is allowed
+        };
+        prop_assert!(free_regex::rewrite::is_normal_form(&normal, &limits));
+        for at in 0..=hay.len() {
+            prop_assert_eq!(
+                oracle::match_ends(&ast, &hay, at),
+                oracle::match_ends(&normal, &hay, at),
+                "at {} for {:?} → {:?}", at, ast, normal
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Regex-indexed code search — the use case FREE's multigram idea later
+//! inspired (Google Code Search and its descendants use trigram indexes;
+//! FREE's multigrams are the variable-length generalization).
+//!
+//! Indexes every `.rs` file under `crates/` of this very repository (one
+//! file = one data unit) and answers structural queries, showing how few
+//! files each query actually has to open.
+//!
+//! ```text
+//! cargo run --release -p free-engine --example code_search
+//! ```
+
+use free_corpus::{Corpus, FsCorpus};
+use free_engine::{Engine, EngineConfig};
+
+fn main() {
+    // Locate the workspace: walk up from cwd until a `crates/` dir shows.
+    let mut root = std::env::current_dir().expect("cwd");
+    while !root.join("crates").is_dir() {
+        if !root.pop() {
+            eprintln!("run from inside the repository (crates/ not found)");
+            std::process::exit(1);
+        }
+    }
+    let corpus =
+        FsCorpus::open(root.join("crates"), &["rs"], &["target"]).expect("walk source tree");
+    if corpus.is_empty() {
+        eprintln!("no .rs files found under {}", root.display());
+        std::process::exit(1);
+    }
+    let names: Vec<String> = corpus
+        .paths()
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect();
+    println!("indexed {} Rust files from {}", names.len(), root.display());
+
+    let engine = Engine::build_in_memory(
+        corpus,
+        EngineConfig {
+            // Source code is repetitive; a lower threshold keeps the
+            // directory focused on genuinely rare grams.
+            usefulness_threshold: 0.25,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("index construction");
+    println!(
+        "index: {} gram keys, {} postings\n",
+        engine.build_stats().index_stats.num_keys,
+        engine.build_stats().index_stats.num_postings,
+    );
+
+    let queries = [
+        // `.` matches any byte (including newline) in this engine, so
+        // line-scoped queries use [^\n] the way grep users write [^"]*.
+        ("public APIs returning Result", r"pub fn \w+\([^\n]*Result"),
+        ("Hopcroft minimization call sites", r"\.minimize\(\)"),
+        ("panicky unwraps in non-test code", r"\.expect\("),
+        ("epsilon-closure implementations", r"epsilon_closure\w*"),
+        ("TODO/FIXME debt", r"(TODO|FIXME)"),
+    ];
+    for (what, pattern) in queries {
+        let mut result = engine.query(pattern).expect("query");
+        let matches = result.all_matches().expect("execution");
+        let hits: usize = matches.iter().map(|m| m.spans.len()).sum();
+        println!(
+            "{what}\n  pattern: {pattern}\n  {} hits in {} files (opened {} of {} files{})",
+            hits,
+            matches.len(),
+            result.stats().docs_examined,
+            engine.num_docs(),
+            if result.used_scan() {
+                "; full scan"
+            } else {
+                ""
+            },
+        );
+        for dm in matches.iter().take(3) {
+            let page = engine.corpus().get(dm.doc).expect("doc");
+            let first = dm.spans.first().expect("non-empty");
+            let line = page[..first.start].iter().filter(|&&b| b == b'\n').count() + 1;
+            let text = String::from_utf8_lossy(&page[first.range()]);
+            let first_line = text.lines().next().unwrap_or("").trim();
+            println!("    {}:{line}: {first_line}", names[dm.doc as usize]);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a multigram index over a synthetic web corpus and
+//! answer a few regex queries, printing plans and cost accounting.
+//!
+//! ```text
+//! cargo run --release -p free-engine --example quickstart
+//! ```
+
+use free_corpus::synth::{Generator, SynthConfig};
+use free_corpus::Corpus;
+use free_engine::{Engine, EngineConfig};
+
+fn main() {
+    // 1. A corpus of data units. Here: 800 deterministic synthetic web
+    //    pages (stand-ins for the paper's 1999 crawl). Any `Vec<Vec<u8>>`
+    //    via `MemCorpus::from_docs`, or an on-disk `DiskCorpus`, works the
+    //    same way.
+    let (corpus, _) = Generator::new(SynthConfig {
+        num_docs: 800,
+        ..SynthConfig::default()
+    })
+    .build_mem();
+    println!(
+        "corpus: {} data units, {} bytes",
+        corpus.len(),
+        corpus.total_bytes()
+    );
+
+    // 2. Build the engine. The default configuration mines minimal useful
+    //    multigrams with the paper's parameters (c = 0.1, grams up to 10
+    //    bytes long).
+    let engine =
+        Engine::build_in_memory(corpus, EngineConfig::default()).expect("index construction");
+    let build = engine.build_stats();
+    println!(
+        "index:  {} gram keys, {} postings, built in {:.2?} ({} mining scans + 1 postings scan)\n",
+        build.index_stats.num_keys,
+        build.index_stats.num_postings,
+        build.total_time(),
+        build.select_passes,
+    );
+
+    // 3. Ask queries. `explain` shows how the regex compiles to an index
+    //    access plan; `query` executes it.
+    for pattern in [
+        r#"<a href=("|')?.*\.mp3("|')?>"#, // Example 1.1 of the paper
+        r"william\s+[a-z]+\s+clinton",
+        r"\d\d\d\d\d(-\d\d\d\d)?", // no useful grams: falls back to scan
+    ] {
+        println!("{}", engine.explain(pattern).expect("explain"));
+        let mut result = engine.query(pattern).expect("query");
+        let matches = result.all_matches().expect("execution");
+        let total: usize = matches.iter().map(|m| m.spans.len()).sum();
+        println!(
+            "-> {} matching strings in {} data units; examined {} of {} units ({})\n",
+            total,
+            matches.len(),
+            result.stats().docs_examined,
+            engine.num_docs(),
+            if result.used_scan() {
+                "full scan"
+            } else {
+                "index-selected candidates only"
+            },
+        );
+    }
+}

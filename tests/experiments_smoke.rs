@@ -1,0 +1,93 @@
+//! Smoke tests for the experiment harness: every table/figure renderer
+//! runs on a miniature experiment and the measured shapes satisfy the
+//! paper's qualitative claims.
+
+use free_bench::harness::{Experiment, ExperimentConfig};
+use free_bench::report;
+
+fn experiment() -> Experiment {
+    Experiment::build(ExperimentConfig {
+        num_docs: 200,
+        repeats: 1,
+        complete_max_gram_len: 5,
+        ..ExperimentConfig::default()
+    })
+}
+
+#[test]
+fn table3_shape() {
+    let e = experiment();
+    let rows = e.table3();
+    assert_eq!(rows.len(), 3);
+    let (complete, multigram, suffix) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(complete.name, "Complete");
+    assert_eq!(multigram.name, "Multigram");
+    assert_eq!(suffix.name, "Suffix");
+    // Paper shape: Complete ≫ Multigram ≥ Suffix, in keys and postings.
+    assert!(complete.num_keys > multigram.num_keys);
+    assert!(multigram.num_keys >= suffix.num_keys);
+    assert!(complete.num_postings > multigram.num_postings);
+    assert!(multigram.num_postings >= suffix.num_postings);
+    let rendered = report::render_table3(&rows, 200, 1);
+    assert!(rendered.contains("Multigram"));
+    let csv = report::table3_csv(&rows);
+    assert_eq!(csv.lines().count(), 4);
+}
+
+#[test]
+fn figures_run_and_render() {
+    let e = experiment();
+    let rows = e.run_queries();
+    assert_eq!(rows.len(), 10);
+    for renderer in [
+        report::render_fig9,
+        report::render_fig10,
+        report::render_fig11,
+        report::render_fig12,
+    ] {
+        let rendered = renderer(&rows);
+        for q in ["mp3", "zip", "clinton", "powerpc", "ebay"] {
+            assert!(rendered.contains(q), "{rendered}");
+        }
+    }
+    let csv = report::query_rows_csv(&rows);
+    assert_eq!(csv.lines().count(), 11);
+}
+
+#[test]
+fn scan_fallback_queries_never_lose_to_scan_badly() {
+    // Paper: "even for these regular expressions, indexing techniques do
+    // not degrade performance" — allow generous noise margins on a tiny
+    // corpus, but a 3x degradation would indicate a real defect.
+    let e = experiment();
+    for row in e.run_queries() {
+        if row.multigram_used_scan {
+            let ratio = row.multigram_time.as_secs_f64() / row.scan_time.as_secs_f64().max(1e-9);
+            assert!(
+                ratio < 3.0,
+                "{}: index path {ratio:.1}x slower than scan",
+                row.name
+            );
+        }
+    }
+}
+
+#[test]
+fn selective_queries_examine_fewer_docs() {
+    let e = experiment();
+    let rows = e.run_queries();
+    let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    // The needle queries must be answered from a small candidate set.
+    for name in ["mp3", "powerpc", "ebay"] {
+        let row = by_name(name);
+        assert!(
+            !row.multigram_used_scan,
+            "{name} should not fall back to scan"
+        );
+        assert!(
+            row.multigram_candidates <= 200 / 4,
+            "{name}: {} candidates of 200 docs",
+            row.multigram_candidates
+        );
+    }
+}

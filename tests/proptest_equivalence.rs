@@ -1,0 +1,96 @@
+//! The reproduction's central correctness property: for *any* corpus and
+//! *any* regex, querying through any index kind returns exactly the same
+//! matches as the sequential scan baseline.
+//!
+//! Patterns are generated as ASTs (over a deliberately small alphabet so
+//! grams collide constantly) and rendered through the parseable `Debug`
+//! form; corpora are random byte documents over the same alphabet.
+
+use free_corpus::MemCorpus;
+use free_engine::{baseline, Engine, EngineConfig, IndexKind};
+use free_regex::{Ast, ByteClass};
+use proptest::prelude::*;
+
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')].prop_map(Ast::byte),
+        Just(Ast::Class(ByteClass::range(b'a', b'c'))),
+        Just(Ast::Class(ByteClass::dot())),
+        // Multi-byte literals create real multigrams.
+        prop_oneof![Just("ab"), Just("abc"), Just("cab"), Just("bca")]
+            .prop_map(|s| Ast::literal(s.as_bytes())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::alternate),
+            (inner.clone(), 0u32..3, 0u32..2).prop_map(|(n, min, extra)| Ast::Repeat {
+                node: Box::new(n),
+                min,
+                max: Some(min + extra),
+            }),
+            inner.prop_map(Ast::star),
+        ]
+    })
+}
+
+fn arb_corpus() -> impl Strategy<Value = MemCorpus> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'x')],
+            0..40,
+        ),
+        1..25,
+    )
+    .prop_map(MemCorpus::from_docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_index_kind_agrees_with_scan(
+        ast in arb_ast(),
+        corpus in arb_corpus(),
+        c in 0.05f64..0.9,
+    ) {
+        let pattern = format!("{ast:?}");
+        prop_assume!(!pattern.contains('ε'));
+        prop_assume!(free_regex::parse(&pattern).is_ok());
+
+        let (want, _) = baseline::scan_all_matches(&corpus, &pattern).unwrap();
+        for kind in [IndexKind::Multigram, IndexKind::Presuf, IndexKind::Complete] {
+            let config = EngineConfig {
+                index_kind: kind,
+                usefulness_threshold: c,
+                max_gram_len: 6,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::build_in_memory(corpus.clone(), config).unwrap();
+            let mut r = engine.query(&pattern).unwrap();
+            let got = r.all_matches().unwrap();
+            prop_assert_eq!(
+                &got, &want,
+                "{:?} disagrees with scan for `{}` (c={})", kind, pattern, c
+            );
+        }
+    }
+
+    /// Observation 3.8 as a property: postings of the (prefix-free)
+    /// multigram key set never exceed corpus bytes, for any threshold.
+    #[test]
+    fn postings_bound_holds_for_any_corpus(
+        corpus in arb_corpus(),
+        c in 0.0f64..=1.0,
+    ) {
+        use free_corpus::Corpus as _;
+        let config = EngineConfig {
+            usefulness_threshold: c,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::build_in_memory(corpus.clone(), config).unwrap();
+        prop_assert!(
+            engine.build_stats().index_stats.num_postings <= corpus.total_bytes()
+        );
+    }
+}
