@@ -1,0 +1,141 @@
+//! The static cost classifier.
+//!
+//! Labels a plan INDEXED, WEAK, or SCAN. Two modes:
+//!
+//! - **Query-only** ([`classify_logical`]): no index at hand, so the
+//!   judgment uses plan shape alone — NULL plans scan, plans whose every
+//!   gram is a single byte are barely better than scanning (single-byte
+//!   grams are almost never useful in the Definition 3.4 sense), and
+//!   everything else is assumed indexed. This is what `free analyze`
+//!   uses.
+//! - **Index-backed** ([`classify_physical`]): resolves the logical plan
+//!   against a concrete index directory and classifies by
+//!   [`PhysicalPlan::estimate`] relative to the corpus size, exactly as
+//!   the engine does at query time.
+
+use crate::diagnostics::{codes, Diagnostic, Severity};
+use free_engine::plan::logical::LogicalPlan;
+use free_engine::plan::physical::{PhysicalPlan, PlanOptions};
+use free_engine::PlanClass;
+use free_index::IndexRead;
+
+/// Classifies a logical plan without an index.
+pub fn classify_logical(plan: &LogicalPlan) -> PlanClass {
+    if plan.is_null() {
+        PlanClass::Scan
+    } else if plan.grams().iter().all(|g| g.len() < 2) {
+        PlanClass::Weak
+    } else {
+        PlanClass::Indexed
+    }
+}
+
+/// Classifies a logical plan against a concrete index: resolves the
+/// physical plan and judges its candidate estimate against `num_docs`,
+/// returning the class together with the estimate.
+pub fn classify_physical<I: IndexRead>(
+    plan: &LogicalPlan,
+    index: &I,
+    num_docs: usize,
+) -> (PlanClass, usize) {
+    let physical = PhysicalPlan::from_logical_with(
+        plan,
+        index,
+        PlanOptions {
+            num_docs,
+            prune_selectivity: 1.0,
+        },
+    );
+    (physical.classify(num_docs), physical.estimate())
+}
+
+/// Renders a class as its `FA201`/`FA202`/`FA203` diagnostic.
+pub fn class_diagnostic(class: PlanClass) -> Diagnostic {
+    match class {
+        PlanClass::Indexed => Diagnostic::new(
+            codes::CLASS_INDEXED,
+            Severity::Info,
+            None,
+            "plan class INDEXED: the index narrows candidates before any \
+             data unit is read",
+        ),
+        PlanClass::Weak => Diagnostic::new(
+            codes::CLASS_WEAK,
+            Severity::Warning,
+            None,
+            "plan class WEAK: the plan uses the index but expects to fetch \
+             a large fraction of the corpus",
+        )
+        .with_suggestion("add a longer or rarer literal to the pattern"),
+        PlanClass::Scan => Diagnostic::new(
+            codes::CLASS_SCAN,
+            Severity::Warning,
+            None,
+            "plan class SCAN: the index cannot constrain this query; every \
+             data unit will be read",
+        )
+        .with_suggestion(
+            "rewrite the query so at least one alternation-free literal \
+             survives (see the FA0xx findings above)",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_regex::parse;
+
+    fn logical(pattern: &str) -> LogicalPlan {
+        LogicalPlan::from_ast(&parse(pattern).unwrap(), 16)
+    }
+
+    #[test]
+    fn logical_classification_tiers() {
+        assert_eq!(classify_logical(&logical("a*")), PlanClass::Scan);
+        assert_eq!(classify_logical(&logical("Clinton")), PlanClass::Indexed);
+        // `[ab]` expands to OR("a", "b"): all grams single-byte → WEAK.
+        assert_eq!(classify_logical(&logical("[ab]")), PlanClass::Weak);
+        assert_eq!(classify_logical(&logical("x")), PlanClass::Weak);
+        // The class splits the literals, so every gram is one byte.
+        assert_eq!(classify_logical(&logical("x[ab]y")), PlanClass::Weak);
+        // One multi-byte gram is enough to call it INDEXED.
+        assert_eq!(classify_logical(&logical("ab[xy]")), PlanClass::Indexed);
+    }
+
+    #[test]
+    fn physical_classification_uses_estimates() {
+        use free_index::MemIndex;
+        let mut idx = MemIndex::new();
+        idx.add(b"ab", 0);
+        for d in 0..9 {
+            idx.add(b"zz", d);
+        }
+        // 1 of 10 candidates → INDEXED.
+        let (class, est) = classify_physical(&logical("ab"), &idx, 10);
+        assert_eq!((class, est), (PlanClass::Indexed, 1));
+        // 9 of 10 candidates ≥ WEAK_FRACTION → WEAK.
+        let (class, est) = classify_physical(&logical("zz"), &idx, 10);
+        assert_eq!((class, est), (PlanClass::Weak, 9));
+        let (class, _) = classify_physical(&logical("a*"), &idx, 10);
+        assert_eq!(class, PlanClass::Scan);
+    }
+
+    #[test]
+    fn class_diagnostics_carry_stable_codes() {
+        assert_eq!(
+            class_diagnostic(PlanClass::Indexed).code,
+            codes::CLASS_INDEXED
+        );
+        assert_eq!(class_diagnostic(PlanClass::Weak).code, codes::CLASS_WEAK);
+        assert_eq!(class_diagnostic(PlanClass::Scan).code, codes::CLASS_SCAN);
+        assert_eq!(
+            class_diagnostic(PlanClass::Indexed).severity,
+            Severity::Info
+        );
+        assert_eq!(
+            class_diagnostic(PlanClass::Scan).severity,
+            Severity::Warning
+        );
+    }
+}

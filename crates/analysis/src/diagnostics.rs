@@ -1,0 +1,305 @@
+//! The diagnostic model: stable codes, severities, spans, and rendering.
+//!
+//! Every finding the analyzer can produce is identified by a stable
+//! `FAxxx` code so scripts and tests can match on it without parsing
+//! prose. Codes are grouped by engine:
+//!
+//! | Range | Engine |
+//! |---|---|
+//! | `FA000` | pattern does not parse |
+//! | `FA001`–`FA099` | query linter (index pathologies visible in the AST) |
+//! | `FA101`–`FA199` | plan soundness verifier (Algorithm 4.1 invariant) |
+//! | `FA201`–`FA299` | static cost classifier (INDEXED / WEAK / SCAN) |
+
+use free_engine::PlanClass;
+use free_regex::Span;
+use std::fmt;
+
+/// Stable diagnostic codes. Never renumber these: external tooling and
+/// the CLI integration tests match on the literal strings.
+pub mod codes {
+    /// The pattern failed to parse.
+    pub const PARSE_ERROR: &str = "FA000";
+    /// Algorithm 4.1 reduces the query to the NULL plan (full scan).
+    pub const NULL_PLAN: &str = "FA001";
+    /// Leading/trailing unbounded repetition contributes nothing.
+    pub const EDGE_STAR: &str = "FA002";
+    /// A character class wider than `class_expand_limit` (collapses to NULL).
+    pub const WIDE_CLASS: &str = "FA003";
+    /// An alternation branch with no grams nullifies the whole alternation.
+    pub const NULL_BRANCH: &str = "FA004";
+    /// A counted repetition expands into an oversized literal or count.
+    pub const REPEAT_BLOWUP: &str = "FA005";
+    /// Nested unbounded quantifiers (ambiguous, superlinear matching).
+    pub const NESTED_QUANTIFIER: &str = "FA006";
+    /// A required gram is not a factor of every matching string.
+    pub const UNSOUND_GRAM: &str = "FA101";
+    /// Plan classified INDEXED.
+    pub const CLASS_INDEXED: &str = "FA201";
+    /// Plan classified WEAK.
+    pub const CLASS_WEAK: &str = "FA202";
+    /// Plan classified SCAN.
+    pub const CLASS_SCAN: &str = "FA203";
+}
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — nothing wrong, but worth knowing.
+    Info,
+    /// The query will work but index usage degrades.
+    Warning,
+    /// The query is broken (parse error) or the engine is (unsound plan).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Byte range of the pattern the finding points at, when location is
+    /// meaningful (plan-level findings have none).
+    pub span: Option<Span>,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Optional actionable advice.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a suggestion.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+/// The full analysis result for one pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The analyzed pattern, verbatim.
+    pub pattern: String,
+    /// The logical plan in `Debug` notation (`AND("a", OR("b", "c"))`),
+    /// absent when the pattern did not parse.
+    pub plan: Option<String>,
+    /// Static cost classification, absent when the pattern did not parse.
+    pub class: Option<PlanClass>,
+    /// All findings, in emission order (lints, soundness, cost).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with the given code.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Renders the report for terminal consumption: a header, one block
+    /// per diagnostic (with a caret line locating spanned findings), and
+    /// the plan summary.
+    pub fn render_human(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let n = self.diagnostics.len();
+        let _ = writeln!(
+            out,
+            "analyzing `{}`: {} finding{}",
+            self.pattern,
+            n,
+            if n == 1 { "" } else { "s" }
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+            if let Some(span) = d.span {
+                let _ = writeln!(out, "  {}", self.pattern);
+                let carets = "^".repeat(span.len().max(1));
+                let _ = writeln!(out, "  {}{}", " ".repeat(span.start), carets);
+            }
+            if let Some(s) = &d.suggestion {
+                let _ = writeln!(out, "  help: {s}");
+            }
+        }
+        if let Some(plan) = &self.plan {
+            let _ = writeln!(out, "plan: {plan}");
+        }
+        if let Some(class) = self.class {
+            let _ = writeln!(out, "class: {class}");
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the workspace
+    /// carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"pattern\":{}", json_string(&self.pattern));
+        match &self.plan {
+            Some(p) => {
+                let _ = write!(out, ",\"plan\":{}", json_string(p));
+            }
+            None => out.push_str(",\"plan\":null"),
+        }
+        match self.class {
+            Some(c) => {
+                let _ = write!(out, ",\"class\":{}", json_string(&c.to_string()));
+            }
+            None => out.push_str(",\"class\":null"),
+        }
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":{},\"severity\":{}",
+                json_string(d.code),
+                json_string(&d.severity.to_string())
+            );
+            match d.span {
+                Some(s) => {
+                    let _ = write!(out, ",\"span\":{{\"start\":{},\"end\":{}}}", s.start, s.end);
+                }
+                None => out.push_str(",\"span\":null"),
+            }
+            let _ = write!(out, ",\"message\":{}", json_string(&d.message));
+            match &d.suggestion {
+                Some(s) => {
+                    let _ = write!(out, ",\"suggestion\":{}", json_string(s));
+                }
+                None => out.push_str(",\"suggestion\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            pattern: "a*".to_string(),
+            plan: Some("NULL".to_string()),
+            class: Some(PlanClass::Scan),
+            diagnostics: vec![Diagnostic::new(
+                codes::NULL_PLAN,
+                Severity::Warning,
+                Some(Span::new(0, 2)),
+                "the plan is NULL",
+            )
+            .with_suggestion("add a literal")],
+        }
+    }
+
+    #[test]
+    fn human_rendering_shows_code_and_caret() {
+        let text = sample_report().render_human();
+        assert!(text.contains("warning[FA001]"), "{text}");
+        assert!(text.contains("\n  a*\n  ^^\n"), "{text}");
+        assert!(text.contains("help: add a literal"), "{text}");
+        assert!(text.contains("class: SCAN"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let json = sample_report().to_json();
+        assert_eq!(
+            json,
+            "{\"pattern\":\"a*\",\"plan\":\"NULL\",\"class\":\"SCAN\",\
+             \"diagnostics\":[{\"code\":\"FA001\",\"severity\":\"warning\",\
+             \"span\":{\"start\":0,\"end\":2},\"message\":\"the plan is NULL\",\
+             \"suggestion\":\"add a literal\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn has_errors_and_with_code() {
+        let mut r = sample_report();
+        assert!(!r.has_errors());
+        assert_eq!(r.with_code(codes::NULL_PLAN).len(), 1);
+        assert_eq!(r.with_code(codes::UNSOUND_GRAM).len(), 0);
+        r.diagnostics.push(Diagnostic::new(
+            codes::PARSE_ERROR,
+            Severity::Error,
+            None,
+            "x",
+        ));
+        assert!(r.has_errors());
+    }
+}

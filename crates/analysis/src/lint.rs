@@ -1,0 +1,477 @@
+//! The query linter: index pathologies visible in the parse tree.
+//!
+//! Works on the span-carrying [`SpannedAst`] so every finding can point
+//! at the offending bytes of the pattern. The centerpiece is
+//! [`predicts_null`], an *independent* reimplementation of the
+//! NULL-collapsing rules of Algorithm 4.1 (Table 2): it predicts, from
+//! the parse tree alone, whether [`LogicalPlan::from_ast`] will reduce
+//! the query to NULL. The two implementations are checked against each
+//! other property-wise in the workspace test suite, which is exactly why
+//! this one is written from scratch rather than delegating to the
+//! planner.
+//!
+//! [`LogicalPlan::from_ast`]: free_engine::plan::logical::LogicalPlan::from_ast
+
+use crate::diagnostics::{codes, Diagnostic, Severity};
+use crate::AnalysisConfig;
+use free_regex::{SpannedAst, SpannedKind};
+
+/// What the NULL predictor knows about a subexpression: whether its
+/// logical plan collapses to NULL, and — when the subexpression matches
+/// exactly one string — that string (literal merging across
+/// concatenation changes which grams survive, so exactness must be
+/// tracked to predict correctly).
+struct NullInfo {
+    null: bool,
+    exact: Option<Vec<u8>>,
+}
+
+fn null_info(t: &SpannedAst, limit: usize) -> NullInfo {
+    match &t.kind {
+        SpannedKind::Empty => NullInfo {
+            null: true,
+            exact: Some(Vec::new()),
+        },
+        SpannedKind::Class(c) => {
+            if let Some(b) = c.as_singleton() {
+                NullInfo {
+                    null: false,
+                    exact: Some(vec![b]),
+                }
+            } else if c.len() <= limit {
+                // Expanded to an OR of single-byte grams: constrains.
+                NullInfo {
+                    null: false,
+                    exact: None,
+                }
+            } else {
+                // Too wide to expand: Step [1] sends it to NULL.
+                NullInfo {
+                    null: true,
+                    exact: None,
+                }
+            }
+        }
+        SpannedKind::Group(inner) => null_info(inner, limit),
+        SpannedKind::Concat(ns) => {
+            // Mirrors the planner's literal-merging walk: adjacent exact
+            // literals fuse into one gram; any non-empty fused literal or
+            // any non-NULL child plan constrains the conjunction.
+            let mut pending = 0usize;
+            let mut constrained = false;
+            let mut all_exact: Option<Vec<u8>> = Some(Vec::new());
+            for n in ns {
+                let info = null_info(n, limit);
+                match (&info.exact, &mut all_exact) {
+                    (Some(e), Some(acc)) => acc.extend_from_slice(e),
+                    _ => all_exact = None,
+                }
+                match info.exact {
+                    Some(e) => pending += e.len(),
+                    None => {
+                        if pending > 0 {
+                            constrained = true;
+                        }
+                        pending = 0;
+                        if !info.null {
+                            constrained = true;
+                        }
+                    }
+                }
+            }
+            if pending > 0 {
+                constrained = true;
+            }
+            NullInfo {
+                null: !constrained,
+                exact: all_exact,
+            }
+        }
+        SpannedKind::Alternate(ns) => NullInfo {
+            // Table 2: x OR NULL = NULL — one unconstrained branch
+            // unconstrains the whole alternation.
+            null: ns.iter().any(|n| null_info(n, limit).null),
+            exact: None,
+        },
+        SpannedKind::Repeat { node, min, max } => {
+            if *min == 0 {
+                // Step [3]: zero repetitions allowed ⇒ NULL.
+                return NullInfo {
+                    null: true,
+                    exact: if *max == Some(0) {
+                        Some(Vec::new())
+                    } else {
+                        None
+                    },
+                };
+            }
+            let inner = null_info(node, limit);
+            match (&inner.exact, max) {
+                (Some(e), Some(m)) if *m == *min => {
+                    let lit = e.repeat(*min as usize);
+                    NullInfo {
+                        null: lit.is_empty(),
+                        exact: Some(lit),
+                    }
+                }
+                (Some(e), _) => NullInfo {
+                    null: e.is_empty(),
+                    exact: None,
+                },
+                (None, _) => NullInfo {
+                    null: inner.null,
+                    exact: None,
+                },
+            }
+        }
+    }
+}
+
+/// Predicts whether Algorithm 4.1 reduces `tree` to the NULL plan,
+/// without building the plan. Agreement with the planner itself is a
+/// property-tested invariant of the workspace.
+pub fn predicts_null(tree: &SpannedAst, class_expand_limit: usize) -> bool {
+    null_info(tree, class_expand_limit).null
+}
+
+/// Strips grouping parentheses.
+fn peel_groups(mut t: &SpannedAst) -> &SpannedAst {
+    while let SpannedKind::Group(inner) = &t.kind {
+        t = inner;
+    }
+    t
+}
+
+/// Runs every lint over the tree, in code order.
+pub fn lint(tree: &SpannedAst, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if predicts_null(tree, cfg.class_expand_limit) {
+        out.push(
+            Diagnostic::new(
+                codes::NULL_PLAN,
+                Severity::Warning,
+                Some(tree.span),
+                "Algorithm 4.1 reduces this query to the NULL plan: \
+                 no gram is required, so every data unit must be scanned",
+            )
+            .with_suggestion(
+                "require at least one literal outside optional, starred, or \
+                 wide-class regions",
+            ),
+        );
+    }
+    lint_edge_stars(tree, &mut out);
+    let mut ctx = LintCtx {
+        cfg,
+        out: &mut out,
+        in_null_repeat: false,
+        in_unbounded_repeat: false,
+    };
+    lint_walk(tree, &mut ctx);
+    ctx.out.sort_by_key(|d| d.code);
+    out
+}
+
+/// FA002: a leading or trailing `min == 0` repetition at the top level of
+/// the pattern. It cannot constrain the index (the plan drops it), and —
+/// because index queries already match anywhere inside a data unit — it
+/// usually signals a user porting an anchored-scan mindset.
+fn lint_edge_stars(tree: &SpannedAst, out: &mut Vec<Diagnostic>) {
+    let root = peel_groups(tree);
+    let SpannedKind::Concat(parts) = &root.kind else {
+        return;
+    };
+    let edges = [(parts.first(), "leading"), (parts.last(), "trailing")];
+    for (part, which) in edges {
+        let Some(part) = part else { continue };
+        if let SpannedKind::Repeat { min: 0, .. } = peel_groups(part).kind {
+            out.push(
+                Diagnostic::new(
+                    codes::EDGE_STAR,
+                    Severity::Info,
+                    Some(part.span),
+                    format!(
+                        "{which} unbounded repetition contributes no grams and \
+                         is dropped from the plan"
+                    ),
+                )
+                .with_suggestion(
+                    "index queries match anywhere in a data unit; the edge \
+                     repetition can be removed without changing the candidate set",
+                ),
+            );
+        }
+    }
+}
+
+struct LintCtx<'a> {
+    cfg: &'a AnalysisConfig,
+    out: &'a mut Vec<Diagnostic>,
+    /// Inside a `min == 0` repetition: the region is already NULL, so
+    /// per-node findings inside it would be noise.
+    in_null_repeat: bool,
+    /// Inside an unbounded (`max == None`) repetition.
+    in_unbounded_repeat: bool,
+}
+
+fn lint_walk(t: &SpannedAst, ctx: &mut LintCtx<'_>) {
+    match &t.kind {
+        SpannedKind::Empty => {}
+        SpannedKind::Class(c) => {
+            // FA003: wider than class_expand_limit ⇒ the class cannot be
+            // rewritten as an OR of its members and becomes NULL.
+            if c.len() > ctx.cfg.class_expand_limit && !ctx.in_null_repeat {
+                let what = if c.len() == 256 {
+                    "`.` (any byte)".to_string()
+                } else {
+                    format!("character class with {} members", c.len())
+                };
+                ctx.out.push(
+                    Diagnostic::new(
+                        codes::WIDE_CLASS,
+                        Severity::Warning,
+                        Some(t.span),
+                        format!(
+                            "{what} exceeds class_expand_limit ({}) and \
+                             contributes no grams",
+                            ctx.cfg.class_expand_limit
+                        ),
+                    )
+                    .with_suggestion(
+                        "narrow the class, or rely on neighbouring literals to \
+                         constrain the plan",
+                    ),
+                );
+            }
+        }
+        SpannedKind::Concat(ns) => {
+            for n in ns {
+                lint_walk(n, ctx);
+            }
+        }
+        SpannedKind::Alternate(ns) => {
+            // FA004: one unconstrained branch nullifies the alternation.
+            if !ctx.in_null_repeat {
+                for n in ns {
+                    if predicts_null(n, ctx.cfg.class_expand_limit) {
+                        ctx.out.push(
+                            Diagnostic::new(
+                                codes::NULL_BRANCH,
+                                Severity::Warning,
+                                Some(n.span),
+                                "this alternation branch requires no grams, so \
+                                 the entire alternation is unindexable \
+                                 (x OR NULL = NULL)",
+                            )
+                            .with_suggestion(
+                                "make every branch contain a literal, or split \
+                                 the query into separate searches",
+                            ),
+                        );
+                    }
+                }
+            }
+            for n in ns {
+                lint_walk(n, ctx);
+            }
+        }
+        SpannedKind::Repeat { node, min, max } => {
+            lint_repeat(t, node, *min, *max, ctx);
+            let saved = (ctx.in_null_repeat, ctx.in_unbounded_repeat);
+            ctx.in_null_repeat |= *min == 0;
+            ctx.in_unbounded_repeat |= max.is_none();
+            lint_walk(node, ctx);
+            (ctx.in_null_repeat, ctx.in_unbounded_repeat) = saved;
+        }
+        SpannedKind::Group(inner) => lint_walk(inner, ctx),
+    }
+}
+
+fn lint_repeat(
+    t: &SpannedAst,
+    node: &SpannedAst,
+    min: u32,
+    max: Option<u32>,
+    ctx: &mut LintCtx<'_>,
+) {
+    // FA006: nested unbounded quantifiers, the classic `(a+)+` ambiguity.
+    // Every match has exponentially many parses; backtracking matchers go
+    // superlinear and the plan gains nothing from the outer repeat.
+    if max.is_none() && ctx.in_unbounded_repeat {
+        ctx.out.push(
+            Diagnostic::new(
+                codes::NESTED_QUANTIFIER,
+                Severity::Warning,
+                Some(t.span),
+                "unbounded repetition nested inside another unbounded \
+                 repetition is ambiguous and adds nothing to the plan",
+            )
+            .with_suggestion("remove the inner or outer quantifier"),
+        );
+    }
+    // FA005: counted-repetition blowup, two flavours. A huge count makes
+    // the compiled automaton enormous; an exactly-counted literal body is
+    // expanded into one gram of len(body)·min bytes, which no index
+    // stores (the paper caps gram length at 10).
+    if ctx.in_null_repeat {
+        return;
+    }
+    if let Some(m) = max {
+        if m > ctx.cfg.repeat_count_limit {
+            ctx.out.push(
+                Diagnostic::new(
+                    codes::REPEAT_BLOWUP,
+                    Severity::Warning,
+                    Some(t.span),
+                    format!(
+                        "counted repetition up to {m} exceeds the analyzer \
+                         limit of {}; the compiled automaton duplicates the \
+                         body that many times",
+                        ctx.cfg.repeat_count_limit
+                    ),
+                )
+                .with_suggestion("lower the bound or use an unbounded `+`"),
+            );
+        }
+    }
+    if min > 0 {
+        if let Some(e) = null_info(node, ctx.cfg.class_expand_limit).exact {
+            let expanded = e.len().saturating_mul(min as usize);
+            if expanded > ctx.cfg.repeat_literal_limit {
+                ctx.out.push(
+                    Diagnostic::new(
+                        codes::REPEAT_BLOWUP,
+                        Severity::Warning,
+                        Some(t.span),
+                        format!(
+                            "repetition expands to a required literal of \
+                             {expanded} bytes (limit {}); indexes store grams \
+                             of at most ~10 bytes, so most of it cannot be \
+                             looked up directly",
+                            ctx.cfg.repeat_literal_limit
+                        ),
+                    )
+                    .with_suggestion("shorten the repeated literal"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_engine::plan::logical::LogicalPlan;
+    use free_regex::parse_spanned;
+
+    fn diags(pattern: &str) -> Vec<Diagnostic> {
+        lint(&parse_spanned(pattern).unwrap(), &AnalysisConfig::default())
+    }
+
+    fn codes_of(pattern: &str) -> Vec<&'static str> {
+        diags(pattern).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn null_predictor_agrees_with_planner_on_fixed_cases() {
+        for p in [
+            "",
+            "a",
+            "a*",
+            ".*",
+            "abc",
+            "a|b*",
+            "abc|.*",
+            "a+",
+            "(abc)*",
+            "a{0,5}",
+            "a{3}",
+            "x[ab]",
+            "<[^>]*<",
+            r"\d\d\d",
+            "(Bill|William).*Clinton",
+            "a||b",
+            "(){3}",
+            "x(ab)+y",
+            r#"<a href=("|')?.*\.mp3("|')?>"#,
+        ] {
+            let tree = parse_spanned(p).unwrap();
+            let predicted = predicts_null(&tree, 16);
+            let actual = LogicalPlan::from_ast(&tree.to_ast(), 16).is_null();
+            assert_eq!(predicted, actual, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn null_plan_lint_fires_on_star() {
+        let d = diags("a*");
+        let null = d.iter().find(|d| d.code == codes::NULL_PLAN).unwrap();
+        assert_eq!(null.severity, Severity::Warning);
+        assert_eq!(null.span.unwrap().range(), 0..2);
+        assert!(null.suggestion.is_some());
+        assert!(!codes_of("abc").contains(&codes::NULL_PLAN));
+    }
+
+    #[test]
+    fn edge_star_lint() {
+        let d = diags(".*abc.*");
+        let edge: Vec<_> = d.iter().filter(|d| d.code == codes::EDGE_STAR).collect();
+        assert_eq!(edge.len(), 2);
+        assert_eq!(edge[0].span.unwrap().range(), 0..2);
+        assert_eq!(edge[1].span.unwrap().range(), 5..7);
+        // Interior stars are not edge stars.
+        assert!(!codes_of("a.*b").contains(&codes::EDGE_STAR));
+        // A bare star is the whole pattern, not an edge.
+        assert!(!codes_of(".*").contains(&codes::EDGE_STAR));
+    }
+
+    #[test]
+    fn wide_class_lint() {
+        let d = diags("x[^>]y");
+        let wide = d.iter().find(|d| d.code == codes::WIDE_CLASS).unwrap();
+        assert_eq!(wide.span.unwrap().range(), 1..5);
+        assert!(wide.message.contains("255 members"), "{}", wide.message);
+        // `.` gets a friendlier name.
+        let d = diags("a.b");
+        let wide = d.iter().find(|d| d.code == codes::WIDE_CLASS).unwrap();
+        assert!(wide.message.contains("any byte"), "{}", wide.message);
+        // Small classes are fine; wide classes inside `x*` regions are
+        // already dropped and not re-reported.
+        assert!(!codes_of("x[abc]y").contains(&codes::WIDE_CLASS));
+        assert!(!codes_of("a.*b").contains(&codes::WIDE_CLASS));
+    }
+
+    #[test]
+    fn null_branch_lint() {
+        let d = diags("abc|d*");
+        let branch = d.iter().find(|d| d.code == codes::NULL_BRANCH).unwrap();
+        assert_eq!(branch.span.unwrap().range(), 4..6);
+        assert!(!codes_of("abc|def").contains(&codes::NULL_BRANCH));
+    }
+
+    #[test]
+    fn repeat_blowup_lint() {
+        // Count flavour: bound above repeat_count_limit (256).
+        assert!(codes_of("a{1,300}").contains(&codes::REPEAT_BLOWUP));
+        // Literal flavour: 40 bytes × 2 = 80 > 64.
+        let p = format!("({}){{2}}", "x".repeat(40));
+        assert!(diags(&p)
+            .iter()
+            .any(|d| d.code == codes::REPEAT_BLOWUP && d.message.contains("80 bytes")),);
+        assert!(!codes_of("a{1,10}").contains(&codes::REPEAT_BLOWUP));
+    }
+
+    #[test]
+    fn nested_quantifier_lint() {
+        assert!(codes_of("(a+)+").contains(&codes::NESTED_QUANTIFIER));
+        assert!(codes_of("(a*)*").contains(&codes::NESTED_QUANTIFIER));
+        assert!(!codes_of("(a{1,3})+").contains(&codes::NESTED_QUANTIFIER));
+        assert!(!codes_of("a+b+").contains(&codes::NESTED_QUANTIFIER));
+    }
+
+    #[test]
+    fn clean_pattern_yields_no_lints() {
+        assert!(diags("Clinton").is_empty());
+        assert!(diags("(Bill|William)Clinton").is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The plan soundness verifier.
+//!
+//! Algorithm 4.1's correctness rests on one invariant: every gram the
+//! logical plan *requires* (the root gram, or the gram children of a
+//! root AND) must be a factor — a contiguous substring — of **every**
+//! string in the query's language. If some matching string lacks the
+//! gram, the index filters out data units containing only that string
+//! and the engine silently drops answers.
+//!
+//! This module checks the invariant with the decision procedure in
+//! [`free_regex::factor`] (Brzozowski derivatives × a KMP automaton for
+//! the gram) and reports violations as `FA101` diagnostics, complete
+//! with a concrete witness string that matches the query but does not
+//! contain the gram.
+
+use crate::diagnostics::{codes, Diagnostic, Severity};
+use free_engine::plan::logical::LogicalPlan;
+use free_regex::factor::{gram_is_factor, FactorCheck};
+use free_regex::Ast;
+
+/// Outcome counts plus any violations found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SoundnessSummary {
+    /// Required grams examined.
+    pub checked: usize,
+    /// Grams proved to be factors of every matching string.
+    pub proved: usize,
+    /// Grams whose check exhausted the state budget (no verdict).
+    pub unknown: usize,
+    /// One `FA101` diagnostic per violated gram.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl SoundnessSummary {
+    /// Whether every checked gram was proved sound.
+    pub fn all_proved(&self) -> bool {
+        self.proved == self.checked
+    }
+}
+
+/// Verifies the required grams of `plan` against the language of `ast`.
+///
+/// `state_budget` bounds the derivative-state exploration per gram; an
+/// exhausted budget counts as `unknown`, never as a violation.
+pub fn verify_plan(ast: &Ast, plan: &LogicalPlan, state_budget: usize) -> SoundnessSummary {
+    let mut summary = SoundnessSummary::default();
+    for gram in plan.required_grams() {
+        summary.checked += 1;
+        match gram_is_factor(ast, gram, state_budget) {
+            FactorCheck::Proved => summary.proved += 1,
+            FactorCheck::Unknown { .. } => summary.unknown += 1,
+            FactorCheck::Violated { witness } => {
+                summary.diagnostics.push(
+                    Diagnostic::new(
+                        codes::UNSOUND_GRAM,
+                        Severity::Error,
+                        None,
+                        format!(
+                            "plan soundness violation: the plan requires gram \
+                             {:?}, but the matching string {:?} does not \
+                             contain it — the index would drop that answer",
+                            String::from_utf8_lossy(gram),
+                            String::from_utf8_lossy(&witness),
+                        ),
+                    )
+                    .with_suggestion(
+                        "this indicates a planner bug; please report the \
+                         pattern",
+                    ),
+                );
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_regex::factor::DEFAULT_STATE_BUDGET;
+    use free_regex::parse;
+
+    fn plan_for(pattern: &str) -> (Ast, LogicalPlan) {
+        let ast = parse(pattern).unwrap();
+        let plan = LogicalPlan::from_ast(&ast, 16);
+        (ast, plan)
+    }
+
+    #[test]
+    fn compiler_plans_are_sound() {
+        for p in [
+            "Clinton",
+            "(Bill|William).*Clinton",
+            "bb.*cc.*dd.+zz",
+            "x(ab)+y",
+            r#"<a href=("|')?.*\.mp3("|')?>"#,
+        ] {
+            let (ast, plan) = plan_for(p);
+            let s = verify_plan(&ast, &plan, DEFAULT_STATE_BUDGET);
+            assert!(s.diagnostics.is_empty(), "{p:?}: {:?}", s.diagnostics);
+            assert!(s.all_proved(), "{p:?}: {s:?}");
+            assert!(s.checked > 0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn hand_built_bad_plan_is_caught() {
+        // (Bill|William) with a plan demanding "Bill": "William" is a
+        // witness that matches but lacks the gram.
+        let ast = parse("(Bill|William)").unwrap();
+        let bad = LogicalPlan::Gram(b"Bill".to_vec());
+        let s = verify_plan(&ast, &bad, DEFAULT_STATE_BUDGET);
+        assert_eq!(s.diagnostics.len(), 1);
+        let d = &s.diagnostics[0];
+        assert_eq!(d.code, codes::UNSOUND_GRAM);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("\"Bill\""), "{}", d.message);
+        assert!(d.message.contains("William"), "{}", d.message);
+        assert!(!s.all_proved());
+    }
+
+    #[test]
+    fn null_plan_checks_nothing() {
+        let (ast, plan) = plan_for("a*");
+        assert!(plan.is_null());
+        let s = verify_plan(&ast, &plan, DEFAULT_STATE_BUDGET);
+        assert_eq!(s.checked, 0);
+        assert!(s.all_proved());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown_not_violation() {
+        let ast = parse(".{0,50}needle").unwrap();
+        let plan = LogicalPlan::Gram(b"needle".to_vec());
+        let s = verify_plan(&ast, &plan, 8);
+        assert_eq!(s.unknown, 1);
+        assert!(s.diagnostics.is_empty());
+    }
+}

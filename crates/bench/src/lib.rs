@@ -12,6 +12,8 @@
 //! cargo run -p free-bench --release --bin experiments -- fig9 --docs 5000
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod queries;
 pub mod report;

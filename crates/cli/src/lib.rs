@@ -15,6 +15,8 @@
 //! searches stay consistent even if the tree gains or loses files (stale
 //! content still requires re-indexing, as with any indexed search tool).
 
+#![forbid(unsafe_code)]
+
 use free_corpus::{Corpus, FsCorpus};
 use free_engine::{Engine, EngineConfig};
 use free_index::IndexReader;

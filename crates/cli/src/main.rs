@@ -4,10 +4,15 @@
 //! freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>
 //! freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>
 //! freegrep explain [--index DIR] <PATTERN>
+//! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
 //! ```
 //!
-//! The index directory defaults to `./.freegrep`.
+//! The same binary also installs as `free`, so the analyzer reads as
+//! `free analyze <pattern>`. The index directory defaults to
+//! `./.freegrep`. `analyze` is fully static — it needs no index — and
+//! exits 1 when the pattern itself is broken (parse error or an unsound
+//! plan), 0 otherwise.
 
 use freegrep::{build_index, IndexOptions, SearchIndex};
 use std::path::PathBuf;
@@ -15,9 +20,9 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&args) {
-        Ok(output) => {
+        Ok((output, code)) => {
             print!("{output}");
-            0
+            code
         }
         Err(e) => {
             eprintln!("freegrep: {e}");
@@ -27,7 +32,9 @@ fn main() {
     std::process::exit(code);
 }
 
-fn run(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+type CmdResult = Result<(String, i32), Box<dyn std::error::Error>>;
+
+fn run(args: &[String]) -> CmdResult {
     let Some((command, rest)) = args.split_first() else {
         return Err(usage().into());
     };
@@ -67,7 +74,26 @@ fn run(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             if let Some(dir) = out_dir {
                 options.index_dir = dir;
             }
-            Ok(format!("{}\n", build_index(&options)?))
+            Ok((format!("{}\n", build_index(&options)?), 0))
+        }
+        "analyze" => {
+            let mut json = false;
+            let mut pattern: Option<String> = None;
+            for arg in rest {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    a if !a.starts_with('-') => pattern = Some(a.to_string()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+            }
+            let pattern = pattern.ok_or("analyze needs a PATTERN")?;
+            let report = free_analyze::analyze(&pattern, &free_analyze::AnalysisConfig::default());
+            let output = if json {
+                format!("{}\n", report.to_json())
+            } else {
+                report.render_human()
+            };
+            Ok((output, i32::from(report.has_errors())))
         }
         "search" | "explain" | "stats" => {
             let mut index_dir = PathBuf::from(".freegrep");
@@ -95,16 +121,16 @@ fn run(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             match command.as_str() {
                 "search" => {
                     let pattern = pattern.ok_or("search needs a PATTERN")?;
-                    Ok(index.search(&pattern, limit, files_only)?)
+                    Ok((index.search(&pattern, limit, files_only)?, 0))
                 }
                 "explain" => {
                     let pattern = pattern.ok_or("explain needs a PATTERN")?;
-                    Ok(format!("{}\n", index.explain(&pattern)?))
+                    Ok((format!("{}\n", index.explain(&pattern)?), 0))
                 }
-                _ => Ok(format!("{}\n", index.stats())),
+                _ => Ok((format!("{}\n", index.stats()), 0)),
             }
         }
-        "--help" | "-h" | "help" => Ok(format!("{}\n", usage())),
+        "--help" | "-h" | "help" => Ok((format!("{}\n", usage()), 0)),
         other => Err(format!("unknown command {other}\n{}", usage()).into()),
     }
 }
@@ -118,6 +144,7 @@ fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String
 fn usage() -> String {
     "usage:\n  freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>\n  \
      freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>\n  \
-     freegrep explain [--index DIR] <PATTERN>\n  freegrep stats  [--index DIR]"
+     freegrep explain [--index DIR] <PATTERN>\n  \
+     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]"
         .to_string()
 }

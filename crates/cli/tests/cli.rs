@@ -7,6 +7,11 @@ fn freegrep() -> Command {
     Command::new(env!("CARGO_BIN_EXE_freegrep"))
 }
 
+/// The same binary under its paper name, as `free analyze` is documented.
+fn free() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_free"))
+}
+
 fn setup(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("freegrep-bin-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -119,5 +124,75 @@ fn missing_index_is_an_error() {
 fn help_prints_usage() {
     let out = freegrep().arg("--help").output().unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    let usage = String::from_utf8_lossy(&out.stdout);
+    assert!(usage.contains("usage:"), "{usage}");
+    assert!(usage.contains("analyze [--json]"), "{usage}");
+}
+
+#[test]
+fn analyze_indexable_pattern_is_quiet() {
+    let out = free().args(["analyze", "Clinton"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("note[FA201]"), "{stdout}");
+    assert!(stdout.contains("class: INDEXED"), "{stdout}");
+    assert!(stdout.contains("plan: \"Clinton\""), "{stdout}");
+    assert!(!stdout.contains("warning["), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_null_plan_with_stable_code() {
+    let out = free().args(["analyze", "a*"]).output().unwrap();
+    // Pathological but legal: exit 0, with warnings in the report.
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[FA001]"), "{stdout}");
+    assert!(stdout.contains("warning[FA203]"), "{stdout}");
+    assert!(stdout.contains("plan: NULL"), "{stdout}");
+    assert!(stdout.contains("class: SCAN"), "{stdout}");
+    // The caret line points at the whole pattern.
+    assert!(stdout.contains("\n  a*\n  ^^\n"), "{stdout}");
+}
+
+#[test]
+fn analyze_json_is_machine_readable() {
+    let out = free().args(["analyze", "--json", "a*"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with('{') && stdout.trim_end().ends_with('}'),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"pattern\":\"a*\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"FA001\""), "{stdout}");
+    assert!(stdout.contains("\"class\":\"SCAN\""), "{stdout}");
+    assert!(
+        stdout.contains("\"span\":{\"start\":0,\"end\":2}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn analyze_parse_error_exits_nonzero_with_diagnostic() {
+    let out = free().args(["analyze", "(unclosed"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[FA000]"), "{stdout}");
+    assert!(stdout.contains("unclosed group"), "{stdout}");
+    // JSON mode carries the same code.
+    let out = free()
+        .args(["analyze", "--json", "(unclosed"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"code\":\"FA000\""), "{stdout}");
+    assert!(stdout.contains("\"plan\":null"), "{stdout}");
+}
+
+#[test]
+fn analyze_via_freegrep_name_too() {
+    let out = freegrep().args(["analyze", "a*"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FA001"));
 }

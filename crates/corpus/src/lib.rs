@@ -18,6 +18,8 @@
 //!    benchmark queries span the same selectivity spectrum as reported in
 //!    the evaluation section.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fscorpus;
 pub mod memory;

@@ -26,6 +26,21 @@ impl IndexKind {
     }
 }
 
+/// What to do when a query's plan degenerates to a full corpus scan
+/// (Example 2.1 / the `zip`, `phone`, `html` queries of §5.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScanPolicy {
+    /// Execute the scan silently (the paper's behavior: "indexing
+    /// techniques do not degrade performance").
+    #[default]
+    Allow,
+    /// Execute the scan but print a warning to stderr first.
+    Warn,
+    /// Refuse the query with [`Error::ScanRejected`](crate::Error), for
+    /// deployments where an accidental full scan is worse than an error.
+    Reject,
+}
+
 /// Tunables for index construction and query execution.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -62,6 +77,8 @@ pub struct EngineConfig {
     /// actually occurs. Rejects index false positives (e.g. a data unit
     /// containing `.mp` and `mp3` but not `.mp3`) at sublinear cost.
     pub use_anchoring: bool,
+    /// What to do when a query plan cannot use the index at all.
+    pub scan_policy: ScanPolicy,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +92,7 @@ impl Default for EngineConfig {
             build_memory_budget: free_index::builder::DEFAULT_MEMORY_BUDGET,
             prune_selectivity: 0.5,
             use_anchoring: true,
+            scan_policy: ScanPolicy::Allow,
         }
     }
 }

@@ -1,12 +1,13 @@
 //! The engine façade: index construction plus the query entry point.
 
-use crate::config::{EngineConfig, IndexKind};
+use crate::config::{EngineConfig, IndexKind, ScanPolicy};
 use crate::exec::{eval_plan, results::QueryResult};
 use crate::grams::GramMatcher;
 use crate::metrics::{BuildStats, QueryStats};
 use crate::plan::physical::PlanOptions;
 use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::select::{enumerate_complete, mine_multigrams, presuf_shell, SelectedGram};
+use crate::Error;
 use crate::Result;
 use free_corpus::Corpus;
 use free_index::{IndexBuilder, IndexRead, IndexReader, MemIndex};
@@ -27,6 +28,29 @@ pub struct Engine<C: Corpus, I: IndexRead> {
 
 /// The all-in-memory engine used by tests and small corpora.
 pub type InMemoryEngine = Engine<free_corpus::MemCorpus, MemIndex>;
+
+/// Debug-mode soundness check: every gram in `required_grams()` must be a
+/// factor of the query language (every matching string contains it), or
+/// the index could discard true matches. Compiled out of release builds;
+/// a budget-exhausted check (`Unknown`) is treated as passing since it
+/// proves nothing either way.
+fn debug_assert_required_grams_sound(ast: &free_regex::Ast, logical: &LogicalPlan, pattern: &str) {
+    if cfg!(debug_assertions) {
+        use free_regex::factor::{gram_is_factor, FactorCheck, DEFAULT_STATE_BUDGET};
+        for gram in logical.required_grams() {
+            if let FactorCheck::Violated { witness } =
+                gram_is_factor(ast, gram, DEFAULT_STATE_BUDGET)
+            {
+                panic!(
+                    "plan soundness violation: query {pattern:?} requires gram \
+                     {:?} but matches {:?}, which does not contain it",
+                    String::from_utf8_lossy(gram),
+                    String::from_utf8_lossy(&witness),
+                );
+            }
+        }
+    }
+}
 
 /// Builds Boyer-Moore finders for the plan's required grams (anchoring).
 /// Grams of length 1 never reject realistic candidates and grams contained
@@ -211,11 +235,26 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
 
     /// Compiles a query: parse, plan, and evaluate the index portion.
     /// The returned [`QueryResult`] confirms matches lazily.
+    ///
+    /// In builds with debug assertions, every gram the logical plan
+    /// requires is verified to be a factor of the query language (the
+    /// Algorithm 4.1 soundness invariant) before the plan is executed.
     pub fn query(&self, pattern: &str) -> Result<QueryResult<'_, C, I>> {
         let plan_start = Instant::now();
         let regex = Regex::new(pattern)?;
         let logical = LogicalPlan::from_ast(regex.ast(), self.config.class_expand_limit);
+        debug_assert_required_grams_sound(regex.ast(), &logical, pattern);
         let physical = PhysicalPlan::from_logical_with(&logical, &self.index, self.plan_options());
+        if physical.is_scan() {
+            match self.config.scan_policy {
+                ScanPolicy::Allow => {}
+                ScanPolicy::Warn => eprintln!(
+                    "warning: query {pattern:?} cannot use the index; \
+                     falling back to a full corpus scan"
+                ),
+                ScanPolicy::Reject => return Err(Error::ScanRejected(pattern.to_string())),
+            }
+        }
         let prefilter = if self.config.use_anchoring {
             build_prefilter(&logical)
         } else {
@@ -224,6 +263,7 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
         let mut stats = QueryStats {
             plan_time: plan_start.elapsed(),
             used_scan: physical.is_scan(),
+            plan_class: physical.classify(self.corpus.len()),
             ..QueryStats::default()
         };
         let candidates = eval_plan(&physical, &self.index, &mut stats)?;
@@ -468,6 +508,41 @@ mod tests {
         let corpus = MemCorpus::from_docs(vec![b"x".to_vec()]);
         let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
         assert!(engine.query("(").is_err());
+    }
+
+    #[test]
+    fn scan_policy_reject_refuses_null_plans() {
+        use crate::config::ScanPolicy;
+        let corpus = tiny_corpus();
+        let engine = Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                scan_policy: ScanPolicy::Reject,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // `a*` is nullable: its logical plan is NULL, so the physical plan
+        // is a scan and the policy must reject it.
+        match engine.query("a*") {
+            Err(crate::Error::ScanRejected(p)) => assert_eq!(p, "a*"),
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(_) => panic!("scan-degenerate query was not rejected"),
+        }
+        // Indexable queries are unaffected.
+        assert!(engine.query("clinton").is_ok());
+    }
+
+    #[test]
+    fn query_stats_carry_plan_class() {
+        use crate::plan::physical::PlanClass;
+        let corpus = tiny_corpus();
+        let engine = Engine::build_in_memory(corpus, EngineConfig::default()).unwrap();
+        let r = engine.query("clinton").unwrap();
+        assert_eq!(r.stats().plan_class, PlanClass::Indexed);
+        let r = engine.query(r"\d\d\d\d\d").unwrap();
+        assert_eq!(r.stats().plan_class, PlanClass::Scan);
+        assert!(r.stats().used_scan);
     }
 
     #[test]

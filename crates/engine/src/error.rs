@@ -16,6 +16,10 @@ pub enum Error {
     Index(free_index::Error),
     /// Configuration rejected (e.g. zero gram length).
     Config(String),
+    /// The query plan degenerated to a full corpus scan and the engine's
+    /// [`ScanPolicy`](crate::config::ScanPolicy) is `Reject`. Carries the
+    /// offending pattern.
+    ScanRejected(String),
 }
 
 impl fmt::Display for Error {
@@ -25,6 +29,11 @@ impl fmt::Display for Error {
             Error::Corpus(e) => write!(f, "corpus error: {e}"),
             Error::Index(e) => write!(f, "index error: {e}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::ScanRejected(pattern) => write!(
+                f,
+                "query {pattern:?} cannot use the index (plan is a full \
+                 scan) and the scan policy is set to reject"
+            ),
         }
     }
 }
@@ -35,7 +44,7 @@ impl std::error::Error for Error {
             Error::Regex(e) => Some(e),
             Error::Corpus(e) => Some(e),
             Error::Index(e) => Some(e),
-            Error::Config(_) => None,
+            Error::Config(_) | Error::ScanRejected(_) => None,
         }
     }
 }

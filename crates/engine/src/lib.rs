@@ -34,6 +34,8 @@
 //! assert_eq!(docs, vec![0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod config;
 pub mod error;
@@ -45,8 +47,9 @@ pub mod select;
 
 mod engine;
 
-pub use config::{EngineConfig, IndexKind};
+pub use config::{EngineConfig, IndexKind, ScanPolicy};
 pub use engine::{Engine, InMemoryEngine};
 pub use error::{Error, Result};
 pub use exec::results::{DocMatches, QueryResult};
 pub use metrics::QueryStats;
+pub use plan::physical::PlanClass;

@@ -5,6 +5,7 @@
 //! (data units examined, bytes scanned, postings decoded) so the shape of
 //! the results can be compared independent of hardware.
 
+use crate::plan::physical::PlanClass;
 use std::time::Duration;
 
 /// Cost accounting for one query execution.
@@ -19,6 +20,8 @@ pub struct QueryStats {
     /// Whether the plan degenerated to a full corpus scan (the paper's
     /// `zip`/`phone`/`html` cases).
     pub used_scan: bool,
+    /// Static cost classification of the plan (INDEXED/WEAK/SCAN).
+    pub plan_class: PlanClass,
     /// Number of index keys whose postings were fetched.
     pub keys_fetched: usize,
     /// Total postings decoded across those keys.

@@ -57,6 +57,40 @@ impl PlanOptions {
     }
 }
 
+/// A static classification of how well a physical plan uses the index.
+///
+/// This is the cost-model summary surfaced by `free analyze` and recorded
+/// in query stats: INDEXED plans touch a small slice of the corpus, WEAK
+/// plans are index-assisted but still expect to fetch a large fraction of
+/// it, and SCAN plans cannot use the index at all (the paper's
+/// `zip`/`phone`/`html` queries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlanClass {
+    /// The index narrows candidates to under [`WEAK_FRACTION`] of the
+    /// corpus.
+    #[default]
+    Indexed,
+    /// The plan uses the index but its estimate covers at least
+    /// [`WEAK_FRACTION`] of the corpus — barely better than scanning.
+    Weak,
+    /// The plan degenerated to a full sequential scan.
+    Scan,
+}
+
+/// Estimated candidate fraction at or above which an index-using plan is
+/// classified [`PlanClass::Weak`].
+pub const WEAK_FRACTION: f64 = 0.5;
+
+impl fmt::Display for PlanClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanClass::Indexed => "INDEXED",
+            PlanClass::Weak => "WEAK",
+            PlanClass::Scan => "SCAN",
+        })
+    }
+}
+
 /// A physical index access plan. `Fetch` leaves carry concrete directory
 /// keys; interior nodes are set operations over postings.
 #[derive(Clone, PartialEq, Eq)]
@@ -115,6 +149,22 @@ impl PhysicalPlan {
     /// Whether the plan degenerates to a full scan.
     pub fn is_scan(&self) -> bool {
         matches!(self, PhysicalPlan::Scan)
+    }
+
+    /// Classifies the plan against a corpus of `num_docs` data units.
+    ///
+    /// With `num_docs == 0` there is no basis for a WEAK judgment, so any
+    /// non-scan plan is INDEXED.
+    pub fn classify(&self, num_docs: usize) -> PlanClass {
+        if self.is_scan() {
+            return PlanClass::Scan;
+        }
+        let estimate = self.estimate();
+        if num_docs > 0 && estimate as f64 >= WEAK_FRACTION * num_docs as f64 {
+            PlanClass::Weak
+        } else {
+            PlanClass::Indexed
+        }
     }
 
     /// Total number of index keys fetched by the plan.
@@ -441,5 +491,23 @@ mod tests {
         let idx = index_with(&[("aaa", &[1])]);
         let p = PhysicalPlan::from_logical(&logical("aaa|zzz"), &idx);
         assert!(p.is_scan());
+    }
+
+    #[test]
+    fn classification_tiers() {
+        let idx = index_with(&[("rare", &[1]), ("common", &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9])]);
+        let p = PhysicalPlan::from_logical(&logical("rare"), &idx);
+        assert_eq!(p.classify(10), PlanClass::Indexed);
+        let p = PhysicalPlan::from_logical(&logical("common"), &idx);
+        assert_eq!(p.classify(10), PlanClass::Weak);
+        // Exactly at the fraction boundary counts as weak.
+        assert_eq!(p.classify(20), PlanClass::Weak);
+        assert_eq!(p.classify(21), PlanClass::Indexed);
+        let p = PhysicalPlan::from_logical(&logical("absent"), &idx);
+        assert_eq!(p.classify(10), PlanClass::Scan);
+        // No corpus context: only scans are flagged.
+        let p = PhysicalPlan::from_logical(&logical("common"), &idx);
+        assert_eq!(p.classify(0), PlanClass::Indexed);
+        assert_eq!(format!("{}", PlanClass::Weak), "WEAK");
     }
 }

@@ -22,6 +22,8 @@
 //!   of `(gram, doc)` pairs to disk and merges them, mirroring the paper's
 //!   "generate postings, sort, construct" final pass.
 
+#![forbid(unsafe_code)]
+
 pub mod blocked;
 pub mod builder;
 pub mod error;

@@ -26,8 +26,11 @@ pub enum Ast {
     /// `max = None` means unbounded. `*` is `{0,}`, `+` is `{1,}`,
     /// `?` is `{0,1}`.
     Repeat {
+        /// The repeated subexpression.
         node: Box<Ast>,
+        /// Minimum repetition count.
         min: u32,
+        /// Maximum repetition count; `None` means unbounded.
         max: Option<u32>,
     },
 }

@@ -156,13 +156,13 @@ impl DerivativeMatcher {
 }
 
 /// The canonical empty language: a class matching no byte.
-fn empty_language() -> Ast {
+pub(crate) fn empty_language() -> Ast {
     Ast::Class(ByteClass::EMPTY)
 }
 
 /// Whether `ast` is syntactically the empty language (conservative: only
 /// detects the canonical form and simple compositions thereof).
-fn is_empty_language(ast: &Ast) -> bool {
+pub(crate) fn is_empty_language(ast: &Ast) -> bool {
     match ast {
         Ast::Class(c) => c.is_empty(),
         Ast::Concat(ns) => ns.iter().any(is_empty_language),

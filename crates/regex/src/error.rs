@@ -29,21 +29,39 @@ pub enum ErrorKind {
     /// A character class with no members, e.g. `[]` or an impossible range.
     EmptyClass,
     /// A class range whose start exceeds its end, e.g. `[z-a]`.
-    InvalidClassRange { start: u8, end: u8 },
+    InvalidClassRange {
+        /// First byte of the range as written.
+        start: u8,
+        /// Last byte of the range as written.
+        end: u8,
+    },
     /// A repetition operator with nothing to repeat, e.g. `*` at the start.
     DanglingRepetition,
     /// A malformed `{m,n}` counted repetition.
     InvalidRepetition,
     /// A counted repetition whose bounds are inverted, e.g. `{3,1}`.
-    InvertedRepetition { min: u32, max: u32 },
+    InvertedRepetition {
+        /// The written lower bound.
+        min: u32,
+        /// The written upper bound (smaller than `min`).
+        max: u32,
+    },
     /// A counted repetition too large to compile, e.g. `{1000000}`.
-    RepetitionTooLarge { limit: u32 },
+    RepetitionTooLarge {
+        /// The configured repetition limit that was exceeded.
+        limit: u32,
+    },
     /// An unknown escape sequence, e.g. `\q`.
     UnknownEscape(char),
     /// A malformed hex escape, e.g. `\xZZ`.
     InvalidHexEscape,
     /// The compiled program exceeded the configured size limit.
-    ProgramTooLarge { states: usize, limit: usize },
+    ProgramTooLarge {
+        /// States the program would need.
+        states: usize,
+        /// The configured state limit.
+        limit: usize,
+    },
 }
 
 impl Error {

@@ -1,0 +1,368 @@
+//! Deciding whether a gram is a *factor* of a regular language.
+//!
+//! The FREE index is only sound if every gram the query plan demands is a
+//! **factor** of the query language: `g` is a factor of `L(r)` when every
+//! string matching `r` contains `g` as a substring, i.e.
+//! `L(r) ⊆ Σ* g Σ*` (the paper's Algorithm 4.1 invariant — a data unit
+//! can only be skipped because it lacks `g` if every possible match was
+//! guaranteed to contain `g`).
+//!
+//! [`gram_is_factor`] decides this exactly (up to a state budget) by
+//! exploring the product of two machines:
+//!
+//! * the Brzozowski-derivative state space of `r` (see
+//!   [`crate::derivative`]), whose states are regular expressions and
+//!   whose accepting states are the nullable ones, and
+//! * the KMP prefix automaton of `g`, whose state is the length of the
+//!   longest prefix of `g` matched by a suffix of the input read so far.
+//!
+//! A breadth-first search looks for a string accepted by `r` on which the
+//! KMP machine never reached `|g|`: such a string matches the query but
+//! does **not** contain the gram — a counterexample to soundness. Paths
+//! where KMP reaches `|g|` are pruned (any extension contains `g`).
+//! Because derivative state spaces are finite only modulo similarity —
+//! and we deduplicate merely syntactically — the search carries a state
+//! budget; exhausting it yields [`FactorCheck::Unknown`] rather than an
+//! answer, which callers must treat as "not proven violated".
+
+use crate::ast::Ast;
+use crate::derivative::{is_empty_language, DerivativeMatcher};
+use rustc_hash::FxHashSet;
+use std::collections::VecDeque;
+
+/// Outcome of a [`gram_is_factor`] check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactorCheck {
+    /// Every string in the language contains the gram: the plan may
+    /// safely require it.
+    Proved,
+    /// The language contains `witness`, which does not contain the gram;
+    /// requiring the gram would wrongly discard data units.
+    Violated {
+        /// A string matched by the query that lacks the gram.
+        witness: Vec<u8>,
+    },
+    /// The state budget was exhausted before the search completed.
+    Unknown {
+        /// Product states explored before giving up.
+        states_explored: usize,
+    },
+}
+
+impl FactorCheck {
+    /// Whether the check found a concrete soundness violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, FactorCheck::Violated { .. })
+    }
+}
+
+/// Default product-state budget; enough for every pattern in the paper's
+/// query workload while keeping the worst case bounded.
+pub const DEFAULT_STATE_BUDGET: usize = 4_096;
+
+/// Abort threshold for the *size* of a derivative expression, in AST
+/// nodes. Derivatives of expressions with several `.*` regions can grow
+/// (alternations accumulate and are deduplicated only syntactically), so
+/// a state-count budget alone does not bound memory or time: a single
+/// state can be megabytes. Crossing this limit yields
+/// [`FactorCheck::Unknown`].
+const MAX_DERIVATIVE_NODES: usize = 512;
+
+/// Number of AST nodes in an expression.
+fn ast_size(ast: &Ast) -> usize {
+    match ast {
+        Ast::Empty | Ast::Class(_) => 1,
+        Ast::Concat(ns) | Ast::Alternate(ns) => 1 + ns.iter().map(ast_size).sum::<usize>(),
+        Ast::Repeat { node, .. } => 1 + ast_size(node),
+    }
+}
+
+/// Rebuilds an expression with duplicate alternation branches removed
+/// (the idempotence half of Brzozowski's similarity rules). Derivation
+/// introduces duplicates freely — `d(x·y)` can spawn the same branch via
+/// both the head and the nullable-head paths — and without this reduction
+/// derivative expressions grow without bound on patterns with several
+/// `.*` regions. Language-preserving by construction.
+fn dedup_similar(ast: Ast) -> Ast {
+    match ast {
+        Ast::Concat(ns) => Ast::concat(ns.into_iter().map(dedup_similar).collect()),
+        Ast::Alternate(ns) => {
+            let mut out: Vec<Ast> = Vec::new();
+            for n in ns.into_iter().map(dedup_similar) {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+            Ast::alternate(out)
+        }
+        Ast::Repeat { node, min, max } => Ast::Repeat {
+            node: Box::new(dedup_similar(*node)),
+            min,
+            max,
+        },
+        other => other,
+    }
+}
+
+/// One representative byte per equivalence class of the input alphabet.
+///
+/// Two bytes are interchangeable for the whole search when (a) every
+/// [`ByteClass`](crate::ByteClass) occurring in `ast` either contains
+/// both or neither — derivatives only ever test class membership, and
+/// derivation never invents classes, so such bytes yield structurally
+/// identical derivatives forever — and (b) neither occurs in `gram`, so
+/// the KMP automaton treats them alike (a byte outside the gram always
+/// resets the matched prefix to 0 along the same failure path). Exploring
+/// one representative per group is therefore exact, and shrinks the
+/// branching factor from 256 to roughly the pattern's distinct-byte
+/// count.
+fn byte_representatives(ast: &Ast, gram: &[u8]) -> Vec<u8> {
+    let mut classes = Vec::new();
+    collect_classes(ast, &mut classes);
+    let mut seen_sigs: FxHashSet<Vec<bool>> = FxHashSet::default();
+    let mut reps = Vec::new();
+    for b in 0..=255u8 {
+        if gram.contains(&b) {
+            reps.push(b);
+            continue;
+        }
+        let sig: Vec<bool> = classes.iter().map(|c| c.contains(b)).collect();
+        if seen_sigs.insert(sig) {
+            reps.push(b);
+        }
+    }
+    reps
+}
+
+fn collect_classes<'a>(ast: &'a Ast, out: &mut Vec<&'a crate::ByteClass>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Class(c) => {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        Ast::Concat(ns) | Ast::Alternate(ns) => {
+            for n in ns {
+                collect_classes(n, out);
+            }
+        }
+        Ast::Repeat { node, .. } => collect_classes(node, out),
+    }
+}
+
+/// Decides whether `gram` is a factor of `L(ast)` — whether every string
+/// matching `ast` contains `gram` as a substring.
+///
+/// `state_budget` caps the number of explored product states (derivative
+/// expression × KMP prefix length); use [`DEFAULT_STATE_BUDGET`] unless
+/// profiling says otherwise.
+pub fn gram_is_factor(ast: &Ast, gram: &[u8], state_budget: usize) -> FactorCheck {
+    if gram.is_empty() {
+        // Every string contains the empty gram.
+        return FactorCheck::Proved;
+    }
+    if is_empty_language(ast) {
+        // The empty language is a subset of everything.
+        return FactorCheck::Proved;
+    }
+
+    let kmp = KmpTable::new(gram);
+    let alphabet = byte_representatives(ast, gram);
+    let mut derivatives = DerivativeMatcher::new();
+    let mut seen: FxHashSet<(Ast, usize)> = FxHashSet::default();
+    // Queue holds (derivative, kmp state, input so far). Inputs stay short:
+    // BFS finds a shortest witness, bounded by the number of states.
+    let mut queue: VecDeque<(Ast, usize, Vec<u8>)> = VecDeque::new();
+
+    if ast.is_nullable() {
+        // The empty string matches and cannot contain a non-empty gram.
+        return FactorCheck::Violated {
+            witness: Vec::new(),
+        };
+    }
+    seen.insert((ast.clone(), 0));
+    queue.push_back((ast.clone(), 0, Vec::new()));
+
+    while let Some((expr, k, input)) = queue.pop_front() {
+        if seen.len() > state_budget {
+            return FactorCheck::Unknown {
+                states_explored: seen.len(),
+            };
+        }
+        for &b in &alphabet {
+            let d = dedup_similar(derivatives.derive(&expr, b));
+            if is_empty_language(&d) {
+                continue;
+            }
+            let nk = kmp.step(k, b);
+            if nk == gram.len() {
+                // This path already contains the gram; every extension
+                // does too, so it can never witness a violation.
+                continue;
+            }
+            if d.is_nullable() {
+                let mut witness = input.clone();
+                witness.push(b);
+                return FactorCheck::Violated { witness };
+            }
+            if ast_size(&d) > MAX_DERIVATIVE_NODES {
+                // The derivative space is exploding syntactically; give
+                // up before a single state costs unbounded memory.
+                return FactorCheck::Unknown {
+                    states_explored: seen.len(),
+                };
+            }
+            if seen.insert((d.clone(), nk)) {
+                let mut next_input = input.clone();
+                next_input.push(b);
+                queue.push_back((d, nk, next_input));
+            }
+        }
+    }
+
+    FactorCheck::Proved
+}
+
+/// KMP prefix-function table for a gram: `step(k, b)` is the length of the
+/// longest prefix of the gram that is a suffix of (matched-prefix `k`
+/// extended by byte `b`).
+struct KmpTable<'g> {
+    gram: &'g [u8],
+    fail: Vec<usize>,
+}
+
+impl<'g> KmpTable<'g> {
+    fn new(gram: &'g [u8]) -> KmpTable<'g> {
+        let mut fail = vec![0usize; gram.len()];
+        let mut k = 0;
+        for i in 1..gram.len() {
+            while k > 0 && gram[i] != gram[k] {
+                k = fail[k - 1];
+            }
+            if gram[i] == gram[k] {
+                k += 1;
+            }
+            fail[i] = k;
+        }
+        KmpTable { gram, fail }
+    }
+
+    fn step(&self, mut k: usize, b: u8) -> usize {
+        debug_assert!(k < self.gram.len());
+        while k > 0 && self.gram[k] != b {
+            k = self.fail[k - 1];
+        }
+        if self.gram[k] == b {
+            k + 1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(pattern: &str, gram: &[u8]) -> FactorCheck {
+        gram_is_factor(&parse(pattern).unwrap(), gram, DEFAULT_STATE_BUDGET)
+    }
+
+    #[test]
+    fn literal_contains_its_substrings() {
+        assert_eq!(check("abcdef", b"abc"), FactorCheck::Proved);
+        assert_eq!(check("abcdef", b"cde"), FactorCheck::Proved);
+        assert_eq!(check("abcdef", b"abcdef"), FactorCheck::Proved);
+    }
+
+    #[test]
+    fn literal_lacks_other_grams() {
+        match check("abcdef", b"xyz") {
+            FactorCheck::Violated { witness } => assert_eq!(witness, b"abcdef"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_gram_is_always_a_factor() {
+        assert_eq!(check("a*", b""), FactorCheck::Proved);
+    }
+
+    #[test]
+    fn nullable_pattern_violates_any_gram() {
+        match check("a*", b"a") {
+            FactorCheck::Violated { witness } => assert_eq!(witness, b""),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_requires_gram_in_every_branch() {
+        // Both branches contain "ll".
+        assert_eq!(check("(Bill|William)", b"ll"), FactorCheck::Proved);
+        // Only one branch contains "Bill".
+        match check("(Bill|William)", b"Bill") {
+            FactorCheck::Violated { witness } => assert_eq!(witness, b"William"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gram_spanning_star_is_not_a_factor() {
+        // "ab" is interrupted by x* in a(x*)b — witness must use an x.
+        match check("a(x+)b", b"ab") {
+            FactorCheck::Violated { witness } => {
+                assert_eq!(witness, b"axb", "shortest witness expected");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // But with a nullable spacer, "ab" appears when the spacer is empty
+        // — yet NOT always. a(x*)b with x present lacks "ab".
+        assert!(check("a(x*)b", b"ab").is_violation());
+        // A mandatory shared factor across the star: a.*a requires "a".
+        assert_eq!(check("a.*a", b"a"), FactorCheck::Proved);
+    }
+
+    #[test]
+    fn overlapping_gram_uses_kmp_correctly() {
+        // Self-overlapping grams exercise the KMP failure links: after
+        // reading "aa" and failing on "b", the prefix "a" must survive.
+        assert_eq!(check("aaab", b"aab"), FactorCheck::Proved);
+        assert_eq!(check("abab", b"aba"), FactorCheck::Proved);
+        assert!(check("aba", b"aa").is_violation());
+    }
+
+    #[test]
+    fn counted_repeats() {
+        assert_eq!(check("(ab){2,3}", b"abab"), FactorCheck::Proved);
+        assert!(check("(ab){1,3}", b"abab").is_violation());
+    }
+
+    #[test]
+    fn classes_as_grams() {
+        // Every match of [ab]c ends in c.
+        assert_eq!(check("[ab]c", b"c"), FactorCheck::Proved);
+        assert!(check("[ab]c", b"ac").is_violation());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let deep = parse(".{0,50}needle").unwrap();
+        match gram_is_factor(&deep, b"needle", 8) {
+            FactorCheck::Unknown { states_explored } => assert!(states_explored > 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_required_grams_are_factors() {
+        // Example 2.1 of the paper: every match of (Bill|William).*Clinton
+        // contains "Clinton" and "ill", but not "Bill".
+        let pattern = "(Bill|William).*Clinton";
+        assert_eq!(check(pattern, b"Clinton"), FactorCheck::Proved);
+        assert_eq!(check(pattern, b"ill"), FactorCheck::Proved);
+        assert!(check(pattern, b"Bill").is_violation());
+    }
+}

@@ -36,18 +36,22 @@
 //! assert_eq!(m.range(), 4..16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod class;
 pub mod dense;
 pub mod derivative;
 pub mod dfa;
 pub mod error;
+pub mod factor;
 pub mod literal;
 pub mod nfa;
 pub mod oracle;
 pub mod parser;
 pub mod pike;
 pub mod rewrite;
+pub mod spanned;
 
 mod matcher;
 
@@ -56,7 +60,8 @@ pub use crate::class::ByteClass;
 pub use crate::error::{Error, Result};
 pub use crate::literal::Finder;
 pub use crate::matcher::{Match, Regex, RegexConfig, Searcher};
-pub use crate::parser::{parse, Parser, ParserConfig};
+pub use crate::parser::{parse, parse_spanned, Parser, ParserConfig};
+pub use crate::spanned::{SpannedAst, SpannedKind};
 
 /// A half-open byte span `[start, end)` within a haystack.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]

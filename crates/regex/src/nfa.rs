@@ -20,9 +20,19 @@ pub type StateId = u32;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum State {
     /// Consume one byte in the interned class, then go to `next`.
-    Class { class: u32, next: StateId },
+    Class {
+        /// Index into the NFA's interned class table.
+        class: u32,
+        /// Successor state.
+        next: StateId,
+    },
     /// Fork: try `a` and `b` (epsilon transitions).
-    Split { a: StateId, b: StateId },
+    Split {
+        /// First branch.
+        a: StateId,
+        /// Second branch.
+        b: StateId,
+    },
     /// Accepting state.
     Match,
 }

@@ -19,6 +19,8 @@
 use crate::ast::Ast;
 use crate::class::ByteClass;
 use crate::error::{Error, ErrorKind, Result};
+use crate::spanned::{SpannedAst, SpannedKind};
+use crate::Span;
 
 /// Configuration for the parser.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +48,12 @@ pub fn parse(pattern: &str) -> Result<Ast> {
     Parser::new(ParserConfig::default()).parse(pattern)
 }
 
+/// Parses `pattern` into a span-carrying tree with the default
+/// configuration. See [`SpannedAst`].
+pub fn parse_spanned(pattern: &str) -> Result<SpannedAst> {
+    Parser::new(ParserConfig::default()).parse_spanned(pattern)
+}
+
 /// A reusable regex parser.
 #[derive(Clone, Debug, Default)]
 pub struct Parser {
@@ -58,8 +66,15 @@ impl Parser {
         Parser { config }
     }
 
-    /// Parses a pattern into an [`Ast`].
+    /// Parses a pattern into a normalized [`Ast`].
     pub fn parse(&self, pattern: &str) -> Result<Ast> {
+        Ok(self.parse_spanned(pattern)?.to_ast())
+    }
+
+    /// Parses a pattern into a [`SpannedAst`], the pre-normalization tree
+    /// in which every node records the byte range of the pattern it came
+    /// from and grouping parentheses are explicit.
+    pub fn parse_spanned(&self, pattern: &str) -> Result<SpannedAst> {
         let mut inner = Inner {
             pattern,
             bytes: pattern.as_bytes(),
@@ -106,15 +121,24 @@ impl<'p> Inner<'p> {
         }
     }
 
-    fn alternation(&mut self) -> Result<Ast> {
+    fn spanned(&self, kind: SpannedKind, start: usize) -> SpannedAst {
+        SpannedAst::new(kind, Span::new(start, self.pos))
+    }
+
+    fn alternation(&mut self) -> Result<SpannedAst> {
+        let start = self.pos;
         let mut branches = vec![self.concat()?];
         while self.eat(b'|') {
             branches.push(self.concat()?);
         }
-        Ok(Ast::alternate(branches))
+        Ok(match branches.len() {
+            1 => branches.pop().expect("len checked"),
+            _ => self.spanned(SpannedKind::Alternate(branches), start),
+        })
     }
 
-    fn concat(&mut self) -> Result<Ast> {
+    fn concat(&mut self) -> Result<SpannedAst> {
+        let start = self.pos;
         let mut parts = Vec::new();
         loop {
             match self.peek() {
@@ -122,24 +146,40 @@ impl<'p> Inner<'p> {
                 _ => parts.push(self.repeat()?),
             }
         }
-        Ok(Ast::concat(parts))
+        Ok(match parts.len() {
+            0 => self.spanned(SpannedKind::Empty, start),
+            1 => parts.pop().expect("len checked"),
+            _ => self.spanned(SpannedKind::Concat(parts), start),
+        })
     }
 
-    fn repeat(&mut self) -> Result<Ast> {
+    fn quantified(&self, node: SpannedAst, min: u32, max: Option<u32>) -> SpannedAst {
+        let start = node.span.start;
+        self.spanned(
+            SpannedKind::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            },
+            start,
+        )
+    }
+
+    fn repeat(&mut self) -> Result<SpannedAst> {
         let mut node = self.atom()?;
         loop {
             match self.peek() {
                 Some(b'*') => {
                     self.pos += 1;
-                    node = Ast::star(node);
+                    node = self.quantified(node, 0, None);
                 }
                 Some(b'+') => {
                     self.pos += 1;
-                    node = Ast::plus(node);
+                    node = self.quantified(node, 1, None);
                 }
                 Some(b'?') => {
                     self.pos += 1;
-                    node = Ast::optional(node);
+                    node = self.quantified(node, 0, Some(1));
                 }
                 Some(b'{') => {
                     // `{` only introduces a counted repetition when it looks
@@ -155,11 +195,7 @@ impl<'p> Inner<'p> {
                         if min > limit || max.unwrap_or(0) > limit {
                             return Err(self.err(ErrorKind::RepetitionTooLarge { limit }));
                         }
-                        node = Ast::Repeat {
-                            node: Box::new(node),
-                            min,
-                            max,
-                        };
+                        node = self.quantified(node, min, max);
                     } else {
                         break;
                     }
@@ -210,7 +246,8 @@ impl<'p> Inner<'p> {
         }
     }
 
-    fn atom(&mut self) -> Result<Ast> {
+    fn atom(&mut self) -> Result<SpannedAst> {
+        let start = self.pos;
         match self.peek() {
             None => Err(self.err(ErrorKind::UnexpectedEof)),
             Some(b'(') => {
@@ -219,45 +256,47 @@ impl<'p> Inner<'p> {
                 if !self.eat(b')') {
                     return Err(self.err(ErrorKind::UnclosedGroup));
                 }
-                Ok(inner)
+                Ok(self.spanned(SpannedKind::Group(Box::new(inner)), start))
             }
             Some(b'[') => {
                 self.pos += 1;
-                self.class()
+                let class = self.class()?;
+                Ok(self.spanned(SpannedKind::Class(class), start))
             }
             Some(b'.') => {
                 self.pos += 1;
-                Ok(Ast::Class(ByteClass::dot()))
+                Ok(self.spanned(SpannedKind::Class(ByteClass::dot()), start))
             }
             Some(b'\\') => {
                 self.pos += 1;
                 let item = self.escape()?;
-                Ok(self.item_to_ast(item))
+                let class = self.item_to_class(item);
+                Ok(self.spanned(SpannedKind::Class(class), start))
             }
             Some(b'*') | Some(b'+') | Some(b'?') => Err(self.err(ErrorKind::DanglingRepetition)),
             Some(b) => {
                 self.pos += 1;
-                Ok(self.literal_byte(b))
+                Ok(self.spanned(SpannedKind::Class(self.literal_byte(b)), start))
             }
         }
     }
 
-    fn literal_byte(&self, b: u8) -> Ast {
+    fn literal_byte(&self, b: u8) -> ByteClass {
         let mut c = ByteClass::singleton(b);
         if self.config.case_insensitive {
             c = c.case_fold();
         }
-        Ast::Class(c)
+        c
     }
 
-    fn item_to_ast(&self, item: ClassItem) -> Ast {
+    fn item_to_class(&self, item: ClassItem) -> ByteClass {
         match item {
             ClassItem::Byte(b) => self.literal_byte(b),
             ClassItem::Class(mut c) => {
                 if self.config.case_insensitive {
                     c = c.case_fold();
                 }
-                Ast::Class(c)
+                c
             }
         }
     }
@@ -308,7 +347,7 @@ impl<'p> Inner<'p> {
     }
 
     /// Parses a character class body, with `pos` just past the `[`.
-    fn class(&mut self) -> Result<Ast> {
+    fn class(&mut self) -> Result<ByteClass> {
         let negated = self.eat(b'^');
         let mut class = ByteClass::new();
         let mut first = true;
@@ -357,7 +396,7 @@ impl<'p> Inner<'p> {
         if negated {
             class = class.negate();
         }
-        Ok(Ast::Class(class))
+        Ok(class)
     }
 
     /// One item inside `[...]`: a literal byte or an escaped class.

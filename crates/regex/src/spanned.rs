@@ -1,0 +1,207 @@
+//! A span-carrying parse tree for diagnostics.
+//!
+//! The plain [`Ast`] is normalized aggressively (groups are unwrapped,
+//! concats and alternations are flattened, empties dropped), which is right
+//! for matching but destroys the positional information a linter needs to
+//! say *where* in the pattern a problem lives. [`SpannedAst`] is the
+//! pre-normalization tree: every node carries the byte [`Span`] of the
+//! pattern text it was parsed from, and grouping parentheses are kept as
+//! explicit [`SpannedKind::Group`] nodes.
+//!
+//! [`SpannedAst::to_ast`] lowers to the normalized [`Ast`] by applying
+//! exactly the same smart constructors the parser used to apply directly,
+//! so `parse(p)` and `parse_spanned(p)?.to_ast()` are identical by
+//! construction (property-tested in the workspace suite).
+
+use crate::ast::Ast;
+use crate::class::ByteClass;
+use crate::Span;
+
+/// A parse-tree node annotated with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedAst {
+    /// What the node is.
+    pub kind: SpannedKind,
+    /// The byte range of the pattern this node was parsed from.
+    pub span: Span,
+}
+
+/// The node variants of [`SpannedAst`].
+///
+/// Mirrors [`Ast`] plus [`Group`](SpannedKind::Group), which records
+/// grouping parentheses that the normalized tree erases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpannedKind {
+    /// Matches the empty string (an empty branch or pattern).
+    Empty,
+    /// Matches any single byte in the class.
+    Class(ByteClass),
+    /// Matches each child in sequence.
+    Concat(Vec<SpannedAst>),
+    /// Matches any one child (the `|` connective).
+    Alternate(Vec<SpannedAst>),
+    /// Matches `node` repeated between `min` and `max` times.
+    Repeat {
+        /// The repeated subexpression.
+        node: Box<SpannedAst>,
+        /// Minimum repetition count.
+        min: u32,
+        /// Maximum repetition count; `None` means unbounded.
+        max: Option<u32>,
+    },
+    /// A parenthesized group `(...)`.
+    Group(Box<SpannedAst>),
+}
+
+impl SpannedAst {
+    /// Creates a node.
+    pub fn new(kind: SpannedKind, span: Span) -> SpannedAst {
+        SpannedAst { kind, span }
+    }
+
+    /// Lowers to the normalized [`Ast`], dropping spans and groups.
+    ///
+    /// Uses the same smart constructors ([`Ast::concat`],
+    /// [`Ast::alternate`]) as direct parsing, so the result is
+    /// byte-for-byte the tree [`crate::parse`] produces.
+    pub fn to_ast(&self) -> Ast {
+        match &self.kind {
+            SpannedKind::Empty => Ast::Empty,
+            SpannedKind::Class(c) => Ast::Class(*c),
+            SpannedKind::Concat(nodes) => Ast::concat(nodes.iter().map(Self::to_ast).collect()),
+            SpannedKind::Alternate(nodes) => {
+                Ast::alternate(nodes.iter().map(Self::to_ast).collect())
+            }
+            SpannedKind::Repeat { node, min, max } => Ast::Repeat {
+                node: Box::new(node.to_ast()),
+                min: *min,
+                max: *max,
+            },
+            SpannedKind::Group(inner) => inner.to_ast(),
+        }
+    }
+
+    /// Whether this subtree can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match &self.kind {
+            SpannedKind::Empty => true,
+            SpannedKind::Class(_) => false,
+            SpannedKind::Concat(ns) => ns.iter().all(Self::is_nullable),
+            SpannedKind::Alternate(ns) => ns.iter().any(Self::is_nullable),
+            SpannedKind::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+            SpannedKind::Group(inner) => inner.is_nullable(),
+        }
+    }
+
+    /// Visits every node in the tree, parents before children.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a SpannedAst)) {
+        visit(self);
+        match &self.kind {
+            SpannedKind::Empty | SpannedKind::Class(_) => {}
+            SpannedKind::Concat(ns) | SpannedKind::Alternate(ns) => {
+                for n in ns {
+                    n.walk(visit);
+                }
+            }
+            SpannedKind::Repeat { node, .. } => node.walk(visit),
+            SpannedKind::Group(inner) => inner.walk(visit),
+        }
+    }
+
+    /// The widest [`ByteClass`] anywhere in the tree, with its location.
+    /// Returns `None` for class-free patterns (`Empty` only).
+    pub fn widest_class(&self) -> Option<(&ByteClass, Span)> {
+        let mut widest: Option<(&ByteClass, Span)> = None;
+        self.walk(&mut |node| {
+            if let SpannedKind::Class(c) = &node.kind {
+                if widest.is_none_or(|(w, _)| c.len() > w.len()) {
+                    widest = Some((c, node.span));
+                }
+            }
+        });
+        widest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_spanned};
+
+    #[track_caller]
+    fn roundtrip(pattern: &str) {
+        let direct = parse(pattern).unwrap();
+        let spanned = parse_spanned(pattern).unwrap();
+        assert_eq!(spanned.to_ast(), direct, "pattern {pattern:?}");
+    }
+
+    #[test]
+    fn to_ast_matches_direct_parse() {
+        for p in [
+            "",
+            "abc",
+            "a|b|c",
+            "(a|b)c",
+            "a*b+c?",
+            "a{2,5}",
+            "((a))",
+            "(Bill|William).*Clinton",
+            r#"<a\s+href\s*=\s*('|")?[^>]*"#,
+            "[a-z0-9]+@[a-z]+",
+            "a||b",
+        ] {
+            roundtrip(p);
+        }
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let t = parse_spanned("ab|cd*").unwrap();
+        // Root alternation spans the whole pattern.
+        assert_eq!(t.span.range(), 0..6);
+        match &t.kind {
+            SpannedKind::Alternate(branches) => {
+                assert_eq!(branches[0].span.range(), 0..2);
+                assert_eq!(branches[1].span.range(), 3..6);
+                match &branches[1].kind {
+                    SpannedKind::Concat(parts) => {
+                        assert_eq!(parts[0].span.range(), 3..4);
+                        // `d*` spans the atom plus its quantifier.
+                        assert_eq!(parts[1].span.range(), 4..6);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_nodes_are_preserved() {
+        let t = parse_spanned("(ab)*").unwrap();
+        match &t.kind {
+            SpannedKind::Repeat { node, .. } => {
+                assert!(matches!(node.kind, SpannedKind::Group(_)));
+                assert_eq!(node.span.range(), 0..4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn widest_class_finds_dot() {
+        let t = parse_spanned("ab.*cd").unwrap();
+        let (c, span) = t.widest_class().unwrap();
+        assert_eq!(c.len(), 256);
+        assert_eq!(span.range(), 2..3);
+        assert!(parse_spanned("").unwrap().widest_class().is_none());
+    }
+
+    #[test]
+    fn nullability_matches_ast() {
+        for p in ["", "a*", "a|", "a", "(|a)b", "a{0,3}"] {
+            let t = parse_spanned(p).unwrap();
+            assert_eq!(t.is_nullable(), t.to_ast().is_nullable(), "{p:?}");
+        }
+    }
+}

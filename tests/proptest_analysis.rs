@@ -1,0 +1,107 @@
+//! Differential properties tying the static analyzer to the planner.
+//!
+//! The analyzer's NULL-plan linter is a from-scratch reimplementation of
+//! Algorithm 4.1's Table 2 collapse rules, so the two can check each
+//! other: for any generated pattern, the linter's prediction must agree
+//! with what `LogicalPlan::from_ast` actually produces. Likewise, the
+//! soundness verifier exists to catch planner bugs — on the planner as
+//! written it must never report a violation.
+
+use free_analyze::{analyze, predicts_null, AnalysisConfig};
+use free_engine::plan::logical::LogicalPlan;
+use free_regex::{parse, parse_spanned, Ast, ByteClass};
+use proptest::prelude::*;
+
+/// Same generator shape as `proptest_equivalence`: a small alphabet so
+/// literals collide and merge, with every operator the planner treats
+/// specially (classes, dot, counted and unbounded repeats, alternation).
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')].prop_map(Ast::byte),
+        Just(Ast::Class(ByteClass::range(b'a', b'c'))),
+        Just(Ast::Class(ByteClass::dot())),
+        prop_oneof![Just("ab"), Just("abc"), Just("cab"), Just("bca")]
+            .prop_map(|s| Ast::literal(s.as_bytes())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::alternate),
+            (inner.clone(), 0u32..3, 0u32..2).prop_map(|(n, min, extra)| Ast::Repeat {
+                node: Box::new(n),
+                min,
+                max: Some(min + extra),
+            }),
+            inner.prop_map(Ast::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The linter's NULL prediction agrees with the planner, for any
+    /// pattern and any class-expansion limit.
+    #[test]
+    fn null_prediction_matches_planner(
+        ast in arb_ast(),
+        limit in 0usize..24,
+    ) {
+        let pattern = format!("{ast:?}");
+        prop_assume!(!pattern.contains('ε'));
+        prop_assume!(parse(&pattern).is_ok());
+
+        let tree = parse_spanned(&pattern).unwrap();
+        let predicted = predicts_null(&tree, limit);
+        let actual = LogicalPlan::from_ast(&tree.to_ast(), limit).is_null();
+        prop_assert_eq!(
+            predicted, actual,
+            "linter and planner disagree on `{}` (limit {})", pattern, limit
+        );
+    }
+
+    /// The soundness verifier never fires on plans the compiler actually
+    /// produces: every required gram is a factor of the query language
+    /// (or the check is inconclusive — never a witnessed violation).
+    #[test]
+    fn compiler_plans_never_violate_soundness(ast in arb_ast()) {
+        let pattern = format!("{ast:?}");
+        prop_assume!(!pattern.contains('ε'));
+        prop_assume!(parse(&pattern).is_ok());
+
+        let parsed = parse(&pattern).unwrap();
+        let plan = LogicalPlan::from_ast(&parsed, 16);
+        let summary = free_analyze::soundness::verify_plan(&parsed, &plan, 1024);
+        prop_assert!(
+            summary.diagnostics.is_empty(),
+            "unsound plan for `{}`: {:?}", pattern, summary.diagnostics
+        );
+    }
+
+    /// Full analysis is total on parseable patterns: no panics, exactly
+    /// one cost classification, and the reported class is consistent
+    /// with the report's own plan string.
+    #[test]
+    fn analysis_is_total_and_classifies_once(ast in arb_ast()) {
+        let pattern = format!("{ast:?}");
+        prop_assume!(!pattern.contains('ε'));
+        prop_assume!(parse(&pattern).is_ok());
+
+        let report = analyze(&pattern, &AnalysisConfig::default());
+        let class_diags = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with("FA2"))
+            .count();
+        prop_assert_eq!(class_diags, 1, "`{}`: {:?}", pattern, report.diagnostics);
+        let is_scan = report.class == Some(free_engine::PlanClass::Scan);
+        prop_assert_eq!(
+            report.plan.as_deref() == Some("NULL"),
+            is_scan,
+            "`{}`: {:?}", pattern, report
+        );
+        // Rendering never panics either.
+        let _ = report.render_human();
+        let _ = report.to_json();
+    }
+}
