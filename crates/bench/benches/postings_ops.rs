@@ -3,7 +3,8 @@
 //! union and full decode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use free_index::{ops, BlockedPostings, Postings};
+use free_index::cursor::drain;
+use free_index::{ops, AndCursor, BlockedPostings, Postings};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -77,10 +78,55 @@ fn bench_skip_pointers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cursor_vs_materialized(c: &mut Criterion) {
+    // The PR 2 ablation: the eager executor decodes every postings list
+    // in full and intersects slices; the streaming executor leapfrogs
+    // cursors over the blocked encoding and only decodes the blocks it
+    // lands on. The gap should widen as the AND gets more lopsided.
+    let mut rng = StdRng::seed_from_u64(10);
+    let long = sorted_ids(&mut rng, 200_000, 2_000_000);
+    let long_plain = Postings::from_sorted(&long);
+    let long_blocked = BlockedPostings::from_sorted(&long);
+    let mut group = c.benchmark_group("cursor_vs_materialized");
+    for short_len in [20usize, 1_000, 50_000] {
+        let short = sorted_ids(&mut rng, short_len, 2_000_000);
+        let short_plain = Postings::from_sorted(&short);
+        let short_blocked = BlockedPostings::from_sorted(&short);
+        let ratio = long.len() / short_len;
+        group.bench_with_input(
+            BenchmarkId::new("materialized", format!("1:{ratio}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let s = short_plain.decode().unwrap();
+                    let l = long_plain.decode().unwrap();
+                    black_box(ops::intersect(&s, &l))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cursor", format!("1:{ratio}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut and = AndCursor::new(vec![
+                        short_blocked.cursor().unwrap(),
+                        long_blocked.cursor().unwrap(),
+                    ])
+                    .unwrap();
+                    black_box(drain(&mut and).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_intersect,
     bench_union_and_decode,
-    bench_skip_pointers
+    bench_skip_pointers,
+    bench_cursor_vs_materialized
 );
 criterion_main!(benches);

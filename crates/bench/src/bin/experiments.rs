@@ -339,7 +339,7 @@ fn run_disk_demo(config: &ExperimentConfig) -> String {
             if r.used_scan() {
                 "all".to_string()
             } else {
-                r.num_candidates().to_string()
+                r.num_candidates().expect("candidates").to_string()
             },
             n
         );

@@ -233,7 +233,7 @@ impl Experiment {
 
         // Ground-truth result sizes and candidate accounting.
         let mut r = self.multigram.query(q.pattern).expect("query");
-        let multigram_candidates = r.num_candidates();
+        let multigram_candidates = r.num_candidates().expect("candidates");
         let multigram_used_scan = r.used_scan();
         let matches = r.all_matches().expect("matches");
         let matching_docs = matches.len();

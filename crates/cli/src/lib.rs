@@ -150,8 +150,17 @@ pub struct SearchIndex {
 }
 
 impl SearchIndex {
-    /// Opens the index stored in `index_dir`.
+    /// Opens the index stored in `index_dir` with confirmation running on
+    /// all available CPUs (equivalent to `open_with_threads(dir, 0)`).
     pub fn open(index_dir: &Path) -> Result<SearchIndex> {
+        SearchIndex::open_with_threads(index_dir, 0)
+    }
+
+    /// Opens the index stored in `index_dir`, confirming candidates with
+    /// `threads` worker threads (`0` = one per available CPU). Thread
+    /// count never changes which matches are reported or their order —
+    /// only how fast candidate files are read and checked.
+    pub fn open_with_threads(index_dir: &Path, threads: usize) -> Result<SearchIndex> {
         let manifest_path = index_dir.join(MANIFEST_FILE);
         let manifest = std::fs::read_to_string(&manifest_path).map_err(|e| {
             CliError::Manifest(format!("cannot read {}: {e}", manifest_path.display()))
@@ -186,6 +195,7 @@ impl SearchIndex {
         let corpus = FsCorpus::from_paths(&root, files)?;
         let config = EngineConfig {
             usefulness_threshold: threshold,
+            num_threads: threads,
             ..EngineConfig::default()
         };
         let engine = Engine::open(corpus, config, index_dir.join(INDEX_FILE))?;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>
-//! freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>
+//! freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] <PATTERN>
 //! freegrep explain [--index DIR] <PATTERN>
 //! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
@@ -98,6 +98,7 @@ fn run(args: &[String]) -> CmdResult {
         "search" | "explain" | "stats" => {
             let mut index_dir = PathBuf::from(".freegrep");
             let mut limit = 0usize;
+            let mut threads = 0usize;
             let mut files_only = false;
             let mut pattern: Option<String> = None;
             let mut i = 0;
@@ -111,13 +112,17 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         limit = value(rest, i, "--limit")?.parse()?;
                     }
+                    "--threads" => {
+                        i += 1;
+                        threads = value(rest, i, "--threads")?.parse()?;
+                    }
                     "--files-only" => files_only = true,
                     arg if !arg.starts_with('-') => pattern = Some(arg.to_string()),
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
                 i += 1;
             }
-            let index = SearchIndex::open(&index_dir)?;
+            let index = SearchIndex::open_with_threads(&index_dir, threads)?;
             match command.as_str() {
                 "search" => {
                     let pattern = pattern.ok_or("search needs a PATTERN")?;
@@ -143,8 +148,10 @@ fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String
 
 fn usage() -> String {
     "usage:\n  freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>\n  \
-     freegrep search [--index DIR] [--limit N] [--files-only] <PATTERN>\n  \
+     freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] <PATTERN>\n  \
      freegrep explain [--index DIR] <PATTERN>\n  \
-     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]"
+     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n\n\
+     --threads N confirms candidates with N worker threads \
+     (default 0 = one per CPU); results are identical for any N"
         .to_string()
 }

@@ -61,6 +61,60 @@ fn index_then_search() {
 }
 
 #[test]
+fn search_threads_flag_gives_identical_output() {
+    let dir = setup("threads");
+    let index_dir = dir.join("idx");
+    // A few extra files so the parallel path has real fan-out.
+    for i in 0..20 {
+        std::fs::write(
+            dir.join(format!("src/extra{i}.rs")),
+            format!("// filler {i}\nfn magic_token_{i}() {{}}\n"),
+        )
+        .unwrap();
+    }
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    let run = |threads: &str| {
+        let out = freegrep()
+            .args(["search", "--index"])
+            .arg(&index_dir)
+            .args(["--threads", threads, "magic_token"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let one = run("1");
+    assert!(one.contains("match(es)"), "{one}");
+    assert_eq!(run("4"), one, "thread count must not change output");
+    assert_eq!(run("0"), one, "auto thread count must not change output");
+
+    // The flag is in --help.
+    let out = freegrep().arg("--help").output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--threads N"));
+
+    // A malformed value is rejected cleanly.
+    let out = freegrep()
+        .args(["search", "--index"])
+        .arg(&index_dir)
+        .args(["--threads", "lots", "magic_token"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn explain_and_stats() {
     let dir = setup("explain");
     let index_dir = dir.join("idx");

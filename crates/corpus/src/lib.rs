@@ -43,7 +43,12 @@ pub type DocId = u32;
 /// sequential scans (index construction; the "Scan" baseline) and random
 /// access to candidate data units (the confirmation step after an index
 /// lookup).
-pub trait Corpus {
+///
+/// `Sync` is a supertrait because the engine's parallel confirmation
+/// stage fans [`Corpus::get`] calls out to worker threads sharing one
+/// `&C`; implementations must use positioned reads or per-call handles
+/// rather than shared seek state.
+pub trait Corpus: Sync {
     /// Number of data units.
     fn len(&self) -> usize;
 

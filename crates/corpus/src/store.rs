@@ -15,7 +15,8 @@
 
 use crate::{Corpus, DocId, Error, Result};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"FREECORP";
@@ -97,6 +98,10 @@ impl CorpusWriter {
 /// A read-only on-disk corpus.
 pub struct DiskCorpus {
     data_path: PathBuf,
+    /// Open handle used for random access via positioned reads
+    /// (`read_exact_at`), so concurrent `get` calls share it without
+    /// seek-state races or per-call `open` overhead.
+    data: File,
     /// Cumulative end offsets; `ends[i]` is one past the last byte of doc i.
     ends: Vec<u64>,
 }
@@ -155,7 +160,13 @@ impl DiskCorpus {
                 ends.last().unwrap()
             )));
         }
-        Ok(DiskCorpus { data_path, ends })
+        let data = File::open(&data_path)
+            .map_err(|e| Error::io(format!("open {}", data_path.display()), e))?;
+        Ok(DiskCorpus {
+            data_path,
+            data,
+            ends,
+        })
     }
 
     fn bounds(&self, id: DocId) -> Result<(u64, u64)> {
@@ -182,12 +193,9 @@ impl Corpus for DiskCorpus {
 
     fn get(&self, id: DocId) -> Result<Vec<u8>> {
         let (start, end) = self.bounds(id)?;
-        let mut f = File::open(&self.data_path)
-            .map_err(|e| Error::io(format!("open {}", self.data_path.display()), e))?;
-        f.seek(SeekFrom::Start(start))
-            .map_err(|e| Error::io(format!("seek to data unit {id}"), e))?;
         let mut buf = vec![0u8; (end - start) as usize];
-        f.read_exact(&mut buf)
+        self.data
+            .read_exact_at(&mut buf, start)
             .map_err(|e| Error::io(format!("read data unit {id}"), e))?;
         Ok(buf)
     }
@@ -323,6 +331,31 @@ mod tests {
         // Chop the data file shorter than the offsets claim.
         std::fs::write(dir.join(DATA_FILE), b"x").unwrap();
         assert!(matches!(DiskCorpus::open(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_gets_agree() {
+        let dir = tmpdir("parget");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        for i in 0..200u32 {
+            w.append(format!("unit {i} {}", "y".repeat((i % 17) as usize)).as_bytes())
+                .unwrap();
+        }
+        let c = std::sync::Arc::new(w.finish().unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in (t..200).step_by(4) {
+                    let want = format!("unit {i} {}", "y".repeat((i % 17) as usize));
+                    assert_eq!(c.get(i).unwrap(), want.as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

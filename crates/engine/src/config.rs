@@ -79,6 +79,13 @@ pub struct EngineConfig {
     pub use_anchoring: bool,
     /// What to do when a query plan cannot use the index at all.
     pub scan_policy: ScanPolicy,
+    /// Worker threads for the batched parallel confirmation stage. `0`
+    /// means auto-detect (one per available CPU). The default is the
+    /// `FREE_THREADS` environment variable if set and parseable, else `1`
+    /// — single-threaded, so library users get deterministic scheduling
+    /// unless they opt in. Results and logical cost counters are
+    /// identical for every thread count; only wall-clock changes.
+    pub num_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +100,10 @@ impl Default for EngineConfig {
             prune_selectivity: 0.5,
             use_anchoring: true,
             scan_policy: ScanPolicy::Allow,
+            num_threads: std::env::var("FREE_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
         }
     }
 }
@@ -103,6 +114,18 @@ impl EngineConfig {
         EngineConfig {
             index_kind: kind,
             ..EngineConfig::default()
+        }
+    }
+
+    /// The number of confirmation worker threads to actually use:
+    /// resolves `num_threads == 0` to the machine's available
+    /// parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.num_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 
@@ -141,6 +164,17 @@ mod tests {
         assert_eq!(c.max_gram_len, 10);
         assert_eq!(c.index_kind, IndexKind::Multigram);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let mut c = EngineConfig {
+            num_threads: 3,
+            ..EngineConfig::default()
+        };
+        assert_eq!(c.effective_threads(), 3);
+        c.num_threads = 0;
+        assert!(c.effective_threads() >= 1);
     }
 
     #[test]

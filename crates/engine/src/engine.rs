@@ -1,7 +1,8 @@
 //! The engine façade: index construction plus the query entry point.
 
 use crate::config::{EngineConfig, IndexKind, ScanPolicy};
-use crate::exec::{eval_plan, results::QueryResult};
+use crate::exec::results::QueryResult;
+use crate::exec::stream::{compile_plan, CandidateSource, StreamState};
 use crate::grams::GramMatcher;
 use crate::metrics::{BuildStats, QueryStats};
 use crate::plan::physical::PlanOptions;
@@ -233,8 +234,9 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
         }
     }
 
-    /// Compiles a query: parse, plan, and evaluate the index portion.
-    /// The returned [`QueryResult`] confirms matches lazily.
+    /// Compiles a query: parse, plan, and compile the physical plan into
+    /// a streaming cursor tree. The returned [`QueryResult`] pulls
+    /// candidates and confirms matches lazily.
     ///
     /// In builds with debug assertions, every gram the logical plan
     /// requires is verified to be a factor of the query language (the
@@ -266,10 +268,23 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
             plan_class: physical.classify(self.corpus.len()),
             ..QueryStats::default()
         };
-        let candidates = eval_plan(&physical, &self.index, &mut stats)?;
-        stats.candidates = candidates.len(self.corpus.len());
+        let index_start = Instant::now();
+        let source = match compile_plan(&physical, &self.index, &mut stats)? {
+            Some(cursor) => {
+                let mut st = StreamState::new(cursor);
+                // Surface the work done priming the cursors (slice leaves
+                // decode their whole list at open).
+                st.refresh(&mut stats);
+                CandidateSource::Stream(st)
+            }
+            None => {
+                stats.candidates = self.corpus.len();
+                CandidateSource::All
+            }
+        };
+        stats.index_time += index_start.elapsed();
         Ok(QueryResult::new(
-            self, regex, logical, physical, candidates, prefilter, stats,
+            self, regex, logical, physical, source, prefilter, stats,
         ))
     }
 

@@ -1,7 +1,15 @@
 //! Plan execution: postings retrieval, boolean combination, and match
 //! confirmation against the raw data units.
+//!
+//! Two executors live here. [`stream`] is the default query path: it
+//! compiles the plan into a streaming cursor tree and confirms candidates
+//! with a batched (optionally parallel) worker pool. The eager
+//! [`eval_plan`] / [`confirm`] pair below is kept as the materialized
+//! reference implementation — simple enough to audit, and the oracle the
+//! differential tests compare the cursors against.
 
 pub mod results;
+pub mod stream;
 
 use crate::metrics::QueryStats;
 use crate::plan::PhysicalPlan;
@@ -53,8 +61,16 @@ fn eval_node<I: IndexRead>(
     match plan {
         PhysicalPlan::Scan => unreachable!("Scan only occurs at the root"),
         PhysicalPlan::Fetch { keys, .. } => {
-            // Keys all cover one gram; intersect, cheapest first.
-            let mut order: Vec<&Box<[u8]>> = keys.iter().collect();
+            // Keys all cover one gram; intersect, cheapest first. Repeated
+            // keys are deduped (intersecting a list with itself is pure
+            // waste), and an absent key empties the whole intersection, so
+            // short-circuit before fetching anything.
+            let mut order: Vec<&[u8]> = keys.iter().map(|k| &**k).collect();
+            order.sort_unstable();
+            order.dedup();
+            if order.iter().any(|k| !index.contains_key(k)) {
+                return Ok(Vec::new());
+            }
             order.sort_by_key(|k| index.doc_count(k).unwrap_or(usize::MAX));
             let mut acc: Option<Vec<DocId>> = None;
             for key in order {
@@ -217,6 +233,31 @@ mod tests {
         // ordering; both fetches are needed to prove emptiness.
         assert_eq!(stats.keys_fetched, 2);
         assert_eq!(stats.postings_decoded, 6);
+    }
+
+    #[test]
+    fn fetch_dedups_and_short_circuits_on_absent_key() {
+        let idx = index_with(&[("abc", &[1, 4, 9])]);
+        let key = |s: &str| s.as_bytes().to_vec().into_boxed_slice();
+        let dup = PhysicalPlan::Fetch {
+            gram: b"abc".to_vec(),
+            keys: vec![key("abc"), key("abc")],
+            estimate: 3,
+        };
+        let mut stats = QueryStats::default();
+        let c = eval_plan(&dup, &idx, &mut stats).unwrap();
+        assert_eq!(c, Candidates::Docs(vec![1, 4, 9]));
+        assert_eq!(stats.keys_fetched, 1, "duplicate key must be deduped");
+        let missing = PhysicalPlan::Fetch {
+            gram: b"abc".to_vec(),
+            keys: vec![key("abc"), key("nope")],
+            estimate: 3,
+        };
+        let mut stats = QueryStats::default();
+        let c = eval_plan(&missing, &idx, &mut stats).unwrap();
+        assert_eq!(c, Candidates::Docs(vec![]));
+        assert_eq!(stats.keys_fetched, 0, "absent key must short-circuit");
+        assert_eq!(stats.postings_decoded, 0);
     }
 
     #[test]

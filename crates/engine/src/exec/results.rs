@@ -1,6 +1,6 @@
 //! Query results: lazily-confirmed matches with cost accounting.
 
-use super::{confirm, Candidates};
+use super::stream::{confirm_source, CandidateSource};
 use crate::engine::Engine;
 use crate::metrics::QueryStats;
 use crate::plan::{LogicalPlan, PhysicalPlan};
@@ -8,6 +8,7 @@ use crate::Result;
 use free_corpus::{Corpus, DocId};
 use free_index::IndexRead;
 use free_regex::{Finder, Regex, Span};
+use std::time::Instant;
 
 /// All matches within one data unit.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,19 +19,22 @@ pub struct DocMatches {
     pub spans: Vec<Span>,
 }
 
-/// The result of compiling and index-evaluating a query.
+/// The result of compiling a query.
 ///
-/// Plan generation and postings retrieval happen eagerly in
-/// [`Engine::query`](crate::Engine::query); the expensive confirmation
-/// step (reading candidate data units, running the full matcher) is
-/// deferred to the accessor methods so first-k queries can stop early —
-/// the behaviour behind the paper's Figure 11 response-time experiment.
+/// Plan generation and cursor compilation happen eagerly in
+/// [`Engine::query`](crate::Engine::query); candidate doc ids then stream
+/// lazily out of the cursor tree, and the expensive confirmation step
+/// (reading candidate data units, running the full matcher) is deferred to
+/// the accessor methods so first-k queries can stop early — the behaviour
+/// behind the paper's Figure 11 response-time experiment. Candidates are
+/// materialized only on demand ([`QueryResult::num_candidates`]) or as a
+/// side effect of a full confirmation pass.
 pub struct QueryResult<'e, C: Corpus, I: IndexRead> {
     engine: &'e Engine<C, I>,
     regex: Regex,
     logical: LogicalPlan,
     physical: PhysicalPlan,
-    candidates: Candidates,
+    source: CandidateSource,
     prefilter: Vec<Finder>,
     stats: QueryStats,
 }
@@ -41,7 +45,7 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         regex: Regex,
         logical: LogicalPlan,
         physical: PhysicalPlan,
-        candidates: Candidates,
+        source: CandidateSource,
         prefilter: Vec<Finder>,
         stats: QueryStats,
     ) -> Self {
@@ -50,7 +54,7 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             regex,
             logical,
             physical,
-            candidates,
+            source,
             prefilter,
             stats,
         }
@@ -72,9 +76,34 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         &self.stats
     }
 
-    /// Number of candidate data units the index narrowed the query to.
-    pub fn num_candidates(&self) -> usize {
-        self.candidates.len(self.engine.num_docs())
+    /// Number of candidate data units the index narrows the query to.
+    ///
+    /// A still-streaming candidate source is materialized here (the only
+    /// way to count it), which may touch the index.
+    pub fn num_candidates(&mut self) -> Result<usize> {
+        self.materialize()?;
+        Ok(match &self.source {
+            CandidateSource::All => self.engine.num_docs(),
+            CandidateSource::Docs(d) => d.len(),
+            CandidateSource::Stream(_) => unreachable!("materialize() removes streams"),
+        })
+    }
+
+    /// Drains a streaming source into a materialized doc list in place.
+    fn materialize(&mut self) -> Result<()> {
+        if let CandidateSource::Stream(st) = &mut self.source {
+            let start = Instant::now();
+            while let Some(doc) = st.cursor.current() {
+                st.seen.push(doc);
+                st.cursor.advance()?;
+            }
+            st.refresh(&mut self.stats);
+            self.stats.index_time += start.elapsed();
+            let docs = std::mem::take(&mut st.seen);
+            self.stats.candidates = docs.len();
+            self.source = CandidateSource::Docs(docs);
+        }
+        Ok(())
     }
 
     /// Whether the query fell back to a full scan.
@@ -82,42 +111,45 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         self.stats.used_scan
     }
 
+    /// Runs confirmation over the candidate source with the configured
+    /// thread count.
+    fn run_confirm(
+        &mut self,
+        want_spans: bool,
+        on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
+    ) -> Result<()> {
+        let corpus = self.engine.corpus();
+        let threads = self.engine.config().effective_threads();
+        confirm_source(
+            corpus,
+            &self.regex,
+            &mut self.source,
+            want_spans,
+            &self.prefilter,
+            threads,
+            &mut self.stats,
+            on_doc,
+        )
+    }
+
     /// Data units containing at least one match (the paper's `M(r)`),
     /// confirmed against the raw corpus.
     pub fn matching_docs(&mut self) -> Result<Vec<DocId>> {
         let mut out = Vec::new();
-        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
-        confirm(
-            corpus,
-            regex,
-            candidates,
-            false,
-            &self.prefilter,
-            &mut self.stats,
-            &mut |doc, _| {
-                out.push(doc);
-                true
-            },
-        )?;
+        self.run_confirm(false, &mut |doc, _| {
+            out.push(doc);
+            true
+        })?;
         Ok(out)
     }
 
     /// Every match span in every matching data unit.
     pub fn all_matches(&mut self) -> Result<Vec<DocMatches>> {
         let mut out = Vec::new();
-        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
-        confirm(
-            corpus,
-            regex,
-            candidates,
-            true,
-            &self.prefilter,
-            &mut self.stats,
-            &mut |doc, spans| {
-                out.push(DocMatches { doc, spans });
-                true
-            },
-        )?;
+        self.run_confirm(true, &mut |doc, spans| {
+            out.push(DocMatches { doc, spans });
+            true
+        })?;
         Ok(out)
     }
 
@@ -133,29 +165,23 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         if k == 0 {
             return Ok(out);
         }
-        let (corpus, regex, candidates) = (self.engine.corpus(), &self.regex, &self.candidates);
-        confirm(
-            corpus,
-            regex,
-            candidates,
-            true,
-            &self.prefilter,
-            &mut self.stats,
-            &mut |doc, spans| {
-                for s in spans {
-                    if out.len() >= k {
-                        break;
-                    }
-                    out.push((doc, s));
+        self.run_confirm(true, &mut |doc, spans| {
+            for s in spans {
+                if out.len() >= k {
+                    break;
                 }
-                out.len() < k
-            },
-        )?;
+                out.push((doc, s));
+            }
+            out.len() < k
+        })?;
         Ok(out)
     }
 
     /// Consumes the result, returning the accumulated statistics.
-    pub fn into_stats(self) -> QueryStats {
+    pub fn into_stats(mut self) -> QueryStats {
+        if let CandidateSource::Stream(st) = &mut self.source {
+            st.refresh(&mut self.stats);
+        }
         self.stats
     }
 }
@@ -165,7 +191,7 @@ mod tests {
     use crate::{Engine, EngineConfig};
     use free_corpus::MemCorpus;
 
-    fn engine() -> crate::InMemoryEngine {
+    fn engine_with_threads(num_threads: usize) -> crate::InMemoryEngine {
         let corpus = MemCorpus::from_docs(vec![
             b"the needle is here".to_vec(),
             b"plain hay".to_vec(),
@@ -176,10 +202,15 @@ mod tests {
             corpus,
             EngineConfig {
                 usefulness_threshold: 0.6,
+                num_threads,
                 ..EngineConfig::default()
             },
         )
         .unwrap()
+    }
+
+    fn engine() -> crate::InMemoryEngine {
+        engine_with_threads(1)
     }
 
     #[test]
@@ -238,5 +269,50 @@ mod tests {
         assert!(r.stats().docs_examined > 0);
         let stats = r.into_stats();
         assert_eq!(stats.matching_docs, 2);
+    }
+
+    #[test]
+    fn num_candidates_before_and_after_confirm() {
+        // num_candidates first (materializes the stream), then confirm.
+        let e = engine();
+        let mut r = e.query("needle").unwrap();
+        let n = r.num_candidates().unwrap();
+        assert_eq!(r.matching_docs().unwrap().len(), 2);
+        assert!(n >= 2);
+        // Confirm first (drains the stream), then num_candidates.
+        let mut r = e.query("needle").unwrap();
+        assert_eq!(r.count_matches().unwrap(), 3);
+        assert_eq!(r.num_candidates().unwrap(), n);
+        assert_eq!(r.stats().candidates, n);
+    }
+
+    #[test]
+    fn threaded_results_match_sequential() {
+        let seq = engine_with_threads(1);
+        let par = engine_with_threads(4);
+        for pattern in ["needle", "hay", "h..dle|hay"] {
+            let mut a = seq.query(pattern).unwrap();
+            let mut b = par.query(pattern).unwrap();
+            assert_eq!(
+                a.all_matches().unwrap(),
+                b.all_matches().unwrap(),
+                "{pattern}"
+            );
+            assert_eq!(
+                a.stats().docs_examined,
+                b.stats().docs_examined,
+                "{pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_k_stops_early_with_threads() {
+        let e = engine_with_threads(4);
+        let mut r = e.query("needle").unwrap();
+        let first = r.first_k_matches(1).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0, 0);
+        assert_eq!(r.stats().docs_examined, 1);
     }
 }

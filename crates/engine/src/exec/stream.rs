@@ -1,0 +1,658 @@
+//! Streaming plan execution: cursor compilation plus batched parallel
+//! confirmation.
+//!
+//! [`compile_plan`] turns a [`PhysicalPlan`] into a tree of
+//! [`PostingsCursor`] combinators that yields candidate doc ids lazily in
+//! increasing order — leaf postings are only decoded where the enclosing
+//! intersection might land (skip tables on the blocked on-disk format,
+//! galloping over decoded slices in memory).
+//!
+//! [`confirm_source`] drives confirmation from that cursor in batches.
+//! With `threads > 1` each batch fans out to a scoped worker pool reading
+//! candidate data units through shared [`Corpus`] random access; workers
+//! report per-document outcomes which the main thread folds back in
+//! doc-id order, so results, early-exit points, and every logical cost
+//! counter are identical for any thread count.
+
+use crate::metrics::QueryStats;
+use crate::plan::PhysicalPlan;
+use crate::Result;
+use free_corpus::{Corpus, DocId};
+use free_index::cursor::{CursorStats, PostingsCursor};
+use free_index::{AndCursor, IndexRead, OrCursor, SliceCursor};
+use free_regex::nfa::Nfa;
+use free_regex::{Finder, Regex, Searcher, Span};
+use std::time::{Duration, Instant};
+
+/// Candidate doc ids pulled per worker per round; sized so a round is
+/// large enough to amortize thread wake-up but small enough that first-k
+/// queries stop after a sliver of the candidate stream.
+const BATCH_PER_WORKER: usize = 32;
+
+/// Batch size for single-threaded confirmation pulls.
+const SEQ_BATCH: usize = 32;
+
+/// Compiles a physical plan into a primed cursor tree.
+///
+/// Returns `None` for a root [`PhysicalPlan::Scan`] (every data unit is a
+/// candidate — there is nothing to stream). Postings fetched while priming
+/// leaf cursors are charged to `stats.keys_fetched`; decode/seek work is
+/// accounted per cursor and folded in via [`StreamState::refresh`].
+pub fn compile_plan<I: IndexRead>(
+    plan: &PhysicalPlan,
+    index: &I,
+    stats: &mut QueryStats,
+) -> Result<Option<Box<dyn PostingsCursor>>> {
+    match plan {
+        PhysicalPlan::Scan => Ok(None),
+        _ => compile_node(plan, index, stats).map(Some),
+    }
+}
+
+fn compile_node<I: IndexRead>(
+    plan: &PhysicalPlan,
+    index: &I,
+    stats: &mut QueryStats,
+) -> Result<Box<dyn PostingsCursor>> {
+    match plan {
+        PhysicalPlan::Scan => unreachable!("Scan only occurs at the root"),
+        PhysicalPlan::Fetch { keys, .. } => {
+            // Keys all cover one gram and are intersected. Dedup repeated
+            // keys (a plan may mention one key twice; intersecting a list
+            // with itself is pure waste) and short-circuit to an empty
+            // cursor before opening anything if some key is absent — an
+            // AND with a missing leg cannot match.
+            let mut uniq: Vec<&[u8]> = keys.iter().map(|k| &**k).collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            if uniq.iter().any(|k| !index.contains_key(k)) {
+                return Ok(Box::new(SliceCursor::empty()));
+            }
+            let mut children: Vec<Box<dyn PostingsCursor>> = Vec::with_capacity(uniq.len());
+            for key in uniq {
+                match index.cursor(key)? {
+                    Some(c) => {
+                        stats.keys_fetched += 1;
+                        children.push(c);
+                    }
+                    None => return Ok(Box::new(SliceCursor::empty())),
+                }
+            }
+            Ok(if children.len() == 1 {
+                children.pop().expect("one child")
+            } else {
+                Box::new(AndCursor::new(children)?)
+            })
+        }
+        PhysicalPlan::And(children) => {
+            let cursors = children
+                .iter()
+                .map(|c| compile_node(c, index, stats))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Box::new(AndCursor::new(cursors)?))
+        }
+        PhysicalPlan::Or(children) => {
+            let cursors = children
+                .iter()
+                .map(|c| compile_node(c, index, stats))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Box::new(OrCursor::new(cursors)?))
+        }
+    }
+}
+
+/// A partially-consumed candidate stream: the cursor still to drain plus
+/// every doc id already pulled from it (so a later accessor can re-confirm
+/// from the start without re-evaluating the index).
+pub struct StreamState {
+    /// Doc ids pulled from the cursor so far, in order.
+    pub(crate) seen: Vec<DocId>,
+    /// The remaining stream.
+    pub(crate) cursor: Box<dyn PostingsCursor>,
+    /// Cursor counters already folded into `QueryStats`, so refreshes add
+    /// only the delta.
+    reported: CursorStats,
+}
+
+impl StreamState {
+    /// Wraps a freshly compiled cursor.
+    pub fn new(cursor: Box<dyn PostingsCursor>) -> StreamState {
+        StreamState {
+            seen: Vec::new(),
+            cursor,
+            reported: CursorStats::default(),
+        }
+    }
+
+    /// Folds cursor-side work done since the last refresh into `stats`.
+    pub fn refresh(&mut self, stats: &mut QueryStats) {
+        let mut now = CursorStats::default();
+        self.cursor.collect_stats(&mut now);
+        stats.postings_decoded += now.postings_decoded - self.reported.postings_decoded;
+        stats.cursor_seeks += now.seeks - self.reported.seeks;
+        stats.blocks_decoded += now.blocks_decoded - self.reported.blocks_decoded;
+        stats.postings_skipped += now.postings_skipped - self.reported.postings_skipped;
+        self.reported = now;
+        stats.candidates = stats.candidates.max(self.seen.len());
+    }
+}
+
+/// The candidate set a query result confirms against.
+pub enum CandidateSource {
+    /// Every data unit is a candidate (scan fallback).
+    All,
+    /// A lazily-evaluated cursor stream, materialized only on demand.
+    Stream(StreamState),
+    /// Fully materialized candidates (sorted).
+    Docs(Vec<DocId>),
+}
+
+/// What one worker observed about one candidate document. Folded on the
+/// main thread in doc-id order so stats stay deterministic.
+struct Outcome {
+    doc: DocId,
+    bytes: u64,
+    prefiltered: bool,
+    matched: bool,
+    spans: Vec<Span>,
+}
+
+/// Examines one document: prefilter, containment check, optional span
+/// extraction. Pure with respect to `stats` — counting happens in `fold`.
+fn examine(
+    searcher: &mut Searcher,
+    nfa: &Nfa,
+    prefilter: &[Finder],
+    want_spans: bool,
+    doc: DocId,
+    bytes: &[u8],
+) -> Outcome {
+    let len = bytes.len() as u64;
+    // Anchoring: every required literal must occur before the automaton
+    // is engaged (sublinear rejection via Boyer-Moore).
+    for f in prefilter {
+        if !f.contains(bytes) {
+            return Outcome {
+                doc,
+                bytes: len,
+                prefiltered: true,
+                matched: false,
+                spans: Vec::new(),
+            };
+        }
+    }
+    if !searcher.is_match(nfa, bytes) {
+        return Outcome {
+            doc,
+            bytes: len,
+            prefiltered: false,
+            matched: false,
+            spans: Vec::new(),
+        };
+    }
+    let spans = if want_spans {
+        searcher
+            .find_all(nfa, bytes)
+            .into_iter()
+            .map(|m| m.span())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Outcome {
+        doc,
+        bytes: len,
+        prefiltered: false,
+        matched: true,
+        spans,
+    }
+}
+
+/// Folds one outcome into the stats and the caller's visitor. Returns
+/// `false` to stop confirmation (first-k early exit). Only consumed
+/// outcomes are counted, so counters are identical for any thread count.
+fn fold(
+    o: Outcome,
+    stats: &mut QueryStats,
+    on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
+) -> bool {
+    stats.docs_examined += 1;
+    stats.bytes_examined += o.bytes;
+    if o.prefiltered {
+        stats.docs_prefiltered += 1;
+        return true;
+    }
+    if !o.matched {
+        return true;
+    }
+    stats.matching_docs += 1;
+    stats.match_count += o.spans.len();
+    on_doc(o.doc, o.spans)
+}
+
+/// Confirms candidate ids delivered by `next_batch`, sequentially or via a
+/// scoped worker pool. `next_batch` fills the buffer with up to `n` ids;
+/// an empty fill ends the stream.
+#[allow(clippy::too_many_arguments)]
+fn confirm_ids<C: Corpus>(
+    corpus: &C,
+    regex: &Regex,
+    want_spans: bool,
+    prefilter: &[Finder],
+    threads: usize,
+    stats: &mut QueryStats,
+    on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
+    next_batch: &mut dyn FnMut(usize, &mut Vec<DocId>) -> Result<()>,
+) -> Result<()> {
+    let threads = threads.max(1);
+    let nfa = regex.nfa();
+    if threads == 1 {
+        let mut searcher = regex.searcher();
+        let mut batch = Vec::new();
+        loop {
+            batch.clear();
+            next_batch(SEQ_BATCH, &mut batch)?;
+            if batch.is_empty() {
+                return Ok(());
+            }
+            for &doc in &batch {
+                let bytes = corpus.get(doc)?;
+                let o = examine(&mut searcher, nfa, prefilter, want_spans, doc, &bytes);
+                if !fold(o, stats, on_doc) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+    // Searchers are created once and reused across rounds: the lazy DFA
+    // cache each worker builds keeps paying off for the whole query.
+    let mut searchers: Vec<Searcher> = (0..threads).map(|_| regex.searcher()).collect();
+    let mut batch = Vec::new();
+    loop {
+        batch.clear();
+        next_batch(threads * BATCH_PER_WORKER, &mut batch)?;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let chunk = batch.len().div_ceil(threads);
+        let mut rounds: Vec<Result<Vec<Outcome>>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .zip(searchers.iter_mut())
+                .map(|(ids, searcher)| {
+                    s.spawn(move || -> Result<Vec<Outcome>> {
+                        let mut out = Vec::with_capacity(ids.len());
+                        for &doc in ids {
+                            let bytes = corpus.get(doc)?;
+                            out.push(examine(searcher, nfa, prefilter, want_spans, doc, &bytes));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            for h in handles {
+                rounds.push(h.join().expect("confirmation worker panicked"));
+            }
+        });
+        // Chunks are contiguous slices of the sorted batch, so folding
+        // them in spawn order preserves doc-id order.
+        for r in rounds {
+            for o in r? {
+                if !fold(o, stats, on_doc) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Confirmation entry point: runs the full regex over the candidate
+/// source, folding costs into `stats`.
+///
+/// `on_doc` receives each matching document and its match spans; returning
+/// `false` stops early (first-k queries). Span extraction only happens
+/// when `want_spans` is set — pure containment queries stay on the DFA
+/// fast path. A [`CandidateSource::Stream`] that gets fully drained is
+/// converted in place to [`CandidateSource::Docs`], so later accessors
+/// reuse the materialized set instead of re-touching the index.
+#[allow(clippy::too_many_arguments)]
+pub fn confirm_source<C: Corpus>(
+    corpus: &C,
+    regex: &Regex,
+    source: &mut CandidateSource,
+    want_spans: bool,
+    prefilter: &[Finder],
+    threads: usize,
+    stats: &mut QueryStats,
+    on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
+) -> Result<()> {
+    match source {
+        CandidateSource::All => {
+            // Scan confirmation stays sequential: the corpus scan itself
+            // is the bottleneck and hands out borrowed buffers.
+            let start = Instant::now();
+            let mut searcher = regex.searcher();
+            let nfa = regex.nfa();
+            corpus.scan(&mut |doc, bytes| {
+                let o = examine(&mut searcher, nfa, prefilter, want_spans, doc, bytes);
+                fold(o, stats, on_doc)
+            })?;
+            stats.confirm_time += start.elapsed();
+            Ok(())
+        }
+        CandidateSource::Docs(ids) => {
+            let start = Instant::now();
+            let ids: &[DocId] = ids;
+            let mut pos = 0;
+            let mut next = |n: usize, buf: &mut Vec<DocId>| -> Result<()> {
+                let end = (pos + n).min(ids.len());
+                buf.extend_from_slice(&ids[pos..end]);
+                pos = end;
+                Ok(())
+            };
+            confirm_ids(
+                corpus, regex, want_spans, prefilter, threads, stats, on_doc, &mut next,
+            )?;
+            stats.confirm_time += start.elapsed();
+            Ok(())
+        }
+        CandidateSource::Stream(st) => {
+            let start = Instant::now();
+            let mut pull_time = Duration::ZERO;
+            {
+                let seen = &mut st.seen;
+                let cursor = &mut st.cursor;
+                // Re-deliver previously pulled ids first so every
+                // confirmation pass sees the candidate set from the start,
+                // then pull fresh batches from the cursor.
+                let mut pos = 0usize;
+                let mut next = |n: usize, buf: &mut Vec<DocId>| -> Result<()> {
+                    if pos < seen.len() {
+                        let end = (pos + n).min(seen.len());
+                        buf.extend_from_slice(&seen[pos..end]);
+                        pos = end;
+                        return Ok(());
+                    }
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        match cursor.current() {
+                            Some(doc) => {
+                                seen.push(doc);
+                                buf.push(doc);
+                                cursor.advance()?;
+                            }
+                            None => break,
+                        }
+                    }
+                    pos = seen.len();
+                    pull_time += t.elapsed();
+                    Ok(())
+                };
+                confirm_ids(
+                    corpus, regex, want_spans, prefilter, threads, stats, on_doc, &mut next,
+                )?;
+            }
+            st.refresh(stats);
+            stats.index_time += pull_time;
+            stats.confirm_time += start.elapsed().saturating_sub(pull_time);
+            let drained = if st.cursor.current().is_none() {
+                Some(std::mem::take(&mut st.seen))
+            } else {
+                None
+            };
+            if let Some(docs) = drained {
+                stats.candidates = docs.len();
+                *source = CandidateSource::Docs(docs);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{eval_plan, Candidates};
+    use crate::plan::{LogicalPlan, PhysicalPlan};
+    use free_corpus::MemCorpus;
+    use free_index::cursor::drain;
+    use free_index::MemIndex;
+
+    fn index_with(keys: &[(&str, &[u32])]) -> MemIndex {
+        let mut idx = MemIndex::new();
+        for (k, docs) in keys {
+            for &d in *docs {
+                idx.add(k.as_bytes(), d);
+            }
+        }
+        idx
+    }
+
+    fn plan(pattern: &str, idx: &MemIndex) -> PhysicalPlan {
+        let logical = LogicalPlan::from_ast(&free_regex::parse(pattern).unwrap(), 16);
+        PhysicalPlan::from_logical(&logical, idx)
+    }
+
+    fn compiled_docs(pattern: &str, idx: &MemIndex) -> (Option<Vec<u32>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let cursor = compile_plan(&plan(pattern, idx), idx, &mut stats).unwrap();
+        (cursor.map(|mut c| drain(&mut c).unwrap()), stats)
+    }
+
+    #[test]
+    fn compiled_plan_matches_eager_reference() {
+        let idx = index_with(&[
+            ("abc", &[1, 2, 3, 7, 9]),
+            ("xyz", &[2, 3, 4, 9]),
+            ("qqq", &[1, 9]),
+        ]);
+        for pattern in ["abc", "abc.*xyz", "abc|xyz", "abc.*xyz.*qqq", "abc|qqq"] {
+            let p = plan(pattern, &idx);
+            let mut s1 = QueryStats::default();
+            let want = match eval_plan(&p, &idx, &mut s1).unwrap() {
+                Candidates::Docs(d) => d,
+                Candidates::All => panic!("unexpected scan for {pattern}"),
+            };
+            let (got, _) = compiled_docs(pattern, &idx);
+            assert_eq!(got, Some(want), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn scan_plan_compiles_to_none() {
+        let idx = index_with(&[("other", &[1])]);
+        let (got, _) = compiled_docs("missing", &idx);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn fetch_counts_keys_once_per_unique_key() {
+        let idx = index_with(&[("abc", &[1, 4, 9])]);
+        let keys = vec![
+            b"abc".to_vec().into_boxed_slice(),
+            b"abc".to_vec().into_boxed_slice(),
+        ];
+        let p = PhysicalPlan::Fetch {
+            gram: b"abc".to_vec(),
+            keys,
+            estimate: 3,
+        };
+        let mut stats = QueryStats::default();
+        let mut c = compile_plan(&p, &idx, &mut stats).unwrap().unwrap();
+        assert_eq!(drain(&mut c).unwrap(), vec![1, 4, 9]);
+        assert_eq!(stats.keys_fetched, 1, "duplicate key must be deduped");
+    }
+
+    #[test]
+    fn fetch_with_absent_key_short_circuits() {
+        let idx = index_with(&[("abc", &[1, 4, 9])]);
+        let keys = vec![
+            b"abc".to_vec().into_boxed_slice(),
+            b"nope".to_vec().into_boxed_slice(),
+        ];
+        let p = PhysicalPlan::Fetch {
+            gram: b"abc".to_vec(),
+            keys,
+            estimate: 3,
+        };
+        let mut stats = QueryStats::default();
+        let mut c = compile_plan(&p, &idx, &mut stats).unwrap().unwrap();
+        assert_eq!(drain(&mut c).unwrap(), Vec::<u32>::new());
+        assert_eq!(stats.keys_fetched, 0, "no postings may be fetched");
+        assert_eq!(stats.postings_decoded, 0);
+    }
+
+    fn confirm_collect(
+        corpus: &MemCorpus,
+        regex: &Regex,
+        source: &mut CandidateSource,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(DocId, usize)> {
+        let mut hits = Vec::new();
+        confirm_source(
+            corpus,
+            regex,
+            source,
+            true,
+            &[],
+            threads,
+            stats,
+            &mut |doc, spans| {
+                hits.push((doc, spans.len()));
+                true
+            },
+        )
+        .unwrap();
+        hits
+    }
+
+    #[test]
+    fn parallel_confirm_matches_sequential() {
+        let docs: Vec<Vec<u8>> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("doc {i} has a needle in it").into_bytes()
+                } else {
+                    format!("doc {i} plain hay").into_bytes()
+                }
+            })
+            .collect();
+        let corpus = MemCorpus::from_docs(docs);
+        let regex = Regex::new("needle").unwrap();
+        let ids: Vec<DocId> = (0..200).collect();
+        let mut s1 = QueryStats::default();
+        let seq = confirm_collect(
+            &corpus,
+            &regex,
+            &mut CandidateSource::Docs(ids.clone()),
+            1,
+            &mut s1,
+        );
+        for threads in [2, 4, 7] {
+            let mut sn = QueryStats::default();
+            let par = confirm_collect(
+                &corpus,
+                &regex,
+                &mut CandidateSource::Docs(ids.clone()),
+                threads,
+                &mut sn,
+            );
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(sn.docs_examined, s1.docs_examined, "threads={threads}");
+            assert_eq!(sn.bytes_examined, s1.bytes_examined, "threads={threads}");
+            assert_eq!(sn.matching_docs, s1.matching_docs, "threads={threads}");
+            assert_eq!(sn.match_count, s1.match_count, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_early_stop_counts_match_sequential() {
+        let docs: Vec<Vec<u8>> = (0..300).map(|i| format!("hit {i}").into_bytes()).collect();
+        let corpus = MemCorpus::from_docs(docs);
+        let regex = Regex::new("hit").unwrap();
+        let ids: Vec<DocId> = (0..300).collect();
+        for threads in [1, 4] {
+            let mut stats = QueryStats::default();
+            let mut count = 0;
+            confirm_source(
+                &corpus,
+                &regex,
+                &mut CandidateSource::Docs(ids.clone()),
+                false,
+                &[],
+                threads,
+                &mut stats,
+                &mut |_, _| {
+                    count += 1;
+                    count < 5
+                },
+            )
+            .unwrap();
+            assert_eq!(count, 5, "threads={threads}");
+            assert_eq!(
+                stats.docs_examined, 5,
+                "early stop must count only consumed docs (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn drained_stream_becomes_docs() {
+        let idx = index_with(&[("abc", &[0, 1])]);
+        let corpus = MemCorpus::from_docs(vec![b"abc".to_vec(), b"zzz".to_vec()]);
+        let regex = Regex::new("abc").unwrap();
+        let mut stats = QueryStats::default();
+        let cursor = compile_plan(&plan("abc", &idx), &idx, &mut stats)
+            .unwrap()
+            .unwrap();
+        let mut source = CandidateSource::Stream(StreamState::new(cursor));
+        let hits = confirm_collect(&corpus, &regex, &mut source, 1, &mut stats);
+        assert_eq!(hits, vec![(0, 1)]);
+        match &source {
+            CandidateSource::Docs(d) => assert_eq!(d, &vec![0, 1]),
+            _ => panic!("fully drained stream must materialize"),
+        }
+        assert_eq!(stats.candidates, 2);
+        // A second pass re-confirms from the materialized set.
+        let hits = confirm_collect(&corpus, &regex, &mut source, 1, &mut stats);
+        assert_eq!(hits, vec![(0, 1)]);
+        assert_eq!(stats.docs_examined, 4);
+    }
+
+    #[test]
+    fn interrupted_stream_resumes_from_the_start() {
+        let idx = index_with(&[("hit", &[0, 1, 2, 3, 4])]);
+        let corpus =
+            MemCorpus::from_docs((0..5).map(|i| format!("hit {i}").into_bytes()).collect());
+        let regex = Regex::new("hit").unwrap();
+        let mut stats = QueryStats::default();
+        let cursor = compile_plan(&plan("hit", &idx), &idx, &mut stats)
+            .unwrap()
+            .unwrap();
+        let mut source = CandidateSource::Stream(StreamState::new(cursor));
+        let mut first = Vec::new();
+        confirm_source(
+            &corpus,
+            &regex,
+            &mut source,
+            false,
+            &[],
+            1,
+            &mut stats,
+            &mut |doc, _| {
+                first.push(doc);
+                first.len() < 2
+            },
+        )
+        .unwrap();
+        assert_eq!(first, vec![0, 1]);
+        // The next pass must deliver the whole candidate set again.
+        let hits = confirm_collect(&corpus, &regex, &mut source, 1, &mut stats);
+        assert_eq!(
+            hits.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+}

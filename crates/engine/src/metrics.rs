@@ -26,8 +26,18 @@ pub struct QueryStats {
     pub keys_fetched: usize,
     /// Total postings decoded across those keys.
     pub postings_decoded: u64,
+    /// Seeks issued against streaming cursors (leapfrog intersection
+    /// probes and explicit repositioning).
+    pub cursor_seeks: u64,
+    /// Encoded postings blocks decoded by blocked-list cursors.
+    pub blocks_decoded: u64,
+    /// Postings passed over without being decoded or yielded: galloped
+    /// past in memory or skipped wholesale via block skip tables.
+    pub postings_skipped: u64,
     /// Candidate data units selected by the index (equals the corpus size
-    /// when `used_scan`).
+    /// when `used_scan`). While a streamed query is still partially
+    /// consumed this counts the candidates pulled so far; it is exact once
+    /// the stream has been drained or materialized.
     pub candidates: usize,
     /// Data units actually read and examined by the matcher.
     pub docs_examined: usize,
@@ -63,7 +73,8 @@ impl core::fmt::Display for QueryStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "plan {:?} + index {:?} + confirm {:?}; {} keys, {} postings, \
+            "plan {:?} + index {:?} + confirm {:?}; {} keys, {} postings \
+             ({} skipped, {} seeks, {} blocks), \
              {} candidates, {} docs examined ({} bytes, {} prefiltered), \
              {} matching docs, {} matches{}",
             self.plan_time,
@@ -71,6 +82,9 @@ impl core::fmt::Display for QueryStats {
             self.confirm_time,
             self.keys_fetched,
             self.postings_decoded,
+            self.postings_skipped,
+            self.cursor_seeks,
+            self.blocks_decoded,
             self.candidates,
             self.docs_examined,
             self.bytes_examined,

@@ -10,8 +10,10 @@
 //! skip-pointer design, here as the optional fast path for the engine's
 //! `Fetch` intersections.
 
+use crate::cursor::{CursorStats, PostingsCursor};
 use crate::postings::Postings;
 use crate::{varint, DocId, Error, Result};
+use std::borrow::Borrow;
 
 /// Number of postings per block. 128 balances skip granularity against
 /// table overhead (~1.6 % at 2 bytes/posting).
@@ -138,6 +140,76 @@ impl BlockedPostings {
         Ok(ids.binary_search(&doc).is_ok())
     }
 
+    /// Returns a primed [`BlockedCursor`] borrowing this list.
+    pub fn cursor(&self) -> Result<BlockedCursor<&BlockedPostings>> {
+        BlockedCursor::new(self)
+    }
+
+    /// Returns a primed [`BlockedCursor`] that owns this list.
+    pub fn into_cursor(self) -> Result<BlockedCursor<BlockedPostings>> {
+        BlockedCursor::new(self)
+    }
+
+    /// Serializes the list (skip table + encoded payload) into `out`.
+    ///
+    /// Layout: `count`, `payload_len`, `num_skips`, then per skip entry
+    /// `last_doc`/`offset`/`len`, then the payload bytes — all integers
+    /// LEB128. Used by the on-disk format's blocked postings entries.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        varint::encode(u64::from(self.count), out);
+        varint::encode(self.encoded.len() as u64, out);
+        varint::encode(self.skips.len() as u64, out);
+        for s in &self.skips {
+            varint::encode(u64::from(s.last_doc), out);
+            varint::encode(u64::from(s.offset), out);
+            varint::encode(u64::from(s.len), out);
+        }
+        out.extend_from_slice(&self.encoded);
+    }
+
+    /// Deserializes a list written by [`BlockedPostings::write_to`]. The
+    /// slice must contain exactly one serialized list.
+    pub fn read(mut buf: &[u8]) -> Result<BlockedPostings> {
+        let mut take = |what: &'static str| -> Result<u64> {
+            let (v, used) = varint::decode(buf)
+                .map_err(|_| Error::Corrupt(format!("blocked postings: bad {what}")))?;
+            buf = &buf[used..];
+            Ok(v)
+        };
+        let count = take("count")?;
+        let payload_len = take("payload length")? as usize;
+        let num_skips = take("skip count")? as usize;
+        if count > u64::from(u32::MAX) || num_skips > count as usize {
+            return Err(Error::Corrupt("blocked postings: bad header".into()));
+        }
+        let mut skips = Vec::with_capacity(num_skips);
+        for _ in 0..num_skips {
+            let last_doc = take("skip last_doc")?;
+            let offset = take("skip offset")?;
+            let len = take("skip len")?;
+            if last_doc > u64::from(DocId::MAX)
+                || offset > u64::from(u32::MAX)
+                || len == 0
+                || len > BLOCK_SIZE as u64
+            {
+                return Err(Error::Corrupt("blocked postings: bad skip entry".into()));
+            }
+            skips.push(Skip {
+                last_doc: last_doc as DocId,
+                offset: offset as u32,
+                len: len as u16,
+            });
+        }
+        if buf.len() != payload_len {
+            return Err(Error::Corrupt("blocked postings: payload length".into()));
+        }
+        Ok(BlockedPostings {
+            encoded: buf.to_vec(),
+            skips,
+            count: count as u32,
+        })
+    }
+
     /// Intersects a (typically short) sorted probe list against this
     /// list, decoding only the blocks that contain probe candidates.
     /// Returns the matching ids plus the number of blocks decoded (for
@@ -163,6 +235,120 @@ impl BlockedPostings {
             }
         }
         Ok((out, blocks_decoded))
+    }
+}
+
+/// A [`PostingsCursor`] over a [`BlockedPostings`] list.
+///
+/// `seek` binary-searches the skip table and decodes only the target
+/// block; whole blocks passed over are charged to `postings_skipped`
+/// without ever being decoded. Generic over [`Borrow`] so it can either
+/// borrow a cached list (`&BlockedPostings`) or own one read from disk.
+#[derive(Clone, Debug)]
+pub struct BlockedCursor<B: Borrow<BlockedPostings> = BlockedPostings> {
+    inner: B,
+    /// Index of the decoded block (meaningless when `buf` is empty).
+    block: usize,
+    /// Decoded contents of `block`.
+    buf: Vec<DocId>,
+    /// Position within `buf`; `pos == buf.len()` means exhausted.
+    pos: usize,
+    /// Postings logically before the current position (yielded or skipped).
+    consumed: usize,
+    stats: CursorStats,
+}
+
+impl<B: Borrow<BlockedPostings>> BlockedCursor<B> {
+    /// Creates a primed cursor: positioned on the first posting (the
+    /// first block is decoded eagerly), or exhausted for an empty list.
+    pub fn new(inner: B) -> Result<BlockedCursor<B>> {
+        let mut cursor = BlockedCursor {
+            inner,
+            block: 0,
+            buf: Vec::new(),
+            pos: 0,
+            consumed: 0,
+            stats: CursorStats::default(),
+        };
+        if cursor.list().num_blocks() > 0 {
+            cursor.load_block(0)?;
+        }
+        Ok(cursor)
+    }
+
+    fn list(&self) -> &BlockedPostings {
+        self.inner.borrow()
+    }
+
+    fn load_block(&mut self, i: usize) -> Result<()> {
+        self.buf.clear();
+        self.inner.borrow().decode_block(i, &mut self.buf)?;
+        self.block = i;
+        self.pos = 0;
+        self.stats.blocks_decoded += 1;
+        self.stats.postings_decoded += self.buf.len() as u64;
+        Ok(())
+    }
+}
+
+impl<B: Borrow<BlockedPostings>> PostingsCursor for BlockedCursor<B> {
+    fn current(&self) -> Option<DocId> {
+        self.buf.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        if self.pos < self.buf.len() {
+            self.pos += 1;
+            self.consumed += 1;
+            if self.pos >= self.buf.len() {
+                let next = self.block + 1;
+                if next < self.list().num_blocks() {
+                    self.load_block(next)?;
+                }
+            }
+        }
+        Ok(self.current())
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        self.stats.seeks += 1;
+        match self.current() {
+            None => return Ok(None),
+            Some(d) if d >= target => return Ok(Some(d)),
+            Some(_) => {}
+        }
+        // Find the first block whose last doc can reach the target.
+        let skips = &self.list().skips;
+        let dest = self.block + skips[self.block..].partition_point(|s| s.last_doc < target);
+        if dest != self.block {
+            // The rest of the decoded block plus every block in between
+            // is skipped; intermediate blocks are never decoded.
+            let mut skipped = self.buf.len() - self.pos;
+            for s in &self.list().skips[self.block + 1..dest.min(skips.len())] {
+                skipped += s.len as usize;
+            }
+            self.stats.postings_skipped += skipped as u64;
+            self.consumed += skipped;
+            if dest >= self.list().num_blocks() {
+                self.pos = self.buf.len();
+                return Ok(None);
+            }
+            self.load_block(dest)?;
+        }
+        // `dest`'s last doc is >= target, so the in-block search hits.
+        let idx = self.pos + self.buf[self.pos..].partition_point(|&d| d < target);
+        self.stats.postings_skipped += (idx - self.pos) as u64;
+        self.consumed += idx - self.pos;
+        self.pos = idx;
+        Ok(self.current())
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.list().len().saturating_sub(self.consumed)
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        out.merge(&self.stats);
     }
 }
 
@@ -246,5 +432,134 @@ mod tests {
         let p = Postings::from_sorted(&[1, 5, 9]);
         let b = BlockedPostings::from_postings(&p).unwrap();
         assert_eq!(b.decode().unwrap(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for n in [0usize, 1, 5, BLOCK_SIZE, BLOCK_SIZE + 1, 1000] {
+            let ids: Vec<DocId> = (0..n as DocId).map(|i| i * 7 + 3).collect();
+            let b = BlockedPostings::from_sorted(&ids);
+            let mut bytes = Vec::new();
+            b.write_to(&mut bytes);
+            let back = BlockedPostings::read(&bytes).unwrap();
+            assert_eq!(back.len(), b.len());
+            assert_eq!(back.num_blocks(), b.num_blocks());
+            assert_eq!(back.decode().unwrap(), ids);
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        let b = BlockedPostings::from_sorted(&[1, 2, 3]);
+        let mut bytes = Vec::new();
+        b.write_to(&mut bytes);
+        // Truncated payload.
+        assert!(BlockedPostings::read(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing junk.
+        bytes.push(0);
+        assert!(BlockedPostings::read(&bytes).is_err());
+        assert!(BlockedPostings::read(&[]).is_err());
+    }
+
+    #[test]
+    fn cursor_walks_all_blocks() {
+        use crate::cursor::drain;
+        let ids: Vec<DocId> = (0..1000).map(|i| i * 3).collect();
+        let b = BlockedPostings::from_sorted(&ids);
+        let mut c = b.cursor().unwrap();
+        assert_eq!(c.current(), Some(0));
+        assert_eq!(c.cost_estimate(), 1000);
+        assert_eq!(drain(&mut c).unwrap(), ids);
+        let mut s = CursorStats::default();
+        c.collect_stats(&mut s);
+        assert_eq!(s.blocks_decoded as usize, b.num_blocks());
+        assert_eq!(s.postings_decoded, 1000);
+        assert_eq!(s.postings_skipped, 0);
+    }
+
+    #[test]
+    fn cursor_on_empty_list() {
+        let b = BlockedPostings::from_sorted(&[]);
+        let mut c = b.cursor().unwrap();
+        assert_eq!(c.current(), None);
+        assert_eq!(c.advance().unwrap(), None);
+        assert_eq!(c.seek(10).unwrap(), None);
+        assert_eq!(c.cost_estimate(), 0);
+    }
+
+    #[test]
+    fn cursor_seek_skips_undecoded_blocks() {
+        let ids: Vec<DocId> = (0..10_000).collect();
+        let b = BlockedPostings::from_sorted(&ids);
+        let mut c = b.cursor().unwrap();
+        assert_eq!(c.seek(9_000).unwrap(), Some(9_000));
+        let mut s = CursorStats::default();
+        c.collect_stats(&mut s);
+        // Only the first block (priming) and the target block decoded.
+        assert_eq!(s.blocks_decoded, 2);
+        assert_eq!(s.postings_skipped, 9_000);
+        assert!(s.postings_decoded < 3 * BLOCK_SIZE as u64);
+        assert_eq!(c.cost_estimate(), 1_000);
+        // Seek past the end exhausts; further ops are no-ops.
+        assert_eq!(c.seek(20_000).unwrap(), None);
+        assert_eq!(c.advance().unwrap(), None);
+        assert_eq!(c.seek(1).unwrap(), None);
+        assert_eq!(c.cost_estimate(), 0);
+    }
+
+    #[test]
+    fn cursor_seek_within_block_and_between_values() {
+        let ids: Vec<DocId> = (0..500).map(|i| i * 2).collect();
+        let b = BlockedPostings::from_sorted(&ids);
+        let mut c = b.cursor().unwrap();
+        // Target between two present values rounds up.
+        assert_eq!(c.seek(3).unwrap(), Some(4));
+        // Backward seek is a no-op.
+        assert_eq!(c.seek(0).unwrap(), Some(4));
+        // Seek to current stays put.
+        assert_eq!(c.seek(4).unwrap(), Some(4));
+        assert_eq!(c.advance().unwrap(), Some(6));
+    }
+
+    #[test]
+    fn cursor_matches_slice_cursor_randomized() {
+        use crate::cursor::SliceCursor;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        for _ in 0..30 {
+            let mut ids: Vec<DocId> = (0..rng.gen_range(0..1200))
+                .map(|_| rng.gen_range(0..5_000))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let b = BlockedPostings::from_sorted(&ids);
+            let mut blocked = b.cursor().unwrap();
+            let mut slice = SliceCursor::new(ids.clone());
+            // Interleave random seeks and advances; positions must agree.
+            for _ in 0..200 {
+                if rng.gen_bool(0.5) {
+                    let t = rng.gen_range(0..5_500);
+                    assert_eq!(blocked.seek(t).unwrap(), slice.seek(t).unwrap());
+                } else {
+                    assert_eq!(blocked.advance().unwrap(), slice.advance().unwrap());
+                }
+                assert_eq!(blocked.current(), slice.current());
+            }
+        }
+    }
+
+    #[test]
+    fn owned_cursor_reads_from_disk_shape() {
+        // The on-disk path: serialize, read back, cursor owns the list.
+        let ids: Vec<DocId> = (0..300).map(|i| i * 5).collect();
+        let mut bytes = Vec::new();
+        BlockedPostings::from_sorted(&ids).write_to(&mut bytes);
+        let mut c = BlockedPostings::read(&bytes)
+            .unwrap()
+            .into_cursor()
+            .unwrap();
+        assert_eq!(c.seek(751).unwrap(), Some(755));
+        assert_eq!(crate::cursor::drain(&mut c).unwrap().last(), Some(&1495));
     }
 }

@@ -1,0 +1,234 @@
+//! Streaming cursors over postings lists.
+//!
+//! The eager set operations in [`crate::ops`] materialize a full
+//! `Vec<DocId>` at every step, which makes a broad OR over common grams
+//! cost memory proportional to the corpus even when an enclosing AND will
+//! discard almost everything. Cursors fix that: a [`PostingsCursor`]
+//! yields doc ids lazily in increasing order and supports `seek`, so a
+//! multiway intersection can leapfrog — each list is only decoded where a
+//! candidate from the rarest list might land.
+//!
+//! Contract (shared by every implementation):
+//!
+//! * A freshly constructed cursor is *primed*: [`PostingsCursor::current`]
+//!   is the first doc id, or `None` for an empty list.
+//! * Doc ids are strictly increasing; once `current()` returns `None` the
+//!   cursor stays exhausted.
+//! * [`PostingsCursor::seek`] positions on the first doc `>= target` and
+//!   never moves backwards: seeking below `current()` is a no-op.
+//! * [`PostingsCursor::cost_estimate`] is an upper bound on how many docs
+//!   the cursor can still yield, cheap enough to call during planning.
+//!
+//! Cost counters (seeks issued, blocks decoded, postings decoded and
+//! skipped) accumulate per cursor and are gathered recursively with
+//! [`PostingsCursor::collect_stats`], so the engine can report exactly how
+//! much index work a streamed query did.
+
+use crate::{DocId, Result};
+
+/// Cost counters accumulated by a cursor (and, recursively, its children).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Number of `seek` calls served.
+    pub seeks: u64,
+    /// Encoded blocks decoded (blocked lists only).
+    pub blocks_decoded: u64,
+    /// Postings actually decoded from their encoded form.
+    pub postings_decoded: u64,
+    /// Postings passed over without being yielded (by `seek`, including
+    /// whole blocks skipped via the skip table).
+    pub postings_skipped: u64,
+}
+
+impl CursorStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &CursorStats) {
+        self.seeks += other.seeks;
+        self.blocks_decoded += other.blocks_decoded;
+        self.postings_decoded += other.postings_decoded;
+        self.postings_skipped += other.postings_skipped;
+    }
+}
+
+/// A streaming, seekable iterator over a sorted postings list.
+pub trait PostingsCursor {
+    /// The doc id the cursor is positioned on, or `None` when exhausted.
+    fn current(&self) -> Option<DocId>;
+
+    /// Moves to the next doc id, returning the new position.
+    fn advance(&mut self) -> Result<Option<DocId>>;
+
+    /// Moves to the first doc id `>= target`, returning the new position.
+    /// Never moves backwards.
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>>;
+
+    /// Upper bound on the number of docs this cursor can still yield.
+    fn cost_estimate(&self) -> usize;
+
+    /// Accumulates this cursor's counters (recursively for combinators)
+    /// into `out`.
+    fn collect_stats(&self, out: &mut CursorStats);
+}
+
+impl PostingsCursor for Box<dyn PostingsCursor> {
+    fn current(&self) -> Option<DocId> {
+        (**self).current()
+    }
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        (**self).advance()
+    }
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        (**self).seek(target)
+    }
+    fn cost_estimate(&self) -> usize {
+        (**self).cost_estimate()
+    }
+    fn collect_stats(&self, out: &mut CursorStats) {
+        (**self).collect_stats(out)
+    }
+}
+
+/// Drains a cursor into a sorted `Vec<DocId>` (tests, root materialization).
+pub fn drain<C: PostingsCursor + ?Sized>(cursor: &mut C) -> Result<Vec<DocId>> {
+    let mut out = Vec::new();
+    while let Some(doc) = cursor.current() {
+        out.push(doc);
+        cursor.advance()?;
+    }
+    Ok(out)
+}
+
+/// A cursor over an already-decoded, sorted doc-id slice.
+///
+/// This is the reference implementation (and the [`crate::MemIndex`]
+/// fast path): the whole list is decoded up front, so `postings_decoded`
+/// is charged at construction and `seek` is a gallop over memory.
+#[derive(Clone, Debug)]
+pub struct SliceCursor {
+    docs: Vec<DocId>,
+    pos: usize,
+    stats: CursorStats,
+}
+
+impl SliceCursor {
+    /// Creates a primed cursor over sorted, deduplicated doc ids.
+    pub fn new(docs: Vec<DocId>) -> SliceCursor {
+        let stats = CursorStats {
+            postings_decoded: docs.len() as u64,
+            ..CursorStats::default()
+        };
+        SliceCursor {
+            docs,
+            pos: 0,
+            stats,
+        }
+    }
+
+    /// An exhausted cursor (used when a key is absent from the index).
+    pub fn empty() -> SliceCursor {
+        SliceCursor::new(Vec::new())
+    }
+}
+
+impl PostingsCursor for SliceCursor {
+    fn current(&self) -> Option<DocId> {
+        self.docs.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        if self.pos < self.docs.len() {
+            self.pos += 1;
+        }
+        Ok(self.current())
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        self.stats.seeks += 1;
+        if self.current().is_some_and(|d| d >= target) {
+            return Ok(self.current());
+        }
+        // Exponential probe forward, then binary search the bracket —
+        // O(log gap) rather than O(len) for lopsided intersections.
+        let start = self.pos;
+        let mut bound = 1usize;
+        while start + bound < self.docs.len() && self.docs[start + bound] < target {
+            bound *= 2;
+        }
+        let end = (start + bound + 1).min(self.docs.len());
+        let idx = start + self.docs[start..end].partition_point(|&d| d < target);
+        self.stats.postings_skipped += (idx - self.pos) as u64;
+        self.pos = idx;
+        Ok(self.current())
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.docs.len() - self.pos.min(self.docs.len())
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        out.merge(&self.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primed_on_first() {
+        let c = SliceCursor::new(vec![3, 7, 9]);
+        assert_eq!(c.current(), Some(3));
+        assert_eq!(c.cost_estimate(), 3);
+        let e = SliceCursor::empty();
+        assert_eq!(e.current(), None);
+        assert_eq!(e.cost_estimate(), 0);
+    }
+
+    #[test]
+    fn advance_walks_in_order() {
+        let mut c = SliceCursor::new(vec![1, 4, 9]);
+        assert_eq!(c.advance().unwrap(), Some(4));
+        assert_eq!(c.advance().unwrap(), Some(9));
+        assert_eq!(c.advance().unwrap(), None);
+        assert_eq!(c.advance().unwrap(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn seek_forward_only() {
+        let mut c = SliceCursor::new(vec![2, 5, 8, 11, 20]);
+        assert_eq!(c.seek(6).unwrap(), Some(8));
+        // Seeking backwards is a no-op.
+        assert_eq!(c.seek(1).unwrap(), Some(8));
+        // Seeking to the current value stays put.
+        assert_eq!(c.seek(8).unwrap(), Some(8));
+        assert_eq!(c.seek(21).unwrap(), None);
+    }
+
+    #[test]
+    fn seek_counts_skipped() {
+        let mut c = SliceCursor::new((0..100).collect());
+        c.seek(50).unwrap();
+        let mut s = CursorStats::default();
+        c.collect_stats(&mut s);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.postings_skipped, 50);
+        assert_eq!(s.postings_decoded, 100, "slice decodes eagerly");
+    }
+
+    #[test]
+    fn drain_yields_everything() {
+        let mut c = SliceCursor::new(vec![1, 2, 3]);
+        assert_eq!(drain(&mut c).unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.current(), None);
+    }
+
+    #[test]
+    fn boxed_cursor_is_a_cursor() {
+        let mut b: Box<dyn PostingsCursor> = Box::new(SliceCursor::new(vec![5, 6]));
+        assert_eq!(b.current(), Some(5));
+        assert_eq!(b.seek(6).unwrap(), Some(6));
+        let mut s = CursorStats::default();
+        b.collect_stats(&mut s);
+        assert_eq!(s.seeks, 1);
+    }
+}

@@ -6,7 +6,8 @@
 //! +--------------------------------------------------------------+
 //! | directory: for each key, in lexicographic order:             |
 //! |   key_len varint | key bytes | doc_count varint              |
-//! |   postings_len varint   (offsets are implicit prefix sums)   |
+//! |   encoding u8 (v2+) | postings_len varint                    |
+//! |   (offsets are implicit prefix sums)                         |
 //! +--------------------------------------------------------------+
 //! | postings section: concatenated encoded postings lists        |
 //! +--------------------------------------------------------------+
@@ -16,7 +17,16 @@
 //! leans on exactly this property: the multigram directory is tiny (<1 %
 //! of a complete n-gram index's keys), so key lookups never touch disk and
 //! I/O is spent only on the postings actually needed by a query.
+//!
+//! Version 2 stores each list in one of two encodings, tagged per
+//! directory entry: short lists stay plain delta-varint, while lists
+//! longer than one block are stored as [`BlockedPostings`] (skip table +
+//! independently decodable blocks), so [`IndexReader::cursor`] can `seek`
+//! across them without decoding everything. Version 1 files (all plain)
+//! are still readable.
 
+use crate::blocked::{BlockedPostings, BLOCK_SIZE};
+use crate::cursor::{PostingsCursor, SliceCursor};
 use crate::postings::Postings;
 use crate::stats::IndexStats;
 use crate::{varint, DocId, Error, IndexRead, Key, Result};
@@ -28,7 +38,12 @@ use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"FREEIDX1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Directory encoding tag: plain delta-varint postings.
+const ENC_PLAIN: u8 = 0;
+/// Directory encoding tag: serialized [`BlockedPostings`].
+const ENC_BLOCKED: u8 = 1;
 
 /// Streaming writer for the on-disk format. Keys must be appended in
 /// strictly increasing lexicographic order.
@@ -92,8 +107,19 @@ impl IndexWriter {
         varint::encode(key.len() as u64, &mut self.directory);
         self.directory.extend_from_slice(key);
         varint::encode(postings.len() as u64, &mut self.directory);
-        varint::encode(postings.encoded().len() as u64, &mut self.directory);
-        self.postings.extend_from_slice(postings.encoded());
+        if postings.len() > BLOCK_SIZE {
+            // Long lists are stored blocked so readers can skip across
+            // them; the skip-table overhead is ~2 % of the payload.
+            self.directory.push(ENC_BLOCKED);
+            let mut payload = Vec::with_capacity(postings.encoded().len() + 64);
+            BlockedPostings::from_postings(postings)?.write_to(&mut payload);
+            varint::encode(payload.len() as u64, &mut self.directory);
+            self.postings.extend_from_slice(&payload);
+        } else {
+            self.directory.push(ENC_PLAIN);
+            varint::encode(postings.encoded().len() as u64, &mut self.directory);
+            self.postings.extend_from_slice(postings.encoded());
+        }
         self.num_keys += 1;
         self.num_postings += postings.len() as u64;
         self.key_bytes += key.len() as u64;
@@ -156,6 +182,8 @@ struct DirEntry {
     doc_count: u32,
     offset: u64,
     len: u32,
+    /// Whether the payload is a serialized [`BlockedPostings`].
+    blocked: bool,
 }
 
 /// A read-only on-disk index. The directory lives in memory; postings are
@@ -183,7 +211,9 @@ impl IndexReader {
             return Err(Error::Corrupt(format!("bad magic in {}", path.display())));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed size"));
-        if version != VERSION {
+        // v1 (all lists plain) is still readable; v2 adds the per-entry
+        // encoding tag.
+        if version == 0 || version > VERSION {
             return Err(Error::Corrupt(format!(
                 "unsupported index version {version}"
             )));
@@ -212,6 +242,21 @@ impl IndexReader {
             cursor = &cursor[key_len as usize..];
             let (doc_count, used) = varint::decode(cursor)?;
             cursor = &cursor[used..];
+            let blocked = if version >= 2 {
+                let enc = *cursor
+                    .first()
+                    .ok_or_else(|| Error::Corrupt(format!("truncated encoding tag, key {i}")))?;
+                cursor = &cursor[1..];
+                match enc {
+                    ENC_PLAIN => false,
+                    ENC_BLOCKED => true,
+                    other => {
+                        return Err(Error::Corrupt(format!("unknown postings encoding {other}")))
+                    }
+                }
+            } else {
+                false
+            };
             let (plen, used) = varint::decode(cursor)?;
             cursor = &cursor[used..];
             entries.insert(
@@ -220,6 +265,7 @@ impl IndexReader {
                     doc_count: doc_count as u32,
                     offset,
                     len: plen as u32,
+                    blocked,
                 },
             );
             sorted_keys.push(key);
@@ -252,13 +298,24 @@ impl IndexReader {
         })
     }
 
-    /// Reads one key's encoded postings from disk.
-    fn read_postings(&self, e: DirEntry) -> Result<Postings> {
+    /// Reads one entry's raw payload bytes from disk (positioned read, so
+    /// concurrent callers never contend on seek state).
+    fn read_payload(&self, e: DirEntry) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; e.len as usize];
         self.file
             .read_exact_at(&mut buf, self.postings_start + e.offset)
             .map_err(|err| Error::io("read postings", err))?;
-        Ok(Postings::from_encoded(Bytes::from(buf), e.doc_count))
+        Ok(buf)
+    }
+
+    /// Reads and fully decodes one entry's postings.
+    fn decode_entry(&self, e: DirEntry) -> Result<Vec<DocId>> {
+        let buf = self.read_payload(e)?;
+        if e.blocked {
+            BlockedPostings::read(&buf)?.decode()
+        } else {
+            Postings::from_encoded(Bytes::from(buf), e.doc_count).decode()
+        }
     }
 
     /// The sorted key list (borrowed).
@@ -283,7 +340,22 @@ impl IndexRead for IndexReader {
     fn postings(&self, key: &[u8]) -> Result<Option<Vec<DocId>>> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(&e) => Ok(Some(self.read_postings(e)?.decode()?)),
+            Some(&e) => Ok(Some(self.decode_entry(e)?)),
+        }
+    }
+
+    fn cursor(&self, key: &[u8]) -> Result<Option<Box<dyn PostingsCursor>>> {
+        let Some(&e) = self.entries.get(key) else {
+            return Ok(None);
+        };
+        let buf = self.read_payload(e)?;
+        if e.blocked {
+            // The cursor owns the raw blocked list and decodes blocks on
+            // demand, driven by `seek`.
+            Ok(Some(Box::new(BlockedPostings::read(&buf)?.into_cursor()?)))
+        } else {
+            let docs = Postings::from_encoded(Bytes::from(buf), e.doc_count).decode()?;
+            Ok(Some(Box::new(SliceCursor::new(docs))))
         }
     }
 
@@ -407,6 +479,86 @@ mod tests {
         w.add(&[0u8, 1, 255], &Postings::from_sorted(&[4])).unwrap();
         let r = w.finish().unwrap();
         assert_eq!(r.postings(&[0u8, 1, 255]).unwrap().unwrap(), vec![4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn long_lists_stored_blocked() {
+        use crate::cursor::CursorStats;
+        let path = tmpfile("blockedv2");
+        let ids: Vec<DocId> = (0..5_000).map(|i| i * 2).collect();
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"common", &Postings::from_sorted(&ids)).unwrap();
+        w.add(b"rare", &Postings::from_sorted(&[4, 40, 9_996]))
+            .unwrap();
+        let r = w.finish().unwrap();
+        assert!(r.entries[&b"common"[..]].blocked);
+        assert!(!r.entries[&b"rare"[..]].blocked);
+        // Full decode agrees regardless of encoding.
+        assert_eq!(r.postings(b"common").unwrap().unwrap(), ids);
+        assert_eq!(r.postings(b"rare").unwrap().unwrap(), vec![4, 40, 9_996]);
+        // The cursor path seeks sub-linearly over the blocked list.
+        let mut c = r.cursor(b"common").unwrap().unwrap();
+        assert_eq!(c.seek(9_000).unwrap(), Some(9_000));
+        let mut s = CursorStats::default();
+        c.collect_stats(&mut s);
+        assert!(s.postings_skipped > 4_000);
+        assert!((s.blocks_decoded as usize) < ids.len().div_ceil(BLOCK_SIZE) / 2);
+        assert!(r.cursor(b"absent").unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version1_files_still_readable() {
+        // Hand-craft a v1 file: directory entries have no encoding tag.
+        let path = tmpfile("v1compat");
+        let postings = Postings::from_sorted(&[3, 9, 27]);
+        let mut dir = Vec::new();
+        varint::encode(2, &mut dir); // key_len
+        dir.extend_from_slice(b"ab");
+        varint::encode(postings.len() as u64, &mut dir);
+        varint::encode(postings.encoded().len() as u64, &mut dir);
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&1u32.to_le_bytes());
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        file.extend_from_slice(&dir);
+        file.extend_from_slice(postings.encoded());
+        std::fs::write(&path, &file).unwrap();
+        let r = IndexReader::open(&path).unwrap();
+        assert_eq!(r.postings(b"ab").unwrap().unwrap(), vec![3, 9, 27]);
+        let mut c = r.cursor(b"ab").unwrap().unwrap();
+        assert_eq!(c.seek(9).unwrap(), Some(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_future_version_and_bad_encoding() {
+        let path = tmpfile("futurever");
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&99u32.to_le_bytes());
+        file.extend_from_slice(&0u64.to_le_bytes());
+        file.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &file).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        // v2 entry with an unknown encoding tag.
+        let mut dir = Vec::new();
+        varint::encode(1, &mut dir);
+        dir.push(b'k');
+        varint::encode(1, &mut dir); // doc_count
+        dir.push(7); // bogus encoding
+        varint::encode(1, &mut dir); // payload len
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        file.extend_from_slice(&dir);
+        file.push(0);
+        std::fs::write(&path, &file).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -26,6 +26,7 @@
 
 pub mod blocked;
 pub mod builder;
+pub mod cursor;
 pub mod error;
 pub mod format;
 pub mod memindex;
@@ -34,11 +35,13 @@ pub mod postings;
 pub mod stats;
 pub mod varint;
 
-pub use blocked::BlockedPostings;
+pub use blocked::{BlockedCursor, BlockedPostings};
 pub use builder::IndexBuilder;
+pub use cursor::{CursorStats, PostingsCursor, SliceCursor};
 pub use error::{Error, Result};
 pub use format::{IndexReader, IndexWriter};
 pub use memindex::MemIndex;
+pub use ops::{AndCursor, OrCursor};
 pub use postings::{Postings, PostingsBuilder};
 pub use stats::IndexStats;
 
@@ -72,6 +75,18 @@ pub trait IndexRead {
 
     /// Index size statistics.
     fn stats(&self) -> IndexStats;
+
+    /// Opens a primed streaming cursor over `key`'s postings, or `None`
+    /// if the key is absent.
+    ///
+    /// The default implementation decodes the whole list into a
+    /// [`SliceCursor`]; storage formats with skip structure (the blocked
+    /// on-disk format) override this to seek without full decoding.
+    fn cursor(&self, key: &[u8]) -> Result<Option<Box<dyn PostingsCursor>>> {
+        Ok(self
+            .postings(key)?
+            .map(|docs| Box::new(SliceCursor::new(docs)) as Box<dyn PostingsCursor>))
+    }
 }
 
 #[cfg(test)]

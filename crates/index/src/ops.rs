@@ -1,11 +1,25 @@
 //! Set operations over sorted document-id lists.
 //!
-//! The physical plan's AND/OR nodes evaluate to intersections and unions
-//! of postings. Intersections use galloping (exponential) search when the
-//! list sizes are lopsided — the common case, since the planner
-//! intersects the rarest gram first.
+//! Two tiers live here:
+//!
+//! * **Slice functions** (`intersect*`, `union*`) — eager reference
+//!   implementations over fully materialized `&[DocId]`. Intersections
+//!   use galloping (exponential) search when the list sizes are lopsided
+//!   — the common case, since the planner intersects the rarest gram
+//!   first.
+//! * **Cursor combinators** ([`AndCursor`], [`OrCursor`]) — streaming
+//!   equivalents over [`PostingsCursor`]s. `AndCursor` leapfrogs: the
+//!   cheapest child proposes a candidate and every other child `seek`s to
+//!   it, so common lists are only decoded near the rare list's docs.
+//!   `OrCursor` is a k-way heap merge that deduplicates as it yields.
+//!   The engine's streaming executor composes these into operator trees;
+//!   the slice functions remain the ground truth the differential tests
+//!   compare against.
 
-use crate::DocId;
+use crate::cursor::{CursorStats, PostingsCursor};
+use crate::{DocId, Result};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Intersects two sorted lists.
 ///
@@ -119,8 +133,6 @@ pub fn union(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
 
 /// Unions many sorted lists with a k-way heap merge.
 pub fn union_many(lists: &[&[DocId]]) -> Vec<DocId> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
     match lists.len() {
         0 => Vec::new(),
         1 => lists[0].to_vec(),
@@ -143,6 +155,176 @@ pub fn union_many(lists: &[&[DocId]]) -> Vec<DocId> {
                 }
             }
             out
+        }
+    }
+}
+
+/// Streaming multiway intersection: yields exactly the docs present in
+/// every child, in increasing order.
+///
+/// Children are sorted by [`PostingsCursor::cost_estimate`] at
+/// construction so the cheapest (rarest) child drives the leapfrog. An
+/// `AndCursor` over zero children is exhausted, matching
+/// [`intersect_many`] on an empty slice.
+pub struct AndCursor<C: PostingsCursor> {
+    /// Children, cheapest first; `children[0]` is the driver.
+    children: Vec<C>,
+    current: Option<DocId>,
+}
+
+impl<C: PostingsCursor> AndCursor<C> {
+    /// Builds a primed intersection cursor over `children`.
+    pub fn new(mut children: Vec<C>) -> Result<AndCursor<C>> {
+        children.sort_by_key(|c| c.cost_estimate());
+        let mut cursor = AndCursor {
+            children,
+            current: None,
+        };
+        if !cursor.children.is_empty() {
+            cursor.align()?;
+        }
+        Ok(cursor)
+    }
+
+    /// Leapfrog: raise the target to each child's landing position until
+    /// every child agrees (or one exhausts).
+    fn align(&mut self) -> Result<()> {
+        self.current = None;
+        let Some(mut target) = self.children[0].current() else {
+            return Ok(());
+        };
+        loop {
+            let mut all_match = true;
+            for child in &mut self.children {
+                match child.seek(target)? {
+                    None => return Ok(()),
+                    Some(d) if d > target => {
+                        target = d;
+                        all_match = false;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if all_match {
+                self.current = Some(target);
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<C: PostingsCursor> PostingsCursor for AndCursor<C> {
+    fn current(&self) -> Option<DocId> {
+        self.current
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        if self.current.is_none() {
+            return Ok(None);
+        }
+        // All children sit on `current`; push the driver past it and
+        // re-align the rest.
+        self.children[0].advance()?;
+        self.align()?;
+        Ok(self.current)
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        match self.current {
+            None => return Ok(None),
+            Some(d) if d >= target => return Ok(self.current),
+            Some(_) => {}
+        }
+        self.children[0].seek(target)?;
+        self.align()?;
+        Ok(self.current)
+    }
+
+    fn cost_estimate(&self) -> usize {
+        // An intersection yields at most what its cheapest child can.
+        self.children
+            .iter()
+            .map(|c| c.cost_estimate())
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        // Only leaf work is counted; the combinator itself does none.
+        for child in &self.children {
+            child.collect_stats(out);
+        }
+    }
+}
+
+/// Streaming multiway union: yields the deduplicated merge of all
+/// children in increasing order via a k-way min-heap of child positions.
+pub struct OrCursor<C: PostingsCursor> {
+    children: Vec<C>,
+    /// Min-heap of `(current doc, child index)` for non-exhausted children.
+    heap: BinaryHeap<Reverse<(DocId, usize)>>,
+}
+
+impl<C: PostingsCursor> OrCursor<C> {
+    /// Builds a primed union cursor over `children`.
+    pub fn new(children: Vec<C>) -> Result<OrCursor<C>> {
+        let mut heap = BinaryHeap::with_capacity(children.len());
+        for (i, child) in children.iter().enumerate() {
+            if let Some(d) = child.current() {
+                heap.push(Reverse((d, i)));
+            }
+        }
+        Ok(OrCursor { children, heap })
+    }
+}
+
+impl<C: PostingsCursor> PostingsCursor for OrCursor<C> {
+    fn current(&self) -> Option<DocId> {
+        self.heap.peek().map(|Reverse((d, _))| *d)
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        let Some(cur) = self.current() else {
+            return Ok(None);
+        };
+        // Pop every child sitting on `cur` (dedup), advance each, and
+        // push back the ones that still have docs.
+        while let Some(&Reverse((d, i))) = self.heap.peek() {
+            if d != cur {
+                break;
+            }
+            self.heap.pop();
+            if let Some(next) = self.children[i].advance()? {
+                self.heap.push(Reverse((next, i)));
+            }
+        }
+        Ok(self.current())
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        while let Some(&Reverse((d, i))) = self.heap.peek() {
+            if d >= target {
+                break;
+            }
+            self.heap.pop();
+            if let Some(landed) = self.children[i].seek(target)? {
+                self.heap.push(Reverse((landed, i)));
+            }
+        }
+        Ok(self.current())
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| c.cost_estimate())
+            .fold(0usize, |acc, n| acc.saturating_add(n))
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        for child in &self.children {
+            child.collect_stats(out);
         }
     }
 }
@@ -242,6 +424,165 @@ mod tests {
                 want_i
             );
             assert_eq!(union(&a, &b), want_u);
+        }
+    }
+
+    use crate::blocked::BlockedPostings;
+    use crate::cursor::{drain, SliceCursor};
+
+    /// Mixed-representation children: odd lists blocked, even lists slices.
+    fn mixed_cursors(lists: &[Vec<DocId>]) -> Vec<Box<dyn PostingsCursor>> {
+        lists
+            .iter()
+            .enumerate()
+            .map(|(i, l)| -> Box<dyn PostingsCursor> {
+                if i % 2 == 1 {
+                    Box::new(BlockedPostings::from_sorted(l).into_cursor().unwrap())
+                } else {
+                    Box::new(SliceCursor::new(l.clone()))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn and_cursor_matches_intersect_many() {
+        let lists: Vec<Vec<DocId>> = vec![
+            (0..1000).collect(),
+            (0..1000).step_by(3).collect(),
+            vec![9, 30, 33, 900, 1500],
+        ];
+        let refs: Vec<&[DocId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(drain(&mut and).unwrap(), intersect_many(&refs));
+    }
+
+    #[test]
+    fn and_cursor_empty_cases() {
+        // Zero children: exhausted, like intersect_many(&[]).
+        let mut and = AndCursor::new(Vec::<SliceCursor>::new()).unwrap();
+        assert_eq!(and.current(), None);
+        assert_eq!(and.advance().unwrap(), None);
+        assert_eq!(and.cost_estimate(), 0);
+        // One empty child kills the whole intersection.
+        let lists = vec![vec![1, 2, 3], vec![]];
+        let and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(and.current(), None);
+        // Disjoint children.
+        let lists = vec![vec![1, 3, 5], vec![2, 4, 6]];
+        let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(drain(&mut and).unwrap(), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn and_cursor_single_child_passes_through() {
+        let lists = vec![vec![4, 8, 15]];
+        let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(and.seek(5).unwrap(), Some(8));
+        assert_eq!(drain(&mut and).unwrap(), vec![8, 15]);
+    }
+
+    #[test]
+    fn and_cursor_seek_and_estimate() {
+        let lists: Vec<Vec<DocId>> = vec![(0..100).collect(), (0..100).step_by(5).collect()];
+        let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(and.cost_estimate(), 20, "min of child estimates");
+        assert_eq!(and.seek(42).unwrap(), Some(45));
+        assert_eq!(and.seek(12).unwrap(), Some(45), "backward seek no-op");
+        assert_eq!(and.advance().unwrap(), Some(50));
+        assert_eq!(and.seek(101).unwrap(), None);
+        assert_eq!(and.advance().unwrap(), None);
+    }
+
+    #[test]
+    fn and_cursor_skips_on_lopsided_lists() {
+        // The acceptance-criteria shape: a long common list intersected
+        // with a short rare one must skip (not decode) most of the long
+        // list's blocks.
+        let lists: Vec<Vec<DocId>> = vec![
+            vec![100, 5_000, 9_999],         // slice (driver)
+            (0..10_000).collect::<Vec<_>>(), // blocked
+        ];
+        let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(drain(&mut and).unwrap(), vec![100, 5_000, 9_999]);
+        let mut s = CursorStats::default();
+        and.collect_stats(&mut s);
+        assert!(s.postings_skipped > 9_000, "skipped {}", s.postings_skipped);
+        let total_blocks = BlockedPostings::from_sorted(&lists[1]).num_blocks() as u64;
+        assert!(
+            s.blocks_decoded < total_blocks / 2,
+            "decoded {} of {} blocks",
+            s.blocks_decoded,
+            total_blocks
+        );
+        assert!(s.seeks > 0);
+    }
+
+    #[test]
+    fn or_cursor_matches_union_many() {
+        let lists: Vec<Vec<DocId>> = vec![
+            vec![1, 4, 9, 200],
+            vec![2, 4, 8, 400],
+            vec![4, 9, 10],
+            vec![],
+        ];
+        let refs: Vec<&[DocId]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut or = OrCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(or.cost_estimate(), 11, "sum of child estimates");
+        assert_eq!(drain(&mut or).unwrap(), union_many(&refs));
+    }
+
+    #[test]
+    fn or_cursor_seek_and_empty() {
+        let mut or = OrCursor::new(Vec::<SliceCursor>::new()).unwrap();
+        assert_eq!(or.current(), None);
+        assert_eq!(or.advance().unwrap(), None);
+        assert_eq!(or.seek(3).unwrap(), None);
+
+        let lists = vec![vec![1, 10, 20], vec![5, 10, 30]];
+        let mut or = OrCursor::new(mixed_cursors(&lists)).unwrap();
+        assert_eq!(or.seek(6).unwrap(), Some(10));
+        assert_eq!(or.advance().unwrap(), Some(20), "10 deduplicated");
+        assert_eq!(or.seek(31).unwrap(), None);
+    }
+
+    #[test]
+    fn nested_combinators_match_reference() {
+        // (A ∪ B) ∩ C as cursors vs slices.
+        let a: Vec<DocId> = (0..300).step_by(3).collect();
+        let b: Vec<DocId> = (0..300).step_by(7).collect();
+        let c: Vec<DocId> = (0..300).step_by(2).collect();
+        let or: Box<dyn PostingsCursor> =
+            Box::new(OrCursor::new(mixed_cursors(&[a.clone(), b.clone()])).unwrap());
+        let leaf: Box<dyn PostingsCursor> =
+            Box::new(BlockedPostings::from_sorted(&c).into_cursor().unwrap());
+        let mut and = AndCursor::new(vec![or, leaf]).unwrap();
+        let want = intersect(&union(&a, &b), &c);
+        assert_eq!(drain(&mut and).unwrap(), want);
+    }
+
+    #[test]
+    fn combinators_match_reference_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..60 {
+            let k = rng.gen_range(1..5);
+            let lists: Vec<Vec<DocId>> = (0..k)
+                .map(|_| {
+                    let mut l: Vec<DocId> = (0..rng.gen_range(0..600))
+                        .map(|_| rng.gen_range(0..2_000))
+                        .collect();
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            let refs: Vec<&[DocId]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut and = AndCursor::new(mixed_cursors(&lists)).unwrap();
+            assert_eq!(drain(&mut and).unwrap(), intersect_many(&refs));
+            let mut or = OrCursor::new(mixed_cursors(&lists)).unwrap();
+            assert_eq!(drain(&mut or).unwrap(), union_many(&refs));
         }
     }
 }

@@ -178,7 +178,7 @@ fn index_candidates_are_supersets_of_matches() {
     ] {
         let (want, _) = baseline::scan_matching_docs(&corpus, pattern).unwrap();
         let mut r = engine.query(pattern).unwrap();
-        let candidates = r.num_candidates();
+        let candidates = r.num_candidates().unwrap();
         let got = r.matching_docs().unwrap();
         assert_eq!(got, want, "{pattern}");
         assert!(

@@ -1,0 +1,249 @@
+//! Differential tests for the streaming executor: the cursor-combinator
+//! path must return byte-identical candidates to the eager slice
+//! reference, over both the in-memory index and the blocked on-disk
+//! format, and confirmation must return the same matches for any thread
+//! count.
+
+use free_corpus::MemCorpus;
+use free_engine::exec::stream::compile_plan;
+use free_engine::exec::{eval_plan, Candidates};
+use free_engine::metrics::QueryStats;
+use free_engine::plan::physical::PhysicalPlan;
+use free_engine::{Engine, EngineConfig};
+use free_index::cursor::drain;
+use free_index::postings::Postings;
+use free_index::{IndexRead, IndexReader, IndexWriter, MemIndex};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Key names the plan generator draws from. `zz` is never inserted into
+/// the index, exercising the absent-key short-circuit.
+const KEYS: [&str; 5] = ["k0", "k1", "k2", "k3", "zz"];
+
+fn arb_postings() -> impl Strategy<Value = Vec<u32>> {
+    // Up to 400 docs over a 2_000-doc universe: lists long enough that
+    // the on-disk format stores some of them blocked (> 128 postings).
+    prop::collection::btree_set(0u32..2_000, 0..400).prop_map(|s| s.into_iter().collect())
+}
+
+fn arb_index_content() -> impl Strategy<Value = BTreeMap<&'static str, Vec<u32>>> {
+    (
+        arb_postings(),
+        arb_postings(),
+        arb_postings(),
+        arb_postings(),
+    )
+        .prop_map(|(a, b, c, d)| {
+            let mut m = BTreeMap::new();
+            m.insert("k0", a);
+            m.insert("k1", b);
+            m.insert("k2", c);
+            m.insert("k3", d);
+            m
+        })
+}
+
+fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
+    let key = (0usize..KEYS.len()).prop_map(|i| KEYS[i]);
+    let leaf = prop::collection::vec(key, 1..3).prop_map(|keys| PhysicalPlan::Fetch {
+        gram: b"g".to_vec(),
+        keys: keys
+            .into_iter()
+            .map(|k| k.as_bytes().to_vec().into_boxed_slice())
+            .collect(),
+        estimate: 0,
+    });
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(PhysicalPlan::And),
+            prop::collection::vec(inner, 2..4).prop_map(PhysicalPlan::Or),
+        ]
+    })
+}
+
+fn build_mem(content: &BTreeMap<&str, Vec<u32>>) -> MemIndex {
+    let mut idx = MemIndex::new();
+    for (key, docs) in content {
+        for &d in docs {
+            idx.add(key.as_bytes(), d);
+        }
+    }
+    idx
+}
+
+fn build_disk(content: &BTreeMap<&str, Vec<u32>>, name: &str) -> IndexReader {
+    let dir = std::env::temp_dir().join(format!("free-stream-prop-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("idx.free");
+    let mut w = IndexWriter::create(&path).unwrap();
+    for (key, docs) in content {
+        if !docs.is_empty() {
+            w.add(key.as_bytes(), &Postings::from_sorted(docs)).unwrap();
+        }
+    }
+    w.finish().unwrap()
+}
+
+fn eager_docs<I: IndexRead>(plan: &PhysicalPlan, index: &I) -> Vec<u32> {
+    let mut stats = QueryStats::default();
+    match eval_plan(plan, index, &mut stats).unwrap() {
+        Candidates::Docs(d) => d,
+        Candidates::All => panic!("generated plans never scan"),
+    }
+}
+
+fn streamed_docs<I: IndexRead>(plan: &PhysicalPlan, index: &I) -> Vec<u32> {
+    let mut stats = QueryStats::default();
+    let mut cursor = compile_plan(plan, index, &mut stats).unwrap().unwrap();
+    drain(&mut *cursor).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cursor Fetch/AND/OR equals the eager slice reference, and the
+    /// blocked on-disk index equals the in-memory index, for any plan.
+    #[test]
+    fn cursor_plans_agree_with_eager_reference(
+        content in arb_index_content(),
+        plan in arb_plan(),
+    ) {
+        let mem = build_mem(&content);
+        let want = eager_docs(&plan, &mem);
+        prop_assert_eq!(&streamed_docs(&plan, &mem), &want, "memindex cursor vs eager");
+
+        let disk = build_disk(&content, "agree");
+        prop_assert_eq!(&eager_docs(&plan, &disk), &want, "disk eager vs mem eager");
+        prop_assert_eq!(&streamed_docs(&plan, &disk), &want, "disk cursor vs eager");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end: the engine returns identical matches with 1 and 4
+    /// confirmation threads, including first-k prefixes.
+    #[test]
+    fn thread_count_does_not_change_matches(
+        docs in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'x')],
+                0..40,
+            ),
+            1..25,
+        ),
+        k in 1usize..6,
+    ) {
+        let corpus = MemCorpus::from_docs(docs);
+        let pattern = "ab|bca*";
+        let engine_with = |threads: usize| {
+            Engine::build_in_memory(
+                corpus.clone(),
+                EngineConfig {
+                    usefulness_threshold: 0.6,
+                    max_gram_len: 6,
+                    num_threads: threads,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = engine_with(1);
+        let par = engine_with(4);
+
+        let mut a = seq.query(pattern).unwrap();
+        let mut b = par.query(pattern).unwrap();
+        let want = a.all_matches().unwrap();
+        prop_assert_eq!(&b.all_matches().unwrap(), &want);
+        prop_assert_eq!(a.stats().docs_examined, b.stats().docs_examined);
+        prop_assert_eq!(a.stats().matching_docs, b.stats().matching_docs);
+
+        let mut a = seq.query(pattern).unwrap();
+        let mut b = par.query(pattern).unwrap();
+        prop_assert_eq!(a.first_k_matches(k).unwrap(), b.first_k_matches(k).unwrap());
+    }
+}
+
+/// Acceptance criterion: a lopsided AND over the blocked on-disk index
+/// must skip postings (whole blocks) rather than decode everything.
+#[test]
+fn lopsided_and_skips_postings_on_blocked_index() {
+    let mut content: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    content.insert("common", (0..20_000).collect());
+    content.insert("rare", vec![3, 9_999, 19_998]);
+    let disk = build_disk(&content, "lopsided");
+
+    let key = |s: &str| s.as_bytes().to_vec().into_boxed_slice();
+    let plan = PhysicalPlan::And(vec![
+        PhysicalPlan::Fetch {
+            gram: b"rare".to_vec(),
+            keys: vec![key("rare")],
+            estimate: 3,
+        },
+        PhysicalPlan::Fetch {
+            gram: b"common".to_vec(),
+            keys: vec![key("common")],
+            estimate: 20_000,
+        },
+    ]);
+
+    let mut stats = QueryStats::default();
+    let mut cursor = compile_plan(&plan, &disk, &mut stats).unwrap().unwrap();
+    let docs = drain(&mut *cursor).unwrap();
+    assert_eq!(docs, vec![3, 9_999, 19_998]);
+
+    let mut cs = free_index::CursorStats::default();
+    cursor.collect_stats(&mut cs);
+    assert!(
+        cs.blocks_decoded > 0,
+        "the 20k-doc list must be stored blocked: {cs:?}"
+    );
+    assert!(
+        cs.postings_skipped > 0,
+        "lopsided AND must skip postings: {cs:?}"
+    );
+    assert!(
+        cs.postings_decoded < 20_000,
+        "the common list must not be fully decoded: {cs:?}"
+    );
+}
+
+/// The same skip accounting must surface in `QueryStats` when the query
+/// runs through the engine over an on-disk index.
+#[test]
+fn engine_reports_postings_skipped_on_disk_index() {
+    let dir = std::env::temp_dir().join(format!("free-stream-engine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Every doc contains "commongram"; few contain "rareneedle". The AND
+    // of both grams is maximally lopsided.
+    let docs: Vec<Vec<u8>> = (0..600)
+        .map(|i| {
+            if i % 200 == 7 {
+                format!("commongram rareneedle {i}").into_bytes()
+            } else {
+                format!("commongram filler {i}").into_bytes()
+            }
+        })
+        .collect();
+    let corpus = MemCorpus::from_docs(docs);
+    let config = EngineConfig {
+        usefulness_threshold: 1.0,
+        max_gram_len: 10,
+        prune_selectivity: 1.0, // keep the common list in the plan
+        ..EngineConfig::default()
+    };
+    let engine = Engine::build_on_disk(corpus, config, dir.join("idx.free")).unwrap();
+    let mut r = engine.query("commongram.*rareneedle").unwrap();
+    let matching = r.matching_docs().unwrap();
+    assert_eq!(matching, vec![7, 207, 407]);
+    let stats = r.stats();
+    assert!(
+        stats.postings_skipped > 0,
+        "lopsided AND must report skipped postings: {stats}"
+    );
+    assert!(stats.cursor_seeks > 0, "{stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
