@@ -130,6 +130,67 @@ pub fn class_diagnostic(class: PlanClass) -> Diagnostic {
     }
 }
 
+/// Ratio between estimated and actual cardinality beyond which `FA204`
+/// fires.
+pub const DRIFT_FACTOR: f64 = 4.0;
+
+/// Minimum `max(estimate, actual)` for drift to be reported; below this
+/// the absolute error is too small to matter.
+pub const DRIFT_MIN_CARDINALITY: u64 = 16;
+
+/// Checks one operator's estimate against its observed cardinality,
+/// producing an `FA204` diagnostic when they disagree by more than
+/// [`DRIFT_FACTOR`] in either direction.
+///
+/// `label` names the operator (typically a plan node's rendering from
+/// [`free_engine::NodeStats`]).
+pub fn estimate_drift(label: &str, estimated: usize, actual: u64) -> Option<Diagnostic> {
+    let est = estimated as u64;
+    if est.max(actual) < DRIFT_MIN_CARDINALITY {
+        return None;
+    }
+    // Guard both directions with a zero-safe ratio: a zero estimate
+    // against a large actual (or vice versa) is infinite drift.
+    let (lo, hi) = (est.min(actual), est.max(actual));
+    if lo > 0 && (hi as f64) < DRIFT_FACTOR * lo as f64 {
+        return None;
+    }
+    let direction = if actual > est { "under" } else { "over" };
+    Some(
+        Diagnostic::new(
+            codes::ESTIMATE_DRIFT,
+            Severity::Warning,
+            None,
+            format!(
+                "estimate drift at {label}: planner estimated ~{estimated} \
+                 doc(s) but the operator yielded {actual} ({direction}estimated)"
+            ),
+        )
+        .with_suggestion(
+            "the doc-frequency statistics the planner used do not reflect \
+             this operator's true selectivity; consider rebuilding the index \
+             or lowering the usefulness threshold",
+        ),
+    )
+}
+
+/// Walks an `EXPLAIN ANALYZE` operator tree and reports every node whose
+/// actual cardinality drifted from its estimate (pre-order, so the root's
+/// finding comes first).
+pub fn drift_diagnostics(root: &free_engine::NodeStats) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    fn walk(node: &free_engine::NodeStats, out: &mut Vec<Diagnostic>) {
+        if let Some(d) = estimate_drift(&node.label, node.estimate, node.actual_docs) {
+            out.push(d);
+        }
+        for c in &node.children {
+            walk(c, out);
+        }
+    }
+    walk(root, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +254,56 @@ mod tests {
         // be looser than it.
         let (_, static_est) = classify_physical(&logical("ab.*zz"), &idx, 10);
         assert!(est <= static_est);
+    }
+
+    #[test]
+    fn drift_fires_only_on_large_relative_misses() {
+        // 4x under-estimate on a meaningful cardinality: fires.
+        let d = estimate_drift("Fetch[\"abc\"]", 10, 40).expect("drift");
+        assert_eq!(d.code, codes::ESTIMATE_DRIFT);
+        assert!(d.message.contains("underestimated"), "{}", d.message);
+        // Over-estimate fires too.
+        let d = estimate_drift("AND", 100, 20).expect("drift");
+        assert!(d.message.contains("overestimated"), "{}", d.message);
+        // Inside the factor: quiet.
+        assert!(estimate_drift("AND", 30, 40).is_none());
+        // Tiny cardinalities: quiet even at infinite ratio.
+        assert!(estimate_drift("AND", 0, 10).is_none());
+        // Zero actual against a large estimate is infinite drift.
+        assert!(estimate_drift("AND", 100, 0).is_some());
+    }
+
+    #[test]
+    fn drift_walks_the_analyze_tree() {
+        use free_corpus::MemCorpus;
+        use free_engine::{Engine, EngineConfig};
+        // Docs where "ab" and "cd" co-occur nowhere: the AND's estimate
+        // (min of children) is far above its actual cardinality of zero.
+        let docs: Vec<Vec<u8>> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("ab filler {i}").into_bytes()
+                } else {
+                    format!("cd filler {i}").into_bytes()
+                }
+            })
+            .collect();
+        let engine = Engine::build_in_memory(
+            MemCorpus::from_docs(docs),
+            EngineConfig {
+                max_gram_len: 3,
+                prune_selectivity: 1.0,
+                ..EngineConfig::with_kind(free_engine::IndexKind::Complete)
+            },
+        )
+        .unwrap();
+        let ea = engine.explain_analyze("ab.*cd").unwrap();
+        let root = ea.root.as_ref().expect("indexed plan");
+        let found = drift_diagnostics(root);
+        assert!(
+            found.iter().any(|d| d.code == codes::ESTIMATE_DRIFT),
+            "AND with zero actual docs must report drift: {found:?}"
+        );
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub mod codes {
     pub const CLASS_WEAK: &str = "FA202";
     /// Plan classified SCAN.
     pub const CLASS_SCAN: &str = "FA203";
+    /// An operator's actual cardinality drifted far from the planner's
+    /// estimate (only produced when an `EXPLAIN ANALYZE` trace is
+    /// available).
+    pub const ESTIMATE_DRIFT: &str = "FA204";
 }
 
 /// How serious a finding is.

@@ -9,6 +9,7 @@
 //!   fig10     Figure 10 — result size vs improvement
 //!   fig11     Figure 11 — response time for first 10 results
 //!   fig12     Figure 12 — shortest suffix rule effect
+//!   latency   per-mode latency percentiles (p50/p90/p99) over all repeats
 //!   ablate    threshold & gram-length sweeps (design-choice ablations)
 //!   disk      end-to-end on-disk pipeline demo (DiskCorpus + IndexReader)
 //!   grams     mined-gram report: length histogram, most/least selective keys
@@ -66,10 +67,12 @@ fn main() {
         usage("no command given");
     }
     if commands.iter().any(|c| c == "all") {
-        commands = ["table3", "fig9", "fig10", "fig11", "fig12", "ablate"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        commands = [
+            "table3", "fig9", "fig10", "fig11", "fig12", "latency", "ablate",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     eprintln!(
@@ -86,12 +89,13 @@ fn main() {
 
     let needs_queries = commands
         .iter()
-        .any(|c| matches!(c.as_str(), "fig9" | "fig10" | "fig11" | "fig12"));
-    let query_rows = if needs_queries {
+        .any(|c| matches!(c.as_str(), "fig9" | "fig10" | "fig11" | "fig12" | "latency"));
+    let (query_rows, query_latencies) = if needs_queries {
         eprintln!("# running the 10 benchmark queries in 4 modes ...");
-        experiment.run_queries()
+        let (rows, latencies) = experiment.run_queries_profiled();
+        (rows, Some(latencies))
     } else {
-        Vec::new()
+        (Vec::new(), None)
     };
 
     for cmd in &commands {
@@ -105,6 +109,9 @@ fn main() {
             "fig10" => report::render_fig10(&query_rows),
             "fig11" => report::render_fig11(&query_rows),
             "fig12" => report::render_fig12(&query_rows),
+            "latency" => {
+                report::render_latencies(query_latencies.as_ref().expect("queries were run"))
+            }
             "ablate" => run_ablations(&experiment),
             "disk" => run_disk_demo(&config),
             "grams" => run_gram_report(&experiment),
@@ -371,7 +378,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--docs N] [--seed S] [--c X] [--repeats N] [--csv DIR] \
-         <table3|fig9|fig10|fig11|fig12|ablate|all>..."
+         <table3|fig9|fig10|fig11|fig12|latency|ablate|all>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -6,6 +6,7 @@ use free_corpus::synth::{Generator, SynthConfig};
 use free_corpus::MemCorpus;
 use free_engine::{baseline, Engine, EngineConfig, IndexKind};
 use free_index::MemIndex;
+use free_trace::Histogram;
 use std::time::{Duration, Instant};
 
 /// Scale and tuning knobs for an experiment run.
@@ -111,6 +112,76 @@ impl QueryRow {
     }
 }
 
+/// Latency distribution over every timed repeat of one execution mode,
+/// backed by a log2-bucketed [`Histogram`] so percentiles cover any
+/// latency scale (with ~2x bucket resolution) without storing samples.
+#[derive(Clone, Debug)]
+pub struct LatencyProfile {
+    /// Mode name as in the paper ("Scan", "Multigram", ...).
+    pub name: &'static str,
+    hist: Histogram,
+}
+
+impl LatencyProfile {
+    fn new(name: &'static str) -> LatencyProfile {
+        LatencyProfile {
+            name,
+            hist: Histogram::new(),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        self.hist.observe_duration(d);
+    }
+
+    /// Number of timed samples recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Mean latency over all samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.hist.mean() as u64)
+    }
+
+    /// Approximate `q`-quantile latency, at the histogram's power-of-two
+    /// bucket resolution (zero when empty).
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.hist.quantile(q))
+    }
+}
+
+/// One [`LatencyProfile`] per execution mode, fed by every timed repeat
+/// of [`Experiment::run_queries_profiled`] — not just the medians the
+/// per-query rows keep.
+#[derive(Clone, Debug)]
+pub struct QueryLatencies {
+    /// Full-corpus scan baseline.
+    pub scan: LatencyProfile,
+    /// Plain multigram index.
+    pub multigram: LatencyProfile,
+    /// Complete k-gram index.
+    pub complete: LatencyProfile,
+    /// Presuf-shell ("Suffix") index.
+    pub presuf: LatencyProfile,
+}
+
+impl QueryLatencies {
+    fn new() -> QueryLatencies {
+        QueryLatencies {
+            scan: LatencyProfile::new("Scan"),
+            multigram: LatencyProfile::new("Multigram"),
+            complete: LatencyProfile::new("Complete"),
+            presuf: LatencyProfile::new("Suffix"),
+        }
+    }
+
+    /// The four profiles in the paper's presentation order.
+    pub fn all(&self) -> [&LatencyProfile; 4] {
+        [&self.scan, &self.multigram, &self.complete, &self.presuf]
+    }
+}
+
 impl Experiment {
     /// Generates the corpus and builds all three indexes.
     pub fn build(config: ExperimentConfig) -> Experiment {
@@ -182,25 +253,34 @@ impl Experiment {
 
     /// Runs all ten queries in all modes, collecting Figures 9-12 data.
     pub fn run_queries(&self) -> Vec<QueryRow> {
-        benchmark_queries()
-            .into_iter()
-            .map(|q| self.run_query(q))
-            .collect()
+        self.run_queries_profiled().0
     }
 
-    fn run_query(&self, q: BenchQuery) -> QueryRow {
+    /// Like [`Experiment::run_queries`], but also returns the per-mode
+    /// latency distribution over every timed repeat (the rows keep only
+    /// the medians; the profiles keep p50/p90/p99 of everything).
+    pub fn run_queries_profiled(&self) -> (Vec<QueryRow>, QueryLatencies) {
+        let latencies = QueryLatencies::new();
+        let rows = benchmark_queries()
+            .into_iter()
+            .map(|q| self.run_query(q, &latencies))
+            .collect();
+        (rows, latencies)
+    }
+
+    fn run_query(&self, q: BenchQuery, latencies: &QueryLatencies) -> QueryRow {
         let repeats = self.config.repeats.max(1);
 
         // Total-time measurements (count all matching strings).
-        let scan_time = median(repeats, || {
+        let scan_time = timed(repeats, &latencies.scan, || {
             let start = Instant::now();
             let (ms, _) = baseline::scan_all_matches(&self.corpus, q.pattern).expect("scan");
             let total: usize = ms.iter().map(|m| m.spans.len()).sum();
             std::hint::black_box(total);
             start.elapsed()
         });
-        let engine_total = |engine: &Engine<MemCorpus, MemIndex>| {
-            median(repeats, || {
+        let engine_total = |engine: &Engine<MemCorpus, MemIndex>, profile: &LatencyProfile| {
+            timed(repeats, profile, || {
                 let start = Instant::now();
                 let mut r = engine.query(q.pattern).expect("query");
                 let n = r.count_matches().expect("count");
@@ -208,9 +288,9 @@ impl Experiment {
                 start.elapsed()
             })
         };
-        let multigram_time = engine_total(&self.multigram);
-        let complete_time = engine_total(&self.complete);
-        let presuf_time = engine_total(&self.presuf);
+        let multigram_time = engine_total(&self.multigram, &latencies.multigram);
+        let complete_time = engine_total(&self.complete, &latencies.complete);
+        let presuf_time = engine_total(&self.presuf, &latencies.presuf);
 
         // First-10 measurements (Figure 11).
         let scan_first10 = median(repeats, || {
@@ -264,6 +344,15 @@ fn median(n: usize, mut f: impl FnMut() -> Duration) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Median of `n` runs of `f`, recording every sample into `profile`.
+fn timed(n: usize, profile: &LatencyProfile, mut f: impl FnMut() -> Duration) -> Duration {
+    median(n, || {
+        let d = f();
+        profile.record(d);
+        d
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +383,28 @@ mod tests {
             // scan and multigram paths count the same matching strings.
             assert!(row.scan_time > Duration::ZERO, "{}", row.name);
         }
+    }
+
+    #[test]
+    fn latency_profiles_cover_every_repeat() {
+        let e = Experiment::build(ExperimentConfig {
+            num_docs: 150,
+            repeats: 2,
+            complete_max_gram_len: 5,
+            ..ExperimentConfig::default()
+        });
+        let (rows, latencies) = e.run_queries_profiled();
+        // 10 queries x 2 repeats per mode, every sample recorded.
+        for profile in latencies.all() {
+            assert_eq!(profile.count(), 20, "{}", profile.name);
+            assert!(profile.mean() > Duration::ZERO, "{}", profile.name);
+            assert!(
+                profile.quantile(0.99) >= profile.quantile(0.5),
+                "{}: percentiles must be monotone",
+                profile.name
+            );
+        }
+        assert_eq!(rows.len(), 10);
     }
 
     #[test]

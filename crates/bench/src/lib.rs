@@ -18,5 +18,5 @@ pub mod harness;
 pub mod queries;
 pub mod report;
 
-pub use harness::{Experiment, ExperimentConfig};
+pub use harness::{Experiment, ExperimentConfig, LatencyProfile, QueryLatencies};
 pub use queries::{benchmark_queries, BenchQuery};

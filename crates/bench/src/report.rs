@@ -4,7 +4,7 @@
 //! renders them as aligned tables (one row per query) with the same
 //! series, plus CSV output for external plotting.
 
-use crate::harness::{BuildRow, QueryRow};
+use crate::harness::{BuildRow, QueryLatencies, QueryRow};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -153,6 +153,35 @@ pub fn render_fig12(rows: &[QueryRow]) -> String {
             ratio,
         );
     }
+    out
+}
+
+/// Latency percentiles per execution mode, over every timed repeat of
+/// every benchmark query (not just the per-query medians).
+pub fn render_latencies(lat: &QueryLatencies) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Latency percentiles — all timed repeats per mode");
+    let _ = writeln!(
+        out,
+        "{:<12}{:>9}{:>12}{:>12}{:>12}{:>12}",
+        "mode", "samples", "mean", "p50", "p90", "p99"
+    );
+    for p in lat.all() {
+        let _ = writeln!(
+            out,
+            "{:<12}{:>9}{:>12}{:>12}{:>12}{:>12}",
+            p.name,
+            p.count(),
+            fmt_dur(p.mean()),
+            fmt_dur(p.quantile(0.5)),
+            fmt_dur(p.quantile(0.9)),
+            fmt_dur(p.quantile(0.99)),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(percentiles are upper bounds of log2 histogram buckets: ~2x resolution)"
+    );
     out
 }
 

@@ -78,6 +78,8 @@ pub struct IndexOptions {
     pub skip_dirs: Vec<String>,
     /// Usefulness threshold `c`.
     pub threshold: f64,
+    /// Print a progress line per a-priori mining pass (to stderr, live).
+    pub verbose: bool,
 }
 
 impl IndexOptions {
@@ -95,6 +97,7 @@ impl IndexOptions {
                 "node_modules".into(),
             ],
             threshold: 0.1,
+            verbose: false,
         }
     }
 }
@@ -102,8 +105,34 @@ impl IndexOptions {
 const MANIFEST_FILE: &str = "manifest.txt";
 const INDEX_FILE: &str = "idx.free";
 
+/// A tracer that forwards per-pass mining events to stderr as live
+/// progress lines (what `--verbose` shows during a build).
+fn verbose_tracer() -> free_trace::Tracer {
+    let sink: free_trace::span::Sink = std::sync::Arc::new(|e: &free_trace::Event| {
+        if e.name == "mine.pass" {
+            let get = |k: &str| e.attr(k).map(ToString::to_string).unwrap_or_default();
+            eprintln!(
+                "pass {}: gram lengths {}..={}, {} considered, {} kept, {} corpus bytes read",
+                get("pass"),
+                get("min_len"),
+                get("max_len"),
+                get("grams_considered"),
+                get("grams_kept"),
+                get("bytes_read"),
+            );
+        }
+    });
+    free_trace::Tracer::with_sink(4096, sink)
+}
+
 /// Builds (or rebuilds) an index, returning a human-readable summary.
 pub fn build_index(options: &IndexOptions) -> Result<String> {
+    Ok(build_index_report(options)?.0)
+}
+
+/// Like [`build_index`], but also returns the engine's build statistics
+/// (for `--stats-json`).
+pub fn build_index_report(options: &IndexOptions) -> Result<(String, free_engine::BuildStats)> {
     let exts: Vec<&str> = options.extensions.iter().map(String::as_str).collect();
     let skips: Vec<&str> = options.skip_dirs.iter().map(String::as_str).collect();
     let corpus = FsCorpus::open(&options.root, &exts, &skips)?;
@@ -120,6 +149,11 @@ pub fn build_index(options: &IndexOptions) -> Result<String> {
     std::fs::create_dir_all(&options.index_dir)?;
     let config = EngineConfig {
         usefulness_threshold: options.threshold,
+        tracer: if options.verbose {
+            verbose_tracer()
+        } else {
+            free_trace::Tracer::disabled()
+        },
         ..EngineConfig::default()
     };
     let engine = Engine::build_on_disk(corpus, config, options.index_dir.join(INDEX_FILE))?;
@@ -135,13 +169,20 @@ pub fn build_index(options: &IndexOptions) -> Result<String> {
     }
     std::fs::write(options.index_dir.join(MANIFEST_FILE), manifest)?;
 
-    Ok(format!(
+    let summary = format!(
         "indexed {num_files} files ({total_bytes} bytes) in {:.2?}: {} gram keys, {} postings → {}",
         stats.total_time(),
         stats.index_stats.num_keys,
         stats.index_stats.num_postings,
         options.index_dir.join(INDEX_FILE).display(),
-    ))
+    );
+    Ok((summary, stats.clone()))
+}
+
+/// The process-wide metrics registry in Prometheus text exposition
+/// format (what `free metrics` prints).
+pub fn metrics_text() -> String {
+    free_trace::metrics::global().expose()
 }
 
 /// An opened index ready to answer searches.
@@ -204,7 +245,15 @@ impl SearchIndex {
 
     /// Runs a search, returning formatted `path:line:text` output plus a
     /// summary line. `limit` caps the printed matches (0 = unlimited).
-    pub fn search(&self, pattern: &str, limit: usize, files_only: bool) -> Result<String> {
+    /// With `stats_json` the human summary line is replaced by the
+    /// query's cost counters as one line of JSON.
+    pub fn search(
+        &self,
+        pattern: &str,
+        limit: usize,
+        files_only: bool,
+        stats_json: bool,
+    ) -> Result<String> {
         let mut result = self.engine.query(pattern)?;
         let mut out = String::new();
         let matches = if limit > 0 {
@@ -255,6 +304,10 @@ impl SearchIndex {
                 let _ = writeln!(out, "{path}:{line_no}:{}", text.trim_end());
             }
         }
+        if stats_json {
+            let _ = writeln!(out, "{}", result.into_stats().to_json());
+            return Ok(out);
+        }
         let stats = result.stats();
         let _ = writeln!(
             out,
@@ -274,6 +327,23 @@ impl SearchIndex {
     /// Explains the access plan for a pattern.
     pub fn explain(&self, pattern: &str) -> Result<String> {
         Ok(self.engine.explain(pattern)?)
+    }
+
+    /// Executes the pattern with per-operator instrumentation and renders
+    /// the annotated plan (`explain --analyze`), as text or JSON. Text
+    /// output appends any `FA204` estimate-drift findings.
+    pub fn explain_analyze(&self, pattern: &str, json: bool) -> Result<String> {
+        let ea = self.engine.explain_analyze(pattern)?;
+        if json {
+            return Ok(format!("{}\n", ea.to_json()));
+        }
+        let mut out = ea.render_text();
+        if let Some(root) = &ea.root {
+            for d in free_analyze::cost::drift_diagnostics(root) {
+                let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+            }
+        }
+        Ok(out)
     }
 
     /// Index statistics summary.
@@ -322,7 +392,7 @@ mod tests {
         assert!(summary.contains("indexed 3 files"), "{summary}");
 
         let idx = SearchIndex::open(&options.index_dir).unwrap();
-        let out = idx.search(r"needle_\a+\(", 0, false).unwrap();
+        let out = idx.search(r"needle_\a+\(", 0, false, false).unwrap();
         assert!(out.contains("alpha.rs:2:"), "{out}");
         assert!(out.contains("beta.rs:3:"), "{out}");
         assert!(!out.contains("notes.txt"), "{out}");
@@ -340,7 +410,7 @@ mod tests {
         };
         build_index(&options).unwrap();
         let idx = SearchIndex::open(&options.index_dir).unwrap();
-        let out = idx.search("needle_one", 0, true).unwrap();
+        let out = idx.search("needle_one", 0, true, false).unwrap();
         assert!(out.contains("notes.txt"), "{out}");
         assert!(!out.contains("alpha.rs"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
@@ -355,7 +425,7 @@ mod tests {
         };
         build_index(&options).unwrap();
         let idx = SearchIndex::open(&options.index_dir).unwrap();
-        let out = idx.search("needle", 1, false).unwrap();
+        let out = idx.search("needle", 1, false, false).unwrap();
         assert!(out.contains("1 match(es)"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -373,6 +443,68 @@ mod tests {
         assert!(plan.contains("physical:"), "{plan}");
         let stats = idx.stats();
         assert!(stats.contains("3 files indexed"), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_stats_json_replaces_summary() {
+        let dir = setup("statsjson");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let out = idx.search("needle_one", 0, true, true).unwrap();
+        let last = out.lines().last().unwrap();
+        assert!(last.starts_with('{') && last.ends_with('}'), "{out}");
+        assert!(last.contains("\"docs_examined\":"), "{out}");
+        assert!(last.contains("\"matching_docs\":2"), "{out}");
+        assert!(
+            !out.contains("match(es)"),
+            "summary must be replaced: {out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_analyze_renders_tree_and_json() {
+        let dir = setup("analyze");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        let text = idx.explain_analyze("needle_one", false).unwrap();
+        assert!(text.contains("actual"), "{text}");
+        assert!(text.contains("est ~"), "{text}");
+        let json = idx.explain_analyze("needle_one", true).unwrap();
+        assert!(json.contains("\"root\":"), "{json}");
+        assert!(json.contains("\"stats\":{"), "{json}");
+        // Scan-degenerate queries still render (root null).
+        let scan = idx.explain_analyze(r"\d", true).unwrap();
+        assert!(scan.contains("\"root\":null"), "{scan}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_text_reflects_queries() {
+        let dir = setup("metrics");
+        let options = IndexOptions {
+            threshold: 0.9,
+            ..IndexOptions::new(&dir)
+        };
+        build_index(&options).unwrap();
+        let idx = SearchIndex::open(&options.index_dir).unwrap();
+        idx.search("needle_one", 0, true, false).unwrap();
+        let text = metrics_text();
+        assert!(text.contains("free_queries_total"), "{text}");
+        assert!(text.contains("free_builds_total"), "{text}");
+        assert!(
+            text.contains("free_query_total_ns_bucket"),
+            "histograms must expose buckets: {text}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,20 +1,24 @@
 //! `freegrep` — grep with a prebuilt multigram index.
 //!
 //! ```text
-//! freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>
-//! freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] <PATTERN>
-//! freegrep explain [--index DIR] <PATTERN>
+//! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--verbose] [--stats-json] <ROOT>
+//! freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] [--stats-json] <PATTERN>
+//! freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>
 //! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
+//! freegrep metrics [--index DIR] [PATTERN]
 //! ```
 //!
 //! The same binary also installs as `free`, so the analyzer reads as
-//! `free analyze <pattern>`. The index directory defaults to
-//! `./.freegrep`. `analyze` is fully static — it needs no index — and
-//! exits 1 when the pattern itself is broken (parse error or an unsound
-//! plan), 0 otherwise.
+//! `free analyze <pattern>` and the observability commands as
+//! `free explain --analyze <pattern>` / `free metrics`. The index
+//! directory defaults to `./.freegrep`. `analyze` is fully static — it
+//! needs no index — and exits 1 when the pattern itself is broken (parse
+//! error or an unsound plan), 0 otherwise. `metrics` dumps the
+//! process-wide metrics registry in Prometheus text format, optionally
+//! after running one query to populate it.
 
-use freegrep::{build_index, IndexOptions, SearchIndex};
+use freegrep::{build_index_report, IndexOptions, SearchIndex};
 use std::path::PathBuf;
 
 fn main() {
@@ -39,10 +43,12 @@ fn run(args: &[String]) -> CmdResult {
         return Err(usage().into());
     };
     match command.as_str() {
-        "index" => {
+        "index" | "build" => {
             let mut out_dir: Option<PathBuf> = None;
             let mut extensions: Vec<String> = Vec::new();
             let mut threshold = 0.1f64;
+            let mut verbose = false;
+            let mut stats_json = false;
             let mut root: Option<PathBuf> = None;
             let mut i = 0;
             while i < rest.len() {
@@ -62,6 +68,8 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         threshold = value(rest, i, "--c")?.parse()?;
                     }
+                    "--verbose" => verbose = true,
+                    "--stats-json" => stats_json = true,
                     arg if !arg.starts_with('-') => root = Some(arg.into()),
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
@@ -71,10 +79,16 @@ fn run(args: &[String]) -> CmdResult {
             let mut options = IndexOptions::new(root);
             options.extensions = extensions;
             options.threshold = threshold;
+            options.verbose = verbose;
             if let Some(dir) = out_dir {
                 options.index_dir = dir;
             }
-            Ok((format!("{}\n", build_index(&options)?), 0))
+            let (summary, stats) = build_index_report(&options)?;
+            if stats_json {
+                Ok((format!("{}\n", stats.to_json()), 0))
+            } else {
+                Ok((format!("{summary}\n"), 0))
+            }
         }
         "analyze" => {
             let mut json = false;
@@ -95,11 +109,14 @@ fn run(args: &[String]) -> CmdResult {
             };
             Ok((output, i32::from(report.has_errors())))
         }
-        "search" | "explain" | "stats" => {
+        "search" | "explain" | "stats" | "metrics" => {
             let mut index_dir = PathBuf::from(".freegrep");
             let mut limit = 0usize;
             let mut threads = 0usize;
             let mut files_only = false;
+            let mut stats_json = false;
+            let mut analyze = false;
+            let mut json = false;
             let mut pattern: Option<String> = None;
             let mut i = 0;
             while i < rest.len() {
@@ -117,20 +134,36 @@ fn run(args: &[String]) -> CmdResult {
                         threads = value(rest, i, "--threads")?.parse()?;
                     }
                     "--files-only" => files_only = true,
+                    "--stats-json" => stats_json = true,
+                    "--analyze" => analyze = true,
+                    "--json" => json = true,
                     arg if !arg.starts_with('-') => pattern = Some(arg.to_string()),
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
                 i += 1;
             }
+            if command == "metrics" {
+                // With a pattern, run one full query first so the registry
+                // has something to show; bare `metrics` just dumps it.
+                if let Some(p) = pattern {
+                    let index = SearchIndex::open_with_threads(&index_dir, threads)?;
+                    index.search(&p, 0, true, false)?;
+                }
+                return Ok((freegrep::metrics_text(), 0));
+            }
             let index = SearchIndex::open_with_threads(&index_dir, threads)?;
             match command.as_str() {
                 "search" => {
                     let pattern = pattern.ok_or("search needs a PATTERN")?;
-                    Ok((index.search(&pattern, limit, files_only)?, 0))
+                    Ok((index.search(&pattern, limit, files_only, stats_json)?, 0))
                 }
                 "explain" => {
                     let pattern = pattern.ok_or("explain needs a PATTERN")?;
-                    Ok((format!("{}\n", index.explain(&pattern)?), 0))
+                    if analyze {
+                        Ok((index.explain_analyze(&pattern, json)?, 0))
+                    } else {
+                        Ok((format!("{}\n", index.explain(&pattern)?), 0))
+                    }
                 }
                 _ => Ok((format!("{}\n", index.stats()), 0)),
             }
@@ -147,11 +180,18 @@ fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String
 }
 
 fn usage() -> String {
-    "usage:\n  freegrep index  [--out DIR] [--ext rs,toml] [--c 0.1] <ROOT>\n  \
-     freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] <PATTERN>\n  \
-     freegrep explain [--index DIR] <PATTERN>\n  \
-     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n\n\
+    "usage:\n  freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] \
+     [--verbose] [--stats-json] <ROOT>\n  \
+     freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] \
+     [--stats-json] <PATTERN>\n  \
+     freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>\n  \
+     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n  \
+     freegrep metrics [--index DIR] [PATTERN]\n\n\
      --threads N confirms candidates with N worker threads \
-     (default 0 = one per CPU); results are identical for any N"
+     (default 0 = one per CPU); results are identical for any N\n\
+     explain --analyze executes the query with per-operator instrumentation \
+     and renders estimated vs. actual work per plan node\n\
+     metrics dumps the process metrics registry in Prometheus text format \
+     (run with a PATTERN to populate it from one query first)"
         .to_string()
 }

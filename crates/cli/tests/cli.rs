@@ -25,6 +25,97 @@ fn setup(name: &str) -> PathBuf {
     dir
 }
 
+/// A minimal JSON well-formedness checker (the workspace carries no JSON
+/// parser dependency): validates one value and returns the rest of the
+/// input. Enough to assert `--stats-json` / `--json` output is parseable.
+fn json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let Some(first) = s.chars().next() else {
+        return Err("unexpected end of input".into());
+    };
+    match first {
+        '{' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Ok(r);
+            }
+            loop {
+                rest = json_string_lit(rest)?.trim_start();
+                rest = rest
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("expected ':' at {rest:.20?}"))?;
+                rest = json_value(rest)?.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r.trim_start();
+                } else {
+                    return rest
+                        .strip_prefix('}')
+                        .ok_or_else(|| format!("expected '}}' at {rest:.20?}"));
+                }
+            }
+        }
+        '[' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok(r);
+            }
+            loop {
+                rest = json_value(rest)?.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r.trim_start();
+                } else {
+                    return rest
+                        .strip_prefix(']')
+                        .ok_or_else(|| format!("expected ']' at {rest:.20?}"));
+                }
+            }
+        }
+        '"' => json_string_lit(s),
+        _ => {
+            for lit in ["true", "false", "null"] {
+                if let Some(r) = s.strip_prefix(lit) {
+                    return Ok(r);
+                }
+            }
+            let end = s
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(s.len());
+            if end == 0 {
+                return Err(format!("unexpected character at {s:.20?}"));
+            }
+            s[..end]
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+            Ok(&s[end..])
+        }
+    }
+}
+
+fn json_string_lit(s: &str) -> Result<&str, String> {
+    let mut chars = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected string at {s:.20?}"))?
+        .char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => {
+                chars.next();
+            }
+            '"' => return Ok(&s[i + 2..]),
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Asserts `s` is exactly one well-formed JSON value.
+fn assert_json(s: &str) {
+    match json_value(s) {
+        Ok(rest) => assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40?}"),
+        Err(e) => panic!("invalid JSON ({e}): {s}"),
+    }
+}
+
 #[test]
 fn index_then_search() {
     let dir = setup("search");
@@ -139,6 +230,138 @@ fn explain_and_stats() {
         .output()
         .unwrap();
     assert!(String::from_utf8_lossy(&out.stdout).contains("files indexed"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn build_verbose_and_stats_json() {
+    let dir = setup("buildjson");
+    let index_dir = dir.join("idx");
+    // `build` is an alias of `index`; --verbose streams per-pass mining
+    // progress to stderr; --stats-json replaces the summary with JSON.
+    let out = free()
+        .args(["build", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9", "--verbose", "--stats-json"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pass 1:"), "{stderr}");
+    assert!(stderr.contains("considered"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(stdout.trim());
+    assert!(stdout.contains("\"passes\":["), "{stdout}");
+    assert!(stdout.contains("\"num_keys\":"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn search_stats_json_is_parseable() {
+    let dir = setup("searchjson");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    let out = freegrep()
+        .args(["search", "--index"])
+        .arg(&index_dir)
+        .args(["--files-only", "--stats-json", "magic_token"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.lines().last().unwrap();
+    assert_json(json);
+    assert!(json.contains("\"matching_docs\":1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_analyze_text_and_json() {
+    let dir = setup("expanalyze");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    let out = free()
+        .args(["explain", "--index"])
+        .arg(&index_dir)
+        .args(["--analyze", "magic_token"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("est ~"), "{text}");
+    assert!(text.contains("actual"), "{text}");
+    let out = free()
+        .args(["explain", "--index"])
+        .arg(&index_dir)
+        .args(["--analyze", "--json", "magic_token"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(stdout.trim());
+    assert!(stdout.contains("\"actual_docs\":"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metrics_dump_is_prometheus_text() {
+    let dir = setup("metricsdump");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+    // With a pattern the command runs one query first, so the registry
+    // has query-path metrics to show.
+    let out = free()
+        .args(["metrics", "--index"])
+        .arg(&index_dir)
+        .arg("magic_token")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# TYPE free_queries_total counter"), "{text}");
+    assert!(text.contains("free_queries_total 1"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    // Bare `metrics` (fresh process, nothing recorded) still succeeds.
+    let out = free().arg("metrics").output().unwrap();
+    assert!(out.status.success());
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

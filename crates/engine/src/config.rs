@@ -86,6 +86,12 @@ pub struct EngineConfig {
     /// unless they opt in. Results and logical cost counters are
     /// identical for every thread count; only wall-clock changes.
     pub num_threads: usize,
+    /// Trace collector for build and query spans/events. The default is
+    /// [`free_trace::Tracer::disabled`], which reduces every tracing hook
+    /// on the hot path to a branch on a `None` — see the overhead guard
+    /// test. Attach an enabled tracer to collect parse → plan → mine →
+    /// execute → confirm spans.
+    pub tracer: free_trace::Tracer,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +110,7 @@ impl Default for EngineConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1),
+            tracer: free_trace::Tracer::disabled(),
         }
     }
 }

@@ -7,7 +7,7 @@ use crate::grams::GramMatcher;
 use crate::metrics::{BuildStats, QueryStats};
 use crate::plan::physical::PlanOptions;
 use crate::plan::{LogicalPlan, PhysicalPlan};
-use crate::select::{enumerate_complete, mine_multigrams, presuf_shell, SelectedGram};
+use crate::select::{enumerate_complete, mine_multigrams, presuf_shell, MiningStats, SelectedGram};
 use crate::Error;
 use crate::Result;
 use free_corpus::Corpus;
@@ -56,7 +56,7 @@ fn debug_assert_required_grams_sound(ast: &free_regex::Ast, logical: &LogicalPla
 /// Builds Boyer-Moore finders for the plan's required grams (anchoring).
 /// Grams of length 1 never reject realistic candidates and grams contained
 /// in a longer required gram are subsumed by it, so both are dropped.
-fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
+pub(crate) fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
     let grams = logical.required_grams();
     grams
         .iter()
@@ -71,23 +71,31 @@ fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
 }
 
 /// Selects gram keys per the configured index kind. Returns the keys and
-/// the number of corpus scans used.
-fn select_keys<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<(Vec<SelectedGram>, usize)> {
+/// the mining statistics (per-pass counters are empty for `Complete`,
+/// which enumerates in one scan rather than mining).
+fn select_keys<C: Corpus>(
+    corpus: &C,
+    config: &EngineConfig,
+) -> Result<(Vec<SelectedGram>, MiningStats)> {
     config.validate()?;
     match config.index_kind {
         IndexKind::Complete => {
             let grams =
                 enumerate_complete(corpus, 2.min(config.max_gram_len), config.max_gram_len)?;
-            Ok((grams, 1))
+            let stats = MiningStats {
+                passes: 1,
+                ..MiningStats::default()
+            };
+            Ok((grams, stats))
         }
         IndexKind::Multigram => {
             let sel = mine_multigrams(corpus, config)?;
-            Ok((sel.grams, sel.stats.passes))
+            Ok((sel.grams, sel.stats))
         }
         IndexKind::Presuf => {
             let sel = mine_multigrams(corpus, config)?;
-            let passes = sel.stats.passes;
-            Ok((presuf_shell(&sel.grams), passes))
+            let stats = sel.stats;
+            Ok((presuf_shell(&sel.grams), stats))
         }
     }
 }
@@ -120,25 +128,38 @@ fn generate_postings<C: Corpus>(
 impl<C: Corpus> Engine<C, MemIndex> {
     /// Builds an engine whose index lives in memory.
     pub fn build_in_memory(corpus: C, config: EngineConfig) -> Result<Self> {
+        let build_span = config.tracer.span("build");
         let select_start = Instant::now();
-        let (keys, passes) = select_keys(&corpus, &config)?;
+        let (keys, mining) = {
+            let mut span = build_span.child("build.select");
+            let (keys, mining) = select_keys(&corpus, &config)?;
+            span.record("keys", keys.len());
+            span.record("passes", mining.passes);
+            (keys, mining)
+        };
         let select_time = select_start.elapsed();
 
         let construct_start = Instant::now();
         let mut index = MemIndex::new();
-        generate_postings(&corpus, &keys, &mut |key, doc| {
-            index.add(key, doc);
-            Ok(())
-        })?;
+        {
+            let mut span = build_span.child("build.construct");
+            generate_postings(&corpus, &keys, &mut |key, doc| {
+                index.add(key, doc);
+                Ok(())
+            })?;
+            span.record("postings", index.stats().num_postings);
+        }
         let construct_time = construct_start.elapsed();
 
         let build_stats = BuildStats {
             select_time,
-            select_passes: passes,
+            select_passes: mining.passes,
             construct_time,
             num_keys: keys.len(),
             index_stats: index.stats(),
+            mining,
         };
+        crate::metrics::record_build(free_trace::metrics::global(), &build_stats);
         Ok(Engine {
             corpus,
             index,
@@ -156,26 +177,40 @@ impl<C: Corpus> Engine<C, IndexReader> {
         config: EngineConfig,
         index_path: impl AsRef<Path>,
     ) -> Result<Self> {
+        let build_span = config.tracer.span("build");
         let select_start = Instant::now();
-        let (keys, passes) = select_keys(&corpus, &config)?;
+        let (keys, mining) = {
+            let mut span = build_span.child("build.select");
+            let (keys, mining) = select_keys(&corpus, &config)?;
+            span.record("keys", keys.len());
+            span.record("passes", mining.passes);
+            (keys, mining)
+        };
         let select_time = select_start.elapsed();
 
         let construct_start = Instant::now();
-        let mut builder =
-            IndexBuilder::with_memory_budget(index_path.as_ref(), config.build_memory_budget);
-        generate_postings(&corpus, &keys, &mut |key, doc| {
-            builder.add(key, doc).map_err(Into::into)
-        })?;
-        let index = builder.finish()?;
+        let index = {
+            let mut span = build_span.child("build.construct");
+            let mut builder =
+                IndexBuilder::with_memory_budget(index_path.as_ref(), config.build_memory_budget);
+            generate_postings(&corpus, &keys, &mut |key, doc| {
+                builder.add(key, doc).map_err(Into::into)
+            })?;
+            let index = builder.finish()?;
+            span.record("postings", index.stats().num_postings);
+            index
+        };
         let construct_time = construct_start.elapsed();
 
         let build_stats = BuildStats {
             select_time,
-            select_passes: passes,
+            select_passes: mining.passes,
             construct_time,
             num_keys: keys.len(),
             index_stats: index.stats(),
+            mining,
         };
+        crate::metrics::record_build(free_trace::metrics::global(), &build_stats);
         Ok(Engine {
             corpus,
             index,
@@ -227,7 +262,7 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
         self.corpus.len()
     }
 
-    fn plan_options(&self) -> PlanOptions {
+    pub(crate) fn plan_options(&self) -> PlanOptions {
         PlanOptions {
             num_docs: self.corpus.len(),
             prune_selectivity: self.config.prune_selectivity,
@@ -242,11 +277,22 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
     /// requires is verified to be a factor of the query language (the
     /// Algorithm 4.1 soundness invariant) before the plan is executed.
     pub fn query(&self, pattern: &str) -> Result<QueryResult<'_, C, I>> {
+        let mut query_span = self.config.tracer.span("query");
+        query_span.record("pattern", pattern);
         let plan_start = Instant::now();
-        let regex = Regex::new(pattern)?;
+        let regex = Regex::new_traced(pattern, &query_span)?;
         let logical = LogicalPlan::from_ast(regex.ast(), self.config.class_expand_limit);
         debug_assert_required_grams_sound(regex.ast(), &logical, pattern);
-        let physical = PhysicalPlan::from_logical_with(&logical, &self.index, self.plan_options());
+        let physical = {
+            let mut span = query_span.child("query.plan");
+            let physical =
+                PhysicalPlan::from_logical_with(&logical, &self.index, self.plan_options());
+            if span.is_enabled() {
+                span.record("class", physical.classify(self.corpus.len()).to_string());
+                span.record("estimate", physical.estimate().min(u64::MAX as usize));
+            }
+            physical
+        };
         if physical.is_scan() {
             match self.config.scan_policy {
                 ScanPolicy::Allow => {}
@@ -269,22 +315,27 @@ impl<C: Corpus, I: IndexRead> Engine<C, I> {
             ..QueryStats::default()
         };
         let index_start = Instant::now();
-        let source = match compile_plan(&physical, &self.index, &mut stats)? {
-            Some(cursor) => {
-                let mut st = StreamState::new(cursor);
-                // Surface the work done priming the cursors (slice leaves
-                // decode their whole list at open).
-                st.refresh(&mut stats);
-                CandidateSource::Stream(st)
-            }
-            None => {
-                stats.candidates = self.corpus.len();
-                CandidateSource::All
+        let source = {
+            let mut span = query_span.child("query.compile");
+            match compile_plan(&physical, &self.index, &mut stats)? {
+                Some(cursor) => {
+                    let mut st = StreamState::new(cursor);
+                    // Surface the work done priming the cursors (slice leaves
+                    // decode their whole list at open).
+                    st.refresh(&mut stats);
+                    span.record("keys_fetched", stats.keys_fetched);
+                    CandidateSource::Stream(st)
+                }
+                None => {
+                    stats.candidates = self.corpus.len();
+                    span.record("scan", true);
+                    CandidateSource::All
+                }
             }
         };
         stats.index_time += index_start.elapsed();
         Ok(QueryResult::new(
-            self, regex, logical, physical, source, prefilter, stats,
+            self, regex, logical, physical, source, prefilter, stats, query_span,
         ))
     }
 

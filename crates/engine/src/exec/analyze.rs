@@ -1,0 +1,427 @@
+//! `EXPLAIN ANALYZE`: execute a query with every plan node instrumented
+//! and report estimated vs. actual per-operator work.
+//!
+//! [`Engine::explain_analyze`] compiles the physical plan exactly like
+//! [`Engine::query`](crate::Engine::query), but wraps each operator in an
+//! [`InstrumentedCursor`] before running the full confirmation pass. The
+//! wrappers record how the executor actually drove each node — seeks,
+//! advances, distinct docs yielded, inclusive wall time — and capture the
+//! node's subtree [`CursorStats`] at drop, so after execution the probe
+//! tree can be folded into a [`NodeStats`] tree whose root reconciles with
+//! the aggregate [`QueryStats`] (instrumentation is transparent to
+//! [`PostingsCursor::collect_stats`]).
+//!
+//! Scan-degenerate plans have no cursor tree; they execute anyway (this is
+//! a diagnostic, so [`ScanPolicy::Reject`](crate::ScanPolicy) does not
+//! apply) and report `root: None` plus the scan-side stats.
+
+use std::sync::Arc;
+
+use super::stream::{compile_node, confirm_source, CandidateSource, StreamState};
+use crate::engine::{build_prefilter, Engine};
+use crate::metrics::QueryStats;
+use crate::plan::{LogicalPlan, PhysicalPlan};
+use crate::Result;
+use free_corpus::Corpus;
+use free_index::cursor::{CursorStats, PostingsCursor};
+use free_index::{AndCursor, IndexRead, InstrumentedCursor, OpCounters, OrCursor};
+use free_trace::{JsonArray, JsonObject};
+use std::time::Instant;
+
+/// One instrumented plan node awaiting execution: its display label, the
+/// planner's cardinality estimate, the live counter handle, and the child
+/// probes in plan order.
+struct Probe {
+    label: String,
+    estimate: usize,
+    counters: Arc<OpCounters>,
+    children: Vec<Probe>,
+}
+
+/// Compiles `plan` with every operator wrapped in an
+/// [`InstrumentedCursor`], returning the cursor tree plus the probe tree
+/// that mirrors it. Must not be called on [`PhysicalPlan::Scan`].
+fn instrument_node<I: IndexRead>(
+    plan: &PhysicalPlan,
+    index: &I,
+    stats: &mut QueryStats,
+) -> Result<(Box<dyn PostingsCursor>, Probe)> {
+    let (cursor, label, children): (Box<dyn PostingsCursor>, String, Vec<Probe>) = match plan {
+        PhysicalPlan::Scan => unreachable!("Scan plans have no cursor tree"),
+        PhysicalPlan::Fetch { .. } => {
+            // A Fetch (one gram, possibly several covering keys) is the
+            // smallest unit the planner reasons about, so it is
+            // instrumented whole rather than per key.
+            (
+                compile_node(plan, index, stats)?,
+                format!("{plan:?}"),
+                Vec::new(),
+            )
+        }
+        PhysicalPlan::And(kids) => {
+            let mut cursors = Vec::with_capacity(kids.len());
+            let mut probes = Vec::with_capacity(kids.len());
+            for k in kids {
+                let (c, p) = instrument_node(k, index, stats)?;
+                cursors.push(c);
+                probes.push(p);
+            }
+            (
+                Box::new(AndCursor::new(cursors)?),
+                "AND".to_string(),
+                probes,
+            )
+        }
+        PhysicalPlan::Or(kids) => {
+            let mut cursors = Vec::with_capacity(kids.len());
+            let mut probes = Vec::with_capacity(kids.len());
+            for k in kids {
+                let (c, p) = instrument_node(k, index, stats)?;
+                cursors.push(c);
+                probes.push(p);
+            }
+            (Box::new(OrCursor::new(cursors)?), "OR".to_string(), probes)
+        }
+    };
+    let counters = Arc::new(OpCounters::new());
+    let wrapped = InstrumentedCursor::new(cursor, Arc::clone(&counters));
+    let probe = Probe {
+        label,
+        estimate: plan.estimate(),
+        counters,
+        children,
+    };
+    Ok((Box::new(wrapped), probe))
+}
+
+/// Per-operator execution statistics for one plan node.
+#[derive(Clone, Debug)]
+pub struct NodeStats {
+    /// Operator label (`AND`, `OR`, or the Fetch's debug rendering).
+    pub label: String,
+    /// The planner's cardinality estimate for this node.
+    pub estimate: usize,
+    /// Distinct doc ids this node actually yielded.
+    pub actual_docs: u64,
+    /// `seek` calls the executor issued to this node.
+    pub seeks: u64,
+    /// `advance` calls the executor issued to this node.
+    pub nexts: u64,
+    /// Wall-clock nanoseconds inside this node (inclusive of children).
+    pub time_ns: u64,
+    /// Index work done by this node's whole subtree.
+    pub subtree: CursorStats,
+    /// Index work attributable to this node alone (subtree minus
+    /// children's subtrees; combinators do no leaf work themselves).
+    pub exclusive: CursorStats,
+    /// Child operators in plan order.
+    pub children: Vec<NodeStats>,
+}
+
+fn node_stats(probe: &Probe) -> NodeStats {
+    use std::sync::atomic::Ordering;
+    let children: Vec<NodeStats> = probe.children.iter().map(node_stats).collect();
+    let subtree = probe.counters.final_stats().unwrap_or_default();
+    let mut exclusive = subtree;
+    for c in &children {
+        exclusive.seeks = exclusive.seeks.saturating_sub(c.subtree.seeks);
+        exclusive.blocks_decoded = exclusive
+            .blocks_decoded
+            .saturating_sub(c.subtree.blocks_decoded);
+        exclusive.postings_decoded = exclusive
+            .postings_decoded
+            .saturating_sub(c.subtree.postings_decoded);
+        exclusive.postings_skipped = exclusive
+            .postings_skipped
+            .saturating_sub(c.subtree.postings_skipped);
+    }
+    NodeStats {
+        label: probe.label.clone(),
+        estimate: probe.estimate,
+        actual_docs: probe.counters.docs_yielded.load(Ordering::Relaxed),
+        seeks: probe.counters.seeks.load(Ordering::Relaxed),
+        nexts: probe.counters.nexts.load(Ordering::Relaxed),
+        time_ns: probe.counters.time_ns.load(Ordering::Relaxed),
+        subtree,
+        exclusive,
+        children,
+    }
+}
+
+/// The result of [`Engine::explain_analyze`]: the physical plan annotated
+/// with per-operator actuals plus the query's aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct ExplainAnalyze {
+    /// The query pattern.
+    pub pattern: String,
+    /// The physical plan's debug rendering.
+    pub plan: String,
+    /// The instrumented operator tree; `None` for scan-degenerate plans.
+    pub root: Option<NodeStats>,
+    /// Aggregate statistics for the full (plan + index + confirm) run.
+    pub stats: QueryStats,
+}
+
+/// Renders nanoseconds with a human-friendly unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn render_node(node: &NodeStats, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+    let (branch, child_prefix) = if is_root {
+        (String::new(), String::new())
+    } else if is_last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    out.push_str(&format!(
+        "{branch}{}  (est ~{}, actual {} doc(s), {} seek(s), {} next(s), \
+         {} decoded, {} skipped, {})\n",
+        node.label,
+        node.estimate,
+        node.actual_docs,
+        node.seeks,
+        node.nexts,
+        node.subtree.postings_decoded,
+        node.subtree.postings_skipped,
+        fmt_ns(node.time_ns),
+    ));
+    for (i, c) in node.children.iter().enumerate() {
+        render_node(c, &child_prefix, i + 1 == node.children.len(), false, out);
+    }
+}
+
+fn cursor_stats_json(s: &CursorStats) -> String {
+    let mut o = JsonObject::new();
+    o.field_u64("seeks", s.seeks);
+    o.field_u64("blocks_decoded", s.blocks_decoded);
+    o.field_u64("postings_decoded", s.postings_decoded);
+    o.field_u64("postings_skipped", s.postings_skipped);
+    o.finish()
+}
+
+fn node_json(node: &NodeStats) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("label", &node.label);
+    o.field_u64("estimate", node.estimate as u64);
+    o.field_u64("actual_docs", node.actual_docs);
+    o.field_u64("seeks", node.seeks);
+    o.field_u64("nexts", node.nexts);
+    o.field_u64("time_ns", node.time_ns);
+    o.field_raw("subtree", cursor_stats_json(&node.subtree));
+    o.field_raw("exclusive", cursor_stats_json(&node.exclusive));
+    let mut kids = JsonArray::new();
+    for c in &node.children {
+        kids.push_raw(node_json(c));
+    }
+    o.field_raw("children", kids.finish());
+    o.finish()
+}
+
+impl ExplainAnalyze {
+    /// Renders the annotated plan as a text tree followed by the aggregate
+    /// statistics summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("pattern: {}\n", self.pattern));
+        match &self.root {
+            Some(root) => render_node(root, "", true, true, &mut out),
+            None => out.push_str("SCAN  (no usable index plan; full corpus scan)\n"),
+        }
+        out.push_str(&format!("{}\n", self.stats));
+        out
+    }
+
+    /// Serializes the annotated plan as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("pattern", &self.pattern);
+        o.field_str("plan", &self.plan);
+        match &self.root {
+            Some(root) => o.field_raw("root", node_json(root)),
+            None => o.field_raw("root", "null".to_string()),
+        };
+        o.field_raw("stats", self.stats.to_json());
+        o.finish()
+    }
+}
+
+impl<C: Corpus, I: IndexRead> Engine<C, I> {
+    /// Executes `pattern` with per-operator instrumentation and returns
+    /// the annotated plan (the `EXPLAIN ANALYZE` of relational engines).
+    ///
+    /// The full confirmation pass runs (no early exit, spans not
+    /// extracted), so the reported actuals reflect a complete
+    /// `matching_docs`-style query. Scan-degenerate plans are executed as
+    /// scans regardless of the configured
+    /// [`ScanPolicy`](crate::ScanPolicy): refusing to run would leave the
+    /// very query being diagnosed unobserved.
+    pub fn explain_analyze(&self, pattern: &str) -> Result<ExplainAnalyze> {
+        let plan_start = Instant::now();
+        let regex = free_regex::Regex::new(pattern)?;
+        let logical = LogicalPlan::from_ast(regex.ast(), self.config().class_expand_limit);
+        let physical = PhysicalPlan::from_logical_with(&logical, self.index(), self.plan_options());
+        let prefilter = if self.config().use_anchoring {
+            build_prefilter(&logical)
+        } else {
+            Vec::new()
+        };
+        let mut stats = QueryStats {
+            plan_time: plan_start.elapsed(),
+            used_scan: physical.is_scan(),
+            plan_class: physical.classify(self.corpus().len()),
+            ..QueryStats::default()
+        };
+
+        let index_start = Instant::now();
+        let (mut source, probe) = if physical.is_scan() {
+            stats.candidates = self.corpus().len();
+            (CandidateSource::All, None)
+        } else {
+            let (cursor, probe) = instrument_node(&physical, self.index(), &mut stats)?;
+            let mut st = StreamState::new(cursor);
+            st.refresh(&mut stats);
+            (CandidateSource::Stream(st), Some(probe))
+        };
+        stats.index_time += index_start.elapsed();
+
+        confirm_source(
+            self.corpus(),
+            &regex,
+            &mut source,
+            false,
+            &prefilter,
+            self.config().effective_threads(),
+            &mut stats,
+            &mut |_, _| true,
+        )?;
+        // Drop the candidate source: a drained stream was already
+        // converted to docs (dropping the cursor tree), but an empty
+        // stream may still hold it — the instrumented wrappers capture
+        // their subtree stats at drop.
+        drop(source);
+
+        crate::metrics::record_query(free_trace::metrics::global(), &stats);
+        Ok(ExplainAnalyze {
+            pattern: pattern.to_string(),
+            plan: format!("{physical:?}"),
+            root: probe.as_ref().map(node_stats),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexKind;
+    use crate::{Engine, EngineConfig};
+    use free_corpus::MemCorpus;
+
+    /// A complete index with pruning disabled, so multi-literal queries
+    /// deterministically compile to AND/OR trees over Fetch leaves.
+    fn engine() -> crate::InMemoryEngine {
+        let corpus = MemCorpus::from_docs(vec![
+            b"the needle is here".to_vec(),
+            b"plain hay".to_vec(),
+            b"needle needle hay".to_vec(),
+            b"more hay".to_vec(),
+            b"hay needle hay".to_vec(),
+        ]);
+        Engine::build_in_memory(
+            corpus,
+            EngineConfig {
+                max_gram_len: 4,
+                prune_selectivity: 1.0,
+                ..EngineConfig::with_kind(IndexKind::Complete)
+            },
+        )
+        .unwrap()
+    }
+
+    /// Sums the exclusive per-node stats over the whole tree.
+    fn sum_exclusive(node: &NodeStats, acc: &mut CursorStats) {
+        acc.merge(&node.exclusive);
+        for c in &node.children {
+            sum_exclusive(c, acc);
+        }
+    }
+
+    #[test]
+    fn root_subtree_reconciles_with_query_stats() {
+        let e = engine();
+        let ea = e.explain_analyze("needle.*hay").unwrap();
+        let root = ea.root.as_ref().expect("indexed plan has a tree");
+        assert_eq!(root.subtree.seeks, ea.stats.cursor_seeks);
+        assert_eq!(root.subtree.postings_decoded, ea.stats.postings_decoded);
+        assert_eq!(root.subtree.blocks_decoded, ea.stats.blocks_decoded);
+        assert_eq!(root.subtree.postings_skipped, ea.stats.postings_skipped);
+        // Exclusive stats partition the subtree: summed over all nodes
+        // they reproduce the root subtree exactly.
+        let mut total = CursorStats::default();
+        sum_exclusive(root, &mut total);
+        assert_eq!(total, root.subtree);
+    }
+
+    #[test]
+    fn actuals_and_estimates_are_reported_per_node() {
+        let e = engine();
+        let ea = e.explain_analyze("needle.*hay").unwrap();
+        let root = ea.root.as_ref().unwrap();
+        // The AND of two fetches: the root label and two children.
+        assert_eq!(root.label, "AND");
+        assert_eq!(root.children.len(), 2);
+        for c in &root.children {
+            assert!(c.label.starts_with("Fetch"), "{}", c.label);
+            assert!(c.estimate > 0);
+            assert!(c.children.is_empty());
+        }
+        // The AND yielded exactly the candidate set.
+        assert_eq!(root.actual_docs as usize, ea.stats.candidates);
+        assert!(ea.stats.docs_examined > 0, "confirmation must have run");
+    }
+
+    #[test]
+    fn scan_plan_has_no_tree_but_runs() {
+        let e = engine();
+        let ea = e.explain_analyze(r"\d\d\d\d\d").unwrap();
+        assert!(ea.root.is_none());
+        assert!(ea.stats.used_scan);
+        assert_eq!(ea.stats.docs_examined, 5, "scan examines every doc");
+        assert!(ea.render_text().contains("SCAN"));
+        assert!(ea.to_json().contains("\"root\":null"));
+    }
+
+    #[test]
+    fn text_and_json_render_the_tree() {
+        let e = engine();
+        let ea = e.explain_analyze("needle.*hay").unwrap();
+        let text = ea.render_text();
+        assert!(text.contains("AND"), "{text}");
+        assert!(text.contains("├─ Fetch"), "{text}");
+        assert!(text.contains("└─ Fetch"), "{text}");
+        assert!(text.contains("est ~"), "{text}");
+        let json = ea.to_json();
+        assert!(json.contains("\"label\":\"AND\""), "{json}");
+        assert!(json.contains("\"children\":["), "{json}");
+        assert!(json.contains("\"subtree\":{"), "{json}");
+    }
+
+    #[test]
+    fn or_plans_are_labelled() {
+        let e = engine();
+        let ea = e.explain_analyze("needle|hay").unwrap();
+        let root = ea.root.as_ref().unwrap();
+        assert_eq!(root.label, "OR");
+        assert_eq!(root.children.len(), 2);
+    }
+}

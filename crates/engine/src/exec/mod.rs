@@ -8,6 +8,7 @@
 //! reference implementation — simple enough to audit, and the oracle the
 //! differential tests compare the cursors against.
 
+pub mod analyze;
 pub mod results;
 pub mod stream;
 
@@ -161,7 +162,9 @@ pub fn confirm<C: Corpus>(
     };
     match candidates {
         Candidates::All => {
+            // Blind scan: charged to `scan_time`, not `confirm_time`.
             corpus.scan(&mut |doc, bytes| visit(doc, bytes, stats))?;
+            stats.scan_time += start.elapsed();
         }
         Candidates::Docs(ids) => {
             for &id in ids {
@@ -170,9 +173,9 @@ pub fn confirm<C: Corpus>(
                     break;
                 }
             }
+            stats.confirm_time += start.elapsed();
         }
     }
-    stats.confirm_time += start.elapsed();
     Ok(())
 }
 

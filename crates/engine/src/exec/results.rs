@@ -37,9 +37,11 @@ pub struct QueryResult<'e, C: Corpus, I: IndexRead> {
     source: CandidateSource,
     prefilter: Vec<Finder>,
     stats: QueryStats,
+    span: free_trace::Span,
 }
 
 impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         engine: &'e Engine<C, I>,
         regex: Regex,
@@ -48,6 +50,7 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         source: CandidateSource,
         prefilter: Vec<Finder>,
         stats: QueryStats,
+        span: free_trace::Span,
     ) -> Self {
         QueryResult {
             engine,
@@ -57,6 +60,7 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             source,
             prefilter,
             stats,
+            span,
         }
     }
 
@@ -120,7 +124,9 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
     ) -> Result<()> {
         let corpus = self.engine.corpus();
         let threads = self.engine.config().effective_threads();
-        confirm_source(
+        let mut confirm_span = self.span.child("query.confirm");
+        let examined_before = self.stats.docs_examined;
+        let result = confirm_source(
             corpus,
             &self.regex,
             &mut self.source,
@@ -129,7 +135,12 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             threads,
             &mut self.stats,
             on_doc,
-        )
+        );
+        if confirm_span.is_enabled() {
+            confirm_span.record("threads", threads);
+            confirm_span.record("docs_examined", self.stats.docs_examined - examined_before);
+        }
+        result
     }
 
     /// Data units containing at least one match (the paper's `M(r)`),
@@ -182,7 +193,20 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         if let CandidateSource::Stream(st) = &mut self.source {
             st.refresh(&mut self.stats);
         }
-        self.stats
+        self.stats.clone()
+    }
+}
+
+impl<C: Corpus, I: IndexRead> Drop for QueryResult<'_, C, I> {
+    /// Every query result folds its final counters into the process-wide
+    /// metrics registry exactly once, on drop — however much of the query
+    /// was actually consumed.
+    fn drop(&mut self) {
+        if let CandidateSource::Stream(st) = &mut self.source {
+            st.refresh(&mut self.stats);
+        }
+        crate::metrics::record_query(free_trace::metrics::global(), &self.stats);
+        self.span.record("matches", self.stats.match_count);
     }
 }
 

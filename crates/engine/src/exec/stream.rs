@@ -49,7 +49,7 @@ pub fn compile_plan<I: IndexRead>(
     }
 }
 
-fn compile_node<I: IndexRead>(
+pub(crate) fn compile_node<I: IndexRead>(
     plan: &PhysicalPlan,
     index: &I,
     stats: &mut QueryStats,
@@ -330,7 +330,9 @@ pub fn confirm_source<C: Corpus>(
     match source {
         CandidateSource::All => {
             // Scan confirmation stays sequential: the corpus scan itself
-            // is the bottleneck and hands out borrowed buffers.
+            // is the bottleneck and hands out borrowed buffers. Its cost
+            // is charged to `scan_time`, not `confirm_time` — this is a
+            // blind scan, not index-assisted confirmation.
             let start = Instant::now();
             let mut searcher = regex.searcher();
             let nfa = regex.nfa();
@@ -338,7 +340,7 @@ pub fn confirm_source<C: Corpus>(
                 let o = examine(&mut searcher, nfa, prefilter, want_spans, doc, bytes);
                 fold(o, stats, on_doc)
             })?;
-            stats.confirm_time += start.elapsed();
+            stats.scan_time += start.elapsed();
             Ok(())
         }
         CandidateSource::Docs(ids) => {

@@ -50,6 +50,8 @@ mod engine;
 pub use config::{EngineConfig, IndexKind, ScanPolicy};
 pub use engine::{Engine, InMemoryEngine};
 pub use error::{Error, Result};
+pub use exec::analyze::{ExplainAnalyze, NodeStats};
 pub use exec::results::{DocMatches, QueryResult};
-pub use metrics::QueryStats;
+pub use metrics::{record_build, record_query, BuildStats, QueryStats};
 pub use plan::physical::PlanClass;
+pub use select::{MiningStats, PassStats};

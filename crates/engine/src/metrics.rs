@@ -6,6 +6,8 @@
 //! the results can be compared independent of hardware.
 
 use crate::plan::physical::PlanClass;
+use crate::select::MiningStats;
+use free_trace::{JsonArray, JsonObject, Registry};
 use std::time::Duration;
 
 /// Cost accounting for one query execution.
@@ -15,8 +17,15 @@ pub struct QueryStats {
     pub plan_time: Duration,
     /// Time spent fetching and combining postings lists.
     pub index_time: Duration,
-    /// Time spent reading candidate data units and confirming matches.
+    /// Time spent reading *index-selected* candidate data units and
+    /// confirming matches. Zero for scan-fallback queries, whose matcher
+    /// time is [`scan_time`](QueryStats::scan_time).
     pub confirm_time: Duration,
+    /// Time spent in the scan fallback: running the matcher over the whole
+    /// corpus because the plan could not use the index. Accounted
+    /// separately from `confirm_time` so index-assisted confirmation and
+    /// blind scanning can be told apart.
+    pub scan_time: Duration,
     /// Whether the plan degenerated to a full corpus scan (the paper's
     /// `zip`/`phone`/`html` cases).
     pub used_scan: bool,
@@ -53,9 +62,9 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Total wall-clock time.
+    /// Total wall-clock time, including any scan-fallback time.
     pub fn total_time(&self) -> Duration {
-        self.plan_time + self.index_time + self.confirm_time
+        self.plan_time + self.index_time + self.confirm_time + self.scan_time
     }
 
     /// Fraction of the corpus that had to be examined (lower is better;
@@ -67,19 +76,49 @@ impl QueryStats {
             self.docs_examined as f64 / corpus_docs as f64
         }
     }
+
+    /// Serializes the stats as one compact JSON object (the payload of
+    /// `freegrep --stats-json`). Times are in nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("plan_ns", duration_ns(self.plan_time))
+            .field_u64("index_ns", duration_ns(self.index_time))
+            .field_u64("confirm_ns", duration_ns(self.confirm_time))
+            .field_u64("scan_ns", duration_ns(self.scan_time))
+            .field_u64("total_ns", duration_ns(self.total_time()))
+            .field_bool("used_scan", self.used_scan)
+            .field_str("plan_class", &self.plan_class.to_string())
+            .field_u64("keys_fetched", self.keys_fetched as u64)
+            .field_u64("postings_decoded", self.postings_decoded)
+            .field_u64("cursor_seeks", self.cursor_seeks)
+            .field_u64("blocks_decoded", self.blocks_decoded)
+            .field_u64("postings_skipped", self.postings_skipped)
+            .field_u64("candidates", self.candidates as u64)
+            .field_u64("docs_examined", self.docs_examined as u64)
+            .field_u64("docs_prefiltered", self.docs_prefiltered as u64)
+            .field_u64("bytes_examined", self.bytes_examined)
+            .field_u64("matching_docs", self.matching_docs as u64)
+            .field_u64("match_count", self.match_count as u64);
+        o.finish()
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 impl core::fmt::Display for QueryStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "plan {:?} + index {:?} + confirm {:?}; {} keys, {} postings \
+            "plan {:?} + index {:?} + confirm {:?} + scan {:?}; {} keys, {} postings \
              ({} skipped, {} seeks, {} blocks), \
              {} candidates, {} docs examined ({} bytes, {} prefiltered), \
              {} matching docs, {} matches{}",
             self.plan_time,
             self.index_time,
             self.confirm_time,
+            self.scan_time,
             self.keys_fetched,
             self.postings_decoded,
             self.postings_skipped,
@@ -113,6 +152,9 @@ pub struct BuildStats {
     pub num_keys: usize,
     /// Final index statistics.
     pub index_stats: free_index::IndexStats,
+    /// Per-pass a-priori mining counters (empty for `Complete` indexes,
+    /// which enumerate rather than mine).
+    pub mining: MiningStats,
 }
 
 impl BuildStats {
@@ -120,6 +162,139 @@ impl BuildStats {
     pub fn total_time(&self) -> Duration {
         self.select_time + self.construct_time
     }
+
+    /// Serializes the stats as one compact JSON object (the payload of
+    /// `free build --stats-json`). Times are in nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut passes = JsonArray::new();
+        for p in &self.mining.per_pass {
+            let mut po = JsonObject::new();
+            po.field_u64("min_len", p.lengths.0 as u64)
+                .field_u64("max_len", p.lengths.1 as u64)
+                .field_u64("grams_considered", p.grams_considered)
+                .field_u64("grams_kept", p.grams_kept)
+                .field_u64("bytes_read", p.bytes_read);
+            passes.push_raw(po.finish());
+        }
+        let mut idx = JsonObject::new();
+        idx.field_u64("num_keys", self.index_stats.num_keys)
+            .field_u64("num_postings", self.index_stats.num_postings)
+            .field_u64("key_bytes", self.index_stats.key_bytes)
+            .field_u64("postings_bytes", self.index_stats.postings_bytes);
+        let mut o = JsonObject::new();
+        o.field_u64("select_ns", duration_ns(self.select_time))
+            .field_u64("construct_ns", duration_ns(self.construct_time))
+            .field_u64("total_ns", duration_ns(self.total_time()))
+            .field_u64("select_passes", self.select_passes as u64)
+            .field_u64("num_keys", self.num_keys as u64)
+            .field_u64("candidates_counted", self.mining.candidates_counted)
+            .field_u64("candidates_skipped", self.mining.candidates_skipped)
+            .field_raw("passes", passes.finish())
+            .field_raw("index", idx.finish());
+        o.finish()
+    }
+}
+
+/// Folds one finished query's counters into `registry` (normally
+/// [`free_trace::metrics::global`]). Called automatically when a
+/// [`QueryResult`](crate::QueryResult) is dropped.
+pub fn record_query(registry: &Registry, stats: &QueryStats) {
+    registry
+        .counter("free_queries_total", "Queries executed")
+        .inc();
+    if stats.used_scan {
+        registry
+            .counter(
+                "free_query_scan_fallbacks_total",
+                "Queries whose plan degenerated to a full corpus scan",
+            )
+            .inc();
+    }
+    registry
+        .counter(
+            "free_query_postings_decoded_total",
+            "Postings decoded across all queries",
+        )
+        .add(stats.postings_decoded);
+    registry
+        .counter(
+            "free_query_cursor_seeks_total",
+            "Cursor seeks issued across all queries",
+        )
+        .add(stats.cursor_seeks);
+    registry
+        .counter(
+            "free_query_blocks_decoded_total",
+            "Encoded postings blocks decoded across all queries",
+        )
+        .add(stats.blocks_decoded);
+    registry
+        .counter(
+            "free_query_postings_skipped_total",
+            "Postings skipped without decoding across all queries",
+        )
+        .add(stats.postings_skipped);
+    registry
+        .counter(
+            "free_query_docs_examined_total",
+            "Candidate data units read by the matcher",
+        )
+        .add(stats.docs_examined as u64);
+    registry
+        .counter(
+            "free_query_matches_total",
+            "Matching strings found across all queries",
+        )
+        .add(stats.match_count as u64);
+    registry
+        .histogram("free_query_plan_ns", "Parse+plan latency per query (ns)")
+        .observe_duration(stats.plan_time);
+    registry
+        .histogram("free_query_index_ns", "Index probe latency per query (ns)")
+        .observe_duration(stats.index_time);
+    registry
+        .histogram(
+            "free_query_confirm_ns",
+            "Confirmation latency per query (ns)",
+        )
+        .observe_duration(stats.confirm_time);
+    registry
+        .histogram("free_query_scan_ns", "Scan-fallback latency per query (ns)")
+        .observe_duration(stats.scan_time);
+    registry
+        .histogram("free_query_total_ns", "End-to-end latency per query (ns)")
+        .observe_duration(stats.total_time());
+}
+
+/// Folds one finished index build's counters into `registry`.
+pub fn record_build(registry: &Registry, stats: &BuildStats) {
+    registry
+        .counter("free_builds_total", "Index builds completed")
+        .inc();
+    registry
+        .counter(
+            "free_build_select_passes_total",
+            "Corpus scans spent mining gram keys",
+        )
+        .add(stats.select_passes as u64);
+    registry
+        .gauge("free_index_keys", "Gram keys in the most recent index")
+        .set(stats.num_keys as i64);
+    registry
+        .gauge("free_index_postings", "Postings in the most recent index")
+        .set(stats.index_stats.num_postings as i64);
+    registry
+        .histogram("free_build_select_ns", "Key selection time per build (ns)")
+        .observe_duration(stats.select_time);
+    registry
+        .histogram(
+            "free_build_construct_ns",
+            "Index construction time per build (ns)",
+        )
+        .observe_duration(stats.construct_time);
+    registry
+        .histogram("free_build_total_ns", "Total build time (ns)")
+        .observe_duration(stats.total_time());
 }
 
 #[cfg(test)]
@@ -132,10 +307,11 @@ mod tests {
             plan_time: Duration::from_millis(1),
             index_time: Duration::from_millis(2),
             confirm_time: Duration::from_millis(3),
+            scan_time: Duration::from_millis(4),
             docs_examined: 25,
             ..Default::default()
         };
-        assert_eq!(s.total_time(), Duration::from_millis(6));
+        assert_eq!(s.total_time(), Duration::from_millis(10));
         assert!((s.examine_fraction(100) - 0.25).abs() < 1e-12);
         assert_eq!(s.examine_fraction(0), 0.0);
     }
@@ -144,8 +320,83 @@ mod tests {
     fn display_mentions_scan_fallback() {
         let mut s = QueryStats::default();
         assert!(!s.to_string().contains("scan fallback"));
+        assert!(s.to_string().contains("scan"), "scan time always shown");
         s.used_scan = true;
         assert!(s.to_string().contains("scan fallback"));
+    }
+
+    #[test]
+    fn query_stats_json_round_trips_key_fields() {
+        let s = QueryStats {
+            plan_time: Duration::from_nanos(1500),
+            scan_time: Duration::from_nanos(10),
+            postings_decoded: 42,
+            matching_docs: 3,
+            used_scan: true,
+            ..Default::default()
+        };
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"plan_ns\":1500"), "{json}");
+        assert!(json.contains("\"scan_ns\":10"), "{json}");
+        assert!(json.contains("\"total_ns\":1510"), "{json}");
+        assert!(json.contains("\"postings_decoded\":42"), "{json}");
+        assert!(json.contains("\"matching_docs\":3"), "{json}");
+        assert!(json.contains("\"used_scan\":true"), "{json}");
+        assert!(json.contains("\"plan_class\":\"INDEXED\""), "{json}");
+    }
+
+    #[test]
+    fn build_stats_json_includes_passes() {
+        let b = BuildStats {
+            select_time: Duration::from_nanos(5),
+            select_passes: 2,
+            num_keys: 7,
+            mining: MiningStats {
+                passes: 2,
+                candidates_counted: 100,
+                candidates_skipped: 4,
+                per_pass: vec![crate::select::apriori::PassStats {
+                    lengths: (1, 2),
+                    grams_considered: 60,
+                    grams_kept: 5,
+                    bytes_read: 1234,
+                }],
+            },
+            ..Default::default()
+        };
+        let json = b.to_json();
+        assert!(json.contains("\"select_passes\":2"), "{json}");
+        assert!(json.contains("\"grams_considered\":60"), "{json}");
+        assert!(json.contains("\"bytes_read\":1234"), "{json}");
+        assert!(json.contains("\"index\":{"), "{json}");
+    }
+
+    #[test]
+    fn record_feeds_registry() {
+        let r = Registry::new();
+        let s = QueryStats {
+            postings_decoded: 9,
+            used_scan: true,
+            ..Default::default()
+        };
+        record_query(&r, &s);
+        record_query(&r, &s);
+        let text = r.expose();
+        assert!(text.contains("free_queries_total 2"), "{text}");
+        assert!(text.contains("free_query_scan_fallbacks_total 2"), "{text}");
+        assert!(
+            text.contains("free_query_postings_decoded_total 18"),
+            "{text}"
+        );
+        let b = BuildStats {
+            num_keys: 11,
+            ..Default::default()
+        };
+        record_build(&r, &b);
+        let text = r.expose();
+        assert!(text.contains("free_builds_total 1"), "{text}");
+        assert!(text.contains("free_index_keys 11"), "{text}");
     }
 
     #[test]

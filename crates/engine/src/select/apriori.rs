@@ -30,6 +30,22 @@ pub struct MiningStats {
     /// Candidates discarded because their prefix turned out useful
     /// (optimistic counting overshoot).
     pub candidates_skipped: u64,
+    /// Per-pass counters, in pass order (empty for strategies that do not
+    /// mine, e.g. complete enumeration).
+    pub per_pass: Vec<PassStats>,
+}
+
+/// Counters for one a-priori corpus scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// The range of gram lengths counted in this pass (`k..=k_end`).
+    pub lengths: (usize, usize),
+    /// Candidate grams whose counts were tracked during the scan.
+    pub grams_considered: u64,
+    /// Grams this pass confirmed as minimal useful (kept for the index).
+    pub grams_kept: u64,
+    /// Corpus bytes read by the scan.
+    pub bytes_read: u64,
 }
 
 /// The result of mining: the minimal useful grams plus statistics.
@@ -77,10 +93,13 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
     while k <= config.max_gram_len && (first_pass || !expand.is_empty()) {
         let k_end = (k + config.lengths_per_pass - 1).min(config.max_gram_len);
         let mut counts: FxHashMap<Box<[u8]>, Cell> = FxHashMap::default();
+        let mut bytes_read = 0u64;
+        let kept_before = useful.len();
 
         // One corpus scan: count every gram of length k..=k_end whose
         // (k-1)-prefix is in `expand`.
         corpus.scan(&mut |doc, bytes| {
+            bytes_read += bytes.len() as u64;
             for i in 0..bytes.len() {
                 if !first_pass {
                     let pfx_end = i + k - 1;
@@ -120,6 +139,7 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
         })?;
         stats.passes += 1;
         stats.candidates_counted += counts.len() as u64;
+        let grams_considered = counts.len() as u64;
 
         // Resolve levels in order: a length-m gram is a real candidate only
         // if its (m-1)-prefix is useless *at this point*.
@@ -158,6 +178,24 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
             prev_useless = next_useless;
         }
         expand = prev_useless;
+        let pass = PassStats {
+            lengths: (k, k_end),
+            grams_considered,
+            grams_kept: (useful.len() - kept_before) as u64,
+            bytes_read,
+        };
+        config.tracer.event(
+            "mine.pass",
+            vec![
+                ("pass", stats.passes.into()),
+                ("min_len", pass.lengths.0.into()),
+                ("max_len", pass.lengths.1.into()),
+                ("grams_considered", pass.grams_considered.into()),
+                ("grams_kept", pass.grams_kept.into()),
+                ("bytes_read", pass.bytes_read.into()),
+            ],
+        );
+        stats.per_pass.push(pass);
         k = k_end + 1;
         first_pass = false;
     }
@@ -340,6 +378,51 @@ mod tests {
         };
         let sel = mine_multigrams(&corpus, &config).unwrap();
         assert!(sel.stats.passes <= 5, "{} passes", sel.stats.passes);
+    }
+
+    #[test]
+    fn per_pass_counters_sum_to_totals() {
+        let docs: Vec<String> = (0..30)
+            .map(|i| format!("alpha beta gamma {} filler", i % 6))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        let total_bytes: u64 = refs.iter().map(|d| d.len() as u64).sum();
+        let sel = mine_multigrams(&corpus, &EngineConfig::default()).unwrap();
+        assert_eq!(sel.stats.per_pass.len(), sel.stats.passes);
+        let considered: u64 = sel.stats.per_pass.iter().map(|p| p.grams_considered).sum();
+        assert_eq!(considered, sel.stats.candidates_counted);
+        let kept: u64 = sel.stats.per_pass.iter().map(|p| p.grams_kept).sum();
+        assert_eq!(kept, sel.grams.len() as u64);
+        for p in &sel.stats.per_pass {
+            assert_eq!(p.bytes_read, total_bytes, "every pass scans the corpus");
+            assert!(p.lengths.0 <= p.lengths.1);
+        }
+    }
+
+    #[test]
+    fn mining_emits_per_pass_trace_events() {
+        let corpus = MemCorpus::from_docs(vec![b"abcabc".to_vec(), b"xyzxyz".to_vec()]);
+        let tracer = free_trace::Tracer::enabled();
+        let config = EngineConfig {
+            tracer: tracer.clone(),
+            ..EngineConfig::default()
+        };
+        let sel = mine_multigrams(&corpus, &config).unwrap();
+        let passes: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "mine.pass")
+            .collect();
+        assert_eq!(passes.len(), sel.stats.passes);
+        for (i, e) in passes.iter().enumerate() {
+            assert_eq!(
+                e.attr("pass"),
+                Some(&free_trace::Value::U64(i as u64 + 1)),
+                "{e:?}"
+            );
+            assert!(e.attr("bytes_read").is_some());
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod apriori;
 pub mod complete;
 pub mod presuf;
 
-pub use apriori::{mine_multigrams, MiningStats, Selection};
+pub use apriori::{mine_multigrams, MiningStats, PassStats, Selection};
 pub use complete::enumerate_complete;
 pub use presuf::presuf_shell;
 

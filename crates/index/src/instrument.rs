@@ -1,0 +1,246 @@
+//! Per-operator cursor instrumentation for `EXPLAIN ANALYZE`.
+//!
+//! [`InstrumentedCursor`] wraps any [`PostingsCursor`] and records, into a
+//! shared [`OpCounters`] handle, how the executor actually drove that node:
+//! seeks issued, advances (`nexts`), distinct docs yielded, and wall time
+//! spent inside the node's `advance`/`seek` calls. The engine wraps every
+//! node of a compiled plan, keeps the `Arc<OpCounters>` handles arranged in
+//! plan shape, and reads them back after execution to render estimated vs.
+//! actual cardinalities per operator.
+//!
+//! Two properties matter for reconciliation with the engine's aggregate
+//! `QueryStats`:
+//!
+//! * [`PostingsCursor::collect_stats`] is **transparent** — it delegates to
+//!   the wrapped child, so wrapping a plan changes none of the totals the
+//!   engine reports.
+//! * The wrapper captures the child's subtree [`CursorStats`] into the
+//!   counters when dropped (the streaming executor drops the cursor tree
+//!   once drained), so per-node index-work counters survive the cursor
+//!   itself and per-node exclusive work can be computed by subtracting
+//!   children from parents.
+//!
+//! Timings are inclusive: a parent AND node's `time_ns` includes the time
+//! its children spent serving the seeks it issued.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::cursor::{CursorStats, PostingsCursor};
+use crate::{DocId, Result};
+
+/// Shared, thread-safe counters for one operator (plan node).
+///
+/// The executor side updates via an `Arc` held by the wrapping
+/// [`InstrumentedCursor`]; the reporting side reads after execution.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// `seek` calls served by this node.
+    pub seeks: AtomicU64,
+    /// `advance` calls served by this node.
+    pub nexts: AtomicU64,
+    /// Distinct doc ids this node was observed to yield.
+    pub docs_yielded: AtomicU64,
+    /// Wall-clock nanoseconds spent inside this node's `advance`/`seek`
+    /// (inclusive of children).
+    pub time_ns: AtomicU64,
+    /// The node's subtree [`CursorStats`], captured when the wrapping
+    /// cursor is dropped.
+    final_stats: Mutex<Option<CursorStats>>,
+}
+
+impl OpCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> OpCounters {
+        OpCounters::default()
+    }
+
+    /// The subtree's index-work counters, captured at cursor drop; `None`
+    /// if the cursor is still alive.
+    pub fn final_stats(&self) -> Option<CursorStats> {
+        *self.final_stats.lock().expect("op counters poisoned")
+    }
+}
+
+/// A [`PostingsCursor`] wrapper that records per-operator activity into an
+/// [`OpCounters`] shared with the reporting side.
+pub struct InstrumentedCursor<C: PostingsCursor> {
+    child: C,
+    counters: std::sync::Arc<OpCounters>,
+    last_yielded: Option<DocId>,
+}
+
+impl<C: PostingsCursor> InstrumentedCursor<C> {
+    /// Wraps `child`, recording into `counters`. The child must be primed;
+    /// its initial position counts as the first yielded doc.
+    pub fn new(child: C, counters: std::sync::Arc<OpCounters>) -> InstrumentedCursor<C> {
+        let mut cursor = InstrumentedCursor {
+            child,
+            counters,
+            last_yielded: None,
+        };
+        cursor.note_position();
+        cursor
+    }
+
+    /// Counts the current position as yielded, once per distinct doc.
+    fn note_position(&mut self) {
+        if let Some(doc) = self.child.current() {
+            if self.last_yielded != Some(doc) {
+                self.last_yielded = Some(doc);
+                self.counters.docs_yielded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<C: PostingsCursor> PostingsCursor for InstrumentedCursor<C> {
+    fn current(&self) -> Option<DocId> {
+        self.child.current()
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        let start = Instant::now();
+        let result = self.child.advance();
+        self.counters
+            .time_ns
+            .fetch_add(elapsed_ns(start), Ordering::Relaxed);
+        self.counters.nexts.fetch_add(1, Ordering::Relaxed);
+        self.note_position();
+        result
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        let start = Instant::now();
+        let result = self.child.seek(target);
+        self.counters
+            .time_ns
+            .fetch_add(elapsed_ns(start), Ordering::Relaxed);
+        self.counters.seeks.fetch_add(1, Ordering::Relaxed);
+        self.note_position();
+        result
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.child.cost_estimate()
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        // Transparent: instrumenting a plan must not change the engine's
+        // aggregate totals.
+        self.child.collect_stats(out);
+    }
+}
+
+impl<C: PostingsCursor> Drop for InstrumentedCursor<C> {
+    fn drop(&mut self) {
+        let mut stats = CursorStats::default();
+        self.child.collect_stats(&mut stats);
+        if let Ok(mut slot) = self.counters.final_stats.lock() {
+            *slot = Some(stats);
+        }
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::cursor::SliceCursor;
+    use crate::ops::AndCursor;
+
+    #[test]
+    fn counts_seeks_nexts_and_yields() {
+        let counters = Arc::new(OpCounters::new());
+        let mut c =
+            InstrumentedCursor::new(SliceCursor::new(vec![2, 5, 8, 11]), Arc::clone(&counters));
+        assert_eq!(c.current(), Some(2));
+        c.advance().unwrap();
+        c.seek(9).unwrap();
+        c.advance().unwrap();
+        c.advance().unwrap();
+        assert_eq!(counters.nexts.load(Ordering::Relaxed), 3);
+        assert_eq!(counters.seeks.load(Ordering::Relaxed), 1);
+        // 2 (initial), 5, 11, then exhausted: 8 was skipped by the seek.
+        assert_eq!(counters.docs_yielded.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn repeated_position_counts_once() {
+        let counters = Arc::new(OpCounters::new());
+        let mut c = InstrumentedCursor::new(SliceCursor::new(vec![4, 9]), Arc::clone(&counters));
+        // Backwards/no-op seeks keep the cursor on 4.
+        c.seek(1).unwrap();
+        c.seek(4).unwrap();
+        assert_eq!(counters.docs_yielded.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.seeks.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn collect_stats_is_transparent() {
+        let counters = Arc::new(OpCounters::new());
+        let mut plain = SliceCursor::new((0..50).collect());
+        let mut wrapped =
+            InstrumentedCursor::new(SliceCursor::new((0..50).collect()), Arc::clone(&counters));
+        plain.seek(30).unwrap();
+        wrapped.seek(30).unwrap();
+        let (mut a, mut b) = (CursorStats::default(), CursorStats::default());
+        plain.collect_stats(&mut a);
+        wrapped.collect_stats(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_captures_subtree_stats() {
+        let counters = Arc::new(OpCounters::new());
+        assert_eq!(counters.final_stats(), None);
+        {
+            let mut c =
+                InstrumentedCursor::new(SliceCursor::new((0..20).collect()), Arc::clone(&counters));
+            c.seek(10).unwrap();
+        }
+        let stats = counters.final_stats().expect("captured at drop");
+        assert_eq!(stats.seeks, 1);
+        assert_eq!(stats.postings_decoded, 20);
+        assert_eq!(stats.postings_skipped, 10);
+    }
+
+    #[test]
+    fn nests_around_combinators() {
+        let and_counters = Arc::new(OpCounters::new());
+        let left = Arc::new(OpCounters::new());
+        let right = Arc::new(OpCounters::new());
+        {
+            let children: Vec<Box<dyn PostingsCursor>> = vec![
+                Box::new(InstrumentedCursor::new(
+                    SliceCursor::new(vec![1, 3, 5, 7]),
+                    Arc::clone(&left),
+                )),
+                Box::new(InstrumentedCursor::new(
+                    SliceCursor::new(vec![3, 4, 7]),
+                    Arc::clone(&right),
+                )),
+            ];
+            let and = AndCursor::new(children).unwrap();
+            let mut root = InstrumentedCursor::new(and, Arc::clone(&and_counters));
+            let docs = crate::cursor::drain(&mut root).unwrap();
+            assert_eq!(docs, vec![3, 7]);
+        }
+        assert_eq!(and_counters.docs_yielded.load(Ordering::Relaxed), 2);
+        // Root subtree stats include both children's work.
+        let subtree = and_counters.final_stats().unwrap();
+        let l = left.final_stats().unwrap();
+        let r = right.final_stats().unwrap();
+        let mut merged = CursorStats::default();
+        merged.merge(&l);
+        merged.merge(&r);
+        assert_eq!(subtree, merged, "AND adds no leaf work of its own");
+        assert_eq!(subtree.postings_decoded, 7);
+    }
+}

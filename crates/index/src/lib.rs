@@ -29,6 +29,7 @@ pub mod builder;
 pub mod cursor;
 pub mod error;
 pub mod format;
+pub mod instrument;
 pub mod memindex;
 pub mod ops;
 pub mod postings;
@@ -40,6 +41,7 @@ pub use builder::IndexBuilder;
 pub use cursor::{CursorStats, PostingsCursor, SliceCursor};
 pub use error::{Error, Result};
 pub use format::{IndexReader, IndexWriter};
+pub use instrument::{InstrumentedCursor, OpCounters};
 pub use memindex::MemIndex;
 pub use ops::{AndCursor, OrCursor};
 pub use postings::{Postings, PostingsBuilder};

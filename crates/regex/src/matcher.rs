@@ -68,10 +68,36 @@ impl Regex {
         Regex::with_config(pattern, RegexConfig::default())
     }
 
+    /// Compiles a pattern with default configuration, recording
+    /// `regex.parse` / `regex.compile` child spans under `parent`.
+    pub fn new_traced(pattern: &str, parent: &free_trace::Span) -> Result<Regex> {
+        Regex::with_config_traced(pattern, RegexConfig::default(), parent)
+    }
+
     /// Compiles a pattern with the given configuration.
     pub fn with_config(pattern: &str, config: RegexConfig) -> Result<Regex> {
-        let ast = Parser::new(config.parser).parse(pattern)?;
-        let nfa = Arc::new(Nfa::compile(&ast)?);
+        Regex::with_config_traced(pattern, config, &free_trace::Span::disabled())
+    }
+
+    /// Compiles a pattern with the given configuration, recording
+    /// `regex.parse` / `regex.compile` child spans under `parent` with the
+    /// pattern length, AST literal width, and NFA state count.
+    pub fn with_config_traced(
+        pattern: &str,
+        config: RegexConfig,
+        parent: &free_trace::Span,
+    ) -> Result<Regex> {
+        let ast = {
+            let mut span = parent.child("regex.parse");
+            span.record("pattern_bytes", pattern.len());
+            Parser::new(config.parser).parse(pattern)?
+        };
+        let nfa = {
+            let mut span = parent.child("regex.compile");
+            let nfa = Arc::new(Nfa::compile(&ast)?);
+            span.record("nfa_states", nfa.len());
+            nfa
+        };
         let shared = Arc::new(Mutex::new(Searcher::for_nfa(&nfa)));
         Ok(Regex {
             pattern: pattern.to_string(),
@@ -242,6 +268,36 @@ mod tests {
         let ms = re.find_all(b"ax");
         // pos 0: empty; pos 1: "x"; pos 2: empty.
         assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn traced_compile_emits_parse_and_compile_spans() {
+        let tracer = free_trace::Tracer::enabled();
+        let root = tracer.span("query");
+        let re = Regex::new_traced("ab+c", &root).unwrap();
+        assert!(re.is_match(b"abbc"));
+        drop(root);
+        let events = tracer.events();
+        let ended: Vec<&str> = events
+            .iter()
+            .filter(|e| matches!(e.kind, free_trace::EventKind::SpanEnd { .. }))
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(ended, vec!["regex.parse", "regex.compile", "query"]);
+        let compile = events
+            .iter()
+            .rfind(|e| {
+                e.name == "regex.compile" && matches!(e.kind, free_trace::EventKind::SpanEnd { .. })
+            })
+            .unwrap();
+        match compile.attr("nfa_states") {
+            Some(free_trace::Value::U64(n)) => assert!(*n > 0),
+            other => panic!("missing nfa_states: {other:?}"),
+        }
+        // The untraced path still works and records nothing.
+        let before = tracer.events().len();
+        Regex::new("xy").unwrap();
+        assert_eq!(tracer.events().len(), before);
     }
 
     #[test]

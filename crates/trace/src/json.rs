@@ -1,0 +1,201 @@
+//! A minimal JSON writer.
+//!
+//! The workspace carries no serde; stats structs serialize themselves by
+//! pushing fields into a [`JsonObject`] / [`JsonArray`] builder. Output
+//! is compact (no whitespace), keys are emitted in insertion order, and
+//! strings are escaped per RFC 8259 (quote, backslash, and control
+//! characters).
+
+/// Escapes `s` as the contents of a JSON string literal (no surrounding
+/// quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/Inf; those render
+/// as `null`).
+fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints no decimal point; keep it a float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for a JSON object. Fields render in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn push(&mut self, key: &str, raw: String) -> &mut JsonObject {
+        self.fields.push((key.to_string(), raw));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.push(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut JsonObject {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut JsonObject {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a floating-point field (`null` for NaN/Inf).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut JsonObject {
+        self.push(key, render_f64(value))
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut JsonObject {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a pre-rendered JSON value (nested object, array, or `null`).
+    pub fn field_raw(&mut self, key: &str, raw: String) -> &mut JsonObject {
+        self.push(key, raw)
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, raw)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(key), raw));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Builder for a JSON array.
+#[derive(Debug, Default)]
+pub struct JsonArray {
+    items: Vec<String>,
+}
+
+impl JsonArray {
+    /// An empty array.
+    pub fn new() -> JsonArray {
+        JsonArray::default()
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, value: &str) -> &mut JsonArray {
+        self.items.push(format!("\"{}\"", escape(value)));
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_u64(&mut self, value: u64) -> &mut JsonArray {
+        self.items.push(value.to_string());
+        self
+    }
+
+    /// Appends a pre-rendered JSON element.
+    pub fn push_raw(&mut self, raw: String) -> &mut JsonArray {
+        self.items.push(raw);
+        self
+    }
+
+    /// Number of elements so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the array.
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn object_renders_in_order() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "ab\"c")
+            .field_u64("count", 7)
+            .field_i64("delta", -2)
+            .field_bool("ok", true)
+            .field_f64("ratio", 0.5)
+            .field_raw("inner", "{\"x\":1}".to_string());
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"ab\\\"c\",\"count\":7,\"delta\":-2,\"ok\":true,\"ratio\":0.5,\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let mut o = JsonObject::new();
+        o.field_f64("whole", 3.0).field_f64("nan", f64::NAN);
+        assert_eq!(o.finish(), "{\"whole\":3.0,\"nan\":null}");
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let mut a = JsonArray::new();
+        a.push_str("x").push_u64(1);
+        let mut inner = JsonObject::new();
+        inner.field_bool("y", false);
+        a.push_raw(inner.finish());
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.finish(), "[\"x\",1,{\"y\":false}]");
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability substrate for the FREE engine.
+//!
+//! The paper's experiments (Figures 7–10) are entirely about *where time
+//! goes* — selection passes, index probes, the confirmation scan — so the
+//! engine needs the same attribution built in, not bolted onto the bench
+//! harness. This crate provides it with zero external dependencies:
+//!
+//! * [`span`] — a lightweight tracing core. A [`Tracer`] collects
+//!   [`Event`]s (span start/end, instants) into a bounded ring buffer
+//!   behind a mutex; spans nest and carry typed key/value attributes. A
+//!   disabled tracer is a `None` inside a clone-cheap handle, so every
+//!   hook on the query path is a branch on a null pointer — measured to
+//!   be free (see the overhead guard test in the workspace test suite).
+//! * [`metrics`] — a process-wide registry of named counters, gauges and
+//!   log2-bucketed histograms, exposed in Prometheus text format via
+//!   [`metrics::Registry::expose`]. All handles are `Arc`-backed atomics,
+//!   so hot paths update them without locking.
+//! * [`json`] — the small hand-rolled JSON writer the workspace uses for
+//!   `--stats-json` and `explain --analyze --json` output (the workspace
+//!   carries no serde).
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::{JsonArray, JsonObject};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::{Event, EventKind, Span, Tracer, Value};

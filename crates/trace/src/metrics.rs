@@ -1,0 +1,418 @@
+//! Process-wide metrics: counters, gauges, and log2-bucketed histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are clone-cheap
+//! `Arc`-backed atomics, so hot paths update them without taking a lock;
+//! the [`Registry`] mutex is only touched at registration and exposition
+//! time. [`Registry::expose`] renders everything in Prometheus text
+//! exposition format, which is what `free metrics` prints.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of histogram buckets: one per power of two of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` observations with one bucket per power of two.
+///
+/// Bucket `i` counts observations whose floor-log2 is `i` (bucket 0 also
+/// takes 0 and 1). Exposition renders cumulative Prometheus `_bucket`
+/// lines with `le = 2^(i+1) - 1` upper bounds. Sixty-four fixed buckets
+/// cover the full `u64` range — nanosecond latencies from sub-µs to
+/// centuries — with ~2x relative error, which is plenty for p50/p99
+/// reporting, and make `observe` a single atomic increment.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Bucket index for a value: floor(log2(v)), with 0 and 1 in bucket 0.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `2^(i+1) - 1`.
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration, in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `q * count`. Accurate
+    /// to the bucket's power-of-two resolution; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += self.inner.buckets[i].load(Ordering::Relaxed);
+            if cumulative >= target {
+                return bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Per-bucket counts (not cumulative), for custom rendering.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics with Prometheus text exposition.
+///
+/// Registration is get-or-create by name, so independent call sites can
+/// ask for the same metric and share the underlying atomic.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, (&'static str, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry (tests use this; production code uses
+    /// [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or registers a counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let (_, metric) = metrics
+            .entry(name)
+            .or_insert_with(|| (help, Metric::Counter(Counter::new())));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers a gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let (_, metric) = metrics
+            .entry(name)
+            .or_insert_with(|| (help, Metric::Gauge(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers a histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let (_, metric) = metrics
+            .entry(name)
+            .or_insert_with(|| (help, Metric::Histogram(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format, sorted by name. Histogram buckets are cumulative, with
+    /// empty buckets elided (except `+Inf`, which is always present).
+    pub fn expose(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, (help, metric)) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+                    let buckets = h.buckets();
+                    let mut cumulative = 0u64;
+                    for (i, bucket) in buckets.iter().enumerate() {
+                        cumulative += bucket;
+                        if *bucket > 0 && i < 63 {
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                                bucket_bound(i)
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        h.count(),
+                        h.sum(),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry every engine/build path records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("reqs", "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Get-or-register returns the same underlying atomic.
+        assert_eq!(r.counter("reqs", "requests").get(), 5);
+
+        let g = r.gauge("depth", "queue depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(1), 3);
+        assert_eq!(bucket_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 100, 100, 100, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 5405);
+        // p50 of 8 obs -> 4th observation -> the 100s bucket [64, 127].
+        assert_eq!(h.quantile(0.5), 127);
+        // p100 -> the 5000 bucket [4096, 8191].
+        assert_eq!(h.quantile(1.0), 8191);
+        // p0 clamps to the first non-empty bucket.
+        assert_eq!(h.quantile(0.0), 1);
+        assert!((h.mean() - 5405.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn expose_renders_prometheus_text() {
+        let r = Registry::new();
+        r.counter("free_queries_total", "queries run").add(3);
+        r.gauge("free_index_keys", "keys in index").set(12);
+        let h = r.histogram("free_query_ns", "query latency");
+        h.observe(5);
+        h.observe(900);
+        let text = r.expose();
+        assert!(text.contains("# TYPE free_queries_total counter\nfree_queries_total 3\n"));
+        assert!(text.contains("# TYPE free_index_keys gauge\nfree_index_keys 12\n"));
+        assert!(text.contains("# TYPE free_query_ns histogram\n"));
+        assert!(text.contains("free_query_ns_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("free_query_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("free_query_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("free_query_ns_sum 905\n"));
+        assert!(text.contains("free_query_ns_count 2\n"));
+        // Sorted by name: counter < gauge < histogram alphabetically here.
+        let ik = text.find("free_index_keys").unwrap();
+        let qt = text.find("free_queries_total").unwrap();
+        assert!(ik < qt);
+    }
+
+    #[test]
+    fn observe_duration_records_nanos() {
+        let h = Histogram::new();
+        h.observe_duration(Duration::from_micros(3));
+        assert_eq!(h.sum(), 3000);
+    }
+
+    #[test]
+    fn concurrent_observations_do_not_lose_counts() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("free_trace_test_global", "test only");
+        c.inc();
+        assert!(global().expose().contains("free_trace_test_global"));
+    }
+}

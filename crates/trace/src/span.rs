@@ -1,0 +1,520 @@
+//! Spans, events, and the bounded trace collector.
+//!
+//! The model is deliberately small: a [`Tracer`] is a clone-cheap handle
+//! to a collector (or to nothing, when disabled); a [`Span`] marks a
+//! timed region and can carry typed attributes recorded at close; an
+//! [`Event`] is what lands in the collector's ring buffer. Spans nest
+//! explicitly — [`Span::child`] — rather than through thread-local
+//! ambient state, so the model stays correct when confirmation fans out
+//! to a worker pool.
+//!
+//! # Cost model
+//!
+//! * **Disabled** (`Tracer::disabled()`, the default everywhere): every
+//!   operation is a branch on an `Option` that is `None`. No clock is
+//!   read, nothing allocates. This is what ships on the hot query path.
+//! * **Enabled**: each span close or event takes one `Instant::now()`
+//!   plus a short mutex-protected push into the ring buffer. The buffer
+//!   is bounded ([`DEFAULT_CAPACITY`] events by default): when full, the
+//!   oldest event is dropped and a drop counter incremented, so a
+//!   long-running process can keep a tracer attached without unbounded
+//!   memory growth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default ring-buffer capacity, in events. Sized so a traced query
+/// (tens of events) and a traced build (one event per mining pass) fit
+/// with plenty of headroom, while bounding a tracer left attached to a
+/// long-lived process to a few hundred kilobytes.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<Duration> for Value {
+    fn from(v: Duration) -> Value {
+        Value::U64(v.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed; carries its wall-clock duration in nanoseconds.
+    SpanEnd {
+        /// Time between the span's open and close.
+        elapsed_ns: u64,
+    },
+    /// A point-in-time event within a span (or at the root).
+    Instant,
+}
+
+/// One record in the trace buffer.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Nanoseconds since the tracer was created.
+    pub at_ns: u64,
+    /// Id of the span this event belongs to (`0` for root-level events).
+    pub span_id: u64,
+    /// Id of the enclosing span (`0` when at the root).
+    pub parent_id: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Static name of the span or event.
+    pub name: &'static str,
+    /// Typed attributes, in recording order.
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Bounded event storage: oldest events are dropped when full.
+struct Ring {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// Live event callback, invoked (outside the ring lock) for every event
+/// as it is recorded — this is how `free build --verbose` streams
+/// per-pass progress lines while the build is still running.
+pub type Sink = Arc<dyn Fn(&Event) + Send + Sync>;
+
+struct Collector {
+    epoch: Instant,
+    ring: Mutex<Ring>,
+    next_id: AtomicU64,
+    sink: Option<Sink>,
+}
+
+/// A clone-cheap handle to a trace collector; `Tracer::disabled()` (the
+/// `Default`) carries nothing and makes every operation a no-op.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Collector>>,
+}
+
+impl core::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.inner {
+            Some(c) => write!(
+                f,
+                "Tracer(enabled, {} events)",
+                c.ring.lock().map(|r| r.events.len()).unwrap_or(0)
+            ),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: all hooks reduce to an `Option` check.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the default ring capacity.
+    pub fn enabled() -> Tracer {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer whose ring buffer holds up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer::build(capacity, None)
+    }
+
+    /// An enabled tracer that also forwards every event to `sink` as it
+    /// is recorded (for live progress reporting).
+    pub fn with_sink(capacity: usize, sink: Sink) -> Tracer {
+        Tracer::build(capacity, Some(sink))
+    }
+
+    fn build(capacity: usize, sink: Option<Sink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Collector {
+                epoch: Instant::now(),
+                ring: Mutex::new(Ring {
+                    events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+                next_id: AtomicU64::new(1),
+                sink,
+            })),
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span. On a disabled tracer this allocates nothing
+    /// and reads no clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.open_span(name, 0)
+    }
+
+    fn open_span(&self, name: &'static str, parent_id: u64) -> Span {
+        let Some(collector) = &self.inner else {
+            return Span {
+                tracer: Tracer::disabled(),
+                id: 0,
+                parent_id: 0,
+                name,
+                start: None,
+                attrs: Vec::new(),
+            };
+        };
+        let id = collector.next_id.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        self.record(Event {
+            at_ns: duration_ns(start - collector.epoch),
+            span_id: id,
+            parent_id,
+            kind: EventKind::SpanStart,
+            name,
+            attrs: Vec::new(),
+        });
+        Span {
+            tracer: self.clone(),
+            id,
+            parent_id,
+            name,
+            start: Some(start),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Records a root-level instant event.
+    pub fn event(&self, name: &'static str, attrs: Vec<(&'static str, Value)>) {
+        self.instant(name, 0, 0, attrs);
+    }
+
+    fn instant(
+        &self,
+        name: &'static str,
+        span_id: u64,
+        parent_id: u64,
+        attrs: Vec<(&'static str, Value)>,
+    ) {
+        let Some(collector) = &self.inner else {
+            return;
+        };
+        self.record(Event {
+            at_ns: duration_ns(collector.epoch.elapsed()),
+            span_id,
+            parent_id,
+            kind: EventKind::Instant,
+            name,
+            attrs,
+        });
+    }
+
+    fn record(&self, event: Event) {
+        let Some(collector) = &self.inner else {
+            return;
+        };
+        if let Some(sink) = &collector.sink {
+            sink(&event);
+        }
+        if let Ok(mut ring) = collector.ring.lock() {
+            ring.push(event);
+        }
+    }
+
+    /// A snapshot of the collected events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(c) => c
+                .ring
+                .lock()
+                .map(|r| r.events.iter().cloned().collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events evicted because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(c) => c.ring.lock().map(|r| r.dropped).unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+/// A timed region of work. Closing (dropping) an enabled span emits a
+/// [`EventKind::SpanEnd`] event carrying its duration and any attributes
+/// recorded while it was open.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent_id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    /// A span on a disabled tracer (for callers that always need a
+    /// parent span to pass down).
+    pub fn disabled() -> Span {
+        Tracer::disabled().span("")
+    }
+
+    /// Whether this span actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.tracer.open_span(name, self.id)
+    }
+
+    /// Records an attribute to be emitted when the span closes.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.is_enabled() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Records an instant event inside this span.
+    pub fn event(&self, name: &'static str, attrs: Vec<(&'static str, Value)>) {
+        self.tracer.instant(name, self.id, self.parent_id, attrs);
+    }
+
+    /// The tracer this span records to.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let Some(collector) = &self.tracer.inner else {
+            return;
+        };
+        let elapsed_ns = duration_ns(start.elapsed());
+        self.tracer.record(Event {
+            at_ns: duration_ns(collector.epoch.elapsed()),
+            span_id: self.id,
+            parent_id: self.parent_id,
+            kind: EventKind::SpanEnd { elapsed_ns },
+            name: self.name,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut span = t.span("query");
+        span.record("k", 1u64);
+        span.event("e", vec![("a", Value::Bool(true))]);
+        let child = span.child("inner");
+        assert!(!child.is_enabled());
+        drop(child);
+        drop(span);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let t = Tracer::enabled();
+        {
+            let mut outer = t.span("outer");
+            outer.record("answer", 42u64);
+            {
+                let inner = outer.child("inner");
+                inner.event("tick", vec![("n", Value::U64(7))]);
+            }
+        }
+        let events = t.events();
+        let names: Vec<_> = events.iter().map(|e| (e.name, e.kind)).collect();
+        assert_eq!(names.len(), 5, "{names:?}");
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].name, "inner");
+        // The inner span's parent is the outer span.
+        assert_eq!(events[1].parent_id, events[0].span_id);
+        assert_eq!(events[2].name, "tick");
+        assert_eq!(events[2].kind, EventKind::Instant);
+        assert_eq!(events[2].span_id, events[1].span_id);
+        // inner closes before outer.
+        assert!(matches!(events[3].kind, EventKind::SpanEnd { .. }));
+        assert_eq!(events[3].name, "inner");
+        assert_eq!(events[4].name, "outer");
+        assert_eq!(events[4].attr("answer"), Some(&Value::U64(42)));
+    }
+
+    #[test]
+    fn span_end_duration_is_monotonic() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span("timed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let events = t.events();
+        let end = events.last().unwrap();
+        match end.kind {
+            EventKind::SpanEnd { elapsed_ns } => {
+                assert!(elapsed_ns >= 1_000_000, "{elapsed_ns}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_counts_drops() {
+        let t = Tracer::with_capacity(4);
+        for _ in 0..10 {
+            t.event("e", Vec::new());
+        }
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn sink_sees_events_live() {
+        use std::sync::atomic::AtomicUsize;
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let t = Tracer::with_sink(
+            16,
+            Arc::new(move |e: &Event| {
+                if e.name == "pass" {
+                    seen2.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        );
+        t.event("pass", Vec::new());
+        t.event("other", Vec::new());
+        t.event("pass", Vec::new());
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(Duration::from_nanos(9)), Value::U64(9));
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(-2i64).to_string(), "-2");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(1.5f64).to_string(), "1.5");
+    }
+
+    #[test]
+    fn threads_can_share_a_tracer() {
+        let t = Tracer::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        t.event("w", Vec::new());
+                    }
+                });
+            }
+        });
+        assert_eq!(t.events().len(), 200);
+    }
+}

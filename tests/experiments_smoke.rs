@@ -55,6 +55,22 @@ fn figures_run_and_render() {
 }
 
 #[test]
+fn latency_percentiles_render_per_mode() {
+    let e = experiment();
+    let (rows, latencies) = e.run_queries_profiled();
+    assert_eq!(rows.len(), 10);
+    let rendered = report::render_latencies(&latencies);
+    for mode in ["Scan", "Multigram", "Complete", "Suffix"] {
+        assert!(rendered.contains(mode), "{rendered}");
+    }
+    for column in ["p50", "p90", "p99", "mean", "samples"] {
+        assert!(rendered.contains(column), "{rendered}");
+    }
+    // One sample per query per mode at repeats=1.
+    assert_eq!(latencies.multigram.count(), 10);
+}
+
+#[test]
 fn scan_fallback_queries_never_lose_to_scan_badly() {
     // Paper: "even for these regular expressions, indexing techniques do
     // not degrade performance" — allow generous noise margins on a tiny

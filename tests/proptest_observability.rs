@@ -1,0 +1,157 @@
+//! Property tests for the observability layer: the per-operator counters
+//! reported by `EXPLAIN ANALYZE` must reconcile exactly with the
+//! aggregate `QueryStats` — over the in-memory index and the blocked
+//! on-disk format, with sequential and parallel confirmation — and the
+//! per-node exclusive stats must partition the root's subtree totals.
+
+use free_corpus::MemCorpus;
+use free_engine::{Engine, EngineConfig, ExplainAnalyze, NodeStats};
+use free_index::CursorStats;
+use proptest::prelude::*;
+
+/// Sums the exclusive per-node stats over the whole tree.
+fn sum_exclusive(node: &NodeStats, acc: &mut CursorStats) {
+    acc.merge(&node.exclusive);
+    for c in &node.children {
+        sum_exclusive(c, acc);
+    }
+}
+
+/// The invariants every `EXPLAIN ANALYZE` result must satisfy: the root
+/// subtree equals the aggregate cursor accounting, and the exclusive
+/// stats of all nodes partition it.
+fn assert_reconciles(ea: &ExplainAnalyze, context: &str) {
+    let Some(root) = &ea.root else {
+        assert!(ea.stats.used_scan, "{context}: no tree implies a scan");
+        return;
+    };
+    assert_eq!(root.subtree.seeks, ea.stats.cursor_seeks, "{context}");
+    assert_eq!(
+        root.subtree.postings_decoded, ea.stats.postings_decoded,
+        "{context}"
+    );
+    assert_eq!(
+        root.subtree.blocks_decoded, ea.stats.blocks_decoded,
+        "{context}"
+    );
+    assert_eq!(
+        root.subtree.postings_skipped, ea.stats.postings_skipped,
+        "{context}"
+    );
+    assert_eq!(
+        root.actual_docs as usize, ea.stats.candidates,
+        "{context}: the root yields exactly the candidate set"
+    );
+    let mut total = CursorStats::default();
+    sum_exclusive(root, &mut total);
+    assert_eq!(total, root.subtree, "{context}: exclusive must partition");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random corpora and patterns over the in-memory index: the
+    /// instrumented tree reconciles with the aggregate stats for any
+    /// plan shape, and the reported actuals do not depend on the
+    /// confirmation thread count.
+    #[test]
+    fn analyze_reconciles_on_memindex(
+        docs in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'x')],
+                0..40,
+            ),
+            1..25,
+        ),
+        pattern_idx in 0usize..4,
+    ) {
+        let pattern = ["ab.*ca", "ab|bca*", "abc", "a.c|xb"][pattern_idx];
+        let corpus = MemCorpus::from_docs(docs);
+        let engine_with = |threads: usize| {
+            Engine::build_in_memory(
+                corpus.clone(),
+                EngineConfig {
+                    usefulness_threshold: 0.6,
+                    max_gram_len: 6,
+                    num_threads: threads,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = engine_with(1);
+        let par = engine_with(4);
+        let a = seq.explain_analyze(pattern).unwrap();
+        let b = par.explain_analyze(pattern).unwrap();
+        assert_reconciles(&a, "mem threads=1");
+        assert_reconciles(&b, "mem threads=4");
+        prop_assert_eq!(a.stats.matching_docs, b.stats.matching_docs);
+        prop_assert_eq!(a.stats.candidates, b.stats.candidates);
+        prop_assert_eq!(
+            a.root.as_ref().map(|r| r.actual_docs),
+            b.root.as_ref().map(|r| r.actual_docs)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Corpora large enough that the on-disk index stores blocked
+    /// postings lists: reconciliation must also hold when operators skip
+    /// whole blocks, for 1 and 4 confirmation threads, and the disk
+    /// index must agree with the in-memory one.
+    #[test]
+    fn analyze_reconciles_on_blocked_disk_index(
+        num_docs in 200usize..350,
+        period in 3usize..17,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        // Every doc contains "commongram" (a >128-posting, blocked
+        // list); every `period`-th doc contains the rare needle, so the
+        // AND is lopsided and skips postings.
+        let docs: Vec<Vec<u8>> = (0..num_docs)
+            .map(|i| {
+                if i % period == 1 {
+                    format!("commongram rareneedle {i}").into_bytes()
+                } else {
+                    format!("commongram filler {i}").into_bytes()
+                }
+            })
+            .collect();
+        let corpus = MemCorpus::from_docs(docs);
+        let config = EngineConfig {
+            usefulness_threshold: 1.0,
+            max_gram_len: 10,
+            prune_selectivity: 1.0, // keep the common list in the plan
+            num_threads: threads,
+            ..EngineConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "free-obs-prop-{}-{num_docs}-{period}-{threads}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let disk = Engine::build_on_disk(corpus.clone(), config.clone(), dir.join("idx.free"))
+            .unwrap();
+        let mem = Engine::build_in_memory(corpus, config).unwrap();
+
+        let pattern = "commongram.*rareneedle";
+        let d = disk.explain_analyze(pattern).unwrap();
+        let m = mem.explain_analyze(pattern).unwrap();
+        assert_reconciles(&d, "disk");
+        assert_reconciles(&m, "mem");
+
+        let droot = d.root.as_ref().expect("indexed plan on disk");
+        prop_assert!(droot.subtree.blocks_decoded > 0, "list must be blocked");
+        prop_assert!(droot.subtree.postings_skipped > 0, "lopsided AND skips");
+        prop_assert_eq!(d.stats.matching_docs, m.stats.matching_docs);
+        prop_assert_eq!(
+            droot.actual_docs,
+            m.root.as_ref().unwrap().actual_docs,
+            "storage format must not change yielded docs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
