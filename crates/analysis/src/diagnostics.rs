@@ -10,6 +10,7 @@
 //! | `FA001`–`FA099` | query linter (index pathologies visible in the AST) |
 //! | `FA101`–`FA199` | plan soundness verifier (Algorithm 4.1 invariant) |
 //! | `FA201`–`FA299` | static cost classifier (INDEXED / WEAK / SCAN) |
+//! | `FA301`–`FA399` | live-index health (fragmentation, drift, tombstones) |
 
 use free_engine::PlanClass;
 use free_regex::Span;
@@ -44,6 +45,12 @@ pub mod codes {
     /// estimate (only produced when an `EXPLAIN ANALYZE` trace is
     /// available).
     pub const ESTIMATE_DRIFT: &str = "FA204";
+    /// A live index is split across too many sealed segments.
+    pub const OVER_FRAGMENTED: &str = "FA301";
+    /// New documents contain candidate grams no sealed segment mined.
+    pub const KEY_SET_DRIFT: &str = "FA302";
+    /// Tombstoned documents dominate a live index's stored documents.
+    pub const TOMBSTONE_DEBT: &str = "FA303";
 }
 
 /// How serious a finding is.

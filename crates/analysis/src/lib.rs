@@ -29,10 +29,12 @@
 pub mod cost;
 pub mod diagnostics;
 pub mod lint;
+pub mod live;
 pub mod soundness;
 
 pub use diagnostics::{codes, Diagnostic, Report, Severity};
 pub use lint::predicts_null;
+pub use live::{analyze_live, LiveAnalysisConfig, LiveHealth};
 pub use soundness::SoundnessSummary;
 
 use free_engine::plan::logical::LogicalPlan;

@@ -1,0 +1,203 @@
+//! Live-index health analysis (`FA301`–`FA399`).
+//!
+//! The batch analyzers judge *queries*; these judge the *index shape* of
+//! a live (incrementally updated) index. The caller summarizes the index
+//! into a [`LiveHealth`] — this module deliberately has no dependency on
+//! the live-index crate, so the analysis stays a pure function of plain
+//! numbers and is trivially testable.
+//!
+//! | Code | Finding |
+//! |---|---|
+//! | `FA301` | over-fragmented: too many sealed segments |
+//! | `FA302` | key-set drift: new docs escape the mined key sets |
+//! | `FA303` | tombstone debt: deleted docs dominate stored docs |
+
+use crate::diagnostics::{codes, Diagnostic, Severity};
+
+/// A shape summary of a live index, as computed by its owner.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveHealth {
+    /// Sealed segments on disk.
+    pub num_segments: usize,
+    /// Documents in the write buffer (including tombstoned ones).
+    pub memtable_docs: usize,
+    /// Live (queryable) documents.
+    pub live_docs: usize,
+    /// Tombstoned documents not yet reclaimed by compaction.
+    pub tombstoned_docs: usize,
+    /// Fraction of live write-buffer documents containing a candidate
+    /// gram absent from every sealed segment's key set (see the live
+    /// crate's drift probe).
+    pub drift_fraction: f64,
+}
+
+/// Thresholds for [`analyze_live`].
+#[derive(Clone, Copy, Debug)]
+pub struct LiveAnalysisConfig {
+    /// Flag `FA301` when more than this many segments exist.
+    pub max_segments: usize,
+    /// Flag `FA302` when the drift fraction exceeds this.
+    pub drift_threshold: f64,
+    /// Flag `FA303` when tombstones exceed this fraction of stored docs.
+    pub tombstone_threshold: f64,
+}
+
+impl Default for LiveAnalysisConfig {
+    fn default() -> LiveAnalysisConfig {
+        LiveAnalysisConfig {
+            max_segments: 8,
+            drift_threshold: 0.25,
+            tombstone_threshold: 0.3,
+        }
+    }
+}
+
+/// Analyzes a live index's shape, returning zero or more diagnostics.
+pub fn analyze_live(health: &LiveHealth, cfg: &LiveAnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if health.num_segments > cfg.max_segments {
+        out.push(
+            Diagnostic::new(
+                codes::OVER_FRAGMENTED,
+                Severity::Warning,
+                None,
+                format!(
+                    "index is split across {} segments (threshold {}); every query \
+                     plans and merges one candidate stream per segment",
+                    health.num_segments, cfg.max_segments
+                ),
+            )
+            .with_suggestion("run `free compact` to merge segments into one"),
+        );
+    }
+    if health.drift_fraction > cfg.drift_threshold {
+        out.push(
+            Diagnostic::new(
+                codes::KEY_SET_DRIFT,
+                Severity::Warning,
+                None,
+                format!(
+                    "{:.0}% of buffered documents contain candidate grams no sealed \
+                     segment ever mined (threshold {:.0}%); queries over new content \
+                     degrade toward scans",
+                    health.drift_fraction * 100.0,
+                    cfg.drift_threshold * 100.0
+                ),
+            )
+            .with_suggestion(
+                "run `free compact` to seal the buffer and unify key sets, or \
+                 rebuild to re-mine keys over the full corpus",
+            ),
+        );
+    }
+    let stored = health.live_docs + health.tombstoned_docs;
+    if stored > 0 {
+        let frac = health.tombstoned_docs as f64 / stored as f64;
+        if frac > cfg.tombstone_threshold {
+            out.push(
+                Diagnostic::new(
+                    codes::TOMBSTONE_DEBT,
+                    Severity::Warning,
+                    None,
+                    format!(
+                        "{:.0}% of stored documents are tombstoned (threshold {:.0}%); \
+                         postings and storage are mostly dead weight",
+                        frac * 100.0,
+                        cfg.tombstone_threshold * 100.0
+                    ),
+                )
+                .with_suggestion("run `free compact` to reclaim tombstoned documents"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> LiveHealth {
+        LiveHealth {
+            num_segments: 2,
+            memtable_docs: 10,
+            live_docs: 100,
+            tombstoned_docs: 5,
+            drift_fraction: 0.05,
+        }
+    }
+
+    #[test]
+    fn healthy_index_is_clean() {
+        let diags = analyze_live(&healthy(), &LiveAnalysisConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn fragmentation_flags_fa301() {
+        let health = LiveHealth {
+            num_segments: 20,
+            ..healthy()
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::OVER_FRAGMENTED);
+    }
+
+    #[test]
+    fn drift_flags_fa302() {
+        let health = LiveHealth {
+            drift_fraction: 0.8,
+            ..healthy()
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::KEY_SET_DRIFT);
+        assert!(diags[0].message.contains("80%"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn tombstone_debt_flags_fa303() {
+        let health = LiveHealth {
+            live_docs: 10,
+            tombstoned_docs: 90,
+            ..healthy()
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::TOMBSTONE_DEBT);
+    }
+
+    #[test]
+    fn empty_index_divides_safely() {
+        let health = LiveHealth {
+            num_segments: 0,
+            memtable_docs: 0,
+            live_docs: 0,
+            tombstoned_docs: 0,
+            drift_fraction: 0.0,
+        };
+        assert!(analyze_live(&health, &LiveAnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn all_three_can_fire_together() {
+        let health = LiveHealth {
+            num_segments: 50,
+            memtable_docs: 100,
+            live_docs: 10,
+            tombstoned_docs: 90,
+            drift_fraction: 0.9,
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        let codes_found: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes_found,
+            vec![
+                codes::OVER_FRAGMENTED,
+                codes::KEY_SET_DRIFT,
+                codes::TOMBSTONE_DEBT
+            ]
+        );
+    }
+}

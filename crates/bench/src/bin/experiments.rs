@@ -13,7 +13,10 @@
 //!   ablate    threshold & gram-length sweeps (design-choice ablations)
 //!   disk      end-to-end on-disk pipeline demo (DiskCorpus + IndexReader)
 //!   grams     mined-gram report: length histogram, most/least selective keys
-//!   all       everything above (except disk and grams)
+//!   ingest    live-index sustained ingest: docs/sec plus query latency
+//!             percentiles measured *while* ingesting (report also written
+//!             to results/ingest.txt)
+//!   all       everything above (except disk, grams, and ingest)
 //!
 //! Options:
 //!   --docs N      number of synthetic pages (default 2000)
@@ -75,24 +78,39 @@ fn main() {
         .collect();
     }
 
-    eprintln!(
-        "# building experiment: {} docs, seed {:#x}, c={}, repeats={}",
-        config.num_docs, config.seed, config.usefulness_threshold, config.repeats
-    );
-    let build_start = Instant::now();
-    let experiment = Experiment::build(config.clone());
-    eprintln!(
-        "# corpus: {} bytes; all indexes built in {:.1}s",
-        free_corpus::Corpus::total_bytes(&experiment.corpus),
-        build_start.elapsed().as_secs_f64()
-    );
+    // `disk` and `ingest` build their own pipelines; only the paper
+    // figures need the four prebuilt in-memory indexes.
+    let needs_experiment = commands
+        .iter()
+        .any(|c| !matches!(c.as_str(), "disk" | "ingest"));
+    let experiment = if needs_experiment {
+        eprintln!(
+            "# building experiment: {} docs, seed {:#x}, c={}, repeats={}",
+            config.num_docs, config.seed, config.usefulness_threshold, config.repeats
+        );
+        let build_start = Instant::now();
+        let experiment = Experiment::build(config.clone());
+        eprintln!(
+            "# corpus: {} bytes; all indexes built in {:.1}s",
+            free_corpus::Corpus::total_bytes(&experiment.corpus),
+            build_start.elapsed().as_secs_f64()
+        );
+        Some(experiment)
+    } else {
+        None
+    };
+    let exp = || {
+        experiment
+            .as_ref()
+            .expect("experiment built for this command")
+    };
 
     let needs_queries = commands
         .iter()
         .any(|c| matches!(c.as_str(), "fig9" | "fig10" | "fig11" | "fig12" | "latency"));
     let (query_rows, query_latencies) = if needs_queries {
         eprintln!("# running the 10 benchmark queries in 4 modes ...");
-        let (rows, latencies) = experiment.run_queries_profiled();
+        let (rows, latencies) = exp().run_queries_profiled();
         (rows, Some(latencies))
     } else {
         (Vec::new(), None)
@@ -101,9 +119,9 @@ fn main() {
     for cmd in &commands {
         let rendered = match cmd.as_str() {
             "table3" => report::render_table3(
-                &experiment.table3(),
+                &exp().table3(),
                 config.num_docs,
-                free_corpus::Corpus::total_bytes(&experiment.corpus),
+                free_corpus::Corpus::total_bytes(&exp().corpus),
             ),
             "fig9" => report::render_fig9(&query_rows),
             "fig10" => report::render_fig10(&query_rows),
@@ -112,9 +130,10 @@ fn main() {
             "latency" => {
                 report::render_latencies(query_latencies.as_ref().expect("queries were run"))
             }
-            "ablate" => run_ablations(&experiment),
+            "ablate" => run_ablations(exp()),
             "disk" => run_disk_demo(&config),
-            "grams" => run_gram_report(&experiment),
+            "grams" => run_gram_report(exp()),
+            "ingest" => run_ingest_bench(&config),
             other => usage(&format!("unknown command {other}")),
         };
         println!("{rendered}");
@@ -124,7 +143,7 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         std::fs::write(
             format!("{dir}/table3.csv"),
-            report::table3_csv(&experiment.table3()),
+            report::table3_csv(&exp().table3()),
         )
         .expect("write table3.csv");
         if !query_rows.is_empty() {
@@ -355,6 +374,137 @@ fn run_disk_demo(config: &ExperimentConfig) -> String {
     out
 }
 
+/// Live-index sustained-ingest benchmark: streams the synthetic corpus
+/// into a [`free_live::LiveIndex`] in batches (letting the configured
+/// thresholds flush segments along the way), measuring ingest throughput
+/// and — after every batch — one query, so the latency percentiles
+/// reflect queries running *while* the index is being written. Ends with
+/// a timed compaction and a post-compaction query pass. The rendered
+/// report is also written to `results/ingest.txt`.
+fn run_ingest_bench(config: &ExperimentConfig) -> String {
+    use free_bench::queries::benchmark_queries;
+    use std::fmt::Write as _;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("free-ingest-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let synth = free_corpus::synth::SynthConfig {
+        num_docs: config.num_docs,
+        seed: config.seed,
+        ..free_corpus::synth::SynthConfig::default()
+    };
+    let generator = free_corpus::synth::Generator::new(synth);
+
+    const BATCH: usize = 64;
+    let live_config = free_live::LiveConfig {
+        engine: free_engine::EngineConfig {
+            usefulness_threshold: config.usefulness_threshold,
+            max_gram_len: config.max_gram_len,
+            ..free_engine::EngineConfig::default()
+        },
+        // Aim for a handful of segment flushes over the run.
+        flush_threshold_docs: (config.num_docs / 8).max(BATCH),
+        ..free_live::LiveConfig::default()
+    };
+    let mut live = free_live::LiveIndex::create(&dir, live_config).expect("create live index");
+
+    // Indexable benchmark queries only: the scan-class ones would time
+    // corpus I/O, not the live read path under ingest.
+    let queries: Vec<_> = benchmark_queries()
+        .into_iter()
+        .filter(|q| !q.expect_scan)
+        .take(4)
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut ingest_time = Duration::ZERO;
+    let mut total_bytes = 0u64;
+    let mut page = Vec::new();
+    let mut doc_id = 0u32;
+    let mut batch_no = 0usize;
+    while (doc_id as usize) < config.num_docs {
+        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(BATCH);
+        while batch.len() < BATCH && (doc_id as usize) < config.num_docs {
+            page.clear();
+            generator.page(doc_id, &mut page);
+            total_bytes += page.len() as u64;
+            batch.push(page.clone());
+            doc_id += 1;
+        }
+        let t = Instant::now();
+        live.add_batch(&batch).expect("ingest batch");
+        ingest_time += t.elapsed();
+
+        let q = &queries[batch_no % queries.len()];
+        let t = Instant::now();
+        let result = live.query(q.pattern).expect("query under ingest");
+        latencies.push(t.elapsed());
+        std::hint::black_box(result.matches.len());
+        batch_no += 1;
+    }
+    let docs_per_sec = config.num_docs as f64 / ingest_time.as_secs_f64();
+    let mib_per_sec = total_bytes as f64 / (1 << 20) as f64 / ingest_time.as_secs_f64();
+    let segments_before = live.num_segments();
+
+    let t = Instant::now();
+    live.compact().expect("compact");
+    let compact_time = t.elapsed();
+
+    let mut after: Vec<Duration> = Vec::new();
+    for q in &queries {
+        let t = Instant::now();
+        let result = live.query(q.pattern).expect("query after compact");
+        after.push(t.elapsed());
+        std::hint::black_box(result.matches.len());
+    }
+
+    latencies.sort();
+    after.sort();
+    let pct = |v: &[Duration], p: f64| -> Duration {
+        if v.is_empty() {
+            return Duration::ZERO;
+        }
+        v[((v.len() - 1) as f64 * p).round() as usize]
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Live ingest — {} docs ({} bytes) in batches of {BATCH}",
+        config.num_docs, total_bytes
+    );
+    let _ = writeln!(
+        out,
+        "sustained ingest: {docs_per_sec:.0} docs/s ({mib_per_sec:.1} MiB/s), \
+         {segments_before} segment(s) + buffer at end of ingest"
+    );
+    let _ = writeln!(
+        out,
+        "query latency while ingesting ({} queries): p50 {:.2?}  p99 {:.2?}",
+        latencies.len(),
+        pct(&latencies, 0.50),
+        pct(&latencies, 0.99),
+    );
+    let _ = writeln!(
+        out,
+        "compaction to 1 segment: {compact_time:.2?}; queries after compaction: \
+         p50 {:.2?}  max {:.2?}",
+        pct(&after, 0.50),
+        pct(&after, 1.0),
+    );
+
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write("results/ingest.txt", &out))
+    {
+        eprintln!("# could not write results/ingest.txt: {e}");
+    } else {
+        eprintln!("# report written to results/ingest.txt");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
     *i += 1;
     let raw = args
@@ -378,7 +528,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--docs N] [--seed S] [--c X] [--repeats N] [--csv DIR] \
-         <table3|fig9|fig10|fig11|fig12|latency|ablate|all>..."
+         <table3|fig9|fig10|fig11|fig12|latency|ablate|disk|grams|ingest|all>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

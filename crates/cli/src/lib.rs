@@ -28,6 +28,8 @@ use std::path::{Path, PathBuf};
 pub enum CliError {
     /// Underlying engine/corpus/index failure.
     Engine(free_engine::Error),
+    /// Live-index failure.
+    Live(free_live::Error),
     /// Manifest missing or malformed.
     Manifest(String),
     /// I/O around the index directory.
@@ -38,6 +40,7 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Live(e) => write!(f, "{e}"),
             CliError::Manifest(m) => write!(f, "manifest error: {m}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -61,6 +64,11 @@ impl From<std::io::Error> for CliError {
         CliError::Io(e)
     }
 }
+impl From<free_live::Error> for CliError {
+    fn from(e: free_live::Error) -> Self {
+        CliError::Live(e)
+    }
+}
 
 /// Result alias for CLI operations.
 pub type Result<T> = std::result::Result<T, CliError>;
@@ -80,6 +88,10 @@ pub struct IndexOptions {
     pub threshold: f64,
     /// Print a progress line per a-priori mining pass (to stderr, live).
     pub verbose: bool,
+    /// Overwrite an existing index in `index_dir`. Without this, building
+    /// over an existing index is refused so a typo'd `--out` can't
+    /// silently clobber someone else's index.
+    pub force: bool,
 }
 
 impl IndexOptions {
@@ -98,6 +110,7 @@ impl IndexOptions {
             ],
             threshold: 0.1,
             verbose: false,
+            force: false,
         }
     }
 }
@@ -146,6 +159,13 @@ pub fn build_index_report(options: &IndexOptions) -> Result<(String, free_engine
     let num_files = files.len();
     let total_bytes = corpus.total_bytes();
 
+    let manifest_path = options.index_dir.join(MANIFEST_FILE);
+    if manifest_path.exists() && !options.force {
+        return Err(CliError::Manifest(format!(
+            "an index already exists at {} — pass --force to overwrite it",
+            options.index_dir.display()
+        )));
+    }
     std::fs::create_dir_all(&options.index_dir)?;
     let config = EngineConfig {
         usefulness_threshold: options.threshold,
@@ -357,6 +377,151 @@ impl SearchIndex {
             s.index_stats.total_bytes(),
         )
     }
+}
+
+/// Default directory for the live-index subcommands.
+pub const DEFAULT_LIVE_DIR: &str = ".freelive";
+
+fn live_config(threads: usize) -> free_live::LiveConfig {
+    free_live::LiveConfig {
+        engine: EngineConfig {
+            num_threads: threads,
+            ..EngineConfig::default()
+        },
+        ..free_live::LiveConfig::default()
+    }
+}
+
+/// `free add`: ingests each file as one document into the live index at
+/// `dir` (created on first use), printing the assigned sequence numbers.
+pub fn live_add(dir: &Path, files: &[PathBuf]) -> Result<String> {
+    let mut live = free_live::LiveIndex::open_or_create(dir, live_config(0))?;
+    let mut docs = Vec::with_capacity(files.len());
+    for f in files {
+        docs.push(std::fs::read(f)?);
+    }
+    let ids = live.add_batch(&docs)?;
+    let mut out = String::new();
+    for (f, id) in files.iter().zip(&ids) {
+        let _ = writeln!(out, "added {} as doc {id}", f.display());
+    }
+    let stats = live.stats();
+    let _ = writeln!(
+        out,
+        "# {} live doc(s), {} segment(s), {} buffered",
+        stats.live_docs,
+        stats.segments.len(),
+        stats.memtable_docs
+    );
+    Ok(out)
+}
+
+/// `free delete`: tombstones documents by sequence number.
+pub fn live_delete(dir: &Path, seqs: &[u32]) -> Result<String> {
+    let mut live = free_live::LiveIndex::open(dir, live_config(0))?;
+    let mut out = String::new();
+    for &seq in seqs {
+        live.delete(seq)?;
+        let _ = writeln!(out, "deleted doc {seq}");
+    }
+    let _ = writeln!(out, "# {} live doc(s) remain", live.live_docs());
+    Ok(out)
+}
+
+/// `free compact`: flushes the write buffer and merges all segments into
+/// one, reclaiming tombstoned documents.
+pub fn live_compact(dir: &Path) -> Result<String> {
+    let mut live = free_live::LiveIndex::open(dir, live_config(0))?;
+    let before = live.stats();
+    let changed = live.compact()?;
+    let after = live.stats();
+    if !changed && before.segments.len() == after.segments.len() {
+        return Ok(format!(
+            "nothing to compact: {} segment(s), {} tombstone(s)\n",
+            after.segments.len(),
+            after.tombstones
+        ));
+    }
+    Ok(format!(
+        "compacted {} segment(s) + {} buffered doc(s) ({} tombstone(s) reclaimed) \
+         into {} segment(s); {} live doc(s)\n",
+        before.segments.len(),
+        before.memtable_docs,
+        before.tombstones,
+        after.segments.len(),
+        after.live_docs
+    ))
+}
+
+/// `free segments`: reports the live index's shape, plus any `FA30x`
+/// health findings. With `json`, emits one JSON object with the stats
+/// and the diagnostics.
+pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
+    let live = free_live::LiveIndex::open(dir, live_config(0))?;
+    let stats = live.stats();
+    let drift = live.key_set_drift()?;
+    let health = free_analyze::LiveHealth {
+        num_segments: stats.segments.len(),
+        memtable_docs: stats.memtable_docs,
+        live_docs: stats.live_docs,
+        tombstoned_docs: stats.tombstones,
+        drift_fraction: drift,
+    };
+    let diags = free_analyze::analyze_live(&health, &free_analyze::LiveAnalysisConfig::default());
+    if json {
+        let rendered = diags
+            .iter()
+            .map(|d| {
+                let mut o = free_trace::json::JsonObject::new();
+                o.field_str("code", d.code)
+                    .field_str("severity", &d.severity.to_string())
+                    .field_str("message", &d.message);
+                if let Some(s) = &d.suggestion {
+                    o.field_str("suggestion", s);
+                }
+                o.finish()
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut o = free_trace::json::JsonObject::new();
+        o.field_raw("stats", stats.to_json())
+            .field_f64("drift_fraction", drift)
+            .field_raw("diagnostics", format!("[{rendered}]"));
+        return Ok(format!("{}\n", o.finish()));
+    }
+    let mut out = stats.render_human();
+    let _ = writeln!(out, "key-set drift: {:.0}%", drift * 100.0);
+    for d in &diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "  help: {s}");
+        }
+    }
+    Ok(out)
+}
+
+/// `free search --live`: queries the live index, printing one line per
+/// matching document.
+pub fn live_search(dir: &Path, pattern: &str, threads: usize) -> Result<String> {
+    let live = free_live::LiveIndex::open(dir, live_config(threads))?;
+    let result = live.query(pattern)?;
+    let mut out = String::new();
+    for m in &result.matches {
+        let _ = writeln!(out, "doc {}: {} match(es)", m.seq, m.spans.len());
+    }
+    let _ = writeln!(
+        out,
+        "# {} matching doc(s) of {} live; examined {}{}",
+        result.matches.len(),
+        live.live_docs(),
+        result.stats.base.docs_examined,
+        if result.stats.base.used_scan {
+            " (no usable grams: full scan)"
+        } else {
+            ""
+        },
+    );
+    Ok(out)
 }
 
 #[cfg(test)]

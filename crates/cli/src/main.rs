@@ -1,12 +1,16 @@
 //! `freegrep` — grep with a prebuilt multigram index.
 //!
 //! ```text
-//! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--verbose] [--stats-json] <ROOT>
-//! freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] [--stats-json] <PATTERN>
+//! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--force] [--verbose] [--stats-json] <ROOT>
+//! freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] [--files-only] [--stats-json] <PATTERN>
 //! freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>
 //! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
 //! freegrep metrics [--index DIR] [PATTERN]
+//! freegrep add [--dir DIR] <FILE>...
+//! freegrep delete [--dir DIR] <SEQ>...
+//! freegrep compact [--dir DIR]
+//! freegrep segments [--dir DIR] [--json]
 //! ```
 //!
 //! The same binary also installs as `free`, so the analyzer reads as
@@ -47,6 +51,7 @@ fn run(args: &[String]) -> CmdResult {
             let mut out_dir: Option<PathBuf> = None;
             let mut extensions: Vec<String> = Vec::new();
             let mut threshold = 0.1f64;
+            let mut force = false;
             let mut verbose = false;
             let mut stats_json = false;
             let mut root: Option<PathBuf> = None;
@@ -68,6 +73,7 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         threshold = value(rest, i, "--c")?.parse()?;
                     }
+                    "--force" => force = true,
                     "--verbose" => verbose = true,
                     "--stats-json" => stats_json = true,
                     arg if !arg.starts_with('-') => root = Some(arg.into()),
@@ -80,6 +86,7 @@ fn run(args: &[String]) -> CmdResult {
             options.extensions = extensions;
             options.threshold = threshold;
             options.verbose = verbose;
+            options.force = force;
             if let Some(dir) = out_dir {
                 options.index_dir = dir;
             }
@@ -111,6 +118,7 @@ fn run(args: &[String]) -> CmdResult {
         }
         "search" | "explain" | "stats" | "metrics" => {
             let mut index_dir = PathBuf::from(".freegrep");
+            let mut live_dir: Option<PathBuf> = None;
             let mut limit = 0usize;
             let mut threads = 0usize;
             let mut files_only = false;
@@ -124,6 +132,10 @@ fn run(args: &[String]) -> CmdResult {
                     "--index" => {
                         i += 1;
                         index_dir = value(rest, i, "--index")?.into();
+                    }
+                    "--live" => {
+                        i += 1;
+                        live_dir = Some(value(rest, i, "--live")?.into());
                     }
                     "--limit" => {
                         i += 1;
@@ -151,6 +163,13 @@ fn run(args: &[String]) -> CmdResult {
                 }
                 return Ok((freegrep::metrics_text(), 0));
             }
+            if let Some(dir) = live_dir {
+                if command != "search" {
+                    return Err("--live only applies to search".into());
+                }
+                let pattern = pattern.ok_or("search needs a PATTERN")?;
+                return Ok((freegrep::live_search(&dir, &pattern, threads)?, 0));
+            }
             let index = SearchIndex::open_with_threads(&index_dir, threads)?;
             match command.as_str() {
                 "search" => {
@@ -168,6 +187,46 @@ fn run(args: &[String]) -> CmdResult {
                 _ => Ok((format!("{}\n", index.stats()), 0)),
             }
         }
+        "add" | "delete" | "compact" | "segments" => {
+            let mut dir = PathBuf::from(freegrep::DEFAULT_LIVE_DIR);
+            let mut json = false;
+            let mut operands: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--dir" => {
+                        i += 1;
+                        dir = value(rest, i, "--dir")?.into();
+                    }
+                    "--json" if command == "segments" => json = true,
+                    arg if !arg.starts_with('-') => operands.push(arg.to_string()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            match command.as_str() {
+                "add" => {
+                    if operands.is_empty() {
+                        return Err("add needs at least one FILE".into());
+                    }
+                    let files: Vec<PathBuf> = operands.iter().map(PathBuf::from).collect();
+                    Ok((freegrep::live_add(&dir, &files)?, 0))
+                }
+                "delete" => {
+                    if operands.is_empty() {
+                        return Err("delete needs at least one SEQ".into());
+                    }
+                    let seqs = operands
+                        .iter()
+                        .map(|s| s.parse::<u32>())
+                        .collect::<Result<Vec<u32>, _>>()
+                        .map_err(|_| "delete takes numeric sequence numbers")?;
+                    Ok((freegrep::live_delete(&dir, &seqs)?, 0))
+                }
+                "compact" => Ok((freegrep::live_compact(&dir)?, 0)),
+                _ => Ok((freegrep::live_segments(&dir, json)?, 0)),
+            }
+        }
         "--help" | "-h" | "help" => Ok((format!("{}\n", usage()), 0)),
         other => Err(format!("unknown command {other}\n{}", usage()).into()),
     }
@@ -181,17 +240,23 @@ fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String
 
 fn usage() -> String {
     "usage:\n  freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] \
-     [--verbose] [--stats-json] <ROOT>\n  \
-     freegrep search [--index DIR] [--limit N] [--threads N] [--files-only] \
-     [--stats-json] <PATTERN>\n  \
+     [--force] [--verbose] [--stats-json] <ROOT>\n  \
+     freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] \
+     [--files-only] [--stats-json] <PATTERN>\n  \
      freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>\n  \
      freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n  \
-     freegrep metrics [--index DIR] [PATTERN]\n\n\
+     freegrep metrics [--index DIR] [PATTERN]\n  \
+     freegrep add [--dir DIR] <FILE>...\n  \
+     freegrep delete [--dir DIR] <SEQ>...\n  \
+     freegrep compact [--dir DIR]\n  \
+     freegrep segments [--dir DIR] [--json]\n\n\
      --threads N confirms candidates with N worker threads \
      (default 0 = one per CPU); results are identical for any N\n\
      explain --analyze executes the query with per-operator instrumentation \
      and renders estimated vs. actual work per plan node\n\
      metrics dumps the process metrics registry in Prometheus text format \
-     (run with a PATTERN to populate it from one query first)"
+     (run with a PATTERN to populate it from one query first)\n\
+     add/delete/compact/segments operate a live (incrementally updatable) \
+     index in DIR (default ./.freelive); search --live DIR queries it"
         .to_string()
 }

@@ -473,3 +473,157 @@ fn analyze_via_freegrep_name_too() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("FA001"));
 }
+
+/// The full live-index CLI cycle: add → search → delete → compact →
+/// search, asserting the result set tracks every mutation.
+#[test]
+fn live_cycle_add_search_delete_compact() {
+    let dir = setup("live-cycle");
+    let live_dir = dir.join("live");
+    std::fs::write(dir.join("a.txt"), b"the quick brown fox\n").unwrap();
+    std::fs::write(dir.join("b.txt"), b"jumps over the lazy dog\n").unwrap();
+    std::fs::write(dir.join("c.txt"), b"quick quartz quick wizards\n").unwrap();
+
+    let out = free()
+        .args(["add", "--dir"])
+        .arg(&live_dir)
+        .args([dir.join("a.txt"), dir.join("b.txt"), dir.join("c.txt")])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("as doc 0"), "{stdout}");
+    assert!(stdout.contains("as doc 2"), "{stdout}");
+    assert!(stdout.contains("3 live doc(s)"), "{stdout}");
+
+    let search = |pattern: &str| {
+        let out = free()
+            .args(["search", "--live"])
+            .arg(&live_dir)
+            .arg(pattern)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let stdout = search("quick");
+    assert!(stdout.contains("doc 0: 1 match(es)"), "{stdout}");
+    assert!(stdout.contains("doc 2: 2 match(es)"), "{stdout}");
+    assert!(stdout.contains("2 matching doc(s) of 3 live"), "{stdout}");
+
+    let out = free()
+        .args(["delete", "--dir"])
+        .arg(&live_dir)
+        .arg("0")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("deleted doc 0"));
+
+    let stdout = search("quick");
+    assert!(!stdout.contains("doc 0:"), "{stdout}");
+    assert!(stdout.contains("doc 2: 2 match(es)"), "{stdout}");
+
+    let out = free()
+        .args(["compact", "--dir"])
+        .arg(&live_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compacted"), "{stdout}");
+    assert!(stdout.contains("2 live doc(s)"), "{stdout}");
+
+    // Sequence numbers survive compaction; the deleted doc stays gone.
+    let stdout = search("quick");
+    assert!(stdout.contains("doc 2: 2 match(es)"), "{stdout}");
+    assert!(stdout.contains("1 matching doc(s) of 2 live"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn live_segments_json_is_parseable() {
+    let dir = setup("live-segments");
+    let live_dir = dir.join("live");
+    std::fs::write(dir.join("a.txt"), b"alpha beta gamma\n").unwrap();
+    let out = free()
+        .args(["add", "--dir"])
+        .arg(&live_dir)
+        .arg(dir.join("a.txt"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = free()
+        .args(["segments", "--dir"])
+        .arg(&live_dir)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(&stdout);
+    assert!(stdout.contains("\"stats\":{"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":["), "{stdout}");
+
+    // Human rendering works too.
+    let out = free()
+        .args(["segments", "--dir"])
+        .arg(&live_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("write buffer"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn build_refuses_overwrite_without_force() {
+    let dir = setup("force");
+    let index_dir = dir.join("idx");
+    let build = |extra: &[&str]| {
+        let mut cmd = freegrep();
+        cmd.args(["index", "--out"])
+            .arg(&index_dir)
+            .args(["--ext", "rs", "--c", "0.9"]);
+        cmd.args(extra);
+        cmd.arg(&dir).output().unwrap()
+    };
+    assert!(build(&[]).status.success());
+    let out = build(&[]);
+    assert_eq!(out.status.code(), Some(2), "rebuild must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--force"), "{stderr}");
+    let out = build(&["--force"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,14 +7,22 @@
 //! <dir>/corpus.idx   header + one u64 little-endian *end* offset per unit
 //! ```
 //!
-//! The index header is a 8-byte magic plus a u32 version. Offsets are
-//! cumulative ends, so data unit `i` occupies
+//! The index header is a 8-byte magic plus a u32 version plus a u64 unit
+//! count. Offsets are cumulative ends, so data unit `i` occupies
 //! `dat[offset[i-1]..offset[i]]` (with `offset[-1] = 0`). The full offset
 //! table is loaded into memory on open — 8 bytes per data unit, which for
 //! the paper's 700 k pages is under 6 MB.
+//!
+//! The store is appendable: [`CorpusWriter::open_append`] resumes writing
+//! after the last committed unit in O(1) — it reads only the index header
+//! and the *tail* offset (never the full table, never the data file), and
+//! [`CorpusWriter::finish`] appends the new offsets and patches the count
+//! in place. The count is the commit point: offsets are written before the
+//! count, so a crash mid-finish leaves the previously committed prefix
+//! readable and any torn tail bytes are truncated on the next reopen.
 
 use crate::{Corpus, DocId, Error, Result};
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
@@ -23,11 +31,39 @@ const MAGIC: &[u8; 8] = b"FREECORP";
 const VERSION: u32 = 1;
 const DATA_FILE: &str = "corpus.dat";
 const INDEX_FILE: &str = "corpus.idx";
+/// Byte offset of the u64 unit count inside the index file.
+const COUNT_OFFSET: u64 = 12;
+/// Byte offset where the offset table starts inside the index file.
+const TABLE_OFFSET: u64 = 20;
+
+/// Reads and validates the index-file header, returning the unit count.
+fn read_header(idx: &File, idx_path: &Path) -> Result<u64> {
+    let mut header = [0u8; TABLE_OFFSET as usize];
+    idx.read_exact_at(&mut header, 0)
+        .map_err(|e| Error::io(format!("read header of {}", idx_path.display()), e))?;
+    if &header[..8] != MAGIC {
+        return Err(Error::Corrupt(format!(
+            "bad magic in {}: {:?}",
+            idx_path.display(),
+            &header[..8]
+        )));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(Error::Corrupt(format!(
+            "unsupported corpus version {version}"
+        )));
+    }
+    Ok(u64::from_le_bytes(header[12..20].try_into().unwrap()))
+}
 
 /// Streaming writer that appends data units to an on-disk corpus.
 pub struct CorpusWriter {
     data: BufWriter<File>,
-    ends: Vec<u64>,
+    /// End offsets of units appended by *this* writer (absolute positions).
+    new_ends: Vec<u64>,
+    /// Units already committed before this writer opened.
+    base_count: u64,
     written: u64,
     dir: PathBuf,
 }
@@ -41,56 +77,119 @@ impl CorpusWriter {
         let data_path = dir.join(DATA_FILE);
         let data = File::create(&data_path)
             .map_err(|e| Error::io(format!("create {}", data_path.display()), e))?;
+        // Write the header (count 0) up front so `finish` only ever patches
+        // the count and appends offsets, in both create and append modes.
+        let idx_path = dir.join(INDEX_FILE);
+        let idx = File::create(&idx_path)
+            .map_err(|e| Error::io(format!("create {}", idx_path.display()), e))?;
+        let mut header = Vec::with_capacity(TABLE_OFFSET as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        idx.write_all_at(&header, 0)
+            .map_err(|e| Error::io("write header", e))?;
         Ok(CorpusWriter {
             data: BufWriter::new(data),
-            ends: Vec::new(),
+            new_ends: Vec::new(),
+            base_count: 0,
             written: 0,
+            dir,
+        })
+    }
+
+    /// Reopens an existing store for appending in O(1): only the index
+    /// header and the last committed offset are read — the offset table is
+    /// never scanned and the data file is never rewritten. Uncommitted
+    /// bytes past the last committed offset (from a crashed writer) are
+    /// truncated away.
+    pub fn open_append(dir: impl AsRef<Path>) -> Result<CorpusWriter> {
+        let dir = dir.as_ref().to_path_buf();
+        let idx_path = dir.join(INDEX_FILE);
+        let idx = File::open(&idx_path)
+            .map_err(|e| Error::io(format!("open {}", idx_path.display()), e))?;
+        let base_count = read_header(&idx, &idx_path)?;
+        let written = if base_count == 0 {
+            0
+        } else {
+            let mut buf8 = [0u8; 8];
+            idx.read_exact_at(&mut buf8, TABLE_OFFSET + (base_count - 1) * 8)
+                .map_err(|e| Error::io("read tail offset", e))?;
+            u64::from_le_bytes(buf8)
+        };
+        let data_path = dir.join(DATA_FILE);
+        let data = OpenOptions::new()
+            .write(true)
+            .open(&data_path)
+            .map_err(|e| Error::io(format!("open {}", data_path.display()), e))?;
+        let data_len = data
+            .metadata()
+            .map_err(|e| Error::io(format!("stat {}", data_path.display()), e))?
+            .len();
+        if data_len < written {
+            return Err(Error::Corrupt(format!(
+                "data file shorter than committed offsets ({data_len} < {written})"
+            )));
+        }
+        if data_len > written {
+            // Torn tail from a writer that crashed before committing.
+            data.set_len(written)
+                .map_err(|e| Error::io("truncate torn tail", e))?;
+        }
+        use std::io::Seek;
+        let mut data = data;
+        data.seek(std::io::SeekFrom::Start(written))
+            .map_err(|e| Error::io("seek to append position", e))?;
+        Ok(CorpusWriter {
+            data: BufWriter::new(data),
+            new_ends: Vec::new(),
+            base_count,
+            written,
             dir,
         })
     }
 
     /// Appends one data unit, returning its id.
     pub fn append(&mut self, doc: &[u8]) -> Result<DocId> {
-        let id = self.ends.len() as DocId;
+        let id = (self.base_count + self.new_ends.len() as u64) as DocId;
         self.data
             .write_all(doc)
             .map_err(|e| Error::io(format!("write data unit {id}"), e))?;
         self.written += doc.len() as u64;
-        self.ends.push(self.written);
+        self.new_ends.push(self.written);
         Ok(id)
     }
 
-    /// Number of data units appended so far.
+    /// Number of data units in the store (committed plus pending).
     pub fn len(&self) -> usize {
-        self.ends.len()
+        self.base_count as usize + self.new_ends.len()
     }
 
-    /// Whether nothing has been appended yet.
+    /// Whether the store holds no data units at all.
     pub fn is_empty(&self) -> bool {
-        self.ends.is_empty()
+        self.len() == 0
     }
 
-    /// Flushes everything and writes the offset table. Returns the opened
-    /// read-side corpus.
+    /// Flushes everything, appends the new offsets, and commits them by
+    /// patching the unit count in the header. Returns the opened read-side
+    /// corpus.
     pub fn finish(mut self) -> Result<DiskCorpus> {
         self.data
             .flush()
             .map_err(|e| Error::io("flush data file", e))?;
         let idx_path = self.dir.join(INDEX_FILE);
-        let idx = File::create(&idx_path)
-            .map_err(|e| Error::io(format!("create {}", idx_path.display()), e))?;
-        let mut w = BufWriter::new(idx);
-        w.write_all(MAGIC)
-            .map_err(|e| Error::io("write magic", e))?;
-        w.write_all(&VERSION.to_le_bytes())
-            .map_err(|e| Error::io("write version", e))?;
-        w.write_all(&(self.ends.len() as u64).to_le_bytes())
-            .map_err(|e| Error::io("write count", e))?;
-        for &end in &self.ends {
-            w.write_all(&end.to_le_bytes())
-                .map_err(|e| Error::io("write offset", e))?;
+        let idx = OpenOptions::new()
+            .write(true)
+            .open(&idx_path)
+            .map_err(|e| Error::io(format!("open {}", idx_path.display()), e))?;
+        let mut table = Vec::with_capacity(self.new_ends.len() * 8);
+        for &end in &self.new_ends {
+            table.extend_from_slice(&end.to_le_bytes());
         }
-        w.flush().map_err(|e| Error::io("flush index file", e))?;
+        // Offsets first, count last: the count is the commit point.
+        idx.write_all_at(&table, TABLE_OFFSET + self.base_count * 8)
+            .map_err(|e| Error::io("write offsets", e))?;
+        idx.write_all_at(&(self.len() as u64).to_le_bytes(), COUNT_OFFSET)
+            .map_err(|e| Error::io("write count", e))?;
         DiskCorpus::open(&self.dir)
     }
 }
@@ -357,6 +456,80 @@ mod tests {
             h.join().unwrap();
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_resumes_ids_and_bytes() {
+        let dir = tmpdir("append");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        assert_eq!(w.append(b"one").unwrap(), 0);
+        assert_eq!(w.append(b"two").unwrap(), 1);
+        drop(w.finish().unwrap());
+        // Three reopen cycles, each adding one unit.
+        for round in 0..3u32 {
+            let mut w = CorpusWriter::open_append(&dir).unwrap();
+            assert_eq!(w.len(), 2 + round as usize);
+            let id = w.append(format!("round {round}").as_bytes()).unwrap();
+            assert_eq!(id, 2 + round);
+            let c = w.finish().unwrap();
+            assert_eq!(c.len(), 3 + round as usize);
+        }
+        let c = DiskCorpus::open(&dir).unwrap();
+        assert_eq!(c.get(0).unwrap(), b"one");
+        assert_eq!(c.get(1).unwrap(), b"two");
+        for round in 0..3u32 {
+            assert_eq!(
+                c.get(2 + round).unwrap(),
+                format!("round {round}").as_bytes()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_on_empty_store() {
+        let dir = tmpdir("append-empty");
+        drop(CorpusWriter::create(&dir).unwrap().finish().unwrap());
+        let mut w = CorpusWriter::open_append(&dir).unwrap();
+        assert!(w.is_empty());
+        w.append(b"first").unwrap();
+        let c = w.finish().unwrap();
+        assert_eq!(c.get(0).unwrap(), b"first");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail() {
+        let dir = tmpdir("append-torn");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"committed").unwrap();
+        drop(w.finish().unwrap());
+        // Simulate a writer that crashed after writing data bytes but
+        // before committing the offsets: raw bytes past the last offset.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(DATA_FILE))
+                .unwrap();
+            f.write_all(b"torn garbage").unwrap();
+        }
+        let mut w = CorpusWriter::open_append(&dir).unwrap();
+        assert_eq!(w.len(), 1);
+        w.append(b"after crash").unwrap();
+        let c = w.finish().unwrap();
+        assert_eq!(c.get(0).unwrap(), b"committed");
+        assert_eq!(c.get(1).unwrap(), b"after crash");
+        assert_eq!(c.total_bytes(), 9 + 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_missing_store_is_io_error() {
+        assert!(matches!(
+            CorpusWriter::open_append("/nonexistent/path/xyz"),
+            Err(Error::Io { .. })
+        ));
     }
 
     #[test]

@@ -56,7 +56,9 @@ fn debug_assert_required_grams_sound(ast: &free_regex::Ast, logical: &LogicalPla
 /// Builds Boyer-Moore finders for the plan's required grams (anchoring).
 /// Grams of length 1 never reject realistic candidates and grams contained
 /// in a longer required gram are subsumed by it, so both are dropped.
-pub(crate) fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
+/// Public so alternative executors (the live index) can reuse the same
+/// confirmation prefilter.
+pub fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
     let grams = logical.required_grams();
     grams
         .iter()
@@ -72,8 +74,9 @@ pub(crate) fn build_prefilter(logical: &LogicalPlan) -> Vec<Finder> {
 
 /// Selects gram keys per the configured index kind. Returns the keys and
 /// the mining statistics (per-pass counters are empty for `Complete`,
-/// which enumerates in one scan rather than mining).
-fn select_keys<C: Corpus>(
+/// which enumerates in one scan rather than mining). Public so segment
+/// builders outside this crate (the live index) mine with the same policy.
+pub fn select_keys<C: Corpus>(
     corpus: &C,
     config: &EngineConfig,
 ) -> Result<(Vec<SelectedGram>, MiningStats)> {
@@ -101,8 +104,9 @@ fn select_keys<C: Corpus>(
 }
 
 /// Generates postings for the selected keys in one corpus scan, feeding
-/// them to `sink` in document order.
-fn generate_postings<C: Corpus>(
+/// them to `sink` in document order. Public for the same reason as
+/// [`select_keys`].
+pub fn generate_postings<C: Corpus>(
     corpus: &C,
     keys: &[SelectedGram],
     sink: &mut dyn FnMut(&[u8], free_corpus::DocId) -> Result<()>,

@@ -48,7 +48,7 @@ pub mod select;
 mod engine;
 
 pub use config::{EngineConfig, IndexKind, ScanPolicy};
-pub use engine::{Engine, InMemoryEngine};
+pub use engine::{build_prefilter, generate_postings, select_keys, Engine, InMemoryEngine};
 pub use error::{Error, Result};
 pub use exec::analyze::{ExplainAnalyze, NodeStats};
 pub use exec::results::{DocMatches, QueryResult};

@@ -31,6 +31,7 @@ pub mod error;
 pub mod format;
 pub mod instrument;
 pub mod memindex;
+pub mod merge;
 pub mod ops;
 pub mod postings;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use error::{Error, Result};
 pub use format::{IndexReader, IndexWriter};
 pub use instrument::{InstrumentedCursor, OpCounters};
 pub use memindex::MemIndex;
+pub use merge::{merge_indexes, union_keys, MergeInput};
 pub use ops::{AndCursor, OrCursor};
 pub use postings::{Postings, PostingsBuilder};
 pub use stats::IndexStats;

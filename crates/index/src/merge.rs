@@ -1,0 +1,214 @@
+//! K-way merge of immutable index segments with doc-id remapping.
+//!
+//! Compaction in the live index rewrites several sealed segments (each a
+//! self-contained index over its own local doc-id space) into one. The
+//! merge is directory-driven: the output key set is the union of the
+//! input key sets, walked in lexicographic order so the output directory
+//! is built sorted without ever holding more than one key's postings in
+//! memory.
+//!
+//! Remapping and tombstone elimination happen through per-input remap
+//! tables: `remap[old_local_id]` is the surviving doc's id in the merged
+//! space, or `None` for a tombstoned doc. Remap tables must be monotone
+//! over surviving ids (old order preserved), which keeps every remapped
+//! postings list sorted without re-sorting.
+//!
+//! A key present in one input but absent from another is *not* evidence
+//! that the other input's docs lack the gram — each segment mines its own
+//! key set. The caller supplies those completion postings through the
+//! `extra` callback (typically from a targeted corpus scan); the merge
+//! itself stays a pure postings transform.
+
+use crate::format::{IndexReader, IndexWriter};
+use crate::{DocId, IndexRead, Key, Postings, Result};
+
+/// One segment being merged: its index plus the doc-id remap table.
+pub struct MergeInput<'a> {
+    /// The segment's index.
+    pub index: &'a dyn IndexRead,
+    /// `remap[old_local_id]` → merged doc id, `None` if tombstoned.
+    pub remap: &'a [Option<DocId>],
+}
+
+/// Sorted, deduplicated union of the inputs' key directories.
+pub fn union_keys(inputs: &[MergeInput<'_>]) -> Vec<Key> {
+    let mut keys: Vec<Key> = Vec::new();
+    for input in inputs {
+        input.index.for_each_key(&mut |k| keys.push(k.into()));
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Completion-postings callback: `(key, input_idx)` → already-remapped,
+/// sorted postings for an input whose directory lacks the key (`None`
+/// means no docs in that input contain the key).
+pub type CompletionFn<'a> = dyn FnMut(&[u8], usize) -> Option<Vec<DocId>> + 'a;
+
+/// Merges `inputs` into `writer`, returning the opened reader.
+///
+/// For every key in the union directory, the output postings are the
+/// remapped postings of each input holding the key, completed by
+/// `extra(key, input_idx)` for inputs that do not hold it (`None` means
+/// "no docs in that input contain the key"). Keys whose merged postings
+/// come out empty (all docs tombstoned) are dropped from the output.
+pub fn merge_indexes(
+    inputs: &[MergeInput<'_>],
+    extra: &mut CompletionFn<'_>,
+    mut writer: IndexWriter,
+) -> Result<IndexReader> {
+    let keys = union_keys(inputs);
+    let mut merged: Vec<DocId> = Vec::new();
+    for key in &keys {
+        merged.clear();
+        for (i, input) in inputs.iter().enumerate() {
+            if let Some(postings) = input.index.postings(key)? {
+                merged.extend(postings.iter().filter_map(|&old| input.remap[old as usize]));
+            } else if let Some(extra_postings) = extra(key, i) {
+                debug_assert!(
+                    extra_postings.windows(2).all(|w| w[0] < w[1]),
+                    "completion postings must be sorted and deduplicated"
+                );
+                merged.extend(extra_postings);
+            }
+        }
+        if merged.is_empty() {
+            continue;
+        }
+        // Inputs cover disjoint remapped ranges only when segments are
+        // seq-ordered; merge without assuming that.
+        merged.sort_unstable();
+        merged.dedup();
+        writer.add(key, &Postings::from_sorted(&merged))?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemIndex;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "free-index-merge-{name}-{}.idx",
+            std::process::id()
+        ))
+    }
+
+    fn mem(entries: &[(&[u8], &[DocId])]) -> MemIndex {
+        let mut m = MemIndex::new();
+        for (k, docs) in entries {
+            for &d in *docs {
+                m.add(k, d);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn merges_disjoint_segments() {
+        let a = mem(&[(b"ab", &[0, 1]), (b"cd", &[1])]);
+        let b = mem(&[(b"ab", &[0]), (b"ef", &[0, 1])]);
+        // a: both docs survive as merged 0,1; b: doc0 tombstoned, doc1 → 2.
+        let remap_a = vec![Some(0), Some(1)];
+        let remap_b = vec![None, Some(2)];
+        let inputs = [
+            MergeInput {
+                index: &a,
+                remap: &remap_a,
+            },
+            MergeInput {
+                index: &b,
+                remap: &remap_b,
+            },
+        ];
+        let path = tmpfile("disjoint");
+        let reader = merge_indexes(
+            &inputs,
+            &mut |_key, _i| None,
+            IndexWriter::create(&path).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reader.postings(b"ab").unwrap().unwrap(), vec![0, 1]);
+        assert_eq!(reader.postings(b"cd").unwrap().unwrap(), vec![1]);
+        assert_eq!(reader.postings(b"ef").unwrap().unwrap(), vec![2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn completion_postings_fill_missing_keys() {
+        let a = mem(&[(b"xy", &[0])]);
+        let b = mem(&[(b"zz", &[0])]);
+        let remap_a = vec![Some(0)];
+        let remap_b = vec![Some(1)];
+        let inputs = [
+            MergeInput {
+                index: &a,
+                remap: &remap_a,
+            },
+            MergeInput {
+                index: &b,
+                remap: &remap_b,
+            },
+        ];
+        let path = tmpfile("completion");
+        // Pretend b's doc also contains "xy" (its miner just never kept it).
+        let reader = merge_indexes(
+            &inputs,
+            &mut |key, i| {
+                if key == b"xy" && i == 1 {
+                    Some(vec![1])
+                } else {
+                    None
+                }
+            },
+            IndexWriter::create(&path).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reader.postings(b"xy").unwrap().unwrap(), vec![0, 1]);
+        assert_eq!(reader.postings(b"zz").unwrap().unwrap(), vec![1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fully_tombstoned_keys_are_dropped() {
+        let a = mem(&[(b"ab", &[0]), (b"cd", &[0, 1])]);
+        let remap = vec![None, Some(0)];
+        let inputs = [MergeInput {
+            index: &a,
+            remap: &remap,
+        }];
+        let path = tmpfile("dropped");
+        let reader = merge_indexes(
+            &inputs,
+            &mut |_k, _i| None,
+            IndexWriter::create(&path).unwrap(),
+        )
+        .unwrap();
+        assert!(!reader.contains_key(b"ab"));
+        assert_eq!(reader.postings(b"cd").unwrap().unwrap(), vec![0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_merge_produces_empty_index() {
+        let a = mem(&[(b"ab", &[0])]);
+        let remap = vec![None];
+        let inputs = [MergeInput {
+            index: &a,
+            remap: &remap,
+        }];
+        let path = tmpfile("empty");
+        let reader = merge_indexes(
+            &inputs,
+            &mut |_k, _i| None,
+            IndexWriter::create(&path).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reader.num_keys(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

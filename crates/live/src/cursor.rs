@@ -1,0 +1,215 @@
+//! Cursor adapters that lift per-segment candidate streams into the
+//! global sequence-number space.
+//!
+//! Each source (sealed segment or write buffer) compiles its physical
+//! plan into a [`PostingsCursor`] over *local* doc ids. These adapters
+//! translate local ids to global sequence numbers — [`SeqMapCursor`]
+//! through a segment's strictly ascending sequence map, [`OffsetCursor`]
+//! by the write buffer's base offset — so the adapted streams obey the
+//! cursor contract in the global space and compose directly under the
+//! engine's `OrCursor` k-way merge. [`TombstoneFilterCursor`] then drops
+//! deleted sequence numbers from the merged stream.
+
+use free_corpus::DocId;
+use free_index::cursor::{CursorStats, PostingsCursor};
+use free_index::Result;
+use std::sync::Arc;
+
+/// Maps a segment-local cursor into global sequence numbers via the
+/// segment's sequence map. Strict ascent of the map makes the mapped
+/// stream strictly ascending, and `partition_point` keeps `seek`
+/// monotone.
+pub struct SeqMapCursor {
+    inner: Box<dyn PostingsCursor>,
+    seqs: Arc<Vec<DocId>>,
+}
+
+impl SeqMapCursor {
+    /// Wraps `inner` (yielding local ids `< seqs.len()`).
+    pub fn new(inner: Box<dyn PostingsCursor>, seqs: Arc<Vec<DocId>>) -> SeqMapCursor {
+        SeqMapCursor { inner, seqs }
+    }
+
+    fn map(&self, local: Option<DocId>) -> Option<DocId> {
+        local.map(|l| self.seqs[l as usize])
+    }
+}
+
+impl PostingsCursor for SeqMapCursor {
+    fn current(&self) -> Option<DocId> {
+        self.map(self.inner.current())
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        let next = self.inner.advance()?;
+        Ok(self.map(next))
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        let local_target = self.seqs.partition_point(|&s| s < target);
+        let landed = self.inner.seek(local_target as DocId)?;
+        Ok(self.map(landed))
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.inner.cost_estimate()
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        self.inner.collect_stats(out);
+    }
+}
+
+/// Shifts a write-buffer cursor by the buffer's base sequence number
+/// (buffer doc `i` has sequence `base + i`).
+pub struct OffsetCursor {
+    inner: Box<dyn PostingsCursor>,
+    base: DocId,
+}
+
+impl OffsetCursor {
+    /// Wraps `inner`, offsetting every id by `base`.
+    pub fn new(inner: Box<dyn PostingsCursor>, base: DocId) -> OffsetCursor {
+        OffsetCursor { inner, base }
+    }
+}
+
+impl PostingsCursor for OffsetCursor {
+    fn current(&self) -> Option<DocId> {
+        self.inner.current().map(|l| l + self.base)
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        Ok(self.inner.advance()?.map(|l| l + self.base))
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        let local = target.saturating_sub(self.base);
+        Ok(self.inner.seek(local)?.map(|l| l + self.base))
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.inner.cost_estimate()
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        self.inner.collect_stats(out);
+    }
+}
+
+/// Skips tombstoned sequence numbers in a merged candidate stream.
+pub struct TombstoneFilterCursor {
+    inner: Box<dyn PostingsCursor>,
+    /// Sorted tombstoned sequence numbers (snapshot at query start).
+    deleted: Arc<Vec<DocId>>,
+}
+
+impl TombstoneFilterCursor {
+    /// Wraps `inner`, hiding ids in `deleted` (must be sorted). The
+    /// returned cursor is primed past any leading tombstones.
+    pub fn new(
+        inner: Box<dyn PostingsCursor>,
+        deleted: Arc<Vec<DocId>>,
+    ) -> Result<TombstoneFilterCursor> {
+        let mut c = TombstoneFilterCursor { inner, deleted };
+        c.skip_deleted()?;
+        Ok(c)
+    }
+
+    fn skip_deleted(&mut self) -> Result<()> {
+        while let Some(d) = self.inner.current() {
+            if self.deleted.binary_search(&d).is_err() {
+                break;
+            }
+            self.inner.advance()?;
+        }
+        Ok(())
+    }
+}
+
+impl PostingsCursor for TombstoneFilterCursor {
+    fn current(&self) -> Option<DocId> {
+        self.inner.current()
+    }
+
+    fn advance(&mut self) -> Result<Option<DocId>> {
+        self.inner.advance()?;
+        self.skip_deleted()?;
+        Ok(self.inner.current())
+    }
+
+    fn seek(&mut self, target: DocId) -> Result<Option<DocId>> {
+        self.inner.seek(target)?;
+        self.skip_deleted()?;
+        Ok(self.inner.current())
+    }
+
+    fn cost_estimate(&self) -> usize {
+        self.inner.cost_estimate()
+    }
+
+    fn collect_stats(&self, out: &mut CursorStats) {
+        self.inner.collect_stats(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_index::SliceCursor;
+
+    fn drain(mut c: impl PostingsCursor) -> Vec<DocId> {
+        let mut out = Vec::new();
+        while let Some(d) = c.current() {
+            out.push(d);
+            c.advance().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn seq_map_translates_and_seeks() {
+        let seqs = Arc::new(vec![10, 14, 15, 22, 30]);
+        let inner = Box::new(SliceCursor::new(vec![0, 2, 4]));
+        let mut c = SeqMapCursor::new(inner, seqs.clone());
+        assert_eq!(c.current(), Some(10));
+        assert_eq!(c.seek(15).unwrap(), Some(15));
+        assert_eq!(c.seek(16).unwrap(), Some(30));
+        assert_eq!(c.advance().unwrap(), None);
+
+        let inner = Box::new(SliceCursor::new(vec![0, 2, 4]));
+        assert_eq!(drain(SeqMapCursor::new(inner, seqs)), vec![10, 15, 30]);
+    }
+
+    #[test]
+    fn offset_shifts() {
+        let inner = Box::new(SliceCursor::new(vec![0, 1, 3]));
+        let mut c = OffsetCursor::new(inner, 100);
+        assert_eq!(c.current(), Some(100));
+        assert_eq!(c.seek(101).unwrap(), Some(101));
+        assert_eq!(c.advance().unwrap(), Some(103));
+        // Seeking below the base is a no-op (never moves backwards).
+        assert_eq!(c.seek(5).unwrap(), Some(103));
+    }
+
+    #[test]
+    fn tombstones_are_skipped() {
+        let inner = Box::new(SliceCursor::new(vec![1, 2, 3, 5, 8]));
+        let deleted = Arc::new(vec![1, 3, 8]);
+        let c = TombstoneFilterCursor::new(inner, deleted.clone()).unwrap();
+        assert_eq!(c.current(), Some(2));
+        assert_eq!(drain(c), vec![2, 5]);
+
+        let inner = Box::new(SliceCursor::new(vec![1, 2, 3, 5, 8]));
+        let mut c = TombstoneFilterCursor::new(inner, deleted).unwrap();
+        assert_eq!(c.seek(3).unwrap(), Some(5));
+        assert_eq!(c.advance().unwrap(), None);
+    }
+
+    #[test]
+    fn all_tombstoned_is_empty() {
+        let inner = Box::new(SliceCursor::new(vec![4, 7]));
+        let c = TombstoneFilterCursor::new(inner, Arc::new(vec![4, 7])).unwrap();
+        assert_eq!(c.current(), None);
+    }
+}

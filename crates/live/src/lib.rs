@@ -1,0 +1,71 @@
+//! Live (incrementally updatable) FREE index.
+//!
+//! The batch pipeline in `free-engine` builds one immutable index from
+//! one frozen corpus. This crate layers an LSM-style *live* index on top
+//! of the same building blocks so documents can be added, deleted, and
+//! queried continuously:
+//!
+//! - **Write buffer**: new documents land in a WAL-backed in-memory
+//!   buffer (a [`memtable::Memtable`]) whose complete-gram index answers
+//!   queries over them exactly.
+//! - **Segments**: a *flush* seals the buffer into an immutable segment
+//!   in the `free-index` on-disk format, with a key set mined from just
+//!   that segment's documents.
+//! - **Tombstones**: deletes are logged sequence numbers, filtered out of
+//!   every query and physically eliminated by compaction.
+//! - **Compaction**: k-way-merges all segments into one, remapping doc
+//!   ids, dropping tombstoned documents, and merging the per-segment
+//!   indexes without re-mining (union key set, completed per segment by
+//!   a targeted gram scan).
+//!
+//! Every document has a stable, never-reused global sequence number
+//! ([`free_corpus::DocId`]), and queries at any generation return
+//! exactly what a from-scratch rebuild over the live documents would —
+//! the differential invariant checked by `tests/proptest_live.rs`.
+
+pub mod cursor;
+pub mod error;
+pub mod manifest;
+pub mod memtable;
+pub mod query;
+pub mod segment;
+pub mod stats;
+
+mod live;
+mod view;
+
+pub use error::{Error, Result};
+pub use live::LiveIndex;
+pub use manifest::{Manifest, SegmentMeta};
+pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats};
+pub use stats::{LiveStats, SegmentStats};
+
+use free_engine::EngineConfig;
+
+/// Configuration for a [`LiveIndex`].
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Engine configuration used for segment key mining, planning, and
+    /// confirmation. The same configuration must be used across sessions
+    /// for a given live index directory.
+    pub engine: EngineConfig,
+    /// Flush the write buffer once it holds this many document bytes.
+    pub flush_threshold_bytes: u64,
+    /// Flush the write buffer once it holds this many documents.
+    pub flush_threshold_docs: usize,
+    /// Maximum gram length indexed by the write buffer's in-memory
+    /// index (all grams of length 2..=this are indexed, so buffer
+    /// planning is exact). Values below 2 are treated as 2.
+    pub memtable_gram_len: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            engine: EngineConfig::default(),
+            flush_threshold_bytes: 4 << 20,
+            flush_threshold_docs: 8192,
+            memtable_gram_len: 3,
+        }
+    }
+}

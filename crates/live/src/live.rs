@@ -1,0 +1,704 @@
+//! The live index: ingest, tombstone deletes, flush, and compaction.
+
+use crate::error::{Error, Result};
+use crate::manifest::{Manifest, SegmentMeta};
+use crate::memtable::Memtable;
+use crate::query::{execute, ExecInputs, LiveQueryResult};
+use crate::segment::{
+    build_segment, corpus_dir, index_path, remove_segment_files, seqs_path, write_seqs, Segment,
+};
+use crate::stats::{LiveStats, SegmentStats};
+use crate::LiveConfig;
+use free_corpus::{Corpus, CorpusWriter, DiskCorpus, DocId, MemCorpus};
+use free_engine::grams::GramMatcher;
+use free_index::{merge_indexes, union_keys, IndexRead, IndexWriter, MergeInput};
+use free_trace::metrics;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const WAL_DIR: &str = "wal";
+const WAL_EPOCH_FILE: &str = "wal.epoch";
+const TOMBSTONES_FILE: &str = "tombstones.log";
+const SEGMENTS_DIR: &str = "segments";
+
+/// An LSM-style incrementally updatable index over the FREE engine.
+///
+/// Documents are added to a write-ahead corpus store (the WAL) and
+/// mirrored in an in-memory [`Memtable`]; a *flush* seals the buffer into
+/// an immutable segment with its own mined key set; deletes are
+/// tombstones; *compaction* k-way-merges every sealed segment into one,
+/// remapping doc ids and eliminating tombstoned documents. Every
+/// document keeps a stable, never-reused global sequence number, so
+/// query results are comparable across any schedule of mutations.
+///
+/// Mutations take `&mut self` and queries take `&self`, so the borrow
+/// checker enforces snapshot consistency: a [`LiveQueryResult`] always
+/// reflects exactly one generation.
+pub struct LiveIndex {
+    dir: PathBuf,
+    config: LiveConfig,
+    manifest: Manifest,
+    segments: Vec<Segment>,
+    memtable: Memtable,
+    deleted: BTreeSet<DocId>,
+    generation: u64,
+}
+
+impl LiveIndex {
+    /// Initializes an empty live index in `dir`. Fails with
+    /// [`Error::AlreadyExists`] if one is already there.
+    pub fn create(dir: impl AsRef<Path>, config: LiveConfig) -> Result<LiveIndex> {
+        let dir = dir.as_ref();
+        if Manifest::exists(dir) {
+            return Err(Error::AlreadyExists(dir.to_path_buf()));
+        }
+        std::fs::create_dir_all(dir.join(SEGMENTS_DIR))
+            .map_err(|e| Error::io(format!("create {}", dir.display()), e))?;
+        Manifest::new().store(dir)?;
+        CorpusWriter::create(dir.join(WAL_DIR))?.finish()?;
+        std::fs::write(dir.join(WAL_EPOCH_FILE), "0\n")
+            .map_err(|e| Error::io("write wal epoch", e))?;
+        std::fs::write(dir.join(TOMBSTONES_FILE), "")
+            .map_err(|e| Error::io("write tombstones", e))?;
+        LiveIndex::open(dir, config)
+    }
+
+    /// Opens the live index in `dir`, replaying the WAL into the write
+    /// buffer and discarding any state a crash left uncommitted.
+    pub fn open(dir: impl AsRef<Path>, config: LiveConfig) -> Result<LiveIndex> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = Manifest::load(&dir)?;
+        let seg_root = dir.join(SEGMENTS_DIR);
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            segments.push(Segment::open(&seg_root, meta.clone())?);
+        }
+        remove_orphans(&seg_root, &manifest);
+        // WAL epoch check: a flush commits the manifest before recreating
+        // the WAL, so a crash in between leaves a stale WAL whose epoch
+        // stamp disagrees — its docs are already sealed in a segment.
+        let epoch = std::fs::read_to_string(dir.join(WAL_EPOCH_FILE))
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let wal_dir = dir.join(WAL_DIR);
+        if epoch != manifest.wal_epoch || !wal_dir.join("corpus.idx").is_file() {
+            let _ = std::fs::remove_dir_all(&wal_dir);
+            CorpusWriter::create(&wal_dir)?.finish()?;
+            std::fs::write(
+                dir.join(WAL_EPOCH_FILE),
+                format!("{}\n", manifest.wal_epoch),
+            )
+            .map_err(|e| Error::io("write wal epoch", e))?;
+        }
+        let wal = DiskCorpus::open(&wal_dir)?;
+        let mut memtable = Memtable::new(config.memtable_gram_len);
+        wal.scan(&mut |_, bytes| {
+            memtable.push(bytes);
+            true
+        })?;
+        let generation = manifest.generation;
+        let mut live = LiveIndex {
+            dir,
+            config,
+            manifest,
+            segments,
+            memtable,
+            deleted: BTreeSet::new(),
+            generation,
+        };
+        live.load_tombstones()?;
+        live.record_shape_metrics();
+        Ok(live)
+    }
+
+    /// Opens the index in `dir`, initializing it first if absent.
+    pub fn open_or_create(dir: impl AsRef<Path>, config: LiveConfig) -> Result<LiveIndex> {
+        let dir = dir.as_ref();
+        if Manifest::exists(dir) {
+            LiveIndex::open(dir, config)
+        } else {
+            LiveIndex::create(dir, config)
+        }
+    }
+
+    /// The index's configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Mutation counter: bumps on every add/delete/flush/compact, so two
+    /// equal generations imply identical query results.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> DocId {
+        self.manifest.wal_base + self.memtable.len() as DocId
+    }
+
+    /// Number of sealed segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of live (queryable) documents.
+    pub fn live_docs(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.live_docs(&self.deleted))
+            .sum::<usize>()
+            + (0..self.memtable.len() as DocId)
+                .filter(|i| !self.deleted.contains(&(self.manifest.wal_base + i)))
+                .count()
+    }
+
+    /// Sequence numbers of all live documents, ascending.
+    pub fn live_seqs(&self) -> Vec<DocId> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            out.extend(seg.seqs.iter().filter(|s| !self.deleted.contains(s)));
+        }
+        for i in 0..self.memtable.len() as DocId {
+            let seq = self.manifest.wal_base + i;
+            if !self.deleted.contains(&seq) {
+                out.push(seq);
+            }
+        }
+        out
+    }
+
+    /// Reads one live document by sequence number.
+    pub fn get(&self, seq: DocId) -> Result<Vec<u8>> {
+        if !self.physically_present(seq) || self.deleted.contains(&seq) {
+            return Err(Error::UnknownDoc(seq));
+        }
+        if seq >= self.manifest.wal_base {
+            let local = (seq - self.manifest.wal_base) as usize;
+            return Ok(self
+                .memtable
+                .doc(local)
+                .expect("present in buffer")
+                .to_vec());
+        }
+        let seg = self.owner(seq).expect("present in a segment");
+        let local = seg.local_of(seq).expect("present in a segment");
+        Ok(seg.corpus.get(local)?)
+    }
+
+    /// Adds one document, returning its sequence number. Durable on
+    /// return (committed to the WAL); may trigger an automatic flush.
+    pub fn add(&mut self, doc: &[u8]) -> Result<DocId> {
+        Ok(self.add_batch(&[doc])?[0])
+    }
+
+    /// Adds a batch of documents, returning their sequence numbers. The
+    /// whole batch commits to the WAL with one append-reopen, so bulk
+    /// ingest amortizes the per-call O(1) reopen cost.
+    pub fn add_batch<D: AsRef<[u8]>>(&mut self, docs: &[D]) -> Result<Vec<DocId>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut span = self.config.engine.tracer.span("ingest");
+        let end = u64::from(self.next_seq()) + docs.len() as u64;
+        if end > u64::from(DocId::MAX) {
+            return Err(Error::Corrupt("sequence-number space exhausted".into()));
+        }
+        // WAL first, memtable after the commit: an I/O error mid-batch
+        // leaves the in-memory state agreeing with the committed prefix.
+        let mut writer = CorpusWriter::open_append(self.dir.join(WAL_DIR))?;
+        let mut bytes = 0u64;
+        for doc in docs {
+            writer.append(doc.as_ref())?;
+            bytes += doc.as_ref().len() as u64;
+        }
+        writer.finish()?;
+        let mut ids = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let local = self.memtable.push(doc.as_ref());
+            ids.push(self.manifest.wal_base + local);
+        }
+        self.generation += 1;
+        metrics::global()
+            .counter(
+                "free_live_docs_added_total",
+                "Documents ingested into the live index",
+            )
+            .add(docs.len() as u64);
+        span.record("docs", docs.len());
+        span.record("bytes", bytes);
+        drop(span);
+        if self.memtable.bytes() >= self.config.flush_threshold_bytes
+            || self.memtable.len() >= self.config.flush_threshold_docs
+        {
+            self.flush()?;
+        }
+        Ok(ids)
+    }
+
+    /// Tombstones the document with sequence number `seq`. The document
+    /// disappears from queries immediately; its storage is reclaimed by
+    /// the next compaction (or flush, for still-buffered documents).
+    pub fn delete(&mut self, seq: DocId) -> Result<()> {
+        if !self.physically_present(seq) {
+            return Err(Error::UnknownDoc(seq));
+        }
+        if self.deleted.contains(&seq) {
+            return Err(Error::AlreadyDeleted(seq));
+        }
+        let path = self.dir.join(TOMBSTONES_FILE);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| Error::io(format!("open {}", path.display()), e))?;
+        writeln!(f, "{seq}").map_err(|e| Error::io("append tombstone", e))?;
+        self.deleted.insert(seq);
+        self.generation += 1;
+        metrics::global()
+            .counter(
+                "free_live_docs_deleted_total",
+                "Documents tombstoned in the live index",
+            )
+            .inc();
+        Ok(())
+    }
+
+    /// Seals the write buffer into a new immutable segment (mining a
+    /// fresh key set for it) and resets the WAL. Tombstoned buffer
+    /// documents are simply not written — their tombstones are consumed.
+    /// Returns whether anything was flushed.
+    pub fn flush(&mut self) -> Result<bool> {
+        if self.memtable.is_empty() {
+            return Ok(false);
+        }
+        let mut span = self.config.engine.tracer.span("flush");
+        let base = self.manifest.wal_base;
+        let next_seq = base + self.memtable.len() as DocId;
+        let survivors: Vec<(DocId, &[u8])> = self
+            .memtable
+            .docs()
+            .iter()
+            .enumerate()
+            .map(|(i, doc)| (base + i as DocId, &**doc))
+            .filter(|(seq, _)| !self.deleted.contains(seq))
+            .collect();
+        span.record("docs", survivors.len());
+        span.record("dropped_tombstones", self.memtable.len() - survivors.len());
+        let mut new_segment = None;
+        if !survivors.is_empty() {
+            let id = self.manifest.next_segment_id;
+            let seg = build_segment(
+                &self.dir.join(SEGMENTS_DIR),
+                id,
+                &survivors,
+                &self.config.engine,
+            )?;
+            span.record("segment_id", id);
+            span.record("keys", seg.num_keys());
+            self.manifest.segments.push(seg.meta.clone());
+            self.manifest.next_segment_id += 1;
+            new_segment = Some(seg);
+        }
+        drop(survivors);
+        // Commit: manifest first (it names the new segment and the new
+        // WAL epoch), then consume buffer tombstones and reset the WAL.
+        self.generation += 1;
+        self.manifest.wal_base = next_seq;
+        self.manifest.wal_epoch += 1;
+        self.manifest.generation = self.generation;
+        self.manifest.store(&self.dir)?;
+        let consumed: Vec<DocId> = self.deleted.range(base..next_seq).copied().collect();
+        for seq in consumed {
+            self.deleted.remove(&seq);
+        }
+        self.rewrite_tombstones()?;
+        self.reset_wal()?;
+        self.memtable.clear();
+        if let Some(seg) = new_segment {
+            self.segments.push(seg);
+        }
+        metrics::global()
+            .counter("free_live_flushes_total", "Write-buffer flushes")
+            .inc();
+        self.record_shape_metrics();
+        Ok(true)
+    }
+
+    /// Flushes, then k-way-merges every sealed segment into one:
+    /// surviving documents are rewritten in global sequence order with
+    /// local doc ids remapped densely, tombstoned documents are dropped
+    /// and their tombstones consumed, and the segments' indexes are
+    /// merged directory-by-directory (no re-mining — the merged key set
+    /// is the union, completed per segment by a targeted gram scan for
+    /// keys that segment never mined). Returns whether anything changed.
+    pub fn compact(&mut self) -> Result<bool> {
+        let mut span = self.config.engine.tracer.span("compact");
+        self.flush()?;
+        if self.segments.is_empty() {
+            return Ok(false);
+        }
+        if self.segments.len() == 1 && self.deleted.is_empty() {
+            span.record("skipped", "single live segment, no tombstones");
+            return Ok(false);
+        }
+        let seg_root = self.dir.join(SEGMENTS_DIR);
+        // Merge order: k-way by sequence number across segments,
+        // dropping tombstoned docs and assigning dense new local ids.
+        let k = self.segments.len();
+        let mut remaps: Vec<Vec<Option<DocId>>> = self
+            .segments
+            .iter()
+            .map(|s| vec![None; s.seqs.len()])
+            .collect();
+        let mut order: Vec<(usize, DocId)> = Vec::new();
+        let mut new_seqs: Vec<DocId> = Vec::new();
+        let mut heads = vec![0usize; k];
+        loop {
+            let mut best: Option<(DocId, usize)> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if *head < self.segments[i].seqs.len() {
+                    let seq = self.segments[i].seqs[*head];
+                    if best.is_none_or(|(b, _)| seq < b) {
+                        best = Some((seq, i));
+                    }
+                }
+            }
+            let Some((seq, i)) = best else { break };
+            let local = heads[i];
+            heads[i] += 1;
+            if self.deleted.contains(&seq) {
+                continue;
+            }
+            remaps[i][local] = Some(new_seqs.len() as DocId);
+            order.push((i, local as DocId));
+            new_seqs.push(seq);
+        }
+        let old_ids: Vec<u64> = self.segments.iter().map(|s| s.meta.id).collect();
+        let old_segments = self.manifest.segments.len();
+        if new_seqs.is_empty() {
+            // Everything tombstoned: commit an empty segment list.
+            self.generation += 1;
+            self.manifest.segments.clear();
+            self.manifest.generation = self.generation;
+            self.manifest.store(&self.dir)?;
+            self.deleted.clear();
+            self.rewrite_tombstones()?;
+            for id in old_ids {
+                remove_segment_files(&seg_root, id);
+            }
+            self.segments.clear();
+            self.finish_compaction_metrics(&mut span, old_segments, 0);
+            return Ok(true);
+        }
+        // Rewrite surviving documents in merged sequence order.
+        let id = self.manifest.next_segment_id;
+        let mut writer = CorpusWriter::create(corpus_dir(&seg_root, id))?;
+        let mut merge_bytes = 0u64;
+        for &(i, local) in &order {
+            let bytes = self.segments[i].corpus.get(local)?;
+            merge_bytes += bytes.len() as u64;
+            writer.append(&bytes)?;
+        }
+        let corpus = writer.finish()?;
+        write_seqs(&seqs_path(&seg_root, id), &new_seqs)?;
+        // Merge the indexes. A key one segment mined and another didn't
+        // is completed by scanning the other segment's surviving docs for
+        // just those grams, so the merged index keeps the full postings
+        // invariant (key present ⇒ postings list every doc containing it).
+        let index = {
+            let inputs: Vec<MergeInput<'_>> = self
+                .segments
+                .iter()
+                .zip(&remaps)
+                .map(|(s, remap)| MergeInput {
+                    index: &s.index,
+                    remap,
+                })
+                .collect();
+            let union = union_keys(&inputs);
+            let mut completions: Vec<FxHashMap<Vec<u8>, Vec<DocId>>> =
+                vec![FxHashMap::default(); k];
+            for (i, seg) in self.segments.iter().enumerate() {
+                let missing: Vec<&[u8]> = union
+                    .iter()
+                    .map(|key| &**key)
+                    .filter(|key| !seg.index.contains_key(key))
+                    .collect();
+                if missing.is_empty() || remaps[i].iter().all(Option::is_none) {
+                    continue;
+                }
+                let mut matcher = GramMatcher::new(&missing);
+                let remap = &remaps[i];
+                let mut found: Vec<Vec<DocId>> = vec![Vec::new(); missing.len()];
+                seg.corpus.scan(&mut |local, bytes| {
+                    if let Some(new_id) = remap[local as usize] {
+                        matcher.match_distinct(bytes, u64::from(local), &mut |pi| {
+                            found[pi as usize].push(new_id);
+                        });
+                    }
+                    true
+                })?;
+                completions[i] = missing
+                    .iter()
+                    .zip(found)
+                    .filter(|(_, v)| !v.is_empty())
+                    .map(|(key, v)| (key.to_vec(), v))
+                    .collect();
+            }
+            merge_indexes(
+                &inputs,
+                &mut |key, i| completions[i].get(key).cloned(),
+                IndexWriter::create(index_path(&seg_root, id))?,
+            )?
+        };
+        let meta = SegmentMeta {
+            id,
+            num_docs: new_seqs.len() as u32,
+            first_seq: new_seqs[0],
+            last_seq: *new_seqs.last().expect("non-empty"),
+        };
+        // Commit, then clean up the replaced segments.
+        self.generation += 1;
+        self.manifest.segments = vec![meta.clone()];
+        self.manifest.next_segment_id = id + 1;
+        self.manifest.generation = self.generation;
+        self.manifest.store(&self.dir)?;
+        self.deleted.clear();
+        self.rewrite_tombstones()?;
+        for old in old_ids {
+            remove_segment_files(&seg_root, old);
+        }
+        self.segments = vec![Segment {
+            meta,
+            corpus,
+            index,
+            seqs: Arc::new(new_seqs),
+        }];
+        self.finish_compaction_metrics(&mut span, old_segments, merge_bytes);
+        Ok(true)
+    }
+
+    /// Runs `pattern` over the current generation with the configured
+    /// thread count, extracting match spans.
+    pub fn query(&self, pattern: &str) -> Result<LiveQueryResult> {
+        self.query_with(pattern, self.config.engine.effective_threads(), true)
+    }
+
+    /// Runs `pattern` with an explicit confirmation thread count.
+    /// Results are identical for any `threads` value.
+    pub fn query_with(
+        &self,
+        pattern: &str,
+        threads: usize,
+        want_spans: bool,
+    ) -> Result<LiveQueryResult> {
+        execute(
+            &ExecInputs {
+                segments: &self.segments,
+                memtable: &self.memtable,
+                wal_base: self.manifest.wal_base,
+                deleted: &self.deleted,
+                config: &self.config,
+                generation: self.generation,
+            },
+            pattern,
+            threads,
+            want_spans,
+        )
+    }
+
+    /// A snapshot of the index's shape.
+    pub fn stats(&self) -> LiveStats {
+        let segments: Vec<SegmentStats> = self
+            .segments
+            .iter()
+            .map(|s| SegmentStats {
+                id: s.meta.id,
+                num_docs: s.meta.num_docs,
+                live_docs: s.live_docs(&self.deleted),
+                first_seq: s.meta.first_seq,
+                last_seq: s.meta.last_seq,
+                data_bytes: s.data_bytes(),
+                index_keys: s.num_keys(),
+            })
+            .collect();
+        LiveStats {
+            generation: self.generation,
+            next_seq: self.next_seq(),
+            memtable_docs: self.memtable.len(),
+            memtable_bytes: self.memtable.bytes(),
+            tombstones: self.deleted.len(),
+            live_docs: self.live_docs(),
+            total_bytes: segments.iter().map(|s| s.data_bytes).sum::<u64>() + self.memtable.bytes(),
+            segments,
+        }
+    }
+
+    /// Key-set drift: the fraction of live write-buffer documents
+    /// containing at least one *candidate* gram — a gram the miner would
+    /// select from the buffer — that no sealed segment ever mined. High
+    /// drift means the corpus has evolved past the mined key sets and
+    /// queries over new content degrade toward scans; flushing seals the
+    /// buffer with a fresh key set and compaction unifies them.
+    pub fn key_set_drift(&self) -> Result<f64> {
+        if self.segments.is_empty() || self.memtable.is_empty() {
+            return Ok(0.0);
+        }
+        let base = self.manifest.wal_base;
+        let live_buf: Vec<Vec<u8>> = self
+            .memtable
+            .docs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.deleted.contains(&(base + *i as DocId)))
+            .map(|(_, d)| d.clone())
+            .collect();
+        if live_buf.is_empty() {
+            return Ok(0.0);
+        }
+        let (keys, _) =
+            free_engine::select_keys(&MemCorpus::from_docs(live_buf.clone()), &self.config.engine)?;
+        let absent: Vec<&[u8]> = keys
+            .iter()
+            .map(|g| &*g.gram)
+            .filter(|g| !self.segments.iter().any(|s| s.index.contains_key(g)))
+            .collect();
+        if absent.is_empty() {
+            return Ok(0.0);
+        }
+        let mut matcher = GramMatcher::new(&absent);
+        let mut hit = 0usize;
+        for (i, doc) in live_buf.iter().enumerate() {
+            let mut any = false;
+            matcher.match_distinct(doc, i as u64, &mut |_| any = true);
+            if any {
+                hit += 1;
+            }
+        }
+        Ok(hit as f64 / live_buf.len() as f64)
+    }
+
+    fn owner(&self, seq: DocId) -> Option<&Segment> {
+        let i = self.segments.partition_point(|s| s.meta.last_seq < seq);
+        self.segments.get(i).filter(|s| s.meta.first_seq <= seq)
+    }
+
+    /// Whether `seq` names a stored document (live or tombstoned).
+    fn physically_present(&self, seq: DocId) -> bool {
+        if seq >= self.manifest.wal_base {
+            ((seq - self.manifest.wal_base) as usize) < self.memtable.len()
+        } else {
+            self.owner(seq).is_some_and(|s| s.contains_seq(seq))
+        }
+    }
+
+    fn load_tombstones(&mut self) -> Result<()> {
+        let path = self.dir.join(TOMBSTONES_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(Error::io(format!("read {}", path.display()), e)),
+        };
+        let mut stale = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let seq: DocId = line
+                .parse()
+                .map_err(|_| Error::Corrupt(format!("bad tombstone line {line:?}")))?;
+            // Tombstones whose docs a compaction already eliminated (a
+            // crash can leave the log ahead of the manifest) are stale.
+            if self.physically_present(seq) {
+                self.deleted.insert(seq);
+            } else {
+                stale = true;
+            }
+        }
+        if stale {
+            self.rewrite_tombstones()?;
+        }
+        Ok(())
+    }
+
+    fn rewrite_tombstones(&self) -> Result<()> {
+        let path = self.dir.join(TOMBSTONES_FILE);
+        let tmp = self.dir.join(format!("{TOMBSTONES_FILE}.tmp"));
+        let mut text = String::new();
+        for seq in &self.deleted {
+            text.push_str(&format!("{seq}\n"));
+        }
+        std::fs::write(&tmp, text).map_err(|e| Error::io(format!("write {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| Error::io("rename tombstones", e))
+    }
+
+    fn reset_wal(&self) -> Result<()> {
+        let wal_dir = self.dir.join(WAL_DIR);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        CorpusWriter::create(&wal_dir)?.finish()?;
+        std::fs::write(
+            self.dir.join(WAL_EPOCH_FILE),
+            format!("{}\n", self.manifest.wal_epoch),
+        )
+        .map_err(|e| Error::io("write wal epoch", e))
+    }
+
+    fn record_shape_metrics(&self) {
+        metrics::global()
+            .gauge("free_live_segments", "Sealed segments in the live index")
+            .set(self.segments.len() as i64);
+    }
+
+    fn finish_compaction_metrics(
+        &self,
+        span: &mut free_trace::Span,
+        segments_merged: usize,
+        merge_bytes: u64,
+    ) {
+        let m = metrics::global();
+        m.counter("free_live_compactions_total", "Segment compactions")
+            .inc();
+        m.counter(
+            "free_live_merge_bytes_total",
+            "Document bytes rewritten by compaction",
+        )
+        .add(merge_bytes);
+        self.record_shape_metrics();
+        span.record("segments_merged", segments_merged);
+        span.record("merge_bytes", merge_bytes);
+    }
+}
+
+/// Removes segment files in `seg_root` not named by the manifest —
+/// leftovers from a compaction or flush that crashed before committing.
+/// Best-effort: failures are ignored.
+fn remove_orphans(seg_root: &Path, manifest: &Manifest) {
+    let Ok(entries) = std::fs::read_dir(seg_root) else {
+        return;
+    };
+    let live: std::collections::HashSet<u64> = manifest.segments.iter().map(|s| s.id).collect();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("seg-") else {
+            continue;
+        };
+        let Some(id) = rest.split('.').next().and_then(|id| id.parse::<u64>().ok()) else {
+            continue;
+        };
+        if !live.contains(&id) {
+            let path = entry.path();
+            if path.is_dir() {
+                let _ = std::fs::remove_dir_all(&path);
+            } else {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The live-index manifest: the single commit point for structural change.
+//!
+//! A live index directory looks like:
+//!
+//! ```text
+//! <dir>/live.manifest        this file — committed state
+//! <dir>/wal/                 appendable corpus store: the write buffer
+//! <dir>/wal.epoch            epoch stamp matching `wal_epoch` below
+//! <dir>/tombstones.log       one deleted sequence number per line
+//! <dir>/segments/seg-N.idx   sealed segment index (free-index format)
+//! <dir>/segments/seg-N.seqs  local doc id → global sequence number
+//! <dir>/segments/seg-N.corpus/  sealed segment document store
+//! ```
+//!
+//! The manifest is a small line-oriented text file rewritten atomically
+//! (temp file + rename) by flush and compaction. Everything else is
+//! either append-only between manifest commits (the WAL, the tombstone
+//! log) or immutable once named by a committed manifest (segments).
+//! Flush bumps `wal_epoch` and recreates the WAL *after* committing the
+//! manifest; a crash in between leaves a WAL whose epoch stamp disagrees
+//! with the manifest, which `open` detects and discards — the docs are
+//! already sealed in the flushed segment, so nothing is lost or
+//! duplicated.
+
+use crate::error::{Error, Result};
+use free_corpus::DocId;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the live index directory.
+pub const MANIFEST_FILE: &str = "live.manifest";
+/// First line of the manifest: format magic plus version.
+const HEADER: &str = "FREELIVE 1";
+
+/// Committed description of one sealed segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Unique segment id (never reused; names the files).
+    pub id: u64,
+    /// Number of documents stored (including tombstoned ones).
+    pub num_docs: u32,
+    /// Smallest sequence number in the segment.
+    pub first_seq: DocId,
+    /// Largest sequence number in the segment.
+    pub last_seq: DocId,
+}
+
+/// The committed structural state of a live index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Mutation counter at last commit (diagnostic only; the in-memory
+    /// generation keeps counting between commits).
+    pub generation: u64,
+    /// Sequence number of the first write-buffer document; WAL doc `i`
+    /// has sequence `wal_base + i`.
+    pub wal_base: DocId,
+    /// Epoch stamp the current WAL must carry (see module docs).
+    pub wal_epoch: u64,
+    /// Next segment id to assign.
+    pub next_segment_id: u64,
+    /// Sealed segments in ascending sequence order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// A fresh, empty manifest.
+    pub fn new() -> Manifest {
+        Manifest {
+            generation: 0,
+            wal_base: 0,
+            wal_epoch: 0,
+            next_segment_id: 0,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Path of the manifest file under `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Whether a manifest exists under `dir`.
+    pub fn exists(dir: &Path) -> bool {
+        Manifest::path(dir).is_file()
+    }
+
+    /// Loads and validates the manifest in `dir`.
+    pub fn load(dir: &Path) -> Result<Manifest> {
+        let path = Manifest::path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::NotFound(dir.to_path_buf()))
+            }
+            Err(e) => return Err(Error::io(format!("read {}", path.display()), e)),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(Error::Corrupt(format!(
+                "bad manifest header in {}",
+                path.display()
+            )));
+        }
+        let mut m = Manifest::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| Error::Corrupt(format!("bad manifest line {line:?}")))?;
+            let bad = |_| Error::Corrupt(format!("bad manifest value in {line:?}"));
+            match key {
+                "generation" => m.generation = value.parse().map_err(bad)?,
+                "wal_base" => m.wal_base = value.parse().map_err(bad)?,
+                "wal_epoch" => m.wal_epoch = value.parse().map_err(bad)?,
+                "next_segment_id" => m.next_segment_id = value.parse().map_err(bad)?,
+                "segment" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() != 4 {
+                        return Err(Error::Corrupt(format!("bad segment line {line:?}")));
+                    }
+                    m.segments.push(SegmentMeta {
+                        id: fields[0].parse().map_err(bad)?,
+                        first_seq: fields[1].parse().map_err(bad)?,
+                        last_seq: fields[2].parse().map_err(bad)?,
+                        num_docs: fields[3].parse().map_err(bad)?,
+                    });
+                }
+                // Unknown keys are ignored for forward compatibility.
+                _ => {}
+            }
+        }
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Atomically writes the manifest into `dir` (temp file + rename).
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        self.validate()?;
+        let mut text = String::new();
+        text.push_str(HEADER);
+        text.push('\n');
+        text.push_str(&format!("generation={}\n", self.generation));
+        text.push_str(&format!("wal_base={}\n", self.wal_base));
+        text.push_str(&format!("wal_epoch={}\n", self.wal_epoch));
+        text.push_str(&format!("next_segment_id={}\n", self.next_segment_id));
+        for s in &self.segments {
+            text.push_str(&format!(
+                "segment={} {} {} {}\n",
+                s.id, s.first_seq, s.last_seq, s.num_docs
+            ));
+        }
+        let path = Manifest::path(dir);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, text).map_err(|e| Error::io(format!("write {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| Error::io(format!("rename {} over manifest", tmp.display()), e))
+    }
+
+    /// Structural invariants: segments sorted by sequence range, ranges
+    /// non-overlapping, every range below `wal_base`, ids unique and
+    /// below `next_segment_id`.
+    fn validate(&self) -> Result<()> {
+        let mut prev_last: Option<DocId> = None;
+        for s in &self.segments {
+            if s.num_docs == 0 || s.first_seq > s.last_seq {
+                return Err(Error::Corrupt(format!("segment {} has empty range", s.id)));
+            }
+            if s.id >= self.next_segment_id {
+                return Err(Error::Corrupt(format!(
+                    "segment id {} >= next_segment_id {}",
+                    s.id, self.next_segment_id
+                )));
+            }
+            if let Some(prev) = prev_last {
+                if s.first_seq <= prev {
+                    return Err(Error::Corrupt(format!(
+                        "segment {} overlaps or reorders sequence ranges",
+                        s.id
+                    )));
+                }
+            }
+            if s.last_seq >= self.wal_base {
+                return Err(Error::Corrupt(format!(
+                    "segment {} reaches into the write-buffer range",
+                    s.id
+                )));
+            }
+            prev_last = Some(s.last_seq);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Manifest {
+    fn default() -> Manifest {
+        Manifest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("free-live-manifest-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let m = Manifest {
+            generation: 9,
+            wal_base: 120,
+            wal_epoch: 3,
+            next_segment_id: 5,
+            segments: vec![
+                SegmentMeta {
+                    id: 2,
+                    num_docs: 40,
+                    first_seq: 0,
+                    last_seq: 49,
+                },
+                SegmentMeta {
+                    id: 4,
+                    num_docs: 70,
+                    first_seq: 50,
+                    last_seq: 119,
+                },
+            ],
+        };
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_is_not_found() {
+        let dir = tmpdir("missing");
+        assert!(matches!(Manifest::load(&dir), Err(Error::NotFound(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlapping_segments_rejected() {
+        let dir = tmpdir("overlap");
+        let m = Manifest {
+            generation: 0,
+            wal_base: 100,
+            wal_epoch: 0,
+            next_segment_id: 2,
+            segments: vec![
+                SegmentMeta {
+                    id: 0,
+                    num_docs: 10,
+                    first_seq: 0,
+                    last_seq: 20,
+                },
+                SegmentMeta {
+                    id: 1,
+                    num_docs: 10,
+                    first_seq: 15,
+                    last_seq: 30,
+                },
+            ],
+        };
+        assert!(matches!(m.store(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let dir = tmpdir("garbage");
+        std::fs::write(Manifest::path(&dir), "not a manifest\n").unwrap();
+        assert!(matches!(Manifest::load(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

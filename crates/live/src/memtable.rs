@@ -1,0 +1,120 @@
+//! The in-memory write buffer: documents plus a complete-gram memtable.
+//!
+//! Newly added documents are appended to the WAL corpus store for
+//! durability and mirrored here for query access. The buffer maintains a
+//! [`MemIndex`] over *all* grams of length 2..=`gram_len` of each
+//! document — a complete index, not a mined one, so the planner can plan
+//! against the buffer with the same machinery it uses for sealed
+//! segments, and any plan it produces is exact (a gram absent from the
+//! memtable provably occurs in no buffered document).
+
+use free_corpus::DocId;
+use free_index::MemIndex;
+
+/// The write buffer over documents not yet sealed into a segment.
+pub struct Memtable {
+    docs: Vec<Vec<u8>>,
+    bytes: u64,
+    index: MemIndex,
+    gram_len: usize,
+}
+
+impl Memtable {
+    /// Creates an empty buffer indexing grams of length 2..=`gram_len`.
+    pub fn new(gram_len: usize) -> Memtable {
+        Memtable {
+            docs: Vec::new(),
+            bytes: 0,
+            index: MemIndex::new(),
+            gram_len: gram_len.max(2),
+        }
+    }
+
+    /// Appends one document, indexing its grams. Returns the local id.
+    pub fn push(&mut self, doc: &[u8]) -> DocId {
+        let local = self.docs.len() as DocId;
+        for len in 2..=self.gram_len {
+            if doc.len() < len {
+                break;
+            }
+            for gram in doc.windows(len) {
+                // MemIndex coalesces repeated (key, doc) pairs, so every
+                // window can be pushed without deduplicating first.
+                self.index.add(gram, local);
+            }
+        }
+        self.bytes += doc.len() as u64;
+        self.docs.push(doc.to_vec());
+        local
+    }
+
+    /// Number of buffered documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total buffered document bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// One buffered document by local id.
+    pub fn doc(&self, local: usize) -> Option<&[u8]> {
+        self.docs.get(local).map(|d| &**d)
+    }
+
+    /// All buffered documents in local-id order.
+    pub fn docs(&self) -> &[Vec<u8>] {
+        &self.docs
+    }
+
+    /// The complete-gram index over the buffer.
+    pub fn index(&self) -> &MemIndex {
+        &self.index
+    }
+
+    /// Drops everything (after a flush sealed the buffer into a segment).
+    pub fn clear(&mut self) {
+        self.docs.clear();
+        self.bytes = 0;
+        self.index = MemIndex::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_index::IndexRead;
+
+    #[test]
+    fn indexes_complete_grams() {
+        let mut m = Memtable::new(3);
+        m.push(b"abcab");
+        m.push(b"xy");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.bytes(), 7);
+        // 2-grams and 3-grams of doc 0, deduplicated.
+        assert_eq!(m.index().postings(b"ab").unwrap().unwrap(), vec![0]);
+        assert_eq!(m.index().postings(b"abc").unwrap().unwrap(), vec![0]);
+        assert_eq!(m.index().postings(b"xy").unwrap().unwrap(), vec![1]);
+        // 4-grams are not indexed.
+        assert!(m.index().postings(b"abca").unwrap().is_none());
+        // Short docs index what they can.
+        assert!(m.index().postings(b"y").unwrap().is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Memtable::new(3);
+        m.push(b"hello");
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+        assert_eq!(m.index().num_keys(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The multi-segment query executor.
+//!
+//! One logical plan is built per query; a *physical* plan is then derived
+//! per source (each sealed segment and the write buffer) against that
+//! source's own index, compiled to a cursor over local ids with the PR 2
+//! streaming machinery, and lifted into the global sequence space by the
+//! adapters in [`crate::cursor`]. The per-source streams merge through
+//! the engine's `OrCursor` k-way heap (global sequence order), tombstones
+//! are filtered out, and the surviving candidates are confirmed by the
+//! engine's batched (optionally parallel) confirmation running against a
+//! sequence-keyed corpus view. Results at any generation are therefore
+//! identical to a from-scratch rebuild over the live documents.
+
+use crate::cursor::{OffsetCursor, SeqMapCursor, TombstoneFilterCursor};
+use crate::error::{Error, Result};
+use crate::memtable::Memtable;
+use crate::segment::Segment;
+use crate::view::LiveView;
+use crate::LiveConfig;
+use free_corpus::DocId;
+use free_engine::exec::stream::{compile_plan, confirm_source, CandidateSource, StreamState};
+use free_engine::plan::physical::{PhysicalPlan, PlanOptions};
+use free_engine::plan::LogicalPlan;
+use free_engine::{build_prefilter, PlanClass, QueryStats, ScanPolicy};
+use free_index::cursor::PostingsCursor;
+use free_index::{OrCursor, SliceCursor};
+use free_regex::{Regex, Span};
+use free_trace::json::JsonObject;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One matching document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveMatch {
+    /// The document's global sequence number.
+    pub seq: DocId,
+    /// Match spans within the document, in position order.
+    pub spans: Vec<Span>,
+}
+
+/// Execution statistics for one live query.
+#[derive(Clone, Debug)]
+pub struct LiveQueryStats {
+    /// The engine-level counters, folded across all sources.
+    pub base: QueryStats,
+    /// Number of candidate sources consulted (segments + write buffer).
+    pub sources: usize,
+    /// Sources whose per-source plan degenerated to a scan.
+    pub scanned_sources: usize,
+    /// Generation the query ran at.
+    pub generation: u64,
+}
+
+impl LiveQueryStats {
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("generation", self.generation)
+            .field_u64("sources", self.sources as u64)
+            .field_u64("scanned_sources", self.scanned_sources as u64)
+            .field_raw("engine", self.base.to_json());
+        o.finish()
+    }
+}
+
+/// The result of one live query: all matching documents, in ascending
+/// sequence order, with their match spans.
+#[derive(Clone, Debug)]
+pub struct LiveQueryResult {
+    /// Matching documents in sequence order.
+    pub matches: Vec<LiveMatch>,
+    /// Execution statistics.
+    pub stats: LiveQueryStats,
+}
+
+impl LiveQueryResult {
+    /// Just the matching sequence numbers.
+    pub fn matching_seqs(&self) -> Vec<DocId> {
+        self.matches.iter().map(|m| m.seq).collect()
+    }
+}
+
+/// Everything the executor needs, borrowed from the live index.
+pub(crate) struct ExecInputs<'a> {
+    pub segments: &'a [Segment],
+    pub memtable: &'a Memtable,
+    pub wal_base: DocId,
+    pub deleted: &'a BTreeSet<DocId>,
+    pub config: &'a LiveConfig,
+    pub generation: u64,
+}
+
+fn class_rank(c: PlanClass) -> u8 {
+    match c {
+        PlanClass::Indexed => 0,
+        PlanClass::Weak => 1,
+        PlanClass::Scan => 2,
+    }
+}
+
+/// Runs `pattern` over the live index view.
+pub(crate) fn execute(
+    inputs: &ExecInputs<'_>,
+    pattern: &str,
+    threads: usize,
+    want_spans: bool,
+) -> Result<LiveQueryResult> {
+    let econfig = &inputs.config.engine;
+    let mut query_span = econfig.tracer.span("live.query");
+    query_span.record("pattern", pattern);
+    query_span.record("generation", inputs.generation);
+
+    let plan_start = Instant::now();
+    let regex = Regex::new_traced(pattern, &query_span)?;
+    let logical = LogicalPlan::from_ast(regex.ast(), econfig.class_expand_limit);
+    let mut stats = QueryStats::default();
+    let mut sources = 0usize;
+    let mut scanned = 0usize;
+    let mut worst_class = PlanClass::Indexed;
+    let mut cursors: Vec<Box<dyn PostingsCursor>> = Vec::new();
+    {
+        let mut span = query_span.child("live.plan");
+        for seg in inputs.segments {
+            sources += 1;
+            let options = PlanOptions {
+                num_docs: seg.meta.num_docs as usize,
+                prune_selectivity: econfig.prune_selectivity,
+            };
+            let physical = PhysicalPlan::from_logical_with(&logical, &seg.index, options);
+            let class = physical.classify(seg.meta.num_docs as usize);
+            if class_rank(class) > class_rank(worst_class) {
+                worst_class = class;
+            }
+            if physical.is_scan() {
+                scanned += 1;
+                cursors.push(Box::new(SliceCursor::new((*seg.seqs).clone())));
+            } else {
+                let cursor = compile_plan(&physical, &seg.index, &mut stats)?
+                    .expect("non-scan plans always compile to a cursor");
+                cursors.push(Box::new(SeqMapCursor::new(cursor, seg.seqs.clone())));
+            }
+        }
+        if !inputs.memtable.is_empty() {
+            sources += 1;
+            let options = PlanOptions {
+                num_docs: inputs.memtable.len(),
+                prune_selectivity: econfig.prune_selectivity,
+            };
+            let physical =
+                PhysicalPlan::from_logical_with(&logical, inputs.memtable.index(), options);
+            let class = physical.classify(inputs.memtable.len());
+            if class_rank(class) > class_rank(worst_class) {
+                worst_class = class;
+            }
+            if physical.is_scan() {
+                scanned += 1;
+                let seqs: Vec<DocId> = (0..inputs.memtable.len() as DocId)
+                    .map(|i| inputs.wal_base + i)
+                    .collect();
+                cursors.push(Box::new(SliceCursor::new(seqs)));
+            } else {
+                let cursor = compile_plan(&physical, inputs.memtable.index(), &mut stats)?
+                    .expect("non-scan plans always compile to a cursor");
+                cursors.push(Box::new(OffsetCursor::new(cursor, inputs.wal_base)));
+            }
+        }
+        span.record("sources", sources);
+        span.record("scanned_sources", scanned);
+    }
+    if sources > 0 && scanned == sources {
+        match econfig.scan_policy {
+            ScanPolicy::Allow => {}
+            ScanPolicy::Warn => eprintln!(
+                "warning: query {pattern:?} cannot use any segment index; \
+                 scanning every live document"
+            ),
+            ScanPolicy::Reject => return Err(Error::ScanRejected(pattern.to_string())),
+        }
+    }
+    stats.used_scan = scanned > 0 && scanned == sources;
+    stats.plan_class = worst_class;
+    stats.plan_time = plan_start.elapsed();
+
+    let index_start = Instant::now();
+    let merged: Box<dyn PostingsCursor> = match cursors.len() {
+        0 => Box::new(SliceCursor::empty()),
+        1 => cursors.pop().expect("one cursor"),
+        _ => Box::new(OrCursor::new(cursors)?),
+    };
+    let root: Box<dyn PostingsCursor> = if inputs.deleted.is_empty() {
+        merged
+    } else {
+        let deleted: Arc<Vec<DocId>> = Arc::new(inputs.deleted.iter().copied().collect());
+        Box::new(TombstoneFilterCursor::new(merged, deleted)?)
+    };
+    let mut st = StreamState::new(root);
+    st.refresh(&mut stats);
+    let mut source = CandidateSource::Stream(st);
+    stats.index_time += index_start.elapsed();
+
+    let prefilter = if econfig.use_anchoring {
+        build_prefilter(&logical)
+    } else {
+        Vec::new()
+    };
+    let live_docs = inputs
+        .segments
+        .iter()
+        .map(|s| s.live_docs(inputs.deleted))
+        .sum::<usize>()
+        + (0..inputs.memtable.len() as DocId)
+            .filter(|i| !inputs.deleted.contains(&(inputs.wal_base + i)))
+            .count();
+    let view = LiveView {
+        segments: inputs.segments,
+        memtable: inputs.memtable,
+        wal_base: inputs.wal_base,
+        deleted: inputs.deleted,
+        live_docs,
+    };
+    let mut matches = Vec::new();
+    {
+        let mut span = query_span.child("live.confirm");
+        confirm_source(
+            &view,
+            &regex,
+            &mut source,
+            want_spans,
+            &prefilter,
+            threads,
+            &mut stats,
+            &mut |seq, spans| {
+                matches.push(LiveMatch { seq, spans });
+                true
+            },
+        )?;
+        span.record("matching_docs", stats.matching_docs);
+        span.record("docs_examined", stats.docs_examined);
+    }
+    free_engine::record_query(free_trace::metrics::global(), &stats);
+    Ok(LiveQueryResult {
+        matches,
+        stats: LiveQueryStats {
+            base: stats,
+            sources,
+            scanned_sources: scanned,
+            generation: inputs.generation,
+        },
+    })
+}

@@ -1,0 +1,263 @@
+//! Sealed immutable segments: a corpus store, a mined index, and the
+//! local→global sequence map.
+//!
+//! A flush seals the write buffer into a segment by running the same
+//! build pipeline the offline engine uses — mine a key set over the
+//! segment's documents ([`free_engine::select_keys`]), generate postings
+//! in one scan ([`free_engine::generate_postings`]), and write the
+//! blocked on-disk index format. Each segment therefore carries its *own*
+//! key set, mined from its own documents; queries stay exact regardless
+//! because planning happens per segment and confirmation runs the full
+//! regex.
+
+use crate::error::{Error, Result};
+use crate::manifest::SegmentMeta;
+use free_corpus::{Corpus, CorpusWriter, DiskCorpus, DocId};
+use free_engine::EngineConfig;
+use free_index::{IndexBuilder, IndexRead, IndexReader};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEQS_MAGIC: &[u8; 8] = b"FREESEQ1";
+
+/// Directory of the segment's corpus store.
+pub fn corpus_dir(seg_root: &Path, id: u64) -> PathBuf {
+    seg_root.join(format!("seg-{id}.corpus"))
+}
+
+/// Path of the segment's index file.
+pub fn index_path(seg_root: &Path, id: u64) -> PathBuf {
+    seg_root.join(format!("seg-{id}.idx"))
+}
+
+/// Path of the segment's sequence-map file.
+pub fn seqs_path(seg_root: &Path, id: u64) -> PathBuf {
+    seg_root.join(format!("seg-{id}.seqs"))
+}
+
+/// Writes the local→global sequence map.
+pub fn write_seqs(path: &Path, seqs: &[DocId]) -> Result<()> {
+    let mut buf = Vec::with_capacity(16 + seqs.len() * 4);
+    buf.extend_from_slice(SEQS_MAGIC);
+    buf.extend_from_slice(&(seqs.len() as u64).to_le_bytes());
+    for &s in seqs {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    let mut f =
+        File::create(path).map_err(|e| Error::io(format!("create {}", path.display()), e))?;
+    f.write_all(&buf)
+        .map_err(|e| Error::io(format!("write {}", path.display()), e))
+}
+
+/// Reads a local→global sequence map, validating strict ascent.
+pub fn read_seqs(path: &Path) -> Result<Vec<DocId>> {
+    let mut f = File::open(path).map_err(|e| Error::io(format!("open {}", path.display()), e))?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)
+        .map_err(|e| Error::io(format!("read {}", path.display()), e))?;
+    if bytes.len() < 16 || &bytes[..8] != SEQS_MAGIC {
+        return Err(Error::Corrupt(format!("bad seqs file {}", path.display())));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + count * 4 {
+        return Err(Error::Corrupt(format!(
+            "seqs file {} length mismatch",
+            path.display()
+        )));
+    }
+    let mut seqs = Vec::with_capacity(count);
+    let mut prev: Option<DocId> = None;
+    for chunk in bytes[16..].chunks_exact(4) {
+        let s = DocId::from_le_bytes(chunk.try_into().unwrap());
+        if let Some(p) = prev {
+            if s <= p {
+                return Err(Error::Corrupt(format!(
+                    "seqs file {} not strictly ascending",
+                    path.display()
+                )));
+            }
+        }
+        prev = Some(s);
+        seqs.push(s);
+    }
+    Ok(seqs)
+}
+
+/// A sealed segment opened for reading.
+pub struct Segment {
+    /// Committed metadata.
+    pub meta: SegmentMeta,
+    /// The segment's document store (local ids).
+    pub corpus: DiskCorpus,
+    /// The segment's mined index (local ids).
+    pub index: IndexReader,
+    /// Strictly ascending map local id → global sequence number. Shared
+    /// with cursors via `Arc` so query streams borrow nothing.
+    pub seqs: Arc<Vec<DocId>>,
+}
+
+impl Segment {
+    /// Opens the segment files named by `meta` under `seg_root`.
+    pub fn open(seg_root: &Path, meta: SegmentMeta) -> Result<Segment> {
+        let seqs = read_seqs(&seqs_path(seg_root, meta.id))?;
+        let corpus = DiskCorpus::open(corpus_dir(seg_root, meta.id))?;
+        let index = IndexReader::open(index_path(seg_root, meta.id))?;
+        let segment = Segment {
+            meta,
+            corpus,
+            index,
+            seqs: Arc::new(seqs),
+        };
+        segment.check()?;
+        Ok(segment)
+    }
+
+    fn check(&self) -> Result<()> {
+        let m = &self.meta;
+        if self.seqs.len() != m.num_docs as usize
+            || self.corpus.len() != m.num_docs as usize
+            || self.seqs.first() != Some(&m.first_seq)
+            || self.seqs.last() != Some(&m.last_seq)
+        {
+            return Err(Error::Corrupt(format!(
+                "segment {} files disagree with manifest metadata",
+                m.id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether `seq` names a document stored in this segment.
+    pub fn contains_seq(&self, seq: DocId) -> bool {
+        self.local_of(seq).is_some()
+    }
+
+    /// Local doc id of the document with sequence `seq`, if stored here.
+    pub fn local_of(&self, seq: DocId) -> Option<DocId> {
+        self.seqs.binary_search(&seq).ok().map(|i| i as DocId)
+    }
+
+    /// Number of documents not tombstoned, given the global tombstone set.
+    pub fn live_docs(&self, deleted: &std::collections::BTreeSet<DocId>) -> usize {
+        let dead = deleted
+            .range(self.meta.first_seq..=self.meta.last_seq)
+            .count();
+        self.seqs.len() - dead
+    }
+
+    /// Total stored document bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.corpus.total_bytes()
+    }
+
+    /// Number of keys in the segment's index directory.
+    pub fn num_keys(&self) -> usize {
+        self.index.num_keys()
+    }
+}
+
+/// Builds and seals a segment from `(sequence, bytes)` pairs (ascending
+/// by sequence), mining a fresh key set with the engine's selection
+/// policy. Returns the opened segment.
+pub fn build_segment(
+    seg_root: &Path,
+    id: u64,
+    docs: &[(DocId, &[u8])],
+    config: &EngineConfig,
+) -> Result<Segment> {
+    assert!(!docs.is_empty(), "segments are never empty");
+    std::fs::create_dir_all(seg_root)
+        .map_err(|e| Error::io(format!("create {}", seg_root.display()), e))?;
+    let mut writer = CorpusWriter::create(corpus_dir(seg_root, id))?;
+    let mut seqs = Vec::with_capacity(docs.len());
+    for (seq, bytes) in docs {
+        writer.append(bytes)?;
+        seqs.push(*seq);
+    }
+    let corpus = writer.finish()?;
+    write_seqs(&seqs_path(seg_root, id), &seqs)?;
+    let (keys, _mining) = free_engine::select_keys(&corpus, config)?;
+    let mut builder =
+        IndexBuilder::with_memory_budget(index_path(seg_root, id), config.build_memory_budget);
+    free_engine::generate_postings(&corpus, &keys, &mut |key, doc| {
+        builder.add(key, doc).map_err(free_engine::Error::from)
+    })?;
+    let index = builder.finish()?;
+    let meta = SegmentMeta {
+        id,
+        num_docs: docs.len() as u32,
+        first_seq: seqs[0],
+        last_seq: *seqs.last().expect("non-empty"),
+    };
+    let segment = Segment {
+        meta,
+        corpus,
+        index,
+        seqs: Arc::new(seqs),
+    };
+    segment.check()?;
+    Ok(segment)
+}
+
+/// Best-effort removal of a segment's files (after compaction replaced
+/// it). Failures are ignored: orphaned files are cleaned up again on the
+/// next open.
+pub fn remove_segment_files(seg_root: &Path, id: u64) {
+    let _ = std::fs::remove_file(index_path(seg_root, id));
+    let _ = std::fs::remove_file(seqs_path(seg_root, id));
+    let _ = std::fs::remove_dir_all(corpus_dir(seg_root, id));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("free-live-segment-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn seqs_roundtrip() {
+        let dir = tmpdir("seqs");
+        let path = dir.join("x.seqs");
+        write_seqs(&path, &[3, 7, 8, 100]).unwrap();
+        assert_eq!(read_seqs(&path).unwrap(), vec![3, 7, 8, 100]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_ascending_seqs_rejected() {
+        let dir = tmpdir("seqs-bad");
+        let path = dir.join("x.seqs");
+        write_seqs(&path, &[3, 3]).unwrap();
+        assert!(matches!(read_seqs(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_and_reopen_segment() {
+        let dir = tmpdir("build");
+        let docs: Vec<(DocId, &[u8])> = vec![
+            (5, b"the quick brown fox"),
+            (9, b"jumped over the lazy dog"),
+            (12, b"the quick red dog"),
+        ];
+        let config = EngineConfig::default();
+        let seg = build_segment(&dir, 0, &docs, &config).unwrap();
+        assert_eq!(seg.meta.first_seq, 5);
+        assert_eq!(seg.meta.last_seq, 12);
+        assert_eq!(seg.local_of(9), Some(1));
+        assert_eq!(seg.local_of(6), None);
+        assert_eq!(seg.corpus.get(2).unwrap(), b"the quick red dog");
+        let reopened = Segment::open(&dir, seg.meta.clone()).unwrap();
+        assert_eq!(reopened.seqs, seg.seqs);
+        assert_eq!(reopened.num_keys(), seg.num_keys());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,369 @@
+//! End-to-end tests for the live index: ingest, delete, flush, compact,
+//! reopen, crash recovery, and the differential invariant against a
+//! from-scratch batch build.
+
+use free_corpus::{DocId, MemCorpus};
+use free_engine::{Engine, EngineConfig};
+use free_live::{Error, LiveConfig, LiveIndex};
+use std::path::Path;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("free-live-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> LiveConfig {
+    LiveConfig {
+        engine: EngineConfig::default(),
+        ..LiveConfig::default()
+    }
+}
+
+fn docs() -> Vec<&'static [u8]> {
+    vec![
+        b"the quick brown fox jumps over the lazy dog",
+        b"pack my box with five dozen liquor jugs",
+        b"sphinx of black quartz judge my vow",
+        b"how vexingly quick daft zebras jump",
+        b"the five boxing wizards jump quickly",
+        b"jackdaws love my big sphinx of quartz",
+    ]
+}
+
+/// Queries the live index and a from-scratch batch rebuild over the same
+/// live documents, asserting identical (content, spans) results.
+fn assert_matches_rebuild(live: &LiveIndex, patterns: &[&str]) {
+    let seqs = live.live_seqs();
+    let contents: Vec<Vec<u8>> = seqs.iter().map(|&s| live.get(s).unwrap()).collect();
+    let engine = Engine::build_in_memory(
+        MemCorpus::from_docs(contents.clone()),
+        live.config().engine.clone(),
+    )
+    .unwrap();
+    for pattern in patterns {
+        let got = live.query(pattern).unwrap();
+        let want: Vec<(Vec<u8>, Vec<free_regex::Span>)> = engine
+            .query(pattern)
+            .unwrap()
+            .all_matches()
+            .unwrap()
+            .into_iter()
+            .map(|m| (contents[m.doc as usize].clone(), m.spans))
+            .collect();
+        let got: Vec<(Vec<u8>, Vec<free_regex::Span>)> = got
+            .matches
+            .into_iter()
+            .map(|m| (live.get(m.seq).unwrap(), m.spans))
+            .collect();
+        assert_eq!(got, want, "pattern {pattern:?} diverged from rebuild");
+    }
+}
+
+#[test]
+fn create_add_query_roundtrip() {
+    let dir = tmp_dir("roundtrip");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    let ids = live.add_batch(&docs()).unwrap();
+    assert_eq!(ids, (0..6).collect::<Vec<DocId>>());
+    assert_eq!(live.live_docs(), 6);
+
+    let result = live.query("qu[iao]").unwrap();
+    assert_eq!(result.matches.len(), 6);
+    assert_matches_rebuild(&live, &["quick", "sphinx", "ju[md]", "xyzzy", "o"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn create_refuses_existing() {
+    let dir = tmp_dir("refuse");
+    LiveIndex::create(&dir, config()).unwrap();
+    match LiveIndex::create(&dir, config()).map(|_| ()) {
+        Err(Error::AlreadyExists(_)) => {}
+        other => panic!("expected AlreadyExists, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopen_replays_wal() {
+    let dir = tmp_dir("reopen");
+    {
+        let mut live = LiveIndex::create(&dir, config()).unwrap();
+        live.add_batch(&docs()[..3]).unwrap();
+    }
+    let mut live = LiveIndex::open(&dir, config()).unwrap();
+    assert_eq!(live.live_docs(), 3);
+    assert_eq!(live.num_segments(), 0);
+    let ids = live.add_batch(&docs()[3..]).unwrap();
+    assert_eq!(ids, vec![3, 4, 5]);
+    assert_matches_rebuild(&live, &["quick", "jump"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flush_seals_segment_and_persists() {
+    let dir = tmp_dir("flush");
+    {
+        let mut live = LiveIndex::create(&dir, config()).unwrap();
+        live.add_batch(&docs()).unwrap();
+        assert!(live.flush().unwrap());
+        assert!(!live.flush().unwrap(), "empty buffer flush is a no-op");
+        assert_eq!(live.num_segments(), 1);
+        assert_eq!(live.stats().memtable_docs, 0);
+        assert_matches_rebuild(&live, &["quick", "sphinx of"]);
+    }
+    let live = LiveIndex::open(&dir, config()).unwrap();
+    assert_eq!(live.num_segments(), 1);
+    assert_eq!(live.live_docs(), 6);
+    assert_matches_rebuild(&live, &["quick", "sphinx of"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delete_hides_docs_everywhere() {
+    let dir = tmp_dir("delete");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..4]).unwrap();
+    live.flush().unwrap();
+    live.add_batch(&docs()[4..]).unwrap();
+
+    // One delete in the sealed segment, one in the write buffer.
+    live.delete(0).unwrap();
+    live.delete(4).unwrap();
+    assert_eq!(live.live_docs(), 4);
+    let result = live.query("jump").unwrap();
+    assert_eq!(result.matching_seqs(), vec![3]);
+    assert_matches_rebuild(&live, &["quick", "jump", "sphinx"]);
+
+    match live.delete(0) {
+        Err(Error::AlreadyDeleted(0)) => {}
+        other => panic!("expected AlreadyDeleted, got {other:?}"),
+    }
+    match live.delete(99) {
+        Err(Error::UnknownDoc(99)) => {}
+        other => panic!("expected UnknownDoc, got {other:?}"),
+    }
+    match live.get(0) {
+        Err(Error::UnknownDoc(0)) => {}
+        other => panic!("expected UnknownDoc on deleted get, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tombstones_survive_reopen() {
+    let dir = tmp_dir("tombstone-reopen");
+    {
+        let mut live = LiveIndex::create(&dir, config()).unwrap();
+        live.add_batch(&docs()).unwrap();
+        live.flush().unwrap();
+        live.delete(1).unwrap();
+        live.delete(5).unwrap();
+    }
+    let live = LiveIndex::open(&dir, config()).unwrap();
+    assert_eq!(live.live_docs(), 4);
+    assert_eq!(live.stats().tombstones, 2);
+    assert_matches_rebuild(&live, &["quartz", "box"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_merges_segments_and_drops_tombstones() {
+    let dir = tmp_dir("compact");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..2]).unwrap();
+    live.flush().unwrap();
+    live.add_batch(&docs()[2..4]).unwrap();
+    live.flush().unwrap();
+    live.add_batch(&docs()[4..]).unwrap();
+    assert_eq!(live.num_segments(), 2);
+    live.delete(1).unwrap();
+    live.delete(4).unwrap();
+
+    assert!(live.compact().unwrap());
+    assert_eq!(live.num_segments(), 1);
+    assert_eq!(live.stats().tombstones, 0);
+    assert_eq!(live.live_docs(), 4);
+    // Sequence numbers are stable across compaction.
+    assert_eq!(live.live_seqs(), vec![0, 2, 3, 5]);
+    assert_eq!(live.get(5).unwrap(), docs()[5].to_vec());
+    assert_matches_rebuild(&live, &["quick", "sphinx", "ju[md]"]);
+
+    // Compacting an already-compacted index is a no-op.
+    assert!(!live.compact().unwrap());
+
+    // New additions after compaction get fresh sequence numbers.
+    let ids = live.add(b"fresh doc after compaction").unwrap();
+    assert_eq!(ids, 6);
+    assert_matches_rebuild(&live, &["fresh", "quick"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_all_tombstoned_empties_index() {
+    let dir = tmp_dir("compact-empty");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..3]).unwrap();
+    live.flush().unwrap();
+    for seq in 0..3 {
+        live.delete(seq).unwrap();
+    }
+    assert!(live.compact().unwrap());
+    assert_eq!(live.num_segments(), 0);
+    assert_eq!(live.live_docs(), 0);
+    assert!(live.query("quick").unwrap().matches.is_empty());
+
+    // Sequence numbers are still never reused.
+    let id = live.add(b"after the purge").unwrap();
+    assert_eq!(id, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_survives_reopen() {
+    let dir = tmp_dir("compact-reopen");
+    {
+        let mut live = LiveIndex::create(&dir, config()).unwrap();
+        live.add_batch(&docs()[..3]).unwrap();
+        live.flush().unwrap();
+        live.add_batch(&docs()[3..]).unwrap();
+        live.delete(2).unwrap();
+        live.compact().unwrap();
+    }
+    let live = LiveIndex::open(&dir, config()).unwrap();
+    assert_eq!(live.num_segments(), 1);
+    assert_eq!(live.live_seqs(), vec![0, 1, 3, 4, 5]);
+    assert_matches_rebuild(&live, &["quick", "wizard"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_flush_on_doc_threshold() {
+    let dir = tmp_dir("auto-flush");
+    let mut live = LiveIndex::create(
+        &dir,
+        LiveConfig {
+            flush_threshold_docs: 4,
+            ..config()
+        },
+    )
+    .unwrap();
+    live.add_batch(&docs()).unwrap();
+    assert_eq!(live.num_segments(), 1, "batch crossing threshold flushes");
+    assert_eq!(live.stats().memtable_docs, 0);
+    assert_matches_rebuild(&live, &["quick"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_wal_is_discarded_after_simulated_crash() {
+    let dir = tmp_dir("stale-wal");
+    let wal_backup = tmp_dir("stale-wal-backup");
+    {
+        let mut live = LiveIndex::create(&dir, config()).unwrap();
+        live.add_batch(&docs()[..3]).unwrap();
+        // Simulate a crash between manifest commit and WAL reset: flush,
+        // then put the pre-flush WAL (and its stale epoch stamp) back.
+        copy_dir(&dir.join("wal"), &wal_backup);
+        let epoch = std::fs::read_to_string(dir.join("wal.epoch")).unwrap();
+        live.flush().unwrap();
+        std::fs::remove_dir_all(dir.join("wal")).unwrap();
+        copy_dir(&wal_backup, &dir.join("wal"));
+        std::fs::write(dir.join("wal.epoch"), epoch).unwrap();
+    }
+    let live = LiveIndex::open(&dir, config()).unwrap();
+    // The stale WAL's docs are already sealed in the segment; replaying
+    // it would double-count them.
+    assert_eq!(live.live_docs(), 3);
+    assert_eq!(live.stats().memtable_docs, 0);
+    assert_matches_rebuild(&live, &["quick", "box"]);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&wal_backup);
+}
+
+#[test]
+fn query_threads_agree() {
+    let dir = tmp_dir("threads");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..4]).unwrap();
+    live.flush().unwrap();
+    live.add_batch(&docs()[4..]).unwrap();
+    live.delete(2).unwrap();
+    for pattern in ["quick", "ju[md]", "o"] {
+        let one = live.query_with(pattern, 1, true).unwrap();
+        let four = live.query_with(pattern, 4, true).unwrap();
+        assert_eq!(
+            one.matches, four.matches,
+            "pattern {pattern:?} diverged across thread counts"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn key_set_drift_flags_novel_content() {
+    let dir = tmp_dir("drift");
+    // A permissive usefulness threshold so the tiny buffer corpus still
+    // mines keys (a gram is useful iff it hits at most half the docs).
+    let mut cfg = config();
+    cfg.engine.usefulness_threshold = 0.5;
+    let mut live = LiveIndex::create(&dir, cfg).unwrap();
+    live.add_batch(&docs()).unwrap();
+    assert_eq!(live.key_set_drift().unwrap(), 0.0, "no segments yet");
+    live.flush().unwrap();
+    assert_eq!(live.key_set_drift().unwrap(), 0.0, "empty buffer");
+
+    // Novel, repetitive content the sealed key set never saw.
+    let novel: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("zzyzx volcanic rhubarb {i}").into_bytes())
+        .collect();
+    live.add_batch(&novel).unwrap();
+    let drift = live.key_set_drift().unwrap();
+    assert!(drift > 0.5, "drift {drift} should flag novel content");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generation_bumps_on_every_mutation() {
+    let dir = tmp_dir("generation");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    let g0 = live.generation();
+    live.add(b"one doc").unwrap();
+    let g1 = live.generation();
+    assert!(g1 > g0);
+    live.delete(0).unwrap();
+    let g2 = live.generation();
+    assert!(g2 > g1);
+    live.add(b"two doc").unwrap();
+    live.flush().unwrap();
+    assert!(live.generation() > g2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_json_shape() {
+    let dir = tmp_dir("stats-json");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..3]).unwrap();
+    live.flush().unwrap();
+    live.add_batch(&docs()[3..]).unwrap();
+    live.delete(1).unwrap();
+    let stats = live.stats();
+    assert_eq!(stats.segments.len(), 1);
+    assert_eq!(stats.memtable_docs, 3);
+    assert_eq!(stats.tombstones, 1);
+    assert_eq!(stats.live_docs, 5);
+    let json = stats.to_json();
+    assert!(json.contains("\"num_segments\":1"), "{json}");
+    assert!(json.contains("\"tombstones\":1"), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
