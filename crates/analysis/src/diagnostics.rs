@@ -51,6 +51,9 @@ pub mod codes {
     pub const KEY_SET_DRIFT: &str = "FA302";
     /// Tombstoned documents dominate a live index's stored documents.
     pub const TOMBSTONE_DEBT: &str = "FA303";
+    /// Retired segment files linger on disk, or the published snapshot
+    /// trails the writer's generation.
+    pub const SNAPSHOT_STALENESS: &str = "FA304";
 }
 
 /// How serious a finding is.

@@ -11,6 +11,7 @@
 //! | `FA301` | over-fragmented: too many sealed segments |
 //! | `FA302` | key-set drift: new docs escape the mined key sets |
 //! | `FA303` | tombstone debt: deleted docs dominate stored docs |
+//! | `FA304` | snapshot staleness: retired segment files linger, or the published snapshot trails the writer |
 
 use crate::diagnostics::{codes, Diagnostic, Severity};
 
@@ -29,6 +30,12 @@ pub struct LiveHealth {
     /// gram absent from every sealed segment's key set (see the live
     /// crate's drift probe).
     pub drift_fraction: f64,
+    /// Segment files on disk that no manifest entry references (retired
+    /// by compaction but never unlinked — leaked disk).
+    pub retired_segment_files: usize,
+    /// Writer generation minus the published snapshot's generation; any
+    /// nonzero value means readers are served a stale view.
+    pub snapshot_lag: u64,
 }
 
 /// Thresholds for [`analyze_live`].
@@ -110,6 +117,36 @@ pub fn analyze_live(health: &LiveHealth, cfg: &LiveAnalysisConfig) -> Vec<Diagno
             );
         }
     }
+    if health.retired_segment_files > 0 || health.snapshot_lag > 0 {
+        let mut parts = Vec::new();
+        if health.retired_segment_files > 0 {
+            parts.push(format!(
+                "{} retired segment file(s) linger on disk",
+                health.retired_segment_files
+            ));
+        }
+        if health.snapshot_lag > 0 {
+            parts.push(format!(
+                "published snapshot trails the writer by {} generation(s)",
+                health.snapshot_lag
+            ));
+        }
+        out.push(
+            Diagnostic::new(
+                codes::SNAPSHOT_STALENESS,
+                Severity::Warning,
+                None,
+                format!(
+                    "{}; readers may see stale data and disk is not reclaimed",
+                    parts.join("; ")
+                ),
+            )
+            .with_suggestion(
+                "reopen the index to republish and sweep orphans; if this \
+                 persists, a writer crashed between commit and publish",
+            ),
+        );
+    }
     out
 }
 
@@ -124,6 +161,8 @@ mod tests {
             live_docs: 100,
             tombstoned_docs: 5,
             drift_fraction: 0.05,
+            retired_segment_files: 0,
+            snapshot_lag: 0,
         }
     }
 
@@ -176,18 +215,54 @@ mod tests {
             live_docs: 0,
             tombstoned_docs: 0,
             drift_fraction: 0.0,
+            retired_segment_files: 0,
+            snapshot_lag: 0,
         };
         assert!(analyze_live(&health, &LiveAnalysisConfig::default()).is_empty());
     }
 
     #[test]
-    fn all_three_can_fire_together() {
+    fn retired_files_flag_fa304() {
+        let health = LiveHealth {
+            retired_segment_files: 3,
+            ..healthy()
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::SNAPSHOT_STALENESS);
+        assert!(
+            diags[0].message.contains("3 retired segment file(s)"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn snapshot_lag_flags_fa304() {
+        let health = LiveHealth {
+            snapshot_lag: 2,
+            ..healthy()
+        };
+        let diags = analyze_live(&health, &LiveAnalysisConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::SNAPSHOT_STALENESS);
+        assert!(
+            diags[0].message.contains("trails the writer by 2"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn all_findings_can_fire_together() {
         let health = LiveHealth {
             num_segments: 50,
             memtable_docs: 100,
             live_docs: 10,
             tombstoned_docs: 90,
             drift_fraction: 0.9,
+            retired_segment_files: 1,
+            snapshot_lag: 1,
         };
         let diags = analyze_live(&health, &LiveAnalysisConfig::default());
         let codes_found: Vec<&str> = diags.iter().map(|d| d.code).collect();
@@ -196,7 +271,8 @@ mod tests {
             vec![
                 codes::OVER_FRAGMENTED,
                 codes::KEY_SET_DRIFT,
-                codes::TOMBSTONE_DEBT
+                codes::TOMBSTONE_DEBT,
+                codes::SNAPSHOT_STALENESS
             ]
         );
     }

@@ -16,7 +16,16 @@
 //!   ingest    live-index sustained ingest: docs/sec plus query latency
 //!             percentiles measured *while* ingesting (report also written
 //!             to results/ingest.txt)
-//!   all       everything above (except disk, grams, and ingest)
+//!   serve-load  snapshot read-path scaling: QPS and latency percentiles at
+//!               1/4/8 reader threads, with and without a concurrent
+//!               writer running continuous flush + compaction (report also
+//!               written to results/serve_load.txt)
+//!   corpus-get  positioned-read micro-benchmark: ns/get for per-call
+//!               open+seek+read vs. one shared handle (pread) vs. pread
+//!               plus the sharded doc cache (report also written to
+//!               results/corpus_get.txt)
+//!   all       everything above (except disk, grams, ingest, serve-load,
+//!             and corpus-get)
 //!
 //! Options:
 //!   --docs N      number of synthetic pages (default 2000)
@@ -78,11 +87,12 @@ fn main() {
         .collect();
     }
 
-    // `disk` and `ingest` build their own pipelines; only the paper
-    // figures need the four prebuilt in-memory indexes.
+    // `disk`, `ingest`, `serve-load` and `corpus-get` build their own
+    // pipelines; only the paper figures need the four prebuilt in-memory
+    // indexes.
     let needs_experiment = commands
         .iter()
-        .any(|c| !matches!(c.as_str(), "disk" | "ingest"));
+        .any(|c| !matches!(c.as_str(), "disk" | "ingest" | "serve-load" | "corpus-get"));
     let experiment = if needs_experiment {
         eprintln!(
             "# building experiment: {} docs, seed {:#x}, c={}, repeats={}",
@@ -134,6 +144,8 @@ fn main() {
             "disk" => run_disk_demo(&config),
             "grams" => run_gram_report(exp()),
             "ingest" => run_ingest_bench(&config),
+            "serve-load" => run_serve_load(&config),
+            "corpus-get" => run_corpus_get_bench(&config),
             other => usage(&format!("unknown command {other}")),
         };
         println!("{rendered}");
@@ -505,6 +517,282 @@ fn run_ingest_bench(config: &ExperimentConfig) -> String {
     out
 }
 
+/// Snapshot read-path scaling benchmark (`serve-load`): fixed-duration
+/// query loops at 1/4/8 reader threads over [`free_live::LiveReader`]
+/// handles — the same lock-free path `free serve` uses — first against a
+/// quiescent index, then with a writer thread continuously adding,
+/// deleting, flushing and compacting. QPS should scale with readers in
+/// both columns; if the churn column collapses, readers are blocking on
+/// the writer. The report is also written to `results/serve_load.txt`.
+fn run_serve_load(config: &ExperimentConfig) -> String {
+    use free_bench::queries::benchmark_queries;
+    use std::fmt::Write as _;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    const RUN_FOR: Duration = Duration::from_millis(1200);
+
+    let queries: Vec<_> = benchmark_queries()
+        .into_iter()
+        .filter(|q| !q.expect_scan)
+        .take(4)
+        .collect();
+
+    // A fresh, identical index per configuration so later rows aren't
+    // measured against state mutated by earlier churn.
+    let build = |dir: &std::path::Path| -> free_live::LiveIndex {
+        let _ = std::fs::remove_dir_all(dir);
+        let synth = free_corpus::synth::SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..free_corpus::synth::SynthConfig::default()
+        };
+        let generator = free_corpus::synth::Generator::new(synth);
+        let mut live = free_live::LiveIndex::create(
+            dir,
+            free_live::LiveConfig {
+                engine: free_engine::EngineConfig {
+                    usefulness_threshold: config.usefulness_threshold,
+                    max_gram_len: config.max_gram_len,
+                    ..free_engine::EngineConfig::default()
+                },
+                flush_threshold_docs: (config.num_docs / 4).max(32),
+                ..free_live::LiveConfig::default()
+            },
+        )
+        .expect("create live index");
+        let mut page = Vec::new();
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        for doc_id in 0..config.num_docs as u32 {
+            page.clear();
+            generator.page(doc_id, &mut page);
+            batch.push(page.clone());
+            if batch.len() == 64 {
+                live.add_batch(&batch).expect("ingest");
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            live.add_batch(&batch).expect("ingest");
+        }
+        live
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Serve load — {} docs, {} queries round-robin, {RUN_FOR:?} per cell, {cores} core(s)",
+        config.num_docs,
+        queries.len()
+    );
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "(single-core host: expect flat QPS across reader counts — the \
+             scaling signal here is that more readers and writer churn do \
+             NOT collapse throughput, i.e. readers never block)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<9}{:<12}{:>10}{:>12}{:>12}{:>12}",
+        "readers", "writer", "QPS", "p50", "p99", "writer ops"
+    );
+    for with_writer in [false, true] {
+        for readers in [1usize, 4, 8] {
+            let dir = std::env::temp_dir().join(format!(
+                "free-serve-load-{}-{readers}-{with_writer}",
+                std::process::id()
+            ));
+            let mut live = build(&dir);
+            let reader = live.reader();
+            let latency = free_trace::Histogram::new();
+            let done = AtomicBool::new(false);
+            let total = AtomicU64::new(0);
+            let writer_ops = AtomicU64::new(0);
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for r in 0..readers {
+                    let reader = reader.clone();
+                    let latency = latency.clone();
+                    let queries = &queries;
+                    let (done, total) = (&done, &total);
+                    scope.spawn(move || {
+                        let mut i = r;
+                        while !done.load(Ordering::Relaxed) {
+                            let q = &queries[i % queries.len()];
+                            i += 1;
+                            let t = Instant::now();
+                            let result = reader.snapshot().query_with(q.pattern, 1, false);
+                            latency.observe_duration(t.elapsed());
+                            std::hint::black_box(result.expect("query").matches.len());
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+                if with_writer {
+                    let (done, writer_ops) = (&done, &writer_ops);
+                    let live = &mut live;
+                    scope.spawn(move || {
+                        // Continuous churn: add a few docs, delete one,
+                        // flush, compact — each publish retires files the
+                        // readers may still be streaming from.
+                        let mut next_doc = 0u64;
+                        while !done.load(Ordering::Relaxed) {
+                            let docs: Vec<Vec<u8>> = (0..4)
+                                .map(|i| format!("churn document {}", next_doc + i).into_bytes())
+                                .collect();
+                            next_doc += docs.len() as u64;
+                            let ids = live.add_batch(&docs).expect("churn add");
+                            live.delete(ids[0]).expect("churn delete");
+                            live.flush().expect("churn flush");
+                            live.compact().expect("churn compact");
+                            writer_ops.fetch_add(4, Ordering::Relaxed);
+                        }
+                    });
+                }
+                std::thread::sleep(RUN_FOR);
+                done.store(true, Ordering::Relaxed);
+            });
+            let elapsed = started.elapsed();
+            let _ = writeln!(
+                out,
+                "{:<9}{:<12}{:>10.0}{:>12}{:>12}{:>12}",
+                readers,
+                if with_writer { "churning" } else { "idle" },
+                total.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+                format!("{:.2?}", Duration::from_nanos(latency.quantile(0.50))),
+                format!("{:.2?}", Duration::from_nanos(latency.quantile(0.99))),
+                writer_ops.load(Ordering::Relaxed),
+            );
+            drop(live);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/serve_load.txt", &out))
+    {
+        eprintln!("# could not write results/serve_load.txt: {e}");
+    } else {
+        eprintln!("# report written to results/serve_load.txt");
+    }
+    out
+}
+
+/// Positioned-read micro-benchmark (`corpus-get`): ns per `Corpus::get`
+/// under three document read strategies — re-opening the data file per
+/// call (what `DiskCorpus::get` once did), positioned reads on one shared
+/// handle (what it does now), and the shared handle fronted by the
+/// sharded [`free_corpus::DocCache`]. Random-access pattern over the
+/// synthetic corpus. The report is also written to
+/// `results/corpus_get.txt`.
+fn run_corpus_get_bench(config: &ExperimentConfig) -> String {
+    use free_corpus::Corpus as _;
+    use std::fmt::Write as _;
+    use std::io::{Read as _, Seek as _};
+
+    let dir = std::env::temp_dir().join(format!("free-corpus-get-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let synth = free_corpus::synth::SynthConfig {
+        num_docs: config.num_docs,
+        seed: config.seed,
+        ..free_corpus::synth::SynthConfig::default()
+    };
+    let (corpus, _) = free_corpus::synth::Generator::new(synth)
+        .build_disk(&dir)
+        .expect("corpus to disk");
+    let num_docs = corpus.len() as u32;
+
+    // Reconstruct the doc extents once, so the "legacy" strategy can
+    // replay exactly the open+seek+read sequence the old `get` did.
+    let mut offsets: Vec<(u64, usize)> = Vec::with_capacity(num_docs as usize);
+    let mut start = 0u64;
+    for id in 0..num_docs {
+        let len = corpus.get(id).expect("doc").len();
+        offsets.push((start, len));
+        start += len as u64;
+    }
+    let data_path = dir.join("corpus.dat");
+
+    // Fixed pseudo-random access pattern, shared by all strategies; a
+    // skewed tail (80% of reads over 20% of docs) gives the cache
+    // something realistic to hold.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    use rand::{Rng as _, SeedableRng as _};
+    let rounds = (config.num_docs * 8).max(4000);
+    let pattern: Vec<u32> = (0..rounds)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0..num_docs.div_ceil(5).max(1))
+            } else {
+                rng.gen_range(0..num_docs)
+            }
+        })
+        .collect();
+
+    let time = |f: &mut dyn FnMut(u32) -> usize| -> f64 {
+        let t = Instant::now();
+        let mut bytes = 0usize;
+        for &id in &pattern {
+            bytes += f(id);
+        }
+        std::hint::black_box(bytes);
+        t.elapsed().as_nanos() as f64 / pattern.len() as f64
+    };
+
+    let reopen_ns = time(&mut |id| {
+        let (start, len) = offsets[id as usize];
+        let mut f = std::fs::File::open(&data_path).expect("open data file");
+        f.seek(std::io::SeekFrom::Start(start)).expect("seek");
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).expect("read");
+        buf.len()
+    });
+    let pread_ns = time(&mut |id| corpus.get(id).expect("doc").len());
+    let cached = free_corpus::DiskCorpus::open(&dir)
+        .expect("reopen")
+        .with_cache(8 << 20);
+    let cached_ns = time(&mut |id| cached.get(id).expect("doc").len());
+    let (hits, misses) = cached.cache_stats().expect("cache enabled");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Corpus get — {} docs, {} random reads (80% over the hottest 20%)",
+        num_docs,
+        pattern.len()
+    );
+    let _ = writeln!(out, "{:<34}{:>12}", "strategy", "ns/get");
+    let _ = writeln!(
+        out,
+        "{:<34}{:>12.0}",
+        "open+seek+read per call (legacy)", reopen_ns
+    );
+    let _ = writeln!(out, "{:<34}{:>12.0}", "shared handle, pread", pread_ns);
+    let _ = writeln!(
+        out,
+        "{:<34}{:>12.0}",
+        "shared handle + sharded doc cache", cached_ns
+    );
+    let _ = writeln!(
+        out,
+        "cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+        hits as f64 / (hits + misses).max(1) as f64 * 100.0
+    );
+
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/corpus_get.txt", &out))
+    {
+        eprintln!("# could not write results/corpus_get.txt: {e}");
+    } else {
+        eprintln!("# report written to results/corpus_get.txt");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
     *i += 1;
     let raw = args
@@ -528,7 +816,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--docs N] [--seed S] [--c X] [--repeats N] [--csv DIR] \
-         <table3|fig9|fig10|fig11|fig12|latency|ablate|disk|grams|ingest|all>..."
+         <table3|fig9|fig10|fig11|fig12|latency|ablate|disk|grams|ingest|serve-load|\
+         corpus-get|all>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

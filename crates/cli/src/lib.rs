@@ -17,6 +17,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod serve;
+
 use free_corpus::{Corpus, FsCorpus};
 use free_engine::{Engine, EngineConfig};
 use free_index::IndexReader;
@@ -466,6 +468,8 @@ pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
         live_docs: stats.live_docs,
         tombstoned_docs: stats.tombstones,
         drift_fraction: drift,
+        retired_segment_files: live.retired_segment_files().len(),
+        snapshot_lag: live.snapshot_lag(),
     };
     let diags = free_analyze::analyze_live(&health, &free_analyze::LiveAnalysisConfig::default());
     if json {

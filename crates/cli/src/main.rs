@@ -11,6 +11,7 @@
 //! freegrep delete [--dir DIR] <SEQ>...
 //! freegrep compact [--dir DIR]
 //! freegrep segments [--dir DIR] [--json]
+//! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]
 //! ```
 //!
 //! The same binary also installs as `free`, so the analyzer reads as
@@ -227,6 +228,40 @@ fn run(args: &[String]) -> CmdResult {
                 _ => Ok((freegrep::live_segments(&dir, json)?, 0)),
             }
         }
+        "serve" => {
+            let mut options = freegrep::serve::ServeOptions::new(freegrep::DEFAULT_LIVE_DIR);
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--dir" => {
+                        i += 1;
+                        options.dir = value(rest, i, "--dir")?.into();
+                    }
+                    "--port" => {
+                        i += 1;
+                        options.port = value(rest, i, "--port")?.parse()?;
+                    }
+                    "--workers" => {
+                        i += 1;
+                        options.workers = value(rest, i, "--workers")?.parse()?;
+                    }
+                    "--threads" => {
+                        i += 1;
+                        options.threads = value(rest, i, "--threads")?.parse()?;
+                    }
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            // Announce the bound address immediately (and flushed), so a
+            // caller that asked for an ephemeral port can read it from
+            // the first line of stdout before sending requests.
+            freegrep::serve::serve(&options, |addr| {
+                println!("listening on {addr}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })?;
+            Ok(("shutdown complete\n".to_string(), 0))
+        }
         "--help" | "-h" | "help" => Ok((format!("{}\n", usage()), 0)),
         other => Err(format!("unknown command {other}\n{}", usage()).into()),
     }
@@ -249,7 +284,8 @@ fn usage() -> String {
      freegrep add [--dir DIR] <FILE>...\n  \
      freegrep delete [--dir DIR] <SEQ>...\n  \
      freegrep compact [--dir DIR]\n  \
-     freegrep segments [--dir DIR] [--json]\n\n\
+     freegrep segments [--dir DIR] [--json]\n  \
+     freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]\n\n\
      --threads N confirms candidates with N worker threads \
      (default 0 = one per CPU); results are identical for any N\n\
      explain --analyze executes the query with per-operator instrumentation \
@@ -257,6 +293,9 @@ fn usage() -> String {
      metrics dumps the process metrics registry in Prometheus text format \
      (run with a PATTERN to populate it from one query first)\n\
      add/delete/compact/segments operate a live (incrementally updatable) \
-     index in DIR (default ./.freelive); search --live DIR queries it"
+     index in DIR (default ./.freelive); search --live DIR queries it\n\
+     serve answers line-delimited JSON requests over TCP on 127.0.0.1 \
+     (send {\"shutdown\":true} to stop; --port 0 picks an ephemeral port, \
+     announced on stdout)"
         .to_string()
 }

@@ -1,0 +1,464 @@
+//! `free serve` — a dependency-free TCP query server over a live index.
+//!
+//! The server speaks line-delimited JSON: each request is one JSON
+//! object on one line, each response one JSON object on one line.
+//!
+//! ```text
+//! {"query":"ab.c","limit":10,"docs":true}   search the live index
+//! {"add":["doc one","doc two"]}             ingest documents
+//! {"delete":3}                              tombstone a document
+//! {"flush":true}                            seal the write buffer
+//! {"compact":true}                          merge segments, drop tombstones
+//! {"stats":true}                            live-index shape
+//! {"metrics":true}                          Prometheus registry text
+//! {"ping":true}                             liveness probe
+//! {"shutdown":true}                         graceful shutdown
+//! ```
+//!
+//! Responses carry `"ok":true` plus command-specific fields, or
+//! `"ok":false` with an `"error"` string; a malformed line never kills
+//! the connection.
+//!
+//! Concurrency model: queries are served from [`free_live::LiveReader`]
+//! snapshots and never take the writer lock, so any number of
+//! connections can search while an `add`/`delete`/`flush`/`compact`
+//! command holds the single writer (a `Mutex<LiveIndex>`). Workers are
+//! a fixed thread pool fed by a channel; each worker owns one
+//! connection at a time.
+//!
+//! Shutdown is a protocol command rather than a signal handler (the
+//! workspace forbids `unsafe`, which rules out `sigaction`): on
+//! `{"shutdown":true}` the handler answers the client, raises the
+//! shutdown flag, and self-connects to unblock `accept`. The accept
+//! loop stops handing out new connections, the channel closes, and
+//! every worker finishes the requests already in flight before the
+//! server returns.
+
+use crate::{CliError, Result};
+use free_live::{LiveIndex, LiveReader};
+use free_trace::json::{JsonArray, JsonObject};
+use free_trace::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on a socket read before re-checking the
+/// shutdown flag. Partial lines survive the timeout.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Options for `free serve`.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Live-index directory (created on first use).
+    pub dir: PathBuf,
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral, the chosen port is
+    /// announced on stdout).
+    pub port: u16,
+    /// Worker threads serving connections (`0` = one per CPU, min 2).
+    pub workers: usize,
+    /// Confirmation threads per query (`0` = one per CPU).
+    pub threads: usize,
+}
+
+impl ServeOptions {
+    /// Defaults: ephemeral port, auto-sized pools.
+    pub fn new(dir: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            dir: dir.into(),
+            port: 0,
+            workers: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// Shared server state: the serialized writer, the lock-free read
+/// handle, and the observability endpoints.
+struct ServeCtx {
+    writer: Mutex<LiveIndex>,
+    reader: LiveReader,
+    addr: SocketAddr,
+    threads: usize,
+    shutdown: AtomicBool,
+    tracer: free_trace::Tracer,
+    requests: free_trace::Counter,
+    queries: free_trace::Counter,
+    errors: free_trace::Counter,
+    query_ns: free_trace::Histogram,
+    connections: free_trace::Gauge,
+}
+
+/// Runs the server until a client sends `{"shutdown":true}`.
+///
+/// Binds `127.0.0.1:port`, announces the resolved address by calling
+/// `announce` (the CLI prints it to stdout so scripts and tests can
+/// discover an ephemeral port), then serves connections on a fixed
+/// worker pool. Returns once every in-flight request has been answered.
+pub fn serve(options: &ServeOptions, announce: impl FnOnce(SocketAddr)) -> Result<()> {
+    let live = LiveIndex::open_or_create(&options.dir, crate::live_config(options.threads))?;
+    let listener = TcpListener::bind(("127.0.0.1", options.port))?;
+    let addr = listener.local_addr()?;
+    let workers = if options.workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .max(2)
+    } else {
+        options.workers
+    };
+
+    let registry = free_trace::metrics::global();
+    let ctx = Arc::new(ServeCtx {
+        reader: live.reader(),
+        writer: Mutex::new(live),
+        addr,
+        threads: options.threads,
+        shutdown: AtomicBool::new(false),
+        tracer: free_trace::Tracer::with_capacity(1024),
+        requests: registry.counter(
+            "free_serve_requests_total",
+            "requests handled by free serve",
+        ),
+        queries: registry.counter("free_serve_queries_total", "search requests handled"),
+        errors: registry.counter("free_serve_errors_total", "requests answered with ok:false"),
+        query_ns: registry.histogram("free_serve_query_ns", "per-query latency in nanoseconds"),
+        connections: registry.gauge("free_serve_connections", "currently open connections"),
+    });
+    announce(addr);
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let pool: Vec<_> = (0..workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || loop {
+                // Hold the receiver lock only while waiting for work;
+                // the connection itself is served lock-free.
+                let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &ctx),
+                    Err(_) => break, // channel closed: drain complete
+                }
+            })
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client) is dropped
+            // unserved; everything already queued still completes.
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue, // transient accept failure
+        }
+    }
+    drop(tx);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+/// Serves one connection: reads newline-delimited requests until EOF,
+/// a fatal socket error, or shutdown.
+fn handle_connection(stream: TcpStream, ctx: &ServeCtx) {
+    ctx.connections.add(1);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            ctx.connections.add(-1);
+            return;
+        }
+    });
+    let mut out = stream;
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => {
+                // EOF; an unterminated final line is still a request.
+                if !line.iter().all(u8::is_ascii_whitespace) {
+                    let (response, _) = dispatch(&line, ctx);
+                    let _ = writeln!(out, "{response}");
+                }
+                break;
+            }
+            Ok(_) if line.last() != Some(&b'\n') => continue, // partial read
+            Ok(_) => {
+                let stop = if line.iter().all(u8::is_ascii_whitespace) {
+                    false
+                } else {
+                    let (response, stop) = dispatch(&line, ctx);
+                    let _ = writeln!(out, "{response}");
+                    let _ = out.flush();
+                    stop
+                };
+                line.clear();
+                if stop {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll: keep any partial line and re-check shutdown.
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    ctx.connections.add(-1);
+}
+
+/// Parses and executes one request line, returning the response line
+/// and whether this connection should close (shutdown acknowledged).
+fn dispatch(line: &[u8], ctx: &ServeCtx) -> (String, bool) {
+    ctx.requests.inc();
+    let mut span = ctx.tracer.span("serve.request");
+    let parsed = std::str::from_utf8(line)
+        .map_err(|_| "request is not UTF-8".to_string())
+        .and_then(|s| JsonValue::parse(s.trim()));
+    let request = match parsed {
+        Ok(v) => v,
+        Err(e) => return (error_response(ctx, &format!("bad request: {e}")), false),
+    };
+    let outcome = execute_request(&request, ctx, &mut span);
+    match outcome {
+        Ok((response, stop)) => (response, stop),
+        Err(e) => (error_response(ctx, &e.to_string()), false),
+    }
+}
+
+/// Renders an `ok:false` response and counts it.
+fn error_response(ctx: &ServeCtx, message: &str) -> String {
+    ctx.errors.inc();
+    let mut o = JsonObject::new();
+    o.field_bool("ok", false).field_str("error", message);
+    o.finish()
+}
+
+/// Executes a parsed request against the index.
+fn execute_request(
+    request: &JsonValue,
+    ctx: &ServeCtx,
+    span: &mut free_trace::Span,
+) -> Result<(String, bool)> {
+    if let Some(pattern) = request.get("query") {
+        let pattern = pattern
+            .as_str()
+            .ok_or_else(|| CliError::Manifest("\"query\" must be a string".into()))?;
+        span.record("kind", "query");
+        return Ok((run_query(pattern, request, ctx)?, false));
+    }
+    if let Some(docs) = request.get("add") {
+        span.record("kind", "add");
+        let items = docs
+            .as_array()
+            .ok_or_else(|| CliError::Manifest("\"add\" must be an array of strings".into()))?;
+        let mut bytes: Vec<&[u8]> = Vec::with_capacity(items.len());
+        for item in items {
+            bytes.push(
+                item.as_str()
+                    .ok_or_else(|| {
+                        CliError::Manifest("\"add\" must be an array of strings".into())
+                    })?
+                    .as_bytes(),
+            );
+        }
+        let seqs = lock_writer(ctx).add_batch(&bytes)?;
+        let mut arr = JsonArray::new();
+        for s in &seqs {
+            arr.push_u64(u64::from(*s));
+        }
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true).field_raw("seqs", arr.finish());
+        return Ok((o.finish(), false));
+    }
+    if let Some(seq) = request.get("delete") {
+        span.record("kind", "delete");
+        let seq = seq
+            .as_u64()
+            .and_then(|s| u32::try_from(s).ok())
+            .ok_or_else(|| CliError::Manifest("\"delete\" must be a sequence number".into()))?;
+        lock_writer(ctx).delete(seq)?;
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true)
+            .field_u64("deleted", u64::from(seq));
+        return Ok((o.finish(), false));
+    }
+    if request.get("flush").is_some() {
+        span.record("kind", "flush");
+        let changed = lock_writer(ctx).flush()?;
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true).field_bool("changed", changed);
+        return Ok((o.finish(), false));
+    }
+    if request.get("compact").is_some() {
+        span.record("kind", "compact");
+        let changed = lock_writer(ctx).compact()?;
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true).field_bool("changed", changed);
+        return Ok((o.finish(), false));
+    }
+    if request.get("stats").is_some() {
+        span.record("kind", "stats");
+        let stats = lock_writer(ctx).stats();
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true).field_raw("stats", stats.to_json());
+        return Ok((o.finish(), false));
+    }
+    if request.get("metrics").is_some() {
+        span.record("kind", "metrics");
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true)
+            .field_str("metrics", &crate::metrics_text());
+        return Ok((o.finish(), false));
+    }
+    if request.get("ping").is_some() {
+        span.record("kind", "ping");
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true)
+            .field_bool("pong", true)
+            .field_u64("generation", ctx.reader.generation());
+        return Ok((o.finish(), false));
+    }
+    if request.get("shutdown").is_some() {
+        span.record("kind", "shutdown");
+        ctx.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag; a failure
+        // here just means the next real connection triggers the exit.
+        let _ = TcpStream::connect(ctx.addr);
+        let mut o = JsonObject::new();
+        o.field_bool("ok", true).field_bool("shutting_down", true);
+        return Ok((o.finish(), true));
+    }
+    Err(CliError::Manifest(
+        "unknown command: expected one of query/add/delete/flush/compact/stats/metrics/ping/shutdown"
+            .into(),
+    ))
+}
+
+/// Runs one search against the freshest published snapshot (never
+/// touching the writer lock) and renders the response.
+fn run_query(pattern: &str, request: &JsonValue, ctx: &ServeCtx) -> Result<String> {
+    ctx.queries.inc();
+    let limit = request
+        .get("limit")
+        .and_then(JsonValue::as_u64)
+        .map_or(usize::MAX, |n| n as usize);
+    let want_docs = request
+        .get("docs")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let started = Instant::now();
+    let snapshot = ctx.reader.snapshot();
+    let result = snapshot.query_with(pattern, ctx.threads, true)?;
+    ctx.query_ns.observe_duration(started.elapsed());
+
+    let mut matches = JsonArray::new();
+    for m in result.matches.iter().take(limit) {
+        let mut o = JsonObject::new();
+        o.field_u64("seq", u64::from(m.seq))
+            .field_u64("spans", m.spans.len() as u64);
+        if want_docs {
+            let doc = snapshot.get(m.seq)?;
+            o.field_str("doc", &String::from_utf8_lossy(&doc));
+        }
+        matches.push_raw(o.finish());
+    }
+    let mut o = JsonObject::new();
+    o.field_bool("ok", true)
+        .field_u64("generation", snapshot.generation())
+        .field_u64("total", result.matches.len() as u64)
+        .field_raw("matches", matches.finish());
+    Ok(o.finish())
+}
+
+/// The serialized writer: one command at a time, queries unaffected.
+fn lock_writer(ctx: &ServeCtx) -> std::sync::MutexGuard<'_, LiveIndex> {
+    ctx.writer.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_server(dir: &std::path::Path) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let options = ServeOptions {
+            workers: 2,
+            threads: 1,
+            ..ServeOptions::new(dir)
+        };
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            serve(&options, move |addr| tx.send(addr).unwrap()).unwrap();
+        });
+        (rx.recv().unwrap(), handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> JsonValue {
+        let mut s = TcpStream::connect(addr).unwrap();
+        writeln!(s, "{request}").unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        JsonValue::parse(line.trim()).unwrap()
+    }
+
+    #[test]
+    fn add_query_delete_shutdown() {
+        let dir = std::env::temp_dir().join(format!("free-serve-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (addr, handle) = start_server(&dir);
+
+        let added = roundtrip(addr, r#"{"add":["needle one","hay","needle two"]}"#);
+        assert_eq!(added.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            added
+                .get("seqs")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+
+        let found = roundtrip(addr, r#"{"query":"needle","docs":true}"#);
+        assert_eq!(found.get("total").and_then(JsonValue::as_u64), Some(2));
+        let first = &found.get("matches").and_then(JsonValue::as_array).unwrap()[0];
+        assert_eq!(
+            first.get("doc").and_then(JsonValue::as_str),
+            Some("needle one")
+        );
+
+        let deleted = roundtrip(addr, r#"{"delete":0}"#);
+        assert_eq!(deleted.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let after = roundtrip(addr, r#"{"query":"needle"}"#);
+        assert_eq!(after.get("total").and_then(JsonValue::as_u64), Some(1));
+
+        let bad = roundtrip(addr, "not json");
+        assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert!(bad.get("error").and_then(JsonValue::as_str).is_some());
+
+        let bye = roundtrip(addr, r#"{"shutdown":true}"#);
+        assert_eq!(
+            bye.get("shutting_down").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end test of `free serve`: spawn the real binary on an
+//! ephemeral port, talk line-delimited JSON over TCP from several
+//! concurrent clients, and verify graceful shutdown.
+
+use free_trace::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+
+struct Server {
+    child: Child,
+    addr: SocketAddr,
+    // Keep the stdout pipe open for the server's lifetime: dropping it
+    // would make the server's final status line hit a broken pipe.
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    /// Starts `free serve --port 0` on a fresh live dir and reads the
+    /// announced address from the first line of stdout.
+    fn start(dir: &std::path::Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_free"))
+            .args(["serve", "--port", "0", "--workers", "4", "--threads", "1"])
+            .arg("--dir")
+            .arg(dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn free serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut stdout = BufReader::new(stdout);
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .parse()
+            .unwrap();
+        Server {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// One request, one parsed response, on a fresh connection.
+    fn request(&self, body: &str) -> JsonValue {
+        let mut s = TcpStream::connect(self.addr).unwrap();
+        writeln!(s, "{body}").unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        assert!(line.ends_with('\n'), "response must be one full line");
+        JsonValue::parse(line.trim()).expect("response must be well-formed JSON")
+    }
+}
+
+fn ok(v: &JsonValue) -> bool {
+    v.get("ok").and_then(JsonValue::as_bool) == Some(true)
+}
+
+#[test]
+fn serve_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("free-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(&dir);
+
+    // Ingest over the wire.
+    let added = server.request(r#"{"add":["needle alpha","plain hay","needle beta"]}"#);
+    assert!(ok(&added), "{added:?}");
+    let seqs = added.get("seqs").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(seqs.len(), 3);
+
+    // Concurrent clients: every response is well-formed JSON and every
+    // query sees a consistent snapshot (2 or fewer matches never occurs
+    // before the delete below; exactly 2 here).
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..10 {
+                    let found = server.request(r#"{"query":"needle","docs":true}"#);
+                    assert!(ok(&found), "{found:?}");
+                    assert_eq!(found.get("total").and_then(JsonValue::as_u64), Some(2));
+                }
+            });
+        }
+        scope.spawn(|| {
+            // Writer commands interleave with the queries above; flush
+            // reshapes the index without changing any result.
+            assert!(ok(&server.request(r#"{"flush":true}"#)));
+            assert!(ok(&server.request(r#"{"stats":true}"#)));
+        });
+    });
+
+    // Several requests on ONE connection, then a delete drops the doc
+    // from subsequent queries.
+    {
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        for body in [
+            r#"{"ping":true}"#,
+            r#"{"delete":0}"#,
+            r#"{"query":"needle"}"#,
+        ] {
+            writeln!(s, "{body}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let v = JsonValue::parse(line.trim()).unwrap();
+            assert!(ok(&v), "{body} -> {line}");
+        }
+        let v = JsonValue::parse(line.trim()).unwrap();
+        assert_eq!(
+            v.get("total").and_then(JsonValue::as_u64),
+            Some(1),
+            "post-delete query must drop the tombstoned doc: {line}"
+        );
+    }
+
+    // A malformed line gets an error response, not a dropped connection.
+    let bad = server.request("this is not json");
+    assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert!(bad.get("error").and_then(JsonValue::as_str).is_some());
+
+    // Metrics are exposed over the wire, with the serve counters in them.
+    let metrics = server.request(r#"{"metrics":true}"#);
+    let text = metrics.get("metrics").and_then(JsonValue::as_str).unwrap();
+    assert!(text.contains("free_serve_requests_total"), "{text}");
+    assert!(text.contains("free_serve_queries_total"), "{text}");
+
+    // Graceful shutdown: the server acknowledges, then the process
+    // exits cleanly.
+    let bye = server.request(r#"{"shutdown":true}"#);
+    assert_eq!(
+        bye.get("shutting_down").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    let Server {
+        mut child,
+        mut stdout,
+        ..
+    } = server;
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("shutdown complete"), "{rest:?}");
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server exited with {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

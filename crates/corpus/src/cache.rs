@@ -1,0 +1,164 @@
+//! A small sharded read-through cache of decoded data units.
+//!
+//! [`DiskCorpus::get`](crate::DiskCorpus) already uses positioned reads
+//! on a shared handle, so concurrent readers never contend on seek
+//! state — but every call still pays a `pread` syscall. Confirmation
+//! under a query server hits the same hot documents over and over
+//! (popular patterns match popular pages), so a byte-bounded cache in
+//! front of the data file removes most of that syscall traffic.
+//!
+//! The cache is sharded by doc id: each shard is an independent
+//! `Mutex<…>` FIFO, so concurrent readers of *different* documents
+//! contend only 1/N of the time and the critical section is a hash
+//! lookup plus an `Arc` clone. FIFO (not LRU) keeps the hit path free
+//! of writes to shared recency state.
+
+use crate::DocId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent shards. A power of two so the shard of a doc
+/// id is a mask away.
+const SHARDS: usize = 8;
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<DocId, Arc<Vec<u8>>>,
+    fifo: VecDeque<DocId>,
+    bytes: usize,
+}
+
+/// A byte-bounded, sharded, thread-safe document cache.
+pub struct DocCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / number of shards).
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DocCache {
+    /// Creates a cache holding at most (approximately) `total_bytes` of
+    /// document payload across all shards.
+    pub fn new(total_bytes: usize) -> DocCache {
+        DocCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (total_bytes / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: DocId) -> &Mutex<Shard> {
+        &self.shards[id as usize & (SHARDS - 1)]
+    }
+
+    /// Returns the cached document, counting a hit or miss.
+    pub fn get(&self, id: DocId) -> Option<Arc<Vec<u8>>> {
+        let shard = self.shard(id).lock().unwrap_or_else(|e| e.into_inner());
+        match shard.map.get(&id) {
+            Some(doc) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(doc.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly-read document. Documents larger than a whole
+    /// shard's budget are not cached; the oldest entries are evicted
+    /// until the shard fits its budget again.
+    pub fn insert(&self, id: DocId, doc: Arc<Vec<u8>>) {
+        if doc.len() > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(id).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.map.contains_key(&id) {
+            return;
+        }
+        shard.bytes += doc.len();
+        shard.map.insert(id, doc);
+        shard.fifo.push_back(id);
+        while shard.bytes > self.shard_budget {
+            let Some(old) = shard.fifo.pop_front() else {
+                break;
+            };
+            if let Some(doc) = shard.map.remove(&old) {
+                shard.bytes -= doc.len();
+            }
+        }
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached documents across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = DocCache::new(1024);
+        assert!(cache.get(3).is_none());
+        cache.insert(3, Arc::new(b"hello".to_vec()));
+        assert_eq!(cache.get(3).as_deref(), Some(&b"hello".to_vec()));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn oversized_doc_not_cached() {
+        let cache = DocCache::new(SHARDS * 4);
+        cache.insert(0, Arc::new(vec![0u8; 64]));
+        assert!(cache.get(0).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_bytes() {
+        let cache = DocCache::new(SHARDS * 10);
+        // All ids in one shard (multiples of SHARDS); each doc is 4
+        // bytes, budget is 10 bytes per shard → at most 2 fit.
+        for i in 0..8u32 {
+            cache.insert(i * SHARDS as u32, Arc::new(vec![b'x'; 4]));
+        }
+        assert!(cache.len() <= 2);
+        // The newest insert survives.
+        assert!(cache.get(7 * SHARDS as u32).is_some());
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let cache = DocCache::new(SHARDS * 8);
+        for id in 0..SHARDS as u32 {
+            cache.insert(id, Arc::new(vec![b'y'; 8]));
+        }
+        // One doc per shard, each exactly at budget: all retained.
+        assert_eq!(cache.len(), SHARDS);
+    }
+}

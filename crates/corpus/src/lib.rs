@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod error;
 pub mod fscorpus;
 pub mod memory;
@@ -27,6 +28,7 @@ pub mod stats;
 pub mod store;
 pub mod synth;
 
+pub use cache::DocCache;
 pub use error::{Error, Result};
 pub use fscorpus::FsCorpus;
 pub use memory::MemCorpus;

@@ -21,6 +21,7 @@
 //! count, so a crash mid-finish leaves the previously committed prefix
 //! readable and any torn tail bytes are truncated on the next reopen.
 
+use crate::cache::DocCache;
 use crate::{Corpus, DocId, Error, Result};
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -203,9 +204,23 @@ pub struct DiskCorpus {
     data: File,
     /// Cumulative end offsets; `ends[i]` is one past the last byte of doc i.
     ends: Vec<u64>,
+    /// Optional read-through document cache (see [`DocCache`]).
+    cache: Option<DocCache>,
 }
 
 impl DiskCorpus {
+    /// Enables a sharded read-through document cache of approximately
+    /// `total_bytes`, so repeated `get` calls for hot documents skip
+    /// the `pread` syscall. See [`DocCache`].
+    pub fn with_cache(mut self, total_bytes: usize) -> DiskCorpus {
+        self.cache = Some(DocCache::new(total_bytes));
+        self
+    }
+
+    /// Cache `(hits, misses)` counters, if a cache is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| (c.hits(), c.misses()))
+    }
     /// Opens an existing corpus store in `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<DiskCorpus> {
         let dir = dir.as_ref();
@@ -265,6 +280,7 @@ impl DiskCorpus {
             data_path,
             data,
             ends,
+            cache: None,
         })
     }
 
@@ -292,10 +308,18 @@ impl Corpus for DiskCorpus {
 
     fn get(&self, id: DocId) -> Result<Vec<u8>> {
         let (start, end) = self.bounds(id)?;
+        if let Some(cache) = &self.cache {
+            if let Some(doc) = cache.get(id) {
+                return Ok((*doc).clone());
+            }
+        }
         let mut buf = vec![0u8; (end - start) as usize];
         self.data
             .read_exact_at(&mut buf, start)
             .map_err(|e| Error::io(format!("read data unit {id}"), e))?;
+        if let Some(cache) = &self.cache {
+            cache.insert(id, std::sync::Arc::new(buf.clone()));
+        }
         Ok(buf)
     }
 

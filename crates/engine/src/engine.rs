@@ -370,6 +370,17 @@ mod tests {
         corpus
     }
 
+    /// The engine must be shareable across threads (`&Engine` handed to
+    /// a worker pool): corpus reads are positioned, index reads are
+    /// positioned, and the config's tracer sinks are `Send + Sync`.
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine<free_corpus::DiskCorpus, free_index::IndexReader>>();
+        assert_send_sync::<InMemoryEngine>();
+        assert_send_sync::<EngineConfig>();
+    }
+
     #[test]
     fn build_in_memory_and_query() {
         let corpus = MemCorpus::from_docs(vec![

@@ -291,7 +291,7 @@ impl<B: Borrow<BlockedPostings>> BlockedCursor<B> {
     }
 }
 
-impl<B: Borrow<BlockedPostings>> PostingsCursor for BlockedCursor<B> {
+impl<B: Borrow<BlockedPostings> + Send> PostingsCursor for BlockedCursor<B> {
     fn current(&self) -> Option<DocId> {
         self.buf.get(self.pos).copied()
     }

@@ -51,7 +51,12 @@ impl CursorStats {
 }
 
 /// A streaming, seekable iterator over a sorted postings list.
-pub trait PostingsCursor {
+///
+/// `Send` is a supertrait: a compiled cursor tree is a self-contained
+/// value (postings are decoded into owned buffers or shared via `Arc`),
+/// so the engine — and anything above it, like a query server's worker
+/// pool — may move a cursor tree to another thread wholesale.
+pub trait PostingsCursor: Send {
     /// The doc id the cursor is positioned on, or `None` when exhausted.
     fn current(&self) -> Option<DocId>;
 
@@ -173,6 +178,23 @@ impl PostingsCursor for SliceCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// The whole cursor family must stay `Send` so compiled plans can be
+    /// handed to another thread (e.g. a query server's worker pool).
+    #[test]
+    fn cursor_family_is_send() {
+        assert_send::<Box<dyn PostingsCursor>>();
+        assert_send::<crate::SliceCursor>();
+        assert_send::<crate::BlockedCursor>();
+        assert_send::<crate::AndCursor<Box<dyn PostingsCursor>>>();
+        assert_send::<crate::OrCursor<Box<dyn PostingsCursor>>>();
+        assert_send::<crate::InstrumentedCursor<crate::SliceCursor>>();
+        assert_send_sync::<crate::IndexReader>();
+        assert_send_sync::<crate::MemIndex>();
+    }
 
     #[test]
     fn primed_on_first() {

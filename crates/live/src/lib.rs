@@ -29,6 +29,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod query;
 pub mod segment;
+pub mod snapshot;
 pub mod stats;
 
 mod live;
@@ -38,6 +39,7 @@ pub use error::{Error, Result};
 pub use live::LiveIndex;
 pub use manifest::{Manifest, SegmentMeta};
 pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats};
+pub use snapshot::{LiveReader, Snapshot};
 pub use stats::{LiveStats, SegmentStats};
 
 use free_engine::EngineConfig;
@@ -57,6 +59,10 @@ pub struct LiveConfig {
     /// index (all grams of length 2..=this are indexed, so buffer
     /// planning is exact). Values below 2 are treated as 2.
     pub memtable_gram_len: usize,
+    /// Byte budget of each sealed segment's read-through document
+    /// cache (see [`free_corpus::DocCache`]): confirmation reads of hot
+    /// documents skip the `pread` syscall. 0 disables caching.
+    pub segment_cache_bytes: usize,
 }
 
 impl Default for LiveConfig {
@@ -66,6 +72,7 @@ impl Default for LiveConfig {
             flush_threshold_bytes: 4 << 20,
             flush_threshold_docs: 8192,
             memtable_gram_len: 3,
+            segment_cache_bytes: 1 << 20,
         }
     }
 }

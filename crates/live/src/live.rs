@@ -3,10 +3,12 @@
 use crate::error::{Error, Result};
 use crate::manifest::{Manifest, SegmentMeta};
 use crate::memtable::Memtable;
-use crate::query::{execute, ExecInputs, LiveQueryResult};
+use crate::query::LiveQueryResult;
 use crate::segment::{
-    build_segment, corpus_dir, index_path, remove_segment_files, seqs_path, write_seqs, Segment,
+    build_segment, corpus_dir, index_path, maybe_cache, remove_segment_files, seqs_path,
+    write_seqs, Segment,
 };
+use crate::snapshot::{LiveReader, Snapshot, SnapshotCell};
 use crate::stats::{LiveStats, SegmentStats};
 use crate::LiveConfig;
 use free_corpus::{Corpus, CorpusWriter, DiskCorpus, DocId, MemCorpus};
@@ -34,17 +36,24 @@ const SEGMENTS_DIR: &str = "segments";
 /// document keeps a stable, never-reused global sequence number, so
 /// query results are comparable across any schedule of mutations.
 ///
-/// Mutations take `&mut self` and queries take `&self`, so the borrow
-/// checker enforces snapshot consistency: a [`LiveQueryResult`] always
-/// reflects exactly one generation.
+/// Mutations take `&mut self`; reads go through an immutable
+/// [`Snapshot`] republished (an atomic `Arc` swap) after every
+/// mutation, so a [`LiveQueryResult`] always reflects exactly one
+/// generation — and any number of [`LiveReader`] threads can query
+/// concurrently without ever blocking on a flush or compaction.
+/// Segments, the write buffer, and the tombstone set are `Arc`-shared
+/// between the writer and published snapshots; the writer mutates them
+/// copy-on-write (`Arc::make_mut`), cloning at most once per
+/// publish-then-mutate cycle.
 pub struct LiveIndex {
     dir: PathBuf,
-    config: LiveConfig,
+    config: Arc<LiveConfig>,
     manifest: Manifest,
-    segments: Vec<Segment>,
-    memtable: Memtable,
-    deleted: BTreeSet<DocId>,
+    segments: Vec<Arc<Segment>>,
+    memtable: Arc<Memtable>,
+    deleted: Arc<BTreeSet<DocId>>,
     generation: u64,
+    published: Arc<SnapshotCell>,
 }
 
 impl LiveIndex {
@@ -74,7 +83,11 @@ impl LiveIndex {
         let seg_root = dir.join(SEGMENTS_DIR);
         let mut segments = Vec::with_capacity(manifest.segments.len());
         for meta in &manifest.segments {
-            segments.push(Segment::open(&seg_root, meta.clone())?);
+            segments.push(Segment::open(
+                &seg_root,
+                meta.clone(),
+                config.segment_cache_bytes,
+            )?);
         }
         remove_orphans(&seg_root, &manifest);
         // WAL epoch check: a flush commits the manifest before recreating
@@ -101,16 +114,30 @@ impl LiveIndex {
             true
         })?;
         let generation = manifest.generation;
+        let config = Arc::new(config);
+        let segments: Vec<Arc<Segment>> = segments.into_iter().map(Arc::new).collect();
+        let memtable = Arc::new(memtable);
+        let deleted: Arc<BTreeSet<DocId>> = Arc::new(BTreeSet::new());
+        let published = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
+            segments: segments.clone(),
+            memtable: memtable.clone(),
+            wal_base: manifest.wal_base,
+            deleted: deleted.clone(),
+            generation,
+            config: config.clone(),
+        })));
         let mut live = LiveIndex {
             dir,
             config,
             manifest,
             segments,
             memtable,
-            deleted: BTreeSet::new(),
+            deleted,
             generation,
+            published,
         };
         live.load_tombstones()?;
+        live.publish();
         live.record_shape_metrics();
         Ok(live)
     }
@@ -148,46 +175,46 @@ impl LiveIndex {
 
     /// Number of live (queryable) documents.
     pub fn live_docs(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|s| s.live_docs(&self.deleted))
-            .sum::<usize>()
-            + (0..self.memtable.len() as DocId)
-                .filter(|i| !self.deleted.contains(&(self.manifest.wal_base + i)))
-                .count()
+        self.snapshot().live_docs()
     }
 
     /// Sequence numbers of all live documents, ascending.
     pub fn live_seqs(&self) -> Vec<DocId> {
-        let mut out = Vec::new();
-        for seg in &self.segments {
-            out.extend(seg.seqs.iter().filter(|s| !self.deleted.contains(s)));
-        }
-        for i in 0..self.memtable.len() as DocId {
-            let seq = self.manifest.wal_base + i;
-            if !self.deleted.contains(&seq) {
-                out.push(seq);
-            }
-        }
-        out
+        self.snapshot().live_seqs()
     }
 
     /// Reads one live document by sequence number.
     pub fn get(&self, seq: DocId) -> Result<Vec<u8>> {
-        if !self.physically_present(seq) || self.deleted.contains(&seq) {
-            return Err(Error::UnknownDoc(seq));
+        self.snapshot().get(seq)
+    }
+
+    /// The most recently published snapshot. Mutating methods publish
+    /// before returning, so between mutations this is exactly the
+    /// writer's in-memory state.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.load()
+    }
+
+    /// A cheap, cloneable handle other threads can use to query the
+    /// index concurrently with this writer. Readers always see the
+    /// freshest published generation and never block on mutations.
+    pub fn reader(&self) -> LiveReader {
+        LiveReader {
+            cell: self.published.clone(),
         }
-        if seq >= self.manifest.wal_base {
-            let local = (seq - self.manifest.wal_base) as usize;
-            return Ok(self
-                .memtable
-                .doc(local)
-                .expect("present in buffer")
-                .to_vec());
-        }
-        let seg = self.owner(seq).expect("present in a segment");
-        let local = seg.local_of(seq).expect("present in a segment");
-        Ok(seg.corpus.get(local)?)
+    }
+
+    /// Builds and publishes a snapshot of the current state. Called at
+    /// the end of every mutation; cheap (a handful of `Arc` clones).
+    fn publish(&self) {
+        self.published.store(Arc::new(Snapshot {
+            segments: self.segments.clone(),
+            memtable: self.memtable.clone(),
+            wal_base: self.manifest.wal_base,
+            deleted: self.deleted.clone(),
+            generation: self.generation,
+            config: self.config.clone(),
+        }));
     }
 
     /// Adds one document, returning its sequence number. Durable on
@@ -218,8 +245,12 @@ impl LiveIndex {
         }
         writer.finish()?;
         let mut ids = Vec::with_capacity(docs.len());
+        // Copy-on-write: the first push after a publish clones the
+        // buffer (a snapshot still references it); the rest of the
+        // batch mutates the now-unique copy in place.
+        let memtable = Arc::make_mut(&mut self.memtable);
         for doc in docs {
-            let local = self.memtable.push(doc.as_ref());
+            let local = memtable.push(doc.as_ref());
             ids.push(self.manifest.wal_base + local);
         }
         self.generation += 1;
@@ -236,6 +267,8 @@ impl LiveIndex {
             || self.memtable.len() >= self.config.flush_threshold_docs
         {
             self.flush()?;
+        } else {
+            self.publish();
         }
         Ok(ids)
     }
@@ -257,8 +290,9 @@ impl LiveIndex {
             .open(&path)
             .map_err(|e| Error::io(format!("open {}", path.display()), e))?;
         writeln!(f, "{seq}").map_err(|e| Error::io("append tombstone", e))?;
-        self.deleted.insert(seq);
+        Arc::make_mut(&mut self.deleted).insert(seq);
         self.generation += 1;
+        self.publish();
         metrics::global()
             .counter(
                 "free_live_docs_deleted_total",
@@ -297,6 +331,7 @@ impl LiveIndex {
                 id,
                 &survivors,
                 &self.config.engine,
+                self.config.segment_cache_bytes,
             )?;
             span.record("segment_id", id);
             span.record("keys", seg.num_keys());
@@ -313,15 +348,21 @@ impl LiveIndex {
         self.manifest.generation = self.generation;
         self.manifest.store(&self.dir)?;
         let consumed: Vec<DocId> = self.deleted.range(base..next_seq).copied().collect();
-        for seq in consumed {
-            self.deleted.remove(&seq);
+        if !consumed.is_empty() {
+            let deleted = Arc::make_mut(&mut self.deleted);
+            for seq in consumed {
+                deleted.remove(&seq);
+            }
         }
         self.rewrite_tombstones()?;
         self.reset_wal()?;
-        self.memtable.clear();
+        // Replace rather than clear: snapshots may still hold the old
+        // buffer, which stays valid (and frozen) until they drop it.
+        self.memtable = Arc::new(Memtable::new(self.config.memtable_gram_len));
         if let Some(seg) = new_segment {
-            self.segments.push(seg);
+            self.segments.push(Arc::new(seg));
         }
+        self.publish();
         metrics::global()
             .counter("free_live_flushes_total", "Write-buffer flushes")
             .inc();
@@ -386,12 +427,15 @@ impl LiveIndex {
             self.manifest.segments.clear();
             self.manifest.generation = self.generation;
             self.manifest.store(&self.dir)?;
-            self.deleted.clear();
+            self.deleted = Arc::new(BTreeSet::new());
             self.rewrite_tombstones()?;
+            // Retiring the files is safe while snapshots still hold the
+            // segments: their open descriptors keep the data readable.
             for id in old_ids {
                 remove_segment_files(&seg_root, id);
             }
             self.segments.clear();
+            self.publish();
             self.finish_compaction_metrics(&mut span, old_segments, 0);
             return Ok(true);
         }
@@ -404,7 +448,7 @@ impl LiveIndex {
             merge_bytes += bytes.len() as u64;
             writer.append(&bytes)?;
         }
-        let corpus = writer.finish()?;
+        let corpus = maybe_cache(writer.finish()?, self.config.segment_cache_bytes);
         write_seqs(&seqs_path(&seg_root, id), &new_seqs)?;
         // Merge the indexes. A key one segment mined and another didn't
         // is completed by scanning the other segment's surviving docs for
@@ -468,17 +512,22 @@ impl LiveIndex {
         self.manifest.next_segment_id = id + 1;
         self.manifest.generation = self.generation;
         self.manifest.store(&self.dir)?;
-        self.deleted.clear();
+        self.deleted = Arc::new(BTreeSet::new());
         self.rewrite_tombstones()?;
+        // In-flight queries may still stream from the replaced
+        // segments; unlinking their files only drops the directory
+        // entries — the snapshots' open descriptors stay readable, and
+        // the disk space returns when the last `Arc<Segment>` drops.
         for old in old_ids {
             remove_segment_files(&seg_root, old);
         }
-        self.segments = vec![Segment {
+        self.segments = vec![Arc::new(Segment {
             meta,
             corpus,
             index,
             seqs: Arc::new(new_seqs),
-        }];
+        })];
+        self.publish();
         self.finish_compaction_metrics(&mut span, old_segments, merge_bytes);
         Ok(true)
     }
@@ -486,7 +535,7 @@ impl LiveIndex {
     /// Runs `pattern` over the current generation with the configured
     /// thread count, extracting match spans.
     pub fn query(&self, pattern: &str) -> Result<LiveQueryResult> {
-        self.query_with(pattern, self.config.engine.effective_threads(), true)
+        self.snapshot().query(pattern)
     }
 
     /// Runs `pattern` with an explicit confirmation thread count.
@@ -497,19 +546,7 @@ impl LiveIndex {
         threads: usize,
         want_spans: bool,
     ) -> Result<LiveQueryResult> {
-        execute(
-            &ExecInputs {
-                segments: &self.segments,
-                memtable: &self.memtable,
-                wal_base: self.manifest.wal_base,
-                deleted: &self.deleted,
-                config: &self.config,
-                generation: self.generation,
-            },
-            pattern,
-            threads,
-            want_spans,
-        )
+        self.snapshot().query_with(pattern, threads, want_spans)
     }
 
     /// A snapshot of the index's shape.
@@ -583,9 +620,30 @@ impl LiveIndex {
         Ok(hit as f64 / live_buf.len() as f64)
     }
 
+    /// Segment ids whose files are still present under `segments/` but
+    /// are not named by the committed manifest: retired by a compaction
+    /// whose file removal failed, or left behind by a crash between
+    /// commit and cleanup. In-flight snapshots never need these files
+    /// (they read through their own open descriptors), so anything
+    /// listed here is leaked disk; reopening the index removes them.
+    pub fn retired_segment_files(&self) -> Vec<u64> {
+        orphan_segment_ids(&self.dir.join(SEGMENTS_DIR), &self.manifest)
+    }
+
+    /// How many generations the published snapshot trails the writer.
+    /// Every mutation republishes before returning, so this is 0
+    /// whenever the writer is quiescent; nonzero indicates a
+    /// publication bug (surfaced by `free segments` as FA304).
+    pub fn snapshot_lag(&self) -> u64 {
+        self.generation - self.snapshot().generation()
+    }
+
     fn owner(&self, seq: DocId) -> Option<&Segment> {
         let i = self.segments.partition_point(|s| s.meta.last_seq < seq);
-        self.segments.get(i).filter(|s| s.meta.first_seq <= seq)
+        self.segments
+            .get(i)
+            .map(|s| &**s)
+            .filter(|s| s.meta.first_seq <= seq)
     }
 
     /// Whether `seq` names a stored document (live or tombstoned).
@@ -616,7 +674,7 @@ impl LiveIndex {
             // Tombstones whose docs a compaction already eliminated (a
             // crash can leave the log ahead of the manifest) are stale.
             if self.physically_present(seq) {
-                self.deleted.insert(seq);
+                Arc::make_mut(&mut self.deleted).insert(seq);
             } else {
                 stale = true;
             }
@@ -631,7 +689,7 @@ impl LiveIndex {
         let path = self.dir.join(TOMBSTONES_FILE);
         let tmp = self.dir.join(format!("{TOMBSTONES_FILE}.tmp"));
         let mut text = String::new();
-        for seq in &self.deleted {
+        for seq in self.deleted.iter() {
             text.push_str(&format!("{seq}\n"));
         }
         std::fs::write(&tmp, text).map_err(|e| Error::io(format!("write {}", tmp.display()), e))?;
@@ -675,14 +733,15 @@ impl LiveIndex {
     }
 }
 
-/// Removes segment files in `seg_root` not named by the manifest —
-/// leftovers from a compaction or flush that crashed before committing.
-/// Best-effort: failures are ignored.
-fn remove_orphans(seg_root: &Path, manifest: &Manifest) {
+/// Segment ids with files under `seg_root` that the manifest does not
+/// name — leftovers from a compaction or flush that crashed (or whose
+/// cleanup failed) after committing. Sorted, deduplicated.
+fn orphan_segment_ids(seg_root: &Path, manifest: &Manifest) -> Vec<u64> {
     let Ok(entries) = std::fs::read_dir(seg_root) else {
-        return;
+        return Vec::new();
     };
     let live: std::collections::HashSet<u64> = manifest.segments.iter().map(|s| s.id).collect();
+    let mut orphans = BTreeSet::new();
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
@@ -693,12 +752,16 @@ fn remove_orphans(seg_root: &Path, manifest: &Manifest) {
             continue;
         };
         if !live.contains(&id) {
-            let path = entry.path();
-            if path.is_dir() {
-                let _ = std::fs::remove_dir_all(&path);
-            } else {
-                let _ = std::fs::remove_file(&path);
-            }
+            orphans.insert(id);
         }
+    }
+    orphans.into_iter().collect()
+}
+
+/// Removes segment files in `seg_root` not named by the manifest.
+/// Best-effort: failures are ignored.
+fn remove_orphans(seg_root: &Path, manifest: &Manifest) {
+    for id in orphan_segment_ids(seg_root, manifest) {
+        remove_segment_files(seg_root, id);
     }
 }

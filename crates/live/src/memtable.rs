@@ -12,6 +12,11 @@ use free_corpus::DocId;
 use free_index::MemIndex;
 
 /// The write buffer over documents not yet sealed into a segment.
+///
+/// `Clone` supports the live index's copy-on-write publication scheme:
+/// the writer clones the buffer (documents plus gram index) at most
+/// once per publish-then-mutate cycle via `Arc::make_mut`.
+#[derive(Clone)]
 pub struct Memtable {
     docs: Vec<Vec<u8>>,
     bytes: u64,

@@ -81,9 +81,9 @@ impl LiveQueryResult {
     }
 }
 
-/// Everything the executor needs, borrowed from the live index.
+/// Everything the executor needs, borrowed from a snapshot.
 pub(crate) struct ExecInputs<'a> {
-    pub segments: &'a [Segment],
+    pub segments: &'a [Arc<Segment>],
     pub memtable: &'a Memtable,
     pub wal_base: DocId,
     pub deleted: &'a BTreeSet<DocId>,

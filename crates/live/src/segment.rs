@@ -98,11 +98,26 @@ pub struct Segment {
     pub seqs: Arc<Vec<DocId>>,
 }
 
+/// Wraps `corpus` in a read-through document cache of `cache_bytes`
+/// (0 leaves it uncached).
+pub(crate) fn maybe_cache(corpus: DiskCorpus, cache_bytes: usize) -> DiskCorpus {
+    if cache_bytes > 0 {
+        corpus.with_cache(cache_bytes)
+    } else {
+        corpus
+    }
+}
+
 impl Segment {
-    /// Opens the segment files named by `meta` under `seg_root`.
-    pub fn open(seg_root: &Path, meta: SegmentMeta) -> Result<Segment> {
+    /// Opens the segment files named by `meta` under `seg_root`, with a
+    /// document cache of `cache_bytes` in front of the corpus (0
+    /// disables it).
+    pub fn open(seg_root: &Path, meta: SegmentMeta, cache_bytes: usize) -> Result<Segment> {
         let seqs = read_seqs(&seqs_path(seg_root, meta.id))?;
-        let corpus = DiskCorpus::open(corpus_dir(seg_root, meta.id))?;
+        let corpus = maybe_cache(
+            DiskCorpus::open(corpus_dir(seg_root, meta.id))?,
+            cache_bytes,
+        );
         let index = IndexReader::open(index_path(seg_root, meta.id))?;
         let segment = Segment {
             meta,
@@ -166,6 +181,7 @@ pub fn build_segment(
     id: u64,
     docs: &[(DocId, &[u8])],
     config: &EngineConfig,
+    cache_bytes: usize,
 ) -> Result<Segment> {
     assert!(!docs.is_empty(), "segments are never empty");
     std::fs::create_dir_all(seg_root)
@@ -176,7 +192,7 @@ pub fn build_segment(
         writer.append(bytes)?;
         seqs.push(*seq);
     }
-    let corpus = writer.finish()?;
+    let corpus = maybe_cache(writer.finish()?, cache_bytes);
     write_seqs(&seqs_path(seg_root, id), &seqs)?;
     let (keys, _mining) = free_engine::select_keys(&corpus, config)?;
     let mut builder =
@@ -249,13 +265,13 @@ mod tests {
             (12, b"the quick red dog"),
         ];
         let config = EngineConfig::default();
-        let seg = build_segment(&dir, 0, &docs, &config).unwrap();
+        let seg = build_segment(&dir, 0, &docs, &config, 1 << 16).unwrap();
         assert_eq!(seg.meta.first_seq, 5);
         assert_eq!(seg.meta.last_seq, 12);
         assert_eq!(seg.local_of(9), Some(1));
         assert_eq!(seg.local_of(6), None);
         assert_eq!(seg.corpus.get(2).unwrap(), b"the quick red dog");
-        let reopened = Segment::open(&dir, seg.meta.clone()).unwrap();
+        let reopened = Segment::open(&dir, seg.meta.clone(), 0).unwrap();
         assert_eq!(reopened.seqs, seg.seqs);
         assert_eq!(reopened.num_keys(), seg.num_keys());
         std::fs::remove_dir_all(&dir).unwrap();

@@ -7,12 +7,13 @@ use crate::memtable::Memtable;
 use crate::segment::Segment;
 use free_corpus::{Corpus, DocId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Read view of a live index at one generation. `get` is keyed by global
 /// sequence number; ids with no live document error like any other
 /// out-of-range access.
 pub(crate) struct LiveView<'a> {
-    pub segments: &'a [Segment],
+    pub segments: &'a [Arc<Segment>],
     pub memtable: &'a Memtable,
     pub wal_base: DocId,
     pub deleted: &'a BTreeSet<DocId>,
@@ -25,7 +26,10 @@ impl LiveView<'_> {
     /// non-overlapping sequence ranges.
     fn owner(&self, seq: DocId) -> Option<&Segment> {
         let i = self.segments.partition_point(|s| s.meta.last_seq < seq);
-        self.segments.get(i).filter(|s| s.meta.first_seq <= seq)
+        self.segments
+            .get(i)
+            .map(|s| &**s)
+            .filter(|s| s.meta.first_seq <= seq)
     }
 }
 

@@ -25,6 +25,6 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use json::{JsonArray, JsonObject};
+pub use json::{JsonArray, JsonObject, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use span::{Event, EventKind, Span, Tracer, Value};
