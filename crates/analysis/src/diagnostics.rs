@@ -11,6 +11,7 @@
 //! | `FA101`–`FA199` | plan soundness verifier (Algorithm 4.1 invariant) |
 //! | `FA201`–`FA299` | static cost classifier (INDEXED / WEAK / SCAN) |
 //! | `FA301`–`FA399` | live-index health (fragmentation, drift, tombstones) |
+//! | `FA400`–`FA499` | on-disk integrity (`free fsck`) |
 
 use free_engine::PlanClass;
 use free_regex::Span;
@@ -54,6 +55,47 @@ pub mod codes {
     /// Retired segment files linger on disk, or the published snapshot
     /// trails the writer's generation.
     pub const SNAPSHOT_STALENESS: &str = "FA304";
+    /// An artifact predates the checksummed format revision, so bit rot
+    /// in it is undetectable (advisory, not an error).
+    pub const LEGACY_FORMAT: &str = "FA400";
+    /// An artifact is structurally unreadable: bad magic, truncated
+    /// header, unparseable directory or log line.
+    pub const STRUCTURAL_DAMAGE: &str = "FA401";
+    /// Stored bytes fail their recorded CRC32.
+    pub const CHECKSUM_MISMATCH: &str = "FA402";
+    /// A postings list's doc ids are not strictly ascending, or point
+    /// outside the corpus.
+    pub const POSTINGS_ORDER: &str = "FA410";
+    /// A blocked postings list's skip table disagrees with its blocks.
+    pub const SKIP_TABLE: &str = "FA411";
+    /// Stored metadata disagrees with decoded content: an index
+    /// directory's doc count vs its payload, or a segment's sequence map
+    /// vs its committed metadata (count, first/last sequence) or its
+    /// sibling files.
+    pub const SEQ_MAP: &str = "FA412";
+    /// A tombstone references a sequence number no segment stores.
+    pub const BAD_TOMBSTONE: &str = "FA413";
+    /// A manifest-named segment is missing files on disk.
+    pub const MISSING_SEGMENT_FILES: &str = "FA420";
+    /// Segment files on disk are not named by the manifest (leaked by a
+    /// crashed compaction; reopening the index removes them).
+    pub const ORPHANED_FILES: &str = "FA421";
+    /// The WAL epoch stamp disagrees with the manifest: the WAL's
+    /// contents will be discarded on the next open.
+    pub const STALE_WAL_EPOCH: &str = "FA422";
+    /// A corpus store's offset table is inconsistent (non-monotonic
+    /// offsets or units past end of data).
+    pub const CORPUS_OFFSETS: &str = "FA423";
+    /// The key directory violates the miner's prefix-free invariant
+    /// (advisory: compaction's union key set legitimately does this).
+    pub const PREFIX_FREE: &str = "FA424";
+    /// Deep check: a sampled document contains an indexed gram but is
+    /// missing from that gram's postings (breaks the no-false-negative
+    /// guarantee).
+    pub const POSTINGS_INCOMPLETE: &str = "FA430";
+    /// Deep check: a postings list claims a sampled document that does
+    /// not contain the gram (false positives cost time, not answers).
+    pub const POSTINGS_EXTRA: &str = "FA431";
 }
 
 /// How serious a finding is.
@@ -202,30 +244,39 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"code\":{},\"severity\":{}",
-                json_string(d.code),
-                json_string(&d.severity.to_string())
-            );
-            match d.span {
-                Some(s) => {
-                    let _ = write!(out, ",\"span\":{{\"start\":{},\"end\":{}}}", s.start, s.end);
-                }
-                None => out.push_str(",\"span\":null"),
-            }
-            let _ = write!(out, ",\"message\":{}", json_string(&d.message));
-            match &d.suggestion {
-                Some(s) => {
-                    let _ = write!(out, ",\"suggestion\":{}", json_string(s));
-                }
-                None => out.push_str(",\"suggestion\":null"),
-            }
-            out.push('}');
+            out.push_str(&diagnostic_json(d));
         }
         out.push_str("]}");
         out
     }
+}
+
+/// Renders one diagnostic as a JSON object (the element shape of every
+/// report's `"diagnostics"` array, shared with `free fsck`).
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"code\":{},\"severity\":{}",
+        json_string(d.code),
+        json_string(&d.severity.to_string())
+    );
+    match d.span {
+        Some(s) => {
+            let _ = write!(out, ",\"span\":{{\"start\":{},\"end\":{}}}", s.start, s.end);
+        }
+        None => out.push_str(",\"span\":null"),
+    }
+    let _ = write!(out, ",\"message\":{}", json_string(&d.message));
+    match &d.suggestion {
+        Some(s) => {
+            let _ = write!(out, ",\"suggestion\":{}", json_string(s));
+        }
+        None => out.push_str(",\"suggestion\":null"),
+    }
+    out.push('}');
+    out
 }
 
 /// Escapes `s` as a JSON string literal, quotes included.

@@ -5,8 +5,8 @@
 //! collapses to NULL still *runs*, it just scans the whole corpus
 //! (§5.3's `zip`, `phone`, and `html` queries). Graceful degradation is
 //! also silent degradation: nothing tells the user their query threw the
-//! index away, or why. This crate is the missing diagnostic layer. Three
-//! engines, all static (no corpus access required):
+//! index away, or why. This crate is the missing diagnostic layer. Four
+//! engines, the first three purely static (no corpus access required):
 //!
 //! 1. **Query linter** ([`lint`]) — walks the span-carrying parse tree
 //!    and predicts index pathologies before planning: NULL-collapsing
@@ -19,6 +19,10 @@
 //!    product construction in [`free_regex::factor`]).
 //! 3. **Cost classifier** ([`cost`]) — labels the plan INDEXED, WEAK, or
 //!    SCAN, from plan shape alone or against a concrete index.
+//! 4. **On-disk verifier** ([`mod@fsck`]) — checks stored index state
+//!    (checksums, postings invariants, manifest ↔ disk agreement, and a
+//!    sampled re-mining proof) without mutating anything; this one reads
+//!    disk, never the query.
 //!
 //! Findings carry stable `FAxxx` codes (see [`diagnostics::codes`]) and
 //! render both human-readable and as JSON. The `freegrep`/`free` CLI
@@ -28,11 +32,13 @@
 
 pub mod cost;
 pub mod diagnostics;
+pub mod fsck;
 pub mod lint;
 pub mod live;
 pub mod soundness;
 
 pub use diagnostics::{codes, Diagnostic, Report, Severity};
+pub use fsck::{fsck, FsckOptions, FsckReport};
 pub use lint::predicts_null;
 pub use live::{analyze_live, LiveAnalysisConfig, LiveHealth};
 pub use soundness::SoundnessSummary;

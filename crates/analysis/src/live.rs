@@ -131,10 +131,18 @@ pub fn analyze_live(health: &LiveHealth, cfg: &LiveAnalysisConfig) -> Vec<Diagno
                 health.snapshot_lag
             ));
         }
+        // Lingering files are only leaked disk (Warning); a lagging
+        // snapshot means readers are actively served stale results — a
+        // publication bug, so it escalates to Error.
+        let severity = if health.snapshot_lag > 0 {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
         out.push(
             Diagnostic::new(
                 codes::SNAPSHOT_STALENESS,
-                Severity::Warning,
+                severity,
                 None,
                 format!(
                     "{}; readers may see stale data and disk is not reclaimed",
@@ -230,6 +238,7 @@ mod tests {
         let diags = analyze_live(&health, &LiveAnalysisConfig::default());
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, codes::SNAPSHOT_STALENESS);
+        assert_eq!(diags[0].severity, Severity::Warning);
         assert!(
             diags[0].message.contains("3 retired segment file(s)"),
             "{}",
@@ -246,6 +255,7 @@ mod tests {
         let diags = analyze_live(&health, &LiveAnalysisConfig::default());
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, codes::SNAPSHOT_STALENESS);
+        assert_eq!(diags[0].severity, Severity::Error);
         assert!(
             diags[0].message.contains("trails the writer by 2"),
             "{}",

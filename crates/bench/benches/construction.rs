@@ -1,6 +1,9 @@
 //! Table 3 as a Criterion benchmark: index construction cost for the
 //! three index families, plus the threshold-sweep ablation.
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use free_corpus::synth::{Generator, SynthConfig};
 use free_corpus::MemCorpus;

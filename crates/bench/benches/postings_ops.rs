@@ -2,6 +2,9 @@
 //! calls out) — linear merge vs galloping at several size ratios, plus
 //! union and full decode.
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use free_index::cursor::drain;
 use free_index::{ops, AndCursor, BlockedPostings, Postings};

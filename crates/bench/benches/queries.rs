@@ -1,6 +1,9 @@
 //! Figures 9 and 11 as Criterion benchmarks: per-query total execution
 //! time and first-10 response time, Scan vs Multigram vs Complete.
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use free_bench::queries::benchmark_queries;
 use free_corpus::synth::{Generator, SynthConfig};

@@ -2,6 +2,9 @@
 //! text — lazy DFA (containment), dense DFA, and Pike VM (spans) — plus
 //! the Aho-Corasick gram matcher used during index construction.
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use free_corpus::synth::{Generator, SynthConfig};
 use free_corpus::Corpus;

@@ -1,6 +1,9 @@
 //! Microbenchmark: LEB128 varint coding throughput, the inner loop of all
 //! postings I/O.
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use free_index::varint;
 use rand::rngs::StdRng;

@@ -35,6 +35,9 @@
 //!   --csv DIR     also write CSV files into DIR
 //! ```
 
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_bench::harness::{Experiment, ExperimentConfig};
 use free_bench::report;
 use free_engine::{Engine, EngineConfig};

@@ -13,7 +13,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-
+// Bench/bin code: aborting on setup failure is the correct behaviour;
+// there is no caller to hand a Result to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 pub mod harness;
 pub mod queries;
 pub mod report;

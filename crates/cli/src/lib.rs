@@ -181,11 +181,20 @@ pub fn build_index_report(options: &IndexOptions) -> Result<(String, free_engine
     let engine = Engine::build_on_disk(corpus, config, options.index_dir.join(INDEX_FILE))?;
     let stats = engine.build_stats();
 
-    // Manifest: everything needed to reopen consistently.
+    // Manifest: everything needed to reopen consistently. The checksum
+    // line records the CRC32 of the finished index file so `free fsck`
+    // can prove the pair still belongs together; readers ignore unknown
+    // keys, so pre-checksum manifests stay loadable.
+    let idx_bytes = std::fs::read(options.index_dir.join(INDEX_FILE))?;
     let mut manifest = String::new();
     let _ = writeln!(manifest, "version=1");
     let _ = writeln!(manifest, "root={}", options.root.display());
     let _ = writeln!(manifest, "threshold={}", options.threshold);
+    let _ = writeln!(
+        manifest,
+        "checksum={:08x}",
+        free_checksum::crc32(&idx_bytes)
+    );
     for f in &files {
         let _ = writeln!(manifest, "file={}", f.display());
     }
@@ -269,6 +278,9 @@ impl SearchIndex {
     /// summary line. `limit` caps the printed matches (0 = unlimited).
     /// With `stats_json` the human summary line is replaced by the
     /// query's cost counters as one line of JSON.
+    // `expect`: every doc id in a query result was produced by this
+    // engine's own corpus, so the path lookup cannot miss.
+    #[allow(clippy::expect_used)]
     pub fn search(
         &self,
         pattern: &str,
@@ -457,8 +469,10 @@ pub fn live_compact(dir: &Path) -> Result<String> {
 
 /// `free segments`: reports the live index's shape, plus any `FA30x`
 /// health findings. With `json`, emits one JSON object with the stats
-/// and the diagnostics.
-pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
+/// and the diagnostics. The returned exit code is 1 when any finding is
+/// error-severity (e.g. `FA304` snapshot lag), so scripts and CI can
+/// gate on index health without parsing the output.
+pub fn live_segments(dir: &Path, json: bool) -> Result<(String, i32)> {
     let live = free_live::LiveIndex::open(dir, live_config(0))?;
     let stats = live.stats();
     let drift = live.key_set_drift()?;
@@ -472,6 +486,11 @@ pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
         snapshot_lag: live.snapshot_lag(),
     };
     let diags = free_analyze::analyze_live(&health, &free_analyze::LiveAnalysisConfig::default());
+    let exit_code = i32::from(
+        diags
+            .iter()
+            .any(|d| d.severity == free_analyze::Severity::Error),
+    );
     if json {
         let rendered = diags
             .iter()
@@ -491,7 +510,7 @@ pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
         o.field_raw("stats", stats.to_json())
             .field_f64("drift_fraction", drift)
             .field_raw("diagnostics", format!("[{rendered}]"));
-        return Ok(format!("{}\n", o.finish()));
+        return Ok((format!("{}\n", o.finish()), exit_code));
     }
     let mut out = stats.render_human();
     let _ = writeln!(out, "key-set drift: {:.0}%", drift * 100.0);
@@ -501,7 +520,25 @@ pub fn live_segments(dir: &Path, json: bool) -> Result<String> {
             let _ = writeln!(out, "  help: {s}");
         }
     }
-    Ok(out)
+    Ok((out, exit_code))
+}
+
+/// `free fsck`: verifies on-disk index state (live directory, batch
+/// index directory, corpus store, or bare index file) without mutating
+/// anything. `deep` additionally re-mines `sample` documents per segment
+/// with the gram scanner and proves the postings' no-false-negative
+/// guarantee. Returns the rendered report and the process exit code:
+/// 0 when clean (advisories allowed), 1 when any error-severity `FA4xx`
+/// finding fired.
+pub fn fsck(path: &Path, deep: bool, sample: usize, json: bool) -> Result<(String, i32)> {
+    let opts = free_analyze::FsckOptions { deep, sample };
+    let report = free_analyze::fsck(path, &opts)?;
+    let out = if json {
+        format!("{}\n", report.to_json())
+    } else {
+        report.render_human()
+    };
+    Ok((out, i32::from(report.has_errors())))
 }
 
 /// `free search --live`: queries the live index, printing one line per

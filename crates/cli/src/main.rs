@@ -11,6 +11,7 @@
 //! freegrep delete [--dir DIR] <SEQ>...
 //! freegrep compact [--dir DIR]
 //! freegrep segments [--dir DIR] [--json]
+//! freegrep fsck [--json] [--deep] [--sample N] [PATH]
 //! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]
 //! ```
 //!
@@ -225,8 +226,30 @@ fn run(args: &[String]) -> CmdResult {
                     Ok((freegrep::live_delete(&dir, &seqs)?, 0))
                 }
                 "compact" => Ok((freegrep::live_compact(&dir)?, 0)),
-                _ => Ok((freegrep::live_segments(&dir, json)?, 0)),
+                _ => Ok(freegrep::live_segments(&dir, json)?),
             }
+        }
+        "fsck" => {
+            let mut json = false;
+            let mut deep = false;
+            let mut sample = 64usize;
+            let mut path: Option<PathBuf> = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => json = true,
+                    "--deep" => deep = true,
+                    "--sample" => {
+                        i += 1;
+                        sample = value(rest, i, "--sample")?.parse()?;
+                    }
+                    arg if !arg.starts_with('-') => path = Some(arg.into()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            let path = path.unwrap_or_else(|| PathBuf::from(freegrep::DEFAULT_LIVE_DIR));
+            Ok(freegrep::fsck(&path, deep, sample, json)?)
         }
         "serve" => {
             let mut options = freegrep::serve::ServeOptions::new(freegrep::DEFAULT_LIVE_DIR);
@@ -285,6 +308,7 @@ fn usage() -> String {
      freegrep delete [--dir DIR] <SEQ>...\n  \
      freegrep compact [--dir DIR]\n  \
      freegrep segments [--dir DIR] [--json]\n  \
+     freegrep fsck [--json] [--deep] [--sample N] [PATH]\n  \
      freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]\n\n\
      --threads N confirms candidates with N worker threads \
      (default 0 = one per CPU); results are identical for any N\n\
@@ -294,6 +318,10 @@ fn usage() -> String {
      (run with a PATTERN to populate it from one query first)\n\
      add/delete/compact/segments operate a live (incrementally updatable) \
      index in DIR (default ./.freelive); search --live DIR queries it\n\
+     fsck verifies on-disk state (live dir, batch index dir, corpus store, \
+     or bare index file; default ./.freelive) without mutating anything; \
+     --deep re-mines --sample N docs per segment (default 64) to prove the \
+     no-false-negative guarantee; exits 1 on any FA4xx error finding\n\
      serve answers line-delimited JSON requests over TCP on 127.0.0.1 \
      (send {\"shutdown\":true} to stop; --port 0 picks an ephemeral port, \
      announced on stdout)"

@@ -1,5 +1,8 @@
 //! End-to-end tests driving the compiled `freegrep` binary.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -626,4 +629,131 @@ fn build_refuses_overwrite_without_force() {
         String::from_utf8_lossy(&out.stderr)
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `free fsck` over a fresh batch index: clean, deep-clean, and one
+/// flipped byte detected with a structured FA4xx finding and exit 1.
+#[test]
+fn fsck_batch_index_clean_and_corrupted() {
+    let dir = setup("fsck-batch");
+    let index_dir = dir.join("idx");
+    assert!(freegrep()
+        .args(["index", "--out"])
+        .arg(&index_dir)
+        .args(["--ext", "rs", "--c", "0.9"])
+        .arg(&dir)
+        .status()
+        .unwrap()
+        .success());
+
+    // A freshly built index verifies clean, even with --deep.
+    let out = free()
+        .args(["fsck", "--deep", "--json"])
+        .arg(&index_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(stdout.trim());
+    assert!(stdout.contains("\"kind\":\"batch\""), "{stdout}");
+    assert!(stdout.contains("\"errors\":false"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":[]"), "{stdout}");
+
+    // Flip one byte in the postings section: exit 1, FA4xx error finding.
+    let idx_path = index_dir.join("idx.free");
+    let mut bytes = std::fs::read(&idx_path).unwrap();
+    let mid = bytes.len() - 40;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&idx_path, &bytes).unwrap();
+    let out = free()
+        .args(["fsck", "--json"])
+        .arg(&index_dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(stdout.trim());
+    assert!(stdout.contains("\"errors\":true"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"FA4"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `free fsck` over a live index directory: clean after adds, and a
+/// corrupted segment sequence map is flagged without repairing anything.
+#[test]
+fn fsck_live_directory() {
+    let dir = setup("fsck-live");
+    let live_dir = dir.join("live");
+    std::fs::write(dir.join("a.txt"), b"the quick brown fox jumps\n").unwrap();
+    std::fs::write(dir.join("b.txt"), b"pack my box with five dozen jugs\n").unwrap();
+    assert!(free()
+        .args(["add", "--dir"])
+        .arg(&live_dir)
+        .args([dir.join("a.txt"), dir.join("b.txt")])
+        .status()
+        .unwrap()
+        .success());
+    // Seal the buffer into a segment so fsck has on-disk artifacts.
+    assert!(free()
+        .args(["compact", "--dir"])
+        .arg(&live_dir)
+        .status()
+        .unwrap()
+        .success());
+
+    let out = free()
+        .args(["fsck", "--deep"])
+        .arg(&live_dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("ok: no integrity errors"), "{stdout}");
+
+    // Damage a segment's sequence map; fsck must flag it, not fix it.
+    let seg_dir = live_dir.join("segments");
+    let seqs = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "seqs"))
+        .expect("a sealed segment with a .seqs file");
+    let mut bytes = std::fs::read(&seqs).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&seqs, &bytes).unwrap();
+    let before = std::fs::read(&seqs).unwrap();
+
+    let out = free()
+        .args(["fsck", "--json"])
+        .arg(&live_dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_json(stdout.trim());
+    assert!(stdout.contains("\"kind\":\"live\""), "{stdout}");
+    assert!(stdout.contains("\"errors\":true"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&seqs).unwrap(),
+        before,
+        "fsck must never mutate the index"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `free fsck` with no PATH checks ./.freelive; a missing target is a
+/// usage-style failure (exit 2), not a crash.
+#[test]
+fn fsck_missing_target_exits_two() {
+    let out = free()
+        .args(["fsck", "/nonexistent/free-fsck-target"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("freegrep:"));
 }

@@ -2,6 +2,9 @@
 //! ephemeral port, talk line-delimited JSON over TCP from several
 //! concurrent clients, and verify graceful shutdown.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_trace::JsonValue;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};

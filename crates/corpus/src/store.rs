@@ -4,42 +4,76 @@
 //!
 //! ```text
 //! <dir>/corpus.dat   raw data-unit bytes, concatenated in id order
-//! <dir>/corpus.idx   header + one u64 little-endian *end* offset per unit
+//! <dir>/corpus.idx   header + one table entry per unit
 //! ```
 //!
-//! The index header is a 8-byte magic plus a u32 version plus a u64 unit
-//! count. Offsets are cumulative ends, so data unit `i` occupies
-//! `dat[offset[i-1]..offset[i]]` (with `offset[-1] = 0`). The full offset
-//! table is loaded into memory on open — 8 bytes per data unit, which for
-//! the paper's 700 k pages is under 6 MB.
+//! The version-2 index header is an 8-byte magic, a u32 version, a u64
+//! unit count, and a u32 CRC32 of the count's little-endian bytes. Each
+//! table entry is the unit's cumulative *end* offset (u64) followed by
+//! the CRC32 of the unit's bytes (u32), so data unit `i` occupies
+//! `dat[offset[i-1]..offset[i]]` (with `offset[-1] = 0`) and any bit
+//! flip in either file is detectable. Version-1 stores (no checksums,
+//! 8-byte entries) are still readable and appendable. The full table is
+//! loaded into memory on open — 12 bytes per data unit, which for the
+//! paper's 700 k pages is under 9 MB.
 //!
 //! The store is appendable: [`CorpusWriter::open_append`] resumes writing
 //! after the last committed unit in O(1) — it reads only the index header
 //! and the *tail* offset (never the full table, never the data file), and
-//! [`CorpusWriter::finish`] appends the new offsets and patches the count
-//! in place. The count is the commit point: offsets are written before the
-//! count, so a crash mid-finish leaves the previously committed prefix
-//! readable and any torn tail bytes are truncated on the next reopen.
+//! [`CorpusWriter::finish`] appends the new entries and patches the count
+//! (plus its CRC, one positioned write) in place. The count is the commit
+//! point: entries are written before the count, so a crash mid-finish
+//! leaves the previously committed prefix readable and any torn tail
+//! bytes are truncated on the next reopen.
+//!
+//! Unit CRCs are verified on every [`Corpus::get`] cache miss — the read
+//! already paid a syscall, so the check is cheap insurance on the path
+//! that serves query results. [`Corpus::scan`] (the mining/merge
+//! throughput path, which re-reads the corpus many times per build) does
+//! *not* verify; `free fsck` covers scans offline via
+//! [`DiskCorpus::verify_units`].
 
 use crate::cache::DocCache;
 use crate::{Corpus, DocId, Error, Result};
+use free_checksum::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"FREECORP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const DATA_FILE: &str = "corpus.dat";
 const INDEX_FILE: &str = "corpus.idx";
-/// Byte offset of the u64 unit count inside the index file.
+/// Byte offset of the u64 unit count inside the index file (v1 and v2).
 const COUNT_OFFSET: u64 = 12;
-/// Byte offset where the offset table starts inside the index file.
-const TABLE_OFFSET: u64 = 20;
 
-/// Reads and validates the index-file header, returning the unit count.
-fn read_header(idx: &File, idx_path: &Path) -> Result<u64> {
-    let mut header = [0u8; TABLE_OFFSET as usize];
+/// Byte offset where the entry table starts, by format version (v2 adds
+/// a u32 CRC of the count after the count itself).
+fn table_offset(version: u32) -> u64 {
+    if version >= 2 {
+        24
+    } else {
+        20
+    }
+}
+
+/// Bytes per table entry: v1 stores the end offset only, v2 appends the
+/// unit's CRC32.
+fn entry_stride(version: u32) -> u64 {
+    if version >= 2 {
+        12
+    } else {
+        8
+    }
+}
+
+/// Reads and validates the index-file header, returning the format
+/// version and unit count. For v2, the count must match its stored CRC.
+// `expect`: both `try_into` calls slice fixed ranges of a 20-byte buffer.
+#[allow(clippy::expect_used)]
+fn read_header(idx: &File, idx_path: &Path) -> Result<(u32, u64)> {
+    let mut header = [0u8; 20];
     idx.read_exact_at(&mut header, 0)
         .map_err(|e| Error::io(format!("read header of {}", idx_path.display()), e))?;
     if &header[..8] != MAGIC {
@@ -49,20 +83,38 @@ fn read_header(idx: &File, idx_path: &Path) -> Result<u64> {
             &header[..8]
         )));
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    if version != VERSION {
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed size"));
+    if version == 0 || version > VERSION {
         return Err(Error::Corrupt(format!(
             "unsupported corpus version {version}"
         )));
     }
-    Ok(u64::from_le_bytes(header[12..20].try_into().unwrap()))
+    let count_bytes: [u8; 8] = header[12..20].try_into().expect("fixed size");
+    if version >= 2 {
+        let mut crc_bytes = [0u8; 4];
+        idx.read_exact_at(&mut crc_bytes, 20)
+            .map_err(|e| Error::io(format!("read count CRC of {}", idx_path.display()), e))?;
+        if u32::from_le_bytes(crc_bytes) != crc32(&count_bytes) {
+            return Err(Error::Corrupt(format!(
+                "unit count fails its CRC in {}",
+                idx_path.display()
+            )));
+        }
+    }
+    Ok((version, u64::from_le_bytes(count_bytes)))
 }
 
 /// Streaming writer that appends data units to an on-disk corpus.
 pub struct CorpusWriter {
     data: BufWriter<File>,
+    /// Format version of the store being written (new stores are
+    /// [`VERSION`]; `open_append` keeps appending in the file's own
+    /// version so legacy stores stay self-consistent).
+    version: u32,
     /// End offsets of units appended by *this* writer (absolute positions).
     new_ends: Vec<u64>,
+    /// CRC32 of each unit appended by this writer (v2 stores only).
+    new_crcs: Vec<u32>,
     /// Units already committed before this writer opened.
     base_count: u64,
     written: u64,
@@ -83,15 +135,18 @@ impl CorpusWriter {
         let idx_path = dir.join(INDEX_FILE);
         let idx = File::create(&idx_path)
             .map_err(|e| Error::io(format!("create {}", idx_path.display()), e))?;
-        let mut header = Vec::with_capacity(TABLE_OFFSET as usize);
+        let mut header = Vec::with_capacity(table_offset(VERSION) as usize);
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&VERSION.to_le_bytes());
         header.extend_from_slice(&0u64.to_le_bytes());
+        header.extend_from_slice(&crc32(&0u64.to_le_bytes()).to_le_bytes());
         idx.write_all_at(&header, 0)
             .map_err(|e| Error::io("write header", e))?;
         Ok(CorpusWriter {
             data: BufWriter::new(data),
+            version: VERSION,
             new_ends: Vec::new(),
+            new_crcs: Vec::new(),
             base_count: 0,
             written: 0,
             dir,
@@ -108,13 +163,16 @@ impl CorpusWriter {
         let idx_path = dir.join(INDEX_FILE);
         let idx = File::open(&idx_path)
             .map_err(|e| Error::io(format!("open {}", idx_path.display()), e))?;
-        let base_count = read_header(&idx, &idx_path)?;
+        let (version, base_count) = read_header(&idx, &idx_path)?;
         let written = if base_count == 0 {
             0
         } else {
             let mut buf8 = [0u8; 8];
-            idx.read_exact_at(&mut buf8, TABLE_OFFSET + (base_count - 1) * 8)
-                .map_err(|e| Error::io("read tail offset", e))?;
+            idx.read_exact_at(
+                &mut buf8,
+                table_offset(version) + (base_count - 1) * entry_stride(version),
+            )
+            .map_err(|e| Error::io("read tail offset", e))?;
             u64::from_le_bytes(buf8)
         };
         let data_path = dir.join(DATA_FILE);
@@ -142,7 +200,9 @@ impl CorpusWriter {
             .map_err(|e| Error::io("seek to append position", e))?;
         Ok(CorpusWriter {
             data: BufWriter::new(data),
+            version,
             new_ends: Vec::new(),
+            new_crcs: Vec::new(),
             base_count,
             written,
             dir,
@@ -157,6 +217,9 @@ impl CorpusWriter {
             .map_err(|e| Error::io(format!("write data unit {id}"), e))?;
         self.written += doc.len() as u64;
         self.new_ends.push(self.written);
+        if self.version >= 2 {
+            self.new_crcs.push(crc32(doc));
+        }
         Ok(id)
     }
 
@@ -170,9 +233,9 @@ impl CorpusWriter {
         self.len() == 0
     }
 
-    /// Flushes everything, appends the new offsets, and commits them by
-    /// patching the unit count in the header. Returns the opened read-side
-    /// corpus.
+    /// Flushes everything, appends the new entries, and commits them by
+    /// patching the unit count (and its CRC, in one positioned write)
+    /// in the header. Returns the opened read-side corpus.
     pub fn finish(mut self) -> Result<DiskCorpus> {
         self.data
             .flush()
@@ -182,14 +245,27 @@ impl CorpusWriter {
             .write(true)
             .open(&idx_path)
             .map_err(|e| Error::io(format!("open {}", idx_path.display()), e))?;
-        let mut table = Vec::with_capacity(self.new_ends.len() * 8);
-        for &end in &self.new_ends {
+        let stride = entry_stride(self.version) as usize;
+        let mut table = Vec::with_capacity(self.new_ends.len() * stride);
+        for (i, &end) in self.new_ends.iter().enumerate() {
             table.extend_from_slice(&end.to_le_bytes());
+            if self.version >= 2 {
+                table.extend_from_slice(&self.new_crcs[i].to_le_bytes());
+            }
         }
-        // Offsets first, count last: the count is the commit point.
-        idx.write_all_at(&table, TABLE_OFFSET + self.base_count * 8)
-            .map_err(|e| Error::io("write offsets", e))?;
-        idx.write_all_at(&(self.len() as u64).to_le_bytes(), COUNT_OFFSET)
+        // Entries first, count last: the count is the commit point.
+        idx.write_all_at(
+            &table,
+            table_offset(self.version) + self.base_count * stride as u64,
+        )
+        .map_err(|e| Error::io("write offsets", e))?;
+        let count_bytes = (self.len() as u64).to_le_bytes();
+        let mut commit = Vec::with_capacity(12);
+        commit.extend_from_slice(&count_bytes);
+        if self.version >= 2 {
+            commit.extend_from_slice(&crc32(&count_bytes).to_le_bytes());
+        }
+        idx.write_all_at(&commit, COUNT_OFFSET)
             .map_err(|e| Error::io("write count", e))?;
         DiskCorpus::open(&self.dir)
     }
@@ -204,6 +280,8 @@ pub struct DiskCorpus {
     data: File,
     /// Cumulative end offsets; `ends[i]` is one past the last byte of doc i.
     ends: Vec<u64>,
+    /// Per-unit CRC32s, present for v2 stores (absent for legacy v1).
+    crcs: Option<Vec<u32>>,
     /// Optional read-through document cache (see [`DocCache`]).
     cache: Option<DocCache>,
 }
@@ -241,7 +319,7 @@ impl DiskCorpus {
         r.read_exact(&mut buf4)
             .map_err(|e| Error::io("read version", e))?;
         let version = u32::from_le_bytes(buf4);
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(Error::Corrupt(format!(
                 "unsupported corpus version {version}"
             )));
@@ -250,7 +328,19 @@ impl DiskCorpus {
         r.read_exact(&mut buf8)
             .map_err(|e| Error::io("read count", e))?;
         let count = u64::from_le_bytes(buf8) as usize;
+        if version >= 2 {
+            let count_bytes = buf8;
+            r.read_exact(&mut buf4)
+                .map_err(|e| Error::io("read count CRC", e))?;
+            if u32::from_le_bytes(buf4) != crc32(&count_bytes) {
+                return Err(Error::Corrupt(format!(
+                    "unit count fails its CRC in {}",
+                    idx_path.display()
+                )));
+            }
+        }
         let mut ends = Vec::with_capacity(count);
+        let mut crcs = (version >= 2).then(|| Vec::with_capacity(count));
         let mut prev = 0u64;
         for i in 0..count {
             r.read_exact(&mut buf8)
@@ -263,15 +353,20 @@ impl DiskCorpus {
             }
             ends.push(end);
             prev = end;
+            if let Some(crcs) = &mut crcs {
+                r.read_exact(&mut buf4)
+                    .map_err(|e| Error::io(format!("read unit CRC {i}"), e))?;
+                crcs.push(u32::from_le_bytes(buf4));
+            }
         }
         let data_path = dir.join(DATA_FILE);
         let data_len = std::fs::metadata(&data_path)
             .map_err(|e| Error::io(format!("stat {}", data_path.display()), e))?
             .len();
-        if ends.last().copied().unwrap_or(0) > data_len {
+        let last_end = ends.last().copied().unwrap_or(0);
+        if last_end > data_len {
             return Err(Error::Corrupt(format!(
-                "offset table points past end of data file ({} > {data_len})",
-                ends.last().unwrap()
+                "offset table points past end of data file ({last_end} > {data_len})"
             )));
         }
         let data = File::open(&data_path)
@@ -280,8 +375,49 @@ impl DiskCorpus {
             data_path,
             data,
             ends,
+            crcs,
             cache: None,
         })
+    }
+
+    /// Whether the store carries per-unit checksums (format v2+). Legacy
+    /// v1 stores stay readable; `free fsck` reports them as an advisory.
+    pub fn checksummed(&self) -> bool {
+        self.crcs.is_some()
+    }
+
+    /// Re-reads every unit sequentially and checks its stored CRC32,
+    /// returning one `(id, detail)` pair per corrupted unit. Empty on a
+    /// clean store; always empty for legacy v1 stores (nothing to check).
+    /// This is `free fsck`'s offline scan — the hot [`Corpus::scan`] path
+    /// deliberately skips these checks.
+    pub fn verify_units(&self) -> Result<Vec<(DocId, String)>> {
+        let Some(crcs) = &self.crcs else {
+            return Ok(Vec::new());
+        };
+        let file = File::open(&self.data_path)
+            .map_err(|e| Error::io(format!("open {}", self.data_path.display()), e))?;
+        let mut r = BufReader::with_capacity(1 << 20, file);
+        let mut buf = Vec::new();
+        let mut bad = Vec::new();
+        let mut prev = 0u64;
+        for (i, &end) in self.ends.iter().enumerate() {
+            buf.resize((end - prev) as usize, 0);
+            r.read_exact(&mut buf)
+                .map_err(|e| Error::io(format!("verify data unit {i}"), e))?;
+            prev = end;
+            let actual = crc32(&buf);
+            if actual != crcs[i] {
+                bad.push((
+                    i as DocId,
+                    format!(
+                        "data unit {i} fails its CRC (stored {:08x}, actual {actual:08x})",
+                        crcs[i]
+                    ),
+                ));
+            }
+        }
+        Ok(bad)
     }
 
     fn bounds(&self, id: DocId) -> Result<(u64, u64)> {
@@ -317,6 +453,14 @@ impl Corpus for DiskCorpus {
         self.data
             .read_exact_at(&mut buf, start)
             .map_err(|e| Error::io(format!("read data unit {id}"), e))?;
+        if let Some(crcs) = &self.crcs {
+            if crc32(&buf) != crcs[id as usize] {
+                return Err(Error::Corrupt(format!(
+                    "data unit {id} fails its CRC in {}",
+                    self.data_path.display()
+                )));
+            }
+        }
         if let Some(cache) = &self.cache {
             cache.insert(id, std::sync::Arc::new(buf.clone()));
         }
@@ -545,6 +689,88 @@ mod tests {
         assert_eq!(c.get(0).unwrap(), b"committed");
         assert_eq!(c.get(1).unwrap(), b"after crash");
         assert_eq!(c.total_bytes(), 9 + 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Hand-crafts a version-1 store (8-byte entries, no CRCs).
+    fn write_v1_store(dir: &Path, docs: &[&[u8]]) {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut data = Vec::new();
+        let mut idx = Vec::new();
+        idx.extend_from_slice(MAGIC);
+        idx.extend_from_slice(&1u32.to_le_bytes());
+        idx.extend_from_slice(&(docs.len() as u64).to_le_bytes());
+        for d in docs {
+            data.extend_from_slice(d);
+            idx.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        }
+        std::fs::write(dir.join(DATA_FILE), data).unwrap();
+        std::fs::write(dir.join(INDEX_FILE), idx).unwrap();
+    }
+
+    #[test]
+    fn version1_stores_still_readable_and_appendable() {
+        let dir = tmpdir("v1compat");
+        write_v1_store(&dir, &[b"legacy one", b"legacy two"]);
+        let c = DiskCorpus::open(&dir).unwrap();
+        assert!(!c.checksummed());
+        assert_eq!(c.get(0).unwrap(), b"legacy one");
+        assert_eq!(c.get(1).unwrap(), b"legacy two");
+        assert!(c.verify_units().unwrap().is_empty());
+        // Appends keep the file's own (v1) format self-consistent.
+        let mut w = CorpusWriter::open_append(&dir).unwrap();
+        w.append(b"appended").unwrap();
+        let c = w.finish().unwrap();
+        assert!(!c.checksummed());
+        assert_eq!(c.get(2).unwrap(), b"appended");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn new_stores_are_checksummed() {
+        let dir = tmpdir("v2crc");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"guarded bytes").unwrap();
+        let c = w.finish().unwrap();
+        assert!(c.checksummed());
+        assert!(c.verify_units().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_data_byte_fails_get_and_verify() {
+        let dir = tmpdir("flip");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"aaaa").unwrap();
+        w.append(b"bbbb").unwrap();
+        drop(w.finish().unwrap());
+        // Flip one bit inside unit 1's bytes.
+        let mut data = std::fs::read(dir.join(DATA_FILE)).unwrap();
+        data[5] ^= 0x10;
+        std::fs::write(dir.join(DATA_FILE), &data).unwrap();
+        let c = DiskCorpus::open(&dir).unwrap();
+        assert_eq!(c.get(0).unwrap(), b"aaaa");
+        assert!(matches!(c.get(1), Err(Error::Corrupt(_))));
+        let bad = c.verify_units().unwrap();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_count_rejected_at_open() {
+        let dir = tmpdir("count-crc");
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.append(b"doc").unwrap();
+        drop(w.finish().unwrap());
+        let mut idx = std::fs::read(dir.join(INDEX_FILE)).unwrap();
+        idx[COUNT_OFFSET as usize] ^= 1;
+        std::fs::write(dir.join(INDEX_FILE), &idx).unwrap();
+        assert!(matches!(DiskCorpus::open(&dir), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            CorpusWriter::open_append(&dir),
+            Err(Error::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

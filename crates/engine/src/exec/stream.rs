@@ -49,6 +49,8 @@ pub fn compile_plan<I: IndexRead>(
     }
 }
 
+// `expect`: `pop()` happens in the `len == 1` branch.
+#[allow(clippy::expect_used)]
 pub(crate) fn compile_node<I: IndexRead>(
     plan: &PhysicalPlan,
     index: &I,
@@ -233,7 +235,9 @@ fn fold(
 /// Confirms candidate ids delivered by `next_batch`, sequentially or via a
 /// scoped worker pool. `next_batch` fills the buffer with up to `n` ids;
 /// an empty fill ends the stream.
-#[allow(clippy::too_many_arguments)]
+// `expect` on `join()`: re-raising a confirmation worker's panic on the
+// coordinating thread is the correct way to propagate it.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn confirm_ids<C: Corpus>(
     corpus: &C,
     regex: &Regex,

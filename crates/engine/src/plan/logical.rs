@@ -42,6 +42,8 @@ impl LogicalPlan {
 
     /// Smart AND constructor applying Table 2 (`x AND NULL = x`), flattening
     /// and deduplication.
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     pub fn and(children: Vec<LogicalPlan>) -> LogicalPlan {
         let mut out = Vec::with_capacity(children.len());
         for c in children {
@@ -64,6 +66,8 @@ impl LogicalPlan {
 
     /// Smart OR constructor applying Table 2 (`x OR NULL = NULL`),
     /// flattening and deduplication.
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     pub fn or(children: Vec<LogicalPlan>) -> LogicalPlan {
         let mut out = Vec::with_capacity(children.len());
         for c in children {

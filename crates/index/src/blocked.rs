@@ -40,6 +40,8 @@ pub struct BlockedPostings {
 
 impl BlockedPostings {
     /// Builds from sorted, deduplicated doc ids.
+    // `expect`: `chunks()` never yields an empty block.
+    #[allow(clippy::expect_used)]
     pub fn from_sorted(ids: &[DocId]) -> BlockedPostings {
         let mut encoded = Vec::with_capacity(ids.len());
         let mut skips = Vec::with_capacity(ids.len().div_ceil(BLOCK_SIZE));
@@ -182,8 +184,8 @@ impl BlockedPostings {
         if count > u64::from(u32::MAX) || num_skips > count as usize {
             return Err(Error::Corrupt("blocked postings: bad header".into()));
         }
-        let mut skips = Vec::with_capacity(num_skips);
-        for _ in 0..num_skips {
+        let mut skips: Vec<Skip> = Vec::with_capacity(num_skips);
+        for i in 0..num_skips {
             let last_doc = take("skip last_doc")?;
             let offset = take("skip offset")?;
             let len = take("skip len")?;
@@ -193,6 +195,19 @@ impl BlockedPostings {
                 || len > BLOCK_SIZE as u64
             {
                 return Err(Error::Corrupt("blocked postings: bad skip entry".into()));
+            }
+            // Offsets must start at 0, ascend strictly, and stay inside
+            // the payload, or block slicing would be out of bounds.
+            let expected_floor = if i == 0 {
+                0
+            } else {
+                u64::from(skips[i - 1].offset) + 1
+            };
+            if (i == 0 && offset != 0) || offset < expected_floor || offset as usize >= payload_len
+            {
+                return Err(Error::Corrupt(
+                    "blocked postings: skip offset out of bounds".into(),
+                ));
             }
             skips.push(Skip {
                 last_doc: last_doc as DocId,
@@ -208,6 +223,50 @@ impl BlockedPostings {
             skips,
             count: count as u32,
         })
+    }
+
+    /// Deep structural validation for `free fsck`: decodes every block
+    /// and cross-checks the skip table against the decoded contents —
+    /// per-block doc ids strictly ascending, ascent maintained across
+    /// block boundaries, each skip entry's `last_doc` equal to its
+    /// block's actual last id, and the block lengths summing to the
+    /// stored count. Returns the first inconsistency as `Err(Corrupt)`.
+    pub fn validate(&self) -> Result<()> {
+        let corrupt = |msg: String| Err(Error::Corrupt(format!("blocked postings: {msg}")));
+        let mut total = 0usize;
+        let mut prev: Option<DocId> = None;
+        for (i, s) in self.skips.iter().enumerate() {
+            let mut ids = Vec::with_capacity(s.len as usize);
+            self.decode_block(i, &mut ids)?;
+            if ids.len() != s.len as usize {
+                return corrupt(format!(
+                    "block {i} decodes {} postings, skip table says {}",
+                    ids.len(),
+                    s.len
+                ));
+            }
+            for &id in &ids {
+                if prev.is_some_and(|p| id <= p) {
+                    return corrupt(format!("doc ids not strictly ascending in block {i}"));
+                }
+                prev = Some(id);
+            }
+            if ids.last() != Some(&s.last_doc) {
+                return corrupt(format!(
+                    "block {i} ends at doc {:?}, skip table says {}",
+                    ids.last(),
+                    s.last_doc
+                ));
+            }
+            total += ids.len();
+        }
+        if total != self.count as usize {
+            return corrupt(format!(
+                "blocks hold {total} postings, header says {}",
+                self.count
+            ));
+        }
+        Ok(())
     }
 
     /// Intersects a (typically short) sorted probe list against this
@@ -459,6 +518,62 @@ mod tests {
         bytes.push(0);
         assert!(BlockedPostings::read(&bytes).is_err());
         assert!(BlockedPostings::read(&[]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_clean_lists() {
+        for n in [1usize, BLOCK_SIZE, BLOCK_SIZE * 3 + 7] {
+            let ids: Vec<DocId> = (0..n as DocId).map(|i| i * 2 + 1).collect();
+            BlockedPostings::from_sorted(&ids).validate().unwrap();
+        }
+        BlockedPostings::from_sorted(&[]).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_skip_table_lies() {
+        let ids: Vec<DocId> = (0..400).collect();
+        // A skip entry whose last_doc disagrees with its block.
+        let mut b = BlockedPostings::from_sorted(&ids);
+        b.skips[1].last_doc += 1;
+        assert!(matches!(b.validate(), Err(Error::Corrupt(_))));
+        // A count that disagrees with the blocks.
+        let mut b = BlockedPostings::from_sorted(&ids);
+        b.count += 1;
+        assert!(matches!(b.validate(), Err(Error::Corrupt(_))));
+        // Non-ascending ids across a block boundary.
+        let mut b = BlockedPostings::from_sorted(&ids);
+        b.skips[0].last_doc = 500; // would need block 0 to end past block 1's start
+        assert!(matches!(b.validate(), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn read_rejects_out_of_bounds_skip_offsets() {
+        let ids: Vec<DocId> = (0..400).collect();
+        let b = BlockedPostings::from_sorted(&ids);
+        let mut clean = Vec::new();
+        b.write_to(&mut clean);
+        // Re-serialize with a first skip offset that is not 0.
+        let mut forged = Vec::new();
+        varint::encode(u64::from(b.count), &mut forged);
+        varint::encode(b.encoded.len() as u64, &mut forged);
+        varint::encode(b.skips.len() as u64, &mut forged);
+        for (i, s) in b.skips.iter().enumerate() {
+            varint::encode(u64::from(s.last_doc), &mut forged);
+            let off = if i == 0 {
+                b.encoded.len() as u64 + 100 // past the payload
+            } else {
+                u64::from(s.offset)
+            };
+            varint::encode(off, &mut forged);
+            varint::encode(u64::from(s.len), &mut forged);
+        }
+        forged.extend_from_slice(&b.encoded);
+        assert!(matches!(
+            BlockedPostings::read(&forged),
+            Err(Error::Corrupt(_))
+        ));
+        // The clean serialization still reads fine.
+        assert!(BlockedPostings::read(&clean).is_ok());
     }
 
     #[test]

@@ -213,6 +213,9 @@ fn read_varint_continuing(r: &mut BufReader<File>, first: u8) -> Result<u64> {
 
 /// Merges sorted runs into the writer. Runs cover disjoint ascending doc
 /// ranges in run-file order, so equal keys concatenate.
+// `expect`: `take()` is only called on readers whose `peek_key()` just
+// matched, so a record is guaranteed to be pending.
+#[allow(clippy::expect_used)]
 fn merge_runs(readers: &mut [RunReader], writer: &mut IndexWriter) -> Result<()> {
     loop {
         // Smallest key among all pending records.

@@ -22,8 +22,20 @@
 //! directory entry: short lists stay plain delta-varint, while lists
 //! longer than one block are stored as [`BlockedPostings`] (skip table +
 //! independently decodable blocks), so [`IndexReader::cursor`] can `seek`
-//! across them without decoding everything. Version 1 files (all plain)
-//! are still readable.
+//! across them without decoding everything.
+//!
+//! Version 3 appends a 16-byte footer after the postings section:
+//!
+//! ```text
+//! | footer magic "FREESUM1" | meta_crc u32 | postings_crc u32 |
+//! ```
+//!
+//! `meta_crc` is the CRC32 of the header plus directory, verified on
+//! every open (those bytes are read into memory anyway); `postings_crc`
+//! covers the whole postings section and is verified offline by
+//! [`IndexReader::verify`] (`free fsck`), so the open path stays O(dir).
+//! Version 1 (all plain, no tags) and version 2 (no footer) files are
+//! still readable; fsck reports them as an advisory, not an error.
 
 use crate::blocked::{BlockedPostings, BLOCK_SIZE};
 use crate::cursor::{PostingsCursor, SliceCursor};
@@ -31,6 +43,7 @@ use crate::postings::Postings;
 use crate::stats::IndexStats;
 use crate::{varint, DocId, Error, IndexRead, Key, Result};
 use bytes::Bytes;
+use free_checksum::Crc32;
 use rustc_hash::FxHashMap;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -38,7 +51,12 @@ use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"FREEIDX1";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+
+/// Magic introducing the version-3 checksum footer.
+const FOOTER_MAGIC: &[u8; 8] = b"FREESUM1";
+/// Total footer size: magic + meta CRC + postings CRC.
+const FOOTER_LEN: u64 = 16;
 
 /// Directory encoding tag: plain delta-varint postings.
 const ENC_PLAIN: u8 = 0;
@@ -58,6 +76,9 @@ pub struct IndexWriter {
     /// Spill the postings section to a temp file when it outgrows memory.
     spill: Option<BufWriter<File>>,
     spilled_bytes: u64,
+    /// Running CRC over the postings section, fed in [`IndexWriter::add`]
+    /// so it stays correct when postings spill to disk.
+    postings_crc: Crc32,
 }
 
 /// Postings accumulate in memory up to this size before spilling to a
@@ -84,6 +105,7 @@ impl IndexWriter {
             last_key: None,
             spill: None,
             spilled_bytes: 0,
+            postings_crc: Crc32::new(),
         })
     }
 
@@ -114,10 +136,12 @@ impl IndexWriter {
             let mut payload = Vec::with_capacity(postings.encoded().len() + 64);
             BlockedPostings::from_postings(postings)?.write_to(&mut payload);
             varint::encode(payload.len() as u64, &mut self.directory);
+            self.postings_crc.update(&payload);
             self.postings.extend_from_slice(&payload);
         } else {
             self.directory.push(ENC_PLAIN);
             varint::encode(postings.encoded().len() as u64, &mut self.directory);
+            self.postings_crc.update(postings.encoded());
             self.postings.extend_from_slice(postings.encoded());
         }
         self.num_keys += 1;
@@ -129,6 +153,8 @@ impl IndexWriter {
         Ok(())
     }
 
+    // `expect`: the spill writer is created two lines above when absent.
+    #[allow(clippy::expect_used)]
     fn flush_spill(&mut self) -> Result<()> {
         if self.spill.is_none() {
             let f = File::create(self.spill_path())
@@ -144,18 +170,22 @@ impl IndexWriter {
     }
 
     /// Finalizes the file and opens it for reading.
+    // `expect`: the spill branch is only taken after `is_some()`.
+    #[allow(clippy::expect_used)]
     pub fn finish(mut self) -> Result<IndexReader> {
         let f = File::create(&self.path)
             .map_err(|e| Error::io(format!("create {}", self.path.display()), e))?;
         let mut w = BufWriter::new(f);
-        w.write_all(MAGIC)
-            .map_err(|e| Error::io("write magic", e))?;
-        w.write_all(&VERSION.to_le_bytes())
-            .map_err(|e| Error::io("write version", e))?;
-        w.write_all(&self.num_keys.to_le_bytes())
-            .map_err(|e| Error::io("write key count", e))?;
-        w.write_all(&(self.directory.len() as u64).to_le_bytes())
-            .map_err(|e| Error::io("write directory size", e))?;
+        let mut header = Vec::with_capacity(28);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&self.num_keys.to_le_bytes());
+        header.extend_from_slice(&(self.directory.len() as u64).to_le_bytes());
+        let mut meta_crc = Crc32::new();
+        meta_crc.update(&header);
+        meta_crc.update(&self.directory);
+        w.write_all(&header)
+            .map_err(|e| Error::io("write header", e))?;
         w.write_all(&self.directory)
             .map_err(|e| Error::io("write directory", e))?;
         if self.spill.is_some() {
@@ -171,6 +201,12 @@ impl IndexWriter {
             w.write_all(&self.postings)
                 .map_err(|e| Error::io("write postings", e))?;
         }
+        w.write_all(FOOTER_MAGIC)
+            .map_err(|e| Error::io("write footer magic", e))?;
+        w.write_all(&meta_crc.finish().to_le_bytes())
+            .map_err(|e| Error::io("write meta crc", e))?;
+        w.write_all(&self.postings_crc.finish().to_le_bytes())
+            .map_err(|e| Error::io("write postings crc", e))?;
         w.flush().map_err(|e| Error::io("flush index", e))?;
         IndexReader::open(&self.path)
     }
@@ -196,10 +232,45 @@ pub struct IndexReader {
     num_postings: u64,
     key_bytes: u64,
     postings_bytes: u64,
+    /// Expected CRC of the postings section (`None` for pre-v3 files).
+    /// Checked by [`IndexReader::verify`], not on the query path.
+    postings_crc: Option<u32>,
+}
+
+/// What a [`VerifyIssue`] is about, so callers (fsck) can map each issue
+/// onto a stable diagnostic code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyIssueKind {
+    /// The postings section does not match its recorded CRC32.
+    Checksum,
+    /// An entry's payload failed to decode at all.
+    Decode,
+    /// Decoded doc ids are not strictly ascending.
+    Order,
+    /// A blocked list's skip table disagrees with its blocks.
+    SkipTable,
+    /// Decoded postings length differs from the directory's doc count.
+    DocCount,
+    /// A doc id is outside the corpus bound supplied by the caller.
+    DocRange,
+}
+
+/// One integrity finding from [`IndexReader::verify`].
+#[derive(Clone, Debug)]
+pub struct VerifyIssue {
+    /// Issue category (maps onto an FA4xx code in `free-analyze`).
+    pub kind: VerifyIssueKind,
+    /// The directory key the issue was found under, when entry-scoped.
+    pub key: Option<Key>,
+    /// Human-readable description of the inconsistency.
+    pub detail: String,
 }
 
 impl IndexReader {
     /// Opens an index file, loading its directory.
+    // `expect`: every `try_into` slices a fixed-size range of a
+    // fixed-size buffer, so the conversion cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn open(path: impl AsRef<Path>) -> Result<IndexReader> {
         let path = path.as_ref();
         let mut file =
@@ -280,13 +351,40 @@ impl IndexReader {
             .metadata()
             .map_err(|e| Error::io("stat index", e))?
             .len();
-        if postings_start + offset > file_len {
+        let footer_len = if version >= 3 { FOOTER_LEN } else { 0 };
+        if postings_start + offset + footer_len > file_len {
             return Err(Error::Corrupt(format!(
                 "postings section truncated: need {} bytes, file has {}",
-                postings_start + offset,
+                postings_start + offset + footer_len,
                 file_len
             )));
         }
+        let postings_crc = if version >= 3 {
+            let mut footer = [0u8; FOOTER_LEN as usize];
+            file.read_exact_at(&mut footer, postings_start + offset)
+                .map_err(|e| Error::io("read footer", e))?;
+            if &footer[..8] != FOOTER_MAGIC {
+                return Err(Error::Corrupt(format!(
+                    "bad footer magic in {}",
+                    path.display()
+                )));
+            }
+            let meta_crc = u32::from_le_bytes(footer[8..12].try_into().expect("fixed size"));
+            let mut crc = Crc32::new();
+            crc.update(&header);
+            crc.update(&dir);
+            if crc.finish() != meta_crc {
+                return Err(Error::Corrupt(format!(
+                    "header/directory checksum mismatch in {}",
+                    path.display()
+                )));
+            }
+            Some(u32::from_le_bytes(
+                footer[12..16].try_into().expect("fixed size"),
+            ))
+        } else {
+            None
+        };
         Ok(IndexReader {
             file,
             postings_start,
@@ -295,7 +393,137 @@ impl IndexReader {
             num_postings,
             key_bytes,
             postings_bytes: offset,
+            postings_crc,
         })
+    }
+
+    /// Whether this file carries version-3 checksums. Pre-v3 files open
+    /// fine but [`IndexReader::verify`] can only run semantic checks on
+    /// them; fsck reports that as an advisory.
+    pub fn checksummed(&self) -> bool {
+        self.postings_crc.is_some()
+    }
+
+    /// Exhaustively verifies the file: streams the postings section
+    /// against its recorded CRC (v3+), then decodes every entry and
+    /// checks doc-id monotonicity, skip-table consistency, and directory
+    /// doc counts. When `doc_bound` is given, doc ids must be `< bound`.
+    ///
+    /// Returns structural findings rather than failing on the first one,
+    /// so fsck can report everything wrong with a file in one pass. I/O
+    /// errors still abort with `Err`.
+    pub fn verify(&self, doc_bound: Option<DocId>) -> Result<Vec<VerifyIssue>> {
+        let mut issues = Vec::new();
+        if let Some(expected) = self.postings_crc {
+            let mut crc = Crc32::new();
+            let mut buf = vec![0u8; 1 << 20];
+            let mut pos = self.postings_start;
+            let mut remaining = self.postings_bytes;
+            while remaining > 0 {
+                let n = remaining.min(buf.len() as u64) as usize;
+                self.file
+                    .read_exact_at(&mut buf[..n], pos)
+                    .map_err(|e| Error::io("read postings for verify", e))?;
+                crc.update(&buf[..n]);
+                pos += n as u64;
+                remaining -= n as u64;
+            }
+            let actual = crc.finish();
+            if actual != expected {
+                issues.push(VerifyIssue {
+                    kind: VerifyIssueKind::Checksum,
+                    key: None,
+                    detail: format!(
+                        "postings section checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                    ),
+                });
+            }
+        }
+        for key in &self.sorted_keys {
+            let e = self.entries[key];
+            let name = String::from_utf8_lossy(key).into_owned();
+            let payload = self.read_payload(e)?;
+            let decoded = if e.blocked {
+                match BlockedPostings::read(&payload) {
+                    Ok(b) => {
+                        if let Err(err) = b.validate() {
+                            issues.push(VerifyIssue {
+                                kind: VerifyIssueKind::SkipTable,
+                                key: Some(key.clone()),
+                                detail: format!("blocked list for {name:?} invalid: {err}"),
+                            });
+                            continue;
+                        }
+                        match b.decode() {
+                            Ok(d) => d,
+                            Err(err) => {
+                                issues.push(VerifyIssue {
+                                    kind: VerifyIssueKind::Decode,
+                                    key: Some(key.clone()),
+                                    detail: format!("blocked list for {name:?} undecodable: {err}"),
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        issues.push(VerifyIssue {
+                            kind: VerifyIssueKind::Decode,
+                            key: Some(key.clone()),
+                            detail: format!("blocked list for {name:?} unreadable: {err}"),
+                        });
+                        continue;
+                    }
+                }
+            } else {
+                match Postings::from_encoded(Bytes::from(payload), e.doc_count).decode() {
+                    Ok(d) => d,
+                    Err(err) => {
+                        issues.push(VerifyIssue {
+                            kind: VerifyIssueKind::Decode,
+                            key: Some(key.clone()),
+                            detail: format!("postings for {name:?} undecodable: {err}"),
+                        });
+                        continue;
+                    }
+                }
+            };
+            // Plain decode tolerates zero deltas after the first id, so
+            // ascent must be re-checked on the decoded ids here.
+            if let Some(w) = decoded.windows(2).find(|w| w[1] <= w[0]) {
+                issues.push(VerifyIssue {
+                    kind: VerifyIssueKind::Order,
+                    key: Some(key.clone()),
+                    detail: format!(
+                        "doc ids for {name:?} not strictly ascending: {} then {}",
+                        w[0], w[1]
+                    ),
+                });
+            }
+            if decoded.len() != e.doc_count as usize {
+                issues.push(VerifyIssue {
+                    kind: VerifyIssueKind::DocCount,
+                    key: Some(key.clone()),
+                    detail: format!(
+                        "directory says {} docs for {name:?}, payload decodes to {}",
+                        e.doc_count,
+                        decoded.len()
+                    ),
+                });
+            }
+            if let Some(bound) = doc_bound {
+                if let Some(&bad) = decoded.iter().find(|&&d| d >= bound) {
+                    issues.push(VerifyIssue {
+                        kind: VerifyIssueKind::DocRange,
+                        key: Some(key.clone()),
+                        detail: format!(
+                            "doc id {bad} for {name:?} is outside the corpus (bound {bound})"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(issues)
     }
 
     /// Reads one entry's raw payload bytes from disk (positioned read, so
@@ -559,6 +787,125 @@ mod tests {
         file.push(0);
         std::fs::write(&path, &file).unwrap();
         assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_files_carry_verifiable_checksums() {
+        let path = tmpfile("v3crc");
+        let ids: Vec<DocId> = (0..2_000).map(|i| i * 3).collect();
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"long", &Postings::from_sorted(&ids)).unwrap();
+        w.add(b"short", &Postings::from_sorted(&[1, 4])).unwrap();
+        let r = w.finish().unwrap();
+        assert!(r.checksummed());
+        assert!(r.verify(Some(6_000)).unwrap().is_empty());
+        // doc_bound below the max id is reported as a range issue.
+        let issues = r.verify(Some(10)).unwrap();
+        assert!(issues.iter().any(|i| i.kind == VerifyIssueKind::DocRange));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_detects_postings_corruption() {
+        let path = tmpfile("v3bitflip");
+        let ids: Vec<DocId> = (0..1_000).collect();
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"k", &Postings::from_sorted(&ids)).unwrap();
+        drop(w.finish().unwrap());
+        // Flip a byte in the middle of the postings section. The open
+        // path (header+dir CRC) still succeeds; verify() must flag it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - FOOTER_LEN as usize - 10;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = IndexReader::open(&path).unwrap();
+        let issues = r.verify(None).unwrap();
+        assert!(issues.iter().any(|i| i.kind == VerifyIssueKind::Checksum));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_rejects_directory_corruption_at_open() {
+        let path = tmpfile("v3dirflip");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"alpha", &Postings::from_sorted(&[1, 2, 3])).unwrap();
+        drop(w.finish().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the directory's key bytes: the entry still
+        // parses (same lengths) but the meta CRC catches the change.
+        let pos = 28 + 2; // header + key_len varint + 1 byte into "alpha"
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_rejects_bad_footer_magic() {
+        let path = tmpfile("v3footer");
+        let mut w = IndexWriter::create(&path).unwrap();
+        w.add(b"k", &Postings::from_sorted(&[5])).unwrap();
+        drop(w.finish().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let footer_start = bytes.len() - FOOTER_LEN as usize;
+        bytes[footer_start] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(IndexReader::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_versions_open_without_checksums() {
+        // A v2 file (no footer) must still open, report !checksummed(),
+        // and verify() runs the semantic checks only.
+        let path = tmpfile("v2legacy");
+        let postings = Postings::from_sorted(&[3, 9, 27]);
+        let mut dir = Vec::new();
+        varint::encode(2, &mut dir);
+        dir.extend_from_slice(b"ab");
+        varint::encode(postings.len() as u64, &mut dir);
+        dir.push(ENC_PLAIN);
+        varint::encode(postings.encoded().len() as u64, &mut dir);
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        file.extend_from_slice(&dir);
+        file.extend_from_slice(postings.encoded());
+        std::fs::write(&path, &file).unwrap();
+        let r = IndexReader::open(&path).unwrap();
+        assert!(!r.checksummed());
+        assert!(r.verify(Some(100)).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_non_ascending_plain_postings() {
+        // Zero deltas after the first id decode "successfully" into
+        // duplicate doc ids; verify() must catch what decode() tolerates.
+        let path = tmpfile("v2dupid");
+        let mut enc = Vec::new();
+        varint::encode(7, &mut enc); // doc 7
+        varint::encode(0, &mut enc); // delta 0 -> doc 7 again
+        let mut dir = Vec::new();
+        varint::encode(1, &mut dir);
+        dir.push(b'k');
+        varint::encode(2, &mut dir); // doc_count
+        dir.push(ENC_PLAIN);
+        varint::encode(enc.len() as u64, &mut dir);
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        file.extend_from_slice(&dir);
+        file.extend_from_slice(&enc);
+        std::fs::write(&path, &file).unwrap();
+        let r = IndexReader::open(&path).unwrap();
+        let issues = r.verify(None).unwrap();
+        assert!(issues.iter().any(|i| i.kind == VerifyIssueKind::Order));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -59,7 +59,12 @@ impl OpCounters {
     /// The subtree's index-work counters, captured at cursor drop; `None`
     /// if the cursor is still alive.
     pub fn final_stats(&self) -> Option<CursorStats> {
-        *self.final_stats.lock().expect("op counters poisoned")
+        // A poisoned slot only means a panicking thread dropped its
+        // cursor mid-write of this Copy value; the stats stay readable.
+        *self
+            .final_stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -41,7 +41,7 @@ pub use blocked::{BlockedCursor, BlockedPostings};
 pub use builder::IndexBuilder;
 pub use cursor::{CursorStats, PostingsCursor, SliceCursor};
 pub use error::{Error, Result};
-pub use format::{IndexReader, IndexWriter};
+pub use format::{IndexReader, IndexWriter, VerifyIssue, VerifyIssueKind};
 pub use instrument::{InstrumentedCursor, OpCounters};
 pub use memindex::MemIndex;
 pub use merge::{merge_indexes, union_keys, MergeInput};

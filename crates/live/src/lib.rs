@@ -36,7 +36,10 @@ mod live;
 mod view;
 
 pub use error::{Error, Result};
-pub use live::LiveIndex;
+pub use live::{
+    orphan_segment_ids, read_tombstones, LiveIndex, SEGMENTS_DIR, TOMBSTONES_FILE,
+    TOMBSTONES_HEADER, WAL_DIR, WAL_EPOCH_FILE,
+};
 pub use manifest::{Manifest, SegmentMeta};
 pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats};
 pub use snapshot::{LiveReader, Snapshot};

@@ -21,10 +21,21 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const WAL_DIR: &str = "wal";
-const WAL_EPOCH_FILE: &str = "wal.epoch";
-const TOMBSTONES_FILE: &str = "tombstones.log";
-const SEGMENTS_DIR: &str = "segments";
+/// WAL corpus-store directory name inside a live index directory.
+pub const WAL_DIR: &str = "wal";
+/// Epoch-stamp file name; must match the manifest's `wal_epoch`.
+pub const WAL_EPOCH_FILE: &str = "wal.epoch";
+/// Tombstone log file name.
+pub const TOMBSTONES_FILE: &str = "tombstones.log";
+/// Sealed-segments directory name.
+pub const SEGMENTS_DIR: &str = "segments";
+
+/// Version-2 tombstone-log header line. Entries that follow are
+/// `"<seq> <crc32-hex>"`, the CRC taken over the decimal sequence
+/// string, so a damaged digit can't silently resurrect (or delete) the
+/// wrong document. Headerless logs with bare `"<seq>"` lines are the
+/// legacy version-1 format and stay readable.
+pub const TOMBSTONES_HEADER: &str = "FREETOMB 2";
 
 /// An LSM-style incrementally updatable index over the FREE engine.
 ///
@@ -70,7 +81,7 @@ impl LiveIndex {
         CorpusWriter::create(dir.join(WAL_DIR))?.finish()?;
         std::fs::write(dir.join(WAL_EPOCH_FILE), "0\n")
             .map_err(|e| Error::io("write wal epoch", e))?;
-        std::fs::write(dir.join(TOMBSTONES_FILE), "")
+        std::fs::write(dir.join(TOMBSTONES_FILE), format!("{TOMBSTONES_HEADER}\n"))
             .map_err(|e| Error::io("write tombstones", e))?;
         LiveIndex::open(dir, config)
     }
@@ -289,7 +300,7 @@ impl LiveIndex {
             .append(true)
             .open(&path)
             .map_err(|e| Error::io(format!("open {}", path.display()), e))?;
-        writeln!(f, "{seq}").map_err(|e| Error::io("append tombstone", e))?;
+        writeln!(f, "{}", tombstone_line(seq)).map_err(|e| Error::io("append tombstone", e))?;
         Arc::make_mut(&mut self.deleted).insert(seq);
         self.generation += 1;
         self.publish();
@@ -377,6 +388,9 @@ impl LiveIndex {
     /// merged directory-by-directory (no re-mining — the merged key set
     /// is the union, completed per segment by a targeted gram scan for
     /// keys that segment never mined). Returns whether anything changed.
+    // `expect`: the rewrite path runs only when survivors exist, so
+    // `new_seqs` is non-empty (`new_seqs[0]` is read just above).
+    #[allow(clippy::expect_used)]
     pub fn compact(&mut self) -> Result<bool> {
         let mut span = self.config.engine.tracer.span("compact");
         self.flush()?;
@@ -657,20 +671,13 @@ impl LiveIndex {
 
     fn load_tombstones(&mut self) -> Result<()> {
         let path = self.dir.join(TOMBSTONES_FILE);
-        let text = match std::fs::read_to_string(&path) {
+        let (seqs, checksummed) = match read_tombstones(&path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-            Err(e) => return Err(Error::io(format!("read {}", path.display()), e)),
+            Err(Error::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(e),
         };
         let mut stale = false;
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let seq: DocId = line
-                .parse()
-                .map_err(|_| Error::Corrupt(format!("bad tombstone line {line:?}")))?;
+        for seq in seqs {
             // Tombstones whose docs a compaction already eliminated (a
             // crash can leave the log ahead of the manifest) are stale.
             if self.physically_present(seq) {
@@ -679,7 +686,7 @@ impl LiveIndex {
                 stale = true;
             }
         }
-        if stale {
+        if stale || !checksummed {
             self.rewrite_tombstones()?;
         }
         Ok(())
@@ -688,9 +695,10 @@ impl LiveIndex {
     fn rewrite_tombstones(&self) -> Result<()> {
         let path = self.dir.join(TOMBSTONES_FILE);
         let tmp = self.dir.join(format!("{TOMBSTONES_FILE}.tmp"));
-        let mut text = String::new();
-        for seq in self.deleted.iter() {
-            text.push_str(&format!("{seq}\n"));
+        let mut text = format!("{TOMBSTONES_HEADER}\n");
+        for &seq in self.deleted.iter() {
+            text.push_str(&tombstone_line(seq));
+            text.push('\n');
         }
         std::fs::write(&tmp, text).map_err(|e| Error::io(format!("write {}", tmp.display()), e))?;
         std::fs::rename(&tmp, &path).map_err(|e| Error::io("rename tombstones", e))
@@ -733,10 +741,64 @@ impl LiveIndex {
     }
 }
 
+/// One serialized tombstone entry: the sequence number plus the CRC32 of
+/// its decimal representation.
+fn tombstone_line(seq: DocId) -> String {
+    let digits = seq.to_string();
+    let crc = free_checksum::crc32(digits.as_bytes());
+    format!("{digits} {crc:08x}")
+}
+
+/// Reads a tombstone log without opening the index. Returns the logged
+/// sequence numbers (in file order, so duplicates survive for callers
+/// that care) and whether every entry carried a valid version-2
+/// checksum. Entries with a checksum are verified; a mismatch is
+/// [`Error::Corrupt`]. Missing files map to [`Error::NotFound`].
+pub fn read_tombstones(path: &Path) -> Result<(Vec<DocId>, bool)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(Error::NotFound(path.to_path_buf()))
+        }
+        Err(e) => return Err(Error::io(format!("read {}", path.display()), e)),
+    };
+    let mut seqs = Vec::new();
+    let mut checksummed = true;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line == TOMBSTONES_HEADER {
+            continue;
+        }
+        let (digits, crc_hex) = match line.split_once(' ') {
+            Some(parts) => parts,
+            None => {
+                // Legacy bare-number entry: readable, but unprotected.
+                checksummed = false;
+                (line, "")
+            }
+        };
+        let seq: DocId = digits
+            .parse()
+            .map_err(|_| Error::Corrupt(format!("bad tombstone line {line:?}")))?;
+        if !crc_hex.is_empty() {
+            let expected = u32::from_str_radix(crc_hex.trim(), 16)
+                .map_err(|_| Error::Corrupt(format!("bad tombstone checksum in {line:?}")))?;
+            let actual = free_checksum::crc32(digits.as_bytes());
+            if actual != expected {
+                return Err(Error::Corrupt(format!(
+                    "tombstone checksum mismatch in {line:?}"
+                )));
+            }
+        }
+        seqs.push(seq);
+    }
+    Ok((seqs, checksummed))
+}
+
 /// Segment ids with files under `seg_root` that the manifest does not
 /// name — leftovers from a compaction or flush that crashed (or whose
 /// cleanup failed) after committing. Sorted, deduplicated.
-fn orphan_segment_ids(seg_root: &Path, manifest: &Manifest) -> Vec<u64> {
+pub fn orphan_segment_ids(seg_root: &Path, manifest: &Manifest) -> Vec<u64> {
     let Ok(entries) = std::fs::read_dir(seg_root) else {
         return Vec::new();
     };

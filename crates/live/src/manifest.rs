@@ -23,13 +23,19 @@
 //! duplicated.
 
 use crate::error::{Error, Result};
+use free_checksum::crc32;
 use free_corpus::DocId;
 use std::path::{Path, PathBuf};
 
 /// Manifest file name inside the live index directory.
 pub const MANIFEST_FILE: &str = "live.manifest";
-/// First line of the manifest: format magic plus version.
-const HEADER: &str = "FREELIVE 1";
+/// Version-1 header: format magic plus version, no checksum.
+const HEADER_V1: &str = "FREELIVE 1";
+/// Version-2 header prefix; the rest of the line is the CRC32 of the
+/// manifest body (every byte after the header line) in lowercase hex.
+/// Putting the checksum in the *first* line means a torn or truncated
+/// rewrite is detected no matter where the damage lands.
+const HEADER_V2: &str = "FREELIVE 2 ";
 
 /// Committed description of one sealed segment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +91,13 @@ impl Manifest {
 
     /// Loads and validates the manifest in `dir`.
     pub fn load(dir: &Path) -> Result<Manifest> {
+        Ok(Manifest::load_with_format(dir)?.0)
+    }
+
+    /// Loads the manifest and reports whether it carried a version-2
+    /// checksummed header (`false` for legacy version-1 manifests, which
+    /// remain fully readable; fsck downgrades that to an advisory).
+    pub fn load_with_format(dir: &Path) -> Result<(Manifest, bool)> {
         let path = Manifest::path(dir);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -93,15 +106,31 @@ impl Manifest {
             }
             Err(e) => return Err(Error::io(format!("read {}", path.display()), e)),
         };
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
+        let (first, body) = text
+            .split_once('\n')
+            .ok_or_else(|| Error::Corrupt(format!("bad manifest header in {}", path.display())))?;
+        let checksummed = if first == HEADER_V1 {
+            false
+        } else if let Some(hex) = first.strip_prefix(HEADER_V2) {
+            let expected = u32::from_str_radix(hex.trim(), 16).map_err(|_| {
+                Error::Corrupt(format!("bad manifest checksum in {}", path.display()))
+            })?;
+            let actual = crc32(body.as_bytes());
+            if actual != expected {
+                return Err(Error::Corrupt(format!(
+                    "manifest checksum mismatch in {}: header says {expected:08x}, body is {actual:08x}",
+                    path.display()
+                )));
+            }
+            true
+        } else {
             return Err(Error::Corrupt(format!(
                 "bad manifest header in {}",
                 path.display()
             )));
-        }
+        };
         let mut m = Manifest::new();
-        for line in lines {
+        for line in body.lines() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -132,25 +161,25 @@ impl Manifest {
             }
         }
         m.validate()?;
-        Ok(m)
+        Ok((m, checksummed))
     }
 
     /// Atomically writes the manifest into `dir` (temp file + rename).
+    /// Always writes the version-2 checksummed header.
     pub fn store(&self, dir: &Path) -> Result<()> {
         self.validate()?;
-        let mut text = String::new();
-        text.push_str(HEADER);
-        text.push('\n');
-        text.push_str(&format!("generation={}\n", self.generation));
-        text.push_str(&format!("wal_base={}\n", self.wal_base));
-        text.push_str(&format!("wal_epoch={}\n", self.wal_epoch));
-        text.push_str(&format!("next_segment_id={}\n", self.next_segment_id));
+        let mut body = String::new();
+        body.push_str(&format!("generation={}\n", self.generation));
+        body.push_str(&format!("wal_base={}\n", self.wal_base));
+        body.push_str(&format!("wal_epoch={}\n", self.wal_epoch));
+        body.push_str(&format!("next_segment_id={}\n", self.next_segment_id));
         for s in &self.segments {
-            text.push_str(&format!(
+            body.push_str(&format!(
                 "segment={} {} {} {}\n",
                 s.id, s.first_seq, s.last_seq, s.num_docs
             ));
         }
+        let text = format!("{HEADER_V2}{:08x}\n{body}", crc32(body.as_bytes()));
         let path = Manifest::path(dir);
         let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
         std::fs::write(&tmp, text).map_err(|e| Error::io(format!("write {}", tmp.display()), e))?;
@@ -278,6 +307,39 @@ mod tests {
         let dir = tmpdir("garbage");
         std::fs::write(Manifest::path(&dir), "not a manifest\n").unwrap();
         assert!(matches!(Manifest::load(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_manifests_are_checksummed() {
+        let dir = tmpdir("v2crc");
+        let mut m = Manifest::new();
+        m.wal_base = 10;
+        m.store(&dir).unwrap();
+        let (loaded, checksummed) = Manifest::load_with_format(&dir).unwrap();
+        assert_eq!(loaded, m);
+        assert!(checksummed);
+        // Flipping any body byte must fail the header CRC.
+        let path = Manifest::path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("wal_base=10", "wal_base=11")).unwrap();
+        assert!(matches!(Manifest::load(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version1_manifests_still_load() {
+        let dir = tmpdir("v1compat");
+        std::fs::write(
+            Manifest::path(&dir),
+            "FREELIVE 1\ngeneration=4\nwal_base=7\nwal_epoch=2\nnext_segment_id=0\n",
+        )
+        .unwrap();
+        let (m, checksummed) = Manifest::load_with_format(&dir).unwrap();
+        assert!(!checksummed);
+        assert_eq!(m.generation, 4);
+        assert_eq!(m.wal_base, 7);
+        assert_eq!(m.wal_epoch, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

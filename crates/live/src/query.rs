@@ -100,6 +100,9 @@ fn class_rank(c: PlanClass) -> u8 {
 }
 
 /// Runs `pattern` over the live index view.
+// `expect`: `compile_plan` returns `None` only for scan plans, which
+// both call sites branch away from; `pop()` sits in the `len == 1` arm.
+#[allow(clippy::expect_used)]
 pub(crate) fn execute(
     inputs: &ExecInputs<'_>,
     pattern: &str,

@@ -87,6 +87,9 @@ impl Snapshot {
     }
 
     /// Reads one live document by sequence number.
+    // `expect`: `physically_present` was checked on entry, so the doc is
+    // guaranteed to be found in the buffer or in an owning segment.
+    #[allow(clippy::expect_used)]
     pub fn get(&self, seq: DocId) -> Result<Vec<u8>> {
         if !self.physically_present(seq) || self.deleted.contains(&seq) {
             return Err(Error::UnknownDoc(seq));

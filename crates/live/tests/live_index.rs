@@ -2,6 +2,9 @@
 //! reopen, crash recovery, and the differential invariant against a
 //! from-scratch batch build.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::{DocId, MemCorpus};
 use free_engine::{Engine, EngineConfig};
 use free_live::{Error, LiveConfig, LiveIndex};
@@ -366,4 +369,61 @@ fn copy_dir(from: &Path, to: &Path) {
         let entry = entry.unwrap();
         std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
     }
+}
+
+#[test]
+fn stale_wal_epoch_discards_wal_and_keeps_sealed_docs() {
+    // Simulate the crash window between a flush's manifest commit and
+    // its WAL reset: the docs are already sealed in a segment, so the
+    // stale WAL must be discarded on reopen — replaying it would
+    // duplicate them under new sequence numbers.
+    let dir = tmp_dir("stale-epoch");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()[..3]).unwrap();
+    live.flush().unwrap();
+    live.add(b"buffered only, not yet flushed").unwrap();
+    let live_docs = live.live_docs();
+    let next_seq = live.next_seq();
+    drop(live);
+    // Roll the epoch stamp back one flush: the WAL on disk now claims
+    // to hold docs the manifest says are already sealed.
+    std::fs::write(dir.join(free_live::WAL_EPOCH_FILE), "0\n").unwrap();
+    let reopened = LiveIndex::open(&dir, config()).unwrap();
+    // The buffered doc rode the stale WAL and is gone; the sealed ones
+    // survive. Nothing is duplicated.
+    assert_eq!(reopened.live_docs(), live_docs - 1);
+    assert_eq!(reopened.next_seq(), next_seq - 1);
+    let seqs = reopened.live_seqs();
+    assert_eq!(seqs.len(), live_docs - 1);
+    // The epoch stamp is repaired to match the manifest again.
+    let stamp = std::fs::read_to_string(dir.join(free_live::WAL_EPOCH_FILE)).unwrap();
+    assert_eq!(stamp.trim(), "1");
+    // And a second reopen is a no-op: state is stable.
+    let again = LiveIndex::open(&dir, config()).unwrap();
+    assert_eq!(again.live_docs(), live_docs - 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphaned_segment_files_removed_on_reopen() {
+    let dir = tmp_dir("orphan-cleanup");
+    let mut live = LiveIndex::create(&dir, config()).unwrap();
+    live.add_batch(&docs()).unwrap();
+    live.flush().unwrap();
+    drop(live);
+    // Plant files for a segment id the manifest does not name, as a
+    // crashed compaction would leave behind.
+    let seg_root = dir.join(free_live::SEGMENTS_DIR);
+    std::fs::write(seg_root.join("seg-99.idx"), b"junk").unwrap();
+    std::fs::write(seg_root.join("seg-99.seqs"), b"junk").unwrap();
+    let manifest = free_live::Manifest::load(&dir).unwrap();
+    assert_eq!(
+        free_live::orphan_segment_ids(&seg_root, &manifest),
+        vec![99]
+    );
+    let reopened = LiveIndex::open(&dir, config()).unwrap();
+    assert!(reopened.retired_segment_files().is_empty());
+    assert!(!seg_root.join("seg-99.idx").exists());
+    assert!(!seg_root.join("seg-99.seqs").exists());
+    let _ = std::fs::remove_dir_all(&dir);
 }

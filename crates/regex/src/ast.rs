@@ -78,6 +78,8 @@ impl Ast {
     }
 
     /// Concatenation that flattens nested concats and drops `Empty` nodes.
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     pub fn concat(nodes: Vec<Ast>) -> Ast {
         let mut out = Vec::with_capacity(nodes.len());
         for n in nodes {
@@ -95,6 +97,8 @@ impl Ast {
     }
 
     /// Alternation that flattens nested alternations.
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     pub fn alternate(nodes: Vec<Ast>) -> Ast {
         let mut out = Vec::with_capacity(nodes.len());
         for n in nodes {

@@ -16,7 +16,7 @@ use crate::nfa::Nfa;
 use crate::parser::{Parser, ParserConfig};
 use crate::pike::PikeVm;
 use crate::Span;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Configuration for compiling a [`Regex`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -129,10 +129,14 @@ impl Regex {
     }
 
     /// Whether `haystack` contains a match.
+    ///
+    /// The shared searcher recovers from lock poisoning: every search
+    /// starts from a fresh run state, and the lazy-DFA cache stays valid
+    /// across an unwound insert, so a panicked peer can't corrupt it.
     pub fn is_match(&self, haystack: &[u8]) -> bool {
         self.shared
             .lock()
-            .expect("searcher poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .is_match(&self.nfa, haystack)
     }
 
@@ -140,7 +144,7 @@ impl Regex {
     pub fn find(&self, haystack: &[u8]) -> Option<Match> {
         self.shared
             .lock()
-            .expect("searcher poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .find(&self.nfa, haystack)
     }
 
@@ -148,7 +152,7 @@ impl Regex {
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
         self.shared
             .lock()
-            .expect("searcher poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .find_all(&self.nfa, haystack)
     }
 

@@ -139,6 +139,9 @@ impl Nfa {
     }
 
     /// A representative byte for each input equivalence class.
+    // `expect`: class ids are assigned from observed bytes, so every
+    // class gains a representative in the loop above.
+    #[allow(clippy::expect_used)]
     pub fn byte_class_representatives(&self) -> Vec<u8> {
         let mut reps = vec![None; self.num_byte_classes as usize];
         for b in 0..=255u8 {
@@ -256,6 +259,9 @@ impl Compiler {
         }
     }
 
+    // `expect`: the parser never emits empty `Concat`/`Alternate` nodes
+    // (see `Ast::concat`/`Ast::alternate`), so both iterators yield.
+    #[allow(clippy::expect_used)]
     fn compile(&mut self, ast: &Ast) -> Result<Fragment> {
         match ast {
             Ast::Empty => {

@@ -125,6 +125,8 @@ impl<'p> Inner<'p> {
         SpannedAst::new(kind, Span::new(start, self.pos))
     }
 
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     fn alternation(&mut self) -> Result<SpannedAst> {
         let start = self.pos;
         let mut branches = vec![self.concat()?];
@@ -137,6 +139,8 @@ impl<'p> Inner<'p> {
         })
     }
 
+    // `expect`: `pop()` happens in the `len == 1` match arm.
+    #[allow(clippy::expect_used)]
     fn concat(&mut self) -> Result<SpannedAst> {
         let start = self.pos;
         let mut parts = Vec::new();

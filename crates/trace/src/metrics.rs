@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Number of histogram buckets: one per power of two of a `u64`.
@@ -195,6 +195,9 @@ enum Metric {
 ///
 /// Registration is get-or-create by name, so independent call sites can
 /// ask for the same metric and share the underlying atomic.
+/// Lock poisoning is deliberately ignored (`PoisonError::into_inner`):
+/// the map holds only atomics, so a panic in an unrelated thread can't
+/// leave it half-updated, and observability must not amplify a crash.
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<&'static str, (&'static str, Metric)>>,
@@ -212,7 +215,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let (_, metric) = metrics
             .entry(name)
             .or_insert_with(|| (help, Metric::Counter(Counter::new())));
@@ -227,7 +230,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let (_, metric) = metrics
             .entry(name)
             .or_insert_with(|| (help, Metric::Gauge(Gauge::new())));
@@ -242,7 +245,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let (_, metric) = metrics
             .entry(name)
             .or_insert_with(|| (help, Metric::Histogram(Histogram::new())));
@@ -256,7 +259,7 @@ impl Registry {
     /// format, sorted by name. Histogram buckets are cumulative, with
     /// empty buckets elided (except `+Inf`, which is always present).
     pub fn expose(&self) -> String {
-        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::new();
         for (name, (help, metric)) in metrics.iter() {
             match metric {

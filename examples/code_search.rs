@@ -10,6 +10,9 @@
 //! cargo run --release -p free-engine --example code_search
 //! ```
 
+// Example code: panicking on setup failure keeps the walkthrough
+// focused on the API being demonstrated.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::{Corpus, FsCorpus};
 use free_engine::{Engine, EngineConfig};
 

@@ -11,6 +11,9 @@
 //! cargo run --release -p free-engine --example log_hunt
 //! ```
 
+// Example code: panicking on setup failure keeps the walkthrough
+// focused on the API being demonstrated.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::{Corpus, MemCorpus};
 use free_engine::{baseline, Engine, EngineConfig};
 use std::time::Instant;

@@ -5,6 +5,9 @@
 //! cargo run --release -p free-engine --example quickstart
 //! ```
 
+// Example code: panicking on setup failure keeps the walkthrough
+// focused on the API being demonstrated.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::synth::{Generator, SynthConfig};
 use free_corpus::Corpus;
 use free_engine::{Engine, EngineConfig};

@@ -15,6 +15,9 @@
 //! add and delete do — so a reader's snapshot at generation `g` must
 //! match the model at the greatest recorded generation `<= g`.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::MemCorpus;
 use free_engine::{Engine, EngineConfig};
 use free_live::{LiveConfig, LiveIndex, LiveReader};

@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: corpus → index → engine, against the
 //! scan ground truth, with on-disk persistence in the loop.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::synth::{Generator, SynthConfig};
 use free_corpus::{Corpus, DiskCorpus, MemCorpus};
 use free_engine::{baseline, Engine, EngineConfig, IndexKind};

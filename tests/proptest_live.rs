@@ -4,6 +4,9 @@
 //! returns — same documents, same match spans — and must be identical
 //! across confirmation thread counts.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::MemCorpus;
 use free_engine::{Engine, EngineConfig};
 use free_live::{LiveConfig, LiveIndex};

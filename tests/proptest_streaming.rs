@@ -4,6 +4,9 @@
 //! format, and confirmation must return the same matches for any thread
 //! count.
 
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use free_corpus::MemCorpus;
 use free_engine::exec::stream::compile_plan;
 use free_engine::exec::{eval_plan, Candidates};
