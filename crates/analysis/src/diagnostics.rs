@@ -12,6 +12,7 @@
 //! | `FA201`–`FA299` | static cost classifier (INDEXED / WEAK / SCAN) |
 //! | `FA301`–`FA399` | live-index health (fragmentation, drift, tombstones) |
 //! | `FA400`–`FA499` | on-disk integrity (`free fsck`) |
+//! | `FA500`–`FA599` | sharded-index health and layout (imbalance, routing) |
 
 use free_engine::PlanClass;
 use free_regex::Span;
@@ -96,6 +97,23 @@ pub mod codes {
     /// Deep check: a postings list claims a sampled document that does
     /// not contain the gram (false positives cost time, not answers).
     pub const POSTINGS_EXTRA: &str = "FA431";
+    /// Live documents are heavily imbalanced across the shards of a
+    /// sharded live index (skewed deletes or an external writer).
+    pub const SHARD_IMBALANCE: &str = "FA501";
+    /// The sharded manifest commits a shard whose directory is missing
+    /// or is not a live index.
+    pub const SHARD_MISSING: &str = "FA502";
+    /// `shard-K` directories exist on disk beyond the committed shard
+    /// count; no query will ever consult them.
+    pub const ORPHANED_SHARD: &str = "FA503";
+    /// The cross-shard round-robin routing invariant is violated: some
+    /// global sequence number is missing from — or would be claimed by —
+    /// more than one shard. A *warning* when every excess document is
+    /// still buffered in a shard WAL (the shape an interrupted parallel
+    /// batch commit leaves; reopening the index truncates the
+    /// unacknowledged tail), an *error* when the excess is sealed into
+    /// segments and no automatic repair can run.
+    pub const SHARD_ROUTING: &str = "FA504";
 }
 
 /// How serious a finding is.

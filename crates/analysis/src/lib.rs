@@ -40,7 +40,9 @@ pub mod soundness;
 pub use diagnostics::{codes, Diagnostic, Report, Severity};
 pub use fsck::{fsck, FsckOptions, FsckReport};
 pub use lint::predicts_null;
-pub use live::{analyze_live, LiveAnalysisConfig, LiveHealth};
+pub use live::{
+    analyze_live, analyze_shards, LiveAnalysisConfig, LiveHealth, ShardAnalysisConfig, ShardHealth,
+};
 pub use soundness::SoundnessSummary;
 
 use free_engine::plan::logical::LogicalPlan;

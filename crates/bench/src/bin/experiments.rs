@@ -24,8 +24,12 @@
 //!               open+seek+read vs. one shared handle (pread) vs. pread
 //!               plus the sharded doc cache (report also written to
 //!               results/corpus_get.txt)
+//!   shard-scaling  sharded live-index scaling: ingest/build time and
+//!               fan-out query QPS + latency percentiles at 1/2/4/8
+//!               shards over the same synthetic corpus (report also
+//!               written to results/shard_scaling.txt)
 //!   all       everything above (except disk, grams, ingest, serve-load,
-//!             and corpus-get)
+//!             corpus-get, and shard-scaling)
 //!
 //! Options:
 //!   --docs N      number of synthetic pages (default 2000)
@@ -90,12 +94,15 @@ fn main() {
         .collect();
     }
 
-    // `disk`, `ingest`, `serve-load` and `corpus-get` build their own
-    // pipelines; only the paper figures need the four prebuilt in-memory
-    // indexes.
-    let needs_experiment = commands
-        .iter()
-        .any(|c| !matches!(c.as_str(), "disk" | "ingest" | "serve-load" | "corpus-get"));
+    // `disk`, `ingest`, `serve-load`, `corpus-get` and `shard-scaling`
+    // build their own pipelines; only the paper figures need the four
+    // prebuilt in-memory indexes.
+    let needs_experiment = commands.iter().any(|c| {
+        !matches!(
+            c.as_str(),
+            "disk" | "ingest" | "serve-load" | "corpus-get" | "shard-scaling"
+        )
+    });
     let experiment = if needs_experiment {
         eprintln!(
             "# building experiment: {} docs, seed {:#x}, c={}, repeats={}",
@@ -149,6 +156,7 @@ fn main() {
             "ingest" => run_ingest_bench(&config),
             "serve-load" => run_serve_load(&config),
             "corpus-get" => run_corpus_get_bench(&config),
+            "shard-scaling" => run_shard_scaling(&config),
             other => usage(&format!("unknown command {other}")),
         };
         println!("{rendered}");
@@ -796,6 +804,159 @@ fn run_corpus_get_bench(config: &ExperimentConfig) -> String {
     out
 }
 
+/// Sharded live-index scaling benchmark (`shard-scaling`): streams the
+/// same synthetic corpus into sharded live indexes at 1/2/4/8 shards,
+/// timing the full ingest (WAL append + memtable + threshold-triggered
+/// segment flushes, which run across shards in parallel) and a final
+/// compaction, then runs a fixed-duration query loop against composite
+/// snapshots — the plan-once / fan-out / k-way-merge read path, with one
+/// confirmation thread per shard. The report is also written to
+/// `results/shard_scaling.txt`.
+fn run_shard_scaling(config: &ExperimentConfig) -> String {
+    use free_bench::queries::benchmark_queries;
+    use std::fmt::Write as _;
+    use std::time::Duration;
+
+    const RUN_FOR: Duration = Duration::from_millis(1500);
+    const BATCH: usize = 256;
+
+    let queries: Vec<_> = benchmark_queries()
+        .into_iter()
+        .filter(|q| !q.expect_scan)
+        .take(4)
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // One cheap generation pass up front so the report states the real
+    // corpus size (generation is orders of magnitude cheaper than
+    // indexing the same bytes).
+    let corpus_bytes = {
+        let synth = free_corpus::synth::SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..free_corpus::synth::SynthConfig::default()
+        };
+        let generator = free_corpus::synth::Generator::new(synth);
+        let mut stream = generator.stream();
+        while stream.next_page().is_some() {}
+        stream.bytes_emitted()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Shard scaling — {} docs ({:.1} MiB) per build, batches of {BATCH}, \
+         {RUN_FOR:?} query loop, {cores} core(s)",
+        config.num_docs,
+        corpus_bytes as f64 / (1 << 20) as f64
+    );
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "(single-core host: shard parallelism cannot beat wall-clock here; \
+             the signal is that sharding adds no more than bounded overhead \
+             on build and query while keeping results byte-identical)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<8}{:>10}{:>11}{:>10}{:>10}{:>10}{:>11}{:>11}",
+        "shards", "build", "docs/s", "MiB/s", "compact", "QPS", "p50", "p99"
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let dir = std::env::temp_dir().join(format!(
+            "free-shard-scaling-{}-{shards}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let synth = free_corpus::synth::SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..free_corpus::synth::SynthConfig::default()
+        };
+        let generator = free_corpus::synth::Generator::new(synth);
+        let mut stream = generator.stream();
+        let mut live = free_live::ShardedLiveIndex::create(
+            &dir,
+            free_live::LiveConfig {
+                engine: free_engine::EngineConfig {
+                    usefulness_threshold: config.usefulness_threshold,
+                    max_gram_len: config.max_gram_len,
+                    ..free_engine::EngineConfig::default()
+                },
+                // Per-shard threshold: aim for a handful of flushes per
+                // shard over the run regardless of the shard count.
+                flush_threshold_docs: (config.num_docs / 8 / shards).max(BATCH),
+                ..free_live::LiveConfig::default()
+            },
+            shards,
+        )
+        .expect("create sharded index");
+
+        let t = Instant::now();
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        while stream.next_batch(BATCH, &mut batch) > 0 {
+            live.add_batch(&batch).expect("ingest batch");
+        }
+        live.flush().expect("final flush");
+        let build = t.elapsed();
+        let total_bytes = stream.bytes_emitted();
+        let docs_per_sec = config.num_docs as f64 / build.as_secs_f64();
+        let mib_per_sec = total_bytes as f64 / (1 << 20) as f64 / build.as_secs_f64();
+
+        let t = Instant::now();
+        live.compact().expect("compact");
+        let compact_time = t.elapsed();
+
+        // Fixed-duration fan-out query loop over one composite snapshot,
+        // one confirmation thread per shard.
+        let latency = free_trace::Histogram::new();
+        let snapshot = live.snapshot();
+        let started = Instant::now();
+        let mut served = 0u64;
+        let mut i = 0usize;
+        while started.elapsed() < RUN_FOR {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            let qt = Instant::now();
+            let result = snapshot
+                .query_with(q.pattern, shards, false)
+                .expect("fan-out query");
+            latency.observe_duration(qt.elapsed());
+            std::hint::black_box(result.matches.len());
+            served += 1;
+        }
+        let qps = served as f64 / started.elapsed().as_secs_f64();
+
+        let _ = writeln!(
+            out,
+            "{:<8}{:>10}{:>11.0}{:>10.1}{:>10}{:>10.0}{:>11}{:>11}",
+            shards,
+            format!("{build:.2?}"),
+            docs_per_sec,
+            mib_per_sec,
+            format!("{compact_time:.2?}"),
+            qps,
+            format!("{:.2?}", Duration::from_nanos(latency.quantile(0.50))),
+            format!("{:.2?}", Duration::from_nanos(latency.quantile(0.99))),
+        );
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Hour-scale corpora at paper scale: persist after every row so
+        // an interrupted run still leaves a usable partial report.
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/shard_scaling.txt", &out))
+        {
+            eprintln!("# could not write results/shard_scaling.txt: {e}");
+        } else {
+            eprintln!("# report written to results/shard_scaling.txt ({shards} shard row done)");
+        }
+    }
+    out
+}
+
 fn expect_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
     *i += 1;
     let raw = args
@@ -820,7 +981,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments [--docs N] [--seed S] [--c X] [--repeats N] [--csv DIR] \
          <table3|fig9|fig10|fig11|fig12|latency|ablate|disk|grams|ingest|serve-load|\
-         corpus-get|all>..."
+         corpus-get|shard-scaling|all>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -36,6 +36,8 @@ pub enum CliError {
     Manifest(String),
     /// I/O around the index directory.
     Io(std::io::Error),
+    /// An argument value is invalid (wrong range, not a valid option).
+    Usage(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -45,6 +47,7 @@ impl std::fmt::Display for CliError {
             CliError::Live(e) => write!(f, "{e}"),
             CliError::Manifest(m) => write!(f, "manifest error: {m}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
         }
     }
 }
@@ -406,10 +409,294 @@ fn live_config(threads: usize) -> free_live::LiveConfig {
     }
 }
 
+/// A live index of either on-disk layout — single-writer
+/// ([`free_live::LiveIndex`]) or sharded
+/// ([`free_live::ShardedLiveIndex`], detected by its `sharded.manifest`)
+/// — so every live subcommand works on both transparently.
+pub enum LiveHandle {
+    /// An unsharded live index.
+    Plain(free_live::LiveIndex),
+    /// A sharded live index.
+    Sharded(free_live::ShardedLiveIndex),
+}
+
+/// An aggregate shape summary (for output lines shared by both layouts).
+#[derive(Clone, Copy, Debug)]
+pub struct LiveShape {
+    /// Sealed segments (summed across shards).
+    pub segments: usize,
+    /// Write-buffer documents (summed across shards).
+    pub memtable_docs: usize,
+    /// Tombstones not yet reclaimed.
+    pub tombstones: usize,
+    /// Live (queryable) documents.
+    pub live_docs: usize,
+}
+
+impl LiveHandle {
+    /// Opens the live index at `dir`, auto-detecting its layout.
+    pub fn open(dir: &Path, config: free_live::LiveConfig) -> free_live::Result<LiveHandle> {
+        if free_live::is_sharded(dir) {
+            Ok(LiveHandle::Sharded(free_live::ShardedLiveIndex::open(
+                dir, config,
+            )?))
+        } else {
+            Ok(LiveHandle::Plain(free_live::LiveIndex::open(dir, config)?))
+        }
+    }
+
+    /// Opens the live index at `dir`, creating an unsharded one when the
+    /// directory holds neither layout (use `free create --shards N` for
+    /// a sharded index).
+    pub fn open_or_create(
+        dir: &Path,
+        config: free_live::LiveConfig,
+    ) -> free_live::Result<LiveHandle> {
+        if free_live::is_sharded(dir) {
+            Ok(LiveHandle::Sharded(free_live::ShardedLiveIndex::open(
+                dir, config,
+            )?))
+        } else {
+            Ok(LiveHandle::Plain(free_live::LiveIndex::open_or_create(
+                dir, config,
+            )?))
+        }
+    }
+
+    /// Number of shards (1 for the plain layout).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            LiveHandle::Plain(_) => 1,
+            LiveHandle::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    /// Adds a batch of documents, returning their global sequence numbers.
+    pub fn add_batch<D: AsRef<[u8]>>(&mut self, docs: &[D]) -> free_live::Result<Vec<u32>> {
+        match self {
+            LiveHandle::Plain(l) => l.add_batch(docs),
+            LiveHandle::Sharded(s) => s.add_batch(docs),
+        }
+    }
+
+    /// Tombstones one document by global sequence number.
+    pub fn delete(&mut self, seq: u32) -> free_live::Result<()> {
+        match self {
+            LiveHandle::Plain(l) => l.delete(seq),
+            LiveHandle::Sharded(s) => s.delete(seq),
+        }
+    }
+
+    /// Seals the write buffer(s).
+    pub fn flush(&mut self) -> free_live::Result<bool> {
+        match self {
+            LiveHandle::Plain(l) => l.flush(),
+            LiveHandle::Sharded(s) => s.flush(),
+        }
+    }
+
+    /// Compacts all segments (every shard in parallel when sharded).
+    pub fn compact(&mut self) -> free_live::Result<bool> {
+        match self {
+            LiveHandle::Plain(l) => l.compact(),
+            LiveHandle::Sharded(s) => s.compact(),
+        }
+    }
+
+    /// Live (queryable) documents.
+    pub fn live_docs(&self) -> usize {
+        match self {
+            LiveHandle::Plain(l) => l.live_docs(),
+            LiveHandle::Sharded(s) => s.live_docs(),
+        }
+    }
+
+    /// Runs a query with the configured thread count.
+    pub fn query(&self, pattern: &str) -> free_live::Result<free_live::LiveQueryResult> {
+        match self {
+            LiveHandle::Plain(l) => l.query(pattern),
+            LiveHandle::Sharded(s) => s.query(pattern),
+        }
+    }
+
+    /// A cheap cloneable read handle for concurrent queries.
+    pub fn reader(&self) -> ReaderHandle {
+        match self {
+            LiveHandle::Plain(l) => ReaderHandle::Plain(l.reader()),
+            LiveHandle::Sharded(s) => ReaderHandle::Sharded(s.reader()),
+        }
+    }
+
+    /// The aggregate shape (summed across shards when sharded).
+    pub fn shape(&self) -> LiveShape {
+        match self {
+            LiveHandle::Plain(l) => {
+                let s = l.stats();
+                LiveShape {
+                    segments: s.segments.len(),
+                    memtable_docs: s.memtable_docs,
+                    tombstones: s.tombstones,
+                    live_docs: s.live_docs,
+                }
+            }
+            LiveHandle::Sharded(idx) => {
+                let per = idx.shard_stats();
+                LiveShape {
+                    segments: per.iter().map(|s| s.segments.len()).sum(),
+                    memtable_docs: per.iter().map(|s| s.memtable_docs).sum(),
+                    tombstones: per.iter().map(|s| s.tombstones).sum(),
+                    live_docs: per.iter().map(|s| s.live_docs).sum(),
+                }
+            }
+        }
+    }
+
+    /// Index shape as one JSON object. Plain indexes keep their original
+    /// schema; sharded ones add `"shards"` and a `"per_shard"` breakdown.
+    pub fn stats_json(&self) -> String {
+        match self {
+            LiveHandle::Plain(l) => l.stats().to_json(),
+            LiveHandle::Sharded(s) => sharded_stats_json(s),
+        }
+    }
+}
+
+/// Aggregate + per-shard stats of a sharded index as one JSON object.
+fn sharded_stats_json(idx: &free_live::ShardedLiveIndex) -> String {
+    let per = idx.shard_stats();
+    let per_shard = per
+        .iter()
+        .enumerate()
+        .map(|(s, stats)| {
+            let mut o = free_trace::json::JsonObject::new();
+            o.field_u64("shard", s as u64)
+                .field_raw("stats", stats.to_json());
+            o.finish()
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut o = free_trace::json::JsonObject::new();
+    o.field_u64("shards", idx.num_shards() as u64)
+        .field_u64("generation", idx.generation())
+        .field_u64("next_seq", u64::from(idx.next_seq()))
+        .field_u64(
+            "num_segments",
+            per.iter().map(|s| s.segments.len()).sum::<usize>() as u64,
+        )
+        .field_u64(
+            "memtable_docs",
+            per.iter().map(|s| s.memtable_docs).sum::<usize>() as u64,
+        )
+        .field_u64(
+            "tombstones",
+            per.iter().map(|s| s.tombstones).sum::<usize>() as u64,
+        )
+        .field_u64(
+            "live_docs",
+            per.iter().map(|s| s.live_docs).sum::<usize>() as u64,
+        )
+        .field_u64(
+            "total_bytes",
+            per.iter().map(|s| s.total_bytes).sum::<u64>(),
+        )
+        .field_raw("per_shard", format!("[{per_shard}]"));
+    o.finish()
+}
+
+/// A read handle over either layout (what `free serve` queries from).
+#[derive(Clone)]
+pub enum ReaderHandle {
+    /// Unsharded reader.
+    Plain(free_live::LiveReader),
+    /// Sharded reader.
+    Sharded(free_live::ShardedReader),
+}
+
+impl ReaderHandle {
+    /// The freshest published snapshot.
+    pub fn snapshot(&self) -> SnapshotHandle {
+        match self {
+            ReaderHandle::Plain(r) => SnapshotHandle::Plain(r.snapshot()),
+            ReaderHandle::Sharded(r) => SnapshotHandle::Sharded(r.snapshot()),
+        }
+    }
+
+    /// Generation of the freshest published snapshot.
+    pub fn generation(&self) -> u64 {
+        match self {
+            ReaderHandle::Plain(r) => r.generation(),
+            ReaderHandle::Sharded(r) => r.generation(),
+        }
+    }
+}
+
+/// A frozen consistent view over either layout.
+pub enum SnapshotHandle {
+    /// Unsharded snapshot.
+    Plain(std::sync::Arc<free_live::Snapshot>),
+    /// Sharded composite snapshot.
+    Sharded(std::sync::Arc<free_live::ShardedSnapshot>),
+}
+
+impl SnapshotHandle {
+    /// Generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        match self {
+            SnapshotHandle::Plain(s) => s.generation(),
+            SnapshotHandle::Sharded(s) => s.generation(),
+        }
+    }
+
+    /// Runs a query against this frozen view.
+    pub fn query_with(
+        &self,
+        pattern: &str,
+        threads: usize,
+        want_spans: bool,
+    ) -> free_live::Result<free_live::LiveQueryResult> {
+        match self {
+            SnapshotHandle::Plain(s) => s.query_with(pattern, threads, want_spans),
+            SnapshotHandle::Sharded(s) => s.query_with(pattern, threads, want_spans),
+        }
+    }
+
+    /// Reads one live document by global sequence number.
+    pub fn get(&self, seq: u32) -> free_live::Result<Vec<u8>> {
+        match self {
+            SnapshotHandle::Plain(s) => s.get(seq),
+            SnapshotHandle::Sharded(s) => s.get(seq),
+        }
+    }
+}
+
+/// `free create`: initializes an empty live index at `dir` — unsharded
+/// for `shards == 1`, otherwise partitioned over `shards` independent
+/// shards with round-robin document routing (the count is fixed for the
+/// lifetime of the directory).
+pub fn live_create(dir: &Path, shards: usize) -> Result<String> {
+    if shards == 0 {
+        return Err(CliError::Usage(format!(
+            "--shards must be between 1 and {} (got 0)",
+            free_live::MAX_SHARDS
+        )));
+    }
+    if shards == 1 {
+        free_live::LiveIndex::create(dir, live_config(0))?;
+        Ok(format!("created live index at {}\n", dir.display()))
+    } else {
+        free_live::ShardedLiveIndex::create(dir, live_config(0), shards)?;
+        Ok(format!(
+            "created live index at {} with {shards} shards\n",
+            dir.display()
+        ))
+    }
+}
+
 /// `free add`: ingests each file as one document into the live index at
-/// `dir` (created on first use), printing the assigned sequence numbers.
+/// `dir` (created unsharded on first use), printing the assigned
+/// sequence numbers.
 pub fn live_add(dir: &Path, files: &[PathBuf]) -> Result<String> {
-    let mut live = free_live::LiveIndex::open_or_create(dir, live_config(0))?;
+    let mut live = LiveHandle::open_or_create(dir, live_config(0))?;
     let mut docs = Vec::with_capacity(files.len());
     for f in files {
         docs.push(std::fs::read(f)?);
@@ -419,20 +706,18 @@ pub fn live_add(dir: &Path, files: &[PathBuf]) -> Result<String> {
     for (f, id) in files.iter().zip(&ids) {
         let _ = writeln!(out, "added {} as doc {id}", f.display());
     }
-    let stats = live.stats();
+    let shape = live.shape();
     let _ = writeln!(
         out,
         "# {} live doc(s), {} segment(s), {} buffered",
-        stats.live_docs,
-        stats.segments.len(),
-        stats.memtable_docs
+        shape.live_docs, shape.segments, shape.memtable_docs
     );
     Ok(out)
 }
 
 /// `free delete`: tombstones documents by sequence number.
 pub fn live_delete(dir: &Path, seqs: &[u32]) -> Result<String> {
-    let mut live = free_live::LiveIndex::open(dir, live_config(0))?;
+    let mut live = LiveHandle::open(dir, live_config(0))?;
     let mut out = String::new();
     for &seq in seqs {
         live.delete(seq)?;
@@ -443,27 +728,23 @@ pub fn live_delete(dir: &Path, seqs: &[u32]) -> Result<String> {
 }
 
 /// `free compact`: flushes the write buffer and merges all segments into
-/// one, reclaiming tombstoned documents.
+/// one (per shard, in parallel, when sharded), reclaiming tombstoned
+/// documents.
 pub fn live_compact(dir: &Path) -> Result<String> {
-    let mut live = free_live::LiveIndex::open(dir, live_config(0))?;
-    let before = live.stats();
+    let mut live = LiveHandle::open(dir, live_config(0))?;
+    let before = live.shape();
     let changed = live.compact()?;
-    let after = live.stats();
-    if !changed && before.segments.len() == after.segments.len() {
+    let after = live.shape();
+    if !changed && before.segments == after.segments {
         return Ok(format!(
             "nothing to compact: {} segment(s), {} tombstone(s)\n",
-            after.segments.len(),
-            after.tombstones
+            after.segments, after.tombstones
         ));
     }
     Ok(format!(
         "compacted {} segment(s) + {} buffered doc(s) ({} tombstone(s) reclaimed) \
          into {} segment(s); {} live doc(s)\n",
-        before.segments.len(),
-        before.memtable_docs,
-        before.tombstones,
-        after.segments.len(),
-        after.live_docs
+        before.segments, before.memtable_docs, before.tombstones, after.segments, after.live_docs
     ))
 }
 
@@ -473,6 +754,9 @@ pub fn live_compact(dir: &Path) -> Result<String> {
 /// error-severity (e.g. `FA304` snapshot lag), so scripts and CI can
 /// gate on index health without parsing the output.
 pub fn live_segments(dir: &Path, json: bool) -> Result<(String, i32)> {
+    if free_live::is_sharded(dir) {
+        return sharded_segments(dir, json);
+    }
     let live = free_live::LiveIndex::open(dir, live_config(0))?;
     let stats = live.stats();
     let drift = live.key_set_drift()?;
@@ -523,6 +807,122 @@ pub fn live_segments(dir: &Path, json: bool) -> Result<(String, i32)> {
     Ok((out, exit_code))
 }
 
+/// Renders a diagnostic list as a JSON array body (no brackets).
+fn diags_to_json(diags: &[free_analyze::Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| {
+            let mut o = free_trace::json::JsonObject::new();
+            o.field_str("code", d.code)
+                .field_str("severity", &d.severity.to_string())
+                .field_str("message", &d.message);
+            if let Some(s) = &d.suggestion {
+                o.field_str("suggestion", s);
+            }
+            o.finish()
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `free segments` over a sharded index: per-shard health (each shard's
+/// diagnostics prefixed `shard N:`) plus cross-shard balance checks
+/// (`FA501`), aggregated into one report. JSON output carries the
+/// aggregate under `"stats"` and a `"per_shard"` breakdown.
+fn sharded_segments(dir: &Path, json: bool) -> Result<(String, i32)> {
+    let idx = free_live::ShardedLiveIndex::open(dir, live_config(0))?;
+    let per = idx.shard_stats();
+    let mut diags = Vec::new();
+    let mut drifts = Vec::with_capacity(per.len());
+    for (s, (live, stats)) in idx.shards().iter().zip(&per).enumerate() {
+        let drift = live.key_set_drift()?;
+        drifts.push(drift);
+        let health = free_analyze::LiveHealth {
+            num_segments: stats.segments.len(),
+            memtable_docs: stats.memtable_docs,
+            live_docs: stats.live_docs,
+            tombstoned_docs: stats.tombstones,
+            drift_fraction: drift,
+            retired_segment_files: live.retired_segment_files().len(),
+            snapshot_lag: live.snapshot_lag(),
+        };
+        for mut d in
+            free_analyze::analyze_live(&health, &free_analyze::LiveAnalysisConfig::default())
+        {
+            d.message = format!("shard {s}: {}", d.message);
+            diags.push(d);
+        }
+    }
+    let balance = free_analyze::ShardHealth {
+        live_docs_per_shard: per.iter().map(|s| s.live_docs).collect(),
+    };
+    diags.extend(free_analyze::analyze_shards(
+        &balance,
+        &free_analyze::ShardAnalysisConfig::default(),
+    ));
+    let exit_code = i32::from(
+        diags
+            .iter()
+            .any(|d| d.severity == free_analyze::Severity::Error),
+    );
+    let segments: usize = per.iter().map(|s| s.segments.len()).sum();
+    let live_docs: usize = per.iter().map(|s| s.live_docs).sum();
+    let tombstones: usize = per.iter().map(|s| s.tombstones).sum();
+    if json {
+        let per_shard = per
+            .iter()
+            .enumerate()
+            .map(|(s, stats)| {
+                let mut o = free_trace::json::JsonObject::new();
+                o.field_u64("shard", s as u64)
+                    .field_raw("stats", stats.to_json())
+                    .field_f64("drift_fraction", drifts[s]);
+                o.finish()
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut agg = free_trace::json::JsonObject::new();
+        agg.field_u64("generation", idx.generation())
+            .field_u64("next_seq", u64::from(idx.next_seq()))
+            .field_u64("num_segments", segments as u64)
+            .field_u64(
+                "memtable_docs",
+                per.iter().map(|s| s.memtable_docs).sum::<usize>() as u64,
+            )
+            .field_u64("tombstones", tombstones as u64)
+            .field_u64("live_docs", live_docs as u64)
+            .field_u64(
+                "total_bytes",
+                per.iter().map(|s| s.total_bytes).sum::<u64>(),
+            );
+        let mut o = free_trace::json::JsonObject::new();
+        o.field_u64("shards", idx.num_shards() as u64)
+            .field_raw("stats", agg.finish())
+            .field_raw("per_shard", format!("[{per_shard}]"))
+            .field_raw("diagnostics", format!("[{}]", diags_to_json(&diags)));
+        return Ok((format!("{}\n", o.finish()), exit_code));
+    }
+    let mut out = format!(
+        "sharded live index: {} shard(s), generation {}, next seq {}\n\
+         # total: {live_docs} live doc(s), {segments} segment(s), {tombstones} tombstone(s)\n",
+        idx.num_shards(),
+        idx.generation(),
+        idx.next_seq(),
+    );
+    for (s, stats) in per.iter().enumerate() {
+        let _ = writeln!(out, "-- shard {s} --");
+        out.push_str(&stats.render_human());
+        let _ = writeln!(out, "key-set drift: {:.0}%", drifts[s] * 100.0);
+    }
+    for d in &diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "  help: {s}");
+        }
+    }
+    Ok((out, exit_code))
+}
+
 /// `free fsck`: verifies on-disk index state (live directory, batch
 /// index directory, corpus store, or bare index file) without mutating
 /// anything. `deep` additionally re-mines `sample` documents per segment
@@ -544,7 +944,7 @@ pub fn fsck(path: &Path, deep: bool, sample: usize, json: bool) -> Result<(Strin
 /// `free search --live`: queries the live index, printing one line per
 /// matching document.
 pub fn live_search(dir: &Path, pattern: &str, threads: usize) -> Result<String> {
-    let live = free_live::LiveIndex::open(dir, live_config(threads))?;
+    let live = LiveHandle::open(dir, live_config(threads))?;
     let result = live.query(pattern)?;
     let mut out = String::new();
     for m in &result.matches {
@@ -735,6 +1135,70 @@ mod tests {
         build_index(&options).unwrap();
         std::fs::write(options.index_dir.join("manifest.txt"), "not key value\n").unwrap();
         assert!(SearchIndex::open(&options.index_dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_live_cli_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("freegrep-shardcli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let live_dir = dir.join("live");
+        let files: Vec<PathBuf> = (0..6)
+            .map(|i| {
+                let p = dir.join(format!("doc{i}.txt"));
+                let kind = if i % 2 == 0 { "even" } else { "odd" };
+                std::fs::write(&p, format!("document {i} with needle_{kind}\n")).unwrap();
+                p
+            })
+            .collect();
+
+        // A zero shard count is a usage error, not a silent unsharded
+        // index.
+        let zero = live_create(&live_dir, 0);
+        assert!(
+            matches!(&zero, Err(CliError::Usage(m)) if m.contains("--shards")),
+            "{zero:?}"
+        );
+        assert!(!live_dir.exists(), "--shards 0 must not create anything");
+
+        let created = live_create(&live_dir, 4).unwrap();
+        assert!(created.contains("4 shards"), "{created}");
+        // Creating over an existing index must refuse, not clobber.
+        assert!(live_create(&live_dir, 2).is_err());
+
+        let out = live_add(&live_dir, &files).unwrap();
+        assert!(
+            out.contains("as doc 0") && out.contains("as doc 5"),
+            "{out}"
+        );
+        assert!(out.contains("# 6 live doc(s)"), "{out}");
+
+        let found = live_search(&live_dir, "needle_even", 1).unwrap();
+        assert!(
+            found.contains("doc 0:") && found.contains("doc 2:") && found.contains("doc 4:"),
+            "{found}"
+        );
+        assert!(found.contains("# 3 matching doc(s) of 6 live"), "{found}");
+
+        let del = live_delete(&live_dir, &[2]).unwrap();
+        assert!(del.contains("# 5 live doc(s) remain"), "{del}");
+        let comp = live_compact(&live_dir).unwrap();
+        assert!(comp.contains("compacted"), "{comp}");
+
+        let (json, code) = live_segments(&live_dir, true).unwrap();
+        assert_eq!(code, 0, "{json}");
+        assert!(json.contains("\"shards\":4"), "{json}");
+        assert!(json.contains("\"per_shard\":["), "{json}");
+        assert!(json.contains("\"live_docs\":5"), "{json}");
+        let (human, code) = live_segments(&live_dir, false).unwrap();
+        assert_eq!(code, 0, "{human}");
+        assert!(human.contains("sharded live index: 4 shard(s)"), "{human}");
+        assert!(human.contains("-- shard 3 --"), "{human}");
+
+        // fsck auto-detects the sharded layout and verifies every shard.
+        let (fsck_out, code) = fsck(&live_dir, false, 4, false).unwrap();
+        assert_eq!(code, 0, "{fsck_out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

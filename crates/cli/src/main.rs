@@ -7,6 +7,7 @@
 //! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
 //! freegrep metrics [--index DIR] [PATTERN]
+//! freegrep create [--dir DIR] [--shards N]
 //! freegrep add [--dir DIR] <FILE>...
 //! freegrep delete [--dir DIR] <SEQ>...
 //! freegrep compact [--dir DIR]
@@ -189,6 +190,26 @@ fn run(args: &[String]) -> CmdResult {
                 _ => Ok((format!("{}\n", index.stats()), 0)),
             }
         }
+        "create" => {
+            let mut dir = PathBuf::from(freegrep::DEFAULT_LIVE_DIR);
+            let mut shards = 1usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--dir" => {
+                        i += 1;
+                        dir = value(rest, i, "--dir")?.into();
+                    }
+                    "--shards" => {
+                        i += 1;
+                        shards = value(rest, i, "--shards")?.parse()?;
+                    }
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            Ok((freegrep::live_create(&dir, shards)?, 0))
+        }
         "add" | "delete" | "compact" | "segments" => {
             let mut dir = PathBuf::from(freegrep::DEFAULT_LIVE_DIR);
             let mut json = false;
@@ -304,6 +325,7 @@ fn usage() -> String {
      freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>\n  \
      freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n  \
      freegrep metrics [--index DIR] [PATTERN]\n  \
+     freegrep create [--dir DIR] [--shards N]\n  \
      freegrep add [--dir DIR] <FILE>...\n  \
      freegrep delete [--dir DIR] <SEQ>...\n  \
      freegrep compact [--dir DIR]\n  \
@@ -316,8 +338,11 @@ fn usage() -> String {
      and renders estimated vs. actual work per plan node\n\
      metrics dumps the process metrics registry in Prometheus text format \
      (run with a PATTERN to populate it from one query first)\n\
+     create initializes an empty live index; --shards N > 1 partitions it \
+     over N parallel shards (fixed for the directory's lifetime)\n\
      add/delete/compact/segments operate a live (incrementally updatable) \
-     index in DIR (default ./.freelive); search --live DIR queries it\n\
+     index in DIR (default ./.freelive), sharded or not; \
+     search --live DIR queries it\n\
      fsck verifies on-disk state (live dir, batch index dir, corpus store, \
      or bare index file; default ./.freelive) without mutating anything; \
      --deep re-mines --sample N docs per segment (default 64) to prove the \

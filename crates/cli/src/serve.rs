@@ -19,12 +19,14 @@
 //! `"ok":false` with an `"error"` string; a malformed line never kills
 //! the connection.
 //!
-//! Concurrency model: queries are served from [`free_live::LiveReader`]
-//! snapshots and never take the writer lock, so any number of
-//! connections can search while an `add`/`delete`/`flush`/`compact`
-//! command holds the single writer (a `Mutex<LiveIndex>`). Workers are
-//! a fixed thread pool fed by a channel; each worker owns one
-//! connection at a time.
+//! Concurrency model: queries are served from read-handle snapshots
+//! ([`free_live::LiveReader`] or, for a sharded directory,
+//! [`free_live::ShardedReader`]) and never take the writer lock, so any
+//! number of connections can search while an
+//! `add`/`delete`/`flush`/`compact` command holds the single writer (a
+//! `Mutex<LiveHandle>`; sharded writes still fan out across shards
+//! inside it). Workers are a fixed thread pool fed by a channel; each
+//! worker owns one connection at a time.
 //!
 //! Shutdown is a protocol command rather than a signal handler (the
 //! workspace forbids `unsafe`, which rules out `sigaction`): on
@@ -34,8 +36,7 @@
 //! every worker finishes the requests already in flight before the
 //! server returns.
 
-use crate::{CliError, Result};
-use free_live::{LiveIndex, LiveReader};
+use crate::{CliError, LiveHandle, ReaderHandle, Result};
 use free_trace::json::{JsonArray, JsonObject};
 use free_trace::JsonValue;
 use std::io::{BufRead, BufReader, Write};
@@ -79,8 +80,8 @@ impl ServeOptions {
 /// Shared server state: the serialized writer, the lock-free read
 /// handle, and the observability endpoints.
 struct ServeCtx {
-    writer: Mutex<LiveIndex>,
-    reader: LiveReader,
+    writer: Mutex<LiveHandle>,
+    reader: ReaderHandle,
     addr: SocketAddr,
     threads: usize,
     shutdown: AtomicBool,
@@ -99,7 +100,7 @@ struct ServeCtx {
 /// discover an ephemeral port), then serves connections on a fixed
 /// worker pool. Returns once every in-flight request has been answered.
 pub fn serve(options: &ServeOptions, announce: impl FnOnce(SocketAddr)) -> Result<()> {
-    let live = LiveIndex::open_or_create(&options.dir, crate::live_config(options.threads))?;
+    let live = LiveHandle::open_or_create(&options.dir, crate::live_config(options.threads))?;
     let listener = TcpListener::bind(("127.0.0.1", options.port))?;
     let addr = listener.local_addr()?;
     let workers = if options.workers == 0 {
@@ -318,9 +319,9 @@ fn execute_request(
     }
     if request.get("stats").is_some() {
         span.record("kind", "stats");
-        let stats = lock_writer(ctx).stats();
+        let stats = lock_writer(ctx).stats_json();
         let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_raw("stats", stats.to_json());
+        o.field_bool("ok", true).field_raw("stats", stats);
         return Ok((o.finish(), false));
     }
     if request.get("metrics").is_some() {
@@ -391,7 +392,7 @@ fn run_query(pattern: &str, request: &JsonValue, ctx: &ServeCtx) -> Result<Strin
 }
 
 /// The serialized writer: one command at a time, queries unaffected.
-fn lock_writer(ctx: &ServeCtx) -> std::sync::MutexGuard<'_, LiveIndex> {
+fn lock_writer(ctx: &ServeCtx) -> std::sync::MutexGuard<'_, LiveHandle> {
     ctx.writer.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -452,6 +453,45 @@ mod tests {
         let bad = roundtrip(addr, "not json");
         assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
         assert!(bad.get("error").and_then(JsonValue::as_str).is_some());
+
+        let bye = roundtrip(addr, r#"{"shutdown":true}"#);
+        assert_eq!(
+            bye.get("shutting_down").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_index_serves_and_reports_shards() {
+        let dir = std::env::temp_dir().join(format!("free-serve-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::live_create(&dir, 3).unwrap();
+        let (addr, handle) = start_server(&dir);
+
+        let added = roundtrip(
+            addr,
+            r#"{"add":["needle one","hay","needle two","more hay"]}"#,
+        );
+        assert_eq!(added.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+        // Matches come back in global sequence order despite fan-out.
+        let found = roundtrip(addr, r#"{"query":"needle"}"#);
+        assert_eq!(found.get("total").and_then(JsonValue::as_u64), Some(2));
+        let seqs: Vec<u64> = found
+            .get("matches")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .map(|m| m.get("seq").and_then(JsonValue::as_u64).unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 2]);
+
+        let stats = roundtrip(addr, r#"{"stats":true}"#);
+        let shape = stats.get("stats").unwrap();
+        assert_eq!(shape.get("shards").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(shape.get("live_docs").and_then(JsonValue::as_u64), Some(4));
 
         let bye = roundtrip(addr, r#"{"shutdown":true}"#);
         assert_eq!(

@@ -194,6 +194,77 @@ impl Generator {
         }
         Ok((writer.finish()?, features))
     }
+
+    /// A streaming source over the configured `num_docs` pages. Pages are
+    /// produced one at a time into a reused buffer, so multi-GB corpora
+    /// can be fed to a consumer (an ingesting index, a sharded builder)
+    /// without ever materializing the corpus in memory.
+    pub fn stream(&self) -> PageStream<'_> {
+        PageStream {
+            generator: self,
+            next: 0,
+            end: self.config.num_docs as u32,
+            buf: Vec::new(),
+            bytes_emitted: 0,
+        }
+    }
+}
+
+/// Streaming iterator over a generator's pages (see [`Generator::stream`]).
+///
+/// Not a `std::iter::Iterator`: items borrow the stream's internal buffer,
+/// so the lending `next_page` / batched `next_batch` shapes are used
+/// instead.
+#[derive(Debug)]
+pub struct PageStream<'a> {
+    generator: &'a Generator,
+    next: u32,
+    end: u32,
+    buf: Vec<u8>,
+    bytes_emitted: u64,
+}
+
+impl PageStream<'_> {
+    /// Produces the next page, or `None` once `num_docs` pages are out.
+    /// The returned slice is valid until the next call.
+    pub fn next_page(&mut self) -> Option<(u32, &[u8])> {
+        if self.next >= self.end {
+            return None;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.generator.page(id, &mut self.buf);
+        self.bytes_emitted += self.buf.len() as u64;
+        Some((id, &self.buf))
+    }
+
+    /// Fills `out` (cleared first, allocations reused where the capacity
+    /// allows) with up to `max_docs` pages. Returns the number of pages
+    /// produced; `0` means the stream is exhausted.
+    pub fn next_batch(&mut self, max_docs: usize, out: &mut Vec<Vec<u8>>) -> usize {
+        let remaining = (self.end - self.next) as usize;
+        let take = max_docs.min(remaining);
+        out.truncate(take);
+        while out.len() < take {
+            out.push(Vec::new());
+        }
+        for slot in out.iter_mut() {
+            self.generator.page(self.next, slot);
+            self.bytes_emitted += slot.len() as u64;
+            self.next += 1;
+        }
+        take
+    }
+
+    /// Total bytes produced so far.
+    pub fn bytes_emitted(&self) -> u64 {
+        self.bytes_emitted
+    }
+
+    /// Pages produced so far.
+    pub fn docs_emitted(&self) -> u32 {
+        self.next
+    }
 }
 
 /// Ground-truth counts of injected features, useful for checking query
@@ -334,6 +405,39 @@ mod tests {
         assert!((rate(counts.zip_code) - cfg.p_zip_code).abs() < 0.02);
         assert!((rate(counts.script_block) - cfg.p_script_block).abs() < 0.02);
         assert!(rate(counts.powerpc) < 0.01);
+    }
+
+    #[test]
+    fn stream_agrees_with_bulk_build() {
+        let g = Generator::new(SynthConfig::tiny(23, 5));
+        let (mem, _) = g.build_mem();
+        // One at a time.
+        let mut stream = g.stream();
+        let mut seen = 0u32;
+        while let Some((id, page)) = stream.next_page() {
+            assert_eq!(id, seen);
+            assert_eq!(page, &mem.get(id).unwrap()[..]);
+            seen += 1;
+        }
+        assert_eq!(seen, 23);
+        assert_eq!(stream.docs_emitted(), 23);
+        assert!(stream.bytes_emitted() > 0);
+        // In batches of 7 (uneven tail on purpose).
+        let mut stream = g.stream();
+        let mut batch = Vec::new();
+        let mut id = 0u32;
+        loop {
+            let n = stream.next_batch(7, &mut batch);
+            if n == 0 {
+                break;
+            }
+            assert_eq!(batch.len(), n);
+            for doc in &batch {
+                assert_eq!(doc, &mem.get(id).unwrap());
+                id += 1;
+            }
+        }
+        assert_eq!(id, 23);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use config::{EngineConfig, IndexKind, ScanPolicy};
 pub use engine::{build_prefilter, generate_postings, select_keys, Engine, InMemoryEngine};
 pub use error::{Error, Result};
 pub use exec::analyze::{ExplainAnalyze, NodeStats};
+pub use exec::partition_threads;
 pub use exec::results::{DocMatches, QueryResult};
 pub use metrics::{record_build, record_query, BuildStats, QueryStats};
 pub use plan::physical::PlanClass;

@@ -67,6 +67,33 @@ impl QueryStats {
         self.plan_time + self.index_time + self.confirm_time + self.scan_time
     }
 
+    /// Folds another execution's counters into this one, for callers
+    /// that fan one query out over several partitions and report it as a
+    /// single execution. Counters and times are summed; `used_scan` is
+    /// sticky (any partition scanning marks the whole query); the plan
+    /// class keeps the worse of the two.
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.plan_time += other.plan_time;
+        self.index_time += other.index_time;
+        self.confirm_time += other.confirm_time;
+        self.scan_time += other.scan_time;
+        self.used_scan |= other.used_scan;
+        if plan_class_rank(other.plan_class) > plan_class_rank(self.plan_class) {
+            self.plan_class = other.plan_class;
+        }
+        self.keys_fetched += other.keys_fetched;
+        self.postings_decoded += other.postings_decoded;
+        self.cursor_seeks += other.cursor_seeks;
+        self.blocks_decoded += other.blocks_decoded;
+        self.postings_skipped += other.postings_skipped;
+        self.candidates += other.candidates;
+        self.docs_examined += other.docs_examined;
+        self.docs_prefiltered += other.docs_prefiltered;
+        self.bytes_examined += other.bytes_examined;
+        self.matching_docs += other.matching_docs;
+        self.match_count += other.match_count;
+    }
+
     /// Fraction of the corpus that had to be examined (lower is better;
     /// 1.0 for scans).
     pub fn examine_fraction(&self, corpus_docs: usize) -> f64 {
@@ -105,6 +132,15 @@ impl QueryStats {
 
 fn duration_ns(d: Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Ordering of plan classes from best to worst, for [`QueryStats::absorb`].
+fn plan_class_rank(c: PlanClass) -> u8 {
+    match c {
+        PlanClass::Indexed => 0,
+        PlanClass::Weak => 1,
+        PlanClass::Scan => 2,
+    }
 }
 
 impl core::fmt::Display for QueryStats {

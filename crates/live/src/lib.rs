@@ -29,6 +29,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod query;
 pub mod segment;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 
@@ -42,6 +43,11 @@ pub use live::{
 };
 pub use manifest::{Manifest, SegmentMeta};
 pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats};
+pub use shard::{
+    derive_next_seq, is_sharded, recoverable_next_seq, shard_dir, shard_local_count,
+    ShardedLiveIndex, ShardedManifest, ShardedReader, ShardedSnapshot, MAX_SHARDS,
+    SHARDED_MANIFEST_FILE,
+};
 pub use snapshot::{LiveReader, Snapshot};
 pub use stats::{LiveStats, SegmentStats};
 

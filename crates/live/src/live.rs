@@ -184,6 +184,13 @@ impl LiveIndex {
         self.segments.len()
     }
 
+    /// Number of buffered (unflushed) documents in the write buffer,
+    /// live or tombstoned. `next_seq() - buffered_docs()` is the flush
+    /// frontier: everything below it is sealed into segments.
+    pub fn buffered_docs(&self) -> usize {
+        self.memtable.len()
+    }
+
     /// Number of live (queryable) documents.
     pub fn live_docs(&self) -> usize {
         self.snapshot().live_docs()
@@ -238,6 +245,19 @@ impl LiveIndex {
     /// whole batch commits to the WAL with one append-reopen, so bulk
     /// ingest amortizes the per-call O(1) reopen cost.
     pub fn add_batch<D: AsRef<[u8]>>(&mut self, docs: &[D]) -> Result<Vec<DocId>> {
+        let ids = self.add_batch_deferred(docs)?;
+        self.maybe_flush()?;
+        Ok(ids)
+    }
+
+    /// Like [`LiveIndex::add_batch`] but never auto-flushes, leaving the
+    /// whole batch in the write buffer regardless of thresholds. The
+    /// sharded router commits one batch across many shards with this and
+    /// runs [`LiveIndex::maybe_flush`] only after *every* shard is
+    /// durable, so a crash mid-commit can only ever leave excess
+    /// documents in shard WALs — where [`LiveIndex::truncate_buffer`]
+    /// can still discard them.
+    pub fn add_batch_deferred<D: AsRef<[u8]>>(&mut self, docs: &[D]) -> Result<Vec<DocId>> {
         if docs.is_empty() {
             return Ok(Vec::new());
         }
@@ -274,14 +294,21 @@ impl LiveIndex {
         span.record("docs", docs.len());
         span.record("bytes", bytes);
         drop(span);
+        self.publish();
+        Ok(ids)
+    }
+
+    /// Flushes if the write buffer has crossed either configured
+    /// threshold; the auto-flush check `add_batch` runs after every
+    /// ingest. Returns whether a flush happened.
+    pub fn maybe_flush(&mut self) -> Result<bool> {
         if self.memtable.bytes() >= self.config.flush_threshold_bytes
             || self.memtable.len() >= self.config.flush_threshold_docs
         {
-            self.flush()?;
+            self.flush()
         } else {
-            self.publish();
+            Ok(false)
         }
-        Ok(ids)
     }
 
     /// Tombstones the document with sequence number `seq`. The document
@@ -321,19 +348,59 @@ impl LiveIndex {
         if self.memtable.is_empty() {
             return Ok(false);
         }
-        let mut span = self.config.engine.tracer.span("flush");
+        self.seal_buffer_prefix(self.memtable.len(), "flush")?;
+        metrics::global()
+            .counter("free_live_flushes_total", "Write-buffer flushes")
+            .inc();
+        self.record_shape_metrics();
+        Ok(true)
+    }
+
+    /// Discards every buffered (unflushed) document except the first
+    /// `keep_docs`, sealing those into a segment so the drop commits
+    /// with the same crash-safe manifest-then-WAL-reset protocol a flush
+    /// uses. The dropped documents' sequence numbers are reassigned to
+    /// future adds — the same semantics as unsharded WAL recovery for a
+    /// batch whose commit never completed. Recovery-only: the sharded
+    /// router uses this to restore the cross-shard routing invariant
+    /// after a partial batch commit; nothing else should call it.
+    /// Returns whether anything was dropped.
+    pub fn truncate_buffer(&mut self, keep_docs: usize) -> Result<bool> {
+        if keep_docs >= self.memtable.len() {
+            return Ok(false);
+        }
+        self.seal_buffer_prefix(keep_docs, "truncate")?;
+        metrics::global()
+            .counter(
+                "free_live_truncates_total",
+                "Write-buffer truncations (sharded crash recovery)",
+            )
+            .inc();
+        self.record_shape_metrics();
+        Ok(true)
+    }
+
+    /// Shared core of [`LiveIndex::flush`] and
+    /// [`LiveIndex::truncate_buffer`]: seals the first `keep_docs`
+    /// buffered documents (minus tombstoned ones) into a segment,
+    /// advances `wal_base` past exactly those documents, and resets the
+    /// WAL — dropping any buffered tail beyond `keep_docs`. Commit
+    /// order (manifest first, then tombstones, then the WAL reset) makes
+    /// a crash at any point recoverable via the WAL epoch check in
+    /// [`LiveIndex::open`].
+    fn seal_buffer_prefix(&mut self, keep_docs: usize, op: &'static str) -> Result<()> {
+        let mut span = self.config.engine.tracer.span(op);
         let base = self.manifest.wal_base;
-        let next_seq = base + self.memtable.len() as DocId;
-        let survivors: Vec<(DocId, &[u8])> = self
-            .memtable
-            .docs()
+        let next_seq = base + keep_docs as DocId;
+        let survivors: Vec<(DocId, &[u8])> = self.memtable.docs()[..keep_docs]
             .iter()
             .enumerate()
             .map(|(i, doc)| (base + i as DocId, &**doc))
             .filter(|(seq, _)| !self.deleted.contains(seq))
             .collect();
         span.record("docs", survivors.len());
-        span.record("dropped_tombstones", self.memtable.len() - survivors.len());
+        span.record("dropped_tombstones", keep_docs - survivors.len());
+        span.record("dropped_docs", self.memtable.len() - keep_docs);
         let mut new_segment = None;
         if !survivors.is_empty() {
             let id = self.manifest.next_segment_id;
@@ -358,7 +425,10 @@ impl LiveIndex {
         self.manifest.wal_epoch += 1;
         self.manifest.generation = self.generation;
         self.manifest.store(&self.dir)?;
-        let consumed: Vec<DocId> = self.deleted.range(base..next_seq).copied().collect();
+        // Everything at or above the old base is resolved: tombstones
+        // below the new base were consumed by the seal, tombstones at or
+        // beyond it named dropped documents that no longer exist.
+        let consumed: Vec<DocId> = self.deleted.range(base..).copied().collect();
         if !consumed.is_empty() {
             let deleted = Arc::make_mut(&mut self.deleted);
             for seq in consumed {
@@ -374,11 +444,7 @@ impl LiveIndex {
             self.segments.push(Arc::new(seg));
         }
         self.publish();
-        metrics::global()
-            .counter("free_live_flushes_total", "Write-buffer flushes")
-            .inc();
-        self.record_shape_metrics();
-        Ok(true)
+        Ok(())
     }
 
     /// Flushes, then k-way-merges every sealed segment into one:

@@ -99,10 +99,8 @@ fn class_rank(c: PlanClass) -> u8 {
     }
 }
 
-/// Runs `pattern` over the live index view.
-// `expect`: `compile_plan` returns `None` only for scan plans, which
-// both call sites branch away from; `pop()` sits in the `len == 1` arm.
-#[allow(clippy::expect_used)]
+/// Runs `pattern` over the live index view: builds the regex and logical
+/// plan, then executes them via [`execute_prepared`].
 pub(crate) fn execute(
     inputs: &ExecInputs<'_>,
     pattern: &str,
@@ -113,10 +111,62 @@ pub(crate) fn execute(
     let mut query_span = econfig.tracer.span("live.query");
     query_span.record("pattern", pattern);
     query_span.record("generation", inputs.generation);
+    let prep_start = Instant::now();
+    let prepared = PreparedQuery::new_traced(pattern, econfig.class_expand_limit, &query_span)?;
+    let prep_time = prep_start.elapsed();
+    let mut result = execute_prepared(inputs, &prepared, threads, want_spans, &query_span)?;
+    result.stats.base.plan_time += prep_time;
+    free_engine::record_query(free_trace::metrics::global(), &result.stats.base);
+    Ok(result)
+}
+
+/// A pattern parsed and logically planned once, reusable across every
+/// source it executes against. A sharded index prepares one of these and
+/// fans it out to all shards; only the *physical* plan (which depends on
+/// each source's own index) is derived per execution.
+pub(crate) struct PreparedQuery {
+    pattern: String,
+    regex: Regex,
+    logical: LogicalPlan,
+}
+
+impl PreparedQuery {
+    /// Parses and plans `pattern`, recording regex details into `span`.
+    pub(crate) fn new_traced(
+        pattern: &str,
+        class_expand_limit: usize,
+        span: &free_trace::Span,
+    ) -> Result<PreparedQuery> {
+        let regex = Regex::new_traced(pattern, span)?;
+        let logical = LogicalPlan::from_ast(regex.ast(), class_expand_limit);
+        Ok(PreparedQuery {
+            pattern: pattern.to_string(),
+            regex,
+            logical,
+        })
+    }
+}
+
+/// Runs an already-prepared query over one live index view. The caller
+/// owns query-span creation and metrics recording, so a fan-out over N
+/// shards pays regex parsing and logical planning once and records one
+/// query.
+// `expect`: `compile_plan` returns `None` only for scan plans, which
+// both call sites branch away from; `pop()` sits in the `len == 1` arm.
+#[allow(clippy::expect_used)]
+pub(crate) fn execute_prepared(
+    inputs: &ExecInputs<'_>,
+    prepared: &PreparedQuery,
+    threads: usize,
+    want_spans: bool,
+    query_span: &free_trace::Span,
+) -> Result<LiveQueryResult> {
+    let econfig = &inputs.config.engine;
+    let pattern = &prepared.pattern;
+    let regex = &prepared.regex;
+    let logical = &prepared.logical;
 
     let plan_start = Instant::now();
-    let regex = Regex::new_traced(pattern, &query_span)?;
-    let logical = LogicalPlan::from_ast(regex.ast(), econfig.class_expand_limit);
     let mut stats = QueryStats::default();
     let mut sources = 0usize;
     let mut scanned = 0usize;
@@ -130,7 +180,7 @@ pub(crate) fn execute(
                 num_docs: seg.meta.num_docs as usize,
                 prune_selectivity: econfig.prune_selectivity,
             };
-            let physical = PhysicalPlan::from_logical_with(&logical, &seg.index, options);
+            let physical = PhysicalPlan::from_logical_with(logical, &seg.index, options);
             let class = physical.classify(seg.meta.num_docs as usize);
             if class_rank(class) > class_rank(worst_class) {
                 worst_class = class;
@@ -151,7 +201,7 @@ pub(crate) fn execute(
                 prune_selectivity: econfig.prune_selectivity,
             };
             let physical =
-                PhysicalPlan::from_logical_with(&logical, inputs.memtable.index(), options);
+                PhysicalPlan::from_logical_with(logical, inputs.memtable.index(), options);
             let class = physical.classify(inputs.memtable.len());
             if class_rank(class) > class_rank(worst_class) {
                 worst_class = class;
@@ -203,7 +253,7 @@ pub(crate) fn execute(
     stats.index_time += index_start.elapsed();
 
     let prefilter = if econfig.use_anchoring {
-        build_prefilter(&logical)
+        build_prefilter(logical)
     } else {
         Vec::new()
     };
@@ -227,7 +277,7 @@ pub(crate) fn execute(
         let mut span = query_span.child("live.confirm");
         confirm_source(
             &view,
-            &regex,
+            regex,
             &mut source,
             want_spans,
             &prefilter,
@@ -241,7 +291,6 @@ pub(crate) fn execute(
         span.record("matching_docs", stats.matching_docs);
         span.record("docs_examined", stats.docs_examined);
     }
-    free_engine::record_query(free_trace::metrics::global(), &stats);
     Ok(LiveQueryResult {
         matches,
         stats: LiveQueryStats {

@@ -194,13 +194,26 @@ enum Metric {
 /// A named collection of metrics with Prometheus text exposition.
 ///
 /// Registration is get-or-create by name, so independent call sites can
-/// ask for the same metric and share the underlying atomic.
+/// ask for the same metric and share the underlying atomic. A metric may
+/// carry one label (`labeled_*`), giving a family of series such as
+/// `free_shard_live_docs{shard="3"}` — exposition groups every series of
+/// a family under one `# HELP`/`# TYPE` header, as Prometheus requires.
 /// Lock poisoning is deliberately ignored (`PoisonError::into_inner`):
 /// the map holds only atomics, so a panic in an unrelated thread can't
 /// leave it half-updated, and observability must not amplify a crash.
 #[derive(Default)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<&'static str, (&'static str, Metric)>>,
+    metrics: Mutex<BTreeMap<String, (String, Metric)>>,
+}
+
+/// Splits a series key into its family name and label list: the key
+/// `name{shard="0"}` yields `("name", "shard=\"0\"")`; an unlabeled key
+/// yields an empty label list.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], key[i + 1..].trim_end_matches('}')),
+        None => (key, ""),
+    }
 }
 
 impl Registry {
@@ -210,17 +223,41 @@ impl Registry {
         Registry::default()
     }
 
+    fn get_or_insert(&self, key: String, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let (_, metric) = metrics
+            .entry(key)
+            .or_insert_with(|| (help.to_string(), make()));
+        metric.clone()
+    }
+
     /// Gets or registers a counter named `name`.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
-        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-        let (_, metric) = metrics
-            .entry(name)
-            .or_insert_with(|| (help, Metric::Counter(Counter::new())));
-        match metric {
-            Metric::Counter(c) => c.clone(),
+        match self.get_or_insert(name.to_string(), help, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers a counter in family `name` labeled
+    /// `{label="value"}`. The handle is clone-cheap; call sites that
+    /// update per-label series on a hot path should fetch it once.
+    ///
+    /// # Panics
+    /// Panics if the series is already registered as a different kind.
+    pub fn labeled_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        value: &str,
+    ) -> Counter {
+        let key = format!("{name}{{{label}=\"{value}\"}}");
+        match self.get_or_insert(key, help, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -230,12 +267,27 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
-        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-        let (_, metric) = metrics
-            .entry(name)
-            .or_insert_with(|| (help, Metric::Gauge(Gauge::new())));
-        match metric {
-            Metric::Gauge(g) => g.clone(),
+        match self.get_or_insert(name.to_string(), help, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers a gauge in family `name` labeled
+    /// `{label="value"}`.
+    ///
+    /// # Panics
+    /// Panics if the series is already registered as a different kind.
+    pub fn labeled_gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        value: &str,
+    ) -> Gauge {
+        let key = format!("{name}{{{label}=\"{value}\"}}");
+        match self.get_or_insert(key, help, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -245,55 +297,102 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
-        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-        let (_, metric) = metrics
-            .entry(name)
-            .or_insert_with(|| (help, Metric::Histogram(Histogram::new())));
-        match metric {
-            Metric::Histogram(h) => h.clone(),
+        match self.get_or_insert(name.to_string(), help, || {
+            Metric::Histogram(Histogram::new())
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers a histogram in family `name` labeled
+    /// `{label="value"}`.
+    ///
+    /// # Panics
+    /// Panics if the series is already registered as a different kind.
+    pub fn labeled_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        value: &str,
+    ) -> Histogram {
+        let key = format!("{name}{{{label}=\"{value}\"}}");
+        match self.get_or_insert(key, help, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
 
     /// Renders every registered metric in Prometheus text exposition
-    /// format, sorted by name. Histogram buckets are cumulative, with
-    /// empty buckets elided (except `+Inf`, which is always present).
+    /// format, sorted by family name. Series are grouped by family
+    /// *before* rendering — raw key order interleaves families when an
+    /// unlabeled `name` and labeled `name{...}` coexist with a longer
+    /// `name_x` (`'_'` sorts before `'{'`) — so `# HELP` and `# TYPE`
+    /// are emitted exactly once per family, as strict Prometheus
+    /// parsers require. Histogram buckets are cumulative, with empty
+    /// buckets elided (except `+Inf`, which is always present).
     pub fn expose(&self) -> String {
         let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut families: BTreeMap<&str, Vec<(&str, &str, &Metric)>> = BTreeMap::new();
+        for (key, (help, metric)) in metrics.iter() {
+            let (name, labels) = split_key(key);
+            families
+                .entry(name)
+                .or_default()
+                .push((labels, help, metric));
+        }
         let mut out = String::new();
-        for (name, (help, metric)) in metrics.iter() {
-            match metric {
-                Metric::Counter(c) => {
-                    out.push_str(&format!(
-                        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
-                        c.get()
-                    ));
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!(
-                        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
-                        g.get()
-                    ));
-                }
-                Metric::Histogram(h) => {
-                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
-                    let buckets = h.buckets();
-                    let mut cumulative = 0u64;
-                    for (i, bucket) in buckets.iter().enumerate() {
-                        cumulative += bucket;
-                        if *bucket > 0 && i < 63 {
-                            out.push_str(&format!(
-                                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                                bucket_bound(i)
-                            ));
-                        }
+        for (name, series) in families {
+            // One header per family, from its first-registered series;
+            // the registry's kind check keeps families homogeneous.
+            let (_, help, first) = series[0];
+            let kind = match first {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for (labels, _, metric) in series {
+                // The label part of one series line: `` (unlabeled),
+                // `{shard="0"}`, `{le="3"}`, or `{shard="0",le="3"}`.
+                let suffix = |extra: &str| -> String {
+                    match (labels.is_empty(), extra.is_empty()) {
+                        (true, true) => String::new(),
+                        (true, false) => format!("{{{extra}}}"),
+                        (false, true) => format!("{{{labels}}}"),
+                        (false, false) => format!("{{{labels},{extra}}}"),
                     }
-                    out.push_str(&format!(
-                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
-                        h.count(),
-                        h.sum(),
-                        h.count()
-                    ));
+                };
+                match metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!("{name}{} {}\n", suffix(""), c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("{name}{} {}\n", suffix(""), g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let buckets = h.buckets();
+                        let mut cumulative = 0u64;
+                        for (i, bucket) in buckets.iter().enumerate() {
+                            cumulative += bucket;
+                            if *bucket > 0 && i < 63 {
+                                out.push_str(&format!(
+                                    "{name}_bucket{} {cumulative}\n",
+                                    suffix(&format!("le=\"{}\"", bucket_bound(i)))
+                                ));
+                            }
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n{name}_sum{} {}\n{name}_count{} {}\n",
+                            suffix("le=\"+Inf\""),
+                            h.count(),
+                            suffix(""),
+                            h.sum(),
+                            suffix(""),
+                            h.count()
+                        ));
+                    }
                 }
             }
         }
@@ -410,6 +509,74 @@ mod tests {
             }
         });
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let r = Registry::new();
+        r.labeled_counter("free_shard_docs_total", "docs per shard", "shard", "0")
+            .add(2);
+        r.labeled_counter("free_shard_docs_total", "docs per shard", "shard", "1")
+            .add(5);
+        // Same (name, label) returns the same underlying atomic.
+        assert_eq!(
+            r.labeled_counter("free_shard_docs_total", "docs per shard", "shard", "0")
+                .get(),
+            2
+        );
+        let text = r.expose();
+        assert_eq!(
+            text.matches("# TYPE free_shard_docs_total counter").count(),
+            1
+        );
+        assert!(text.contains("free_shard_docs_total{shard=\"0\"} 2\n"));
+        assert!(text.contains("free_shard_docs_total{shard=\"1\"} 5\n"));
+    }
+
+    #[test]
+    fn interleaving_family_names_keep_one_header_each() {
+        // `fam_x` sorts between the raw keys `fam` ('_' < '{') and
+        // `fam{...}`; grouping by family must still emit exactly one
+        // HELP/TYPE pair per family, with every series under it.
+        let r = Registry::new();
+        r.counter("fam", "base family").inc();
+        r.labeled_counter("fam", "base family", "shard", "0").add(3);
+        r.counter("fam_x", "interloper family").add(7);
+        let text = r.expose();
+        assert_eq!(
+            text.matches("# HELP fam base family\n").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE fam counter\n").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE fam_x counter\n").count(), 1, "{text}");
+        // All of `fam`'s series sit contiguously under its header.
+        let fam = text.find("# TYPE fam counter\n").unwrap();
+        let fam_x = text.find("# HELP fam_x").unwrap();
+        let block = &text[fam..fam_x];
+        assert!(block.contains("\nfam 1\n"), "{text}");
+        assert!(block.contains("\nfam{shard=\"0\"} 3\n"), "{text}");
+        assert!(text[fam_x..].contains("fam_x 7\n"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histogram_merges_labels_with_le() {
+        let r = Registry::new();
+        let h = r.labeled_histogram("free_shard_ns", "latency per shard", "shard", "3");
+        h.observe(5);
+        r.labeled_gauge("free_shard_ns_gauge", "unrelated", "shard", "3")
+            .set(1);
+        let text = r.expose();
+        assert!(text.contains("free_shard_ns_bucket{shard=\"3\",le=\"7\"} 1\n"));
+        assert!(text.contains("free_shard_ns_bucket{shard=\"3\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("free_shard_ns_sum{shard=\"3\"} 5\n"));
+        assert!(text.contains("free_shard_ns_count{shard=\"3\"} 1\n"));
+    }
+
+    #[test]
+    fn split_key_handles_labels() {
+        assert_eq!(split_key("plain"), ("plain", ""));
+        assert_eq!(split_key("fam{shard=\"2\"}"), ("fam", "shard=\"2\""));
     }
 
     #[test]

@@ -215,9 +215,161 @@ fn run_stress(tag: &str, seed: u64, readers: usize, ops: usize, compact_weight: 
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The sharded variant of [`run_stress`]: one writer fans operations
+/// out across `shards` partitions while readers stream from composite
+/// snapshots. The invariant is identical — every observed result set
+/// matches a from-scratch rebuild of *some* published state — plus the
+/// composite snapshot must be cross-shard consistent: a reader must
+/// never see shard A post-op and shard B pre-op for the same operation.
+fn run_stress_sharded(
+    tag: &str,
+    seed: u64,
+    shards: usize,
+    readers: usize,
+    ops: usize,
+    compact_weight: u32,
+) {
+    use free_live::{ShardedLiveIndex, ShardedReader};
+
+    let dir = fresh_dir(tag);
+    let mut live = ShardedLiveIndex::create(
+        &dir,
+        LiveConfig {
+            engine: engine_config(),
+            flush_threshold_bytes: u64::MAX,
+            flush_threshold_docs: usize::MAX,
+            ..LiveConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+
+    let model = Mutex::new(Model::new());
+    model.lock().unwrap().insert(live.generation(), Vec::new());
+    let reader_handle = live.reader();
+    let done = AtomicBool::new(false);
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut alive: Vec<(u32, Vec<u8>)> = Vec::new();
+            for _ in 0..ops {
+                let roll = rng.gen_range(0u32..100);
+                if roll < 45 {
+                    let docs: Vec<Vec<u8>> = (0..rng.gen_range(1usize..4))
+                        .map(|_| random_doc(&mut rng))
+                        .collect();
+                    let ids = live.add_batch(&docs).unwrap();
+                    alive.extend(ids.into_iter().zip(docs));
+                } else if roll < 65 {
+                    if !alive.is_empty() {
+                        let (seq, _) = alive.remove(rng.gen_range(0usize..alive.len()));
+                        live.delete(seq).unwrap();
+                    }
+                } else if roll < 100 - compact_weight {
+                    live.flush().unwrap();
+                } else {
+                    live.compact().unwrap();
+                }
+                model
+                    .lock()
+                    .unwrap()
+                    .insert(live.generation(), alive.clone());
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+
+        for r in 0..readers {
+            let reader: ShardedReader = reader_handle.clone();
+            let observations = &observations;
+            let done = &done;
+            scope.spawn(move || {
+                let mut local: Vec<Observation> = Vec::new();
+                let mut i = r;
+                while !done.load(Ordering::SeqCst) {
+                    let pattern = PATTERNS[i % PATTERNS.len()];
+                    i += 1;
+                    let snapshot = reader.snapshot();
+                    let result = snapshot.query_with(pattern, 2, true).unwrap();
+                    let rows = result
+                        .matches
+                        .into_iter()
+                        .map(|m| (m.seq, snapshot.get(m.seq).unwrap(), m.spans))
+                        .collect();
+                    if local.len() < 400 {
+                        local.push((snapshot.generation(), pattern, rows));
+                    }
+                }
+                observations.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+
+    let model = model.into_inner().unwrap();
+    let observations = observations.into_inner().unwrap();
+    assert!(!observations.is_empty(), "readers observed nothing");
+    let mut expected_cache: BTreeMap<(u64, &str), Rows> = BTreeMap::new();
+    for (gen, pattern, rows) in &observations {
+        let (model_gen, docs) = model
+            .range(..=gen)
+            .next_back()
+            .unwrap_or_else(|| panic!("no recorded generation <= {gen}"));
+        let expected = expected_cache
+            .entry((*model_gen, pattern))
+            .or_insert_with(|| rebuild(docs, pattern));
+        assert_eq!(
+            rows, expected,
+            "sharded snapshot at generation {gen} diverged from the rebuild \
+             of generation {model_gen} for pattern {pattern}"
+        );
+    }
+
+    // The final state must survive a reopen and answer identically at
+    // 1 and 8 confirmation threads.
+    let final_docs = model.values().next_back().unwrap().clone();
+    let reopened = ShardedLiveIndex::open(
+        &dir,
+        LiveConfig {
+            engine: engine_config(),
+            ..LiveConfig::default()
+        },
+    )
+    .unwrap();
+    for pattern in PATTERNS {
+        let expected = rebuild(&final_docs, pattern);
+        for threads in [1, 8] {
+            let got: Vec<(u32, Vec<u8>, Vec<Span>)> = reopened
+                .query_with(pattern, threads, true)
+                .unwrap()
+                .matches
+                .into_iter()
+                .map(|m| (m.seq, reopened.get(m.seq).unwrap(), m.spans))
+                .collect();
+            assert_eq!(
+                got, expected,
+                "reopened sharded index diverged for pattern {pattern} at {threads} threads"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn eight_readers_see_consistent_snapshots() {
     run_stress("mixed", 0xF2EE, 8, 60, 10);
+}
+
+#[test]
+fn sharded_readers_see_consistent_composite_snapshots() {
+    run_stress_sharded("shard-mixed", 0x5AD5, 4, 6, 50, 10);
+}
+
+#[test]
+fn sharded_readers_survive_parallel_compaction() {
+    // Compaction rewrites every shard's segment files in parallel while
+    // readers stream from the composite snapshot.
+    run_stress_sharded("shard-compact", 0x5CDE, 3, 6, 35, 35);
 }
 
 #[test]

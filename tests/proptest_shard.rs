@@ -1,0 +1,185 @@
+//! Differential property test for the sharded live index: for ANY
+//! schedule of ingest / delete / flush / compact operations, a sharded
+//! index must be observationally identical to an unsharded one driven
+//! by the same schedule — same sequence numbers, same matches, same
+//! spans, in the same order — for any shard count and any confirmation
+//! thread count, and the equivalence must survive a reopen.
+//!
+//! Shard count defaults to {1, 4} and can be pinned with `FREE_SHARDS=N`
+//! (the CI matrix runs both).
+
+// Integration tests: unwraps in helper functions are assertions, the
+// same as inside #[test] bodies (clippy.toml only exempts the latter).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use free_engine::EngineConfig;
+use free_live::{LiveConfig, LiveIndex, ShardedLiveIndex};
+use free_regex::Span;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Patterns exercising indexed, weak, and scan-ish plans over the tiny
+/// alphabet the generator draws from.
+const PATTERNS: [&str; 4] = ["ab", "bca*", "a b", "(ab|ca)x?"];
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add a batch of documents.
+    Add(Vec<Vec<u8>>),
+    /// Delete the (raw % live)-th live document, if any.
+    Delete(usize),
+    /// Seal the write buffer(s) into segments.
+    Flush,
+    /// Merge all segments, dropping tombstones.
+    Compact,
+}
+
+fn arb_doc() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'x')],
+        0..30,
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop::collection::vec(arb_doc(), 1..5).prop_map(Op::Add),
+        3 => any::<usize>().prop_map(Op::Delete),
+        2 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn live_config() -> LiveConfig {
+    LiveConfig {
+        engine: EngineConfig {
+            usefulness_threshold: 0.6,
+            max_gram_len: 6,
+            ..EngineConfig::default()
+        },
+        // Only explicit Flush ops flush, so schedules are exact.
+        flush_threshold_bytes: u64::MAX,
+        flush_threshold_docs: usize::MAX,
+        ..LiveConfig::default()
+    }
+}
+
+fn fresh_dir() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "free-shard-prop-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Shard counts to exercise: `FREE_SHARDS=N` pins one, default {1, 4}.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("FREE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1, 4],
+    }
+}
+
+/// (seq, spans) for every match of `pattern`, in global order.
+fn plain_results(live: &LiveIndex, pattern: &str, threads: usize) -> Vec<(u32, Vec<Span>)> {
+    live.query_with(pattern, threads, true)
+        .unwrap()
+        .matches
+        .into_iter()
+        .map(|m| (m.seq, m.spans))
+        .collect()
+}
+
+fn sharded_results(idx: &ShardedLiveIndex, pattern: &str, threads: usize) -> Vec<(u32, Vec<Span>)> {
+    idx.query_with(pattern, threads, true)
+        .unwrap()
+        .matches
+        .into_iter()
+        .map(|m| (m.seq, m.spans))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharding invariant: a sharded index is indistinguishable from
+    /// an unsharded one over the same operation schedule — for every
+    /// prefix of the schedule, every pattern, and 1 vs 4 query threads.
+    #[test]
+    fn sharded_matches_unsharded_for_any_schedule(ops in prop::collection::vec(arb_op(), 1..8)) {
+        for shards in shard_counts() {
+            let plain_dir = fresh_dir();
+            let shard_dir = fresh_dir();
+            let mut plain = LiveIndex::create(&plain_dir, live_config()).unwrap();
+            let mut sharded =
+                ShardedLiveIndex::create(&shard_dir, live_config(), shards).unwrap();
+            // Surviving (seq, doc) pairs, for delete targeting.
+            let mut model: Vec<(u32, Vec<u8>)> = Vec::new();
+
+            for op in &ops {
+                match op {
+                    Op::Add(docs) => {
+                        let a = plain.add_batch(docs).unwrap();
+                        let b = sharded.add_batch(docs).unwrap();
+                        prop_assert_eq!(&a, &b, "assigned seqs diverged");
+                        for (id, doc) in a.into_iter().zip(docs) {
+                            model.push((id, doc.clone()));
+                        }
+                    }
+                    Op::Delete(raw) => {
+                        if !model.is_empty() {
+                            let (seq, _) = model.remove(raw % model.len());
+                            plain.delete(seq).unwrap();
+                            sharded.delete(seq).unwrap();
+                        }
+                    }
+                    Op::Flush => {
+                        plain.flush().unwrap();
+                        sharded.flush().unwrap();
+                    }
+                    Op::Compact => {
+                        plain.compact().unwrap();
+                        sharded.compact().unwrap();
+                    }
+                }
+                prop_assert_eq!(plain.live_seqs(), sharded.live_seqs(), "seq sets diverged");
+                for (seq, doc) in &model {
+                    prop_assert_eq!(&sharded.get(*seq).unwrap(), doc, "doc content diverged");
+                }
+                for pattern in PATTERNS {
+                    let want = plain_results(&plain, pattern, 1);
+                    for threads in [1usize, 4] {
+                        let got = sharded_results(&sharded, pattern, threads);
+                        prop_assert_eq!(
+                            &got, &want,
+                            "pattern {} diverged at {} shard(s), {} thread(s)",
+                            pattern, shards, threads
+                        );
+                    }
+                }
+            }
+
+            // The equivalence survives a reopen of both final states.
+            drop(plain);
+            drop(sharded);
+            let plain = LiveIndex::open(&plain_dir, live_config()).unwrap();
+            let sharded = ShardedLiveIndex::open(&shard_dir, live_config()).unwrap();
+            prop_assert_eq!(plain.next_seq(), sharded.next_seq(), "next_seq diverged on reopen");
+            prop_assert_eq!(plain.live_seqs(), sharded.live_seqs(), "reopen seq sets diverged");
+            for pattern in PATTERNS {
+                prop_assert_eq!(
+                    plain_results(&plain, pattern, 1),
+                    sharded_results(&sharded, pattern, 1),
+                    "pattern {} diverged after reopen", pattern
+                );
+            }
+            let _ = std::fs::remove_dir_all(&plain_dir);
+            let _ = std::fs::remove_dir_all(&shard_dir);
+        }
+    }
+}
