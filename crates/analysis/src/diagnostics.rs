@@ -13,6 +13,7 @@
 //! | `FA301`–`FA399` | live-index health (fragmentation, drift, tombstones) |
 //! | `FA400`–`FA499` | on-disk integrity (`free fsck`) |
 //! | `FA500`–`FA599` | sharded-index health and layout (imbalance, routing) |
+//! | `FA600`–`FA699` | workload diagnostics (query-log mining) |
 
 use free_engine::PlanClass;
 use free_regex::Span;
@@ -90,6 +91,14 @@ pub mod codes {
     /// The key directory violates the miner's prefix-free invariant
     /// (advisory: compaction's union key set legitimately does this).
     pub const PREFIX_FREE: &str = "FA424";
+    /// A query-log segment ends in a torn (unterminated) trailing
+    /// fragment — the shape a crash mid-append leaves. Readers skip the
+    /// fragment; every whole line before it is trusted (advisory).
+    pub const QLOG_TORN_TAIL: &str = "FA440";
+    /// A query-log segment other than the highest-numbered one is
+    /// unsealed (no CRC footer): the writer crashed before rotation
+    /// could seal it, so its bytes are readable but unverifiable.
+    pub const QLOG_UNSEALED: &str = "FA441";
     /// Deep check: a sampled document contains an indexed gram but is
     /// missing from that gram's postings (breaks the no-false-negative
     /// guarantee).
@@ -114,6 +123,17 @@ pub mod codes {
     /// unacknowledged tail), an *error* when the excess is sealed into
     /// segments and no automatic repair can run.
     pub const SHARD_ROUTING: &str = "FA504";
+    /// A SCAN-class pattern recurs in the captured workload: every
+    /// execution walks the whole corpus, and the repetition says it is
+    /// not a one-off exploration.
+    pub const HOT_SCAN_PATTERN: &str = "FA601";
+    /// Aggregate candidate counts dwarf confirmed matches across the
+    /// workload: the index admits far more documents than match, so
+    /// confirmation dominates (weak gram selectivity).
+    pub const WORKLOAD_DRIFT: &str = "FA602";
+    /// One pattern accounts for the majority of slow-query records:
+    /// fixing a single plan would reclaim most of the lost time.
+    pub const SLOW_CONCENTRATION: &str = "FA603";
 }
 
 /// How serious a finding is.

@@ -57,8 +57,8 @@ impl Default for FsckOptions {
 pub struct FsckReport {
     /// The path that was checked, verbatim.
     pub target: String,
-    /// What the target was detected as: `live`, `batch`, `index`, or
-    /// `corpus`.
+    /// What the target was detected as: `live`, `batch`, `index`,
+    /// `corpus`, or `qlog`.
     pub kind: &'static str,
     /// Artifacts (files / stores) examined.
     pub artifacts_checked: usize,
@@ -137,6 +137,7 @@ impl FsckReport {
 /// * a live index directory (contains `live.manifest`),
 /// * a batch index directory (contains `idx.free`),
 /// * a corpus store directory (contains `corpus.idx`),
+/// * a durable query-log directory (contains `qlog-*.jsonl` segments),
 /// * a bare index file (`free-index` format).
 ///
 /// Damage is reported as diagnostics, not errors; `Err` is reserved for
@@ -164,6 +165,9 @@ pub fn fsck(path: &Path, opts: &FsckOptions) -> std::io::Result<FsckReport> {
             check_corpus(path, "corpus store", &mut r);
             return Ok(r);
         }
+        if free_trace::qlog::is_log_dir(path) {
+            return fsck_qlog(path, target);
+        }
     } else if path.is_file() {
         let mut r = FsckReport {
             target,
@@ -178,10 +182,74 @@ pub fn fsck(path: &Path, opts: &FsckOptions) -> std::io::Result<FsckReport> {
     Err(std::io::Error::new(
         std::io::ErrorKind::NotFound,
         format!(
-            "{} is not a live index, batch index, corpus store, or index file",
+            "{} is not a live index, batch index, corpus store, query log, or index file",
             path.display()
         ),
     ))
+}
+
+/// Verifies a durable query-log directory: every segment's CRC footer,
+/// the may-only-the-last-be-unsealed invariant, and torn trailing
+/// fragments. A torn tail is a *warning* — the shape a crash mid-append
+/// legitimately leaves; readers (`free log`, `free replay`) skip the
+/// fragment and trust every whole line before it. A failed CRC on a
+/// sealed segment is an error: sealed bytes must never change.
+fn fsck_qlog(path: &Path, target: String) -> std::io::Result<FsckReport> {
+    use free_trace::qlog::SegmentStatus;
+    let mut r = FsckReport {
+        target,
+        kind: "qlog",
+        artifacts_checked: 0,
+        docs_sampled: 0,
+        diagnostics: Vec::new(),
+    };
+    let segments = free_trace::qlog::read_dir(path)?;
+    let last_seq = segments.last().map(|s| s.seq);
+    for seg in &segments {
+        r.artifacts_checked += 1;
+        match &seg.status {
+            SegmentStatus::Sealed => {}
+            SegmentStatus::Unsealed { torn_bytes } => {
+                if Some(seg.seq) != last_seq {
+                    r.diagnostics.push(diag(
+                        codes::QLOG_UNSEALED,
+                        Severity::Warning,
+                        format!(
+                            "query-log segment {} is unsealed but not the newest: \
+                             the writer crashed before rotation sealed it \
+                             ({} trusted record(s) remain readable)",
+                            seg.path.display(),
+                            seg.records.len()
+                        ),
+                    ));
+                }
+                if *torn_bytes > 0 {
+                    r.diagnostics.push(diag(
+                        codes::QLOG_TORN_TAIL,
+                        Severity::Warning,
+                        format!(
+                            "query-log segment {} ends in a torn {torn_bytes}-byte \
+                             fragment (crash mid-append); readers skip it and keep \
+                             the {} whole record(s) before it",
+                            seg.path.display(),
+                            seg.records.len()
+                        ),
+                    ));
+                }
+            }
+            SegmentStatus::Corrupt { detail } => {
+                r.diagnostics.push(diag(
+                    damage_code(detail),
+                    Severity::Error,
+                    format!(
+                        "query-log segment {} is corrupt: {detail}",
+                        seg.path.display()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(r)
 }
 
 fn diag(code: &'static str, severity: Severity, message: String) -> Diagnostic {

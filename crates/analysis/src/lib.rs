@@ -5,7 +5,7 @@
 //! collapses to NULL still *runs*, it just scans the whole corpus
 //! (§5.3's `zip`, `phone`, and `html` queries). Graceful degradation is
 //! also silent degradation: nothing tells the user their query threw the
-//! index away, or why. This crate is the missing diagnostic layer. Four
+//! index away, or why. This crate is the missing diagnostic layer. Five
 //! engines, the first three purely static (no corpus access required):
 //!
 //! 1. **Query linter** ([`lint`]) — walks the span-carrying parse tree
@@ -23,6 +23,10 @@
 //!    (checksums, postings invariants, manifest ↔ disk agreement, and a
 //!    sampled re-mining proof) without mutating anything; this one reads
 //!    disk, never the query.
+//! 5. **Workload miner** ([`workload`]) — reads the durable query log
+//!    (`free search`/`free serve --query-log`) back and reports
+//!    workload-level pathologies: hot SCAN patterns, aggregate
+//!    selectivity drift, slow-query concentration (`FA6xx`).
 //!
 //! Findings carry stable `FAxxx` codes (see [`diagnostics::codes`]) and
 //! render both human-readable and as JSON. The `freegrep`/`free` CLI
@@ -36,6 +40,7 @@ pub mod fsck;
 pub mod lint;
 pub mod live;
 pub mod soundness;
+pub mod workload;
 
 pub use diagnostics::{codes, Diagnostic, Report, Severity};
 pub use fsck::{fsck, FsckOptions, FsckReport};
@@ -44,6 +49,7 @@ pub use live::{
     analyze_live, analyze_shards, LiveAnalysisConfig, LiveHealth, ShardAnalysisConfig, ShardHealth,
 };
 pub use soundness::SoundnessSummary;
+pub use workload::{analyze_workload, QueryRecord, WorkloadOptions, WorkloadReport};
 
 use free_engine::plan::logical::LogicalPlan;
 use free_index::IndexRead;

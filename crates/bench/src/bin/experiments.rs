@@ -28,8 +28,13 @@
 //!               fan-out query QPS + latency percentiles at 1/2/4/8
 //!               shards over the same synthetic corpus (report also
 //!               written to results/shard_scaling.txt)
+//!   replay    workload capture/replay round-trip: run a query schedule
+//!             with the durable query log on, replay it closed-loop and
+//!             open-loop against the same index, verify every recorded
+//!             result count, and mine the log for FA6xx workload
+//!             diagnostics (report also written to results/replay.txt)
 //!   all       everything above (except disk, grams, ingest, serve-load,
-//!             corpus-get, and shard-scaling)
+//!             corpus-get, shard-scaling, and replay)
 //!
 //! Options:
 //!   --docs N      number of synthetic pages (default 2000)
@@ -94,13 +99,13 @@ fn main() {
         .collect();
     }
 
-    // `disk`, `ingest`, `serve-load`, `corpus-get` and `shard-scaling`
-    // build their own pipelines; only the paper figures need the four
-    // prebuilt in-memory indexes.
+    // `disk`, `ingest`, `serve-load`, `corpus-get`, `shard-scaling` and
+    // `replay` build their own pipelines; only the paper figures need
+    // the four prebuilt in-memory indexes.
     let needs_experiment = commands.iter().any(|c| {
         !matches!(
             c.as_str(),
-            "disk" | "ingest" | "serve-load" | "corpus-get" | "shard-scaling"
+            "disk" | "ingest" | "serve-load" | "corpus-get" | "shard-scaling" | "replay"
         )
     });
     let experiment = if needs_experiment {
@@ -157,6 +162,7 @@ fn main() {
             "serve-load" => run_serve_load(&config),
             "corpus-get" => run_corpus_get_bench(&config),
             "shard-scaling" => run_shard_scaling(&config),
+            "replay" => run_replay(&config),
             other => usage(&format!("unknown command {other}")),
         };
         println!("{rendered}");
@@ -682,12 +688,274 @@ fn run_serve_load(config: &ExperimentConfig) -> String {
         }
     }
 
+    // Sharded fan-out cell: the same read loop against a 4-shard
+    // layout, then the per-shard RED series (`free_shard_*`, labelled
+    // `{shard="K"}`) the fan-out recorded — the same series `free
+    // metrics` exposes from a sharded `free serve`.
+    const SHARDS: usize = 4;
+    {
+        let dir = std::env::temp_dir().join(format!("free-serve-load-sh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let synth = free_corpus::synth::SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..free_corpus::synth::SynthConfig::default()
+        };
+        let generator = free_corpus::synth::Generator::new(synth);
+        let mut live = free_live::ShardedLiveIndex::create(
+            &dir,
+            free_live::LiveConfig {
+                engine: free_engine::EngineConfig {
+                    usefulness_threshold: config.usefulness_threshold,
+                    max_gram_len: config.max_gram_len,
+                    ..free_engine::EngineConfig::default()
+                },
+                flush_threshold_docs: (config.num_docs / 4).max(32),
+                ..free_live::LiveConfig::default()
+            },
+            SHARDS,
+        )
+        .expect("create sharded live index");
+        let mut page = Vec::new();
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        for doc_id in 0..config.num_docs as u32 {
+            page.clear();
+            generator.page(doc_id, &mut page);
+            batch.push(page.clone());
+            if batch.len() == 64 {
+                live.add_batch(&batch).expect("ingest");
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            live.add_batch(&batch).expect("ingest");
+        }
+        live.flush().expect("flush");
+        let reader = live.reader();
+        let done = AtomicBool::new(false);
+        let total = AtomicU64::new(0);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for r in 0..4usize {
+                let reader = reader.clone();
+                let queries = &queries;
+                let (done, total) = (&done, &total);
+                scope.spawn(move || {
+                    let mut i = r;
+                    while !done.load(Ordering::Relaxed) {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        let result = reader.snapshot().query_with(q.pattern, 1, false);
+                        std::hint::black_box(result.expect("query").matches.len());
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::sleep(RUN_FOR);
+            done.store(true, Ordering::Relaxed);
+        });
+        let elapsed = started.elapsed();
+        let _ = writeln!(
+            out,
+            "\nSharded fan-out ({SHARDS} shards, 4 readers): {:.0} QPS; per-shard RED series:",
+            total.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "{:<7}{:>10}{:>8}{:>12}{:>12}",
+            "shard", "queries", "errors", "p50", "p99"
+        );
+        let registry = free_trace::metrics::global();
+        for s in 0..SHARDS {
+            let label = s.to_string();
+            let queries_total = registry
+                .labeled_counter("free_shard_queries_total", "", "shard", &label)
+                .get();
+            let errors_total = registry
+                .labeled_counter("free_shard_query_errors_total", "", "shard", &label)
+                .get();
+            let lat = registry.labeled_histogram("free_shard_query_ns", "", "shard", &label);
+            let _ = writeln!(
+                out,
+                "{:<7}{:>10}{:>8}{:>12}{:>12}",
+                s,
+                queries_total,
+                errors_total,
+                format!("{:.2?}", Duration::from_nanos(lat.quantile(0.50))),
+                format!("{:.2?}", Duration::from_nanos(lat.quantile(0.99))),
+            );
+        }
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     if let Err(e) = std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/serve_load.txt", &out))
     {
         eprintln!("# could not write results/serve_load.txt: {e}");
     } else {
         eprintln!("# report written to results/serve_load.txt");
+    }
+    out
+}
+
+/// Workload capture/replay round-trip (`replay`): queries a live index
+/// — unsharded and 2-way sharded — with the durable query log on, then
+/// replays each captured log against its own directory, closed-loop and
+/// open-loop, verifying every recorded per-query result count. The log
+/// is finally mined for `FA6xx` workload diagnostics (what `free log
+/// --stats` reports). The report is also written to results/replay.txt.
+fn run_replay(config: &ExperimentConfig) -> String {
+    use free_bench::queries::benchmark_queries;
+    use std::fmt::Write as _;
+
+    const ROUNDS: usize = 3;
+    let queries = benchmark_queries();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Workload capture/replay — {} docs, {} queries x {ROUNDS} round(s) per layout",
+        config.num_docs,
+        queries.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:<12}{:>10}{:>12}{:>12}{:>8}{:>8}",
+        "layout", "loop", "records", "replayed", "mismatch", "slow", "qps"
+    );
+
+    for shards in [1usize, 2] {
+        let tag = if shards == 1 { "plain" } else { "sharded" };
+        let dir = std::env::temp_dir().join(format!("free-replay-{tag}-{}", std::process::id()));
+        let log_dir =
+            std::env::temp_dir().join(format!("free-replay-{tag}-log-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&log_dir);
+
+        // Build the index.
+        let synth = free_corpus::synth::SynthConfig {
+            num_docs: config.num_docs,
+            seed: config.seed,
+            ..free_corpus::synth::SynthConfig::default()
+        };
+        let generator = free_corpus::synth::Generator::new(synth);
+        let live_config = free_live::LiveConfig {
+            engine: free_engine::EngineConfig {
+                usefulness_threshold: config.usefulness_threshold,
+                max_gram_len: config.max_gram_len,
+                ..free_engine::EngineConfig::default()
+            },
+            flush_threshold_docs: (config.num_docs / 4).max(32),
+            ..free_live::LiveConfig::default()
+        };
+        enum Idx {
+            Plain(free_live::LiveIndex),
+            Sharded(free_live::ShardedLiveIndex),
+        }
+        let mut idx = if shards == 1 {
+            Idx::Plain(free_live::LiveIndex::create(&dir, live_config).expect("create"))
+        } else {
+            Idx::Sharded(
+                free_live::ShardedLiveIndex::create(&dir, live_config, shards).expect("create"),
+            )
+        };
+        let mut page = Vec::new();
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        for doc_id in 0..config.num_docs as u32 {
+            page.clear();
+            generator.page(doc_id, &mut page);
+            batch.push(page.clone());
+            if batch.len() == 64 {
+                match &mut idx {
+                    Idx::Plain(l) => drop(l.add_batch(&batch).expect("ingest")),
+                    Idx::Sharded(s) => drop(s.add_batch(&batch).expect("ingest")),
+                }
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            match &mut idx {
+                Idx::Plain(l) => drop(l.add_batch(&batch).expect("ingest")),
+                Idx::Sharded(s) => drop(s.add_batch(&batch).expect("ingest")),
+            }
+        }
+
+        // Capture: every query is recorded; a 2ms slow threshold gives
+        // the flight recorder something to flag without tripping on
+        // every cheap lookup.
+        let writer = free_trace::LogWriter::create(&log_dir).expect("create query log");
+        free_trace::qlog::install(writer);
+        free_trace::qlog::set_slow_threshold_ns(Some(2_000_000));
+        for _ in 0..ROUNDS {
+            for q in &queries {
+                match &idx {
+                    Idx::Plain(l) => drop(l.query(q.pattern).expect("query")),
+                    Idx::Sharded(s) => drop(s.query(q.pattern).expect("query")),
+                }
+            }
+        }
+        free_trace::qlog::shutdown();
+        free_trace::qlog::set_slow_threshold_ns(None);
+        drop(idx);
+
+        // Replay, closed-loop then open-loop at a deliberately
+        // throttled rate, via the same code path as `free replay`.
+        for (label, qps) in [("closed", 0u64), ("open", 200)] {
+            let mut opts = freegrep::replay::ReplayOptions::new(&log_dir);
+            opts.live_dir = Some(dir.clone());
+            opts.qps = qps;
+            opts.json = true;
+            let (json, code) = freegrep::replay::replay(&opts).expect("replay");
+            assert_eq!(code, 0, "replay found mismatches: {json}");
+            let field = |name: &str| -> String {
+                json.split(&format!("\"{name}\":"))
+                    .nth(1)
+                    .and_then(|rest| rest.split([',', '}']).next())
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            let report =
+                free_analyze::analyze_workload(&log_dir, &free_analyze::WorkloadOptions::default())
+                    .expect("workload");
+            let _ = writeln!(
+                out,
+                "{:<10}{:<12}{:>10}{:>12}{:>12}{:>8}{:>8.0}",
+                tag,
+                label,
+                field("records"),
+                field("replayed"),
+                field("mismatches"),
+                report.slow,
+                field("qps_achieved").parse::<f64>().unwrap_or(0.0),
+            );
+        }
+
+        // Mine the captured workload (what `free log --stats` shows).
+        let report =
+            free_analyze::analyze_workload(&log_dir, &free_analyze::WorkloadOptions::default())
+                .expect("workload");
+        let _ = writeln!(
+            out,
+            "{tag} workload: {} record(s) in {} segment(s), {} slow; {} FA6xx finding(s)",
+            report.queries,
+            report.segments,
+            report.slow,
+            report.diagnostics.len()
+        );
+        for d in &report.diagnostics {
+            let _ = writeln!(out, "  {}[{}]: {}", d.severity, d.code, d.message);
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&log_dir);
+    }
+
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write("results/replay.txt", &out))
+    {
+        eprintln!("# could not write results/replay.txt: {e}");
+    } else {
+        eprintln!("# report written to results/replay.txt");
     }
     out
 }
@@ -981,7 +1249,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments [--docs N] [--seed S] [--c X] [--repeats N] [--csv DIR] \
          <table3|fig9|fig10|fig11|fig12|latency|ablate|disk|grams|ingest|serve-load|\
-         corpus-get|shard-scaling|all>..."
+         corpus-get|shard-scaling|replay|all>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -144,7 +144,8 @@ impl LatencyProfile {
         Duration::from_nanos(self.hist.mean() as u64)
     }
 
-    /// Approximate `q`-quantile latency, at the histogram's power-of-two
+    /// Approximate `q`-quantile latency, interpolated within the
+    /// histogram's power-of-two
     /// bucket resolution (zero when empty).
     pub fn quantile(&self, q: f64) -> Duration {
         Duration::from_nanos(self.hist.quantile(q))

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod replay;
 pub mod serve;
 
 use free_corpus::{Corpus, FsCorpus};
@@ -359,6 +360,17 @@ impl SearchIndex {
             },
         );
         Ok(out)
+    }
+
+    /// Executes `pattern` to completion and returns `(matching_docs,
+    /// match_count)` — the two counters `free replay` verifies against a
+    /// captured query record.
+    pub fn counts(&self, pattern: &str) -> Result<(u64, u64)> {
+        let mut result = self.engine.query(pattern)?;
+        let matches = result.all_matches()?;
+        let docs = matches.len() as u64;
+        let spans = matches.iter().map(|d| d.spans.len() as u64).sum();
+        Ok((docs, spans))
     }
 
     /// Explains the access plan for a pattern.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--force] [--verbose] [--stats-json] <ROOT>
-//! freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] [--files-only] [--stats-json] <PATTERN>
+//! freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] [--files-only] [--stats-json] [--query-log DIR] [--slow-ms N] <PATTERN>
 //! freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>
 //! freegrep analyze [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
@@ -13,7 +13,9 @@
 //! freegrep compact [--dir DIR]
 //! freegrep segments [--dir DIR] [--json]
 //! freegrep fsck [--json] [--deep] [--sample N] [PATH]
-//! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]
+//! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N] [--query-log DIR] [--slow-ms N]
+//! freegrep log <LOGDIR> [--tail N] [--filter SUBSTR] [--slow] [--stats] [--analyze] [--json]
+//! freegrep replay <LOGDIR> (--index DIR | --dir LIVEDIR) [--qps N] [--threads N] [--json]
 //! ```
 //!
 //! The same binary also installs as `free`, so the analyzer reads as
@@ -128,6 +130,8 @@ fn run(args: &[String]) -> CmdResult {
             let mut stats_json = false;
             let mut analyze = false;
             let mut json = false;
+            let mut query_log: Option<PathBuf> = None;
+            let mut slow_ms: Option<u64> = None;
             let mut pattern: Option<String> = None;
             let mut i = 0;
             while i < rest.len() {
@@ -139,6 +143,14 @@ fn run(args: &[String]) -> CmdResult {
                     "--live" => {
                         i += 1;
                         live_dir = Some(value(rest, i, "--live")?.into());
+                    }
+                    "--query-log" => {
+                        i += 1;
+                        query_log = Some(value(rest, i, "--query-log")?.into());
+                    }
+                    "--slow-ms" => {
+                        i += 1;
+                        slow_ms = Some(value(rest, i, "--slow-ms")?.parse()?);
                     }
                     "--limit" => {
                         i += 1;
@@ -157,6 +169,17 @@ fn run(args: &[String]) -> CmdResult {
                 }
                 i += 1;
             }
+            if query_log.is_some() && command != "search" {
+                return Err("--query-log only applies to search".into());
+            }
+            if let Some(dir) = &query_log {
+                // Capture this search into the durable query log; the
+                // writer is sealed (CRC footer) on shutdown below.
+                free_trace::qlog::install(free_trace::LogWriter::create(dir)?);
+                if let Some(ms) = slow_ms {
+                    free_trace::qlog::set_slow_threshold_ns(Some(ms.saturating_mul(1_000_000)));
+                }
+            }
             if command == "metrics" {
                 // With a pattern, run one full query first so the registry
                 // has something to show; bare `metrics` just dumps it.
@@ -171,13 +194,17 @@ fn run(args: &[String]) -> CmdResult {
                     return Err("--live only applies to search".into());
                 }
                 let pattern = pattern.ok_or("search needs a PATTERN")?;
-                return Ok((freegrep::live_search(&dir, &pattern, threads)?, 0));
+                let output = freegrep::live_search(&dir, &pattern, threads);
+                free_trace::qlog::shutdown(); // seals the captured log
+                return Ok((output?, 0));
             }
             let index = SearchIndex::open_with_threads(&index_dir, threads)?;
             match command.as_str() {
                 "search" => {
                     let pattern = pattern.ok_or("search needs a PATTERN")?;
-                    Ok((index.search(&pattern, limit, files_only, stats_json)?, 0))
+                    let output = index.search(&pattern, limit, files_only, stats_json);
+                    free_trace::qlog::shutdown(); // seals the captured log
+                    Ok((output?, 0))
                 }
                 "explain" => {
                     let pattern = pattern.ok_or("explain needs a PATTERN")?;
@@ -293,6 +320,14 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         options.threads = value(rest, i, "--threads")?.parse()?;
                     }
+                    "--query-log" => {
+                        i += 1;
+                        options.query_log = Some(value(rest, i, "--query-log")?.into());
+                    }
+                    "--slow-ms" => {
+                        i += 1;
+                        options.slow_ms = Some(value(rest, i, "--slow-ms")?.parse()?);
+                    }
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
                 i += 1;
@@ -305,6 +340,85 @@ fn run(args: &[String]) -> CmdResult {
                 let _ = std::io::Write::flush(&mut std::io::stdout());
             })?;
             Ok(("shutdown complete\n".to_string(), 0))
+        }
+        "log" => {
+            let mut dir: Option<PathBuf> = None;
+            let mut tail = 0usize;
+            let mut filter: Option<String> = None;
+            let mut slow_only = false;
+            let mut stats = false;
+            let mut analyze = false;
+            let mut json = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--tail" => {
+                        i += 1;
+                        tail = value(rest, i, "--tail")?.parse()?;
+                    }
+                    "--filter" => {
+                        i += 1;
+                        filter = Some(value(rest, i, "--filter")?.to_string());
+                    }
+                    "--slow" => slow_only = true,
+                    "--stats" => stats = true,
+                    "--analyze" => analyze = true,
+                    "--json" => json = true,
+                    arg if !arg.starts_with('-') => dir = Some(arg.into()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            let dir = dir.ok_or("log needs a LOGDIR")?;
+            let mut options = freegrep::replay::LogOptions::new(dir);
+            options.tail = tail;
+            options.filter = filter;
+            options.slow_only = slow_only;
+            options.stats = stats;
+            options.analyze = analyze;
+            options.json = json;
+            Ok(freegrep::replay::log_report(&options)?)
+        }
+        "replay" => {
+            let mut log_dir: Option<PathBuf> = None;
+            let mut index: Option<PathBuf> = None;
+            let mut live_dir: Option<PathBuf> = None;
+            let mut qps = 0u64;
+            let mut threads = 0usize;
+            let mut json = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--index" => {
+                        i += 1;
+                        index = Some(value(rest, i, "--index")?.into());
+                    }
+                    "--dir" => {
+                        i += 1;
+                        live_dir = Some(value(rest, i, "--dir")?.into());
+                    }
+                    "--qps" => {
+                        i += 1;
+                        qps = value(rest, i, "--qps")?.parse()?;
+                    }
+                    "--threads" => {
+                        i += 1;
+                        threads = value(rest, i, "--threads")?.parse()?;
+                    }
+                    "--json" => json = true,
+                    arg if !arg.starts_with('-') => log_dir = Some(arg.into()),
+                    other => return Err(format!("unknown option {other}\n{}", usage()).into()),
+                }
+                i += 1;
+            }
+            let log_dir = log_dir.ok_or("replay needs a LOGDIR")?;
+            let mut options = freegrep::replay::ReplayOptions::new(log_dir);
+            options.index = index;
+            options.live_dir = live_dir;
+            options.qps = qps;
+            options.threads = threads;
+            options.json = json;
+            Ok(freegrep::replay::replay(&options)?)
         }
         "--help" | "-h" | "help" => Ok((format!("{}\n", usage()), 0)),
         other => Err(format!("unknown command {other}\n{}", usage()).into()),
@@ -321,7 +435,7 @@ fn usage() -> String {
     "usage:\n  freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] \
      [--force] [--verbose] [--stats-json] <ROOT>\n  \
      freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] \
-     [--files-only] [--stats-json] <PATTERN>\n  \
+     [--files-only] [--stats-json] [--query-log DIR] [--slow-ms N] <PATTERN>\n  \
      freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>\n  \
      freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n  \
      freegrep metrics [--index DIR] [PATTERN]\n  \
@@ -331,7 +445,12 @@ fn usage() -> String {
      freegrep compact [--dir DIR]\n  \
      freegrep segments [--dir DIR] [--json]\n  \
      freegrep fsck [--json] [--deep] [--sample N] [PATH]\n  \
-     freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N]\n\n\
+     freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N] \
+     [--query-log DIR] [--slow-ms N]\n  \
+     freegrep log <LOGDIR> [--tail N] [--filter SUBSTR] [--slow] [--stats] \
+     [--analyze] [--json]\n  \
+     freegrep replay <LOGDIR> (--index DIR | --dir LIVEDIR) [--qps N] \
+     [--threads N] [--json]\n\n\
      --threads N confirms candidates with N worker threads \
      (default 0 = one per CPU); results are identical for any N\n\
      explain --analyze executes the query with per-operator instrumentation \
@@ -349,6 +468,13 @@ fn usage() -> String {
      no-false-negative guarantee; exits 1 on any FA4xx error finding\n\
      serve answers line-delimited JSON requests over TCP on 127.0.0.1 \
      (send {\"shutdown\":true} to stop; --port 0 picks an ephemeral port, \
-     announced on stdout)"
+     announced on stdout)\n\
+     --query-log DIR captures one crash-safe JSONL record per query into \
+     DIR; --slow-ms N additionally captures a full explain-analyze tree \
+     for queries slower than N ms (0 = every query)\n\
+     log tails/filters a captured query log (--stats mines it for FA6xx \
+     workload diagnostics); replay re-executes a captured workload \
+     against --index DIR or --dir LIVEDIR (--qps N paces it open-loop) \
+     and exits 1 if any query's result counts diverge from the record"
         .to_string()
 }

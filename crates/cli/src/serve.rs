@@ -42,7 +42,7 @@ use free_trace::JsonValue;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -63,16 +63,25 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Confirmation threads per query (`0` = one per CPU).
     pub threads: usize,
+    /// Directory for the durable query/access log (`None` = logging
+    /// off). Installed process-wide for the server's lifetime; sealed
+    /// on graceful shutdown.
+    pub query_log: Option<PathBuf>,
+    /// Slow-query threshold in milliseconds (`None` = flight recorder
+    /// off; `0` captures every query).
+    pub slow_ms: Option<u64>,
 }
 
 impl ServeOptions {
-    /// Defaults: ephemeral port, auto-sized pools.
+    /// Defaults: ephemeral port, auto-sized pools, logging off.
     pub fn new(dir: impl Into<PathBuf>) -> ServeOptions {
         ServeOptions {
             dir: dir.into(),
             port: 0,
             workers: 0,
             threads: 0,
+            query_log: None,
+            slow_ms: None,
         }
     }
 }
@@ -91,6 +100,11 @@ struct ServeCtx {
     errors: free_trace::Counter,
     query_ns: free_trace::Histogram,
     connections: free_trace::Gauge,
+    /// Monotonic request-id source; ids are echoed in every response
+    /// (`"request_id"`), recorded on the request span, and stamped on
+    /// access-log records, so a client reply, a trace, and a log line
+    /// are all correlatable.
+    next_request_id: AtomicU64,
 }
 
 /// Runs the server until a client sends `{"shutdown":true}`.
@@ -100,6 +114,12 @@ struct ServeCtx {
 /// discover an ephemeral port), then serves connections on a fixed
 /// worker pool. Returns once every in-flight request has been answered.
 pub fn serve(options: &ServeOptions, announce: impl FnOnce(SocketAddr)) -> Result<()> {
+    if let Some(log_dir) = &options.query_log {
+        free_trace::qlog::install(free_trace::LogWriter::create(log_dir)?);
+    }
+    if let Some(ms) = options.slow_ms {
+        free_trace::qlog::set_slow_threshold_ns(Some(ms.saturating_mul(1_000_000)));
+    }
     let live = LiveHandle::open_or_create(&options.dir, crate::live_config(options.threads))?;
     let listener = TcpListener::bind(("127.0.0.1", options.port))?;
     let addr = listener.local_addr()?;
@@ -128,6 +148,7 @@ pub fn serve(options: &ServeOptions, announce: impl FnOnce(SocketAddr)) -> Resul
         errors: registry.counter("free_serve_errors_total", "requests answered with ok:false"),
         query_ns: registry.histogram("free_serve_query_ns", "per-query latency in nanoseconds"),
         connections: registry.gauge("free_serve_connections", "currently open connections"),
+        next_request_id: AtomicU64::new(0),
     });
     announce(addr);
 
@@ -167,6 +188,11 @@ pub fn serve(options: &ServeOptions, announce: impl FnOnce(SocketAddr)) -> Resul
     drop(tx);
     for worker in pool {
         let _ = worker.join();
+    }
+    if options.query_log.is_some() {
+        // Seal the current log segment so a stopped server leaves a
+        // fully verifiable directory behind.
+        free_trace::qlog::shutdown();
     }
     Ok(())
 }
@@ -227,48 +253,93 @@ fn handle_connection(stream: TcpStream, ctx: &ServeCtx) {
     ctx.connections.add(-1);
 }
 
+/// The keys that name protocol commands, in dispatch order.
+const COMMANDS: [&str; 9] = [
+    "query", "add", "delete", "flush", "compact", "stats", "metrics", "ping", "shutdown",
+];
+
+/// Which command a parsed request names (for spans and the access log).
+fn command_name(request: &JsonValue) -> &'static str {
+    COMMANDS
+        .iter()
+        .find(|k| request.get(k).is_some())
+        .copied()
+        .unwrap_or("unknown")
+}
+
 /// Parses and executes one request line, returning the response line
 /// and whether this connection should close (shutdown acknowledged).
+/// Every request gets a fresh id, echoed in the response, recorded on
+/// the span, and — when a query log is installed — written to the
+/// access log with the command, outcome, and latency.
 fn dispatch(line: &[u8], ctx: &ServeCtx) -> (String, bool) {
     ctx.requests.inc();
+    let request_id = ctx.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let started = Instant::now();
     let mut span = ctx.tracer.span("serve.request");
+    span.record("request_id", request_id);
     let parsed = std::str::from_utf8(line)
         .map_err(|_| "request is not UTF-8".to_string())
         .and_then(|s| JsonValue::parse(s.trim()));
-    let request = match parsed {
-        Ok(v) => v,
-        Err(e) => return (error_response(ctx, &format!("bad request: {e}")), false),
+    let (response, stop, cmd, ok) = match parsed {
+        Ok(request) => {
+            let cmd = command_name(&request);
+            span.record("kind", cmd);
+            match execute_request(&request, ctx, request_id) {
+                Ok((response, stop)) => (response, stop, cmd, true),
+                Err(e) => (
+                    error_response(ctx, request_id, &e.to_string()),
+                    false,
+                    cmd,
+                    false,
+                ),
+            }
+        }
+        Err(e) => (
+            error_response(ctx, request_id, &format!("bad request: {e}")),
+            false,
+            "unparsed",
+            false,
+        ),
     };
-    let outcome = execute_request(&request, ctx, &mut span);
-    match outcome {
-        Ok((response, stop)) => (response, stop),
-        Err(e) => (error_response(ctx, &e.to_string()), false),
+    if free_trace::qlog::enabled() {
+        let mut o = JsonObject::new();
+        o.field_str("type", "access")
+            .field_u64("ts_ms", free_engine::qlog::now_ms())
+            .field_u64("request_id", request_id)
+            .field_str("cmd", cmd)
+            .field_bool("ok", ok)
+            .field_u64(
+                "total_ns",
+                started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
+        free_trace::qlog::emit(o.finish());
     }
+    (response, stop)
 }
 
 /// Renders an `ok:false` response and counts it.
-fn error_response(ctx: &ServeCtx, message: &str) -> String {
+fn error_response(ctx: &ServeCtx, request_id: u64, message: &str) -> String {
     ctx.errors.inc();
     let mut o = JsonObject::new();
-    o.field_bool("ok", false).field_str("error", message);
+    o.field_bool("ok", false)
+        .field_u64("request_id", request_id)
+        .field_str("error", message);
     o.finish()
 }
 
-/// Executes a parsed request against the index.
-fn execute_request(
-    request: &JsonValue,
-    ctx: &ServeCtx,
-    span: &mut free_trace::Span,
-) -> Result<(String, bool)> {
+/// Executes a parsed request against the index. Every response object
+/// echoes the request's id.
+fn execute_request(request: &JsonValue, ctx: &ServeCtx, request_id: u64) -> Result<(String, bool)> {
+    let mut o = JsonObject::new();
+    o.field_bool("ok", true).field_u64("request_id", request_id);
     if let Some(pattern) = request.get("query") {
         let pattern = pattern
             .as_str()
             .ok_or_else(|| CliError::Manifest("\"query\" must be a string".into()))?;
-        span.record("kind", "query");
-        return Ok((run_query(pattern, request, ctx)?, false));
+        return Ok((run_query(pattern, request, ctx, request_id)?, false));
     }
     if let Some(docs) = request.get("add") {
-        span.record("kind", "add");
         let items = docs
             .as_array()
             .ok_or_else(|| CliError::Manifest("\"add\" must be an array of strings".into()))?;
@@ -287,66 +358,48 @@ fn execute_request(
         for s in &seqs {
             arr.push_u64(u64::from(*s));
         }
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_raw("seqs", arr.finish());
+        o.field_raw("seqs", arr.finish());
         return Ok((o.finish(), false));
     }
     if let Some(seq) = request.get("delete") {
-        span.record("kind", "delete");
         let seq = seq
             .as_u64()
             .and_then(|s| u32::try_from(s).ok())
             .ok_or_else(|| CliError::Manifest("\"delete\" must be a sequence number".into()))?;
         lock_writer(ctx).delete(seq)?;
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true)
-            .field_u64("deleted", u64::from(seq));
+        o.field_u64("deleted", u64::from(seq));
         return Ok((o.finish(), false));
     }
     if request.get("flush").is_some() {
-        span.record("kind", "flush");
         let changed = lock_writer(ctx).flush()?;
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_bool("changed", changed);
+        o.field_bool("changed", changed);
         return Ok((o.finish(), false));
     }
     if request.get("compact").is_some() {
-        span.record("kind", "compact");
         let changed = lock_writer(ctx).compact()?;
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_bool("changed", changed);
+        o.field_bool("changed", changed);
         return Ok((o.finish(), false));
     }
     if request.get("stats").is_some() {
-        span.record("kind", "stats");
         let stats = lock_writer(ctx).stats_json();
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_raw("stats", stats);
+        o.field_raw("stats", stats);
         return Ok((o.finish(), false));
     }
     if request.get("metrics").is_some() {
-        span.record("kind", "metrics");
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true)
-            .field_str("metrics", &crate::metrics_text());
+        o.field_str("metrics", &crate::metrics_text());
         return Ok((o.finish(), false));
     }
     if request.get("ping").is_some() {
-        span.record("kind", "ping");
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true)
-            .field_bool("pong", true)
+        o.field_bool("pong", true)
             .field_u64("generation", ctx.reader.generation());
         return Ok((o.finish(), false));
     }
     if request.get("shutdown").is_some() {
-        span.record("kind", "shutdown");
         ctx.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop so it observes the flag; a failure
         // here just means the next real connection triggers the exit.
         let _ = TcpStream::connect(ctx.addr);
-        let mut o = JsonObject::new();
-        o.field_bool("ok", true).field_bool("shutting_down", true);
+        o.field_bool("shutting_down", true);
         return Ok((o.finish(), true));
     }
     Err(CliError::Manifest(
@@ -357,7 +410,12 @@ fn execute_request(
 
 /// Runs one search against the freshest published snapshot (never
 /// touching the writer lock) and renders the response.
-fn run_query(pattern: &str, request: &JsonValue, ctx: &ServeCtx) -> Result<String> {
+fn run_query(
+    pattern: &str,
+    request: &JsonValue,
+    ctx: &ServeCtx,
+    request_id: u64,
+) -> Result<String> {
     ctx.queries.inc();
     let limit = request
         .get("limit")
@@ -385,6 +443,7 @@ fn run_query(pattern: &str, request: &JsonValue, ctx: &ServeCtx) -> Result<Strin
     }
     let mut o = JsonObject::new();
     o.field_bool("ok", true)
+        .field_u64("request_id", request_id)
         .field_u64("generation", snapshot.generation())
         .field_u64("total", result.matches.len() as u64)
         .field_raw("matches", matches.finish());
@@ -436,9 +495,13 @@ mod tests {
                 .map(<[_]>::len),
             Some(3)
         );
+        // Every response carries a request id; ids increase.
+        let first_id = added.get("request_id").and_then(JsonValue::as_u64).unwrap();
+        assert!(first_id >= 1);
 
         let found = roundtrip(addr, r#"{"query":"needle","docs":true}"#);
         assert_eq!(found.get("total").and_then(JsonValue::as_u64), Some(2));
+        assert!(found.get("request_id").and_then(JsonValue::as_u64).unwrap() > first_id);
         let first = &found.get("matches").and_then(JsonValue::as_array).unwrap()[0];
         assert_eq!(
             first.get("doc").and_then(JsonValue::as_str),
@@ -453,6 +516,8 @@ mod tests {
         let bad = roundtrip(addr, "not json");
         assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
         assert!(bad.get("error").and_then(JsonValue::as_str).is_some());
+        // Errors are correlatable too.
+        assert!(bad.get("request_id").and_then(JsonValue::as_u64).is_some());
 
         let bye = roundtrip(addr, r#"{"shutdown":true}"#);
         assert_eq!(
@@ -499,6 +564,68 @@ mod tests {
             Some(true)
         );
         handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_captures_query_and_access_log() {
+        let dir = std::env::temp_dir().join(format!("free-serve-qlog-{}", std::process::id()));
+        let log_dir = dir.join("qlog");
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = ServeOptions {
+            workers: 2,
+            threads: 1,
+            query_log: Some(log_dir.clone()),
+            slow_ms: Some(0), // every query trips the flight recorder
+            ..ServeOptions::new(dir.join("idx"))
+        };
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            serve(&options, move |addr| tx.send(addr).unwrap()).unwrap();
+        });
+        let addr = rx.recv().unwrap();
+
+        roundtrip(addr, r#"{"add":["qlog needle","qlog hay"]}"#);
+        let found = roundtrip(addr, r#"{"query":"qlog.needle"}"#);
+        assert_eq!(found.get("total").and_then(JsonValue::as_u64), Some(1));
+        roundtrip(addr, r#"{"shutdown":true}"#);
+        handle.join().unwrap();
+
+        // Shutdown sealed the log; it must contain this server's access
+        // records and the query record, flagged slow. (Other tests in
+        // this process may interleave records — filter, don't count.)
+        let segments = free_trace::qlog::read_dir(&log_dir).unwrap();
+        assert!(!segments.is_empty());
+        let records: Vec<JsonValue> = segments
+            .iter()
+            .flat_map(|s| s.trusted_records().iter())
+            .map(|line| JsonValue::parse(line).unwrap())
+            .collect();
+        let query = records
+            .iter()
+            .find(|r| {
+                r.get("type").and_then(JsonValue::as_str) == Some("query")
+                    && r.get("pattern").and_then(JsonValue::as_str) == Some("qlog.needle")
+            })
+            .expect("query record captured");
+        assert_eq!(
+            query.get("source").and_then(JsonValue::as_str),
+            Some("live")
+        );
+        assert_eq!(query.get("slow").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            query
+                .get("stats")
+                .and_then(|s| s.get("matching_docs"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        let access_query = records.iter().any(|r| {
+            r.get("type").and_then(JsonValue::as_str) == Some("access")
+                && r.get("cmd").and_then(JsonValue::as_str) == Some("query")
+                && r.get("request_id").and_then(JsonValue::as_u64).is_some()
+        });
+        assert!(access_query, "access record for the query is present");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,6 +38,12 @@ pub struct QueryResult<'e, C: Corpus, I: IndexRead> {
     prefilter: Vec<Finder>,
     stats: QueryStats,
     span: free_trace::Span,
+    /// A confirmation pass ran to exhaustion (no early stop), so
+    /// `stats.matching_docs` is the full answer. Recorded into the
+    /// query log; `free replay` verifies only complete records.
+    confirm_complete: bool,
+    /// The completing pass counted spans (`stats.match_count` is real).
+    confirm_spans: bool,
 }
 
 impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
@@ -61,6 +67,8 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             prefilter,
             stats,
             span,
+            confirm_complete: false,
+            confirm_spans: false,
         }
     }
 
@@ -126,6 +134,7 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         let threads = self.engine.config().effective_threads();
         let mut confirm_span = self.span.child("query.confirm");
         let examined_before = self.stats.docs_examined;
+        let mut stopped_early = false;
         let result = confirm_source(
             corpus,
             &self.regex,
@@ -134,8 +143,16 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             &self.prefilter,
             threads,
             &mut self.stats,
-            on_doc,
+            &mut |doc, spans| {
+                let keep_going = on_doc(doc, spans);
+                stopped_early |= !keep_going;
+                keep_going
+            },
         );
+        if result.is_ok() && !stopped_early {
+            self.confirm_complete = true;
+            self.confirm_spans |= want_spans;
+        }
         if confirm_span.is_enabled() {
             confirm_span.record("threads", threads);
             confirm_span.record("docs_examined", self.stats.docs_examined - examined_before);
@@ -200,13 +217,40 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
 impl<C: Corpus, I: IndexRead> Drop for QueryResult<'_, C, I> {
     /// Every query result folds its final counters into the process-wide
     /// metrics registry exactly once, on drop — however much of the query
-    /// was actually consumed.
+    /// was actually consumed — and, when a durable query log is
+    /// installed, appends one record to it. A query that crossed the
+    /// slow threshold is re-executed under
+    /// [`Engine::explain_analyze`](crate::Engine::explain_analyze) so
+    /// the record carries the full per-operator tree (the flight
+    /// recorder); `explain_analyze` never constructs a `QueryResult`, so
+    /// this cannot recurse.
     fn drop(&mut self) {
         if let CandidateSource::Stream(st) = &mut self.source {
             st.refresh(&mut self.stats);
         }
         crate::metrics::record_query(free_trace::metrics::global(), &self.stats);
         self.span.record("matches", self.stats.match_count);
+        if free_trace::qlog::enabled() {
+            let slow = crate::qlog::is_slow(&self.stats);
+            let analyze = if slow {
+                self.engine
+                    .explain_analyze(self.regex.pattern())
+                    .ok()
+                    .map(|a| a.to_json())
+            } else {
+                None
+            };
+            free_trace::qlog::emit(crate::qlog::query_record(
+                "batch",
+                self.regex.pattern(),
+                &self.stats,
+                &self.physical.gram_keys(),
+                self.confirm_complete,
+                self.confirm_spans,
+                slow,
+                analyze,
+            ));
+        }
     }
 }
 

@@ -43,6 +43,7 @@ pub mod exec;
 pub mod grams;
 pub mod metrics;
 pub mod plan;
+pub mod qlog;
 pub mod select;
 
 mod engine;

@@ -177,6 +177,32 @@ impl PhysicalPlan {
             PhysicalPlan::Scan => 0,
         }
     }
+
+    /// Every index key the plan fetches, deduplicated, in plan order —
+    /// what the query log records so workload mining can see which
+    /// multigrams real traffic leans on.
+    pub fn gram_keys(&self) -> Vec<&[u8]> {
+        fn walk<'p>(plan: &'p PhysicalPlan, out: &mut Vec<&'p [u8]>) {
+            match plan {
+                PhysicalPlan::Fetch { keys, .. } => {
+                    for key in keys {
+                        if !out.contains(&key.as_ref()) {
+                            out.push(key.as_ref());
+                        }
+                    }
+                }
+                PhysicalPlan::And(cs) | PhysicalPlan::Or(cs) => {
+                    for c in cs {
+                        walk(c, out);
+                    }
+                }
+                PhysicalPlan::Scan => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
 }
 
 /// `None` plays the role of NULL during resolution.

@@ -117,7 +117,30 @@ pub(crate) fn execute(
     let mut result = execute_prepared(inputs, &prepared, threads, want_spans, &query_span)?;
     result.stats.base.plan_time += prep_time;
     free_engine::record_query(free_trace::metrics::global(), &result.stats.base);
+    emit_qlog(pattern, &result.stats.base, want_spans);
     Ok(result)
+}
+
+/// Appends one record for a finished live query to the durable query
+/// log (no-op when none is installed). Live confirmation always runs to
+/// exhaustion, so records are `complete`; physical plans differ per
+/// source, so no gram keys are recorded, and there is no per-operator
+/// flight-recorder tree on the live path (the analyze executor is
+/// batch-only) — slow live queries are still flagged `slow`.
+pub(crate) fn emit_qlog(pattern: &str, stats: &QueryStats, want_spans: bool) {
+    if free_trace::qlog::enabled() {
+        let slow = free_engine::qlog::is_slow(stats);
+        free_trace::qlog::emit(free_engine::qlog::query_record(
+            "live",
+            pattern,
+            stats,
+            &[],
+            true,
+            want_spans,
+            slow,
+            None,
+        ));
+    }
 }
 
 /// A pattern parsed and logically planned once, reusable across every

@@ -869,13 +869,16 @@ impl ShardedSnapshot {
         let budgets = partition_threads(threads, n);
         let mut outcomes: Vec<Result<LiveQueryResult>> = Vec::with_capacity(n);
         if n == 1 {
-            outcomes.push(execute_prepared(
+            let started = Instant::now();
+            let outcome = execute_prepared(
                 &exec_inputs(&self.shards[0]),
                 &prepared,
                 budgets[0],
                 want_spans,
                 &query_span,
-            ));
+            );
+            record_shard_red(0, outcome.is_ok(), started.elapsed());
+            outcomes.push(outcome);
         } else {
             std::thread::scope(|scope| {
                 let prepared = &prepared;
@@ -888,13 +891,16 @@ impl ShardedSnapshot {
                         let mut span = query_span.child("live.query.shard");
                         span.record("shard", s as u64);
                         scope.spawn(move || {
-                            execute_prepared(
+                            let started = Instant::now();
+                            let outcome = execute_prepared(
                                 &exec_inputs(snap),
                                 prepared,
                                 budget,
                                 want_spans,
                                 &span,
-                            )
+                            );
+                            record_shard_red(s, outcome.is_ok(), started.elapsed());
+                            outcome
                         })
                     })
                     .collect();
@@ -946,6 +952,7 @@ impl ShardedSnapshot {
         }
 
         free_engine::record_query(free_trace::metrics::global(), &stats);
+        crate::query::emit_qlog(pattern, &stats, want_spans);
         Ok(LiveQueryResult {
             matches,
             stats: LiveQueryStats {
@@ -956,6 +963,41 @@ impl ShardedSnapshot {
             },
         })
     }
+}
+
+/// Folds one shard's slice of a fanned-out query into the per-shard RED
+/// series (`free_shard_queries_total` / `free_shard_query_errors_total`
+/// / `free_shard_query_ns`, all labeled `{shard="s"}`), so a hot or
+/// slow shard is visible in `free metrics` without per-query logs. The
+/// error series is touched (by zero) on success too, so all three
+/// series exist for every shard from its first query.
+fn record_shard_red(shard: usize, ok: bool, elapsed: std::time::Duration) {
+    let registry = free_trace::metrics::global();
+    let label = shard.to_string();
+    registry
+        .labeled_counter(
+            "free_shard_queries_total",
+            "per-shard query executions",
+            "shard",
+            &label,
+        )
+        .inc();
+    registry
+        .labeled_counter(
+            "free_shard_query_errors_total",
+            "per-shard query failures",
+            "shard",
+            &label,
+        )
+        .add(u64::from(!ok));
+    registry
+        .labeled_histogram(
+            "free_shard_query_ns",
+            "per-shard query latency in nanoseconds",
+            "shard",
+            &label,
+        )
+        .observe_duration(elapsed);
 }
 
 /// Borrows one shard snapshot as executor inputs.

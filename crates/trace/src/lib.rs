@@ -18,13 +18,20 @@
 //! * [`json`] — the small hand-rolled JSON writer the workspace uses for
 //!   `--stats-json` and `explain --analyze --json` output (the workspace
 //!   carries no serde).
+//! * [`qlog`] — the durable query log: a non-blocking bounded-queue
+//!   JSONL writer producing size-rotated, CRC-sealed segments, plus the
+//!   verifying reader behind `free log` / `free replay` and the
+//!   process-wide slow-query threshold the engine's flight recorder
+//!   consults.
 
 #![forbid(unsafe_code)]
 
 pub mod json;
 pub mod metrics;
+pub mod qlog;
 pub mod span;
 
 pub use json::{JsonArray, JsonObject, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use qlog::{LogConfig, LogWriter};
 pub use span::{Event, EventKind, Span, Tracer, Value};

@@ -1,0 +1,745 @@
+//! Durable, crash-safe query log: size-rotated JSONL segments with
+//! CRC32-sealed footers, written off the query path by a bounded-queue
+//! background thread.
+//!
+//! The in-memory metrics registry and trace ring buffer die with the
+//! process; this module is the persistent record of what the engine was
+//! asked and how it answered — the substrate for `free log`, `free
+//! replay`, and workload-aware gram selection (ROADMAP item 3).
+//!
+//! # Write path
+//!
+//! [`LogWriter`] owns a background thread and a bounded
+//! [`std::sync::mpsc::sync_channel`]. [`LogWriter::emit`] is
+//! **non-blocking**: if the queue is full the record is dropped and the
+//! `free_qlog_dropped_total` counter is bumped — the query hot path is
+//! never back-pressured by disk. Records that reach the thread are
+//! appended to the current segment and counted in
+//! `free_qlog_records_total` (persisted records only, so the two
+//! counters partition `emit` calls exactly).
+//!
+//! # On-disk format
+//!
+//! A log directory holds segments `qlog-NNNNNN.jsonl`, numbered by a
+//! never-reused ascending sequence (a reopened writer starts after the
+//! highest existing segment; it never appends to one). Each segment is
+//! newline-delimited JSON records. When a segment reaches the rotation
+//! size — or the writer closes cleanly — it is *sealed* with one footer
+//! line:
+//!
+//! ```text
+//! #FREEQLOG1 crc=xxxxxxxx records=N
+//! ```
+//!
+//! where `crc` is the CRC32 (`free-checksum`, same discipline as the
+//! PR 6 index footers) of every byte preceding the footer line and `N`
+//! the record count. Invariants readers rely on:
+//!
+//! * a sealed segment's bytes are exactly as written (CRC-verified);
+//! * only the highest-numbered segment may be unsealed (a crash leaves
+//!   at most one unsealed tail);
+//! * in an unsealed tail, every complete (newline-terminated) line is a
+//!   whole record — a crash can only tear the final, unterminated line,
+//!   which readers skip.
+//!
+//! `free fsck` checks all three; [`read_dir`] classifies each segment so
+//! `free log` / `free replay` consume only trustworthy records.
+//!
+//! # Global slot
+//!
+//! Emission points (engine, live index, server) reach the writer through
+//! a process-wide slot ([`install`] / [`emit`] / [`shutdown`]). When no
+//! writer is installed, [`enabled`] is a single relaxed atomic load —
+//! the disabled cost the `trace_overhead` guard holds to <5%. The slot
+//! also carries the process-wide slow-query threshold
+//! ([`set_slow_threshold_ns`]) consulted by the engine's flight
+//! recorder.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::metrics::Counter;
+
+/// Segment file name prefix (`qlog-000001.jsonl`).
+pub const SEGMENT_PREFIX: &str = "qlog-";
+/// Segment file name suffix.
+pub const SEGMENT_SUFFIX: &str = ".jsonl";
+/// First token of a segment's sealing footer line.
+pub const FOOTER_PREFIX: &str = "#FREEQLOG1";
+
+/// Default rotation threshold: seal a segment once it holds this many
+/// record bytes. Small enough that a steady workload produces several
+/// segments per run, large enough that the footer overhead is noise.
+pub const DEFAULT_ROTATE_BYTES: u64 = 4 * 1024 * 1024;
+/// Default bounded-queue depth between `emit` and the writer thread.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Tunables for a [`LogWriter`].
+#[derive(Clone, Debug)]
+pub struct LogConfig {
+    /// Seal and rotate a segment once its record bytes reach this size.
+    pub rotate_bytes: u64,
+    /// Bounded-queue depth; `emit` drops (and counts) when it is full.
+    pub queue_capacity: usize,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            rotate_bytes: DEFAULT_ROTATE_BYTES,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+enum Msg {
+    Record(String),
+    /// Flush buffered bytes to the OS and acknowledge.
+    Sync(SyncSender<()>),
+}
+
+/// Handle to the background query-log writer. Clone-free; shared via
+/// `Arc` by the global slot. Dropping (or [`close`](LogWriter::close))
+/// drains the queue, seals the current segment, and joins the thread.
+pub struct LogWriter {
+    dir: PathBuf,
+    tx: Mutex<Option<SyncSender<Msg>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter").field("dir", &self.dir).finish()
+    }
+}
+
+impl LogWriter {
+    /// Opens (creating if needed) a log directory with default tunables.
+    pub fn create(dir: &Path) -> std::io::Result<LogWriter> {
+        LogWriter::with_config(dir, LogConfig::default())
+    }
+
+    /// Opens (creating if needed) a log directory. Existing segments are
+    /// left untouched — including a crashed predecessor's unsealed tail —
+    /// and writing starts in a fresh segment numbered after the highest
+    /// present.
+    pub fn with_config(dir: &Path, config: LogConfig) -> std::io::Result<LogWriter> {
+        std::fs::create_dir_all(dir)?;
+        let start_seq = next_seq(dir)?;
+        let registry = crate::metrics::global();
+        let records = registry.counter("free_qlog_records_total", "query-log records persisted");
+        let dropped = registry.counter(
+            "free_qlog_dropped_total",
+            "query-log records dropped (queue full or writer closed)",
+        );
+        let io_errors = registry.counter(
+            "free_qlog_io_errors_total",
+            "query-log segment write failures",
+        );
+        let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+        let thread_dir = dir.to_path_buf();
+        let handle = std::thread::Builder::new()
+            .name("free-qlog".to_string())
+            .spawn(move || {
+                writer_thread(&thread_dir, start_seq, &config, &rx, &records, &io_errors);
+            })?;
+        Ok(LogWriter {
+            dir: dir.to_path_buf(),
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+            dropped,
+        })
+    }
+
+    /// The directory this writer appends to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Enqueues one record (a single JSON object, no embedded newline).
+    /// Never blocks: a full queue or closed writer drops the record and
+    /// bumps `free_qlog_dropped_total`.
+    pub fn emit(&self, line: String) {
+        let tx = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        match tx.as_ref().map(|tx| tx.try_send(Msg::Record(line))) {
+            Some(Ok(())) => {}
+            Some(Err(TrySendError::Full(_) | TrySendError::Disconnected(_))) | None => {
+                self.dropped.inc();
+            }
+        }
+    }
+
+    /// Blocks until every record enqueued so far is written and flushed
+    /// to the OS. For tests and pre-read synchronization only — the
+    /// query path never calls this.
+    pub fn flush(&self) {
+        let tx = {
+            let guard = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.clone()
+        };
+        let Some(tx) = tx else { return };
+        let (ack_tx, ack_rx) = sync_channel(1);
+        // Blocking send is fine here: flush is off the hot path and the
+        // writer thread is guaranteed to be draining while `tx` lives.
+        if tx.send(Msg::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Drains the queue, seals the current segment, and stops the
+    /// writer thread. Idempotent; also runs on drop.
+    pub fn close(&self) {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(tx);
+        let handle = self
+            .handle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LogWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The background writer: owns the current segment, rotates on size,
+/// seals on rotation and on clean shutdown. Write failures are counted,
+/// never surfaced — observability must not take the engine down.
+fn writer_thread(
+    dir: &Path,
+    start_seq: u64,
+    config: &LogConfig,
+    rx: &Receiver<Msg>,
+    records: &Counter,
+    io_errors: &Counter,
+) {
+    let mut seg = Segment::open(dir, start_seq, io_errors);
+    loop {
+        // Block for the next message, then drain opportunistically so a
+        // burst is written in one buffered pass before flushing.
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let mut pending = Some(first);
+        while let Some(msg) = pending.take() {
+            match msg {
+                Msg::Record(line) => {
+                    seg.append(&line, records, io_errors);
+                    if seg.bytes >= config.rotate_bytes {
+                        seg.seal(io_errors);
+                        seg = Segment::open(dir, seg.seq + 1, io_errors);
+                    }
+                }
+                Msg::Sync(ack) => {
+                    seg.flush(io_errors);
+                    let _ = ack.try_send(());
+                }
+            }
+            pending = rx.try_recv().ok();
+        }
+        // Queue momentarily empty: push buffered bytes to the OS so a
+        // crash (or an impatient reader) loses at most the last burst.
+        seg.flush(io_errors);
+    }
+    seg.seal(io_errors);
+}
+
+/// One open segment on the writer side.
+struct Segment {
+    seq: u64,
+    out: Option<BufWriter<File>>,
+    crc: free_checksum::Crc32,
+    bytes: u64,
+    records: u64,
+}
+
+impl Segment {
+    fn open(dir: &Path, seq: u64, io_errors: &Counter) -> Segment {
+        let path = segment_path(dir, seq);
+        let out = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map(BufWriter::new);
+        let out = match out {
+            Ok(out) => Some(out),
+            Err(_) => {
+                io_errors.inc();
+                None
+            }
+        };
+        Segment {
+            seq,
+            out,
+            crc: free_checksum::Crc32::new(),
+            bytes: 0,
+            records: 0,
+        }
+    }
+
+    fn append(&mut self, line: &str, records: &Counter, io_errors: &Counter) {
+        let Some(out) = self.out.as_mut() else {
+            io_errors.inc();
+            return;
+        };
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .is_err()
+        {
+            io_errors.inc();
+            return;
+        }
+        self.crc.update(line.as_bytes());
+        self.crc.update(b"\n");
+        self.bytes += line.len() as u64 + 1;
+        self.records += 1;
+        records.inc();
+    }
+
+    fn flush(&mut self, io_errors: &Counter) {
+        if let Some(out) = self.out.as_mut() {
+            if out.flush().is_err() {
+                io_errors.inc();
+            }
+        }
+    }
+
+    fn seal(&mut self, io_errors: &Counter) {
+        let Some(mut out) = self.out.take() else {
+            return;
+        };
+        let footer = format!(
+            "{FOOTER_PREFIX} crc={:08x} records={}\n",
+            self.crc.clone().finish(),
+            self.records
+        );
+        if out
+            .write_all(footer.as_bytes())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            io_errors.inc();
+        }
+    }
+}
+
+/// Path of segment `seq` inside `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{seq:06}{SEGMENT_SUFFIX}"))
+}
+
+/// Parses a segment sequence number out of a file name, if it is one.
+pub fn segment_seq(name: &str) -> Option<u64> {
+    let digits = name
+        .strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Whether `dir` looks like a query-log directory (holds ≥1 segment).
+pub fn is_log_dir(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for entry in entries.flatten() {
+        if segment_seq(&entry.file_name().to_string_lossy()).is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+fn next_seq(dir: &Path) -> std::io::Result<u64> {
+    let mut max = 0u64;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = segment_seq(&entry.file_name().to_string_lossy()) {
+            max = max.max(seq);
+        }
+    }
+    Ok(max + 1)
+}
+
+/// Why a read segment's records are (or are not) trustworthy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentStatus {
+    /// Footer present, CRC and record count verified.
+    Sealed,
+    /// No footer: the writer crashed (or is still running). Complete
+    /// lines are whole records; `torn_bytes` counts a trailing
+    /// unterminated fragment, which has been skipped.
+    Unsealed {
+        /// Bytes of the torn trailing fragment (0 if none).
+        torn_bytes: u64,
+    },
+    /// Footer present but the segment does not verify; records are not
+    /// to be trusted.
+    Corrupt {
+        /// What failed: checksum mismatch or structural damage.
+        detail: String,
+    },
+}
+
+/// One segment as read back from disk.
+#[derive(Clone, Debug)]
+pub struct ReadSegment {
+    /// Absolute path of the segment file.
+    pub path: PathBuf,
+    /// Sequence number from the file name.
+    pub seq: u64,
+    /// Raw record lines (no trailing newline), in write order. Present
+    /// even for `Corrupt` segments — callers decide via
+    /// [`trusted_records`](ReadSegment::trusted_records).
+    pub records: Vec<String>,
+    /// Verification outcome.
+    pub status: SegmentStatus,
+}
+
+impl ReadSegment {
+    /// Records safe to act on: all of them for sealed segments, the
+    /// complete lines for an unsealed tail, none for a corrupt segment.
+    pub fn trusted_records(&self) -> &[String] {
+        match self.status {
+            SegmentStatus::Sealed | SegmentStatus::Unsealed { .. } => &self.records,
+            SegmentStatus::Corrupt { .. } => &[],
+        }
+    }
+}
+
+/// Reads one segment file and verifies its footer discipline.
+pub fn read_segment(path: &Path) -> std::io::Result<ReadSegment> {
+    let seq = path
+        .file_name()
+        .and_then(|n| segment_seq(&n.to_string_lossy()))
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{} is not a query-log segment name", path.display()),
+            )
+        })?;
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    // Locate a footer: the last complete line, if it starts with the
+    // footer magic. An unterminated footer is torn — treat the segment
+    // as unsealed and the fragment as the torn tail.
+    let mut records = Vec::new();
+    let mut status = None;
+    let mut line_start = 0usize;
+    let mut torn_bytes = 0u64;
+    let mut crc_before_footer = free_checksum::Crc32::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match bytes[offset..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let line = &bytes[line_start..offset + rel];
+                let is_last_line = offset + rel + 1 >= bytes.len();
+                if line.starts_with(FOOTER_PREFIX.as_bytes()) {
+                    let line = String::from_utf8_lossy(line).into_owned();
+                    if !is_last_line {
+                        status = Some(SegmentStatus::Corrupt {
+                            detail: "footer line is not the final line".to_string(),
+                        });
+                        break;
+                    }
+                    status = Some(verify_footer(&line, &crc_before_footer, records.len()));
+                } else {
+                    crc_before_footer.update(line);
+                    crc_before_footer.update(b"\n");
+                    records.push(String::from_utf8_lossy(line).into_owned());
+                }
+                offset += rel + 1;
+                line_start = offset;
+            }
+            None => {
+                // Unterminated final fragment: torn by a crash.
+                torn_bytes = (bytes.len() - line_start) as u64;
+                break;
+            }
+        }
+    }
+    let status = status.unwrap_or(SegmentStatus::Unsealed { torn_bytes });
+    Ok(ReadSegment {
+        path: path.to_path_buf(),
+        seq,
+        records,
+        status,
+    })
+}
+
+fn verify_footer(line: &str, crc: &free_checksum::Crc32, records: usize) -> SegmentStatus {
+    let mut want_crc = None;
+    let mut want_records = None;
+    for token in line.split_whitespace().skip(1) {
+        if let Some(hex) = token.strip_prefix("crc=") {
+            want_crc = u32::from_str_radix(hex, 16).ok();
+        } else if let Some(n) = token.strip_prefix("records=") {
+            want_records = n.parse::<u64>().ok();
+        }
+    }
+    let (Some(want_crc), Some(want_records)) = (want_crc, want_records) else {
+        return SegmentStatus::Corrupt {
+            detail: "footer line does not parse".to_string(),
+        };
+    };
+    let got_crc = crc.clone().finish();
+    if got_crc != want_crc {
+        return SegmentStatus::Corrupt {
+            detail: format!("checksum mismatch: footer {want_crc:08x}, computed {got_crc:08x}"),
+        };
+    }
+    if want_records != records as u64 {
+        return SegmentStatus::Corrupt {
+            detail: format!("footer records={want_records}, found {records}"),
+        };
+    }
+    SegmentStatus::Sealed
+}
+
+/// Reads every segment in `dir`, ascending by sequence number. Errors
+/// only when the directory itself is unreadable; per-segment damage is
+/// reported in each segment's [`SegmentStatus`].
+pub fn read_dir(dir: &Path) -> std::io::Result<Vec<ReadSegment>> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = segment_seq(&entry.file_name().to_string_lossy()) {
+            seqs.push((seq, entry.path()));
+        }
+    }
+    seqs.sort();
+    let mut out = Vec::with_capacity(seqs.len());
+    for (_, path) in seqs {
+        out.push(read_segment(&path)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Process-wide slot
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Slow-query threshold in ns; `u64::MAX` means the flight recorder is
+/// off. Plain atomic so the engine's Drop hook reads it lock-free.
+static SLOW_THRESHOLD_NS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+fn slot() -> &'static Mutex<Option<Arc<LogWriter>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<LogWriter>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `writer` as the process-wide query log, replacing (and
+/// closing) any previous one.
+pub fn install(writer: LogWriter) {
+    let previous = slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .replace(Arc::new(writer));
+    ENABLED.store(true, Ordering::Release);
+    drop(previous);
+}
+
+/// Whether a process-wide writer is installed. One relaxed atomic load —
+/// the entire disabled-path cost of query logging.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits one record through the process-wide writer; no-op when none is
+/// installed. Non-blocking (see [`LogWriter::emit`]).
+pub fn emit(line: String) {
+    if !enabled() {
+        return;
+    }
+    let writer = slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if let Some(writer) = writer {
+        writer.emit(line);
+    }
+}
+
+/// Blocks until the process-wide writer has flushed everything emitted
+/// so far (no-op when none is installed).
+pub fn flush() {
+    let writer = slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if let Some(writer) = writer {
+        writer.flush();
+    }
+}
+
+/// Uninstalls and closes the process-wide writer, sealing its current
+/// segment. Call before process exit for a cleanly sealed log.
+pub fn shutdown() {
+    let writer = slot().lock().unwrap_or_else(PoisonError::into_inner).take();
+    ENABLED.store(false, Ordering::Release);
+    if let Some(writer) = writer {
+        writer.close();
+    }
+}
+
+/// Sets the process-wide slow-query threshold; `None` disables the
+/// flight recorder.
+pub fn set_slow_threshold_ns(ns: Option<u64>) {
+    SLOW_THRESHOLD_NS.store(ns.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+/// Current slow-query threshold in nanoseconds (`u64::MAX` = off).
+pub fn slow_threshold_ns() -> u64 {
+    SLOW_THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "free-qlog-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_seals_and_reads_back() {
+        let dir = temp_dir("basic");
+        let w = LogWriter::create(&dir).expect("create");
+        for i in 0..10 {
+            w.emit(format!("{{\"i\":{i}}}"));
+        }
+        w.close();
+        let segs = read_dir(&dir).expect("read");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].seq, 1);
+        assert_eq!(segs[0].status, SegmentStatus::Sealed);
+        assert_eq!(segs[0].records.len(), 10);
+        assert_eq!(segs[0].records[3], "{\"i\":3}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotates_at_size_and_reopens_after_highest() {
+        let dir = temp_dir("rotate");
+        let cfg = LogConfig {
+            rotate_bytes: 64,
+            queue_capacity: 8,
+        };
+        let w = LogWriter::with_config(&dir, cfg.clone()).expect("create");
+        for i in 0..20 {
+            w.emit(format!("{{\"i\":{i},\"pad\":\"xxxxxxxxxxxxxxxx\"}}"));
+            w.flush(); // keep the queue drained so nothing drops
+        }
+        w.close();
+        let segs = read_dir(&dir).expect("read");
+        assert!(segs.len() > 1, "expected rotation, got {} segs", segs.len());
+        assert!(segs.iter().all(|s| s.status == SegmentStatus::Sealed));
+        let total: usize = segs.iter().map(|s| s.records.len()).sum();
+        assert_eq!(total, 20);
+        // Reopen: starts after the highest existing sequence.
+        let w = LogWriter::with_config(&dir, cfg).expect("reopen");
+        w.emit("{\"i\":99}".to_string());
+        w.close();
+        let reread = read_dir(&dir).expect("reread");
+        assert_eq!(reread.len(), segs.len() + 1);
+        assert_eq!(reread.last().expect("segs").records, vec!["{\"i\":99}"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_counted() {
+        let dir = temp_dir("torn");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = segment_path(&dir, 1);
+        std::fs::write(&path, b"{\"i\":0}\n{\"i\":1}\n{\"i\":2,\"tr").expect("write");
+        let seg = read_segment(&path).expect("read");
+        assert_eq!(seg.status, SegmentStatus::Unsealed { torn_bytes: 10 });
+        assert_eq!(seg.trusted_records().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_untrusted() {
+        let dir = temp_dir("corrupt");
+        let w = LogWriter::create(&dir).expect("create");
+        w.emit("{\"i\":0}".to_string());
+        w.close();
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[2] ^= 0x40; // flip a record bit under the sealed CRC
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let seg = read_segment(&path).expect("reread");
+        assert!(
+            matches!(&seg.status, SegmentStatus::Corrupt { detail } if detail.contains("checksum")),
+            "{:?}",
+            seg.status
+        );
+        assert!(seg.trusted_records().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_seq("qlog-000042.jsonl"), Some(42));
+        assert_eq!(segment_seq("qlog-.jsonl"), None);
+        assert_eq!(segment_seq("qlog-12x.jsonl"), None);
+        assert_eq!(segment_seq("wal-000001.jsonl"), None);
+        let p = segment_path(Path::new("/tmp/x"), 7);
+        assert_eq!(
+            segment_seq(&p.file_name().expect("name").to_string_lossy()),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn emit_never_blocks_when_queue_is_full() {
+        let dir = temp_dir("full");
+        let w = LogWriter::with_config(
+            &dir,
+            LogConfig {
+                rotate_bytes: u64::MAX,
+                queue_capacity: 1,
+            },
+        )
+        .expect("create");
+        // Flood far past the queue depth; emit must return promptly
+        // every time (a deadlock here would hang the test).
+        for i in 0..10_000 {
+            w.emit(format!("{{\"i\":{i}}}"));
+        }
+        w.close();
+        let segs = read_dir(&dir).expect("read");
+        let persisted: usize = segs.iter().map(|s| s.records.len()).sum();
+        assert!(persisted <= 10_000);
+        assert!(persisted >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
