@@ -91,6 +91,13 @@ pub mod codes {
     /// The key directory violates the miner's prefix-free invariant
     /// (advisory: compaction's union key set legitimately does this).
     pub const PREFIX_FREE: &str = "FA424";
+    /// The on-disk gram dictionary is inconsistent with the selector the
+    /// manifest records (e.g. a fixed-k trigram index containing keys of
+    /// another length, or a recorded selector spec that no longer
+    /// parses). The index still answers correctly — the planner consults
+    /// the actual key set — but rebuilds and compactions will not
+    /// reproduce it, so the recorded provenance is a lie.
+    pub const SELECTOR_MISMATCH: &str = "FA425";
     /// A query-log segment ends in a torn (unterminated) trailing
     /// fragment — the shape a crash mid-append leaves. Readers skip the
     /// fragment; every whole line before it is trusted (advisory).

@@ -92,6 +92,9 @@ pub struct IndexOptions {
     pub skip_dirs: Vec<String>,
     /// Usefulness threshold `c`.
     pub threshold: f64,
+    /// Gram-selection strategy (`--selector NAME[:k=v,...]`); recorded in
+    /// the manifest so reopen and fsck use the same strategy.
+    pub selector: free_engine::SelectorSpec,
     /// Print a progress line per a-priori mining pass (to stderr, live).
     pub verbose: bool,
     /// Overwrite an existing index in `index_dir`. Without this, building
@@ -115,10 +118,18 @@ impl IndexOptions {
                 "node_modules".into(),
             ],
             threshold: 0.1,
+            selector: free_engine::SelectorSpec::default(),
             verbose: false,
             force: false,
         }
     }
+}
+
+/// Parses a `--selector NAME[:k=v,...]` argument, turning selector
+/// validation failures into usage errors (the `--shards 0` precedent:
+/// degenerate parameters are refused before any file is touched).
+pub fn parse_selector(spec: &str) -> Result<free_engine::SelectorSpec> {
+    free_engine::SelectorSpec::parse(spec).map_err(|e| CliError::Usage(e.to_string()))
 }
 
 const MANIFEST_FILE: &str = "manifest.txt";
@@ -175,6 +186,7 @@ pub fn build_index_report(options: &IndexOptions) -> Result<(String, free_engine
     std::fs::create_dir_all(&options.index_dir)?;
     let config = EngineConfig {
         usefulness_threshold: options.threshold,
+        selector: options.selector.clone(),
         tracer: if options.verbose {
             verbose_tracer()
         } else {
@@ -194,6 +206,9 @@ pub fn build_index_report(options: &IndexOptions) -> Result<(String, free_engine
     let _ = writeln!(manifest, "version=1");
     let _ = writeln!(manifest, "root={}", options.root.display());
     let _ = writeln!(manifest, "threshold={}", options.threshold);
+    if !options.selector.is_default() {
+        let _ = writeln!(manifest, "selector={}", options.selector);
+    }
     let _ = writeln!(
         manifest,
         "checksum={:08x}",
@@ -243,6 +258,7 @@ impl SearchIndex {
         })?;
         let mut root: Option<PathBuf> = None;
         let mut threshold = 0.1f64;
+        let mut selector = free_engine::SelectorSpec::default();
         let mut files: Vec<PathBuf> = Vec::new();
         for (lineno, line) in manifest.lines().enumerate() {
             let Some((key, value)) = line.split_once('=') else {
@@ -264,6 +280,11 @@ impl SearchIndex {
                         .map_err(|_| CliError::Manifest(format!("bad threshold {value:?}")))?;
                 }
                 "file" => files.push(PathBuf::from(value)),
+                "selector" => {
+                    selector = free_engine::SelectorSpec::parse(value).map_err(|e| {
+                        CliError::Manifest(format!("manifest selector {value:?}: {e}"))
+                    })?;
+                }
                 _ => {} // forward compatible
             }
         }
@@ -272,6 +293,7 @@ impl SearchIndex {
         let config = EngineConfig {
             usefulness_threshold: threshold,
             num_threads: threads,
+            selector,
             ..EngineConfig::default()
         };
         let engine = Engine::open(corpus, config, index_dir.join(INDEX_FILE))?;
@@ -393,6 +415,27 @@ impl SearchIndex {
             }
         }
         Ok(out)
+    }
+
+    /// Static pattern analysis refined against this index's actual gram
+    /// dictionary (`free analyze --index DIR`): the plan class reflects
+    /// which grams the active selector kept and how selective they are,
+    /// instead of the shape-only judgment. Exit status mirrors plain
+    /// `analyze`: 1 when the report has errors, 0 otherwise.
+    pub fn analyze(&self, pattern: &str, json: bool) -> (String, i32) {
+        let cfg = free_analyze::AnalysisConfig::default();
+        let report = free_analyze::analyze_with_index(
+            pattern,
+            self.engine.index(),
+            self.engine.num_docs(),
+            &cfg,
+        );
+        let output = if json {
+            format!("{}\n", report.to_json())
+        } else {
+            report.render_human()
+        };
+        (output, i32::from(report.has_errors()))
     }
 
     /// Index statistics summary.
@@ -684,21 +727,37 @@ impl SnapshotHandle {
 /// `free create`: initializes an empty live index at `dir` — unsharded
 /// for `shards == 1`, otherwise partitioned over `shards` independent
 /// shards with round-robin document routing (the count is fixed for the
-/// lifetime of the directory).
-pub fn live_create(dir: &Path, shards: usize) -> Result<String> {
+/// lifetime of the directory). The selection strategy is likewise fixed
+/// at create time and persisted in the manifest(s) so flushes and
+/// compactions keep re-mining with it.
+pub fn live_create(
+    dir: &Path,
+    shards: usize,
+    selector: free_engine::SelectorSpec,
+) -> Result<String> {
     if shards == 0 {
         return Err(CliError::Usage(format!(
             "--shards must be between 1 and {} (got 0)",
             free_live::MAX_SHARDS
         )));
     }
-    if shards == 1 {
-        free_live::LiveIndex::create(dir, live_config(0))?;
-        Ok(format!("created live index at {}\n", dir.display()))
+    let selector_note = if selector.is_default() {
+        String::new()
     } else {
-        free_live::ShardedLiveIndex::create(dir, live_config(0), shards)?;
+        format!(" (selector {selector})")
+    };
+    let mut config = live_config(0);
+    config.engine.selector = selector;
+    if shards == 1 {
+        free_live::LiveIndex::create(dir, config)?;
         Ok(format!(
-            "created live index at {} with {shards} shards\n",
+            "created live index at {}{selector_note}\n",
+            dir.display()
+        ))
+    } else {
+        free_live::ShardedLiveIndex::create(dir, config, shards)?;
+        Ok(format!(
+            "created live index at {} with {shards} shards{selector_note}\n",
             dir.display()
         ))
     }
@@ -1167,17 +1226,17 @@ mod tests {
 
         // A zero shard count is a usage error, not a silent unsharded
         // index.
-        let zero = live_create(&live_dir, 0);
+        let zero = live_create(&live_dir, 0, free_engine::SelectorSpec::default());
         assert!(
             matches!(&zero, Err(CliError::Usage(m)) if m.contains("--shards")),
             "{zero:?}"
         );
         assert!(!live_dir.exists(), "--shards 0 must not create anything");
 
-        let created = live_create(&live_dir, 4).unwrap();
+        let created = live_create(&live_dir, 4, free_engine::SelectorSpec::default()).unwrap();
         assert!(created.contains("4 shards"), "{created}");
         // Creating over an existing index must refuse, not clobber.
-        assert!(live_create(&live_dir, 2).is_err());
+        assert!(live_create(&live_dir, 2, free_engine::SelectorSpec::default()).is_err());
 
         let out = live_add(&live_dir, &files).unwrap();
         assert!(

@@ -1,13 +1,13 @@
 //! `freegrep` — grep with a prebuilt multigram index.
 //!
 //! ```text
-//! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--force] [--verbose] [--stats-json] <ROOT>
+//! freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] [--selector SPEC] [--force] [--verbose] [--stats-json] <ROOT>
 //! freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] [--files-only] [--stats-json] [--query-log DIR] [--slow-ms N] <PATTERN>
 //! freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>
-//! freegrep analyze [--json] <PATTERN>
+//! freegrep analyze [--index DIR] [--json] <PATTERN>
 //! freegrep stats  [--index DIR]
 //! freegrep metrics [--index DIR] [PATTERN]
-//! freegrep create [--dir DIR] [--shards N]
+//! freegrep create [--dir DIR] [--shards N] [--selector SPEC]
 //! freegrep add [--dir DIR] <FILE>...
 //! freegrep delete [--dir DIR] <SEQ>...
 //! freegrep compact [--dir DIR]
@@ -56,6 +56,7 @@ fn run(args: &[String]) -> CmdResult {
             let mut out_dir: Option<PathBuf> = None;
             let mut extensions: Vec<String> = Vec::new();
             let mut threshold = 0.1f64;
+            let mut selector = free_engine::SelectorSpec::default();
             let mut force = false;
             let mut verbose = false;
             let mut stats_json = false;
@@ -78,6 +79,10 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         threshold = value(rest, i, "--c")?.parse()?;
                     }
+                    "--selector" => {
+                        i += 1;
+                        selector = freegrep::parse_selector(value(rest, i, "--selector")?)?;
+                    }
                     "--force" => force = true,
                     "--verbose" => verbose = true,
                     "--stats-json" => stats_json = true,
@@ -90,6 +95,7 @@ fn run(args: &[String]) -> CmdResult {
             let mut options = IndexOptions::new(root);
             options.extensions = extensions;
             options.threshold = threshold;
+            options.selector = selector;
             options.verbose = verbose;
             options.force = force;
             if let Some(dir) = out_dir {
@@ -104,15 +110,28 @@ fn run(args: &[String]) -> CmdResult {
         }
         "analyze" => {
             let mut json = false;
+            let mut index_dir: Option<PathBuf> = None;
             let mut pattern: Option<String> = None;
-            for arg in rest {
-                match arg.as_str() {
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
                     "--json" => json = true,
+                    "--index" => {
+                        i += 1;
+                        index_dir = Some(value(rest, i, "--index")?.into());
+                    }
                     a if !a.starts_with('-') => pattern = Some(a.to_string()),
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
+                i += 1;
             }
             let pattern = pattern.ok_or("analyze needs a PATTERN")?;
+            if let Some(dir) = index_dir {
+                // With an index, refine the plan class against the gram
+                // dictionary the active selector actually kept.
+                let index = SearchIndex::open_with_threads(&dir, 0)?;
+                return Ok(index.analyze(&pattern, json));
+            }
             let report = free_analyze::analyze(&pattern, &free_analyze::AnalysisConfig::default());
             let output = if json {
                 format!("{}\n", report.to_json())
@@ -220,6 +239,7 @@ fn run(args: &[String]) -> CmdResult {
         "create" => {
             let mut dir = PathBuf::from(freegrep::DEFAULT_LIVE_DIR);
             let mut shards = 1usize;
+            let mut selector = free_engine::SelectorSpec::default();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -231,11 +251,15 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         shards = value(rest, i, "--shards")?.parse()?;
                     }
+                    "--selector" => {
+                        i += 1;
+                        selector = freegrep::parse_selector(value(rest, i, "--selector")?)?;
+                    }
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
                 i += 1;
             }
-            Ok((freegrep::live_create(&dir, shards)?, 0))
+            Ok((freegrep::live_create(&dir, shards, selector)?, 0))
         }
         "add" | "delete" | "compact" | "segments" => {
             let mut dir = PathBuf::from(freegrep::DEFAULT_LIVE_DIR);
@@ -433,13 +457,14 @@ fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String
 
 fn usage() -> String {
     "usage:\n  freegrep index|build [--out DIR] [--ext rs,toml] [--c 0.1] \
-     [--force] [--verbose] [--stats-json] <ROOT>\n  \
+     [--selector SPEC] [--force] [--verbose] [--stats-json] <ROOT>\n  \
      freegrep search [--index DIR] [--live DIR] [--limit N] [--threads N] \
      [--files-only] [--stats-json] [--query-log DIR] [--slow-ms N] <PATTERN>\n  \
      freegrep explain [--index DIR] [--analyze] [--json] <PATTERN>\n  \
-     freegrep analyze [--json] <PATTERN>\n  freegrep stats  [--index DIR]\n  \
+     freegrep analyze [--index DIR] [--json] <PATTERN>\n  \
+     freegrep stats  [--index DIR]\n  \
      freegrep metrics [--index DIR] [PATTERN]\n  \
-     freegrep create [--dir DIR] [--shards N]\n  \
+     freegrep create [--dir DIR] [--shards N] [--selector SPEC]\n  \
      freegrep add [--dir DIR] <FILE>...\n  \
      freegrep delete [--dir DIR] <SEQ>...\n  \
      freegrep compact [--dir DIR]\n  \
@@ -459,6 +484,13 @@ fn usage() -> String {
      (run with a PATTERN to populate it from one query first)\n\
      create initializes an empty live index; --shards N > 1 partitions it \
      over N parallel shards (fixed for the directory's lifetime)\n\
+     --selector SPEC picks the gram-selection strategy, recorded in the \
+     manifest: apriori[:c=0.1] (paper Algorithm 3.1, the default), \
+     trigram[:k=3] (complete fixed-k grams), \
+     budgeted:budget=64m[,c=0.5,steps=8] (sweeps c under an index-size \
+     budget), workload:qlog=DIR[,c=0.1,max_grams=N] (mines grams from a \
+     captured query log); analyze --index DIR classifies the plan against \
+     that index's actual gram dictionary\n\
      add/delete/compact/segments operate a live (incrementally updatable) \
      index in DIR (default ./.freelive), sharded or not; \
      search --live DIR queries it\n\

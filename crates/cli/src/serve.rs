@@ -532,7 +532,7 @@ mod tests {
     fn sharded_index_serves_and_reports_shards() {
         let dir = std::env::temp_dir().join(format!("free-serve-shard-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        crate::live_create(&dir, 3).unwrap();
+        crate::live_create(&dir, 3, free_engine::SelectorSpec::default()).unwrap();
         let (addr, handle) = start_server(&dir);
 
         let added = roundtrip(

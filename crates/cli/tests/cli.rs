@@ -406,7 +406,8 @@ fn help_prints_usage() {
     assert!(out.status.success());
     let usage = String::from_utf8_lossy(&out.stdout);
     assert!(usage.contains("usage:"), "{usage}");
-    assert!(usage.contains("analyze [--json]"), "{usage}");
+    assert!(usage.contains("analyze [--index DIR] [--json]"), "{usage}");
+    assert!(usage.contains("--selector SPEC"), "{usage}");
 }
 
 #[test]

@@ -92,6 +92,13 @@ pub struct EngineConfig {
     /// test. Attach an enabled tracer to collect parse → plan → mine →
     /// execute → confirm spans.
     pub tracer: free_trace::Tracer,
+    /// Which gram-selection strategy mines the index keys (the default is
+    /// plain Algorithm 3.1 a-priori mining). Only consulted for
+    /// [`IndexKind::Multigram`] and [`IndexKind::Presuf`] — the Complete
+    /// baseline enumerates every gram by definition. Persisted in index
+    /// manifests so reopening, fsck, and compaction re-mining all use the
+    /// strategy the index was built with.
+    pub selector: free_select::SelectorSpec,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +118,7 @@ impl Default for EngineConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1),
             tracer: free_trace::Tracer::disabled(),
+            selector: free_select::SelectorSpec::default(),
         }
     }
 }
@@ -156,7 +164,26 @@ impl EngineConfig {
                 self.prune_selectivity
             )));
         }
+        self.selector.validate()?;
+        if self.index_kind == IndexKind::Complete && !self.selector.is_default() {
+            return Err(Error::Config(format!(
+                "selector {} cannot combine with the Complete index kind \
+                 (complete enumeration indexes every gram by definition)",
+                self.selector
+            )));
+        }
         Ok(())
+    }
+
+    /// The mining-relevant slice of this config, for dispatching to a
+    /// [`free_select::GramSelector`].
+    pub fn select_config(&self) -> free_select::SelectConfig {
+        free_select::SelectConfig {
+            usefulness_threshold: self.usefulness_threshold,
+            max_gram_len: self.max_gram_len,
+            lengths_per_pass: self.lengths_per_pass,
+            tracer: self.tracer.clone(),
+        }
     }
 }
 

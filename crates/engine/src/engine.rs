@@ -7,7 +7,7 @@ use crate::grams::GramMatcher;
 use crate::metrics::{BuildStats, QueryStats};
 use crate::plan::physical::PlanOptions;
 use crate::plan::{LogicalPlan, PhysicalPlan};
-use crate::select::{enumerate_complete, mine_multigrams, presuf_shell, MiningStats, SelectedGram};
+use crate::select::{enumerate_complete, presuf_shell, selector_for, MiningStats, SelectedGram};
 use crate::Error;
 use crate::Result;
 use free_corpus::Corpus;
@@ -92,11 +92,15 @@ pub fn select_keys<C: Corpus>(
             Ok((grams, stats))
         }
         IndexKind::Multigram => {
-            let sel = mine_multigrams(corpus, config)?;
+            let sel = selector_for(&config.selector).select(corpus, &config.select_config())?;
             Ok((sel.grams, sel.stats))
         }
         IndexKind::Presuf => {
-            let sel = mine_multigrams(corpus, config)?;
+            // Every strategy's output is prefix free, so the shell's
+            // shortest-common-suffix sweep applies to all of them (for a
+            // fixed-k set it is the identity: equal-length keys cannot be
+            // proper suffixes of one another).
+            let sel = selector_for(&config.selector).select(corpus, &config.select_config())?;
             let stats = sel.stats;
             Ok((presuf_shell(&sel.grams), stats))
         }

@@ -67,6 +67,18 @@ impl From<free_index::Error> for Error {
     }
 }
 
+impl From<free_select::Error> for Error {
+    fn from(e: free_select::Error) -> Error {
+        match e {
+            free_select::Error::Config(msg) => Error::Config(msg),
+            free_select::Error::Corpus(e) => Error::Corpus(e),
+            free_select::Error::Io { context, source } => {
+                Error::Config(format!("selector I/O error ({context}): {source}"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,4 +56,4 @@ pub use exec::partition_threads;
 pub use exec::results::{DocMatches, QueryResult};
 pub use metrics::{record_build, record_query, BuildStats, QueryStats};
 pub use plan::physical::PlanClass;
-pub use select::{MiningStats, PassStats};
+pub use select::{selector_for, GramSelector, MiningStats, PassStats, SelectorSpec};

@@ -1,53 +1,63 @@
 //! Index key selection: which grams deserve index entries.
 //!
-//! Three strategies, matching the three indexes of Table 3:
-//!
-//! * [`apriori`] — Algorithm 3.1: mine the *minimal useful* grams with an
-//!   a-priori style multi-pass scan (the paper's "Multigram" index).
-//! * [`presuf`] — §3.2: prune a prefix-free gram set to its presuf shell
-//!   via the shortest-common-suffix rule (the paper's "Suffix" index).
-//! * [`complete`] — every k-gram present in the corpus for
-//!   `k = 2..=max_gram_len` (the paper's "Complete" baseline).
+//! The strategies themselves live in the [`free_select`] crate behind
+//! the [`free_select::GramSelector`] trait — Algorithm 3.1 a-priori
+//! mining ([`free_select::apriori`], the paper's "Multigram" index), the
+//! presuf shell ([`free_select::presuf`], §3.2), complete enumeration
+//! ([`free_select::complete`], the "Complete" baseline), plus the rival
+//! strategies benchmarked by `experiments selection-shootout` (fixed-k
+//! trigram, budgeted sweep, workload-aware). This module re-exports the
+//! types the engine's public API always exposed and keeps a
+//! [`mine_multigrams`] wrapper taking an [`EngineConfig`].
 
-pub mod apriori;
-pub mod complete;
-pub mod presuf;
+pub use free_select::{apriori, complete, presuf};
 
-pub use apriori::{mine_multigrams, MiningStats, PassStats, Selection};
-pub use complete::enumerate_complete;
-pub use presuf::presuf_shell;
+pub use free_select::{
+    enumerate_complete, presuf_shell, selector_for, GramSelector, MiningStats, PassStats,
+    SelectConfig, SelectedGram, Selection, SelectorSpec,
+};
 
-/// A selected gram key with its document frequency (`M(x)` in the paper).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SelectedGram {
-    /// The gram bytes.
-    pub gram: Box<[u8]>,
-    /// Number of data units containing the gram.
-    pub doc_count: u32,
-}
+use crate::{EngineConfig, Result};
+use free_corpus::Corpus;
 
-impl SelectedGram {
-    /// Selectivity given corpus size `n` (Definition 3.1).
-    pub fn selectivity(&self, n: usize) -> f64 {
-        if n == 0 {
-            0.0
-        } else {
-            f64::from(self.doc_count) / n as f64
-        }
-    }
+/// Runs Algorithm 3.1 over `corpus` with the engine config's mining
+/// tunables (back-compat wrapper over
+/// [`free_select::mine_multigrams`]).
+pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<Selection> {
+    config.validate()?;
+    Ok(free_select::mine_multigrams(
+        corpus,
+        &config.select_config(),
+    )?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use free_corpus::MemCorpus;
 
     #[test]
-    fn selectivity() {
-        let g = SelectedGram {
-            gram: b"abc"[..].into(),
-            doc_count: 25,
+    fn wrapper_honors_engine_config() {
+        let mut docs = vec![b"aaaa".to_vec(); 9];
+        docs.push(b"aazb".to_vec());
+        let corpus = MemCorpus::from_docs(docs);
+        let config = EngineConfig {
+            usefulness_threshold: 0.1,
+            max_gram_len: 4,
+            ..EngineConfig::default()
         };
-        assert!((g.selectivity(100) - 0.25).abs() < 1e-12);
-        assert_eq!(g.selectivity(0), 0.0);
+        let sel = mine_multigrams(&corpus, &config).unwrap();
+        assert!(sel.grams.iter().any(|g| &*g.gram == b"z"));
+        assert!(sel.grams.iter().all(|g| g.gram.len() <= 4));
+    }
+
+    #[test]
+    fn wrapper_validates_config() {
+        let corpus = MemCorpus::new();
+        let config = EngineConfig {
+            max_gram_len: 0,
+            ..EngineConfig::default()
+        };
+        assert!(mine_multigrams(&corpus, &config).is_err());
     }
 }

@@ -77,7 +77,14 @@ impl LiveIndex {
         }
         std::fs::create_dir_all(dir.join(SEGMENTS_DIR))
             .map_err(|e| Error::io(format!("create {}", dir.display()), e))?;
-        Manifest::new().store(dir)?;
+        let mut manifest = Manifest::new();
+        // The selection strategy is fixed at create time: persisting it
+        // here makes every future flush / compaction re-mine with the
+        // same strategy regardless of the opening config.
+        if !config.engine.selector.is_default() {
+            manifest.selector = Some(config.engine.selector.to_string());
+        }
+        manifest.store(dir)?;
         CorpusWriter::create(dir.join(WAL_DIR))?.finish()?;
         std::fs::write(dir.join(WAL_EPOCH_FILE), "0\n")
             .map_err(|e| Error::io("write wal epoch", e))?;
@@ -91,6 +98,15 @@ impl LiveIndex {
     pub fn open(dir: impl AsRef<Path>, config: LiveConfig) -> Result<LiveIndex> {
         let dir = dir.as_ref().to_path_buf();
         let manifest = Manifest::load(&dir)?;
+        // The manifest's recorded selection strategy wins over whatever
+        // the opening config carries: segments on disk were mined with
+        // it, and flush/compaction must keep doing so.
+        let mut config = config;
+        if let Some(spec) = &manifest.selector {
+            config.engine.selector = free_engine::SelectorSpec::parse(spec).map_err(|e| {
+                Error::Corrupt(format!("manifest records unusable selector {spec:?}: {e}"))
+            })?;
+        }
         let seg_root = dir.join(SEGMENTS_DIR);
         let mut segments = Vec::with_capacity(manifest.segments.len());
         for meta in &manifest.segments {

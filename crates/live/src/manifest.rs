@@ -63,6 +63,11 @@ pub struct Manifest {
     pub wal_epoch: u64,
     /// Next segment id to assign.
     pub next_segment_id: u64,
+    /// Gram-selection strategy spec (`free_engine::SelectorSpec` syntax)
+    /// every flush and compaction re-mines with. `None` means the default
+    /// a-priori strategy; the line is omitted on store so pre-selector
+    /// manifests stay byte-identical.
+    pub selector: Option<String>,
     /// Sealed segments in ascending sequence order.
     pub segments: Vec<SegmentMeta>,
 }
@@ -75,6 +80,7 @@ impl Manifest {
             wal_base: 0,
             wal_epoch: 0,
             next_segment_id: 0,
+            selector: None,
             segments: Vec::new(),
         }
     }
@@ -144,6 +150,7 @@ impl Manifest {
                 "wal_base" => m.wal_base = value.parse().map_err(bad)?,
                 "wal_epoch" => m.wal_epoch = value.parse().map_err(bad)?,
                 "next_segment_id" => m.next_segment_id = value.parse().map_err(bad)?,
+                "selector" => m.selector = Some(value.to_string()),
                 "segment" => {
                     let fields: Vec<&str> = value.split_whitespace().collect();
                     if fields.len() != 4 {
@@ -173,6 +180,9 @@ impl Manifest {
         body.push_str(&format!("wal_base={}\n", self.wal_base));
         body.push_str(&format!("wal_epoch={}\n", self.wal_epoch));
         body.push_str(&format!("next_segment_id={}\n", self.next_segment_id));
+        if let Some(selector) = &self.selector {
+            body.push_str(&format!("selector={selector}\n"));
+        }
         for s in &self.segments {
             body.push_str(&format!(
                 "segment={} {} {} {}\n",
@@ -248,6 +258,7 @@ mod tests {
             wal_base: 120,
             wal_epoch: 3,
             next_segment_id: 5,
+            selector: Some("trigram:k=3".to_string()),
             segments: vec![
                 SegmentMeta {
                     id: 2,
@@ -283,6 +294,7 @@ mod tests {
             wal_base: 100,
             wal_epoch: 0,
             next_segment_id: 2,
+            selector: None,
             segments: vec![
                 SegmentMeta {
                     id: 0,
@@ -324,6 +336,21 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, text.replace("wal_base=10", "wal_base=11")).unwrap();
         assert!(matches!(Manifest::load(&dir), Err(Error::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_selector_line_is_omitted() {
+        let dir = tmpdir("selector-omit");
+        let mut m = Manifest::new();
+        m.wal_base = 1;
+        m.store(&dir).unwrap();
+        let text = std::fs::read_to_string(Manifest::path(&dir)).unwrap();
+        assert!(!text.contains("selector="), "{text}");
+        m.selector = Some("apriori:c=0.2".to_string());
+        m.store(&dir).unwrap();
+        let loaded = Manifest::load(&dir).unwrap();
+        assert_eq!(loaded.selector.as_deref(), Some("apriori:c=0.2"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -79,6 +79,10 @@ pub fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
 pub struct ShardedManifest {
     /// Number of shards (1..=[`MAX_SHARDS`]).
     pub shards: usize,
+    /// Gram-selection strategy spec shared by every shard (mirrors the
+    /// per-shard `FREELIVE` manifests; recorded here too so fsck can
+    /// cross-check without opening shards). `None` = default a-priori.
+    pub selector: Option<String>,
 }
 
 impl ShardedManifest {
@@ -122,6 +126,7 @@ impl ShardedManifest {
             )));
         }
         let mut shards: Option<usize> = None;
+        let mut selector: Option<String> = None;
         for line in body.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -135,12 +140,15 @@ impl ShardedManifest {
                 shards = Some(value.parse().map_err(|_| {
                     Error::Corrupt(format!("bad sharded manifest value in {line:?}"))
                 })?);
+            } else if key == "selector" {
+                selector = Some(value.to_string());
             }
         }
         let m = ShardedManifest {
             shards: shards.ok_or_else(|| {
                 Error::Corrupt(format!("sharded manifest {} lacks shards=", path.display()))
             })?,
+            selector,
         };
         m.validate()?;
         Ok(m)
@@ -150,7 +158,10 @@ impl ShardedManifest {
     /// with the checksummed header.
     pub fn store(&self, dir: &Path) -> Result<()> {
         self.validate()?;
-        let body = format!("shards={}\n", self.shards);
+        let mut body = format!("shards={}\n", self.shards);
+        if let Some(selector) = &self.selector {
+            body.push_str(&format!("selector={selector}\n"));
+        }
         let text = format!("{SHARDED_HEADER}{:08x}\n{body}", crc32(body.as_bytes()));
         let path = ShardedManifest::path(dir);
         let tmp = dir.join(format!("{SHARDED_MANIFEST_FILE}.tmp"));
@@ -328,7 +339,14 @@ impl ShardedLiveIndex {
         shards: usize,
     ) -> Result<ShardedLiveIndex> {
         let dir = dir.as_ref();
-        let manifest = ShardedManifest { shards };
+        let manifest = ShardedManifest {
+            shards,
+            selector: if config.engine.selector.is_default() {
+                None
+            } else {
+                Some(config.engine.selector.to_string())
+            },
+        };
         manifest.validate()?;
         if ShardedManifest::exists(dir) || Manifest::exists(dir) {
             return Err(Error::AlreadyExists(dir.to_path_buf()));
@@ -1097,7 +1115,10 @@ mod tests {
     fn manifest_roundtrip_and_damage() {
         let dir = fresh_dir("manifest");
         std::fs::create_dir_all(&dir).unwrap();
-        let m = ShardedManifest { shards: 4 };
+        let m = ShardedManifest {
+            shards: 4,
+            selector: None,
+        };
         m.store(&dir).unwrap();
         assert_eq!(ShardedManifest::load(&dir).unwrap(), m);
         // Any body flip fails the header CRC.

@@ -10,13 +10,12 @@
 //!
 //! Following §3.1's optimization ("we may find useless grams for both
 //! k = 1 and 2 … in one pass"), each corpus scan counts
-//! [`lengths_per_pass`](crate::EngineConfig::lengths_per_pass) consecutive
-//! gram lengths: grams of the longer lengths are counted optimistically
-//! (their immediate prefix's usefulness is unknown until the pass ends)
-//! and filtered level-by-level afterwards.
+//! [`lengths_per_pass`](crate::SelectConfig::lengths_per_pass)
+//! consecutive gram lengths: grams of the longer lengths are counted
+//! optimistically (their immediate prefix's usefulness is unknown until
+//! the pass ends) and filtered level-by-level afterwards.
 
-use super::SelectedGram;
-use crate::{EngineConfig, Result};
+use crate::{Error, GramSelector, Result, SelectConfig, SelectedGram};
 use free_corpus::Corpus;
 use rustc_hash::FxHashMap;
 
@@ -66,6 +65,9 @@ impl Selection {
     }
 }
 
+/// A substring-closed gram predicate accepted by [`mine_filtered`].
+pub(crate) type GramFilter<'a> = &'a (dyn Fn(&[u8]) -> bool + Sync);
+
 /// Per-gram counting cell: document frequency plus the last document that
 /// touched it (so each document is counted once — `M(x)` counts data
 /// units, not occurrences).
@@ -75,12 +77,37 @@ struct Cell {
     last_doc: u32,
 }
 
-/// Runs Algorithm 3.1 over `corpus`.
-pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<Selection> {
+/// Runs Algorithm 3.1 over `corpus` with the config's threshold.
+pub fn mine_multigrams(corpus: &dyn Corpus, config: &SelectConfig) -> Result<Selection> {
+    mine_filtered(corpus, config, config.usefulness_threshold, None)
+}
+
+/// Runs Algorithm 3.1 restricted to a *substring-closed* candidate
+/// universe.
+///
+/// `threshold_c` overrides the config's usefulness threshold. When
+/// `filter` is `Some(f)`, only grams with `f(gram) == true` are counted,
+/// selected, or extended; `f` **must be substring-closed** (if `f(g)`
+/// holds then `f` holds for every substring of `g`) — the scan prunes
+/// longer extensions as soon as a shorter gram at the same position is
+/// rejected, and the minimality argument needs prefixes of relevant grams
+/// to themselves be relevant. Within the filtered universe the output is
+/// exactly the minimal useful grams, hence still prefix free.
+pub(crate) fn mine_filtered(
+    corpus: &dyn Corpus,
+    config: &SelectConfig,
+    threshold_c: f64,
+    filter: Option<GramFilter<'_>>,
+) -> Result<Selection> {
     config.validate()?;
+    if !(0.0..=1.0).contains(&threshold_c) {
+        return Err(Error::Config(format!(
+            "usefulness threshold must be in [0,1], got {threshold_c}"
+        )));
+    }
     let n = corpus.len();
-    // ceil(c * N): a gram is useful iff count <= threshold.
-    let threshold = (config.usefulness_threshold * n as f64).floor() as u32;
+    // floor(c * N): a gram is useful iff count <= threshold.
+    let threshold = (threshold_c * n as f64).floor() as u32;
 
     let mut useful: Vec<SelectedGram> = Vec::new();
     let mut stats = MiningStats::default();
@@ -97,7 +124,7 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
         let kept_before = useful.len();
 
         // One corpus scan: count every gram of length k..=k_end whose
-        // (k-1)-prefix is in `expand`.
+        // (k-1)-prefix is in `expand` and that the filter accepts.
         corpus.scan(&mut |doc, bytes| {
             bytes_read += bytes.len() as u64;
             for i in 0..bytes.len() {
@@ -116,6 +143,14 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
                         break;
                     }
                     let gram = &bytes[i..end];
+                    if let Some(f) = filter {
+                        // Substring closure: once a gram at this position
+                        // is irrelevant, every extension contains it and
+                        // is irrelevant too.
+                        if !f(gram) {
+                            break;
+                        }
+                    }
                     match counts.get_mut(gram) {
                         Some(cell) => {
                             if cell.last_doc != doc {
@@ -208,18 +243,43 @@ pub fn mine_multigrams<C: Corpus>(corpus: &C, config: &EngineConfig) -> Result<S
     })
 }
 
+/// The reference strategy: Algorithm 3.1 as published, with an optional
+/// override for the usefulness threshold `c`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AprioriSelector {
+    /// Overrides [`SelectConfig::usefulness_threshold`] when set.
+    pub c: Option<f64>,
+}
+
+impl GramSelector for AprioriSelector {
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+
+    fn spec_string(&self) -> String {
+        match self.c {
+            Some(c) => format!("apriori:c={c}"),
+            None => "apriori".to_string(),
+        }
+    }
+
+    fn select(&self, corpus: &dyn Corpus, config: &SelectConfig) -> Result<Selection> {
+        let c = self.c.unwrap_or(config.usefulness_threshold);
+        mine_filtered(corpus, config, c, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EngineConfig;
     use free_corpus::MemCorpus;
 
     fn mine(docs: &[&str], c: f64, max_len: usize) -> Selection {
         let corpus = MemCorpus::from_docs(docs.iter().map(|d| d.as_bytes().to_vec()).collect());
-        let config = EngineConfig {
+        let config = SelectConfig {
             usefulness_threshold: c,
             max_gram_len: max_len,
-            ..EngineConfig::default()
+            ..SelectConfig::default()
         };
         mine_multigrams(&corpus, &config).unwrap()
     }
@@ -331,7 +391,7 @@ mod tests {
     #[test]
     fn empty_corpus() {
         let corpus = MemCorpus::new();
-        let sel = mine_multigrams(&corpus, &EngineConfig::default()).unwrap();
+        let sel = mine_multigrams(&corpus, &SelectConfig::default()).unwrap();
         assert!(sel.grams.is_empty());
         assert_eq!(sel.num_docs, 0);
     }
@@ -345,11 +405,11 @@ mod tests {
         let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
         let mut results = Vec::new();
         for lpp in [1, 2, 3, 10] {
-            let config = EngineConfig {
+            let config = SelectConfig {
                 usefulness_threshold: 0.2,
                 max_gram_len: 6,
                 lengths_per_pass: lpp,
-                ..EngineConfig::default()
+                ..SelectConfig::default()
             };
             let sel = mine_multigrams(&corpus, &config).unwrap();
             results.push((lpp, sel));
@@ -370,11 +430,11 @@ mod tests {
         let docs: Vec<String> = (0..20).map(|i| format!("abcdefghij{i}")).collect();
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
-        let config = EngineConfig {
+        let config = SelectConfig {
             usefulness_threshold: 0.1,
             max_gram_len: 10,
             lengths_per_pass: 2,
-            ..EngineConfig::default()
+            ..SelectConfig::default()
         };
         let sel = mine_multigrams(&corpus, &config).unwrap();
         assert!(sel.stats.passes <= 5, "{} passes", sel.stats.passes);
@@ -388,7 +448,7 @@ mod tests {
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
         let total_bytes: u64 = refs.iter().map(|d| d.len() as u64).sum();
-        let sel = mine_multigrams(&corpus, &EngineConfig::default()).unwrap();
+        let sel = mine_multigrams(&corpus, &SelectConfig::default()).unwrap();
         assert_eq!(sel.stats.per_pass.len(), sel.stats.passes);
         let considered: u64 = sel.stats.per_pass.iter().map(|p| p.grams_considered).sum();
         assert_eq!(considered, sel.stats.candidates_counted);
@@ -404,9 +464,9 @@ mod tests {
     fn mining_emits_per_pass_trace_events() {
         let corpus = MemCorpus::from_docs(vec![b"abcabc".to_vec(), b"xyzxyz".to_vec()]);
         let tracer = free_trace::Tracer::enabled();
-        let config = EngineConfig {
+        let config = SelectConfig {
             tracer: tracer.clone(),
-            ..EngineConfig::default()
+            ..SelectConfig::default()
         };
         let sel = mine_multigrams(&corpus, &config).unwrap();
         let passes: Vec<_> = tracer
@@ -432,5 +492,47 @@ mod tests {
         let mut sorted = ks.clone();
         sorted.sort();
         assert_eq!(ks, sorted);
+    }
+
+    #[test]
+    fn selector_c_override_matches_direct_mine() {
+        let docs = ["the cat sat", "the dog ran", "a cat ran", "the owl"];
+        let corpus = MemCorpus::from_docs(docs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        let config = SelectConfig::default();
+        let with_override = AprioriSelector { c: Some(0.5) }
+            .select(&corpus, &config)
+            .unwrap();
+        let direct = mine(&docs, 0.5, 10);
+        assert_eq!(keys(&with_override), keys(&direct));
+        assert_eq!(
+            AprioriSelector { c: Some(0.5) }.spec_string(),
+            "apriori:c=0.5"
+        );
+        assert_eq!(AprioriSelector::default().spec_string(), "apriori");
+    }
+
+    #[test]
+    fn filtered_mining_respects_substring_closed_universe() {
+        let docs: Vec<String> = (0..20)
+            .map(|i| format!("needle{} haystack filler", i % 5))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let corpus = MemCorpus::from_docs(refs.iter().map(|d| d.as_bytes().to_vec()).collect());
+        // Universe: substrings of "needle".
+        let universe = b"needle";
+        let filter = |g: &[u8]| universe.windows(g.len()).any(|w| w == g);
+        let sel = mine_filtered(&corpus, &SelectConfig::default(), 0.3, Some(&filter)).unwrap();
+        // Everything kept is a substring of "needle" …
+        for g in &sel.grams {
+            assert!(filter(&g.gram), "{:?}", String::from_utf8_lossy(&g.gram));
+        }
+        // … and the output is still prefix free.
+        for a in &sel.grams {
+            for b in &sel.grams {
+                if a.gram != b.gram {
+                    assert!(!b.gram.starts_with(&a.gram));
+                }
+            }
+        }
     }
 }

@@ -6,8 +6,7 @@
 //! (up to the cutoff) can be looked up — and shows it is an order of
 //! magnitude larger than the multigram index while only ~32 % faster.
 
-use super::SelectedGram;
-use crate::Result;
+use crate::{Result, SelectedGram};
 use free_corpus::Corpus;
 use rustc_hash::FxHashMap;
 
@@ -15,8 +14,8 @@ use rustc_hash::FxHashMap;
 /// document frequency, sorted lexicographically.
 ///
 /// The paper's complete index spans `k = 2..=10`; pass `min_len = 2`.
-pub fn enumerate_complete<C: Corpus>(
-    corpus: &C,
+pub fn enumerate_complete(
+    corpus: &dyn Corpus,
     min_len: usize,
     max_len: usize,
 ) -> Result<Vec<SelectedGram>> {

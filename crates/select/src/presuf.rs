@@ -14,11 +14,11 @@
 //! recently kept reversed key is its prefix (i.e. a suffix in the
 //! original orientation). `O(|X| log |X|)`.
 
-use super::SelectedGram;
+use crate::SelectedGram;
 
 /// Computes the presuf shell of a prefix-free gram set.
 ///
-/// The input must be prefix free (which [`super::mine_multigrams`] output
+/// The input must be prefix free (which [`crate::mine_multigrams`] output
 /// is, by Theorem 3.9(3)); the result is then the unique presuf shell.
 pub fn presuf_shell(grams: &[SelectedGram]) -> Vec<SelectedGram> {
     // Reverse and sort.

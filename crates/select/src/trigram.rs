@@ -1,0 +1,121 @@
+//! Fixed-k gram selection: the Russ Cox / code-search baseline.
+//!
+//! Every distinct k-gram in the corpus becomes an index key, regardless
+//! of selectivity. With `k = 3` this is exactly the trigram index of
+//! Google Code Search: dead simple, one corpus scan to build, and
+//! trivially prefix free (all keys share one length). The price is
+//! paid twice — the dictionary holds *every* k-gram including ubiquitous
+//! ones whose postings filter nothing, and queries whose literals are
+//! shorter than `k` degrade to scans that the adaptive strategies would
+//! have covered with shorter useful grams.
+
+use crate::{
+    complete::enumerate_complete, Error, GramSelector, MiningStats, PassStats, Result,
+    SelectConfig, Selection,
+};
+use free_corpus::Corpus;
+
+/// Selects every distinct gram of exactly length `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrigramSelector {
+    /// The fixed gram length (3 for the classic trigram index).
+    pub k: usize,
+}
+
+impl Default for TrigramSelector {
+    fn default() -> Self {
+        TrigramSelector { k: 3 }
+    }
+}
+
+impl GramSelector for TrigramSelector {
+    fn name(&self) -> &'static str {
+        "trigram"
+    }
+
+    fn spec_string(&self) -> String {
+        format!("trigram:k={}", self.k)
+    }
+
+    fn select(&self, corpus: &dyn Corpus, config: &SelectConfig) -> Result<Selection> {
+        config.validate()?;
+        if self.k == 0 {
+            return Err(Error::Config("trigram k must be at least 1".into()));
+        }
+        let n = corpus.len();
+        let grams = enumerate_complete(corpus, self.k, self.k)?;
+        let bytes_read = corpus.total_bytes();
+        let kept = grams.len() as u64;
+        config.tracer.event(
+            "select.trigram",
+            vec![("k", (self.k as u64).into()), ("grams_kept", kept.into())],
+        );
+        Ok(Selection {
+            grams,
+            num_docs: n,
+            stats: MiningStats {
+                passes: 1,
+                candidates_counted: kept,
+                candidates_skipped: 0,
+                per_pass: vec![PassStats {
+                    lengths: (self.k, self.k),
+                    grams_considered: kept,
+                    grams_kept: kept,
+                    bytes_read,
+                }],
+            },
+        })
+    }
+
+    fn check_key(&self, key: &[u8]) -> Option<String> {
+        if key.len() != self.k {
+            Some(format!(
+                "key of length {} under fixed-k selector {} (every key must be exactly {} bytes)",
+                key.len(),
+                self.spec_string(),
+                self.k
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_corpus::MemCorpus;
+
+    #[test]
+    fn all_keys_have_length_k() {
+        let corpus = MemCorpus::from_docs(vec![b"abcdefg".to_vec(), b"xyzzy".to_vec()]);
+        let sel = TrigramSelector::default()
+            .select(&corpus, &SelectConfig::default())
+            .unwrap();
+        assert!(!sel.grams.is_empty());
+        assert!(sel.grams.iter().all(|g| g.gram.len() == 3));
+        assert_eq!(sel.stats.passes, 1);
+    }
+
+    #[test]
+    fn check_key_flags_wrong_length() {
+        let s = TrigramSelector { k: 3 };
+        assert!(s.check_key(b"abc").is_none());
+        assert!(s.check_key(b"ab").is_some());
+        assert!(s.check_key(b"abcd").is_some());
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let corpus = MemCorpus::from_docs(vec![b"abc".to_vec()]);
+        let err = TrigramSelector { k: 0 }
+            .select(&corpus, &SelectConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn spec_string_round_trip() {
+        assert_eq!(TrigramSelector { k: 4 }.spec_string(), "trigram:k=4");
+    }
+}

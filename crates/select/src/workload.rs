@@ -1,0 +1,467 @@
+//! Workload-aware gram selection: mine only what the queries need.
+//!
+//! A-priori mining indexes every minimal useful gram whether or not any
+//! query will ever look it up. Given a captured query log (a qlog
+//! directory written by the engine's query-record hook), this strategy
+//! restricts the candidate universe to substrings of the literal runs
+//! occurring in the *recorded patterns*, weighted by how often each
+//! pattern ran and boosted when the record was flagged slow — so the
+//! dictionary spends its bytes where the workload concentrates, and a
+//! hot pattern that keeps degrading to a scan pulls its literals into
+//! the index.
+//!
+//! Soundness is unaffected: the planner consults the index's actual key
+//! set, so queries outside the captured workload simply plan closer to a
+//! scan. Within the filtered universe the selection is still the minimal
+//! useful grams (the candidate set is substring-closed, so the a-priori
+//! minimality argument goes through unchanged) and therefore prefix
+//! free.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::apriori::mine_filtered;
+use crate::{Error, GramSelector, Result, SelectConfig, Selection};
+use free_corpus::Corpus;
+use free_regex::Ast;
+
+/// Weight multiplier for patterns whose records were flagged slow.
+const SLOW_BONUS: u64 = 4;
+
+/// Mines candidate grams from a captured qlog directory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSelector {
+    /// Directory holding qlog segments (PR 8's `free search --query-log`).
+    pub qlog: PathBuf,
+    /// Overrides [`SelectConfig::usefulness_threshold`] when set.
+    pub c: Option<f64>,
+    /// Keep only the `max_grams` highest-weighted grams (0 = unlimited).
+    /// A subset of a prefix-free set is prefix free, and dropping grams
+    /// only weakens plans, never correctness.
+    pub max_grams: usize,
+}
+
+/// A recorded pattern with its accumulated weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedPattern {
+    /// The regex pattern text.
+    pub pattern: String,
+    /// `count + SLOW_BONUS * slow_count`.
+    pub weight: u64,
+}
+
+/// Extracts `"key":"value"` string fields from a machine-emitted JSON
+/// record, decoding standard escapes. Best effort: qlog records are
+/// compact single-object lines, so a plain search for the quoted key is
+/// reliable; a mis-extracted pattern only perturbs candidate weights,
+/// never query results.
+fn json_string_field(record: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record.get(start..)?.trim_start();
+    let mut chars = rest.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return None,
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    let mut unicode: Option<String> = None;
+    for (_, ch) in chars {
+        if let Some(hex) = &mut unicode {
+            hex.push(ch);
+            if hex.len() == 4 {
+                if let Some(cp) = u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+                    out.push(cp);
+                }
+                unicode = None;
+            }
+            continue;
+        }
+        if escaped {
+            match ch {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => unicode = Some(String::new()),
+                other => out.push(other),
+            }
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' => escaped = true,
+            '"' => return Some(out),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Extracts a bare `"key":true|false` field.
+fn json_bool_field(record: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record.get(start..)?.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Reads every trusted record in a qlog directory and aggregates the
+/// recorded patterns with their weights.
+pub fn weighted_patterns(qlog: &std::path::Path) -> Result<Vec<WeightedPattern>> {
+    if !qlog.is_dir() {
+        return Err(Error::Config(format!(
+            "qlog directory {} does not exist; capture one with \
+             `free search --query-log DIR ...` first",
+            qlog.display()
+        )));
+    }
+    let segments = free_trace::qlog::read_dir(qlog).map_err(|e| Error::Io {
+        context: format!("read qlog directory {}", qlog.display()),
+        source: e,
+    })?;
+    let mut weights: HashMap<String, u64> = HashMap::new();
+    for seg in &segments {
+        for record in seg.trusted_records() {
+            let Some(pattern) = json_string_field(record, "pattern") else {
+                continue;
+            };
+            let slow = json_bool_field(record, "slow").unwrap_or(false);
+            let w = 1 + if slow { SLOW_BONUS } else { 0 };
+            *weights.entry(pattern).or_insert(0) += w;
+        }
+    }
+    let mut out: Vec<WeightedPattern> = weights
+        .into_iter()
+        .map(|(pattern, weight)| WeightedPattern { pattern, weight })
+        .collect();
+    out.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.pattern.cmp(&b.pattern)));
+    Ok(out)
+}
+
+/// Collects the maximal literal byte runs a pattern can require.
+///
+/// Walks the AST: singleton classes extend the current run; anything
+/// else (wide classes, alternation, repetition boundaries) flushes it.
+/// Alternate branches and repeat bodies are walked in their own runs, so
+/// `(error|warn)+` contributes both `error` and `warn`. Over-collecting
+/// is harmless — a run that a match does not actually require only adds
+/// candidates, and candidates still face the usefulness test.
+pub fn literal_runs(ast: &Ast) -> Vec<Vec<u8>> {
+    fn flush(run: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if !run.is_empty() {
+            out.push(std::mem::take(run));
+        }
+    }
+    fn walk(node: &Ast, run: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        match node {
+            Ast::Empty => {}
+            Ast::Class(class) => match class.as_singleton() {
+                Some(b) => run.push(b),
+                None => flush(run, out),
+            },
+            Ast::Concat(children) => {
+                for child in children {
+                    walk(child, run, out);
+                }
+            }
+            Ast::Alternate(children) => {
+                flush(run, out);
+                for child in children {
+                    let mut branch = Vec::new();
+                    walk(child, &mut branch, out);
+                    flush(&mut branch, out);
+                }
+            }
+            Ast::Repeat { node, .. } => {
+                flush(run, out);
+                let mut body = Vec::new();
+                walk(node, &mut body, out);
+                flush(&mut body, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut run = Vec::new();
+    walk(ast, &mut run, &mut out);
+    flush(&mut run, &mut out);
+    out
+}
+
+impl WorkloadSelector {
+    /// Builds the substring-closed candidate universe with per-gram
+    /// weights from the recorded patterns.
+    fn candidate_weights(
+        &self,
+        patterns: &[WeightedPattern],
+        max_gram_len: usize,
+    ) -> HashMap<Vec<u8>, u64> {
+        let mut weights: HashMap<Vec<u8>, u64> = HashMap::new();
+        for wp in patterns {
+            let Ok(ast) = free_regex::parse(&wp.pattern) else {
+                continue; // unparseable record; skip, soundness unaffected
+            };
+            let mut seen_this_pattern: HashMap<Vec<u8>, ()> = HashMap::new();
+            for run in literal_runs(&ast) {
+                for start in 0..run.len() {
+                    for end in start + 1..=run.len().min(start + max_gram_len) {
+                        seen_this_pattern.insert(run[start..end].to_vec(), ());
+                    }
+                }
+            }
+            for gram in seen_this_pattern.into_keys() {
+                *weights.entry(gram).or_insert(0) += wp.weight;
+            }
+        }
+        weights
+    }
+}
+
+impl GramSelector for WorkloadSelector {
+    fn name(&self) -> &'static str {
+        "workload"
+    }
+
+    fn spec_string(&self) -> String {
+        let mut s = format!("workload:qlog={}", self.qlog.display());
+        if let Some(c) = self.c {
+            s.push_str(&format!(",c={c}"));
+        }
+        if self.max_grams > 0 {
+            s.push_str(&format!(",max_grams={}", self.max_grams));
+        }
+        s
+    }
+
+    fn select(&self, corpus: &dyn Corpus, config: &SelectConfig) -> Result<Selection> {
+        config.validate()?;
+        let patterns = weighted_patterns(&self.qlog)?;
+        if patterns.is_empty() {
+            return Err(Error::Config(format!(
+                "qlog directory {} holds no query records; capture a workload with \
+                 `free search --query-log {}` (or point --selector workload:qlog=DIR \
+                 at a populated log) before building a workload-aware index",
+                self.qlog.display(),
+                self.qlog.display()
+            )));
+        }
+        let candidates = self.candidate_weights(&patterns, config.max_gram_len);
+        if candidates.is_empty() {
+            return Err(Error::Config(format!(
+                "no literal grams could be extracted from the {} recorded pattern(s) in {}; \
+                 a workload of pure wildcard queries cannot seed an index — use \
+                 --selector apriori instead",
+                patterns.len(),
+                self.qlog.display()
+            )));
+        }
+        let c = self.c.unwrap_or(config.usefulness_threshold);
+        let filter = |gram: &[u8]| candidates.contains_key(gram);
+        let mut selection = mine_filtered(corpus, config, c, Some(&filter))?;
+        config.tracer.event(
+            "select.workload",
+            vec![
+                ("patterns", (patterns.len() as u64).into()),
+                ("candidates", (candidates.len() as u64).into()),
+                ("grams_kept", (selection.grams.len() as u64).into()),
+            ],
+        );
+        if self.max_grams > 0 && selection.grams.len() > self.max_grams {
+            // Keep the highest-weighted grams; ties broken lexicographically
+            // for determinism. Subset of prefix-free stays prefix free.
+            selection.grams.sort_by(|a, b| {
+                let wa = candidates.get(&*a.gram).copied().unwrap_or(0);
+                let wb = candidates.get(&*b.gram).copied().unwrap_or(0);
+                wb.cmp(&wa).then(a.gram.cmp(&b.gram))
+            });
+            selection.grams.truncate(self.max_grams);
+            selection.grams.sort_by(|a, b| a.gram.cmp(&b.gram));
+        }
+        Ok(selection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_corpus::MemCorpus;
+    use free_trace::qlog::LogWriter;
+    use std::path::Path;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "free-select-workload-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(pattern: &str, slow: bool) -> String {
+        format!("{{\"type\":\"query\",\"ts_ms\":1,\"source\":\"test\",\"pattern\":\"{}\",\"slow\":{slow}}}", pattern)
+    }
+
+    fn write_qlog(dir: &Path, records: &[String]) {
+        let w = LogWriter::create(dir).unwrap();
+        for r in records {
+            w.emit(r.clone());
+        }
+        w.close();
+    }
+
+    #[test]
+    fn json_field_extraction_handles_escapes() {
+        let rec = r#"{"type":"query","pattern":"a\"b\\c\nd","slow":true}"#;
+        assert_eq!(
+            json_string_field(rec, "pattern").unwrap(),
+            "a\"b\\c\nd".to_string()
+        );
+        assert_eq!(json_bool_field(rec, "slow"), Some(true));
+        assert_eq!(json_string_field(rec, "missing"), None);
+    }
+
+    #[test]
+    fn literal_runs_from_patterns() {
+        let runs = |p: &str| -> Vec<String> {
+            literal_runs(&free_regex::parse(p).unwrap())
+                .into_iter()
+                .map(|r| String::from_utf8_lossy(&r).into_owned())
+                .collect()
+        };
+        assert_eq!(runs("needle"), vec!["needle"]);
+        assert_eq!(runs("(error|warn)+"), vec!["error", "warn"]);
+        let mp3 = runs(r"\.mp3.*download");
+        assert!(mp3.contains(&".mp3".to_string()), "{mp3:?}");
+        assert!(mp3.contains(&"download".to_string()), "{mp3:?}");
+        assert!(runs(".*").is_empty());
+    }
+
+    #[test]
+    fn mines_only_workload_relevant_grams() {
+        let dir = temp_dir("relevant");
+        write_qlog(&dir, &[record("needle", false), record("needle", false)]);
+        let corpus = MemCorpus::from_docs(
+            (0..20)
+                .map(|i| {
+                    if i < 5 {
+                        format!("haystack needle{i} words").into_bytes()
+                    } else {
+                        format!("haystack filler words {i}").into_bytes()
+                    }
+                })
+                .collect(),
+        );
+        let sel = WorkloadSelector {
+            qlog: dir.clone(),
+            c: Some(0.5),
+            max_grams: 0,
+        }
+        .select(&corpus, &SelectConfig::default())
+        .unwrap();
+        assert!(!sel.grams.is_empty());
+        for g in &sel.grams {
+            assert!(
+                b"needle".windows(g.gram.len()).any(|w| w == &*g.gram),
+                "gram {:?} outside the workload universe",
+                String::from_utf8_lossy(&g.gram)
+            );
+        }
+        // Prefix free.
+        for a in &sel.grams {
+            for b in &sel.grams {
+                if a.gram != b.gram {
+                    assert!(!b.gram.starts_with(&a.gram));
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_records_weigh_more() {
+        let dir = temp_dir("slow");
+        write_qlog(&dir, &[record("abc", true), record("xyz", false)]);
+        let ps = weighted_patterns(&dir).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].pattern, "abc");
+        assert!(ps[0].weight > ps[1].weight);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_config_error() {
+        let err = WorkloadSelector {
+            qlog: PathBuf::from("/nonexistent/qlog-dir"),
+            c: None,
+            max_grams: 0,
+        }
+        .select(&MemCorpus::new(), &SelectConfig::default())
+        .unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn empty_qlog_is_config_error_with_hint() {
+        let dir = temp_dir("empty");
+        write_qlog(&dir, &[]);
+        let err = WorkloadSelector {
+            qlog: dir.clone(),
+            c: None,
+            max_grams: 0,
+        }
+        .select(&MemCorpus::new(), &SelectConfig::default())
+        .unwrap_err();
+        assert!(err.to_string().contains("--query-log"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_grams_caps_and_stays_prefix_free() {
+        let dir = temp_dir("cap");
+        write_qlog(&dir, &[record("needle", true), record("haystack", false)]);
+        let corpus = MemCorpus::from_docs(
+            (0..20)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        format!("needle{i} pad").into_bytes()
+                    } else {
+                        format!("haystack{i} pad").into_bytes()
+                    }
+                })
+                .collect(),
+        );
+        let full = WorkloadSelector {
+            qlog: dir.clone(),
+            c: Some(0.5),
+            max_grams: 0,
+        }
+        .select(&corpus, &SelectConfig::default())
+        .unwrap();
+        let capped = WorkloadSelector {
+            qlog: dir.clone(),
+            c: Some(0.5),
+            max_grams: 2,
+        }
+        .select(&corpus, &SelectConfig::default())
+        .unwrap();
+        assert!(full.grams.len() > 2);
+        assert_eq!(capped.grams.len(), 2);
+        // Capped set is a subset of the full set.
+        for g in &capped.grams {
+            assert!(full.grams.contains(g));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,193 @@
+//! Differential properties of the gram-selection strategy lab.
+//!
+//! Two invariants, for *any* corpus over the collision-heavy proptest
+//! alphabet:
+//!
+//! * every [`free_engine::GramSelector`] backend emits a sorted,
+//!   prefix-free gram dictionary with accurate document counts — the
+//!   contract the planner, the presuf shell, and `free fsck`'s `FA424`
+//!   check all lean on;
+//! * every backend answers every query with byte-identical results, at
+//!   one confirmation thread and at four. Selectors trade index size
+//!   and speed; they are never allowed to change answers.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use free_corpus::{Corpus, MemCorpus};
+use free_engine::select::SelectConfig;
+use free_engine::{baseline, selector_for, Engine, EngineConfig, SelectorSpec};
+use free_regex::{Ast, ByteClass};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// A captured query log over the proptest alphabet, written once and
+/// shared by every case: the workload selector mines its candidate
+/// grams from these patterns.
+fn shared_qlog() -> PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("free-proptest-select-qlog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = free_trace::qlog::LogWriter::create(&dir).expect("qlog dir");
+        for (i, (pattern, slow)) in [
+            ("ab", false),
+            ("abc", true),
+            ("cab", false),
+            ("bca", false),
+            ("ab.c", false),
+            ("a(bc|ca)b", true),
+        ]
+        .iter()
+        .enumerate()
+        {
+            w.emit(format!(
+                "{{\"type\":\"query\",\"ts_ms\":{},\"source\":\"test\",\
+                 \"pattern\":\"{pattern}\",\"slow\":{slow}}}",
+                i + 1
+            ));
+        }
+        w.close();
+        dir
+    })
+    .clone()
+}
+
+/// Every selector strategy under test. The budgeted sweep gets a tiny
+/// budget and grid so it exercises the fallback paths; the workload
+/// selector mines from the shared captured log.
+fn all_specs() -> Vec<SelectorSpec> {
+    vec![
+        SelectorSpec::default(),
+        SelectorSpec::Apriori { c: Some(0.5) },
+        SelectorSpec::Trigram { k: 3 },
+        SelectorSpec::Budgeted {
+            budget: 4096,
+            c: None,
+            steps: 3,
+        },
+        SelectorSpec::Workload {
+            qlog: shared_qlog(),
+            c: None,
+            max_grams: 0,
+        },
+    ]
+}
+
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')].prop_map(Ast::byte),
+        Just(Ast::Class(ByteClass::range(b'a', b'c'))),
+        Just(Ast::Class(ByteClass::dot())),
+        prop_oneof![Just("ab"), Just("abc"), Just("cab"), Just("bca")]
+            .prop_map(|s| Ast::literal(s.as_bytes())),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::alternate),
+            inner.prop_map(Ast::star),
+        ]
+    })
+}
+
+fn arb_corpus() -> impl Strategy<Value = MemCorpus> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'x')],
+            0..40,
+        ),
+        1..20,
+    )
+    .prop_map(MemCorpus::from_docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Trait contract: sorted, prefix-free, accurate doc counts — for
+    /// every backend, on any corpus.
+    #[test]
+    fn every_selector_yields_a_prefix_free_dictionary(
+        corpus in arb_corpus(),
+        c in 0.05f64..0.9,
+    ) {
+        let config = SelectConfig {
+            usefulness_threshold: c,
+            max_gram_len: 6,
+            ..SelectConfig::default()
+        };
+        for spec in all_specs() {
+            let selector = selector_for(&spec);
+            let selection = selector.select(&corpus, &config)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let grams = &selection.grams;
+            // Sorted, duplicate-free.
+            for w in grams.windows(2) {
+                prop_assert!(
+                    w[0].gram < w[1].gram,
+                    "{spec}: keys out of order: {:?} !< {:?}", w[0].gram, w[1].gram
+                );
+            }
+            // Prefix-free: no key extends another (sorted order puts a
+            // prefix immediately before its extensions).
+            for w in grams.windows(2) {
+                prop_assert!(
+                    !w[1].gram.starts_with(&w[0].gram[..]),
+                    "{spec}: {:?} is a prefix of {:?}", w[0].gram, w[1].gram
+                );
+            }
+            // Doc counts are exact, and every key passes the selector's
+            // own fsck-side shape check.
+            for g in grams.iter() {
+                let truth = (0..corpus.len() as u32)
+                    .filter(|&d| {
+                        let doc = corpus.get(d).unwrap();
+                        doc.windows(g.gram.len()).any(|win| win == &g.gram[..])
+                    })
+                    .count() as u32;
+                prop_assert_eq!(
+                    g.doc_count, truth,
+                    "{}: wrong doc count for {:?}", spec, g.gram
+                );
+                prop_assert!(
+                    selector.check_key(&g.gram).is_none(),
+                    "{spec}: selector rejects its own key {:?}", g.gram
+                );
+            }
+        }
+    }
+
+    /// Differential execution: every selector, at 1 and 4 confirmation
+    /// threads, returns exactly the scan baseline's matches.
+    #[test]
+    fn all_selectors_answer_identically(
+        ast in arb_ast(),
+        corpus in arb_corpus(),
+    ) {
+        let pattern = format!("{ast:?}");
+        prop_assume!(!pattern.contains('ε'));
+        prop_assume!(free_regex::parse(&pattern).is_ok());
+
+        let (want, _) = baseline::scan_all_matches(&corpus, &pattern).unwrap();
+        for spec in all_specs() {
+            for threads in [1usize, 4] {
+                let config = EngineConfig {
+                    selector: spec.clone(),
+                    num_threads: threads,
+                    max_gram_len: 6,
+                    ..EngineConfig::default()
+                };
+                let engine = Engine::build_in_memory(corpus.clone(), config).unwrap();
+                let mut r = engine.query(&pattern).unwrap();
+                let got = r.all_matches().unwrap();
+                prop_assert_eq!(
+                    &got, &want,
+                    "selector {} at {} thread(s) disagrees with scan for `{}`",
+                    spec, threads, pattern
+                );
+            }
+        }
+    }
+}
