@@ -164,6 +164,11 @@ pub struct WorkloadReport {
     pub queries: usize,
     /// Access records seen (counted, not mined).
     pub accesses: usize,
+    /// Access records by outcome status (`ok`/`error`/`timeout`/`shed`).
+    /// Pre-status records (no `status` field) are classified from their
+    /// `ok` flag. Sheds and timeouts showing up here is the point: the
+    /// log records what the server *refused*, not just what it served.
+    pub access_status: BTreeMap<String, usize>,
     /// Records flagged slow.
     pub slow: usize,
     /// All findings.
@@ -200,6 +205,15 @@ impl WorkloadReport {
             n,
             if n == 1 { "" } else { "s" }
         );
+        if self.accesses > 0 {
+            let breakdown = self
+                .access_status
+                .iter()
+                .map(|(status, count)| format!("{status} {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "access records: {} ({breakdown})", self.accesses);
+        }
         for d in &self.diagnostics {
             let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
             if let Some(s) = &d.suggestion {
@@ -222,6 +236,14 @@ impl WorkloadReport {
         let _ = write!(out, ",\"corrupt\":{}", self.corrupt);
         let _ = write!(out, ",\"queries\":{}", self.queries);
         let _ = write!(out, ",\"accesses\":{}", self.accesses);
+        out.push_str(",\"access_status\":{");
+        for (i, (status, count)) in self.access_status.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{count}", json_string(status));
+        }
+        out.push('}');
         let _ = write!(out, ",\"slow\":{}", self.slow);
         out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -247,6 +269,7 @@ pub fn analyze_workload(dir: &Path, opts: &WorkloadOptions) -> std::io::Result<W
         corrupt: 0,
         queries: 0,
         accesses: 0,
+        access_status: BTreeMap::new(),
         slow: 0,
         diagnostics: Vec::new(),
     };
@@ -262,6 +285,10 @@ pub fn analyze_workload(dir: &Path, opts: &WorkloadOptions) -> std::io::Result<W
                 records.push(q);
             } else if line.contains("\"type\":\"access\"") {
                 report.accesses += 1;
+                *report
+                    .access_status
+                    .entry(access_status(line).to_string())
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -275,6 +302,26 @@ pub fn analyze_workload(dir: &Path, opts: &WorkloadOptions) -> std::io::Result<W
     }
     report.diagnostics = analyze_records(&records, &opts);
     Ok(report)
+}
+
+/// Classifies one access-record line by its `status` field; records
+/// written before statuses existed are classified from their `ok` flag.
+fn access_status(line: &str) -> &'static str {
+    let Ok(v) = JsonValue::parse(line) else {
+        return "unknown";
+    };
+    match v.get("status").and_then(|s| s.as_str()) {
+        Some("ok") => "ok",
+        Some("error") => "error",
+        Some("timeout") => "timeout",
+        Some("shed") => "shed",
+        Some(_) => "unknown",
+        None => match v.get("ok").and_then(|o| o.as_bool()) {
+            Some(true) => "ok",
+            Some(false) => "error",
+            None => "unknown",
+        },
+    }
 }
 
 /// The `FA6xx` analyzers over an already-parsed workload. Split from
@@ -499,6 +546,39 @@ mod tests {
             .map(|i| record(&format!("p{i}"), "WEAK", 50, 40, true))
             .collect();
         assert!(analyze_records(&spread, &opts).is_empty());
+    }
+
+    #[test]
+    fn access_records_break_down_by_status() {
+        let dir = std::env::temp_dir().join(format!("free-workload-acc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let w = free_trace::LogWriter::create(&dir).unwrap();
+        for status in ["ok", "ok", "timeout", "shed", "error"] {
+            w.emit(format!(
+                r#"{{"type":"access","ts_ms":1,"request_id":1,"cmd":"query","ok":{},"status":"{status}","total_ns":10}}"#,
+                status == "ok"
+            ));
+        }
+        // A pre-status record classifies from its ok flag.
+        w.emit(
+            r#"{"type":"access","ts_ms":1,"request_id":9,"cmd":"ping","ok":true,"total_ns":10}"#
+                .to_string(),
+        );
+        w.close();
+        let report = analyze_workload(&dir, &WorkloadOptions::default()).unwrap();
+        assert_eq!(report.accesses, 6);
+        assert_eq!(report.access_status.get("ok"), Some(&3));
+        assert_eq!(report.access_status.get("timeout"), Some(&1));
+        assert_eq!(report.access_status.get("shed"), Some(&1));
+        assert_eq!(report.access_status.get("error"), Some(&1));
+        let human = report.render_human();
+        assert!(human.contains("access records: 6"), "{human}");
+        assert!(human.contains("shed 1"), "{human}");
+        let json = report.to_json();
+        assert!(json.contains("\"access_status\":{"), "{json}");
+        assert!(json.contains("\"timeout\":1"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

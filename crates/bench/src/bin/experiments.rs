@@ -804,6 +804,251 @@ fn run_serve_load(config: &ExperimentConfig) -> String {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // ------------------------------------------------------------------
+    // Production-service cells: the full `free serve` stack in process —
+    // HTTP front end, admission control, snapshot-keyed result cache —
+    // driven over real loopback sockets.
+    // ------------------------------------------------------------------
+    {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpStream;
+
+        /// One HTTP/1.1 POST /query on a fresh connection; returns the
+        /// status code.
+        fn post_query(addr: std::net::SocketAddr, body: &str) -> u16 {
+            let Ok(mut s) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            let _ = write!(
+                s,
+                "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let mut response = String::new();
+            let _ = s.read_to_string(&mut response);
+            response
+                .split_whitespace()
+                .nth(1)
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(0)
+        }
+
+        /// Scrapes one counter from GET /metrics.
+        fn scrape(addr: std::net::SocketAddr, series: &str) -> u64 {
+            let Ok(mut s) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            let _ = write!(
+                s,
+                "GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+            );
+            let mut response = String::new();
+            let _ = s.read_to_string(&mut response);
+            response
+                .lines()
+                .find(|l| l.starts_with(series))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        }
+
+        /// Boots `free serve` on an ephemeral port in a background
+        /// thread, runs `drive(addr)`, then shuts the server down over
+        /// the line protocol.
+        fn with_server(
+            options: freegrep::serve::ServeOptions,
+            drive: impl FnOnce(std::net::SocketAddr),
+        ) {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    freegrep::serve::serve(&options, |addr| {
+                        let _ = tx.send(addr);
+                    })
+                    .expect("serve");
+                });
+                let addr = rx.recv().expect("server announces its address");
+                drive(addr);
+                let mut s = TcpStream::connect(addr).expect("shutdown connect");
+                let _ = writeln!(s, "{{\"shutdown\":true}}");
+                let mut line = String::new();
+                let _ = std::io::BufRead::read_line(&mut std::io::BufReader::new(s), &mut line);
+            });
+        }
+
+        // Overload: 8 closed-loop clients against a 2-permit admission
+        // gate, result cache off so every admitted query pays for real
+        // confirmation. Reports goodput (admitted QPS), shed rate, and
+        // admitted-only latency — the RED view of a saturated server.
+        {
+            let dir =
+                std::env::temp_dir().join(format!("free-serve-load-ov-{}", std::process::id()));
+            drop(build(&dir));
+            let mut options = freegrep::serve::ServeOptions::new(&dir);
+            options.workers = 8;
+            options.threads = 1;
+            options.max_concurrent = 2;
+            options.cache_entries = 0;
+            let bodies: Vec<String> = queries
+                .iter()
+                .map(|q| format!("{{\"query\":\"{}\"}}", free_trace::json::escape(q.pattern)))
+                .collect();
+            let admitted = AtomicU64::new(0);
+            let shed = AtomicU64::new(0);
+            let failed = AtomicU64::new(0);
+            let latency = free_trace::Histogram::new();
+            let started = Instant::now();
+            with_server(options, |addr| {
+                let done = AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    for c in 0..8usize {
+                        let (done, admitted, shed, failed) = (&done, &admitted, &shed, &failed);
+                        let (bodies, latency) = (&bodies, latency.clone());
+                        scope.spawn(move || {
+                            let mut i = c;
+                            while !done.load(Ordering::Relaxed) {
+                                let body = &bodies[i % bodies.len()];
+                                i += 1;
+                                let t = Instant::now();
+                                match post_query(addr, body) {
+                                    200 => {
+                                        latency.observe_duration(t.elapsed());
+                                        admitted.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    429 => {
+                                        shed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    _ => {
+                                        failed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    std::thread::sleep(RUN_FOR);
+                    done.store(true, Ordering::Relaxed);
+                });
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let (adm, shd, fld) = (
+                admitted.load(Ordering::Relaxed),
+                shed.load(Ordering::Relaxed),
+                failed.load(Ordering::Relaxed),
+            );
+            let offered = adm + shd + fld;
+            let _ = writeln!(
+                out,
+                "\nOverload (HTTP, 8 clients, max-concurrent 2, cache off):"
+            );
+            let _ = writeln!(
+                out,
+                "  offered {:.0} req/s, goodput {:.0} req/s, shed {shd} ({:.1}%), \
+                 other {fld}; admitted p50 {:.2?}, p99 {:.2?}",
+                offered as f64 / elapsed,
+                adm as f64 / elapsed,
+                if offered == 0 {
+                    0.0
+                } else {
+                    100.0 * shd as f64 / offered as f64
+                },
+                Duration::from_nanos(latency.quantile(0.50)),
+                Duration::from_nanos(latency.quantile(0.99)),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // Cache hit rate: 4 clients drawing from a 16-pattern pool with
+        // zipfian popularity (weight 1/rank) against the snapshot-keyed
+        // result cache. The hot head should live in the cache; the
+        // counters come from the server's own /metrics endpoint.
+        {
+            use rand::{Rng as _, SeedableRng as _};
+            let dir =
+                std::env::temp_dir().join(format!("free-serve-load-zipf-{}", std::process::id()));
+            drop(build(&dir));
+            let mut options = freegrep::serve::ServeOptions::new(&dir);
+            options.workers = 8;
+            options.threads = 1;
+            options.cache_entries = 1024;
+            // 16 patterns, unique per rank (the `|zq…` arm never
+            // matches the synthetic corpus) so each is its own cache
+            // key with the same execution cost class.
+            let pool: Vec<String> = (0..16)
+                .map(|k| {
+                    let q = &queries[k % queries.len()];
+                    format!(
+                        "{{\"query\":\"{}\"}}",
+                        free_trace::json::escape(&format!("{}|zqx{k}", q.pattern))
+                    )
+                })
+                .collect();
+            // Cumulative zipf weights over ranks 1..=16.
+            let weights: Vec<u64> = (1..=pool.len() as u64).map(|k| 1_000_000 / k).collect();
+            let cumulative: Vec<u64> = weights
+                .iter()
+                .scan(0u64, |acc, w| {
+                    *acc += w;
+                    Some(*acc)
+                })
+                .collect();
+            let total_weight = *cumulative.last().expect("non-empty pool");
+            let served = AtomicU64::new(0);
+            let latency = free_trace::Histogram::new();
+            let started = Instant::now();
+            let mut cache_stats = (0u64, 0u64);
+            with_server(options, |addr| {
+                let hits0 = scrape(addr, "free_qcache_hits_total");
+                let misses0 = scrape(addr, "free_qcache_misses_total");
+                let done = AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    for c in 0..4usize {
+                        let (done, served) = (&done, &served);
+                        let (pool, cumulative, latency) = (&pool, &cumulative, latency.clone());
+                        scope.spawn(move || {
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed ^ c as u64);
+                            while !done.load(Ordering::Relaxed) {
+                                let draw = rng.gen_range(0..total_weight);
+                                let rank = cumulative.partition_point(|&cum| cum <= draw);
+                                let t = Instant::now();
+                                if post_query(addr, &pool[rank]) == 200 {
+                                    latency.observe_duration(t.elapsed());
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                    std::thread::sleep(RUN_FOR);
+                    done.store(true, Ordering::Relaxed);
+                });
+                cache_stats = (
+                    scrape(addr, "free_qcache_hits_total") - hits0,
+                    scrape(addr, "free_qcache_misses_total") - misses0,
+                );
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let (hits, misses) = cache_stats;
+            let lookups = hits + misses;
+            let _ = writeln!(
+                out,
+                "\nCache hit rate (HTTP, 4 clients, zipfian over 16 patterns):"
+            );
+            let _ = writeln!(
+                out,
+                "  {:.0} req/s; cache {hits} hits / {misses} misses ({:.1}% hit rate); \
+                 p50 {:.2?}, p99 {:.2?}",
+                served.load(Ordering::Relaxed) as f64 / elapsed,
+                if lookups == 0 {
+                    0.0
+                } else {
+                    100.0 * hits as f64 / lookups as f64
+                },
+                Duration::from_nanos(latency.quantile(0.50)),
+                Duration::from_nanos(latency.quantile(0.99)),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     if let Err(e) = std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/serve_load.txt", &out))
     {

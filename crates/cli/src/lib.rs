@@ -715,6 +715,19 @@ impl SnapshotHandle {
         }
     }
 
+    /// Runs a query with full per-request options (threads, spans,
+    /// deadline/cancellation budget).
+    pub fn query_opts(
+        &self,
+        pattern: &str,
+        opts: &free_live::QueryOpts,
+    ) -> free_live::Result<free_live::LiveQueryResult> {
+        match self {
+            SnapshotHandle::Plain(s) => s.query_opts(pattern, opts),
+            SnapshotHandle::Sharded(s) => s.query_opts(pattern, opts),
+        }
+    }
+
     /// Reads one live document by global sequence number.
     pub fn get(&self, seq: u32) -> free_live::Result<Vec<u8>> {
         match self {

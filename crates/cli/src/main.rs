@@ -13,7 +13,7 @@
 //! freegrep compact [--dir DIR]
 //! freegrep segments [--dir DIR] [--json]
 //! freegrep fsck [--json] [--deep] [--sample N] [PATH]
-//! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N] [--query-log DIR] [--slow-ms N]
+//! freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N] [--query-log DIR] [--slow-ms N] [--max-concurrent N] [--queue N] [--timeout-ms N] [--cache N]
 //! freegrep log <LOGDIR> [--tail N] [--filter SUBSTR] [--slow] [--stats] [--analyze] [--json]
 //! freegrep replay <LOGDIR> (--index DIR | --dir LIVEDIR) [--qps N] [--threads N] [--json]
 //! ```
@@ -352,6 +352,22 @@ fn run(args: &[String]) -> CmdResult {
                         i += 1;
                         options.slow_ms = Some(value(rest, i, "--slow-ms")?.parse()?);
                     }
+                    "--max-concurrent" => {
+                        i += 1;
+                        options.max_concurrent = value(rest, i, "--max-concurrent")?.parse()?;
+                    }
+                    "--queue" => {
+                        i += 1;
+                        options.queue_depth = value(rest, i, "--queue")?.parse()?;
+                    }
+                    "--timeout-ms" => {
+                        i += 1;
+                        options.timeout_ms = Some(value(rest, i, "--timeout-ms")?.parse()?);
+                    }
+                    "--cache" => {
+                        i += 1;
+                        options.cache_entries = value(rest, i, "--cache")?.parse()?;
+                    }
                     other => return Err(format!("unknown option {other}\n{}", usage()).into()),
                 }
                 i += 1;
@@ -471,7 +487,8 @@ fn usage() -> String {
      freegrep segments [--dir DIR] [--json]\n  \
      freegrep fsck [--json] [--deep] [--sample N] [PATH]\n  \
      freegrep serve [--dir DIR] [--port N] [--workers N] [--threads N] \
-     [--query-log DIR] [--slow-ms N]\n  \
+     [--query-log DIR] [--slow-ms N] [--max-concurrent N] [--queue N] \
+     [--timeout-ms N] [--cache N]\n  \
      freegrep log <LOGDIR> [--tail N] [--filter SUBSTR] [--slow] [--stats] \
      [--analyze] [--json]\n  \
      freegrep replay <LOGDIR> (--index DIR | --dir LIVEDIR) [--qps N] \
@@ -498,9 +515,14 @@ fn usage() -> String {
      or bare index file; default ./.freelive) without mutating anything; \
      --deep re-mines --sample N docs per segment (default 64) to prove the \
      no-false-negative guarantee; exits 1 on any FA4xx error finding\n\
-     serve answers line-delimited JSON requests over TCP on 127.0.0.1 \
+     serve answers line-delimited JSON requests AND HTTP/1.1 (POST /query, \
+     GET /metrics, GET /healthz) on one TCP port on 127.0.0.1 \
      (send {\"shutdown\":true} to stop; --port 0 picks an ephemeral port, \
-     announced on stdout)\n\
+     announced on stdout); --max-concurrent N sheds queries past N in \
+     flight with 429 + Retry-After, --queue N bounds the accept queue, \
+     --timeout-ms N sets the default query deadline (per-request \
+     timeout_ms overrides), --cache N sizes the snapshot-keyed result \
+     cache (0 disables)\n\
      --query-log DIR captures one crash-safe JSONL record per query into \
      DIR; --slow-ms N additionally captures a full explain-analyze tree \
      for queries slower than N ms (0 = every query)\n\

@@ -20,6 +20,17 @@ pub enum Error {
     /// [`ScanPolicy`](crate::config::ScanPolicy) is `Reject`. Carries the
     /// offending pattern.
     ScanRejected(String),
+    /// The request's [`RequestBudget`](crate::budget::RequestBudget)
+    /// deadline expired; execution stopped at a confirmation batch
+    /// boundary with no partial results. `elapsed` is how far past the
+    /// deadline the expiry was noticed.
+    Timeout {
+        /// Time past the deadline at the moment the executor noticed.
+        elapsed: std::time::Duration,
+    },
+    /// The request's cancel token was tripped; execution stopped at a
+    /// confirmation batch boundary with no partial results.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -34,6 +45,12 @@ impl fmt::Display for Error {
                 "query {pattern:?} cannot use the index (plan is a full \
                  scan) and the scan policy is set to reject"
             ),
+            Error::Timeout { elapsed } => write!(
+                f,
+                "query deadline exceeded (noticed {:.1}ms past the deadline)",
+                elapsed.as_secs_f64() * 1e3
+            ),
+            Error::Cancelled => write!(f, "query cancelled by the caller"),
         }
     }
 }
@@ -44,7 +61,10 @@ impl std::error::Error for Error {
             Error::Regex(e) => Some(e),
             Error::Corpus(e) => Some(e),
             Error::Index(e) => Some(e),
-            Error::Config(_) | Error::ScanRejected(_) => None,
+            Error::Config(_)
+            | Error::ScanRejected(_)
+            | Error::Timeout { .. }
+            | Error::Cancelled => None,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Query results: lazily-confirmed matches with cost accounting.
 
-use super::stream::{confirm_source, CandidateSource};
+use super::stream::{confirm_source_budgeted, CandidateSource};
+use crate::budget::RequestBudget;
 use crate::engine::Engine;
 use crate::metrics::QueryStats;
 use crate::plan::{LogicalPlan, PhysicalPlan};
@@ -38,6 +39,9 @@ pub struct QueryResult<'e, C: Corpus, I: IndexRead> {
     prefilter: Vec<Finder>,
     stats: QueryStats,
     span: free_trace::Span,
+    /// Per-request deadline/cancel override; unlimited unless the caller
+    /// installs one via [`QueryResult::set_budget`].
+    budget: RequestBudget,
     /// A confirmation pass ran to exhaustion (no early stop), so
     /// `stats.matching_docs` is the full answer. Recorded into the
     /// query log; `free replay` verifies only complete records.
@@ -67,9 +71,25 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
             prefilter,
             stats,
             span,
+            budget: RequestBudget::unlimited(),
             confirm_complete: false,
             confirm_spans: false,
         }
+    }
+
+    /// Installs a per-request budget, the request-scoped override of the
+    /// engine-wide [`EngineConfig`](crate::EngineConfig). Confirmation
+    /// passes started after this call poll the budget at batch boundaries
+    /// and abort with [`crate::Error::Timeout`] /
+    /// [`crate::Error::Cancelled`] once it expires.
+    pub fn set_budget(&mut self, budget: RequestBudget) {
+        self.budget = budget;
+    }
+
+    /// Builder-style [`QueryResult::set_budget`].
+    pub fn with_budget(mut self, budget: RequestBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The logical access plan (Algorithm 4.1 output).
@@ -135,13 +155,14 @@ impl<'e, C: Corpus, I: IndexRead> QueryResult<'e, C, I> {
         let mut confirm_span = self.span.child("query.confirm");
         let examined_before = self.stats.docs_examined;
         let mut stopped_early = false;
-        let result = confirm_source(
+        let result = confirm_source_budgeted(
             corpus,
             &self.regex,
             &mut self.source,
             want_spans,
             &self.prefilter,
             threads,
+            &self.budget,
             &mut self.stats,
             &mut |doc, spans| {
                 let keep_going = on_doc(doc, spans);

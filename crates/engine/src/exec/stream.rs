@@ -14,6 +14,7 @@
 //! doc-id order, so results, early-exit points, and every logical cost
 //! counter are identical for any thread count.
 
+use crate::budget::RequestBudget;
 use crate::metrics::QueryStats;
 use crate::plan::PhysicalPlan;
 use crate::Result;
@@ -31,6 +32,10 @@ const BATCH_PER_WORKER: usize = 32;
 
 /// Batch size for single-threaded confirmation pulls.
 const SEQ_BATCH: usize = 32;
+
+/// How many scanned documents go by between budget polls on the scan
+/// fallback path (which has no batch boundaries of its own).
+const SCAN_CHECK_EVERY: usize = 64;
 
 /// Compiles a physical plan into a primed cursor tree.
 ///
@@ -235,6 +240,11 @@ fn fold(
 /// Confirms candidate ids delivered by `next_batch`, sequentially or via a
 /// scoped worker pool. `next_batch` fills the buffer with up to `n` ids;
 /// an empty fill ends the stream.
+///
+/// The `budget` is polled once per batch, *before* any of the batch's
+/// outcomes are folded: an expired request therefore surfaces a structured
+/// error with exactly the counters of the batches already consumed — never
+/// a half-folded batch.
 // `expect` on `join()`: re-raising a confirmation worker's panic on the
 // coordinating thread is the correct way to propagate it.
 #[allow(clippy::too_many_arguments, clippy::expect_used)]
@@ -244,6 +254,7 @@ fn confirm_ids<C: Corpus>(
     want_spans: bool,
     prefilter: &[Finder],
     threads: usize,
+    budget: &RequestBudget,
     stats: &mut QueryStats,
     on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
     next_batch: &mut dyn FnMut(usize, &mut Vec<DocId>) -> Result<()>,
@@ -254,6 +265,7 @@ fn confirm_ids<C: Corpus>(
         let mut searcher = regex.searcher();
         let mut batch = Vec::new();
         loop {
+            budget.check()?;
             batch.clear();
             next_batch(SEQ_BATCH, &mut batch)?;
             if batch.is_empty() {
@@ -273,6 +285,7 @@ fn confirm_ids<C: Corpus>(
     let mut searchers: Vec<Searcher> = (0..threads).map(|_| regex.searcher()).collect();
     let mut batch = Vec::new();
     loop {
+        budget.check()?;
         batch.clear();
         next_batch(threads * BATCH_PER_WORKER, &mut batch)?;
         if batch.is_empty() {
@@ -320,6 +333,9 @@ fn confirm_ids<C: Corpus>(
 /// fast path. A [`CandidateSource::Stream`] that gets fully drained is
 /// converted in place to [`CandidateSource::Docs`], so later accessors
 /// reuse the materialized set instead of re-touching the index.
+///
+/// [`confirm_source_budgeted`] is the same entry point with a per-request
+/// [`RequestBudget`]; this wrapper runs unlimited.
 #[allow(clippy::too_many_arguments)]
 pub fn confirm_source<C: Corpus>(
     corpus: &C,
@@ -328,6 +344,36 @@ pub fn confirm_source<C: Corpus>(
     want_spans: bool,
     prefilter: &[Finder],
     threads: usize,
+    stats: &mut QueryStats,
+    on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
+) -> Result<()> {
+    confirm_source_budgeted(
+        corpus,
+        regex,
+        source,
+        want_spans,
+        prefilter,
+        threads,
+        &RequestBudget::unlimited(),
+        stats,
+        on_doc,
+    )
+}
+
+/// [`confirm_source`] with a per-request budget. The budget is polled at
+/// every confirmation batch boundary (and every 64 docs on the scan
+/// fallback); expiry aborts with [`crate::Error::Timeout`] /
+/// [`crate::Error::Cancelled`] and no partial results reach `on_doc`'s
+/// caller beyond the batches already folded.
+#[allow(clippy::too_many_arguments)]
+pub fn confirm_source_budgeted<C: Corpus>(
+    corpus: &C,
+    regex: &Regex,
+    source: &mut CandidateSource,
+    want_spans: bool,
+    prefilter: &[Finder],
+    threads: usize,
+    budget: &RequestBudget,
     stats: &mut QueryStats,
     on_doc: &mut dyn FnMut(DocId, Vec<Span>) -> bool,
 ) -> Result<()> {
@@ -340,12 +386,24 @@ pub fn confirm_source<C: Corpus>(
             let start = Instant::now();
             let mut searcher = regex.searcher();
             let nfa = regex.nfa();
+            let mut expired: Result<()> = Ok(());
+            let mut since_check = 0usize;
             corpus.scan(&mut |doc, bytes| {
+                if !budget.is_unlimited() {
+                    since_check += 1;
+                    if since_check >= SCAN_CHECK_EVERY {
+                        since_check = 0;
+                        if let Err(e) = budget.check() {
+                            expired = Err(e);
+                            return false;
+                        }
+                    }
+                }
                 let o = examine(&mut searcher, nfa, prefilter, want_spans, doc, bytes);
                 fold(o, stats, on_doc)
             })?;
             stats.scan_time += start.elapsed();
-            Ok(())
+            expired
         }
         CandidateSource::Docs(ids) => {
             let start = Instant::now();
@@ -358,7 +416,7 @@ pub fn confirm_source<C: Corpus>(
                 Ok(())
             };
             confirm_ids(
-                corpus, regex, want_spans, prefilter, threads, stats, on_doc, &mut next,
+                corpus, regex, want_spans, prefilter, threads, budget, stats, on_doc, &mut next,
             )?;
             stats.confirm_time += start.elapsed();
             Ok(())
@@ -396,7 +454,7 @@ pub fn confirm_source<C: Corpus>(
                     Ok(())
                 };
                 confirm_ids(
-                    corpus, regex, want_spans, prefilter, threads, stats, on_doc, &mut next,
+                    corpus, regex, want_spans, prefilter, threads, budget, stats, on_doc, &mut next,
                 )?;
             }
             st.refresh(stats);

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod budget;
 pub mod config;
 pub mod error;
 pub mod exec;
@@ -48,6 +49,7 @@ pub mod select;
 
 mod engine;
 
+pub use budget::{CancelToken, RequestBudget};
 pub use config::{EngineConfig, IndexKind, ScanPolicy};
 pub use engine::{build_prefilter, generate_postings, select_keys, Engine, InMemoryEngine};
 pub use error::{Error, Result};

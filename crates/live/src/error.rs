@@ -38,6 +38,14 @@ pub enum Error {
     /// Every per-segment plan degenerated to a scan and the engine's scan
     /// policy is `Reject`. Carries the offending pattern.
     ScanRejected(String),
+    /// The request's deadline expired mid-confirmation; execution stopped
+    /// at a batch boundary with no partial results.
+    Timeout {
+        /// Time past the deadline at the moment the executor noticed.
+        elapsed: std::time::Duration,
+    },
+    /// The request's cancel token was tripped mid-confirmation.
+    Cancelled,
 }
 
 impl Error {
@@ -77,6 +85,12 @@ impl fmt::Display for Error {
                  per-segment plan is a full scan) and the scan policy is \
                  set to reject"
             ),
+            Error::Timeout { elapsed } => write!(
+                f,
+                "query deadline exceeded (noticed {:.1}ms past the deadline)",
+                elapsed.as_secs_f64() * 1e3
+            ),
+            Error::Cancelled => write!(f, "query cancelled by the caller"),
         }
     }
 }
@@ -110,6 +124,8 @@ impl From<free_engine::Error> for Error {
     fn from(e: free_engine::Error) -> Error {
         match e {
             free_engine::Error::ScanRejected(p) => Error::ScanRejected(p),
+            free_engine::Error::Timeout { elapsed } => Error::Timeout { elapsed },
+            free_engine::Error::Cancelled => Error::Cancelled,
             other => Error::Engine(other),
         }
     }

@@ -27,6 +27,7 @@ pub mod cursor;
 pub mod error;
 pub mod manifest;
 pub mod memtable;
+pub mod qcache;
 pub mod query;
 pub mod segment;
 pub mod shard;
@@ -42,7 +43,8 @@ pub use live::{
     TOMBSTONES_HEADER, WAL_DIR, WAL_EPOCH_FILE,
 };
 pub use manifest::{Manifest, SegmentMeta};
-pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats};
+pub use qcache::QueryCache;
+pub use query::{LiveMatch, LiveQueryResult, LiveQueryStats, QueryOpts};
 pub use shard::{
     derive_next_seq, is_sharded, recoverable_next_seq, shard_dir, shard_local_count,
     ShardedLiveIndex, ShardedManifest, ShardedReader, ShardedSnapshot, MAX_SHARDS,

@@ -18,10 +18,12 @@ use crate::segment::Segment;
 use crate::view::LiveView;
 use crate::LiveConfig;
 use free_corpus::DocId;
-use free_engine::exec::stream::{compile_plan, confirm_source, CandidateSource, StreamState};
+use free_engine::exec::stream::{
+    compile_plan, confirm_source_budgeted, CandidateSource, StreamState,
+};
 use free_engine::plan::physical::{PhysicalPlan, PlanOptions};
 use free_engine::plan::LogicalPlan;
-use free_engine::{build_prefilter, PlanClass, QueryStats, ScanPolicy};
+use free_engine::{build_prefilter, PlanClass, QueryStats, RequestBudget, ScanPolicy};
 use free_index::cursor::PostingsCursor;
 use free_index::{OrCursor, SliceCursor};
 use free_regex::{Regex, Span};
@@ -29,6 +31,30 @@ use free_trace::json::JsonObject;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-request execution options: the request-scoped counterpart to the
+/// index-wide [`LiveConfig`]. `threads = 0` means "use the configured
+/// default"; the budget defaults to unlimited, so `QueryOpts::default()`
+/// reproduces the classic `query()` behaviour exactly.
+#[derive(Clone, Debug)]
+pub struct QueryOpts {
+    /// Confirmation thread count; `0` uses the engine config's value.
+    pub threads: usize,
+    /// Extract match spans (versus containment-only confirmation).
+    pub want_spans: bool,
+    /// Deadline / cancellation for this request.
+    pub budget: RequestBudget,
+}
+
+impl Default for QueryOpts {
+    fn default() -> QueryOpts {
+        QueryOpts {
+            threads: 0,
+            want_spans: true,
+            budget: RequestBudget::unlimited(),
+        }
+    }
+}
 
 /// One matching document.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +132,7 @@ pub(crate) fn execute(
     pattern: &str,
     threads: usize,
     want_spans: bool,
+    budget: &RequestBudget,
 ) -> Result<LiveQueryResult> {
     let econfig = &inputs.config.engine;
     let mut query_span = econfig.tracer.span("live.query");
@@ -114,7 +141,7 @@ pub(crate) fn execute(
     let prep_start = Instant::now();
     let prepared = PreparedQuery::new_traced(pattern, econfig.class_expand_limit, &query_span)?;
     let prep_time = prep_start.elapsed();
-    let mut result = execute_prepared(inputs, &prepared, threads, want_spans, &query_span)?;
+    let mut result = execute_prepared(inputs, &prepared, threads, want_spans, budget, &query_span)?;
     result.stats.base.plan_time += prep_time;
     free_engine::record_query(free_trace::metrics::global(), &result.stats.base);
     emit_qlog(pattern, &result.stats.base, want_spans);
@@ -182,6 +209,7 @@ pub(crate) fn execute_prepared(
     prepared: &PreparedQuery,
     threads: usize,
     want_spans: bool,
+    budget: &RequestBudget,
     query_span: &free_trace::Span,
 ) -> Result<LiveQueryResult> {
     let econfig = &inputs.config.engine;
@@ -298,13 +326,14 @@ pub(crate) fn execute_prepared(
     let mut matches = Vec::new();
     {
         let mut span = query_span.child("live.confirm");
-        confirm_source(
+        confirm_source_budgeted(
             &view,
             regex,
             &mut source,
             want_spans,
             &prefilter,
             threads,
+            budget,
             &mut stats,
             &mut |seq, spans| {
                 matches.push(LiveMatch { seq, spans });

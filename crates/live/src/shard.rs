@@ -42,6 +42,7 @@
 use crate::error::{Error, Result};
 use crate::query::{
     execute_prepared, ExecInputs, LiveMatch, LiveQueryResult, LiveQueryStats, PreparedQuery,
+    QueryOpts,
 };
 use crate::snapshot::Snapshot;
 use crate::stats::LiveStats;
@@ -872,8 +873,34 @@ impl ShardedSnapshot {
         threads: usize,
         want_spans: bool,
     ) -> Result<LiveQueryResult> {
+        self.query_opts(
+            pattern,
+            &QueryOpts {
+                threads,
+                want_spans,
+                ..QueryOpts::default()
+            },
+        )
+    }
+
+    /// [`ShardedSnapshot::query_with`] with full per-request options.
+    /// The request budget is shared by every shard of the fan-out: one
+    /// expired deadline or tripped cancel token stops all shard workers
+    /// at their next confirmation batch boundary, and the whole query
+    /// returns the structured error.
+    // `expect` on `join()`: re-raising a shard query worker's panic on
+    // the coordinating thread is the correct way to propagate it.
+    #[allow(clippy::expect_used)]
+    pub fn query_opts(&self, pattern: &str, opts: &QueryOpts) -> Result<LiveQueryResult> {
         let config = &self.shards[0].config;
         let econfig = &config.engine;
+        let threads = if opts.threads == 0 {
+            econfig.effective_threads()
+        } else {
+            opts.threads
+        };
+        let want_spans = opts.want_spans;
+        let req_budget = &opts.budget;
         let mut query_span = econfig.tracer.span("live.query.sharded");
         query_span.record("pattern", pattern);
         query_span.record("generation", self.generation);
@@ -893,6 +920,7 @@ impl ShardedSnapshot {
                 &prepared,
                 budgets[0],
                 want_spans,
+                req_budget,
                 &query_span,
             );
             record_shard_red(0, outcome.is_ok(), started.elapsed());
@@ -915,6 +943,7 @@ impl ShardedSnapshot {
                                 prepared,
                                 budget,
                                 want_spans,
+                                req_budget,
                                 &span,
                             );
                             record_shard_red(s, outcome.is_ok(), started.elapsed());

@@ -17,7 +17,7 @@
 
 use crate::error::{Error, Result};
 use crate::memtable::Memtable;
-use crate::query::{execute, ExecInputs, LiveQueryResult};
+use crate::query::{execute, ExecInputs, LiveQueryResult, QueryOpts};
 use crate::segment::Segment;
 use crate::LiveConfig;
 use free_corpus::{Corpus, DocId};
@@ -121,6 +121,26 @@ impl Snapshot {
         threads: usize,
         want_spans: bool,
     ) -> Result<LiveQueryResult> {
+        self.query_opts(
+            pattern,
+            &QueryOpts {
+                threads,
+                want_spans,
+                ..QueryOpts::default()
+            },
+        )
+    }
+
+    /// Runs `pattern` with full per-request options (thread count, span
+    /// extraction, deadline/cancellation budget). An expired budget
+    /// aborts between confirmation batches with a structured
+    /// [`Error::Timeout`] / [`Error::Cancelled`] — never partial results.
+    pub fn query_opts(&self, pattern: &str, opts: &QueryOpts) -> Result<LiveQueryResult> {
+        let threads = if opts.threads == 0 {
+            self.config.engine.effective_threads()
+        } else {
+            opts.threads
+        };
         execute(
             &ExecInputs {
                 segments: &self.segments,
@@ -132,7 +152,8 @@ impl Snapshot {
             },
             pattern,
             threads,
-            want_spans,
+            opts.want_spans,
+            &opts.budget,
         )
     }
 
